@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all test race bench fuzz vet fmt experiments fsm examples clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./... ./rsm
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+experiments:
+	$(GO) run ./cmd/twbench
+
+fsm:
+	$(GO) run ./cmd/twfsm
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/replicated-counter
+	$(GO) run ./examples/partition-healing
+	$(GO) run ./examples/fail-aware
+	$(GO) run ./examples/udp-cluster
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,260 @@
+// Command twfsm regenerates the paper's Figure 2 — the state transition
+// diagram of the group creator — from the implementation itself: it runs
+// the scripted fault scenarios, records every state transition the
+// machines take, and prints them as a table or a Graphviz dot graph,
+// flagging any labelled transition of the figure that was not exercised.
+//
+// Usage:
+//
+//	twfsm            # transition table + coverage report
+//	twfsm -dot       # Graphviz output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/member"
+	"timewheel/internal/model"
+	"timewheel/internal/netsim"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// newBroadcast builds the broadcast substrate for a scripted machine.
+func newBroadcast(self model.ProcessID, params model.Params) *broadcast.Broadcast {
+	return broadcast.New(self, params, broadcast.Config{})
+}
+
+type transition struct{ from, to member.State }
+
+// figure2 lists the labelled transitions of the paper's Figure 2 (plus
+// the start arrow into join, which is implicit).
+var figure2 = []struct {
+	t     transition
+	label string
+}{
+	{transition{member.StateJoin, member.StateFailureFree}, "D (first decision received / group formed)"},
+	{transition{member.StateFailureFree, member.State1FailureReceive}, "timeout"},
+	{transition{member.StateFailureFree, member.State1FailureSend}, "timeout & NDsend"},
+	{transition{member.StateFailureFree, member.StateWrongSuspicion}, "ND from expected sender"},
+	{transition{member.StateFailureFree, member.StateNFailure}, "R from expected sender"},
+	{transition{member.State1FailureReceive, member.State1FailureSend}, "ND (ring predecessor), NDsend"},
+	{transition{member.State1FailureReceive, member.StateWrongSuspicion}, "D from suspect"},
+	{transition{member.State1FailureReceive, member.StateFailureFree}, "D (election win or fresh decision)"},
+	{transition{member.State1FailureReceive, member.StateNFailure}, "timeout, R"},
+	{transition{member.State1FailureSend, member.StateFailureFree}, "D"},
+	{transition{member.State1FailureSend, member.StateNFailure}, "timeout, R"},
+	{transition{member.StateWrongSuspicion, member.StateFailureFree}, "ND from predecessor (take over) or D"},
+	{transition{member.StateWrongSuspicion, member.StateNFailure}, "timeout, R"},
+	{transition{member.StateNFailure, member.StateFailureFree}, "D (reconfiguration win or inclusion)"},
+	{transition{member.StateNFailure, member.StateJoin}, "excluded: D from all new members"},
+}
+
+// exercise runs the fault scenarios that traverse the whole diagram and
+// returns the set of transitions actually taken, with counts.
+func exercise() map[transition]int {
+	seen := make(map[transition]int)
+	collect := func(c *node.Cluster) {
+		for _, nd := range c.Nodes {
+			for _, s := range nd.StateLog {
+				seen[transition{s.From, s.To}]++
+			}
+		}
+	}
+	mk := func(n int, seed int64) *node.Cluster {
+		return node.NewCluster(node.Options{Seed: seed, Params: model.DefaultParams(n), PerfectClocks: true})
+	}
+	cyc := func(c *node.Cluster, k int) model.Duration {
+		return model.Duration(k) * c.Params.CycleLen()
+	}
+
+	// Formation + single crash (join->FF, FF->1FR/1FS, 1FR->1FS, ->FF).
+	c := mk(5, 1)
+	c.Start()
+	c.Run(cyc(c, 4))
+	c.Crash(2)
+	c.Run(cyc(c, 4))
+	collect(c)
+
+	// False suspicion (FF->WS, 1FR->WS, WS->FF).
+	c = mk(5, 2)
+	c.Start()
+	c.Run(cyc(c, 4))
+	dropping := true
+	c.Net.AddFilter(func(from, to model.ProcessID, m wire.Message) (netsim.Verdict, model.Duration) {
+		switch m.Kind() {
+		case wire.KindDecision:
+			if dropping {
+				return netsim.Drop, 0
+			}
+		case wire.KindNoDecision:
+			dropping = false
+		}
+		return netsim.Pass, 0
+	})
+	c.Run(cyc(c, 4))
+	c.Net.ClearFilters()
+	c.Run(cyc(c, 2))
+	collect(c)
+
+	// Double crash (->NF, NF->FF).
+	c = mk(5, 3)
+	c.Start()
+	c.Run(cyc(c, 4))
+	c.Crash(1)
+	c.Crash(2)
+	c.Run(cyc(c, 8))
+	collect(c)
+
+	// Partition + heal (NF->join via exclusion, rejoin).
+	c = mk(5, 4)
+	c.Start()
+	c.Run(cyc(c, 4))
+	c.Net.Partition([]model.ProcessID{0, 1, 2}, []model.ProcessID{3, 4})
+	c.Run(cyc(c, 10))
+	c.Net.Heal()
+	c.Run(cyc(c, 12))
+	collect(c)
+
+	// The remaining transitions need precise interleavings that whole-
+	// cluster runs rarely produce; drive single machines directly.
+	for t, n := range scriptedTransitions() {
+		seen[t] += n
+	}
+	return seen
+}
+
+// scriptedEnv is a minimal member.Env for machine-level scripts.
+type scriptedEnv struct{ now model.Time }
+
+func (e *scriptedEnv) Now() model.Time                       { return e.now }
+func (e *scriptedEnv) Broadcast(wire.Message)                {}
+func (e *scriptedEnv) Unicast(model.ProcessID, wire.Message) {}
+func (e *scriptedEnv) SetTimer(member.TimerID, model.Time)   {}
+func (e *scriptedEnv) CancelTimer(member.TimerID)            {}
+
+// scriptedTransitions drives machines through the transitions Figure 2
+// labels that depend on exact message interleavings: FF->NF (R from
+// expected sender), 1FS->NF (ring stall after sending ND), WS->NF
+// (stall while masking).
+func scriptedTransitions() map[transition]int {
+	seen := make(map[transition]int)
+	params := model.DefaultParams(5)
+	boot := func(self model.ProcessID) (*member.Machine, *scriptedEnv) {
+		env := &scriptedEnv{now: 1_000_000}
+		m := member.New(self, params, member.Config{Hooks: member.Hooks{
+			StateChange: func(from, to member.State, _ model.Time) {
+				seen[transition{from, to}]++
+			},
+		}}, env, newBroadcast(self, params))
+		m.Start()
+		g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3, 4})
+		l := oal.NewList()
+		l.AppendMembership(g)
+		m.OnMessage(&wire.Decision{
+			Header: wire.Header{From: 0, SendTS: env.now},
+			Group:  g, OAL: *l, Alive: g.Members,
+		})
+		return m, env
+	}
+	timeout := func(m *member.Machine, env *scriptedEnv) {
+		_, deadline, _ := m.Detector().Expected()
+		env.now = deadline.Add(2)
+		m.OnTimer(member.TimerExpect)
+	}
+
+	// FF -> NF: reconfiguration from the expected sender.
+	m, env := boot(3)
+	env.now += 1000
+	m.OnMessage(&wire.Reconfig{
+		Header:       wire.Header{From: 1, SendTS: env.now},
+		ReconfigList: []model.ProcessID{1},
+		GroupSeq:     1,
+	})
+
+	// 1FS -> NF: the ND sender's ring stalls.
+	m, env = boot(2) // successor of expected sender p1
+	timeout(m, env)  // sends ND, 1FS
+	timeout(m, env)  // ring stalls -> NF
+
+	// WS -> NF: masking stalls.
+	m, env = boot(3)
+	env.now += 1000
+	m.OnMessage(&wire.NoDecision{
+		Header:   wire.Header{From: 1, SendTS: env.now},
+		Suspect:  0,
+		GroupSeq: 1,
+	})
+	timeout(m, env)
+	return seen
+}
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz dot")
+	flag.Parse()
+
+	seen := exercise()
+
+	if *dot {
+		fmt.Println("digraph timewheel_group_creator {")
+		fmt.Println("  rankdir=LR;")
+		fmt.Println("  start [shape=point];")
+		fmt.Printf("  start -> %q;\n", member.StateJoin)
+		for _, f := range figure2 {
+			style := "solid"
+			if seen[f.t] == 0 {
+				style = "dashed"
+			}
+			fmt.Printf("  %q -> %q [label=%q, style=%s];\n", f.t.from, f.t.to, f.label, style)
+		}
+		fmt.Println("}")
+		return
+	}
+
+	fmt.Println("Group creator state transition diagram (paper Figure 2)")
+	fmt.Println()
+	fmt.Printf("%-20s %-20s %8s  %s\n", "FROM", "TO", "COUNT", "LABEL")
+	missing := 0
+	for _, f := range figure2 {
+		count := seen[f.t]
+		mark := ""
+		if count == 0 {
+			mark = "  <-- NOT EXERCISED"
+			missing++
+		}
+		fmt.Printf("%-20s %-20s %8d  %s%s\n", f.t.from, f.t.to, count, f.label, mark)
+	}
+
+	// Transitions taken that the figure does not label (should be none).
+	var extra []transition
+	known := make(map[transition]bool)
+	for _, f := range figure2 {
+		known[f.t] = true
+	}
+	for t := range seen {
+		if !known[t] {
+			extra = append(extra, t)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool {
+		if extra[i].from != extra[j].from {
+			return extra[i].from < extra[j].from
+		}
+		return extra[i].to < extra[j].to
+	})
+	if len(extra) > 0 {
+		fmt.Println("\ntransitions outside Figure 2:")
+		for _, t := range extra {
+			fmt.Printf("  %v -> %v (%d times)\n", t.from, t.to, seen[t])
+		}
+	}
+	fmt.Printf("\ncoverage: %d/%d labelled transitions exercised\n", len(figure2)-missing, len(figure2))
+	if missing > 0 {
+		os.Exit(1)
+	}
+}

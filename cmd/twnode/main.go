@@ -1,0 +1,85 @@
+// Command twnode runs one live timewheel node over UDP — the deployment
+// shape of the paper's implementation (§5: Unix workstations exchanging
+// UDP datagrams). Start N of them (one per terminal or host), watch the
+// group form, and type lines to broadcast them with total order and
+// strong atomicity.
+//
+// Usage (three nodes on localhost):
+//
+//	twnode -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+//	twnode -id 1 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+//	twnode -id 2 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"timewheel"
+)
+
+func main() {
+	var (
+		id    = flag.Int("id", 0, "this node's ID (index into -peers)")
+		peers = flag.String("peers", "127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002",
+			"comma-separated host:port list, one per node, in ID order")
+		delta = flag.Duration("delta", 10*time.Millisecond, "one-way timeout delay")
+		dd    = flag.Duration("D", 20*time.Millisecond, "max decider interval")
+	)
+	flag.Parse()
+
+	list := strings.Split(*peers, ",")
+	addrs := make(map[int]string, len(list))
+	for i, a := range list {
+		addrs[i] = strings.TrimSpace(a)
+	}
+	if *id < 0 || *id >= len(list) {
+		fmt.Fprintf(os.Stderr, "id %d out of range for %d peers\n", *id, len(list))
+		os.Exit(2)
+	}
+
+	tr, err := timewheel.NewUDPTransport(*id, addrs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "transport: %v\n", err)
+		os.Exit(1)
+	}
+	node, err := timewheel.NewNode(timewheel.Config{
+		ID:          *id,
+		ClusterSize: len(list),
+		Transport:   tr,
+		Params:      timewheel.Params{Delta: *delta, D: *dd},
+		OnDeliver: func(d timewheel.Delivery) {
+			fmt.Printf("[deliver] o%-4d from p%d: %s\n", d.Ordinal, d.Proposer, d.Payload)
+		},
+		OnViewChange: func(v timewheel.View) {
+			fmt.Printf("[view]    g%d %v\n", v.Seq, v.Members)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "node: %v\n", err)
+		os.Exit(1)
+	}
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("node p%d up at %s — type lines to broadcast, 'status' for state, ctrl-D to quit\n",
+		*id, addrs[*id])
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+		case "status":
+			v, ok := node.CurrentView()
+			fmt.Printf("[status]  state=%s view=g%d %v (member=%v)\n", node.StateName(), v.Seq, v.Members, ok)
+		default:
+			if err := node.Propose([]byte(line), timewheel.TotalOrder, timewheel.Strong); err != nil {
+				fmt.Printf("[error]   %v\n", err)
+			}
+		}
+	}
+}

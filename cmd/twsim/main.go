@@ -1,0 +1,149 @@
+// Command twsim runs a named timewheel protocol scenario on the
+// deterministic simulator and prints its metrics, the membership
+// timeline, and the protocol invariant report.
+//
+// Usage:
+//
+//	twsim -scenario single-crash -n 5 -seed 1
+//	twsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"timewheel/internal/check"
+	"timewheel/internal/oal"
+	"timewheel/internal/scenario"
+	"timewheel/internal/trace"
+)
+
+type runner func(n int, seed int64) *scenario.Result
+
+var scenarios = map[string]struct {
+	desc string
+	run  runner
+}{
+	"failure-free": {
+		"formed group runs with zero membership messages",
+		func(n int, seed int64) *scenario.Result { return scenario.FailureFree(n, seed, 20) },
+	},
+	"single-crash": {
+		"decider crashes; single-failure election recovers",
+		scenario.SingleCrash,
+	},
+	"false-suspicion": {
+		"a decision is lost; wrong-suspicion masks the false alarm",
+		scenario.FalseSuspicion,
+	},
+	"multi-crash": {
+		"two simultaneous crashes; reconfiguration election recovers",
+		func(n int, seed int64) *scenario.Result { return scenario.MultiCrash(n, 2, seed) },
+	},
+	"rejoin": {
+		"a crashed member recovers and is readmitted with state transfer",
+		scenario.Rejoin,
+	},
+	"partition": {
+		"majority/minority split, then healing",
+		scenario.Partition,
+	},
+	"workload": {
+		"total-order/strong-atomicity broadcast load on a stable group",
+		func(n int, seed int64) *scenario.Result {
+			return scenario.Workload(n, seed, oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}, 50)
+		},
+	},
+	"slow-member": {
+		"one member suffers chronic performance failures (3x delta lag)",
+		scenario.SlowMember,
+	},
+	"chaos": {
+		"randomized crashes, recoveries, partitions and proposals",
+		func(n int, seed int64) *scenario.Result { return scenario.Chaos(scenario.DefaultChaos(n, seed)) },
+	},
+}
+
+func main() {
+	var (
+		name    = flag.String("scenario", "single-crash", "scenario to run (see -list)")
+		n       = flag.Int("n", 5, "team size N")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list scenarios and exit")
+		quiet   = flag.Bool("quiet", false, "suppress the timeline")
+		jsonOut = flag.Bool("json", false, "emit the timeline as JSON lines")
+		script  = flag.String("script", "", "run a fault-schedule script file instead of a named scenario")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(scenarios))
+		for k := range scenarios {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("%-16s %s\n", k, scenarios[k].desc)
+		}
+		return
+	}
+
+	var r *scenario.Result
+	if *script != "" {
+		text, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read script: %v\n", err)
+			os.Exit(2)
+		}
+		parsed, err := scenario.ParseScript(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse script: %v\n", err)
+			os.Exit(2)
+		}
+		r = parsed.Run(*n, *seed)
+	} else {
+		sc, ok := scenarios[*name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (use -list)\n", *name)
+			os.Exit(2)
+		}
+		r = sc.run(*n, *seed)
+	}
+	fmt.Printf("scenario: %s\n", r.Name)
+	if r.Failed != "" {
+		fmt.Printf("FAILED: %s\n", r.Failed)
+	}
+	fmt.Println("metrics:")
+	for _, k := range r.MetricNames() {
+		fmt.Printf("  %-24s %12.1f\n", k, r.Metrics[k])
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, e := range trace.Collect(r.Cluster, trace.Options{}) {
+			enc.Encode(map[string]any{ //nolint:errcheck
+				"at_us": int64(e.At),
+				"node":  int(e.Node),
+				"kind":  e.Kind.String(),
+				"text":  e.Text,
+			})
+		}
+	} else if !*quiet {
+		events := trace.Collect(r.Cluster, trace.Options{
+			Kinds: []trace.Kind{trace.KindState, trace.KindView, trace.KindFault},
+		})
+		fmt.Println("protocol timeline:")
+		trace.Render(os.Stdout, events) //nolint:errcheck
+		fmt.Println("event summary (including deliveries and decider tenures):")
+		fmt.Print(trace.Summary(trace.Collect(r.Cluster, trace.Options{})))
+	}
+
+	res := check.All(r.Cluster)
+	fmt.Printf("invariants: %s\n", res)
+	if r.Failed != "" || !res.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+package timewheel_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"timewheel"
+)
+
+// Example_cluster boots a three-node in-memory cluster, waits for the
+// membership view to form, broadcasts one totally ordered update and
+// prints each node's delivery.
+func Example_cluster() {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{MaxDelay: 500 * time.Microsecond, Seed: 1})
+	defer hub.Close()
+
+	var mu sync.Mutex
+	var delivered []string
+	nodes := make([]*timewheel.Node, 3)
+	for i := range nodes {
+		i := i
+		n, err := timewheel.NewNode(timewheel.Config{
+			ID:          i,
+			ClusterSize: 3,
+			Transport:   hub.Transport(i),
+			Params: timewheel.Params{
+				Delta: 4 * time.Millisecond,
+				D:     8 * time.Millisecond,
+			},
+			OnDeliver: func(d timewheel.Delivery) {
+				mu.Lock()
+				delivered = append(delivered, fmt.Sprintf("node %d got %q from node %d", i, d.Payload, d.Proposer))
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		nodes[i] = n
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	// Wait until every node holds the full view, then broadcast.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		formed := true
+		for _, n := range nodes {
+			if v, ok := n.CurrentView(); !ok || len(v.Members) != 3 {
+				formed = false
+			}
+		}
+		if formed {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("formation timeout")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A propose can race a transient view change (ErrNotMember): retry.
+	for {
+		err := nodes[1].Propose([]byte("hello"), timewheel.TotalOrder, timewheel.Strong)
+		if err == nil {
+			break
+		}
+		if err != timewheel.ErrNotMember || time.Now().After(deadline) {
+			fmt.Println("propose:", err)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		mu.Lock()
+		n := len(delivered)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("delivery timeout")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	sort.Strings(delivered)
+	for _, d := range delivered {
+		fmt.Println(d)
+	}
+	mu.Unlock()
+
+	// Output:
+	// node 0 got "hello" from node 1
+	// node 1 got "hello" from node 1
+	// node 2 got "hello" from node 1
+}

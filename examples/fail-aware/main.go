@@ -1,0 +1,141 @@
+// Fail-aware client: the two self-knowledge guarantees the timed
+// asynchronous model gives applications, exercised on a live in-memory
+// cluster:
+//
+//  1. UpToDate — a node always knows whether its membership view is
+//     current (paper §3). We watch it flip to false on the minority side
+//     of a "partition" (simulated here by stopping a majority) and back
+//     to true after recovery... since the memory hub has no partition
+//     control, we demonstrate with a node that is stopped and replaced.
+//
+//  2. Termination — the broadcast's termination semantic: a proposer
+//     learns, within a bounded window, whether each of its updates was
+//     delivered or abandoned.
+//
+//     go run ./examples/fail-aware
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"timewheel"
+)
+
+func main() {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{MaxDelay: time.Millisecond, Seed: 3})
+	defer hub.Close()
+
+	var mu sync.Mutex
+	outcomes := make(map[uint64]bool)
+	nodes := make([]*timewheel.Node, 3)
+	for i := range nodes {
+		i := i
+		cfg := timewheel.Config{
+			ID:          i,
+			ClusterSize: 3,
+			Transport:   hub.Transport(i),
+		}
+		if i == 0 {
+			cfg.Termination = 2 * time.Second
+			cfg.OnOutcome = func(o timewheel.Outcome) {
+				mu.Lock()
+				outcomes[o.Seq] = o.Delivered
+				mu.Unlock()
+			}
+		}
+		n, err := timewheel.NewNode(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = n
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Stop()
+			}
+		}
+	}()
+
+	waitFor(func() bool {
+		v, ok := nodes[0].CurrentView()
+		return ok && len(v.Members) == 3
+	}, "formation")
+	fmt.Println("group formed; UpToDate(p0) =", nodes[0].UpToDate())
+
+	// A delivered update produces a positive outcome.
+	if err := nodes[0].Propose([]byte("will-deliver"), timewheel.TotalOrder, timewheel.Strong); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(outcomes) == 1
+	}, "first outcome")
+	mu.Lock()
+	fmt.Println("outcome for update 1: delivered =", anyValue(outcomes))
+	mu.Unlock()
+
+	// Stop the other two nodes: p0 is alone, below majority. Its view
+	// goes stale and it KNOWS it (fail-awareness); a new proposal's
+	// termination window expires undelivered.
+	fmt.Println("\nstopping p1 and p2 ...")
+	nodes[1].Stop()
+	nodes[2].Stop()
+	nodes[1], nodes[2] = nil, nil
+
+	waitFor(func() bool { return !nodes[0].UpToDate() }, "fail-awareness")
+	fmt.Println("UpToDate(p0) =", nodes[0].UpToDate(), " (p0 knows its view is stale)")
+	fmt.Println("state(p0)    =", nodes[0].StateName())
+
+	err := nodes[0].Propose([]byte("will-abandon"), timewheel.TotalOrder, timewheel.Strong)
+	switch err {
+	case nil:
+		// Proposed before the view collapsed: the termination window
+		// reports the abandonment.
+		waitFor(func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(outcomes) == 2
+		}, "second outcome")
+		mu.Lock()
+		fmt.Println("outcome for update 2: delivered =", outcomes[maxKey(outcomes)])
+		mu.Unlock()
+	case timewheel.ErrNotMember:
+		fmt.Println("propose rejected immediately:", err)
+	default:
+		log.Fatal(err)
+	}
+	fmt.Println("\ndone.")
+}
+
+func waitFor(cond func() bool, what string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func anyValue(m map[uint64]bool) bool {
+	for _, v := range m {
+		return v
+	}
+	return false
+}
+
+func maxKey(m map[uint64]bool) uint64 {
+	var best uint64
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}

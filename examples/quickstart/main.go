@@ -1,0 +1,101 @@
+// Quickstart: a five-node in-memory timewheel cluster. Watch the group
+// form through the time-slotted join protocol, broadcast a few totally
+// ordered updates, crash one node, and watch the single-failure election
+// install the shrunk view without interrupting the service.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"timewheel"
+)
+
+const n = 5
+
+func main() {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{
+		MaxDelay: 2 * time.Millisecond, // an in-process "LAN"
+		Seed:     1,
+	})
+	defer hub.Close()
+
+	var mu sync.Mutex
+	nodes := make([]*timewheel.Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		node, err := timewheel.NewNode(timewheel.Config{
+			ID:          i,
+			ClusterSize: n,
+			Transport:   hub.Transport(i),
+			OnDeliver: func(d timewheel.Delivery) {
+				mu.Lock()
+				fmt.Printf("  p%d delivered o%-3d %q (from p%d)\n", i, d.Ordinal, d.Payload, d.Proposer)
+				mu.Unlock()
+			},
+			OnViewChange: func(v timewheel.View) {
+				mu.Lock()
+				fmt.Printf("  p%d installed view g%d %v\n", i, v.Seq, v.Members)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = node
+		node.Start()
+	}
+
+	fmt.Println("== forming the initial group (time-slotted join protocol) ...")
+	waitForView(nodes[:n], n)
+
+	fmt.Println("\n== broadcasting three totally ordered updates ...")
+	for k, payload := range []string{"alpha", "beta", "gamma"} {
+		if err := nodes[k%n].Propose([]byte(payload), timewheel.TotalOrder, timewheel.Strong); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(800 * time.Millisecond)
+
+	fmt.Println("\n== crashing p4 (the membership protocol detects the silent decider slot) ...")
+	nodes[4].Stop()
+	waitForView(nodes[:4], n-1)
+
+	fmt.Println("\n== service continues in the shrunk group ...")
+	if err := nodes[0].Propose([]byte("delta"), timewheel.TotalOrder, timewheel.Strong); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(800 * time.Millisecond)
+
+	for _, node := range nodes[:4] {
+		node.Stop()
+	}
+	fmt.Println("\ndone.")
+}
+
+// waitForView blocks until every listed node reports a view of the given
+// size.
+func waitForView(nodes []*timewheel.Node, size int) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := true
+		for _, node := range nodes {
+			v, have := node.CurrentView()
+			if !have || len(v.Members) != size {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("view never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,98 @@
+// UDP cluster: the same public API as the quickstart, but over real UDP
+// sockets on localhost — the paper's deployment shape (Unix UDP
+// datagrams). Three nodes run inside this one process purely for
+// convenience; point the address list at three hosts and run one node
+// per machine for a real deployment (see also cmd/twnode).
+//
+//	go run ./examples/udp-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"timewheel"
+)
+
+func main() {
+	addrs := map[int]string{
+		0: "127.0.0.1:19780",
+		1: "127.0.0.1:19781",
+		2: "127.0.0.1:19782",
+	}
+
+	var mu sync.Mutex
+	say := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Printf(format+"\n", args...)
+		mu.Unlock()
+	}
+
+	nodes := make([]*timewheel.Node, len(addrs))
+	for i := range nodes {
+		i := i
+		tr, err := timewheel.NewUDPTransport(i, addrs)
+		if err != nil {
+			log.Fatalf("udp transport %d: %v", i, err)
+		}
+		nodes[i], err = timewheel.NewNode(timewheel.Config{
+			ID:          i,
+			ClusterSize: len(addrs),
+			Transport:   tr,
+			OnDeliver: func(d timewheel.Delivery) {
+				say("  p%d <- o%-3d %q (from p%d, %v/%v)", i, d.Ordinal, d.Payload, d.Proposer, d.Order, d.Atomicity)
+			},
+			OnViewChange: func(v timewheel.View) {
+				say("  p%d view g%d %v", i, v.Seq, v.Members)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i].Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	say("== waiting for the group over UDP ...")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		formed := true
+		for _, n := range nodes {
+			if v, ok := n.CurrentView(); !ok || len(v.Members) != len(addrs) {
+				formed = false
+			}
+		}
+		if formed {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("group never formed — are the ports free?")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	say("\n== one update per semantics class ...")
+	type trial struct {
+		o timewheel.Order
+		a timewheel.Atomicity
+		p string
+	}
+	for k, tr := range []trial{
+		{timewheel.Unordered, timewheel.Weak, "fire-and-forget"},
+		{timewheel.TotalOrder, timewheel.Strong, "ordered-majority"},
+		{timewheel.TotalOrder, timewheel.Strict, "ordered-everyone"},
+		{timewheel.TimeOrder, timewheel.Weak, "timestamped"},
+	} {
+		if err := nodes[k%len(nodes)].Propose([]byte(tr.p), tr.o, tr.a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(2 * time.Second)
+	say("\ndone.")
+}

@@ -1,0 +1,3 @@
+module timewheel
+
+go 1.23

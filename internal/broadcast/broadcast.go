@@ -1,0 +1,545 @@
+// Package broadcast implements the timewheel atomic broadcast protocol
+// (Mishra, Fetzer & Cristian 1997), the layer above the membership
+// service in the timewheel stack.
+//
+// Any member may broadcast an update at any time by sending a proposal
+// message. A rotating decider periodically sends decision messages whose
+// ordering-and-acknowledgement list (oal) assigns unique ordinals to
+// updates and membership changes, establishes stability, and detects
+// message losses. The service offers three ordering semantics (unordered,
+// total, time) and three atomicity semantics (weak, strong, strict),
+// selectable per proposal.
+//
+// Delivery conditions implemented here (the paper's "atomicity, order,
+// and general" conditions, concretised):
+//
+//   - weak atomicity + unordered: deliver on receipt. These are the only
+//     updates that can be delivered before an ordinal is assigned; they
+//     populate the dpd (delivered proposal descriptors) field used at
+//     view changes.
+//   - weak atomicity + total/time order: deliver once ordered, in order.
+//   - strong atomicity: deliver only after the update and every update it
+//     may depend on (ordinal <= hdo) is acknowledged by a majority.
+//   - strict atomicity: as strong, with acknowledgement by all members.
+//   - total order: ordinal order among total-ordered updates. Deciders
+//     assign ordinals per proposer in contiguous sequence order, so
+//     ordinal order preserves per-sender FIFO.
+//   - time order: synchronized-send-timestamp order among time-ordered
+//     updates, releasable once a decision with send timestamp at least
+//     delta+epsilon newer exists (any timely proposal sent earlier would
+//     already have been ordered).
+//
+// Acknowledgements propagate through decider rotation: each member stamps
+// its own ack bits into the oal when it holds the decider role, so after
+// one full rotation every member's receipts are visible to all.
+package broadcast
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// Delivery is one update handed to the application.
+type Delivery struct {
+	ID      oal.ProposalID
+	Payload []byte
+	// Ordinal is the update's unique number, or oal.None when the update
+	// was delivered before ordering (weak/unordered fast path).
+	Ordinal oal.Ordinal
+	Sem     oal.Semantics
+	SendTS  model.Time
+}
+
+// Outcome reports the fate of a locally proposed update — the timewheel
+// broadcast's termination semantic: the proposer learns, within a
+// bounded time, whether its update was delivered here or abandoned
+// (e.g. purged at a view change, or still undeliverable when the
+// termination window closed).
+type Outcome struct {
+	ID        oal.ProposalID
+	Delivered bool
+	At        model.Time
+}
+
+// Config wires the broadcast service to its application.
+type Config struct {
+	// OnDeliver receives updates satisfying their delivery conditions.
+	OnDeliver func(Delivery)
+	// Snapshot returns the application state for join-time transfer.
+	Snapshot func() []byte
+	// Install replaces the application state from a transferred
+	// snapshot.
+	Install func([]byte)
+	// TerminationAfter arms the termination semantic when positive:
+	// OnOutcome fires exactly once per local proposal — on local
+	// delivery, or when the window expires undelivered.
+	TerminationAfter model.Duration
+	// OnOutcome receives termination reports.
+	OnOutcome func(Outcome)
+}
+
+// Stats counts broadcast-layer activity.
+type Stats struct {
+	Proposed      uint64
+	Delivered     uint64
+	DeliveredFast uint64 // weak/unordered pre-ordinal deliveries
+	Purged        uint64 // updates marked undeliverable locally
+	NacksNeeded   uint64
+	Retransmits   uint64
+}
+
+// Broadcast is one member's broadcast-protocol state. Not safe for
+// concurrent use; drive it from the owning node's event loop.
+type Broadcast struct {
+	self   model.ProcessID
+	params model.Params
+	cfg    Config
+
+	group model.Group
+
+	// view is this process's current view of the oal, derived from the
+	// freshest decision seen plus locally updated ack bits.
+	view      *oal.List
+	lastDecTS model.Time
+
+	// pb is the proposal buffer: bodies received, keyed by ID.
+	pb map[oal.ProposalID]*wire.Proposal
+
+	// delivered marks updates handed to the application.
+	delivered map[oal.ProposalID]bool
+	// dpd lists updates delivered before receiving an ordinal.
+	dpd []oal.ProposalID
+
+	// orderedSeq tracks, per proposer, the highest sequence number that
+	// has been assigned an ordinal; deciders only order contiguous
+	// sequences so ordinal order preserves per-sender FIFO.
+	orderedSeq map[model.ProcessID]uint64
+
+	// nextSeq numbers this process's own proposals. It is seeded from
+	// the synchronized clock at start (member.Machine does so) so that a
+	// crash-recovered or rejoined process — which loses all volatile
+	// state — can never reuse a sequence number from an earlier life.
+	nextSeq uint64
+
+	// gapSince tracks, per proposer, when a decider first saw that
+	// proposer's smallest pending sequence blocked by a gap. After one
+	// cycle the gap is declared abandoned and ordering jumps past it
+	// (the missing updates can no longer be delivered FIFO-consistently
+	// and are rejected as stale everywhere).
+	gapSince map[model.ProcessID]model.Time
+
+	// snapshotCovered is the highest ordinal a join-time snapshot
+	// covers at this member: updates at or below it are already
+	// reflected in the installed application state and must never be
+	// re-delivered, even from a less-truncated oal adopted later.
+	snapshotCovered oal.Ordinal
+
+	// maxSettledTimeTS is the largest send timestamp of any time-ordered
+	// update that has become deliverable (its settle window passed while
+	// it was ordered). A time-ordered proposal ordered later with an
+	// older timestamp is a straggler — delivering it would invert time
+	// order — so deciders mark it undeliverable at ordering time.
+	maxSettledTimeTS model.Time
+
+	// suppressUntil implements the §4.3 election-time undeliverable
+	// marks: proposals from a sender p has asked to remove are neither
+	// delivered nor acknowledged until the mark expires (one cycle).
+	suppressUntil map[model.ProcessID]model.Time
+
+	// nackAt rate-limits retransmission requests per proposal.
+	nackAt map[oal.ProposalID]model.Time
+
+	// termination tracks the deadline of each own undetermined proposal.
+	termination map[oal.ProposalID]model.Time
+
+	stats Stats
+}
+
+// New creates the broadcast state for process self.
+func New(self model.ProcessID, params model.Params, cfg Config) *Broadcast {
+	if cfg.OnDeliver == nil {
+		cfg.OnDeliver = func(Delivery) {}
+	}
+	if cfg.Snapshot == nil {
+		cfg.Snapshot = func() []byte { return nil }
+	}
+	if cfg.Install == nil {
+		cfg.Install = func([]byte) {}
+	}
+	return &Broadcast{
+		self:          self,
+		params:        params,
+		cfg:           cfg,
+		view:          oal.NewList(),
+		pb:            make(map[oal.ProposalID]*wire.Proposal),
+		delivered:     make(map[oal.ProposalID]bool),
+		orderedSeq:    make(map[model.ProcessID]uint64),
+		suppressUntil: make(map[model.ProcessID]model.Time),
+		nackAt:        make(map[oal.ProposalID]model.Time),
+		termination:   make(map[oal.ProposalID]model.Time),
+		gapSince:      make(map[model.ProcessID]model.Time),
+	}
+}
+
+// SeedSeq raises the own-proposal sequence floor; callers pass the
+// synchronized clock (microseconds), which is strictly larger than any
+// value an earlier incarnation of this process can have used.
+func (b *Broadcast) SeedSeq(v uint64) {
+	if v > b.nextSeq {
+		b.nextSeq = v
+	}
+}
+
+// DropPendingFrom discards unordered pending bodies from the given
+// departed proposers (§4.3: proposals of removed members that were never
+// ordered are purged — at every member, so no later decider resurrects
+// them with a stale ordering).
+func (b *Broadcast) DropPendingFrom(departed []model.ProcessID) {
+	dep := model.NewProcessSet(departed...)
+	for id := range b.pb {
+		if dep.Has(id.Proposer) && b.view.Find(id) == nil && !b.delivered[id] {
+			delete(b.pb, id)
+			b.stats.Purged++
+		}
+	}
+}
+
+// Reset clears all log, buffer and delivery state, as when an excluded
+// process restarts the join protocol: its history may have diverged from
+// the majority's, and the join-time state transfer re-establishes it.
+// Configuration and identity are retained. Undetermined local proposals
+// are reported abandoned — their fate in the majority's history is
+// unknowable from here, which is exactly what the termination semantic
+// exists to surface.
+func (b *Broadcast) Reset() {
+	pending := make([]oal.ProposalID, 0, len(b.termination))
+	for id := range b.termination {
+		pending = append(pending, id)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+	cfg := b.cfg
+	fresh := New(b.self, b.params, cfg)
+	*b = *fresh
+	if cfg.OnOutcome != nil {
+		for _, id := range pending {
+			cfg.OnOutcome(Outcome{ID: id, Delivered: false})
+		}
+	}
+}
+
+// Group returns the current group as known to the broadcast layer.
+func (b *Broadcast) Group() model.Group { return b.group }
+
+// SetGroup installs the membership view the delivery conditions evaluate
+// against (majority/all-ack checks).
+func (b *Broadcast) SetGroup(g model.Group) { b.group = g.Clone() }
+
+// LastDecisionTS returns the send timestamp of the freshest decision this
+// process has seen (or sent).
+func (b *Broadcast) LastDecisionTS() model.Time { return b.lastDecTS }
+
+// Stats returns a copy of the layer's counters.
+func (b *Broadcast) Stats() Stats { return b.stats }
+
+// Delivered reports whether the update with the given ID was handed to
+// the application.
+func (b *Broadcast) Delivered(id oal.ProposalID) bool { return b.delivered[id] }
+
+// HighestOrdinal returns the highest ordinal in this process's view.
+func (b *Broadcast) HighestOrdinal() oal.Ordinal { return b.view.HighestOrdinal() }
+
+// UndeliverableIDs returns the proposal IDs currently marked
+// undeliverable in this process's view (§4.3 purge marks).
+func (b *Broadcast) UndeliverableIDs() []oal.ProposalID {
+	var out []oal.ProposalID
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind == oal.UpdateDesc && d.Undeliverable {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// CurrentView returns this process's view of the oal: the freshest
+// decision's oal with the process's own acknowledgment bits applied
+// (paper §4.3: "p uses this oal from m and updates the acknowledgment
+// bits"). The returned list is a deep copy.
+func (b *Broadcast) CurrentView() *oal.List {
+	b.refreshOwnAcks()
+	return b.view.Clone()
+}
+
+// DPD returns the delivered proposal descriptors: updates this process
+// has delivered that still have no ordinal (paper §4.3 field dpd).
+func (b *Broadcast) DPD() []oal.ProposalID {
+	b.compactDPD()
+	return slices.Clone(b.dpd)
+}
+
+// refreshOwnAcks stamps this process's ack bit on every descriptor whose
+// body it holds, unless the proposal is suppressed.
+func (b *Broadcast) refreshOwnAcks() {
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind != oal.UpdateDesc {
+			continue
+		}
+		if _, ok := b.pb[d.ID]; ok && !d.Undeliverable {
+			d.Acks.Add(b.self)
+		}
+	}
+}
+
+// compactDPD drops dpd entries that have since been ordered or purged.
+func (b *Broadcast) compactDPD() {
+	out := b.dpd[:0]
+	for _, id := range b.dpd {
+		if d := b.view.Find(id); d != nil {
+			continue // ordered: no longer "undefined ordinal"
+		}
+		out = append(out, id)
+	}
+	b.dpd = out
+}
+
+// Propose creates, registers and returns a proposal for payload with the
+// given semantics, stamped with send timestamp now (the caller's
+// synchronized clock, monotonic per process). The caller broadcasts the
+// returned message; the local copy is processed immediately (the network
+// does not loop back).
+func (b *Broadcast) Propose(now model.Time, payload []byte, sem oal.Semantics) *wire.Proposal {
+	b.nextSeq++
+	p := &wire.Proposal{
+		Header:  wire.Header{From: b.self, SendTS: now},
+		ID:      oal.ProposalID{Proposer: b.self, Seq: b.nextSeq},
+		Sem:     sem,
+		HDO:     b.view.HighestOrdinal(),
+		Payload: slices.Clone(payload),
+	}
+	b.stats.Proposed++
+	if b.cfg.TerminationAfter > 0 && b.cfg.OnOutcome != nil {
+		b.termination[p.ID] = now.Add(b.cfg.TerminationAfter)
+	}
+	b.OnProposal(now, p)
+	return p
+}
+
+// CheckTermination sweeps the termination windows of this process's own
+// proposals at synchronized time now, reporting any that expired
+// undelivered. Drivers call it periodically (the member machine does so
+// on every slot tick); delivery reports fire immediately from the
+// delivery path.
+func (b *Broadcast) CheckTermination(now model.Time) {
+	for id, deadline := range b.termination {
+		if b.delivered[id] {
+			// Delivered: the delivery path already reported.
+			delete(b.termination, id)
+			continue
+		}
+		if now > deadline {
+			delete(b.termination, id)
+			b.cfg.OnOutcome(Outcome{ID: id, Delivered: false, At: now})
+		}
+	}
+}
+
+// OnProposal ingests a proposal body (remote or local).
+func (b *Broadcast) OnProposal(now model.Time, p *wire.Proposal) {
+	if _, dup := b.pb[p.ID]; dup {
+		// Duplicates carry no new information, but a delivery retry is
+		// cheap and covers conditions that became true since (e.g. an
+		// expired suppression mark).
+		b.tryDeliver(now)
+		return
+	}
+	if p.ID.Seq <= b.orderedSeq[p.ID.Proposer] && b.view.Find(p.ID) == nil {
+		// Stale: ordering for this proposer has moved past the body's
+		// sequence (the gap was declared abandoned). Delivering it now
+		// would invert FIFO; every member rejects it identically.
+		return
+	}
+	cp := *p
+	cp.Payload = slices.Clone(p.Payload)
+	b.pb[p.ID] = &cp
+	delete(b.nackAt, p.ID)
+	if p.ID.Proposer == b.self && p.ID.Seq > b.nextSeq {
+		// Seeing our own pre-crash proposals after a rejoin: never
+		// reuse their sequence numbers.
+		b.nextSeq = p.ID.Seq
+	}
+
+	if d := b.view.Find(p.ID); d != nil && !b.senderSuppressed(p.ID.Proposer, now) {
+		d.Acks.Add(b.self)
+	}
+	b.tryDeliver(now)
+}
+
+// senderSuppressed reports whether proposals from q are currently under
+// an election-time undeliverable mark.
+func (b *Broadcast) senderSuppressed(q model.ProcessID, now model.Time) bool {
+	until, ok := b.suppressUntil[q]
+	if !ok {
+		return false
+	}
+	if now >= until {
+		delete(b.suppressUntil, q)
+		return false
+	}
+	return true
+}
+
+// SuppressSender installs an election-time undeliverable mark on sender
+// q: proposals from q that this process has not yet received — including
+// ones arriving later — are neither delivered nor acknowledged until the
+// mark expires one cycle later (§4.3). It is called when this process
+// sends a no-decision or reconfiguration message requesting q's removal.
+func (b *Broadcast) SuppressSender(q model.ProcessID, now model.Time) {
+	b.suppressUntil[q] = now.Add(b.params.CycleLen())
+	b.stats.Purged++
+}
+
+// AdoptDecision ingests a decision message. It returns whether the
+// decision was fresh (newer than anything seen), and the IDs of ordered
+// updates whose bodies this process is missing and should request via a
+// nack (rate-limited to one request per proposal per D).
+func (b *Broadcast) AdoptDecision(now model.Time, dec *wire.Decision) (adopted bool, missing []oal.ProposalID) {
+	if dec.SendTS <= b.lastDecTS {
+		return false, nil
+	}
+	if dec.OAL.Next < b.view.Next {
+		// The decision's log is shorter than ours: adopting it would
+		// regress ordinals. Only a stale decider produces this.
+		return false, nil
+	}
+	b.deliverTruncated(now, &dec.OAL)
+	b.lastDecTS = dec.SendTS
+	b.view = dec.OAL.Clone()
+	b.refreshOwnAcks()
+	b.syncOrderedSeq()
+
+	// Purge bodies of updates the decider marked undeliverable, and make
+	// sure they are never delivered.
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind == oal.UpdateDesc && d.Undeliverable {
+			if !b.delivered[d.ID] {
+				if _, had := b.pb[d.ID]; had {
+					b.stats.Purged++
+				}
+			}
+			delete(b.pb, d.ID)
+		}
+	}
+	b.compactDPD()
+
+	// Detect losses: ordered updates whose bodies we lack.
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind != oal.UpdateDesc || d.Undeliverable || b.delivered[d.ID] {
+			continue
+		}
+		if _, ok := b.pb[d.ID]; ok {
+			continue
+		}
+		if at, ok := b.nackAt[d.ID]; ok && now.Sub(at) < b.params.D {
+			continue
+		}
+		b.nackAt[d.ID] = now
+		missing = append(missing, d.ID)
+	}
+	if len(missing) > 0 {
+		b.stats.NacksNeeded += uint64(len(missing))
+	}
+
+	b.tryDeliver(now)
+	return true, missing
+}
+
+// deliverTruncated delivers any update the incoming oal has truncated
+// away before this process managed to deliver it. Truncation means the
+// update was stable — fully acknowledged by the group and a full cycle
+// old — so every global delivery condition is already met; only our
+// local hand-off is outstanding, and the body is necessarily in our
+// buffer (our own acknowledgement required it and undelivered bodies are
+// never collected).
+func (b *Broadcast) deliverTruncated(now model.Time, incoming *oal.List) {
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind != oal.UpdateDesc || d.Undeliverable || b.delivered[d.ID] {
+			continue
+		}
+		if incoming.FindOrdinal(d.Ordinal) != nil || d.Ordinal > incoming.HighestOrdinal() {
+			continue // retained, or beyond the incoming log: not truncated
+		}
+		if d.Ordinal <= b.snapshotCovered {
+			// Already reflected in the join-time snapshot.
+			b.delivered[d.ID] = true
+			continue
+		}
+		if p, ok := b.pb[d.ID]; ok {
+			b.deliver(p, d.Ordinal, now)
+		}
+	}
+}
+
+// syncOrderedSeq recomputes the per-proposer highest ordered sequence
+// from the adopted view (monotonically: truncation never lowers it).
+func (b *Broadcast) syncOrderedSeq() {
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind != oal.UpdateDesc {
+			continue
+		}
+		if d.ID.Seq > b.orderedSeq[d.ID.Proposer] {
+			b.orderedSeq[d.ID.Proposer] = d.ID.Seq
+		}
+		if d.ID.Proposer == b.self && d.ID.Seq > b.nextSeq {
+			b.nextSeq = d.ID.Seq
+		}
+	}
+	// Drop pending bodies ordering has moved past: they are stale
+	// everywhere (see OnProposal).
+	for id := range b.pb {
+		if id.Seq <= b.orderedSeq[id.Proposer] && b.view.Find(id) == nil && !b.delivered[id] {
+			delete(b.pb, id)
+		}
+	}
+	b.syncSettledTimeTS()
+}
+
+// syncSettledTimeTS advances the settled time-order high-water mark from
+// the current view (monotonic: truncation never lowers it).
+func (b *Broadcast) syncSettledTimeTS() {
+	settleBound := b.lastDecTS - model.Time(b.params.Delta+b.params.Epsilon)
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind == oal.UpdateDesc && d.Sem.Order == oal.TimeOrder && !d.Undeliverable &&
+			d.SendTS <= settleBound && d.SendTS > b.maxSettledTimeTS {
+			b.maxSettledTimeTS = d.SendTS
+		}
+	}
+}
+
+// OnNack returns the proposal bodies this process holds among those
+// requested; the caller retransmits them to the requester.
+func (b *Broadcast) OnNack(n *wire.Nack) []*wire.Proposal {
+	var out []*wire.Proposal
+	for _, id := range n.Missing {
+		if p, ok := b.pb[id]; ok {
+			out = append(out, p)
+		}
+	}
+	b.stats.Retransmits += uint64(len(out))
+	return out
+}
+
+func (b *Broadcast) String() string {
+	return fmt.Sprintf("bcast(%v %v view=%d pb=%d delivered=%d)",
+		b.self, b.group, b.view.Len(), len(b.pb), len(b.delivered))
+}

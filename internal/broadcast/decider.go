@@ -1,0 +1,482 @@
+package broadcast
+
+import (
+	"slices"
+	"sort"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// BuildDecision assembles the decision message this process sends while
+// it holds the decider role: it stamps its own acknowledgements, assigns
+// ordinals to pending proposals (contiguously per proposer, in send-time
+// order), advances stability, truncates the stable prefix, and snapshots
+// the oal. It also returns the IDs of sequence-gap proposals the decider
+// is missing and should nack.
+//
+// now must exceed the previous decision's timestamp; callers stamp
+// decisions with a monotonic synchronized clock.
+func (b *Broadcast) BuildDecision(now model.Time, group model.Group, alive []model.ProcessID) (*wire.Decision, []oal.ProposalID) {
+	b.group = group.Clone()
+	b.refreshOwnAcks()
+	missing := b.assignOrdinals(now)
+	b.advanceStability(now)
+	b.truncateStable(now)
+	b.gcBodies()
+	if now <= b.lastDecTS {
+		now = b.lastDecTS + 1
+	}
+	b.lastDecTS = now
+	b.syncSettledTimeTS()
+	dec := &wire.Decision{
+		Header: wire.Header{From: b.self, SendTS: now},
+		Group:  group.Clone(),
+		OAL:    *b.view.Clone(),
+		Alive:  slices.Clone(alive),
+	}
+	b.tryDeliver(now)
+	return dec, missing
+}
+
+// assignOrdinals orders every pending proposal whose per-proposer
+// sequence is contiguous with what is already ordered, and returns the
+// IDs of gap proposals that block further ordering and must be
+// retransmitted.
+func (b *Broadcast) assignOrdinals(now model.Time) []oal.ProposalID {
+	pending := make([]*wire.Proposal, 0, len(b.pb))
+	for id, p := range b.pb {
+		if b.view.Find(id) != nil {
+			continue
+		}
+		if b.senderSuppressed(id.Proposer, now) {
+			continue
+		}
+		pending = append(pending, p)
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		a, c := pending[i], pending[j]
+		if a.SendTS != c.SendTS {
+			return a.SendTS < c.SendTS
+		}
+		if a.ID.Proposer != c.ID.Proposer {
+			return a.ID.Proposer < c.ID.Proposer
+		}
+		return a.ID.Seq < c.ID.Seq
+	})
+
+	// Per-proposer smallest pending sequence (for gap detection).
+	minPending := make(map[model.ProcessID]uint64)
+	for _, p := range pending {
+		if cur, ok := minPending[p.ID.Proposer]; !ok || p.ID.Seq < cur {
+			minPending[p.ID.Proposer] = p.ID.Seq
+		}
+	}
+
+	// Repeated passes let a chain seq, seq+1, ... from one proposer be
+	// ordered within a single decision. Ordering is contiguous per
+	// proposer; a persistent gap (missing body for longer than a cycle,
+	// e.g. after the proposer crashed and restarted with a clock-seeded
+	// sequence) is declared abandoned and ordering jumps to the smallest
+	// pending sequence — the skipped updates become stale everywhere.
+	ordered := func(p *wire.Proposal) {
+		var acks oal.AckSet
+		acks.Add(b.self)
+		ord := b.view.AppendUpdate(p.ID, p.Sem, p.SendTS, p.HDO, acks)
+		b.orderedSeq[p.ID.Proposer] = p.ID.Seq
+		delete(b.gapSince, p.ID.Proposer)
+		if p.Sem.Order == oal.TimeOrder &&
+			(p.SendTS < b.maxSettledTimeTS || now.Sub(p.SendTS) > b.params.CycleLen()) {
+			// Time-order straggler: either a later-timestamped
+			// time-ordered update already became deliverable, or the
+			// body waited longer than a full cycle to be ordered (e.g.
+			// it lingered through a crash and rejoin) — delivering it
+			// now could invert time order at members whose competing
+			// entries were already truncated. Purged uniformly, in the
+			// oal. The cycle horizon backstops the watermark, which a
+			// freshly rejoined decider may not have re-learned yet.
+			if d := b.view.FindOrdinal(ord); d != nil {
+				d.Undeliverable = true
+				d.StableTS = now
+				b.stats.Purged++
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range pending {
+			if b.view.Find(p.ID) != nil {
+				continue
+			}
+			prop := p.ID.Proposer
+			base := b.orderedSeq[prop]
+			if p.ID.Seq <= base {
+				continue // stale
+			}
+			if p.ID.Seq == base+1 {
+				ordered(p)
+				changed = true
+				continue
+			}
+			if p.ID.Seq != minPending[prop] {
+				continue // a smaller pending body must go first
+			}
+			since, started := b.gapSince[prop]
+			if !started {
+				b.gapSince[prop] = now
+				continue
+			}
+			if now.Sub(since) > b.params.CycleLen() {
+				ordered(p) // gap abandoned: jump
+				changed = true
+			}
+		}
+	}
+	b.compactDPD()
+
+	// Gap detection: a pending proposal whose predecessors are missing
+	// reveals a loss; request the missing bodies. Gaps wider than a few
+	// messages are not losses but sequence jumps (a proposer restarting
+	// with a clock-seeded sequence): nothing to retransmit — the gap
+	// timeout above will skip them.
+	const maxGapNack = 64
+	var missing []oal.ProposalID
+	for _, p := range pending {
+		if b.view.Find(p.ID) != nil {
+			continue
+		}
+		if p.ID.Seq-b.orderedSeq[p.ID.Proposer] > maxGapNack {
+			continue
+		}
+		for s := b.orderedSeq[p.ID.Proposer] + 1; s < p.ID.Seq; s++ {
+			id := oal.ProposalID{Proposer: p.ID.Proposer, Seq: s}
+			if _, have := b.pb[id]; have {
+				continue
+			}
+			if at, ok := b.nackAt[id]; ok && now.Sub(at) < b.params.D {
+				continue
+			}
+			b.nackAt[id] = now
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
+// advanceStability stamps StableTS on descriptors that have become
+// stable: updates acknowledged by every group member, purged updates,
+// and membership descriptors.
+func (b *Broadcast) advanceStability(now model.Time) {
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.StableTS != 0 {
+			continue
+		}
+		switch {
+		case d.Kind == oal.MembershipDesc:
+			d.StableTS = now
+		case d.Undeliverable:
+			d.StableTS = now
+		case d.Acks.CountIn(b.group) == b.group.Size() && b.group.Size() > 0:
+			d.StableTS = now
+		}
+	}
+}
+
+// truncateStable drops the head descriptors that have been stable for
+// more than one cycle: by then every member has held the decider role,
+// seen the stability, and delivered (or purged) the update.
+func (b *Broadcast) truncateStable(now model.Time) {
+	horizon := b.params.CycleLen()
+	b.view.TruncateStable(func(d *oal.Descriptor) bool {
+		if d.StableTS == 0 || now.Sub(d.StableTS) <= horizon {
+			return false
+		}
+		if d.Kind == oal.UpdateDesc && !d.Undeliverable && !b.delivered[d.ID] {
+			// Safety net: never truncate an update this process has not
+			// delivered itself.
+			return false
+		}
+		return true
+	})
+}
+
+// gcBodies drops proposal bodies that are no longer needed: delivered,
+// absent from the retained view, and not awaiting ordering via dpd.
+func (b *Broadcast) gcBodies() {
+	inDPD := make(map[oal.ProposalID]bool, len(b.dpd))
+	for _, id := range b.dpd {
+		inDPD[id] = true
+	}
+	for id := range b.pb {
+		if b.delivered[id] && b.view.Find(id) == nil && !inDPD[id] {
+			delete(b.pb, id)
+		}
+	}
+}
+
+// AnnounceGroup appends a membership descriptor for g to the oal and
+// installs g as the current group. Deciders call it when admitting a
+// joiner or excluding failed members; the descriptor is disseminated by
+// the next BuildDecision.
+func (b *Broadcast) AnnounceGroup(now model.Time, g model.Group) {
+	ord := b.view.AppendMembership(g)
+	if d := b.view.FindOrdinal(ord); d != nil {
+		d.StableTS = now
+	}
+	b.group = g.Clone()
+}
+
+// Report is one peer's log view received during an election, from its
+// no-decision or reconfiguration messages.
+type Report struct {
+	From model.ProcessID
+	View *oal.List
+	DPD  []oal.ProposalID
+}
+
+// Reconcile is the §4.3 view-change procedure run by a freshly elected
+// decider before it announces the new group:
+//
+//  1. adopt the longest log view among its own and the reports, and
+//     merge everyone's acknowledgement bits into it;
+//  2. append (with fresh ordinals) every update a member delivered that
+//     has no ordinal yet (the dpd mechanism), so atomicity holds;
+//  3. classify and mark undeliverable proposals — lost, orphan-order,
+//     orphan-atomicity, unknown-dependency — to a fixpoint;
+//  4. append the membership descriptor for the new group.
+//
+// departed lists the processes removed from the previous group.
+func (b *Broadcast) Reconcile(now model.Time, newGroup model.Group, departed []model.ProcessID, reports []Report) {
+	b.refreshOwnAcks()
+
+	// 1. Longest log wins; the election guarantees every other view is a
+	// prefix of it.
+	base := b.view
+	for _, r := range reports {
+		if r.View != nil && r.View.HighestOrdinal() > base.HighestOrdinal() {
+			base = r.View
+		}
+	}
+	if base != b.view {
+		b.view = base.Clone()
+		b.refreshOwnAcks()
+		b.syncOrderedSeq()
+	}
+	for _, r := range reports {
+		if r.View != nil && r.View != base {
+			b.view.MergeAcks(r.View)
+		}
+	}
+
+	// 2. Order delivered-but-unordered updates (dpd): they were already
+	// delivered by at least one member, so every member must deliver
+	// them. Such updates are weak/unordered by construction.
+	b.compactDPD()
+	type dpdEntry struct {
+		id   oal.ProposalID
+		acks oal.AckSet
+	}
+	dpdSeen := make(map[oal.ProposalID]*dpdEntry)
+	var dpdOrder []oal.ProposalID
+	note := func(id oal.ProposalID, from model.ProcessID) {
+		e, ok := dpdSeen[id]
+		if !ok {
+			e = &dpdEntry{id: id}
+			dpdSeen[id] = e
+			dpdOrder = append(dpdOrder, id)
+		}
+		e.acks.Add(from)
+	}
+	for _, id := range b.dpd {
+		note(id, b.self)
+	}
+	for _, r := range reports {
+		for _, id := range r.DPD {
+			note(id, r.From)
+		}
+	}
+	for _, id := range dpdOrder {
+		if b.view.Find(id) != nil {
+			continue
+		}
+		e := dpdSeen[id]
+		var ts model.Time
+		if body, ok := b.pb[id]; ok {
+			ts = body.SendTS
+			e.acks.Add(b.self)
+		}
+		sem := oal.Semantics{Order: oal.Unordered, Atomicity: oal.WeakAtomicity}
+		b.view.AppendUpdate(id, sem, ts, oal.None, e.acks)
+		if id.Seq > b.orderedSeq[id.Proposer] {
+			b.orderedSeq[id.Proposer] = id.Seq
+		}
+	}
+
+	// 3. Undeliverable classification to a fixpoint.
+	b.markUndeliverable(now, newGroup, departed)
+
+	// Drop unordered pending bodies from departed proposers: they were
+	// never delivered anywhere (delivered ones are covered by dpd), and
+	// with the proposer gone their sequence gaps can never be repaired.
+	dep := model.NewProcessSet(departed...)
+	for id := range b.pb {
+		if dep.Has(id.Proposer) && b.view.Find(id) == nil && !b.delivered[id] {
+			delete(b.pb, id)
+			b.stats.Purged++
+		}
+	}
+
+	// 4. Membership descriptor for the new group.
+	b.AnnounceGroup(now, newGroup)
+	b.tryDeliver(now)
+}
+
+// markUndeliverable applies the four §4.3 categories until nothing
+// changes, then purges marked bodies locally.
+func (b *Broadcast) markUndeliverable(now model.Time, newGroup model.Group, departed []model.ProcessID) {
+	dep := model.NewProcessSet(departed...)
+	known := b.view.HighestOrdinal()
+	mark := func(d *oal.Descriptor) {
+		d.Undeliverable = true
+		d.StableTS = now
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range b.view.Entries {
+			d := &b.view.Entries[i]
+			if d.Kind != oal.UpdateDesc || d.Undeliverable || b.delivered[d.ID] {
+				continue
+			}
+			switch {
+			case dep.Has(d.ID.Proposer) && d.Acks.CountIn(newGroup) == 0:
+				// Lost proposal: ordered, but no surviving member has
+				// the body.
+				mark(d)
+				changed = true
+			case (d.Sem.Order == oal.TotalOrder || d.Sem.Order == oal.TimeOrder) &&
+				b.hasUndeliverablePredecessor(d):
+				// Orphan-order: an earlier update by the same sender
+				// was purged, so FIFO forbids delivering this one.
+				mark(d)
+				changed = true
+			case (d.Sem.Atomicity == oal.StrongAtomicity || d.Sem.Atomicity == oal.StrictAtomicity) &&
+				b.hasUndeliverableDependency(d):
+				// Orphan-atomicity: a dependency (ordinal <= hdo) was
+				// purged.
+				mark(d)
+				changed = true
+			case (d.Sem.Atomicity == oal.StrongAtomicity || d.Sem.Atomicity == oal.StrictAtomicity) &&
+				d.HDO > known:
+				// Unknown dependency: the update depends on orderings
+				// no surviving member ever saw.
+				mark(d)
+				changed = true
+			}
+		}
+	}
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind == oal.UpdateDesc && d.Undeliverable {
+			delete(b.pb, d.ID)
+		}
+	}
+}
+
+func (b *Broadcast) hasUndeliverablePredecessor(d *oal.Descriptor) bool {
+	for i := range b.view.Entries {
+		e := &b.view.Entries[i]
+		if e.Ordinal >= d.Ordinal {
+			return false
+		}
+		if e.Kind == oal.UpdateDesc && e.Undeliverable && e.ID.Proposer == d.ID.Proposer {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Broadcast) hasUndeliverableDependency(d *oal.Descriptor) bool {
+	for i := range b.view.Entries {
+		e := &b.view.Entries[i]
+		if e.Ordinal > d.HDO {
+			return false
+		}
+		if e.Kind == oal.UpdateDesc && e.Undeliverable {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildState assembles the join-time state transfer for a newly admitted
+// member: application snapshot, which retained updates that snapshot
+// already covers, per-proposer ordering cursors, and the pending bodies
+// the joiner may lack.
+func (b *Broadcast) BuildState(now model.Time) *wire.State {
+	covered := b.view.HighestOrdinal()
+	if len(b.view.Entries) > 0 {
+		covered = b.view.Entries[0].Ordinal - 1
+	}
+	st := &wire.State{
+		Header:         wire.Header{From: b.self, SendTS: now},
+		GroupSeq:       b.group.Seq,
+		AppState:       b.cfg.Snapshot(),
+		CoveredOrdinal: covered,
+		SettledTimeTS:  b.maxSettledTimeTS,
+	}
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind == oal.UpdateDesc && b.delivered[d.ID] {
+			st.Delivered = append(st.Delivered, d.ID)
+		}
+	}
+	for _, id := range b.DPD() {
+		st.Delivered = append(st.Delivered, id)
+	}
+	for p, s := range b.orderedSeq {
+		st.FIFONext = append(st.FIFONext, wire.FIFOEntry{Proposer: p, Seq: s})
+	}
+	sort.Slice(st.FIFONext, func(i, j int) bool { return st.FIFONext[i].Proposer < st.FIFONext[j].Proposer })
+	for _, p := range b.pb {
+		cp := *p
+		cp.Payload = slices.Clone(p.Payload)
+		st.Pending = append(st.Pending, cp)
+	}
+	sort.Slice(st.Pending, func(i, j int) bool {
+		a, c := st.Pending[i].ID, st.Pending[j].ID
+		if a.Proposer != c.Proposer {
+			return a.Proposer < c.Proposer
+		}
+		return a.Seq < c.Seq
+	})
+	return st
+}
+
+// ApplyState installs a transferred state at a joining member: the
+// application snapshot, the delivered set (so covered updates are not
+// re-delivered), ordering cursors, and pending bodies.
+func (b *Broadcast) ApplyState(now model.Time, st *wire.State) {
+	b.cfg.Install(st.AppState)
+	if st.CoveredOrdinal > b.snapshotCovered {
+		b.snapshotCovered = st.CoveredOrdinal
+	}
+	if st.SettledTimeTS > b.maxSettledTimeTS {
+		b.maxSettledTimeTS = st.SettledTimeTS
+	}
+	for _, id := range st.Delivered {
+		b.delivered[id] = true
+	}
+	for _, f := range st.FIFONext {
+		if f.Seq > b.orderedSeq[f.Proposer] {
+			b.orderedSeq[f.Proposer] = f.Seq
+		}
+		if f.Proposer == b.self && f.Seq > b.nextSeq {
+			b.nextSeq = f.Seq
+		}
+	}
+	for i := range st.Pending {
+		b.OnProposal(now, &st.Pending[i])
+	}
+}

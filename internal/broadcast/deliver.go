@@ -1,0 +1,238 @@
+package broadcast
+
+import (
+	"slices"
+	"sort"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// tryDeliver hands every update whose delivery conditions hold to the
+// application. It loops to a fixpoint because one delivery can unblock
+// others (ordering chains, FIFO).
+func (b *Broadcast) tryDeliver(now model.Time) {
+	b.deliverFast(now)
+	for b.deliverOrderedPass(now) {
+	}
+}
+
+// deliverFast is the weak/unordered fast path: such updates are delivered
+// on receipt, before any ordinal is assigned. Updates delivered this way
+// are recorded in dpd until a decision orders them.
+func (b *Broadcast) deliverFast(now model.Time) {
+	ids := make([]oal.ProposalID, 0, len(b.pb))
+	for id := range b.pb {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Proposer != ids[j].Proposer {
+			return ids[i].Proposer < ids[j].Proposer
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	for _, id := range ids {
+		p := b.pb[id]
+		if b.delivered[id] {
+			continue
+		}
+		if p.Sem.Order != oal.Unordered || p.Sem.Atomicity != oal.WeakAtomicity {
+			continue
+		}
+		if b.senderSuppressed(id.Proposer, now) {
+			continue
+		}
+		d := b.view.Find(id)
+		if d != nil && d.Undeliverable {
+			continue
+		}
+		ord := oal.None
+		if d != nil {
+			ord = d.Ordinal
+		}
+		b.deliver(p, ord, now)
+		if d == nil {
+			b.dpd = append(b.dpd, id)
+			b.stats.DeliveredFast++
+		}
+	}
+}
+
+// deliverOrderedPass makes one pass over the view in ordinal order and
+// reports whether anything was delivered.
+func (b *Broadcast) deliverOrderedPass(now model.Time) bool {
+	any := false
+	for i := range b.view.Entries {
+		d := &b.view.Entries[i]
+		if d.Kind != oal.UpdateDesc || d.Undeliverable || b.delivered[d.ID] {
+			continue
+		}
+		if d.Ordinal != oal.None && d.Ordinal <= b.snapshotCovered {
+			// The join-time snapshot already reflects this update
+			// (adopted from a member whose oal was less truncated than
+			// the snapshot provider's).
+			b.delivered[d.ID] = true
+			any = true
+			continue
+		}
+		p, ok := b.pb[d.ID]
+		if !ok {
+			continue
+		}
+		if b.senderSuppressed(d.ID.Proposer, now) {
+			continue
+		}
+		if !b.atomicityOK(d) || !b.orderOK(d) || !b.fifoOK(d) {
+			continue
+		}
+		b.deliver(p, d.Ordinal, now)
+		any = true
+	}
+	return any
+}
+
+func (b *Broadcast) deliver(p *wire.Proposal, ord oal.Ordinal, now model.Time) {
+	b.delivered[p.ID] = true
+	b.stats.Delivered++
+	b.cfg.OnDeliver(Delivery{
+		ID:      p.ID,
+		Payload: slices.Clone(p.Payload),
+		Ordinal: ord,
+		Sem:     p.Sem,
+		SendTS:  p.SendTS,
+	})
+	if _, armed := b.termination[p.ID]; armed {
+		delete(b.termination, p.ID)
+		b.cfg.OnOutcome(Outcome{ID: p.ID, Delivered: true, At: now})
+	}
+}
+
+// atomicityOK evaluates the atomicity delivery condition for descriptor
+// d against the current group.
+func (b *Broadcast) atomicityOK(d *oal.Descriptor) bool {
+	var need int
+	switch d.Sem.Atomicity {
+	case oal.WeakAtomicity:
+		return true
+	case oal.StrongAtomicity:
+		need = b.group.Size()/2 + 1
+	case oal.StrictAtomicity:
+		need = b.group.Size()
+	default:
+		return false
+	}
+	if b.group.Size() == 0 {
+		return false
+	}
+	// The update itself and every update it may depend on (ordinal <=
+	// hdo) must be sufficiently acknowledged. Ordinals below the view's
+	// first retained entry were truncated as stable — fully acknowledged
+	// by construction.
+	if d.Acks.CountIn(b.group) < need {
+		return false
+	}
+	first := oal.Ordinal(1)
+	if len(b.view.Entries) > 0 {
+		first = b.view.Entries[0].Ordinal
+	}
+	for o := first; o <= d.HDO; o++ {
+		dep := b.view.FindOrdinal(o)
+		if dep == nil {
+			// Gap inside the retained window (never happens with a
+			// well-formed oal) or beyond the highest known ordinal:
+			// the dependency is unknown, so the update must wait.
+			if o > b.view.HighestOrdinal() {
+				return false
+			}
+			continue
+		}
+		if dep.Kind != oal.UpdateDesc || dep.Undeliverable {
+			continue
+		}
+		if dep.Acks.CountIn(b.group) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// orderOK evaluates the ordering delivery condition for descriptor d.
+func (b *Broadcast) orderOK(d *oal.Descriptor) bool {
+	switch d.Sem.Order {
+	case oal.Unordered:
+		return true
+	case oal.TotalOrder:
+		// Every total-ordered update with a smaller ordinal must be
+		// delivered or purged. Truncated entries were delivered long
+		// ago (stability hysteresis).
+		for i := range b.view.Entries {
+			e := &b.view.Entries[i]
+			if e.Ordinal >= d.Ordinal {
+				break
+			}
+			if e.Kind != oal.UpdateDesc || e.Sem.Order != oal.TotalOrder {
+				continue
+			}
+			if !e.Undeliverable && !b.delivered[e.ID] {
+				return false
+			}
+		}
+		return true
+	case oal.TimeOrder:
+		// Releasable once a decision at least delta+epsilon newer than
+		// the update's send timestamp exists: any timely proposal sent
+		// earlier has been ordered by then. Then deliver in
+		// (timestamp, proposer, seq) order among time-ordered updates.
+		if b.lastDecTS < d.SendTS.Add(b.params.Delta+b.params.Epsilon) {
+			return false
+		}
+		for i := range b.view.Entries {
+			e := &b.view.Entries[i]
+			if e.Kind != oal.UpdateDesc || e.Sem.Order != oal.TimeOrder || e.Ordinal == d.Ordinal {
+				continue
+			}
+			if timeOrderLess(e, d) && !e.Undeliverable && !b.delivered[e.ID] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// fifoOK enforces the per-sender FIFO property across the ordered
+// classes (§4.3: "updates proposed by the same process must be delivered
+// in the order they are proposed"): every earlier-sequence total- or
+// time-ordered update from the same proposer that is still in the view
+// must be delivered or purged first. Within one class the order rules
+// imply this; the check closes the cross-class gap (e.g. a total-order
+// update followed by a time-order one).
+func (b *Broadcast) fifoOK(d *oal.Descriptor) bool {
+	for i := range b.view.Entries {
+		e := &b.view.Entries[i]
+		if e.Kind != oal.UpdateDesc || e.ID.Proposer != d.ID.Proposer || e.ID.Seq >= d.ID.Seq {
+			continue
+		}
+		if e.Sem.Order == oal.Unordered {
+			continue
+		}
+		if !e.Undeliverable && !b.delivered[e.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+// timeOrderLess orders time-ordered updates by (send timestamp, proposer,
+// sequence).
+func timeOrderLess(a, c *oal.Descriptor) bool {
+	if a.SendTS != c.SendTS {
+		return a.SendTS < c.SendTS
+	}
+	if a.ID.Proposer != c.ID.Proposer {
+		return a.ID.Proposer < c.ID.Proposer
+	}
+	return a.ID.Seq < c.ID.Seq
+}

@@ -1,0 +1,100 @@
+package broadcast
+
+import (
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// terminationHarness wires one member with the termination semantic
+// armed.
+func terminationHarness(window model.Duration) (*Broadcast, *[]Outcome) {
+	params := model.DefaultParams(3)
+	var outcomes []Outcome
+	b := New(0, params, Config{
+		TerminationAfter: window,
+		OnOutcome:        func(o Outcome) { outcomes = append(outcomes, o) },
+	})
+	b.SetGroup(model.NewGroup(1, []model.ProcessID{0, 1, 2}))
+	return b, &outcomes
+}
+
+func TestTerminationReportsDelivery(t *testing.T) {
+	b, outcomes := terminationHarness(1000)
+	p := b.Propose(100, []byte("fast"), oal.Semantics{Order: oal.Unordered, Atomicity: oal.WeakAtomicity})
+	// Weak/unordered delivers immediately: the outcome fires at once.
+	if len(*outcomes) != 1 {
+		t.Fatalf("outcomes: %v", *outcomes)
+	}
+	o := (*outcomes)[0]
+	if o.ID != p.ID || !o.Delivered || o.At != 100 {
+		t.Fatalf("outcome: %+v", o)
+	}
+	// The sweep never double-reports.
+	b.CheckTermination(10_000)
+	if len(*outcomes) != 1 {
+		t.Fatalf("double report: %v", *outcomes)
+	}
+}
+
+func TestTerminationReportsExpiry(t *testing.T) {
+	b, outcomes := terminationHarness(1000)
+	// Total order: undeliverable until ordered, which never happens here.
+	p := b.Propose(100, []byte("stuck"), oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.WeakAtomicity})
+	b.CheckTermination(1100) // not yet: deadline is 100+1000=1100 inclusive
+	if len(*outcomes) != 0 {
+		t.Fatalf("premature outcome: %v", *outcomes)
+	}
+	b.CheckTermination(1101)
+	if len(*outcomes) != 1 {
+		t.Fatalf("outcomes: %v", *outcomes)
+	}
+	o := (*outcomes)[0]
+	if o.ID != p.ID || o.Delivered {
+		t.Fatalf("outcome: %+v", o)
+	}
+	// A late delivery after an expiry report does not re-report.
+	dec, _ := b.BuildDecision(2000, b.Group(), b.Group().Members)
+	_ = dec
+	if len(*outcomes) != 1 {
+		t.Fatalf("re-report after expiry: %v", *outcomes)
+	}
+}
+
+func TestTerminationDeliveredViaDecision(t *testing.T) {
+	b, outcomes := terminationHarness(10_000)
+	b.Propose(100, []byte("ordered"), oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.WeakAtomicity})
+	if len(*outcomes) != 0 {
+		t.Fatalf("early outcome: %v", *outcomes)
+	}
+	// Becoming decider orders and delivers the update.
+	b.BuildDecision(500, b.Group(), b.Group().Members)
+	if len(*outcomes) != 1 || !(*outcomes)[0].Delivered {
+		t.Fatalf("outcomes: %v", *outcomes)
+	}
+}
+
+func TestTerminationDisabledByDefault(t *testing.T) {
+	params := model.DefaultParams(3)
+	fired := false
+	b := New(0, params, Config{OnOutcome: func(Outcome) { fired = true }})
+	b.SetGroup(model.NewGroup(1, []model.ProcessID{0, 1, 2}))
+	b.Propose(100, []byte("x"), oal.Semantics{})
+	b.CheckTermination(1 << 40)
+	if fired {
+		t.Fatalf("outcome fired without a termination window")
+	}
+}
+
+func TestResetAbandonsArmedTerminations(t *testing.T) {
+	b, outcomes := terminationHarness(1_000_000)
+	b.Propose(100, []byte("in-flight"), oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity})
+	if len(*outcomes) != 0 {
+		t.Fatalf("premature outcome")
+	}
+	b.Reset()
+	if len(*outcomes) != 1 || (*outcomes)[0].Delivered {
+		t.Fatalf("reset did not abandon armed termination: %v", *outcomes)
+	}
+}

@@ -1,0 +1,357 @@
+// Package check validates the membership and broadcast invariants of a
+// completed simulation run against the paper's specification (§3, §4.3):
+// view agreement, majority groups, at most one decider, ordering and
+// atomicity of deliveries, and purge safety. Tests and the benchmark
+// harness run these validators over every scenario they execute.
+package check
+
+import (
+	"fmt"
+
+	"timewheel/internal/member"
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// Violation describes one invariant breach.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result aggregates violations from all checks.
+type Result struct {
+	Violations []Violation
+}
+
+// OK reports whether no invariant was violated.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Result) add(inv, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) String() string {
+	if r.OK() {
+		return "all invariants hold"
+	}
+	s := fmt.Sprintf("%d violations:", len(r.Violations))
+	for _, v := range r.Violations {
+		s += "\n  " + v.String()
+	}
+	return s
+}
+
+// All runs every validator over the cluster's recorded history.
+func All(c *node.Cluster) *Result {
+	r := &Result{}
+	ViewAgreement(c, r)
+	MajorityGroups(c, r)
+	AtMostOneDecider(c, r)
+	TotalOrderAgreement(c, r)
+	TimeOrderPerNode(c, r)
+	FIFOOrderedPerSender(c, r)
+	NoDuplicateDeliveries(c, r)
+	PurgeSafety(c, r)
+	StrictAtomicityConvergence(c, r)
+	return r
+}
+
+// ViewAgreement: the paper's majority-agreement property (§3) covers
+// *completed* majority groups — groups joined (installed) by every one
+// of their members. Two completed groups with the same sequence number
+// must have identical member sets. Uncompleted groups — forks that died
+// before all members installed them, e.g. an admission decision racing
+// a concurrent election — are the paper's explicitly allowed "limited
+// divergences": their members are excluded and rejoin, and the
+// state-level checkers (order agreement, purge safety, no-dup) guard
+// what they were allowed to observe meanwhile.
+func ViewAgreement(c *node.Cluster, r *Result) {
+	type groupKey struct {
+		seq     model.GroupSeq
+		members string
+	}
+	installs := make(map[groupKey]model.ProcessSet)
+	groups := make(map[groupKey]model.Group)
+	for _, n := range c.Nodes {
+		for _, v := range n.Views {
+			k := groupKey{v.Group.Seq, fmt.Sprint(v.Group.Members)}
+			if installs[k] == nil {
+				installs[k] = model.NewProcessSet()
+				groups[k] = v.Group
+			}
+			installs[k].Add(n.ID)
+		}
+	}
+	completed := make(map[model.GroupSeq]model.Group)
+	for k, who := range installs {
+		g := groups[k]
+		all := true
+		for _, m := range g.Members {
+			if !who.Has(m) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		if prev, ok := completed[g.Seq]; ok && !prev.SameMembers(g) {
+			r.add("view-agreement", "seq %d: completed groups %v and %v coexist",
+				g.Seq, prev, g)
+		} else {
+			completed[g.Seq] = g
+		}
+	}
+}
+
+// MajorityGroups: every installed view contains at least a majority of
+// the team (paper property 5).
+func MajorityGroups(c *node.Cluster, r *Result) {
+	maj := c.Params.Majority()
+	for _, n := range c.Nodes {
+		for _, v := range n.Views {
+			if v.Group.Size() < maj {
+				r.add("majority", "p%d installed sub-majority view %v", n.ID, v.Group)
+			}
+		}
+	}
+}
+
+// AtMostOneDecider: no two decision-producing decider tenures overlap in
+// time (the central safety argument of the election interlock). Tenures
+// that end without sending a decision — a decider-elect relinquishing on
+// a fresher decision that was already in flight — are benign and
+// excluded.
+func AtMostOneDecider(c *node.Cluster, r *Result) {
+	type interval struct {
+		who        model.ProcessID
+		start, end model.Time
+	}
+	var all []interval
+	for _, n := range c.Nodes {
+		for _, d := range n.DeciderLog {
+			end := d.End
+			if end == 0 {
+				end = c.Sim.Now()
+			} else if !d.Sent {
+				continue
+			}
+			all = append(all, interval{n.ID, d.Start, end})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if a.who == b.who {
+				continue
+			}
+			if a.start < b.end && b.start < a.end {
+				r.add("one-decider", "p%d [%v,%v) overlaps p%d [%v,%v)",
+					a.who, a.start, a.end, b.who, b.start, b.end)
+			}
+		}
+	}
+}
+
+// orderedDeliveries returns a node's current-incarnation deliveries with
+// the given ordering semantic.
+func orderedDeliveries(n *node.Node, order oal.Order) []node.DeliveryRecord {
+	var out []node.DeliveryRecord
+	for _, d := range n.Deliveries {
+		if d.Incarnation == n.Incarnation && d.Sem.Order == order {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TotalOrderAgreement: the sequences of totally ordered updates
+// delivered by any two processes are prefix-compatible after aligning on
+// common updates (excluded processes may lag, never diverge).
+func TotalOrderAgreement(c *node.Cluster, r *Result) {
+	var seqs [][]node.DeliveryRecord
+	var who []model.ProcessID
+	for _, n := range c.Nodes {
+		seqs = append(seqs, orderedDeliveries(n, oal.TotalOrder))
+		who = append(who, n.ID)
+	}
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			a, b := seqs[i], seqs[j]
+			// Compare the common subsequence: both must list shared
+			// updates in the same relative order.
+			inB := make(map[oal.ProposalID]int)
+			for k, d := range b {
+				inB[d.ID] = k
+			}
+			last := -1
+			for _, d := range a {
+				k, ok := inB[d.ID]
+				if !ok {
+					continue
+				}
+				if k < last {
+					r.add("total-order", "p%v and p%v disagree on relative order of %v",
+						who[i], who[j], d.ID)
+					break
+				}
+				last = k
+			}
+		}
+	}
+}
+
+// TimeOrderPerNode: every node's time-ordered deliveries are sorted by
+// send timestamp (ties by proposer, then sequence).
+func TimeOrderPerNode(c *node.Cluster, r *Result) {
+	for _, n := range c.Nodes {
+		ds := orderedDeliveries(n, oal.TimeOrder)
+		for i := 1; i < len(ds); i++ {
+			a, b := ds[i-1], ds[i]
+			if b.SendTS < a.SendTS ||
+				(b.SendTS == a.SendTS && b.ID.Proposer < a.ID.Proposer) {
+				r.add("time-order", "p%d delivered %v(ts=%v) after %v(ts=%v)",
+					n.ID, b.ID, b.SendTS, a.ID, a.SendTS)
+			}
+		}
+	}
+}
+
+// FIFOOrderedPerSender: among total- and time-ordered updates, each
+// node delivers any one proposer's updates in increasing sequence order
+// (the FIFO property §4.3 relies on).
+func FIFOOrderedPerSender(c *node.Cluster, r *Result) {
+	for _, n := range c.Nodes {
+		lastSeq := make(map[model.ProcessID]uint64)
+		for _, d := range n.Deliveries {
+			if d.Incarnation != n.Incarnation || d.Sem.Order == oal.Unordered {
+				continue
+			}
+			if prev, ok := lastSeq[d.ID.Proposer]; ok && d.ID.Seq < prev {
+				r.add("fifo", "p%d delivered %v after seq %d of same proposer",
+					n.ID, d.ID, prev)
+			}
+			lastSeq[d.ID.Proposer] = d.ID.Seq
+		}
+	}
+}
+
+// NoDuplicateDeliveries: a node never delivers the same update twice in
+// one incarnation.
+func NoDuplicateDeliveries(c *node.Cluster, r *Result) {
+	for _, n := range c.Nodes {
+		seen := make(map[oal.ProposalID]bool)
+		for _, d := range n.Deliveries {
+			if d.Incarnation != n.Incarnation {
+				continue
+			}
+			if seen[d.ID] {
+				r.add("no-dup", "p%d delivered %v twice", n.ID, d.ID)
+			}
+			seen[d.ID] = true
+		}
+	}
+}
+
+// PurgeSafety: no member of the current group delivered an update whose
+// descriptor is marked undeliverable in any current member's view
+// (§4.3: "no current group member deliver an update whose proposal
+// descriptor is removed from oal").
+func PurgeSafety(c *node.Cluster, r *Result) {
+	purged := make(map[oal.ProposalID]bool)
+	for _, n := range c.Nodes {
+		if c.Crashed(n.ID) {
+			continue
+		}
+		if _, ok := n.CurrentGroup(); !ok {
+			continue
+		}
+		for _, id := range n.Broadcast().UndeliverableIDs() {
+			purged[id] = true
+		}
+	}
+	for _, n := range c.Nodes {
+		if c.Crashed(n.ID) {
+			continue
+		}
+		g, ok := n.CurrentGroup()
+		if !ok || !g.Contains(n.ID) {
+			continue
+		}
+		for _, d := range n.Deliveries {
+			if d.Incarnation == n.Incarnation && purged[d.ID] {
+				r.add("purge-safety", "current member p%d delivered purged update %v", n.ID, d.ID)
+			}
+		}
+	}
+}
+
+// StrictAtomicityConvergence: at the end of a quiescent run, an update
+// with strict atomicity delivered by one final-group member has been
+// delivered by every final-group member that was continuously present.
+// Members that crashed/recovered or were excluded and rejoined receive
+// the missed history through the join-time state transfer (their app
+// snapshot already reflects it), so no delivery record exists for them —
+// the §3 "limited divergences" the paper allows.
+func StrictAtomicityConvergence(c *node.Cluster, r *Result) {
+	// Identify the final group: the highest-seq view installed by any
+	// live node whose members agree on it.
+	var final model.Group
+	for _, n := range c.Nodes {
+		if c.Crashed(n.ID) {
+			continue
+		}
+		g, ok := n.CurrentGroup()
+		if ok && g.Seq > final.Seq {
+			final = g
+		}
+	}
+	if final.Size() == 0 {
+		return
+	}
+	// Continuous members: never crashed/recovered, never fell back to
+	// the join state after their first group.
+	var continuous []model.ProcessID
+	for _, id := range final.Members {
+		n := c.Node(id)
+		if c.Crashed(id) {
+			return // a crashed final member: convergence not assessable
+		}
+		if n.Incarnation != 0 {
+			continue
+		}
+		rejoined := false
+		for _, s := range n.StateLog {
+			if s.To == member.StateJoin {
+				rejoined = true
+				break
+			}
+		}
+		if !rejoined {
+			continuous = append(continuous, id)
+		}
+	}
+	delivered := make(map[oal.ProposalID]map[model.ProcessID]bool)
+	for _, id := range continuous {
+		n := c.Node(id)
+		for _, d := range n.Deliveries {
+			if d.Sem.Atomicity != oal.StrictAtomicity {
+				continue
+			}
+			if delivered[d.ID] == nil {
+				delivered[d.ID] = make(map[model.ProcessID]bool)
+			}
+			delivered[d.ID][id] = true
+		}
+	}
+	for id, whos := range delivered {
+		if len(whos) != len(continuous) {
+			r.add("strict-atomicity", "update %v delivered by %d of %d continuous final members",
+				id, len(whos), len(continuous))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// testCluster builds an idle 3-node cluster whose histories the tests
+// populate by hand.
+func testCluster() *node.Cluster {
+	return node.NewCluster(node.Options{
+		Seed:          1,
+		Params:        model.DefaultParams(3),
+		PerfectClocks: true,
+	})
+}
+
+func hasViolation(r *Result, invariant string) bool {
+	for _, v := range r.Violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanClusterPasses(t *testing.T) {
+	c := testCluster()
+	r := All(c)
+	if !r.OK() {
+		t.Fatalf("idle cluster violates: %s", r)
+	}
+	if r.String() != "all invariants hold" {
+		t.Fatalf("String: %q", r.String())
+	}
+}
+
+func TestViewAgreementDetectsCompletedDivergence(t *testing.T) {
+	// Two COMPLETED groups (installed by all their members) with the
+	// same sequence but different member sets: a real agreement
+	// violation.
+	c := testCluster()
+	gA := model.NewGroup(1, []model.ProcessID{0, 1})
+	gB := model.NewGroup(1, []model.ProcessID{1, 2})
+	c.Node(0).Views = append(c.Node(0).Views, node.ViewRecord{Group: gA})
+	c.Node(1).Views = append(c.Node(1).Views, node.ViewRecord{Group: gA}, node.ViewRecord{Group: gB})
+	c.Node(2).Views = append(c.Node(2).Views, node.ViewRecord{Group: gB})
+	r := &Result{}
+	ViewAgreement(c, r)
+	if !hasViolation(r, "view-agreement") {
+		t.Fatalf("completed divergent groups not detected: %s", r)
+	}
+	if !strings.Contains(r.String(), "view-agreement") {
+		t.Fatalf("String: %q", r.String())
+	}
+}
+
+func TestViewAgreementIgnoresUncompletedForks(t *testing.T) {
+	// A fork that never completed (not all members installed it) is the
+	// paper's allowed "limited divergence".
+	c := testCluster()
+	gA := model.NewGroup(1, []model.ProcessID{0, 1})
+	gFork := model.NewGroup(1, []model.ProcessID{0, 1, 2})
+	c.Node(0).Views = append(c.Node(0).Views, node.ViewRecord{Group: gA})
+	c.Node(1).Views = append(c.Node(1).Views, node.ViewRecord{Group: gA})
+	c.Node(2).Views = append(c.Node(2).Views, node.ViewRecord{Group: gFork}) // only p2 installed it
+	r := &Result{}
+	ViewAgreement(c, r)
+	if !r.OK() {
+		t.Fatalf("uncompleted fork flagged: %s", r)
+	}
+}
+
+func TestViewAgreementAcceptsIdenticalViews(t *testing.T) {
+	c := testCluster()
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2})
+	c.Node(0).Views = append(c.Node(0).Views, node.ViewRecord{Group: g})
+	c.Node(1).Views = append(c.Node(1).Views, node.ViewRecord{Group: g})
+	r := &Result{}
+	ViewAgreement(c, r)
+	if !r.OK() {
+		t.Fatalf("identical views flagged: %s", r)
+	}
+}
+
+func TestMajorityDetectsSubMajorityView(t *testing.T) {
+	c := testCluster()
+	c.Node(0).Views = append(c.Node(0).Views, node.ViewRecord{Group: model.NewGroup(1, []model.ProcessID{0})})
+	r := &Result{}
+	MajorityGroups(c, r)
+	if !hasViolation(r, "majority") {
+		t.Fatalf("sub-majority view not detected")
+	}
+}
+
+func TestOneDeciderDetectsOverlap(t *testing.T) {
+	c := testCluster()
+	c.Node(0).DeciderLog = append(c.Node(0).DeciderLog, node.DeciderRecord{Start: 100, End: 200, Sent: true})
+	c.Node(1).DeciderLog = append(c.Node(1).DeciderLog, node.DeciderRecord{Start: 150, End: 250, Sent: true})
+	r := &Result{}
+	AtMostOneDecider(c, r)
+	if !hasViolation(r, "one-decider") {
+		t.Fatalf("overlapping deciders not detected")
+	}
+}
+
+func TestOneDeciderIgnoresSilentTenures(t *testing.T) {
+	c := testCluster()
+	c.Node(0).DeciderLog = append(c.Node(0).DeciderLog, node.DeciderRecord{Start: 100, End: 200, Sent: true})
+	c.Node(1).DeciderLog = append(c.Node(1).DeciderLog, node.DeciderRecord{Start: 150, End: 250, Sent: false})
+	r := &Result{}
+	AtMostOneDecider(c, r)
+	if !r.OK() {
+		t.Fatalf("silent tenure flagged: %s", r)
+	}
+}
+
+func TestOneDeciderTreatsOpenTenureAsLive(t *testing.T) {
+	c := testCluster()
+	c.Sim.RunFor(1000)
+	c.Node(0).DeciderLog = append(c.Node(0).DeciderLog, node.DeciderRecord{Start: 100}) // open
+	c.Node(1).DeciderLog = append(c.Node(1).DeciderLog, node.DeciderRecord{Start: 150, End: 900, Sent: true})
+	r := &Result{}
+	AtMostOneDecider(c, r)
+	if !hasViolation(r, "one-decider") {
+		t.Fatalf("open tenure overlap not detected")
+	}
+}
+
+func deliver(n *node.Node, proposer model.ProcessID, seq uint64, order oal.Order, atom oal.Atomicity, ts model.Time) {
+	n.Deliveries = append(n.Deliveries, node.DeliveryRecord{
+		Delivery: broadcast.Delivery{
+			ID:     oal.ProposalID{Proposer: proposer, Seq: seq},
+			Sem:    oal.Semantics{Order: order, Atomicity: atom},
+			SendTS: ts,
+		},
+	})
+}
+
+func TestTotalOrderDetectsDivergence(t *testing.T) {
+	c := testCluster()
+	deliver(c.Node(0), 1, 1, oal.TotalOrder, oal.WeakAtomicity, 10)
+	deliver(c.Node(0), 2, 1, oal.TotalOrder, oal.WeakAtomicity, 20)
+	deliver(c.Node(1), 2, 1, oal.TotalOrder, oal.WeakAtomicity, 20)
+	deliver(c.Node(1), 1, 1, oal.TotalOrder, oal.WeakAtomicity, 10)
+	r := &Result{}
+	TotalOrderAgreement(c, r)
+	if !hasViolation(r, "total-order") {
+		t.Fatalf("total order divergence not detected")
+	}
+}
+
+func TestTotalOrderAcceptsPrefixes(t *testing.T) {
+	c := testCluster()
+	deliver(c.Node(0), 1, 1, oal.TotalOrder, oal.WeakAtomicity, 10)
+	deliver(c.Node(0), 2, 1, oal.TotalOrder, oal.WeakAtomicity, 20)
+	deliver(c.Node(1), 1, 1, oal.TotalOrder, oal.WeakAtomicity, 10) // lagging
+	r := &Result{}
+	TotalOrderAgreement(c, r)
+	if !r.OK() {
+		t.Fatalf("prefix flagged: %s", r)
+	}
+}
+
+func TestTimeOrderDetectsInversion(t *testing.T) {
+	c := testCluster()
+	deliver(c.Node(0), 1, 1, oal.TimeOrder, oal.WeakAtomicity, 100)
+	deliver(c.Node(0), 2, 1, oal.TimeOrder, oal.WeakAtomicity, 50)
+	r := &Result{}
+	TimeOrderPerNode(c, r)
+	if !hasViolation(r, "time-order") {
+		t.Fatalf("timestamp inversion not detected")
+	}
+}
+
+func TestFIFODetectsSeqInversion(t *testing.T) {
+	c := testCluster()
+	deliver(c.Node(0), 1, 2, oal.TotalOrder, oal.WeakAtomicity, 20)
+	deliver(c.Node(0), 1, 1, oal.TotalOrder, oal.WeakAtomicity, 10)
+	r := &Result{}
+	FIFOOrderedPerSender(c, r)
+	if !hasViolation(r, "fifo") {
+		t.Fatalf("FIFO inversion not detected")
+	}
+}
+
+func TestFIFOIgnoresUnordered(t *testing.T) {
+	c := testCluster()
+	deliver(c.Node(0), 1, 2, oal.Unordered, oal.WeakAtomicity, 20)
+	deliver(c.Node(0), 1, 1, oal.Unordered, oal.WeakAtomicity, 10)
+	r := &Result{}
+	FIFOOrderedPerSender(c, r)
+	if !r.OK() {
+		t.Fatalf("unordered gap flagged: %s", r)
+	}
+}
+
+func TestNoDupDetectsDoubleDelivery(t *testing.T) {
+	c := testCluster()
+	deliver(c.Node(0), 1, 1, oal.Unordered, oal.WeakAtomicity, 10)
+	deliver(c.Node(0), 1, 1, oal.Unordered, oal.WeakAtomicity, 10)
+	r := &Result{}
+	NoDuplicateDeliveries(c, r)
+	if !hasViolation(r, "no-dup") {
+		t.Fatalf("double delivery not detected")
+	}
+}

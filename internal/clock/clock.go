@@ -1,0 +1,107 @@
+// Package clock models the hardware clocks of the timed asynchronous
+// system: free-running quartz clocks whose drift rate is bounded by rho
+// but which are not synchronized with one another (deviation can be
+// arbitrarily large).
+//
+// A Hardware clock maps the simulation's real-time base to local clock
+// time through a fixed offset and a constant drift rate. The fail-aware
+// clock synchronization service (package csync) layers a correction on
+// top via Adjusted.
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timewheel/internal/model"
+)
+
+// Hardware is a drifting, unsynchronized local clock. The zero value is a
+// perfect clock (no offset, no drift).
+//
+// Reading is a pure function of real time, so Hardware is safe for
+// concurrent use.
+type Hardware struct {
+	// Offset is the clock's reading at real time 0.
+	Offset model.Duration
+	// DriftPPM is the clock's actual drift in parts per million; a
+	// correct clock has |DriftPPM| <= Params.RhoPPM.
+	DriftPPM int64
+}
+
+// NewRandomHardware draws a clock with offset in [-maxOffset, maxOffset]
+// and drift uniform in [-rhoPPM, rhoPPM], using rng for determinism.
+func NewRandomHardware(rng *rand.Rand, maxOffset model.Duration, rhoPPM int64) *Hardware {
+	var off model.Duration
+	if maxOffset > 0 {
+		off = model.Duration(rng.Int63n(2*int64(maxOffset)+1)) - maxOffset
+	}
+	var drift int64
+	if rhoPPM > 0 {
+		drift = rng.Int63n(2*rhoPPM+1) - rhoPPM
+	}
+	return &Hardware{Offset: off, DriftPPM: drift}
+}
+
+// Read returns the clock's value at real time now:
+//
+//	H(now) = Offset + now*(1 + DriftPPM/1e6)
+func (h *Hardware) Read(now model.Time) model.Time {
+	drift := int64(now) * h.DriftPPM / 1_000_000
+	return now.Add(h.Offset).Add(model.Duration(drift))
+}
+
+// Interval converts a real-time duration to the span this clock shows for
+// it.
+func (h *Hardware) Interval(d model.Duration) model.Duration {
+	return d + model.Duration(int64(d)*h.DriftPPM/1_000_000)
+}
+
+// WithinEnvelope reports whether the clock's drift is within the model's
+// rho bound, i.e. whether the clock is "correct" in the paper's sense.
+func (h *Hardware) WithinEnvelope(rhoPPM int64) bool {
+	return h.DriftPPM >= -rhoPPM && h.DriftPPM <= rhoPPM
+}
+
+func (h *Hardware) String() string {
+	return fmt.Sprintf("hw(offset=%v drift=%dppm)", h.Offset, h.DriftPPM)
+}
+
+// Adjusted is a hardware clock plus a correction maintained by the clock
+// synchronization service. Its reading approximates a global time base
+// when synchronized.
+type Adjusted struct {
+	HW *Hardware
+	// Correction is added to the hardware reading.
+	Correction model.Duration
+	// Synced records whether the owner currently believes the adjusted
+	// clock is within epsilon of the synchronized time base. Fail-aware
+	// clock synchronization guarantees the owner always knows this.
+	Synced bool
+}
+
+// NewAdjusted wraps hw with zero correction, unsynchronized.
+func NewAdjusted(hw *Hardware) *Adjusted { return &Adjusted{HW: hw} }
+
+// Read returns the corrected clock value at real time now.
+func (a *Adjusted) Read(now model.Time) model.Time {
+	return a.HW.Read(now).Add(a.Correction)
+}
+
+// Apply installs a new correction and marks the clock synchronized.
+func (a *Adjusted) Apply(correction model.Duration) {
+	a.Correction = correction
+	a.Synced = true
+}
+
+// Desync marks the clock unsynchronized (e.g. after the sync protocol
+// failed to complete a timely round).
+func (a *Adjusted) Desync() { a.Synced = false }
+
+func (a *Adjusted) String() string {
+	state := "unsynced"
+	if a.Synced {
+		state = "synced"
+	}
+	return fmt.Sprintf("adj(%v corr=%v %s)", a.HW, a.Correction, state)
+}

@@ -1,0 +1,214 @@
+// Package csync implements a fail-aware clock synchronization service,
+// the layer directly below the membership protocol in the timewheel stack
+// (paper Figure 1).
+//
+// The service the membership protocol needs has two guarantees (paper §2,
+// citing Fetzer & Cristian's fail-aware clock synchronization):
+//
+//  1. whenever the process is synchronized, its adjusted clock deviates
+//     from any other synchronized clock by at most epsilon, and
+//  2. the process always *knows* whether it is synchronized
+//     (fail-awareness) — a process that cannot keep its clock
+//     synchronized leaves the group and rejoins once it can.
+//
+// This implementation is a pragmatic master-based variant: every process
+// broadcasts a beacon carrying its synchronized-clock reading once per
+// Interval; each process adopts as master the lowest-ID process it has
+// heard from recently (possibly itself) and slews its correction toward
+// the master's readings using the midpoint delay assumption. A process
+// that has not heard a timely majority recently declares itself
+// unsynchronized. The original protocol [Fetzer & Cristian 1996] obtains
+// tighter bounds from round-trip measurements; the substitution preserves
+// the two guarantees above, which are all the membership layer consumes.
+package csync
+
+import (
+	"fmt"
+
+	"timewheel/internal/clock"
+	"timewheel/internal/model"
+)
+
+// Beacon is the sync service's periodic broadcast.
+type Beacon struct {
+	From model.ProcessID
+	// Reading is the sender's adjusted-clock value at send time.
+	Reading model.Time
+	// Synced reports whether the sender considered itself synchronized
+	// when it sent the beacon; readings from unsynchronized senders are
+	// never adopted.
+	Synced bool
+}
+
+// Config tunes the synchronization service.
+type Config struct {
+	// Interval between beacons.
+	Interval model.Duration
+	// Timeout after which a silent peer is considered unreachable.
+	// Should be a small multiple of Interval plus delta.
+	Timeout model.Duration
+	// MinFresh is the minimum number of recently-heard processes
+	// (including self) required to claim synchronization; the membership
+	// protocol's delta-stability wants a majority of the team.
+	MinFresh int
+}
+
+// DefaultConfig derives a configuration from the model parameters: beacon
+// twice per D, tolerate two consecutive losses, require a majority.
+func DefaultConfig(p model.Params) Config {
+	iv := p.D / 2
+	if iv <= 0 {
+		iv = model.Millisecond
+	}
+	return Config{
+		Interval: iv,
+		Timeout:  3*iv + p.Delta,
+		MinFresh: p.Majority(),
+	}
+}
+
+// Service is one process's clock synchronization state machine. It is
+// driven externally: the owner calls Tick each Interval (sending the
+// returned beacon) and OnBeacon for each received beacon. The service is
+// not safe for concurrent use; drive it from one goroutine or the
+// simulation loop.
+type Service struct {
+	id     model.ProcessID
+	params model.Params
+	cfg    Config
+	adj    *clock.Adjusted
+
+	// lastHeard maps peer -> real receive time of its freshest beacon.
+	lastHeard map[model.ProcessID]model.Time
+
+	// assumedDelay is the midpoint one-way delay assumption.
+	assumedDelay model.Duration
+
+	// lastAdopt is the real time the last master sample was adopted;
+	// a follower is synchronized only while this is fresh.
+	lastAdopt model.Time
+
+	resyncs uint64
+	desyncs uint64
+	adopted uint64
+
+	// Round-trip mode state (roundtrip.go).
+	roundTripOnly  bool
+	probeNonce     uint64
+	rejectedRounds uint64
+}
+
+// New creates the service for process id adjusting clock adj.
+func New(id model.ProcessID, params model.Params, cfg Config, adj *clock.Adjusted) *Service {
+	if cfg.Interval <= 0 {
+		cfg = DefaultConfig(params)
+	}
+	return &Service{
+		id:           id,
+		params:       params,
+		cfg:          cfg,
+		adj:          adj,
+		lastHeard:    make(map[model.ProcessID]model.Time),
+		assumedDelay: params.Delta / 2,
+		lastAdopt:    -1 << 62,
+	}
+}
+
+// Clock returns the adjusted clock the service maintains.
+func (s *Service) Clock() *clock.Adjusted { return s.adj }
+
+// Synced reports whether the process currently believes its clock is
+// synchronized (fail-awareness guarantee 2).
+func (s *Service) Synced() bool { return s.adj.Synced }
+
+// Now returns the synchronized-clock reading at real time now.
+func (s *Service) Now(now model.Time) model.Time { return s.adj.Read(now) }
+
+// Master returns the process this service currently follows: the
+// lowest-ID process heard within Timeout, or the service itself if it is
+// lowest. Returns NoProcess when nothing is fresh and the service's own
+// rank is unknown (never happens in practice: self is always fresh).
+func (s *Service) Master(now model.Time) model.ProcessID {
+	best := s.id
+	for p, at := range s.lastHeard {
+		if now.Sub(at) <= s.cfg.Timeout && p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// freshCount counts processes heard within Timeout, plus self.
+func (s *Service) freshCount(now model.Time) int {
+	n := 1
+	for p, at := range s.lastHeard {
+		if p != s.id && now.Sub(at) <= s.cfg.Timeout {
+			n++
+		}
+	}
+	return n
+}
+
+// Tick advances the service at real time now and returns the beacon to
+// broadcast. It re-evaluates fail-awareness: the process is synchronized
+// iff it has heard a timely majority recently AND it either is the master
+// (its clock defines the base) or has adopted a fresh master sample;
+// otherwise it declares itself unsynchronized.
+func (s *Service) Tick(now model.Time) Beacon {
+	ok := s.freshCount(now) >= s.cfg.MinFresh &&
+		(s.Master(now) == s.id || now.Sub(s.lastAdopt) <= s.cfg.Timeout)
+	if ok {
+		if !s.adj.Synced {
+			s.resyncs++
+		}
+		s.adj.Synced = true
+	} else {
+		if s.adj.Synced {
+			s.desyncs++
+		}
+		s.adj.Desync()
+	}
+	return Beacon{From: s.id, Reading: s.adj.Read(now), Synced: s.adj.Synced}
+}
+
+// OnBeacon processes a beacon received at real time now.
+func (s *Service) OnBeacon(now model.Time, b Beacon) {
+	if b.From == s.id {
+		return
+	}
+	s.lastHeard[b.From] = now
+	// Adopt the master's time base. Only synchronized masters are
+	// followed, and only if the master outranks us; if we are the
+	// master, our own clock is the base. In round-trip-only mode,
+	// beacons serve election and freshness but corrections come solely
+	// from measured probe/echo rounds.
+	if s.roundTripOnly || !b.Synced || b.From >= s.id || b.From != s.Master(now) {
+		return
+	}
+	local := s.adj.Read(now)
+	// The beacon left the master assumedDelay ago (midpoint assumption),
+	// so the master's clock now reads approximately Reading+assumedDelay.
+	sample := b.Reading.Add(s.assumedDelay).Sub(local)
+	s.adj.Correction += sample
+	s.lastAdopt = now
+	s.adopted++
+}
+
+// Forget drops all peer freshness state, as after a crash/recovery: the
+// recovered process must reacquire a majority before claiming
+// synchronization.
+func (s *Service) Forget() {
+	s.lastHeard = make(map[model.ProcessID]model.Time)
+	s.lastAdopt = -1 << 62
+	s.adj.Desync()
+}
+
+// Stats reports lifetime counters: times synchronization was regained,
+// lost, and master samples adopted.
+func (s *Service) Stats() (resyncs, desyncs, adopted uint64) {
+	return s.resyncs, s.desyncs, s.adopted
+}
+
+func (s *Service) String() string {
+	return fmt.Sprintf("csync(%v %v)", s.id, s.adj)
+}

@@ -1,0 +1,294 @@
+package csync
+
+import (
+	"testing"
+
+	"timewheel/internal/clock"
+	"timewheel/internal/model"
+	"timewheel/internal/sim"
+)
+
+// cluster wires N sync services over the simulation kernel with a simple
+// broadcast medium: each beacon reaches every live peer after a uniform
+// delay in [minD, maxD], unless the destination is isolated.
+type cluster struct {
+	s        *sim.Sim
+	params   model.Params
+	svcs     []*Service
+	crashed  []bool
+	isolated []bool
+	minD     model.Duration
+	maxD     model.Duration
+}
+
+func newCluster(n int, seed int64) *cluster {
+	params := model.DefaultParams(n)
+	s := sim.New(seed)
+	c := &cluster{
+		s:        s,
+		params:   params,
+		svcs:     make([]*Service, n),
+		crashed:  make([]bool, n),
+		isolated: make([]bool, n),
+		minD:     params.Delta / 10,
+		maxD:     params.Delta / 2,
+	}
+	for i := 0; i < n; i++ {
+		hw := clock.NewRandomHardware(s.Rand(), 50*model.Millisecond, params.RhoPPM)
+		c.svcs[i] = New(model.ProcessID(i), params, DefaultConfig(params), clock.NewAdjusted(hw))
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		var tick func()
+		tick = func() {
+			if !c.crashed[i] {
+				b := c.svcs[i].Tick(s.Now())
+				c.broadcast(i, b)
+			}
+			s.After(c.svcs[i].cfg.Interval, tick)
+		}
+		// Stagger initial ticks to avoid artificial lockstep.
+		s.Schedule(model.Time(int64(i)*1000), tick)
+	}
+	return c
+}
+
+func (c *cluster) broadcast(from int, b Beacon) {
+	if c.isolated[from] {
+		return
+	}
+	for j := range c.svcs {
+		if j == from || c.crashed[j] || c.isolated[j] {
+			continue
+		}
+		j := j
+		d := c.minD + model.Duration(c.s.Rand().Int63n(int64(c.maxD-c.minD)+1))
+		c.s.After(d, func() {
+			if !c.crashed[j] && !c.isolated[j] {
+				c.svcs[j].OnBeacon(c.s.Now(), b)
+			}
+		})
+	}
+}
+
+// maxDeviation returns the worst pairwise deviation among synchronized
+// processes at the current instant.
+func (c *cluster) maxDeviation() model.Duration {
+	var readings []model.Time
+	for i, svc := range c.svcs {
+		if !c.crashed[i] && svc.Synced() {
+			readings = append(readings, svc.Now(c.s.Now()))
+		}
+	}
+	var worst model.Duration
+	for i := range readings {
+		for j := i + 1; j < len(readings); j++ {
+			d := readings[i].Sub(readings[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func (c *cluster) warmup() {
+	c.s.RunFor(model.Duration(10) * c.svcs[0].cfg.Interval)
+}
+
+func TestAllProcessesSynchronize(t *testing.T) {
+	c := newCluster(5, 42)
+	c.warmup()
+	for i, svc := range c.svcs {
+		if !svc.Synced() {
+			t.Errorf("p%d not synchronized after warmup", i)
+		}
+	}
+}
+
+func TestDeviationBounded(t *testing.T) {
+	c := newCluster(5, 43)
+	c.warmup()
+	// Beacons travel in [delta/10, delta/2] while the correction assumes
+	// delta/2, so per-sample error is bounded by ~delta/2; drift between
+	// beacons adds a hair. The synchronized deviation must stay within
+	// delta (our epsilon-scale bound for these delays).
+	bound := c.params.Delta
+	for k := 0; k < 50; k++ {
+		c.s.RunFor(c.svcs[0].cfg.Interval)
+		if dev := c.maxDeviation(); dev > bound {
+			t.Fatalf("deviation %v exceeds bound %v at %v", dev, bound, c.s.Now())
+		}
+	}
+}
+
+func TestFollowersTrackMasterNotViceVersa(t *testing.T) {
+	c := newCluster(3, 44)
+	c.warmup()
+	// p0 is the lowest ID and hence master everywhere.
+	for i, svc := range c.svcs {
+		if got := svc.Master(c.s.Now()); got != 0 {
+			t.Errorf("p%d master = %v, want p0", i, got)
+		}
+	}
+	// Master never adopts samples; followers do.
+	_, _, adopted0 := c.svcs[0].Stats()
+	if adopted0 != 0 {
+		t.Errorf("master adopted %d samples", adopted0)
+	}
+	_, _, adopted1 := c.svcs[1].Stats()
+	if adopted1 == 0 {
+		t.Errorf("follower adopted no samples")
+	}
+}
+
+func TestMasterFailover(t *testing.T) {
+	c := newCluster(5, 45)
+	c.warmup()
+	c.crashed[0] = true
+	// After the timeout, p1 becomes everyone's master and the rest stay
+	// synchronized.
+	c.s.RunFor(2 * c.svcs[0].cfg.Timeout)
+	for i := 1; i < 5; i++ {
+		if got := c.svcs[i].Master(c.s.Now()); got != 1 {
+			t.Errorf("p%d master = %v, want p1", i, got)
+		}
+		if !c.svcs[i].Synced() {
+			t.Errorf("p%d lost sync after master failover", i)
+		}
+	}
+}
+
+func TestMinorityPartitionDesyncs(t *testing.T) {
+	c := newCluster(5, 46)
+	c.warmup()
+	// Isolate p3 and p4: a two-process side of a five-process team has
+	// no majority, so fail-awareness must mark both unsynchronized.
+	c.isolated[3] = true
+	c.isolated[4] = true
+	c.s.RunFor(3 * c.svcs[0].cfg.Timeout)
+	for _, i := range []int{3, 4} {
+		if c.svcs[i].Synced() {
+			t.Errorf("isolated p%d still claims synchronization", i)
+		}
+	}
+	for _, i := range []int{0, 1, 2} {
+		if !c.svcs[i].Synced() {
+			t.Errorf("majority member p%d lost sync", i)
+		}
+	}
+	// Healing re-synchronizes the minority.
+	c.isolated[3] = false
+	c.isolated[4] = false
+	c.s.RunFor(3 * c.svcs[0].cfg.Timeout)
+	for _, i := range []int{3, 4} {
+		if !c.svcs[i].Synced() {
+			t.Errorf("p%d did not resynchronize after heal", i)
+		}
+	}
+	re3, de3, _ := c.svcs[3].Stats()
+	if re3 < 2 || de3 < 1 {
+		t.Errorf("p3 resync/desync counters: %d/%d", re3, de3)
+	}
+}
+
+func TestFollowerAloneIsNotSynced(t *testing.T) {
+	params := model.DefaultParams(3)
+	svc := New(1, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	b := svc.Tick(0)
+	if b.Synced || svc.Synced() {
+		t.Fatalf("lone process claims sync")
+	}
+	if b.From != 1 {
+		t.Fatalf("beacon from %v", b.From)
+	}
+}
+
+func TestFreshMajorityWithoutMasterSampleIsNotSynced(t *testing.T) {
+	// p1 hears p0 (master) and p2, but p0's beacons are never marked
+	// synced, so p1 must not claim synchronization: it has no base.
+	params := model.DefaultParams(3)
+	svc := New(1, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	svc.OnBeacon(10, Beacon{From: 0, Reading: 10, Synced: false})
+	svc.OnBeacon(10, Beacon{From: 2, Reading: 10, Synced: true})
+	if svc.Tick(20).Synced {
+		t.Fatalf("follower synced without any adopted master sample")
+	}
+	// Now a synced master beacon arrives: adopt and claim sync.
+	svc.OnBeacon(30, Beacon{From: 0, Reading: 123456, Synced: true})
+	if !svc.Tick(40).Synced {
+		t.Fatalf("follower not synced after master sample")
+	}
+}
+
+func TestLowestIDIsMasterEvenIfSelf(t *testing.T) {
+	params := model.DefaultParams(3)
+	svc := New(0, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	svc.OnBeacon(0, Beacon{From: 1, Reading: 0, Synced: true})
+	svc.OnBeacon(0, Beacon{From: 2, Reading: 0, Synced: true})
+	if got := svc.Master(0); got != 0 {
+		t.Fatalf("master %v, want self", got)
+	}
+	if !svc.Tick(1).Synced {
+		t.Fatalf("master with fresh majority not synced")
+	}
+	// Master ignores higher-ID beacons for correction.
+	if svc.Clock().Correction != 0 {
+		t.Fatalf("master adopted a correction: %v", svc.Clock().Correction)
+	}
+}
+
+func TestOwnBeaconIgnored(t *testing.T) {
+	params := model.DefaultParams(3)
+	svc := New(1, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	svc.OnBeacon(5, Beacon{From: 1, Reading: 99999, Synced: true})
+	if len(svc.lastHeard) != 0 {
+		t.Fatalf("own beacon recorded")
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := newCluster(3, 47)
+	c.warmup()
+	svc := c.svcs[2]
+	if !svc.Synced() {
+		t.Fatalf("not synced before Forget")
+	}
+	svc.Forget()
+	if svc.Synced() {
+		t.Fatalf("synced right after Forget")
+	}
+	if svc.freshCount(c.s.Now()) != 1 {
+		t.Fatalf("freshness survived Forget")
+	}
+	// Recovery: after more beacons it resynchronizes.
+	c.s.RunFor(3 * svc.cfg.Timeout)
+	if !svc.Synced() {
+		t.Fatalf("did not resync after Forget")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	p := model.DefaultParams(5)
+	cfg := DefaultConfig(p)
+	if cfg.Interval <= 0 || cfg.Timeout <= cfg.Interval || cfg.MinFresh != 3 {
+		t.Fatalf("bad default config: %+v", cfg)
+	}
+	// Degenerate D still yields a positive interval.
+	p.D = 1
+	cfg = DefaultConfig(p)
+	if cfg.Interval <= 0 {
+		t.Fatalf("degenerate interval: %v", cfg.Interval)
+	}
+	// New with a zero config falls back to defaults.
+	svc := New(0, p, Config{}, clock.NewAdjusted(&clock.Hardware{}))
+	if svc.cfg.Interval <= 0 {
+		t.Fatalf("zero config not defaulted")
+	}
+	if svc.String() == "" {
+		t.Fatalf("String empty")
+	}
+}

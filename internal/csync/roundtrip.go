@@ -1,0 +1,108 @@
+package csync
+
+import (
+	"timewheel/internal/model"
+)
+
+// The round-trip mode implements the core mechanism of fail-aware clock
+// synchronization [Fetzer & Cristian 1996]: a follower measures the
+// master's clock through a probe/echo round trip, and the half-round-trip
+// bounds the reading's error — so every adopted correction has a *known*
+// error bound, and readings whose bound exceeds the target precision are
+// rejected rather than trusted (fail-awareness at the reading level).
+//
+// Compared with the beacon mode (one-way, midpoint assumption), the
+// round-trip mode costs one extra message per sample but turns the error
+// from an assumption into a measurement.
+
+// SetRoundTripOnly makes beacons serve election and freshness only:
+// clock corrections then come exclusively from probe/echo rounds with
+// measured error bounds.
+func (s *Service) SetRoundTripOnly(v bool) { s.roundTripOnly = v }
+
+// Probe is a follower's time request.
+type Probe struct {
+	From model.ProcessID
+	// Nonce correlates the echo with the probe (the follower's local
+	// hardware reading at send also serves as the RTT base).
+	Nonce uint64
+	// SentAtLocal is the follower's local clock at probe send, echoed
+	// back verbatim so the follower needs no outstanding-probe table.
+	SentAtLocal model.Time
+}
+
+// Echo is the master's reply to a probe.
+type Echo struct {
+	From model.ProcessID // the responding master
+	To   model.ProcessID
+	// Nonce and SentAtLocal are copied from the probe.
+	Nonce       uint64
+	SentAtLocal model.Time
+	// Reading is the master's synchronized-clock value when it processed
+	// the probe.
+	Reading model.Time
+	// Synced reports whether the master considered itself synchronized.
+	Synced bool
+}
+
+// MakeProbe builds a probe addressed at the current master, or ok=false
+// when this process IS the master (nothing to measure). now is real
+// time; the RTT base is the local synchronized reading at send.
+func (s *Service) MakeProbe(now model.Time) (Probe, model.ProcessID, bool) {
+	master := s.Master(now)
+	if master == s.id {
+		return Probe{}, model.NoProcess, false
+	}
+	s.probeNonce++
+	return Probe{From: s.id, Nonce: s.probeNonce, SentAtLocal: s.adj.Read(now)}, master, true
+}
+
+// OnProbe answers a probe at real time now; every process answers (the
+// prober decides whom to trust).
+func (s *Service) OnProbe(now model.Time, p Probe) Echo {
+	return Echo{
+		From:        s.id,
+		To:          p.From,
+		Nonce:       p.Nonce,
+		SentAtLocal: p.SentAtLocal,
+		Reading:     s.adj.Read(now),
+		Synced:      s.adj.Synced,
+	}
+}
+
+// OnEcho processes a master's echo received at real time now. The
+// reading is adopted only if it came from the current master, the master
+// was synchronized, and the measured error bound (half the round trip,
+// plus the configured precision slack) is within epsilon — otherwise the
+// round is rejected, which is the fail-aware discipline: never adopt a
+// reading whose error you cannot bound.
+//
+// It returns the measured error bound and whether the reading was
+// adopted.
+func (s *Service) OnEcho(now model.Time, e Echo) (bound model.Duration, adopted bool) {
+	local := s.adj.Read(now)
+	rtt := local.Sub(e.SentAtLocal)
+	if rtt < 0 {
+		return 0, false // clock stepped mid-round: reject
+	}
+	bound = rtt / 2
+	s.lastHeard[e.From] = now
+	if !e.Synced || e.From != s.Master(now) || e.From >= s.id {
+		return bound, false
+	}
+	if bound > s.params.Epsilon {
+		s.rejectedRounds++
+		return bound, false
+	}
+	// The master's clock read e.Reading roughly rtt/2 before our `local`
+	// reading; slew our correction by the measured offset.
+	sample := e.Reading.Add(bound).Sub(local)
+	s.adj.Correction += sample
+	s.lastAdopt = now
+	s.adopted++
+	return bound, true
+}
+
+// RejectedRounds returns how many round-trip readings were rejected for
+// exceeding the epsilon error bound.
+func (s *Service) RejectedRounds() uint64 { return s.rejectedRounds }

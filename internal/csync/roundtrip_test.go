@@ -1,0 +1,195 @@
+package csync
+
+import (
+	"testing"
+
+	"timewheel/internal/clock"
+	"timewheel/internal/model"
+	"timewheel/internal/sim"
+)
+
+// rtCluster wires sync services that use probe/echo round trips instead
+// of one-way beacon adoption (beacons still run for master election and
+// freshness).
+type rtCluster struct {
+	*cluster
+	bounds []model.Duration // adopted error bounds
+}
+
+func newRTCluster(n int, seed int64) *rtCluster {
+	c := &rtCluster{cluster: newCluster(n, seed)}
+	// Fail-aware sync only achieves epsilon when the network allows it:
+	// a round is adopted only if rtt/2 <= epsilon, so the test network's
+	// round trips must fit inside 2*epsilon.
+	c.minD = c.params.Epsilon / 4
+	c.maxD = c.params.Epsilon - 1
+	for _, svc := range c.svcs {
+		svc.SetRoundTripOnly(true)
+	}
+	// Followers probe the master every interval.
+	for i := range c.svcs {
+		i := i
+		svc := c.svcs[i]
+		var probe func()
+		probe = func() {
+			if !c.crashed[i] && !c.isolated[i] {
+				if p, master, ok := svc.MakeProbe(c.s.Now()); ok {
+					d1 := c.delay()
+					m := int(master)
+					c.s.After(d1, func() {
+						if c.crashed[m] || c.isolated[m] {
+							return
+						}
+						echo := c.svcs[m].OnProbe(c.s.Now(), p)
+						d2 := c.delay()
+						c.s.After(d2, func() {
+							if !c.crashed[i] && !c.isolated[i] {
+								if bound, adopted := svc.OnEcho(c.s.Now(), echo); adopted {
+									c.bounds = append(c.bounds, bound)
+								}
+							}
+						})
+					})
+				}
+			}
+			c.s.After(svc.cfg.Interval, probe)
+		}
+		c.s.Schedule(model.Time(int64(i)*499+10), probe)
+	}
+	return c
+}
+
+func (c *rtCluster) delay() model.Duration {
+	return c.minD + model.Duration(c.s.Rand().Int63n(int64(c.maxD-c.minD)+1))
+}
+
+func TestRoundTripSynchronizes(t *testing.T) {
+	c := newRTCluster(5, 81)
+	c.warmup()
+	for i, svc := range c.svcs {
+		if !svc.Synced() {
+			t.Errorf("p%d not synchronized", i)
+		}
+	}
+	if len(c.bounds) == 0 {
+		t.Fatalf("no round-trip samples adopted")
+	}
+	// Every adopted bound is within epsilon by construction.
+	for _, b := range c.bounds {
+		if b > c.params.Epsilon {
+			t.Fatalf("adopted bound %v exceeds epsilon %v", b, c.params.Epsilon)
+		}
+	}
+}
+
+func TestRoundTripDeviationWithinMeasuredBounds(t *testing.T) {
+	c := newRTCluster(4, 82)
+	c.warmup()
+	for k := 0; k < 40; k++ {
+		c.s.RunFor(c.svcs[0].cfg.Interval)
+		// With round trips the deviation stays within epsilon plus the
+		// drift accumulated over one interval.
+		bound := c.params.Epsilon + 2*model.Duration(c.params.RhoPPM*int64(c.svcs[0].cfg.Interval)/1_000_000) + model.Millisecond
+		if dev := c.maxDeviation(); dev > bound {
+			t.Fatalf("deviation %v exceeds %v", dev, bound)
+		}
+	}
+}
+
+func TestRoundTripRejectsSlowRounds(t *testing.T) {
+	params := model.DefaultParams(3)
+	follower := New(1, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{Offset: 5000}))
+	master := New(0, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	master.adj.Apply(0)
+
+	// Make p0 the follower's master.
+	follower.OnBeacon(0, Beacon{From: 0, Reading: 0, Synced: true})
+
+	p, to, ok := follower.MakeProbe(10)
+	if !ok || to != 0 {
+		t.Fatalf("probe: %v %v", to, ok)
+	}
+	echo := master.OnProbe(20, p)
+
+	// The echo arrives after a round trip far beyond 2*epsilon: the
+	// reading's error bound is unusable and must be rejected.
+	lateArrival := model.Time(10).Add(3 * params.Epsilon * 2)
+	bound, adopted := follower.OnEcho(lateArrival, echo)
+	if adopted {
+		t.Fatalf("slow round adopted (bound %v)", bound)
+	}
+	if follower.RejectedRounds() != 1 {
+		t.Fatalf("rejected counter: %d", follower.RejectedRounds())
+	}
+	if bound <= params.Epsilon {
+		t.Fatalf("bound %v should exceed epsilon", bound)
+	}
+
+	// A fast round is adopted and corrects the 5ms offset.
+	p2, _, _ := follower.MakeProbe(1000)
+	echo2 := master.OnProbe(1001, p2)
+	bound2, adopted2 := follower.OnEcho(1002, echo2)
+	if !adopted2 {
+		t.Fatalf("fast round rejected (bound %v)", bound2)
+	}
+	// Follower's corrected clock now reads close to the master's.
+	fRead := follower.adj.Read(2000)
+	mRead := master.adj.Read(2000)
+	diff := fRead.Sub(mRead)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*bound2+model.Millisecond {
+		t.Fatalf("post-round deviation %v too large (bound %v)", diff, bound2)
+	}
+}
+
+func TestRoundTripMasterDoesNotProbe(t *testing.T) {
+	params := model.DefaultParams(3)
+	svc := New(0, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	if _, _, ok := svc.MakeProbe(0); ok {
+		t.Fatalf("master produced a probe")
+	}
+}
+
+func TestRoundTripIgnoresNonMasterEchoes(t *testing.T) {
+	params := model.DefaultParams(3)
+	follower := New(2, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	follower.OnBeacon(0, Beacon{From: 0, Reading: 0, Synced: true})
+	follower.OnBeacon(0, Beacon{From: 1, Reading: 0, Synced: true})
+	// An echo from p1 while p0 is the master: freshness noted, reading
+	// not adopted.
+	_, adopted := follower.OnEcho(10, Echo{From: 1, To: 2, SentAtLocal: 5, Reading: 123, Synced: true})
+	if adopted {
+		t.Fatalf("non-master echo adopted")
+	}
+	// Echo from an unsynchronized master: rejected too.
+	_, adopted = follower.OnEcho(20, Echo{From: 0, To: 2, SentAtLocal: 15, Reading: 123, Synced: false})
+	if adopted {
+		t.Fatalf("unsynced master echo adopted")
+	}
+}
+
+func TestRoundTripNegativeRTTRejected(t *testing.T) {
+	params := model.DefaultParams(3)
+	follower := New(1, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	follower.OnBeacon(0, Beacon{From: 0, Reading: 0, Synced: true})
+	// SentAtLocal in the future of the receive clock (clock stepped).
+	if _, adopted := follower.OnEcho(10, Echo{From: 0, To: 1, SentAtLocal: 99999, Reading: 5, Synced: true}); adopted {
+		t.Fatalf("negative-RTT round adopted")
+	}
+}
+
+func TestProbeNoncesIncrease(t *testing.T) {
+	params := model.DefaultParams(3)
+	svc := New(1, params, DefaultConfig(params), clock.NewAdjusted(&clock.Hardware{}))
+	svc.OnBeacon(0, Beacon{From: 0, Reading: 0, Synced: true})
+	p1, _, _ := svc.MakeProbe(1)
+	p2, _, _ := svc.MakeProbe(2)
+	if p2.Nonce <= p1.Nonce {
+		t.Fatalf("nonces not increasing: %d %d", p1.Nonce, p2.Nonce)
+	}
+}
+
+// sim import keepalive for the shared cluster helper.
+var _ = sim.New

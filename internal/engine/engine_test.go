@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timewheel/internal/member"
+	"timewheel/internal/wire"
+)
+
+func waitHandled(t *testing.T, e Engine, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Handled() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("handled %d of %d before timeout", e.Handled(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func engines(h Handler) map[string]Engine {
+	return map[string]Engine{
+		"event-loop": NewEventLoop(h, 0),
+		"threaded":   NewThreaded(h, 0),
+	}
+}
+
+func TestAllEventsDispatched(t *testing.T) {
+	for name := range engines(nil) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var count atomic.Uint64
+			var e Engine
+			h := func(Event) { count.Add(1) }
+			if name == "event-loop" {
+				e = NewEventLoop(h, 0)
+			} else {
+				e = NewThreaded(h, 0)
+			}
+			const n = 10_000
+			for i := 0; i < n; i++ {
+				e.Post(Event{Type: EventType(i % NumEventTypes)})
+			}
+			waitHandled(t, e, n)
+			e.Stop()
+			if count.Load() != n {
+				t.Fatalf("handled %d", count.Load())
+			}
+		})
+	}
+}
+
+func TestHandlerNeverRunsConcurrently(t *testing.T) {
+	for name := range engines(nil) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var inHandler atomic.Int32
+			var overlaps atomic.Int32
+			h := func(Event) {
+				if inHandler.Add(1) > 1 {
+					overlaps.Add(1)
+				}
+				for i := 0; i < 50; i++ {
+					_ = i * i
+				}
+				inHandler.Add(-1)
+			}
+			var e Engine
+			if name == "event-loop" {
+				e = NewEventLoop(h, 0)
+			} else {
+				e = NewThreaded(h, 0)
+			}
+			var wg sync.WaitGroup
+			const posters, per = 8, 500
+			for p := 0; p < posters; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						e.Post(Event{Type: EventType((p + i) % NumEventTypes)})
+					}
+				}()
+			}
+			wg.Wait()
+			waitHandled(t, e, posters*per)
+			e.Stop()
+			if overlaps.Load() != 0 {
+				t.Fatalf("%d concurrent handler executions", overlaps.Load())
+			}
+		})
+	}
+}
+
+func TestEventLoopPreservesFIFO(t *testing.T) {
+	var got []int
+	e := NewEventLoop(func(ev Event) { got = append(got, int(ev.Type)) }, 0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		e.Post(Event{Type: EventType(i % NumEventTypes)})
+	}
+	waitHandled(t, e, n)
+	e.Stop()
+	for i, v := range got {
+		if v != i%NumEventTypes {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestThreadedPreservesPerTypeFIFO(t *testing.T) {
+	perType := make(map[EventType][]int)
+	e := NewThreaded(func(ev Event) {
+		// The engine serialises handler execution, so no extra locking.
+		ev.Cmd()
+	}, 0)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		i := i
+		ty := EventType(i % NumEventTypes)
+		e.Post(Event{Type: ty, Cmd: func() { perType[ty] = append(perType[ty], i) }})
+	}
+	waitHandled(t, e, n)
+	e.Stop()
+	for ty, seq := range perType {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1] {
+				t.Fatalf("type %d: per-type FIFO broken", ty)
+			}
+		}
+	}
+}
+
+func TestStopIsIdempotentAndDropsLatePosts(t *testing.T) {
+	for name := range engines(nil) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var e Engine
+			h := func(Event) {}
+			if name == "event-loop" {
+				e = NewEventLoop(h, 0)
+			} else {
+				e = NewThreaded(h, 0)
+			}
+			e.Post(Event{})
+			e.Stop()
+			e.Stop() // idempotent
+			before := e.Handled()
+			e.Post(Event{})
+			time.Sleep(time.Millisecond)
+			if e.Handled() != before {
+				t.Fatalf("post after stop was handled")
+			}
+		})
+	}
+}
+
+func TestTypeMappings(t *testing.T) {
+	cases := []struct {
+		m    wire.Message
+		want EventType
+	}{
+		{&wire.Proposal{}, EvProposal},
+		{&wire.Decision{}, EvDecision},
+		{&wire.NoDecision{}, EvNoDecision},
+		{&wire.Join{}, EvJoin},
+		{&wire.Reconfig{}, EvReconfig},
+		{&wire.Nack{}, EvNack},
+		{&wire.State{}, EvState},
+	}
+	for _, c := range cases {
+		if got := TypeOfMessage(c.m); got != c.want {
+			t.Errorf("TypeOfMessage(%T) = %d, want %d", c.m, got, c.want)
+		}
+	}
+	if TypeOfTimer(member.TimerExpect) != EvTimerExpect ||
+		TypeOfTimer(member.TimerDecide) != EvTimerDecide ||
+		TypeOfTimer(member.TimerSlot) != EvTimerSlot {
+		t.Errorf("timer mappings wrong")
+	}
+	if NumEventTypes != 11 {
+		t.Errorf("NumEventTypes = %d", NumEventTypes)
+	}
+}
+
+func TestThreadedOutOfRangeTypeRoutesToCommand(t *testing.T) {
+	var count atomic.Uint64
+	e := NewThreaded(func(Event) { count.Add(1) }, 0)
+	e.Post(Event{Type: EventType(200)})
+	waitHandled(t, e, 1)
+	e.Stop()
+}

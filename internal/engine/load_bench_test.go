@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func loadTest(b *testing.B, e Engine) {
+	const posters = 8
+	per := b.N / posters
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for p := 0; p < posters; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Post(Event{Type: EventType((p*7 + i) % NumEventTypes)})
+			}
+		}()
+	}
+	wg.Wait()
+	for e.Handled() < uint64(posters*per) {
+	}
+	b.StopTimer()
+	e.Stop()
+}
+
+func BenchmarkLoadLoop(b *testing.B) {
+	work := 0
+	loadTest(b, NewEventLoop(func(Event) {
+		for i := 0; i < 100; i++ {
+			work += i
+		}
+	}, 4096))
+}
+
+func BenchmarkLoadThreaded(b *testing.B) {
+	work := 0
+	loadTest(b, NewThreaded(func(Event) {
+		for i := 0; i < 100; i++ {
+			work += i
+		}
+	}, 512))
+}

@@ -1,0 +1,157 @@
+// Package fdetect implements the membership protocol's failure detector
+// (paper §4.2).
+//
+// The detector of process p maintains an alive-list: p itself plus every
+// process from which p received at least one control message within the
+// last N slots (judged by send timestamps on p's synchronized clock). It
+// also runs the expected-sender surveillance scheme: after p receives a
+// decision message with send timestamp ts from the current decider d, it
+// expects a control message from d's successor e, with a timestamp
+// greater than ts, to arrive before ts+2D. If the deadline passes, the
+// detector reports a timeout failure of e to the group creator.
+//
+// The detector is unreliable by design: an alive-list can contain crashed
+// processes and omit live ones, and detectors at different processes can
+// disagree. The group creator turns these unreliable hints into an agreed
+// group.
+package fdetect
+
+import (
+	"fmt"
+
+	"timewheel/internal/model"
+)
+
+// Detector is one process's failure detector. Not safe for concurrent
+// use; drive it from the owner's event loop.
+type Detector struct {
+	self   model.ProcessID
+	params model.Params
+
+	// lastControl records the highest send timestamp seen per sender —
+	// the duplicate/old-message rejection state: a control message is
+	// fresh only if its timestamp exceeds the recorded one.
+	lastControl map[model.ProcessID]model.Time
+
+	// lastTimely records the highest send timestamp among control
+	// messages that arrived within the timeliness bound. Only timely
+	// messages count toward the alive-list (§4.2: "if a process
+	// receives p's join messages in a timely manner, it includes p in
+	// its alive-list").
+	lastTimely map[model.ProcessID]model.Time
+
+	// Expected-sender surveillance.
+	expActive   bool
+	expSender   model.ProcessID
+	expAfter    model.Time // control must carry sendTS > expAfter
+	expDeadline model.Time // ... and arrive before this clock time
+
+	suspicions uint64
+}
+
+// New creates a detector for process self.
+func New(self model.ProcessID, params model.Params) *Detector {
+	return &Detector{
+		self:        self,
+		params:      params,
+		lastControl: make(map[model.ProcessID]model.Time),
+		lastTimely:  make(map[model.ProcessID]model.Time),
+	}
+}
+
+// RecordControl notes a control message from sender with the given send
+// timestamp, received when the local synchronized clock read now. It
+// reports whether the message is fresh (not a duplicate or older than
+// one already seen from that sender); stale messages must be rejected by
+// the caller per §4.2. Only messages whose transmission stayed within
+// delta (plus clock deviation and scheduling slack) advance the
+// alive-list — a late message proves nothing about current liveness.
+func (d *Detector) RecordControl(from model.ProcessID, sendTS, now model.Time) bool {
+	if last, ok := d.lastControl[from]; ok && sendTS <= last {
+		return false
+	}
+	d.lastControl[from] = sendTS
+	if now.Sub(sendTS) <= d.params.Delta+d.params.Epsilon+d.params.Sigma {
+		if sendTS > d.lastTimely[from] {
+			d.lastTimely[from] = sendTS
+		}
+	}
+	return true
+}
+
+// LastTS returns the highest send timestamp seen from p, or 0.
+func (d *Detector) LastTS(p model.ProcessID) model.Time { return d.lastControl[p] }
+
+// AliveList returns the alive-list at synchronized-clock time now: self
+// plus every process heard from within the last N slots.
+func (d *Detector) AliveList(now model.Time) []model.ProcessID {
+	window := model.Duration(d.params.N) * d.params.SlotLen()
+	alive := model.NewProcessSet(d.self)
+	for p, ts := range d.lastTimely {
+		if p == d.self {
+			continue
+		}
+		if now.Sub(ts) <= window {
+			alive.Add(p)
+		}
+	}
+	return alive.Sorted()
+}
+
+// AliveSet is AliveList as a set.
+func (d *Detector) AliveSet(now model.Time) model.ProcessSet {
+	return model.NewProcessSet(d.AliveList(now)...)
+}
+
+// Forget drops all recorded liveness, as after a crash/recovery.
+func (d *Detector) Forget() {
+	d.lastControl = make(map[model.ProcessID]model.Time)
+	d.lastTimely = make(map[model.ProcessID]model.Time)
+	d.ClearExpectation()
+}
+
+// Expect arms the surveillance: a control message from sender with
+// timestamp greater than after must arrive before deadline.
+func (d *Detector) Expect(sender model.ProcessID, after, deadline model.Time) {
+	d.expActive = true
+	d.expSender = sender
+	d.expAfter = after
+	d.expDeadline = deadline
+}
+
+// ClearExpectation disarms the surveillance.
+func (d *Detector) ClearExpectation() { d.expActive = false }
+
+// Expected returns the currently expected sender and deadline; active is
+// false when surveillance is disarmed.
+func (d *Detector) Expected() (sender model.ProcessID, deadline model.Time, active bool) {
+	return d.expSender, d.expDeadline, d.expActive
+}
+
+// Satisfies reports whether a control message from p with timestamp ts
+// satisfies the current expectation.
+func (d *Detector) Satisfies(p model.ProcessID, ts model.Time) bool {
+	return d.expActive && p == d.expSender && ts > d.expAfter
+}
+
+// TimedOut reports whether the expectation is armed and its deadline has
+// passed at synchronized time now; if so it records a suspicion and
+// returns the suspect. The expectation stays armed — the caller (group
+// creator) decides what to do next.
+func (d *Detector) TimedOut(now model.Time) (suspect model.ProcessID, timedOut bool) {
+	if d.expActive && now > d.expDeadline {
+		d.suspicions++
+		return d.expSender, true
+	}
+	return model.NoProcess, false
+}
+
+// Suspicions returns the lifetime count of timeout failures reported.
+func (d *Detector) Suspicions() uint64 { return d.suspicions }
+
+func (d *Detector) String() string {
+	if !d.expActive {
+		return fmt.Sprintf("fd(%v idle)", d.self)
+	}
+	return fmt.Sprintf("fd(%v expects %v ts>%v by %v)", d.self, d.expSender, d.expAfter, d.expDeadline)
+}

@@ -1,0 +1,193 @@
+package fdetect
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"timewheel/internal/model"
+)
+
+func det() *Detector { return New(0, model.DefaultParams(4)) }
+
+func TestRecordControlFreshness(t *testing.T) {
+	d := det()
+	if !d.RecordControl(1, 100, 100+1) {
+		t.Fatalf("first message not fresh")
+	}
+	if d.RecordControl(1, 100, 100+1) {
+		t.Fatalf("duplicate accepted")
+	}
+	if d.RecordControl(1, 50, 50+1) {
+		t.Fatalf("old message accepted")
+	}
+	if !d.RecordControl(1, 101, 101+1) {
+		t.Fatalf("newer message rejected")
+	}
+	if d.LastTS(1) != 101 {
+		t.Fatalf("LastTS: %v", d.LastTS(1))
+	}
+	if d.LastTS(2) != 0 {
+		t.Fatalf("LastTS unseen: %v", d.LastTS(2))
+	}
+}
+
+func TestAliveListWindow(t *testing.T) {
+	d := det()
+	params := model.DefaultParams(4)
+	window := model.Duration(4) * params.SlotLen()
+
+	d.RecordControl(1, 100, 100+1)
+	d.RecordControl(2, 200, 200+1)
+
+	// Inside the window: everyone alive (plus self).
+	got := d.AliveList(model.Time(0).Add(window))
+	want := []model.ProcessID{0, 1, 2}
+	if !slices.Equal(got, want) {
+		t.Fatalf("alive = %v, want %v", got, want)
+	}
+
+	// p1's message ages out first.
+	got = d.AliveList(model.Time(150).Add(window))
+	want = []model.ProcessID{0, 2}
+	if !slices.Equal(got, want) {
+		t.Fatalf("alive = %v, want %v", got, want)
+	}
+
+	// Eventually only self remains.
+	got = d.AliveList(model.Time(10_000_000).Add(window))
+	want = []model.ProcessID{0}
+	if !slices.Equal(got, want) {
+		t.Fatalf("alive = %v, want %v", got, want)
+	}
+}
+
+func TestAliveSetMatchesList(t *testing.T) {
+	d := det()
+	d.RecordControl(3, 10, 10+1)
+	set := d.AliveSet(20)
+	if !set.Has(0) || !set.Has(3) || set.Has(1) {
+		t.Fatalf("alive set: %v", set)
+	}
+}
+
+func TestSelfAlwaysAlive(t *testing.T) {
+	f := func(now int64) bool {
+		d := det()
+		tm := model.Time(now)
+		if tm < 0 {
+			tm = -tm
+		}
+		return slices.Contains(d.AliveList(tm), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfRecordDoesNotDuplicate(t *testing.T) {
+	// Recording a control from self (possible when a node loops back its
+	// own sends through shared bookkeeping) must not double-list self.
+	d := det()
+	d.RecordControl(0, 5, 5+1)
+	got := d.AliveList(6)
+	if !slices.Equal(got, []model.ProcessID{0}) {
+		t.Fatalf("alive = %v", got)
+	}
+}
+
+func TestExpectationLifecycle(t *testing.T) {
+	d := det()
+	if _, _, active := d.Expected(); active {
+		t.Fatalf("expectation active at start")
+	}
+	if s, to := d.TimedOut(1 << 40); to || s != model.NoProcess {
+		t.Fatalf("timeout with no expectation")
+	}
+
+	d.Expect(2, 100, 140)
+	sender, deadline, active := d.Expected()
+	if !active || sender != 2 || deadline != 140 {
+		t.Fatalf("Expected: %v %v %v", sender, deadline, active)
+	}
+
+	// Satisfaction requires the right sender and a newer timestamp.
+	if d.Satisfies(1, 150) {
+		t.Errorf("wrong sender satisfied")
+	}
+	if d.Satisfies(2, 100) {
+		t.Errorf("stale timestamp satisfied")
+	}
+	if !d.Satisfies(2, 101) {
+		t.Errorf("valid control did not satisfy")
+	}
+
+	// No timeout before the deadline (inclusive).
+	if _, to := d.TimedOut(140); to {
+		t.Errorf("timed out at deadline")
+	}
+	if s, to := d.TimedOut(141); !to || s != 2 {
+		t.Errorf("timeout after deadline: %v %v", s, to)
+	}
+	if d.Suspicions() != 1 {
+		t.Errorf("suspicions: %d", d.Suspicions())
+	}
+
+	d.ClearExpectation()
+	if _, to := d.TimedOut(1 << 40); to {
+		t.Errorf("timeout after clear")
+	}
+	if d.Satisfies(2, 999) {
+		t.Errorf("satisfied after clear")
+	}
+}
+
+func TestForget(t *testing.T) {
+	d := det()
+	d.RecordControl(1, 100, 100+1)
+	d.Expect(1, 100, 200)
+	d.Forget()
+	if got := d.AliveList(101); !slices.Equal(got, []model.ProcessID{0}) {
+		t.Fatalf("alive after forget: %v", got)
+	}
+	if _, _, active := d.Expected(); active {
+		t.Fatalf("expectation survived forget")
+	}
+	// Freshness state is also reset: the same timestamp is fresh again.
+	if !d.RecordControl(1, 100, 100+1) {
+		t.Fatalf("freshness survived forget")
+	}
+}
+
+func TestString(t *testing.T) {
+	d := det()
+	if d.String() == "" {
+		t.Error("idle String empty")
+	}
+	d.Expect(1, 2, 3)
+	if d.String() == "" {
+		t.Error("armed String empty")
+	}
+}
+
+func TestLateControlMessagesDoNotAdvanceAliveList(t *testing.T) {
+	d := det()
+	params := model.DefaultParams(4)
+	lateBy := params.Delta + params.Epsilon + params.Sigma + 1
+	// A late message is fresh (processed once) but proves no liveness.
+	if !d.RecordControl(1, 100, model.Time(100).Add(lateBy)) {
+		t.Fatalf("late message not fresh")
+	}
+	got := d.AliveList(model.Time(100).Add(lateBy))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("late message advanced alive-list: %v", got)
+	}
+	// A timely one does.
+	if !d.RecordControl(1, 200, 201) {
+		t.Fatalf("timely message rejected")
+	}
+	got = d.AliveList(250)
+	if len(got) != 2 {
+		t.Fatalf("timely message did not advance alive-list: %v", got)
+	}
+}

@@ -1,0 +1,276 @@
+package member
+
+import (
+	"slices"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/model"
+	"timewheel/internal/wire"
+)
+
+// onOwnSlot runs at the start of each of this process's own time slots:
+// join-state processes send join messages, n-failure processes send
+// reconfiguration messages and evaluate the election win condition.
+func (m *Machine) onOwnSlot() {
+	m.bc.CheckTermination(m.env.Now())
+	if m.needState && m.haveGroup && m.state != StateJoin {
+		// The join-time state transfer is still outstanding (the State
+		// unicast was lost, or a newer admission superseded the one we
+		// got): re-advertise as a joiner so the decider's resend path
+		// (admitJoiners) fires again. Not via sendJoin — this must not
+		// displace lastControlMsg, which the wrong-suspicion resend rule
+		// may need for a decision.
+		m.env.Broadcast(&wire.Join{
+			Header:   wire.Header{From: m.self, SendTS: m.sendTS()},
+			JoinList: []model.ProcessID{m.self},
+		})
+		m.stats.JoinsSent++
+	}
+	switch m.state {
+	case StateJoin:
+		m.sendJoin()
+		m.tryFormInitialGroup()
+	case StateNFailure:
+		if m.env.Now().Sub(m.nfSince) > model.Duration(m.cfg.NFFallbackCycles)*m.params.CycleLen() {
+			// No election has succeeded for a long time: the survival
+			// assumption is gone (our "last group" can never supply a
+			// majority). Forfeit the group knowledge and rejoin.
+			m.resetForJoin()
+			m.sendJoin()
+			return
+		}
+		m.sendReconfig()
+		m.tryWinReconfigElection()
+	}
+}
+
+// lastSlotStartOf returns the start of q's most recent slot at or before
+// now, less the clock tolerance epsilon+sigma. Election freshness
+// ("received in p's last time slot") is judged against it: a timestamp q
+// stamped at its slot start on its own synchronized clock may lag this
+// process's clock by up to the synchronization deviation.
+func (m *Machine) lastSlotStartOf(q model.ProcessID, now model.Time) model.Time {
+	next := m.params.NextSlotOf(q, now) // strictly after now
+	return next.Add(-m.params.CycleLen() - m.params.Epsilon - m.params.Sigma)
+}
+
+// --- Join protocol -------------------------------------------------------
+
+// joinList returns this process's join-list: itself plus every process
+// whose join message arrived within the last cycle (the paper's N-1
+// slots, widened by one slot plus the clock tolerance so that the
+// cyclic successor's once-per-cycle join does not age out at the exact
+// window edge; the strict per-sender "last slot" freshness of the win
+// condition is what guarantees at-most-one-decider).
+func (m *Machine) joinList(now model.Time) model.ProcessSet {
+	window := m.params.CycleLen() + m.params.Epsilon + m.params.Sigma
+	jl := model.NewProcessSet(m.self)
+	for q, ji := range m.lastJoin {
+		if q != m.self && now.Sub(ji.ts) <= window {
+			jl.Add(q)
+		}
+	}
+	return jl
+}
+
+func (m *Machine) sendJoin() {
+	now := m.env.Now()
+	j := &wire.Join{
+		Header:   wire.Header{From: m.self, SendTS: m.sendTS()},
+		JoinList: m.joinList(now).Sorted(),
+	}
+	m.env.Broadcast(j)
+	m.lastControlMsg = j
+	m.stats.JoinsSent++
+}
+
+// onJoin records a join message. Current members track joiners through
+// their alive-lists (joins are control messages); joining processes
+// build join-lists from them.
+func (m *Machine) onJoin(j *wire.Join) {
+	m.lastJoin[j.From] = joinInfo{ts: j.SendTS, list: model.NewProcessSet(j.JoinList...)}
+}
+
+// tryFormInitialGroup applies the paper's initial-formation rule in this
+// process's own slot: it becomes the first decider when (1) its
+// join-list contains a majority of the team, and (2) it received a join
+// message from every other join-list member in that member's last slot
+// carrying an identical join-list.
+func (m *Machine) tryFormInitialGroup() {
+	now := m.env.Now()
+	jl := m.joinList(now)
+	if len(jl) < m.params.Majority() {
+		return
+	}
+	for q := range jl {
+		if q == m.self {
+			continue
+		}
+		ji := m.lastJoin[q]
+		if ji.ts < m.lastSlotStartOf(q, now) {
+			return // stale: not from q's last slot
+		}
+		if !ji.list.Equal(jl) {
+			return // join-lists have not converged yet
+		}
+	}
+	group := model.NewGroup(m.nextGroupSeq(), jl.Sorted())
+	m.bc.AnnounceGroup(now, group)
+	m.installGroup(group)
+	m.setState(StateFailureFree)
+	m.clearElection()
+	m.lastJoin = make(map[model.ProcessID]joinInfo)
+	m.becomeDeciderNow()
+}
+
+// --- Reconfiguration (multiple-failure) protocol --------------------------
+
+// enterNFailure switches to the n-failure state. If this process sent a
+// no-decision message in the failed single-failure election, it is
+// quarantined for N-1 slots: its no-decision must not combine with a
+// reconfiguration message to elect two deciders (paper §4.2), so it
+// sends empty reconfiguration-lists and skips win evaluation until the
+// quarantine expires.
+func (m *Machine) enterNFailure(sentND bool) {
+	now := m.env.Now()
+	if sentND {
+		m.quarantineUntil = now.Add(model.Duration(m.params.N-1) * m.params.SlotLen())
+	}
+	m.fd.ClearExpectation()
+	m.env.CancelTimer(TimerExpect)
+	m.env.CancelTimer(TimerDecide)
+	m.setDecider(false)
+	// The single-failure episode is over; its buffered no-decisions must
+	// never complete a ghost election later.
+	m.pendingND = make(map[model.ProcessID]*wire.NoDecision)
+	if m.state != StateNFailure {
+		m.nfSince = now
+	}
+	m.setState(StateNFailure)
+}
+
+// reconfigList returns this process's reconfiguration-list: itself plus
+// every process whose reconfiguration message arrived within the last
+// cycle (widened like joinList; see there). During quarantine the list
+// is empty.
+func (m *Machine) reconfigList(now model.Time) model.ProcessSet {
+	if now < m.quarantineUntil {
+		return model.NewProcessSet()
+	}
+	window := m.params.CycleLen() + m.params.Epsilon + m.params.Sigma
+	rl := model.NewProcessSet(m.self)
+	for q, ri := range m.lastReconfig {
+		if q != m.self && now.Sub(ri.msg.SendTS) <= window {
+			rl.Add(q)
+		}
+	}
+	return rl
+}
+
+func (m *Machine) sendReconfig() {
+	now := m.env.Now()
+	// Anyone absent from our reconfiguration-list is one we are asking
+	// to remove: suppress their in-flight proposals (§4.3).
+	rl := m.reconfigList(now)
+	for _, q := range m.group.Members {
+		if q != m.self && !rl.Has(q) {
+			m.bc.SuppressSender(q, now)
+		}
+	}
+	r := &wire.Reconfig{
+		Header:         wire.Header{From: m.self, SendTS: m.sendTS()},
+		ReconfigList:   rl.Sorted(),
+		LastDecisionTS: m.bc.LastDecisionTS(),
+		GroupSeq:       m.group.Seq,
+		View:           *m.bc.CurrentView(),
+		DPD:            m.bc.DPD(),
+		Alive:          m.fd.AliveList(now),
+	}
+	m.env.Broadcast(r)
+	m.lastControlMsg = r
+	m.stats.ReconfigsSent++
+}
+
+// onReconfig records a reconfiguration message and handles the state
+// transitions it triggers outside the n-failure state: a reconfiguration
+// from the expected sender signals multiple failures.
+func (m *Machine) onReconfig(r *wire.Reconfig) {
+	if m.state == StateJoin || !m.haveGroup {
+		return
+	}
+	m.lastReconfig[r.From] = reconfigInfo{msg: r}
+	switch m.state {
+	case StateFailureFree, StateWrongSuspicion, State1FailureReceive, State1FailureSend:
+		if m.fd.Satisfies(r.From, r.SendTS) {
+			m.enterNFailure(m.ndSent)
+		}
+	case StateNFailure:
+		// Recorded above; the win condition is evaluated in our slot.
+	}
+}
+
+// tryWinReconfigElection applies the paper's four-part win condition in
+// this process's own slot: there must be a majority S (including this
+// process) whose reconfiguration messages (a) arrived in their senders'
+// last slots, (b) carry reconfiguration-lists identical to ours,
+// (c) propose decision timestamps no newer than ours, and (d) whose
+// members all belonged to the last group we know. The winner reconciles
+// the log, forms the new group from exactly S, and becomes decider.
+func (m *Machine) tryWinReconfigElection() {
+	now := m.env.Now()
+	if now < m.quarantineUntil {
+		return
+	}
+	if !m.haveGroup || !m.group.Contains(m.self) {
+		return
+	}
+	myList := m.reconfigList(now)
+	myTS := m.bc.LastDecisionTS()
+
+	members := []model.ProcessID{m.self}
+	var reports []broadcast.Report
+	peers := make([]model.ProcessID, 0, len(m.lastReconfig))
+	for q := range m.lastReconfig {
+		peers = append(peers, q)
+	}
+	slices.Sort(peers)
+	for _, q := range peers {
+		if q == m.self {
+			continue
+		}
+		msg := m.lastReconfig[q].msg
+		if msg.SendTS < m.lastSlotStartOf(q, now) {
+			continue // not from q's last slot
+		}
+		if !model.NewProcessSet(msg.ReconfigList...).Equal(myList) {
+			continue
+		}
+		if msg.LastDecisionTS > myTS {
+			return // someone holds a fresher decision: they must lead
+		}
+		if !m.group.Contains(q) {
+			continue
+		}
+		members = append(members, q)
+		reports = append(reports, broadcast.Report{From: q, View: &msg.View, DPD: msg.DPD})
+	}
+	if len(members) < m.params.Majority() {
+		return
+	}
+
+	newGroup := model.NewGroup(m.nextGroupSeq(), members)
+	var departed []model.ProcessID
+	for _, q := range m.group.Members {
+		if !newGroup.Contains(q) {
+			departed = append(departed, q)
+		}
+	}
+	m.bc.Reconcile(now, newGroup, departed, reports)
+	m.installGroup(newGroup)
+	m.stats.ReconfigElections++
+	m.setState(StateFailureFree)
+	m.clearElection()
+	m.lastReconfig = make(map[model.ProcessID]reconfigInfo)
+	m.quarantineUntil = 0
+	m.becomeDeciderNow()
+}

@@ -1,0 +1,481 @@
+package member
+
+import (
+	"math/rand"
+	"testing"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+func TestUpToDatePredicate(t *testing.T) {
+	r := newRig(t, 3)
+	r.m.Start()
+	if r.m.UpToDate() {
+		t.Fatalf("up to date while joining")
+	}
+	r.join(0)
+	if !r.m.UpToDate() {
+		t.Fatalf("not up to date in failure-free")
+	}
+	// Single-failure episode: the view is still current while the
+	// election is being tracked.
+	r.timeoutExpected()
+	if r.m.State() != State1FailureReceive {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if !r.m.UpToDate() {
+		t.Fatalf("not up to date in 1-failure-receive")
+	}
+	// n-failure: the membership may be changing without us.
+	r.timeoutExpected()
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if r.m.UpToDate() {
+		t.Fatalf("up to date in n-failure")
+	}
+}
+
+func TestUpToDateFalseWhenExcluded(t *testing.T) {
+	r := newRig(t, 4)
+	r.join(0)
+	g2 := model.NewGroup(2, []model.ProcessID{0, 1, 2})
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.decisionFrom(0, g2))
+	if r.m.UpToDate() {
+		t.Fatalf("up to date while excluded")
+	}
+}
+
+func TestQuarantineExpiresAndElectionProceeds(t *testing.T) {
+	// p2 sent a no-decision, escalated to n-failure (quarantined), and
+	// must sit out (empty reconfiguration-lists) for N-1 slots before
+	// participating again.
+	r := newRig(t, 2)
+	r.join(0)
+	r.timeoutExpected() // ND sent -> 1FS
+	r.timeoutExpected() // -> NF with quarantine
+	quarantineEnd := r.env.now.Add(model.Duration(r.p.N-1) * r.p.SlotLen())
+
+	r.env.now = r.p.NextSlotOf(2, r.env.now)
+	if r.env.now < quarantineEnd {
+		r.m.OnTimer(TimerSlot)
+		rc := r.env.lastSent().(*wire.Reconfig)
+		if len(rc.ReconfigList) != 0 {
+			t.Fatalf("quarantined list not empty: %v", rc.ReconfigList)
+		}
+	}
+	// After the quarantine, the list includes self again.
+	r.env.now = quarantineEnd.Add(1)
+	r.env.now = r.p.NextSlotOf(2, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	rc := r.env.lastSent().(*wire.Reconfig)
+	found := false
+	for _, q := range rc.ReconfigList {
+		if q == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-quarantine list misses self: %v", rc.ReconfigList)
+	}
+}
+
+func TestAdmissionHappyPath(t *testing.T) {
+	p := model.DefaultParams(5)
+	env := newFakeEnv()
+	bc := broadcast.New(1, p, broadcast.Config{})
+	m := New(1, p, Config{}, env, bc)
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	m.Start()
+	// Everyone's decisions piggyback p4 as alive.
+	aliveAll := []model.ProcessID{0, 1, 2, 3, 4}
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now},
+		Group: g, OAL: *l, Alive: aliveAll})
+	env.now = env.now.Add(10)
+	m.OnMessage(&wire.Join{Header: wire.Header{From: 4, SendTS: env.now}, JoinList: []model.ProcessID{4}})
+	// Other members' alive-lists arrive via older decisions already
+	// recorded (From 0 covers p0); fake p2, p3 via noteAlive through
+	// fresh decisions is complex — drive directly:
+	m.noteAlive(2, aliveAll)
+	m.noteAlive(3, aliveAll)
+
+	env.now = env.timers[TimerDecide]
+	m.OnTimer(TimerDecide)
+	dec := r2LastDecision(t, env)
+	if !dec.Group.Contains(4) {
+		t.Fatalf("joiner not admitted: %v", dec.Group)
+	}
+	if dec.Group.Seq <= g.Seq {
+		t.Fatalf("group seq did not advance: %v", dec.Group.Seq)
+	}
+	// State transfer follows.
+	if len(env.unicasts) != 1 || env.unicasts[0].To != 4 || env.unicasts[0].M.Kind() != wire.KindState {
+		t.Fatalf("state transfer: %+v", env.unicasts)
+	}
+	if m.Stats().Admissions != 1 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+func TestAdmissionBlockedByMissingAliveList(t *testing.T) {
+	p := model.DefaultParams(5)
+	env := newFakeEnv()
+	bc := broadcast.New(1, p, broadcast.Config{})
+	m := New(1, p, Config{}, env, bc)
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	m.Start()
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now},
+		Group: g, OAL: *l, Alive: []model.ProcessID{0, 1, 2, 3}}) // p0 lacks p4
+	env.now = env.now.Add(10)
+	m.OnMessage(&wire.Join{Header: wire.Header{From: 4, SendTS: env.now}, JoinList: []model.ProcessID{4}})
+	m.noteAlive(2, []model.ProcessID{0, 1, 2, 3, 4})
+	m.noteAlive(3, []model.ProcessID{0, 1, 2, 3, 4})
+
+	env.now = env.timers[TimerDecide]
+	m.OnTimer(TimerDecide)
+	dec := r2LastDecision(t, env)
+	if dec.Group.Contains(4) {
+		t.Fatalf("admitted without unanimous alive-lists: %v", dec.Group)
+	}
+}
+
+func r2LastDecision(t *testing.T, env *fakeEnv) *wire.Decision {
+	t.Helper()
+	for i := len(env.sent) - 1; i >= 0; i-- {
+		if d, ok := env.sent[i].(*wire.Decision); ok {
+			return d
+		}
+	}
+	t.Fatalf("no decision sent: %v", env.sentKinds())
+	return nil
+}
+
+// TestRandomMessageRobustness feeds the machine long random sequences of
+// well-formed protocol messages and timer firings. The machine must
+// never panic, its group sequence must never regress, and it must never
+// install a sub-majority view.
+func TestRandomMessageRobustness(t *testing.T) {
+	p := model.DefaultParams(5)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		env := newFakeEnv()
+		bc := broadcast.New(2, p, broadcast.Config{})
+		m := New(2, p, Config{Hooks: Hooks{
+			ViewChange: func(g model.Group, _ model.Time) {
+				// Group seqs may regress when following a live chain off
+				// a dead fork; the invariant is that every installed
+				// view holds a majority.
+				if g.Size() < p.Majority() {
+					t.Fatalf("seed %d: sub-majority view %v", seed, g)
+				}
+			},
+		}}, env, bc)
+		m.Start()
+
+		members := []model.ProcessID{0, 1, 2, 3, 4}
+		randGroup := func() model.Group {
+			n := p.Majority() + rng.Intn(p.N-p.Majority()+1)
+			perm := rng.Perm(p.N)
+			ms := make([]model.ProcessID, 0, n)
+			for _, i := range perm[:n] {
+				ms = append(ms, model.ProcessID(i))
+			}
+			return model.NewGroup(model.GroupSeq(1+rng.Intn(4)), ms)
+		}
+		for step := 0; step < 400; step++ {
+			env.now = env.now.Add(model.Duration(rng.Int63n(int64(p.D))))
+			from := members[rng.Intn(len(members))]
+			ts := env.now.Add(-model.Duration(rng.Int63n(int64(p.D))))
+			switch rng.Intn(7) {
+			case 0:
+				g := randGroup()
+				ol := oal.NewList()
+				ol.Next = oal.Ordinal(1 + rng.Intn(50))
+				m.OnMessage(&wire.Decision{Header: wire.Header{From: from, SendTS: ts},
+					Group: g, OAL: *ol, Alive: g.Members})
+			case 1:
+				m.OnMessage(&wire.NoDecision{Header: wire.Header{From: from, SendTS: ts},
+					Suspect: members[rng.Intn(len(members))], GroupSeq: model.GroupSeq(rng.Intn(4))})
+			case 2:
+				m.OnMessage(&wire.Join{Header: wire.Header{From: from, SendTS: ts},
+					JoinList: randGroup().Members})
+			case 3:
+				m.OnMessage(&wire.Reconfig{Header: wire.Header{From: from, SendTS: ts},
+					ReconfigList: randGroup().Members, LastDecisionTS: ts, GroupSeq: model.GroupSeq(rng.Intn(4))})
+			case 4:
+				m.OnMessage(&wire.Proposal{Header: wire.Header{From: from, SendTS: ts},
+					ID:  oal.ProposalID{Proposer: from, Seq: uint64(rng.Intn(30))},
+					Sem: oal.Semantics{Order: oal.Order(rng.Intn(3)), Atomicity: oal.Atomicity(rng.Intn(3))}})
+			case 5:
+				m.OnTimer(TimerID(rng.Intn(3)))
+			case 6:
+				m.OnMessage(&wire.Nack{Header: wire.Header{From: from, SendTS: ts},
+					Missing: []oal.ProposalID{{Proposer: from, Seq: uint64(rng.Intn(10))}}})
+			}
+		}
+	}
+}
+
+func TestRingHelpersSkipSuspect(t *testing.T) {
+	r := newRig(t, 0)
+	r.join(4)
+	if r.m.IsDecider() {
+		r.env.now = r.env.timers[TimerDecide]
+		r.m.OnTimer(TimerDecide)
+	}
+	// Install a suspect manually via the timeout path.
+	r.timeoutExpected() // suspect = expected sender
+	s := r.m.Suspect()
+	if s == model.NoProcess {
+		t.Fatalf("no suspect")
+	}
+	// ringSuccessor(pred(s)) skips s entirely.
+	succ := r.m.ringSuccessor(r.m.Group().Predecessor(s))
+	if succ == s {
+		t.Fatalf("ring successor did not skip the suspect")
+	}
+	pred := r.m.ringPredecessor(r.m.Group().Successor(s))
+	if pred == s {
+		t.Fatalf("ring predecessor did not skip the suspect")
+	}
+}
+
+func TestIsLateBoundary(t *testing.T) {
+	r := newRig(t, 1)
+	bound := r.p.Delta + r.p.Epsilon + r.p.Sigma
+	if r.m.isLate(1000, model.Time(1000).Add(bound)) {
+		t.Fatalf("at-bound message classified late")
+	}
+	if !r.m.isLate(1000, model.Time(1000).Add(bound+1)) {
+		t.Fatalf("past-bound message classified timely")
+	}
+}
+
+func TestExpectAfterClampsPastDeadlines(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	// A base timestamp far in the past must still grant the expected
+	// sender at least D from now.
+	r.env.now = r.env.now.Add(10 * r.p.D)
+	r.m.expectAfter(0, 1000) // ancient ts
+	_, deadline, active := r.m.Detector().Expected()
+	if !active {
+		t.Fatalf("expectation not armed")
+	}
+	if deadline < r.env.now.Add(r.p.D) {
+		t.Fatalf("deadline %v not clamped to now+D (%v)", deadline, r.env.now.Add(r.p.D))
+	}
+}
+
+func TestExpectAfterSelfClearsExpectation(t *testing.T) {
+	r := newRig(t, 2)
+	r.join(0)
+	// Successor of p1 is p2 (self): surveillance must disarm (our own
+	// decider duty covers us).
+	r.m.expectAfter(1, r.env.now)
+	if _, _, active := r.m.Detector().Expected(); active {
+		t.Fatalf("self-expectation left armed")
+	}
+}
+
+func TestLastSlotStartOfTolerance(t *testing.T) {
+	r := newRig(t, 0)
+	now := model.Time(10 * int64(r.p.CycleLen()))
+	for q := model.ProcessID(0); int(q) < r.p.N; q++ {
+		start := r.m.lastSlotStartOf(q, now)
+		// The reported bound is at most one cycle plus the clock
+		// tolerance behind now, and never in the future.
+		if start > now {
+			t.Fatalf("q=%v: last slot start %v after now %v", q, start, now)
+		}
+		if now.Sub(start) > r.p.CycleLen()+r.p.Epsilon+r.p.Sigma {
+			t.Fatalf("q=%v: last slot start %v too old", q, start)
+		}
+	}
+}
+
+func TestRollRingDrainsBufferedNDs(t *testing.T) {
+	// Out-of-order ring: p3 (suspecting p1 after timeout) receives p5's
+	// and p6's NDs BEFORE p4's; when p4's arrives the expectation must
+	// roll through all three.
+	p := model.DefaultParams(8)
+	env := newFakeEnv()
+	bc := broadcast.New(3, p, broadcast.Config{})
+	m := New(3, p, Config{}, env, bc)
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3, 4, 5, 6, 7})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	m.Start()
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now}, Group: g, OAL: *l, Alive: g.Members})
+	// p3 expects p1; timeout -> 1FR suspecting p1 (ring starts at p2).
+	_, deadline, _ := m.Detector().Expected()
+	env.now = deadline.Add(2)
+	m.OnTimer(TimerExpect)
+	if m.State() != State1FailureReceive || m.Suspect() != 1 {
+		t.Fatalf("setup: %v suspect %v", m.State(), m.Suspect())
+	}
+	// Expected sender is p2 (ring start).
+	nd := func(from model.ProcessID, ts model.Time) *wire.NoDecision {
+		return &wire.NoDecision{Header: wire.Header{From: from, SendTS: ts}, Suspect: 1, GroupSeq: 1}
+	}
+	base := env.now
+	// Out of order: 5 and 6 arrive first (buffered), then 4, then 2.
+	m.OnMessage(nd(5, base.Add(40)))
+	m.OnMessage(nd(6, base.Add(50)))
+	m.OnMessage(nd(4, base.Add(30)))
+	if exp, _, _ := m.Detector().Expected(); exp != 2 {
+		t.Fatalf("expectation moved without p2's message: %v", exp)
+	}
+	m.OnMessage(nd(2, base.Add(20)))
+	// p2 satisfied -> roll through buffered 4? No: after p2 the expected
+	// sender is p3 (self) ... the machine is p3 and it already sent its
+	// own ND via the ring action; then 4,5,6 buffered roll the chain to
+	// expecting p7.
+	if exp, _, active := m.Detector().Expected(); active && exp != 7 {
+		t.Fatalf("expectation after drain: %v", exp)
+	}
+}
+
+func TestLateDecisionIsDataOnly(t *testing.T) {
+	// A decision arriving later than delta+epsilon+sigma after its send
+	// timestamp is adopted as log data but hands the decider role to no
+	// one (fail-awareness: a late message is a performance failure).
+	r := newRig(t, 1) // p1 is the successor of decider p0
+	r.join(0)
+	if !r.m.IsDecider() {
+		t.Fatalf("setup: p1 should be decider")
+	}
+	// p1 sends its decision, rotating the role onward; now craft a LATE
+	// decision from p0 whose successor is p1 again.
+	r.env.now = r.env.timers[TimerDecide]
+	r.m.OnTimer(TimerDecide)
+	if r.m.IsDecider() {
+		t.Fatalf("setup: role not released")
+	}
+	lateTS := r.env.now.Add(1)
+	r.env.now = lateTS.Add(r.p.Delta + r.p.Epsilon + r.p.Sigma + 1000)
+	before := r.bc.LastDecisionTS()
+	r.m.OnMessage(r.decisionWithTS(0, r.m.Group(), lateTS))
+	if r.bc.LastDecisionTS() == before {
+		t.Fatalf("late decision's log not adopted")
+	}
+	if r.m.IsDecider() {
+		t.Fatalf("late decision handed the decider role")
+	}
+}
+
+// decisionWithTS crafts a fresh decision with an explicit send timestamp.
+func (r *rig) decisionWithTS(from model.ProcessID, g model.Group, ts model.Time) *wire.Decision {
+	view := r.bc.CurrentView()
+	return &wire.Decision{
+		Header: wire.Header{From: from, SendTS: ts},
+		Group:  g,
+		OAL:    *view,
+		Alive:  g.Members,
+	}
+}
+
+func TestReconfigInWrongSuspicionEntersNFailure(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(1, 0)) // FF -> WS
+	if r.m.State() != StateWrongSuspicion {
+		t.Fatalf("setup: %v", r.m.State())
+	}
+	// Reconfiguration from the expected sender while masking: multiple
+	// failures after all.
+	exp, _, _ := r.m.Detector().Expected()
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.reconfigFrom(exp, []model.ProcessID{exp}))
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+}
+
+func TestNoDecisionIgnoredWhileJoining(t *testing.T) {
+	r := newRig(t, 3)
+	r.m.Start()
+	r.m.OnMessage(r.ndFrom(1, 0))
+	if r.m.State() != StateJoin {
+		t.Fatalf("joiner reacted to a no-decision: %v", r.m.State())
+	}
+}
+
+func TestStateResendToConfusedMemberIsRateLimited(t *testing.T) {
+	// A current member that keeps sending join messages (it missed its
+	// state transfer) gets state re-sent by the decider — at most once
+	// per cycle.
+	p := model.DefaultParams(5)
+	env := newFakeEnv()
+	bc := broadcast.New(1, p, broadcast.Config{})
+	m := New(1, p, Config{}, env, bc)
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	m.Start()
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now},
+		Group: g, OAL: *l, Alive: g.Members})
+	if !m.IsDecider() {
+		t.Fatalf("setup: not decider")
+	}
+	// p3 is a member but still joining.
+	env.now = env.now.Add(10)
+	m.OnMessage(&wire.Join{Header: wire.Header{From: 3, SendTS: env.now}, JoinList: []model.ProcessID{3}})
+
+	env.now = env.timers[TimerDecide]
+	m.OnTimer(TimerDecide)
+	states := 0
+	for _, u := range env.unicasts {
+		if u.To == 3 && u.M.Kind() == wire.KindState {
+			states++
+		}
+	}
+	if states != 1 {
+		t.Fatalf("state transfers after first decision: %d", states)
+	}
+	// Another join + another decision inside the same cycle: no resend.
+	env.now = env.now.Add(10)
+	m.OnMessage(&wire.Join{Header: wire.Header{From: 3, SendTS: env.now}, JoinList: []model.ProcessID{3}})
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now + 1},
+		Group: g, OAL: *bc.CurrentView(), Alive: g.Members})
+	if m.IsDecider() {
+		env.now = env.timers[TimerDecide]
+		m.OnTimer(TimerDecide)
+	}
+	states = 0
+	for _, u := range env.unicasts {
+		if u.To == 3 && u.M.Kind() == wire.KindState {
+			states++
+		}
+	}
+	if states != 1 {
+		t.Fatalf("state transfer not rate-limited: %d", states)
+	}
+	// After a cycle it re-sends.
+	env.now = env.now.Add(p.CycleLen() + 1)
+	m.OnMessage(&wire.Join{Header: wire.Header{From: 3, SendTS: env.now}, JoinList: []model.ProcessID{3}})
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now + 1},
+		Group: g, OAL: *bc.CurrentView(), Alive: g.Members})
+	if m.IsDecider() {
+		env.now = env.timers[TimerDecide]
+		m.OnTimer(TimerDecide)
+	}
+	states = 0
+	for _, u := range env.unicasts {
+		if u.To == 3 && u.M.Kind() == wire.KindState {
+			states++
+		}
+	}
+	if states != 2 {
+		t.Fatalf("state transfer not re-sent after a cycle: %d", states)
+	}
+}

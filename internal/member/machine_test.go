@@ -1,0 +1,789 @@
+package member
+
+import (
+	"testing"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// fakeEnv is a scripted environment: the test controls the clock and
+// inspects outgoing messages and timers.
+type fakeEnv struct {
+	now      model.Time
+	sent     []wire.Message
+	unicasts []struct {
+		To model.ProcessID
+		M  wire.Message
+	}
+	timers map[TimerID]model.Time
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{now: 1_000_000, timers: make(map[TimerID]model.Time)}
+}
+
+func (e *fakeEnv) Now() model.Time          { return e.now }
+func (e *fakeEnv) Broadcast(m wire.Message) { e.sent = append(e.sent, m) }
+func (e *fakeEnv) Unicast(to model.ProcessID, m wire.Message) {
+	e.unicasts = append(e.unicasts, struct {
+		To model.ProcessID
+		M  wire.Message
+	}{to, m})
+}
+func (e *fakeEnv) SetTimer(id TimerID, at model.Time) { e.timers[id] = at }
+func (e *fakeEnv) CancelTimer(id TimerID)             { delete(e.timers, id) }
+
+func (e *fakeEnv) lastSent() wire.Message {
+	if len(e.sent) == 0 {
+		return nil
+	}
+	return e.sent[len(e.sent)-1]
+}
+
+func (e *fakeEnv) sentKinds() []wire.Kind {
+	var out []wire.Kind
+	for _, m := range e.sent {
+		out = append(out, m.Kind())
+	}
+	return out
+}
+
+// rig is a machine under test plus its scripted environment, pre-placed
+// in the failure-free state as a member of {0..4} with p `self`.
+type rig struct {
+	t   *testing.T
+	env *fakeEnv
+	m   *Machine
+	bc  *broadcast.Broadcast
+	p   model.Params
+}
+
+func newRig(t *testing.T, self model.ProcessID) *rig {
+	p := model.DefaultParams(5)
+	env := newFakeEnv()
+	bc := broadcast.New(self, p, broadcast.Config{})
+	m := New(self, p, Config{}, env, bc)
+	return &rig{t: t, env: env, m: m, bc: bc, p: p}
+}
+
+// join places the machine in a formed group {0,1,2,3,4} (seq 1) as if a
+// first decision from `decider` had been received.
+func (r *rig) join(decider model.ProcessID) *wire.Decision {
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3, 4})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	dec := &wire.Decision{
+		Header: wire.Header{From: decider, SendTS: r.env.now},
+		Group:  g,
+		OAL:    *l,
+		Alive:  g.Members,
+	}
+	r.m.Start()
+	r.m.OnMessage(dec)
+	if r.m.State() != StateFailureFree {
+		r.t.Fatalf("setup: state %v after first decision", r.m.State())
+	}
+	return dec
+}
+
+// decisionFrom crafts a fresh decision from `from` extending the
+// machine's current log.
+func (r *rig) decisionFrom(from model.ProcessID, g model.Group) *wire.Decision {
+	view := r.bc.CurrentView()
+	return &wire.Decision{
+		Header: wire.Header{From: from, SendTS: r.env.now},
+		Group:  g,
+		OAL:    *view,
+		Alive:  g.Members,
+	}
+}
+
+func (r *rig) ndFrom(from, suspect model.ProcessID) *wire.NoDecision {
+	return &wire.NoDecision{
+		Header:   wire.Header{From: from, SendTS: r.env.now},
+		Suspect:  suspect,
+		GroupSeq: r.m.Group().Seq,
+		View:     *r.bc.CurrentView(),
+	}
+}
+
+func (r *rig) reconfigFrom(from model.ProcessID, list []model.ProcessID) *wire.Reconfig {
+	return &wire.Reconfig{
+		Header:       wire.Header{From: from, SendTS: r.env.now},
+		ReconfigList: list,
+		GroupSeq:     r.m.Group().Seq,
+		View:         *r.bc.CurrentView(),
+	}
+}
+
+// timeoutExpected advances the clock past the armed expectation deadline
+// and fires the timer.
+func (r *rig) timeoutExpected() {
+	_, deadline, active := r.m.Detector().Expected()
+	if !active {
+		r.t.Fatalf("no expectation armed")
+	}
+	r.env.now = deadline.Add(2)
+	r.m.OnTimer(TimerExpect)
+}
+
+func TestStartEntersJoinAndSchedulesSlot(t *testing.T) {
+	r := newRig(t, 2)
+	r.m.Start()
+	if r.m.State() != StateJoin {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if _, ok := r.env.timers[TimerSlot]; !ok {
+		t.Fatalf("slot timer not armed")
+	}
+}
+
+func TestJoinStateSendsJoinInOwnSlot(t *testing.T) {
+	r := newRig(t, 2)
+	r.m.Start()
+	r.env.now = r.p.NextSlotOf(2, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	if got := r.env.lastSent(); got == nil || got.Kind() != wire.KindJoin {
+		t.Fatalf("sent: %v", r.env.sentKinds())
+	}
+	j := r.env.lastSent().(*wire.Join)
+	if len(j.JoinList) != 1 || j.JoinList[0] != 2 {
+		t.Fatalf("join list: %v", j.JoinList)
+	}
+}
+
+func TestJoinToFailureFreeOnDecision(t *testing.T) {
+	r := newRig(t, 2)
+	dec := r.join(0)
+	if !r.m.HaveGroup() || r.m.Group().Seq != 1 {
+		t.Fatalf("group: %v", r.m.Group())
+	}
+	// Expectation: successor of the decider (p1) within 2D.
+	exp, deadline, active := r.m.Detector().Expected()
+	if !active || exp != 1 {
+		t.Fatalf("expected sender: %v (%v)", exp, active)
+	}
+	if deadline != dec.SendTS.Add(2*r.p.D) {
+		t.Fatalf("deadline: %v", deadline)
+	}
+}
+
+func TestDecisionNotAddressedToUsKeepsJoining(t *testing.T) {
+	r := newRig(t, 2)
+	r.m.Start()
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 3})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	r.m.OnMessage(&wire.Decision{
+		Header: wire.Header{From: 0, SendTS: r.env.now},
+		Group:  g, OAL: *l, Alive: g.Members,
+	})
+	if r.m.State() != StateJoin {
+		t.Fatalf("state: %v", r.m.State())
+	}
+}
+
+func TestSuccessorBecomesDecider(t *testing.T) {
+	r := newRig(t, 1) // successor of decider p0
+	r.join(0)
+	if !r.m.IsDecider() {
+		t.Fatalf("successor did not take decider role")
+	}
+	at, ok := r.env.timers[TimerDecide]
+	if !ok {
+		t.Fatalf("decide timer not armed")
+	}
+	// Fires within the hold (default D/2).
+	if at.Sub(r.env.now) > r.p.D {
+		t.Fatalf("decide timer too late: %v", at)
+	}
+	r.env.now = at
+	r.m.OnTimer(TimerDecide)
+	if got := r.env.lastSent(); got.Kind() != wire.KindDecision {
+		t.Fatalf("sent: %v", r.env.sentKinds())
+	}
+	if r.m.IsDecider() {
+		t.Fatalf("still decider after sending decision")
+	}
+	// Now we watch our own successor (p2).
+	if exp, _, active := r.m.Detector().Expected(); !active || exp != 2 {
+		t.Fatalf("expectation after deciding: %v (%v)", exp, active)
+	}
+}
+
+func TestTimeoutAsSuccessorSendsNoDecision(t *testing.T) {
+	// p2 expects p1 (successor of decider p0). When p1 times out, p2 (as
+	// p1's successor) must send the first no-decision and enter
+	// 1-failure-send.
+	r := newRig(t, 2)
+	r.join(0)
+	r.timeoutExpected()
+	if r.m.State() != State1FailureSend {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	nd, ok := r.env.lastSent().(*wire.NoDecision)
+	if !ok || nd.Suspect != 1 {
+		t.Fatalf("sent: %v", r.env.sentKinds())
+	}
+	if r.m.Suspect() != 1 {
+		t.Fatalf("suspect: %v", r.m.Suspect())
+	}
+}
+
+func TestTimeoutAsNonSuccessorEnters1FR(t *testing.T) {
+	// p3 expects p1; on timeout p3 is not p1's successor -> 1FR, no send.
+	r := newRig(t, 3)
+	r.join(0)
+	sentBefore := len(r.env.sent)
+	r.timeoutExpected()
+	if r.m.State() != State1FailureReceive {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if len(r.env.sent) != sentBefore {
+		t.Fatalf("1FR sent something: %v", r.env.sentKinds())
+	}
+}
+
+func TestRingProgression1FRto1FS(t *testing.T) {
+	// Group {0..4}, decider 0 decided, suspect 1 (expected sender).
+	// Ring: 2 sends, then 3 (on 2's ND), then 4; 0 (pred of 1) concludes.
+	r := newRig(t, 3)
+	r.join(0)
+	r.timeoutExpected() // 3 -> 1FR suspecting 1
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(2, 1)) // ring predecessor of 3
+	if r.m.State() != State1FailureSend {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if nd, ok := r.env.lastSent().(*wire.NoDecision); !ok || nd.Suspect != 1 {
+		t.Fatalf("sent: %v", r.env.sentKinds())
+	}
+}
+
+func TestNDFromNonPredecessorIsBuffered(t *testing.T) {
+	r := newRig(t, 4)
+	r.join(0)
+	r.timeoutExpected() // 4 -> 1FR suspecting 1
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(2, 1)) // not 4's ring predecessor (that's 3)
+	if r.m.State() != State1FailureReceive {
+		t.Fatalf("acted on non-predecessor ND: %v", r.m.State())
+	}
+	// When 3's ND arrives, 4 advances.
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(3, 1))
+	if r.m.State() != State1FailureSend {
+		t.Fatalf("state: %v", r.m.State())
+	}
+}
+
+func TestPredecessorOfSuspectConcludesElection(t *testing.T) {
+	// p0 is the predecessor of suspect 1. After NDs from 2,3,4 it wins:
+	// removes 1, becomes decider, back to failure-free.
+	r := newRig(t, 0)
+	r.join(4) // decider 4 -> expected sender 0? successor(4)=0 = self...
+	// joining via decider 4 makes p0 the next decider; drop that role
+	// for this test by processing a fresh decision from 0's successor...
+	// Simpler: decider 0 handled the last decision; make p0 expect p1 by
+	// simulating a decision from p0's predecessor p4 again:
+	if r.m.IsDecider() {
+		r.env.now = r.env.timers[TimerDecide]
+		r.m.OnTimer(TimerDecide) // p0 decides; now expects p1
+	}
+	r.timeoutExpected() // suspect p1; p0 is not successor(1)=2 -> 1FR
+	if r.m.State() != State1FailureReceive {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	r.env.now = r.env.now.Add(100)
+	r.m.OnMessage(r.ndFrom(2, 1))
+	r.env.now = r.env.now.Add(100)
+	r.m.OnMessage(r.ndFrom(3, 1))
+	if r.m.State() != State1FailureReceive {
+		t.Fatalf("premature: %v", r.m.State())
+	}
+	r.env.now = r.env.now.Add(100)
+	r.m.OnMessage(r.ndFrom(4, 1)) // p0's ring predecessor
+	if r.m.State() != StateFailureFree {
+		t.Fatalf("state after ring completion: %v", r.m.State())
+	}
+	g := r.m.Group()
+	if g.Contains(1) || g.Seq <= 1 || g.Size() != 4 {
+		t.Fatalf("group after election: %v", g)
+	}
+	if r.env.lastSent().Kind() != wire.KindDecision {
+		t.Fatalf("winner did not send decision: %v", r.env.sentKinds())
+	}
+	if r.m.Stats().SingleElections != 1 {
+		t.Fatalf("stats: %+v", r.m.Stats())
+	}
+}
+
+func TestWrongSuspicionOnNDFromExpectedSender(t *testing.T) {
+	// p3 received decider p0's decision and expects p1. p1 sends a ND
+	// suspecting p0 (it missed the decision p3 holds) -> wrong-suspicion.
+	r := newRig(t, 3)
+	r.join(0)
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(1, 0))
+	if r.m.State() != StateWrongSuspicion {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if r.m.Suspect() != 0 {
+		t.Fatalf("suspect: %v", r.m.Suspect())
+	}
+	// A decision from the expected sender returns us to failure-free
+	// with membership unchanged.
+	r.env.now = r.env.now.Add(1000)
+	g := r.m.Group()
+	r.m.OnMessage(r.decisionFrom(2, g))
+	if r.m.State() != StateFailureFree || r.m.Group().Seq != g.Seq {
+		t.Fatalf("state %v group %v", r.m.State(), r.m.Group())
+	}
+	if r.m.Stats().ViewChanges != 1 {
+		t.Fatalf("view changed on false alarm")
+	}
+}
+
+func TestWrongSuspicionPredecessorTakesOver(t *testing.T) {
+	// p2 expects p1; p1's ND (suspecting p0) arrives and p1 is p2's ring
+	// predecessor once p0 is the suspect — p2 holds the decision, so it
+	// takes over as decider immediately.
+	r := newRig(t, 2)
+	r.join(0)
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(1, 0))
+	if r.m.State() != StateFailureFree {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	if r.env.lastSent().Kind() != wire.KindDecision {
+		t.Fatalf("no takeover decision: %v", r.env.sentKinds())
+	}
+	// Membership unchanged.
+	if r.m.Group().Seq != 1 {
+		t.Fatalf("group: %v", r.m.Group())
+	}
+}
+
+func TestWrongSuspicionResendWhenSelfSuspected(t *testing.T) {
+	// p1 becomes decider after p0's decision and sends its decision.
+	// Then a ND arrives suspecting p1: p1 must resend its last control
+	// message (the decision).
+	r := newRig(t, 1)
+	r.join(0)
+	r.env.now = r.env.timers[TimerDecide]
+	r.m.OnTimer(TimerDecide)
+	myDec := r.env.lastSent()
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.ndFrom(2, 1))
+	if got := r.env.lastSent(); got != myDec {
+		t.Fatalf("did not resend last control message: %v", r.env.sentKinds())
+	}
+}
+
+func TestTimeoutIn1FSEntersNFailureWithQuarantine(t *testing.T) {
+	r := newRig(t, 2)
+	r.join(0)
+	r.timeoutExpected() // 2 sends ND -> 1FS
+	if r.m.State() != State1FailureSend {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	r.timeoutExpected() // ring stalls -> n-failure
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	// Quarantined: the reconfiguration sent in our slot has an empty list.
+	r.env.now = r.p.NextSlotOf(2, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	rc, ok := r.env.lastSent().(*wire.Reconfig)
+	if !ok {
+		t.Fatalf("no reconfiguration sent: %v", r.env.sentKinds())
+	}
+	if len(rc.ReconfigList) != 0 {
+		t.Fatalf("quarantined reconfiguration-list not empty: %v", rc.ReconfigList)
+	}
+}
+
+func TestTimeoutIn1FREntersNFailureWithoutQuarantine(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	r.timeoutExpected() // 1FR
+	r.timeoutExpected() // ring stalls -> NF (no ND was sent by us)
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	r.env.now = r.p.NextSlotOf(3, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	rc := r.env.lastSent().(*wire.Reconfig)
+	if len(rc.ReconfigList) != 1 || rc.ReconfigList[0] != 3 {
+		t.Fatalf("reconfiguration-list: %v", rc.ReconfigList)
+	}
+}
+
+func TestReconfigFromExpectedSenderEntersNFailure(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0) // expects p1
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.reconfigFrom(1, []model.ProcessID{1}))
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+}
+
+func TestReconfigFromOtherSenderIsOnlyRecorded(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0) // expects p1
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.reconfigFrom(4, []model.ProcessID{4}))
+	if r.m.State() != StateFailureFree {
+		t.Fatalf("state: %v", r.m.State())
+	}
+}
+
+func TestReconfigElectionWin(t *testing.T) {
+	// p3 in n-failure; p0 and p4 send fresh reconfigs with matching
+	// lists and no newer decisions: in p3's slot it wins with S={0,3,4}.
+	r := newRig(t, 3)
+	r.join(0)
+	r.timeoutExpected()
+	r.timeoutExpected()
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	// Everyone exchanges reconfigs; lists converge to {0,3,4}. Slot
+	// order matters: p4's message lands in cycle c, p0's in cycle c+1,
+	// and p3 evaluates in its own slot of cycle c+1 — both messages are
+	// then from their senders' most recent slots.
+	list := []model.ProcessID{0, 3, 4}
+	r.env.now = r.p.NextSlotOf(4, r.env.now).Add(1)
+	r.m.OnMessage(r.reconfigFrom(4, list))
+	r.env.now = r.p.NextSlotOf(0, r.env.now).Add(1)
+	r.m.OnMessage(r.reconfigFrom(0, list))
+	r.env.now = r.p.NextSlotOf(3, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	if r.m.State() != StateFailureFree {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	g := r.m.Group()
+	if g.Size() != 3 || !g.Contains(0) || !g.Contains(3) || !g.Contains(4) || g.Seq <= 1 {
+		t.Fatalf("group: %v", g)
+	}
+	if r.m.Stats().ReconfigElections != 1 {
+		t.Fatalf("stats: %+v", r.m.Stats())
+	}
+	if r.env.lastSent().Kind() != wire.KindDecision {
+		t.Fatalf("winner did not decide: %v", r.env.sentKinds())
+	}
+}
+
+func TestReconfigElectionDefersToFresherDecision(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	r.timeoutExpected()
+	r.timeoutExpected()
+	list := []model.ProcessID{0, 3, 4}
+	// p0 claims a newer decision timestamp than ours: we must not win.
+	rc := r.reconfigFrom(0, list)
+	rc.LastDecisionTS = r.bc.LastDecisionTS() + 1_000_000
+	r.env.now = r.p.NextSlotOf(0, r.env.now).Add(1)
+	r.m.OnMessage(rc)
+	r.env.now = r.p.NextSlotOf(4, r.env.now).Add(1)
+	r.m.OnMessage(r.reconfigFrom(4, list))
+	r.env.now = r.p.NextSlotOf(3, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	if r.m.State() != StateNFailure {
+		t.Fatalf("won against a fresher log: %v", r.m.State())
+	}
+}
+
+func TestReconfigElectionNeedsMajority(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	r.timeoutExpected()
+	r.timeoutExpected()
+	// Only one other process concurs: 2 < majority(5)=3.
+	r.env.now = r.p.NextSlotOf(4, r.env.now).Add(1)
+	r.m.OnMessage(r.reconfigFrom(4, []model.ProcessID{3, 4}))
+	r.env.now = r.p.NextSlotOf(3, r.env.now)
+	r.m.OnTimer(TimerSlot)
+	if r.m.State() != StateNFailure {
+		t.Fatalf("won without majority: %v", r.m.State())
+	}
+}
+
+func TestExclusionWaitsForAllNewMembersThenJoins(t *testing.T) {
+	// p4 sees a decision whose group {0,1,2} drops it.
+	r := newRig(t, 4)
+	r.join(0)
+	g2 := model.NewGroup(2, []model.ProcessID{0, 1, 2})
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.decisionFrom(0, g2))
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state after exclusion: %v", r.m.State())
+	}
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.decisionFrom(1, g2))
+	if r.m.State() != StateNFailure {
+		t.Fatalf("state: %v", r.m.State())
+	}
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.decisionFrom(2, g2))
+	if r.m.State() != StateJoin {
+		t.Fatalf("state after hearing all new members: %v", r.m.State())
+	}
+	if r.m.HaveGroup() {
+		t.Fatalf("group state not reset")
+	}
+}
+
+func TestStaleGroupDecisionIgnored(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	// Advance to group seq 2 via an election-style decision.
+	g2 := model.NewGroup(2, []model.ProcessID{0, 2, 3, 4})
+	r.env.now = r.env.now.Add(1000)
+	r.m.OnMessage(r.decisionFrom(2, g2))
+	if r.m.Group().Seq != 2 {
+		t.Fatalf("setup: %v", r.m.Group())
+	}
+	// A zombie decider with group seq 1 sends a fresh-timestamp decision.
+	r.env.now = r.env.now.Add(1000)
+	g1 := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3, 4})
+	before := r.bc.LastDecisionTS()
+	r.m.OnMessage(r.decisionFrom(1, g1))
+	if r.m.Group().Seq != 2 {
+		t.Fatalf("zombie decision regressed the group: %v", r.m.Group())
+	}
+	if r.bc.LastDecisionTS() != before {
+		t.Fatalf("zombie decision adopted into the log")
+	}
+}
+
+func TestDuplicateControlMessagesDropped(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	nd := r.ndFrom(1, 0)
+	r.env.now = r.env.now.Add(1000)
+	nd.SendTS = r.env.now
+	r.m.OnMessage(nd)
+	ws := r.m.Stats().WrongSuspicions
+	r.m.OnMessage(nd) // identical duplicate
+	if r.m.Stats().WrongSuspicions != ws {
+		t.Fatalf("duplicate processed twice")
+	}
+}
+
+func TestOwnMessagesIgnored(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	state := r.m.State()
+	r.m.OnMessage(r.ndFrom(3, 1)) // "from ourselves"
+	if r.m.State() != state {
+		t.Fatalf("state changed on own message")
+	}
+}
+
+func TestProposeOnlyWhenMember(t *testing.T) {
+	r := newRig(t, 3)
+	r.m.Start()
+	if p := r.m.Propose([]byte("x"), oal.Semantics{}); p != nil {
+		t.Fatalf("proposed while joining")
+	}
+	r2 := newRig(t, 3)
+	r2.join(0)
+	if p := r2.m.Propose([]byte("x"), oal.Semantics{}); p == nil {
+		t.Fatalf("member could not propose")
+	}
+	if r2.env.lastSent().Kind() != wire.KindProposal {
+		t.Fatalf("proposal not broadcast")
+	}
+}
+
+func TestNackAnsweredWithUnicastBodies(t *testing.T) {
+	r := newRig(t, 3)
+	r.join(0)
+	p := r.m.Propose([]byte("have-it"), oal.Semantics{})
+	r.m.OnMessage(&wire.Nack{
+		Header:  wire.Header{From: 1, SendTS: r.env.now.Add(1)},
+		Missing: []oal.ProposalID{p.ID},
+	})
+	if len(r.env.unicasts) != 1 || r.env.unicasts[0].To != 1 {
+		t.Fatalf("unicasts: %v", r.env.unicasts)
+	}
+	if r.env.unicasts[0].M.Kind() != wire.KindProposal {
+		t.Fatalf("retransmit kind: %v", r.env.unicasts[0].M.Kind())
+	}
+}
+
+func TestMonotonicSendTimestamps(t *testing.T) {
+	r := newRig(t, 2)
+	r.join(0)
+	// Freeze the clock; two sends must still have increasing stamps.
+	t1 := r.m.sendTS()
+	t2 := r.m.sendTS()
+	if t2 <= t1 {
+		t.Fatalf("timestamps not monotonic: %v %v", t1, t2)
+	}
+}
+
+func TestSingletonGroupSelfRotation(t *testing.T) {
+	p := model.DefaultParams(1)
+	env := newFakeEnv()
+	bc := broadcast.New(0, p, broadcast.Config{})
+	m := New(0, p, Config{}, env, bc)
+	m.Start()
+	env.now = p.NextSlotOf(0, env.now)
+	m.OnTimer(TimerSlot) // forms singleton group, decides immediately
+	if m.State() != StateFailureFree || m.Group().Size() != 1 {
+		t.Fatalf("state=%v group=%v", m.State(), m.Group())
+	}
+	// It keeps the decider role with a self-rotation timer.
+	if !m.IsDecider() {
+		t.Fatalf("singleton lost decider role")
+	}
+	at, ok := env.timers[TimerDecide]
+	if !ok {
+		t.Fatalf("no self-rotation timer")
+	}
+	env.now = at
+	m.OnTimer(TimerDecide)
+	if env.lastSent().Kind() != wire.KindDecision {
+		t.Fatalf("no decision from singleton")
+	}
+}
+
+func TestFigure2TransitionCoverage(t *testing.T) {
+	// Every labelled transition of the paper's Figure 2, checked via the
+	// transitions exercised above, plus a coverage matrix assembled by
+	// replaying them through hooks.
+	type trans struct{ from, to State }
+	seen := make(map[trans]bool)
+	record := func(m *Machine) {
+		m.cfg.Hooks.StateChange = func(from, to State, _ model.Time) {
+			seen[trans{from, to}] = true
+		}
+	}
+
+	// join -> failure-free (D).
+	{
+		r := newRig(t, 3)
+		record(r.m)
+		r.join(0)
+	}
+	// failure-free -> 1FS (timeout, NDsend) and 1FS -> NF (timeout).
+	{
+		r := newRig(t, 2)
+		record(r.m)
+		r.join(0)
+		r.timeoutExpected()
+		r.timeoutExpected()
+	}
+	// failure-free -> 1FR (timeout), 1FR -> 1FS (ND), 1FS -> FF (D).
+	{
+		r := newRig(t, 3)
+		record(r.m)
+		r.join(0)
+		r.timeoutExpected()
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.ndFrom(2, 1))
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.decisionFrom(0, r.m.Group()))
+	}
+	// 1FR -> NF (timeout).
+	{
+		r := newRig(t, 3)
+		record(r.m)
+		r.join(0)
+		r.timeoutExpected()
+		r.timeoutExpected()
+	}
+	// 1FR -> WS (decision from suspect) and WS -> FF (decision).
+	{
+		r := newRig(t, 3)
+		record(r.m)
+		r.join(0)
+		r.timeoutExpected()
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.decisionFrom(1, r.m.Group())) // suspect alive
+		if r.m.State() != StateWrongSuspicion {
+			t.Fatalf("1FR + suspect decision: %v", r.m.State())
+		}
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.decisionFrom(2, r.m.Group()))
+	}
+	// FF -> WS (ND from expected sender) and WS -> NF (timeout).
+	{
+		r := newRig(t, 3)
+		record(r.m)
+		r.join(0)
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.ndFrom(1, 0))
+		r.timeoutExpected()
+	}
+	// FF -> NF (reconfiguration from expected sender) and NF -> FF
+	// (decision containing us).
+	{
+		r := newRig(t, 3)
+		record(r.m)
+		r.join(0)
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.reconfigFrom(1, []model.ProcessID{1}))
+		r.env.now = r.env.now.Add(100)
+		r.m.OnMessage(r.decisionFrom(0, r.m.Group()))
+	}
+	// NF -> join (excluded, heard all new members).
+	{
+		r := newRig(t, 4)
+		record(r.m)
+		r.join(0)
+		g2 := model.NewGroup(2, []model.ProcessID{0, 1, 2})
+		for _, from := range g2.Members {
+			r.env.now = r.env.now.Add(100)
+			r.m.OnMessage(r.decisionFrom(from, g2))
+		}
+	}
+
+	want := []trans{
+		{StateJoin, StateFailureFree},
+		{StateFailureFree, State1FailureSend},
+		{State1FailureSend, StateNFailure},
+		{StateFailureFree, State1FailureReceive},
+		{State1FailureReceive, State1FailureSend},
+		{State1FailureSend, StateFailureFree},
+		{State1FailureReceive, StateNFailure},
+		{State1FailureReceive, StateWrongSuspicion},
+		{StateWrongSuspicion, StateFailureFree},
+		{StateFailureFree, StateWrongSuspicion},
+		{StateWrongSuspicion, StateNFailure},
+		{StateFailureFree, StateNFailure},
+		{StateNFailure, StateFailureFree},
+		{StateNFailure, StateJoin},
+	}
+	for _, tr := range want {
+		if !seen[tr] {
+			t.Errorf("transition %v -> %v not exercised", tr.from, tr.to)
+		}
+	}
+}
+
+func TestStateAndTimerStrings(t *testing.T) {
+	for s := StateJoin; s <= StateNFailure; s++ {
+		if s.String() == "" {
+			t.Errorf("state %d has empty string", s)
+		}
+	}
+	if State(99).String() == "" || TimerID(99).String() == "" {
+		t.Errorf("unknown enum strings empty")
+	}
+	for _, id := range []TimerID{TimerExpect, TimerDecide, TimerSlot} {
+		if id.String() == "" {
+			t.Errorf("timer %d empty string", id)
+		}
+	}
+	r := newRig(t, 1)
+	if r.m.String() == "" {
+		t.Errorf("machine string empty")
+	}
+}

@@ -1,0 +1,631 @@
+package member
+
+import (
+	"slices"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// OnMessage processes one received protocol message.
+func (m *Machine) OnMessage(msg wire.Message) {
+	h := msg.Hdr()
+	if h.From == m.self {
+		return // our own broadcast looped back; ignore
+	}
+	if msg.Kind().Control() {
+		// Duplicate/old control messages are rejected (§4.2) — except
+		// that a wrong-suspicion resend must still reach processes that
+		// missed the original, which the freshness check permits
+		// (they never recorded the original timestamp).
+		if !m.fd.RecordControl(h.From, h.SendTS, m.env.Now()) {
+			return
+		}
+	}
+	switch v := msg.(type) {
+	case *wire.Decision:
+		m.noteAlive(v.From, v.Alive)
+		m.onDecision(v)
+	case *wire.NoDecision:
+		m.noteAlive(v.From, v.Alive)
+		m.onNoDecision(v)
+	case *wire.Join:
+		m.onJoin(v)
+	case *wire.Reconfig:
+		m.noteAlive(v.From, v.Alive)
+		m.onReconfig(v)
+	case *wire.Proposal:
+		m.bc.OnProposal(m.env.Now(), v)
+	case *wire.Nack:
+		for _, body := range m.bc.OnNack(v) {
+			// Retransmit with ourselves as the datagram source: the
+			// original proposer may be crashed, and the update's
+			// identity lives in its ID, not the header.
+			cp := *body
+			cp.From = m.self
+			m.env.Unicast(v.From, &cp)
+		}
+	case *wire.State:
+		if m.needState || m.state == StateJoin || !m.haveGroup || m.bc.HighestOrdinal() == 0 {
+			if m.haveGroup && v.GroupSeq < m.group.Seq {
+				return // stale transfer predating our current group
+			}
+			m.bc.ApplyState(m.env.Now(), v)
+			m.appliedStateSeq = v.GroupSeq
+			m.needState = false
+		}
+	}
+}
+
+// noteAlive records the alive-list piggybacked on a control message.
+func (m *Machine) noteAlive(from model.ProcessID, alive []model.ProcessID) {
+	m.lastAlive[from] = model.NewProcessSet(alive...)
+}
+
+// OnTimer processes a timer expiry.
+func (m *Machine) OnTimer(id TimerID) {
+	switch id {
+	case TimerExpect:
+		m.onExpectTimeout()
+	case TimerDecide:
+		if m.isDecider {
+			m.sendDecision()
+		}
+	case TimerSlot:
+		m.onOwnSlot()
+		m.scheduleSlotTimer()
+	}
+}
+
+// --- Decision handling -------------------------------------------------
+
+func (m *Machine) onDecision(dec *wire.Decision) {
+	now := m.env.Now()
+	if m.haveGroup && dec.Group.Seq < m.group.Seq && m.state != StateNFailure {
+		// A decider that predates our current group (e.g. a wrongly
+		// suspected process that has not yet learned it was excluded)
+		// while our own rotation is alive: its log lacks our membership
+		// descriptor and purge marks — ignore it entirely.
+		return
+	}
+	adopted, missing := m.bc.AdoptDecision(now, dec)
+	if len(missing) > 0 {
+		m.env.Broadcast(&wire.Nack{
+			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
+			Missing: missing,
+		})
+	}
+	if !adopted {
+		// Older than our log: no state meaning (stale decider or a
+		// wrong-suspicion retransmission we already have).
+		return
+	}
+
+	m.bc.CheckTermination(now)
+
+	// Fresh decisions are authoritative: only deciders send them, and
+	// the elections guarantee at most one decider.
+	if m.state == StateJoin {
+		if dec.Group.Contains(m.self) {
+			m.joinCompleted(dec)
+		}
+		return
+	}
+
+	// Group sequence numbers are only comparable along one decision
+	// chain; what arbitrates between chains is the log, and AdoptDecision
+	// accepted this one (newer timestamp, no shorter). Reaching here with
+	// a *lower* group seq means we are in n-failure — our own chain is
+	// dead (e.g. a racing admission view nobody completed) while the
+	// sender's rotation lives: follow the live chain — install its group
+	// if we are a member, rejoin if not.
+	if m.haveGroup && dec.Group.Seq < m.group.Seq {
+		if dec.Group.Contains(m.self) {
+			m.installGroup(dec.Group)
+		} else {
+			m.resetForJoin()
+			return
+		}
+	}
+
+	// Membership change?
+	if m.haveGroup && dec.Group.Seq >= m.group.Seq && !dec.Group.Contains(m.self) {
+		m.handleExclusion(dec)
+		return
+	}
+	if m.haveGroup && dec.Group.Seq > m.group.Seq {
+		var departed []model.ProcessID
+		for _, q := range m.group.Members {
+			if !dec.Group.Contains(q) {
+				departed = append(departed, q)
+			}
+		}
+		if len(departed) > 0 {
+			// §4.3: the departed members' never-ordered proposals are
+			// purged at every member, so no later decider resurrects
+			// them with a stale ordering.
+			m.bc.DropPendingFrom(departed)
+		}
+		m.installGroup(dec.Group)
+	}
+
+	if m.state == State1FailureReceive && dec.From == m.suspect {
+		// The suspected process is alive after all: mask the false
+		// alarm (paper: 1-failure-receive --D(suspect)--> wrong-
+		// suspicion). Keep the suspect for the ring bookkeeping.
+		m.setState(StateWrongSuspicion)
+		m.expectAfter(dec.From, dec.SendTS)
+		return
+	}
+
+	if m.isLate(dec.SendTS, now) {
+		// Fail-awareness (paper §3): a late message is a performance
+		// failure of its sender and is rejected for protocol-control
+		// purposes — its log content was absorbed above, but it hands
+		// the decider role to no one and resets no surveillance. If the
+		// sender is chronically slow, the armed deadlines exclude it; a
+		// masked false alarm recovers through the wrong-suspicion
+		// takeover instead. This is what makes two concurrent
+		// decision-producing deciders impossible even when a stale
+		// handoff races a takeover.
+		return
+	}
+
+	// Any other fresh, timely decision returns the process to
+	// failure-free operation and rolls the rotation forward.
+	m.setState(StateFailureFree)
+	m.clearElection()
+	m.setDecider(false)
+	m.excluded = false
+	next := m.group.Successor(dec.From)
+	if next == m.self {
+		m.becomeDecider(dec.SendTS)
+	} else {
+		m.expectAfter(dec.From, dec.SendTS)
+	}
+}
+
+// isLate applies the timed-asynchronous timeliness test: a message whose
+// transmission took more than delta (plus the clock deviation and
+// scheduling slack) has suffered a performance failure.
+func (m *Machine) isLate(sendTS, now model.Time) bool {
+	return now.Sub(sendTS) > m.params.Delta+m.params.Epsilon+m.params.Sigma
+}
+
+// joinCompleted finishes the join protocol: the decision's membership
+// includes this process.
+func (m *Machine) joinCompleted(dec *wire.Decision) {
+	m.installGroup(dec.Group)
+	m.setState(StateFailureFree)
+	m.clearElection()
+	m.lastJoin = make(map[model.ProcessID]joinInfo)
+	// Admission into a group with history requires the decider's state
+	// transfer, and the State unicast races this decision broadcast:
+	// record the debt unless a transfer for (at least) this group already
+	// arrived. Initial formation — the adopted log is exactly one
+	// membership descriptor at ordinal 1 — has no state to transfer.
+	formation := len(dec.OAL.Entries) == 1 &&
+		dec.OAL.Entries[0].Kind == oal.MembershipDesc &&
+		dec.OAL.Entries[0].Ordinal == 1
+	if !formation && m.appliedStateSeq < dec.Group.Seq {
+		m.needState = true
+	}
+	if m.isLate(dec.SendTS, m.env.Now()) {
+		return // a later timely decision will arm rotation for us
+	}
+	next := m.group.Successor(dec.From)
+	if next == m.self {
+		m.becomeDecider(dec.SendTS)
+	} else {
+		m.expectAfter(dec.From, dec.SendTS)
+	}
+}
+
+// handleExclusion reacts to a decision whose membership drops this
+// process: remember the new group and wait (paper §4.2, n-failure state)
+// until a decision from every new member has been seen, then fall back
+// to the join state. The delay keeps this process available for a
+// reconfiguration election if the new group immediately fails.
+func (m *Machine) handleExclusion(dec *wire.Decision) {
+	if !m.excluded || m.exclGroup.Seq != dec.Group.Seq {
+		m.excluded = true
+		m.exclGroup = dec.Group.Clone()
+		m.exclSeen = model.NewProcessSet()
+	}
+	m.exclSeen.Add(dec.From)
+	// The exclusion decision is now "the last group this process is
+	// aware of" (paper §4.2 condition 4): an excluded process must never
+	// lead a reconfiguration election of a group it does not belong to —
+	// it rejoins through the join protocol instead. Not a view install:
+	// we are not a member.
+	m.group = dec.Group.Clone()
+	m.setDecider(false)
+	m.fd.ClearExpectation()
+	m.env.CancelTimer(TimerExpect)
+	m.env.CancelTimer(TimerDecide)
+	if m.state != StateNFailure {
+		m.enterNFailure(false)
+	}
+	for _, q := range m.exclGroup.Members {
+		if !m.exclSeen.Has(q) {
+			return
+		}
+	}
+	// Heard from every new member: the new group is functioning without
+	// us. Reset and rejoin.
+	m.resetForJoin()
+}
+
+// resetForJoin clears all group and log state and restarts the join
+// protocol. The broadcast layer is reset because an excluded process's
+// history may have diverged from the majority's; the join-time state
+// transfer re-establishes it.
+func (m *Machine) resetForJoin() {
+	m.haveGroup = false
+	m.group = model.Group{}
+	m.excluded = false
+	m.exclSeen = nil
+	m.clearElection()
+	m.setDecider(false)
+	m.lastJoin = make(map[model.ProcessID]joinInfo)
+	m.lastReconfig = make(map[model.ProcessID]reconfigInfo)
+	m.lastAlive = make(map[model.ProcessID]model.ProcessSet)
+	m.fd.Forget()
+	m.bc.Reset()
+	m.seedSeq()
+	m.needState = false
+	m.appliedStateSeq = 0
+	m.env.CancelTimer(TimerExpect)
+	m.env.CancelTimer(TimerDecide)
+	m.setState(StateJoin)
+}
+
+// --- No-decision handling ----------------------------------------------
+
+func (m *Machine) onNoDecision(nd *wire.NoDecision) {
+	if m.state == StateJoin || !m.haveGroup {
+		return
+	}
+	m.pendingND[nd.From] = nd
+
+	// Wrong-suspicion resend rule: if we are the suspect, somebody
+	// missed our last control message; resend it.
+	if nd.Suspect == m.self && m.lastControlMsg != nil {
+		m.env.Broadcast(m.lastControlMsg)
+	}
+
+	switch m.state {
+	case StateFailureFree:
+		if m.fd.Satisfies(nd.From, nd.SendTS) {
+			// The process we expected a decision from sent a
+			// no-decision instead: it missed a decision we hold.
+			m.suspect = nd.Suspect
+			m.setState(StateWrongSuspicion)
+			if nd.Suspect != m.self && nd.From == m.ringPredecessor(m.self) {
+				// The ring already reached us: we hold the decision the
+				// suspicion is about, so we take over as decider and the
+				// group continues unchanged.
+				m.setState(StateFailureFree)
+				m.clearElection()
+				m.becomeDeciderNow()
+				return
+			}
+			m.expectAfter(nd.From, nd.SendTS)
+			return
+		}
+		// A no-decision about the very process we are watching, arriving
+		// before our own deadline: if our expectation is still
+		// unsatisfied we concur early (clocks differ by at most
+		// epsilon).
+		if exp, _, active := m.fd.Expected(); active && nd.Suspect == exp {
+			m.beginSingleFailure(exp)
+		}
+	case State1FailureReceive:
+		if m.fd.Satisfies(nd.From, nd.SendTS) {
+			// The ring progresses ("a no-decision or a decision message
+			// every D time units from the expected senders"): keep the
+			// surveillance rolling.
+			m.rollRing(nd.From, nd.SendTS)
+		}
+		if nd.Suspect == m.suspect {
+			m.actOnPredecessorND()
+		}
+	case State1FailureSend:
+		if m.fd.Satisfies(nd.From, nd.SendTS) {
+			// The ring progresses; keep watching it.
+			m.rollRing(nd.From, nd.SendTS)
+		}
+	case StateWrongSuspicion:
+		if m.suspect != m.self && nd.From == m.ringPredecessor(m.self) {
+			// The ring reached us and we hold the missing decision: we
+			// take over as decider and the group continues unchanged —
+			// a masked false alarm.
+			m.setState(StateFailureFree)
+			m.clearElection()
+			m.becomeDeciderNow()
+			return
+		}
+		if m.fd.Satisfies(nd.From, nd.SendTS) {
+			m.rollRing(nd.From, nd.SendTS)
+		}
+	case StateNFailure:
+		// Single-failure traffic is obsolete here.
+	}
+}
+
+// rollRing advances the expected-sender surveillance past `from` and
+// then drains any ring no-decisions that arrived out of order: with
+// random network delays a successor's message can land before its
+// predecessor's, and a buffered message must still roll the expectation
+// when its turn comes.
+func (m *Machine) rollRing(from model.ProcessID, ts model.Time) {
+	m.expectAfter(from, ts)
+	for i := 0; i < m.params.N; i++ {
+		exp, _, active := m.fd.Expected()
+		if !active {
+			return
+		}
+		nd, ok := m.pendingND[exp]
+		if !ok || !m.fd.Satisfies(exp, nd.SendTS) {
+			return
+		}
+		m.expectAfter(nd.From, nd.SendTS)
+	}
+}
+
+// actOnPredecessorND checks whether our ring predecessor's no-decision
+// (for the current suspect) has arrived, and advances the ring: send our
+// own no-decision, or — if we are the suspect's predecessor — conclude
+// the election.
+func (m *Machine) actOnPredecessorND() {
+	if m.state == StateWrongSuspicion {
+		return // handled by the wrong-suspicion rules
+	}
+	pred := m.ringPredecessor(m.self)
+	nd, ok := m.pendingND[pred]
+	if !ok || nd.Suspect != m.suspect {
+		return
+	}
+	// Election messages are only usable for about (N-1)·D after they
+	// were sent (paper §4.1): a stale no-decision belongs to an election
+	// the rest of the group has already abandoned.
+	if m.env.Now().Sub(nd.SendTS) > model.Duration(m.params.N-1)*m.params.D {
+		return
+	}
+	if m.self != m.group.Predecessor(m.suspect) {
+		if !m.ndSent {
+			m.sendNoDecision(m.suspect)
+			m.setState(State1FailureSend)
+			m.rollRing(m.self, m.lastSendTS)
+		}
+		return
+	}
+	// We are the suspect's predecessor: every member except the suspect
+	// has concurred. Conclude the single-failure election.
+	if m.group.Size()-1 >= m.params.Majority() {
+		m.winSingleElection()
+	} else {
+		// Removing the suspect would break the majority: escalate.
+		m.enterNFailure(m.ndSent)
+	}
+}
+
+// beginSingleFailure reacts to a timeout failure (or an early concurring
+// no-decision) of the expected sender s.
+func (m *Machine) beginSingleFailure(s model.ProcessID) {
+	m.suspect = s
+	m.bc.SuppressSender(s, m.env.Now())
+	if m.self == m.group.Successor(s) {
+		m.sendNoDecision(s)
+		m.setState(State1FailureSend)
+		// Watch the ring: our own message restarts the chain.
+		m.rollRing(m.self, m.lastSendTS)
+	} else {
+		m.setState(State1FailureReceive)
+		// The ring starts at the suspect's successor; buffered
+		// no-decisions that already arrived roll the surveillance.
+		m.rollRing(s, m.fd.LastTS(s))
+		m.actOnPredecessorND()
+	}
+}
+
+// winSingleElection removes the suspect, reconciles the log (§4.3) and
+// takes over as decider.
+func (m *Machine) winSingleElection() {
+	now := m.env.Now()
+	departed := []model.ProcessID{m.suspect}
+	newGroup := m.group.Remove(m.suspect)
+	newGroup.Seq = m.nextGroupSeq()
+
+	reports := make([]broadcast.Report, 0, len(m.pendingND))
+	for _, from := range newGroup.Members {
+		nd, ok := m.pendingND[from]
+		if !ok {
+			continue
+		}
+		reports = append(reports, broadcast.Report{From: from, View: &nd.View, DPD: nd.DPD})
+	}
+	m.bc.Reconcile(now, newGroup, departed, reports)
+	m.installGroup(newGroup)
+	m.stats.SingleElections++
+	m.setState(StateFailureFree)
+	m.clearElection()
+	m.becomeDeciderNow()
+}
+
+// sendNoDecision broadcasts a no-decision message suspecting q, carrying
+// this process's oal view and dpd (§4.3).
+func (m *Machine) sendNoDecision(q model.ProcessID) {
+	m.bc.SuppressSender(q, m.env.Now())
+	nd := &wire.NoDecision{
+		Header:   wire.Header{From: m.self, SendTS: m.sendTS()},
+		Suspect:  q,
+		GroupSeq: m.group.Seq,
+		View:     *m.bc.CurrentView(),
+		DPD:      m.bc.DPD(),
+		Alive:    m.fd.AliveList(m.env.Now()),
+	}
+	m.env.Broadcast(nd)
+	m.lastControlMsg = nd
+	m.ndSent = true
+	m.stats.NDsSent++
+}
+
+// --- Timeout handling ----------------------------------------------------
+
+func (m *Machine) onExpectTimeout() {
+	now := m.env.Now()
+	suspect, timedOut := m.fd.TimedOut(now)
+	if !timedOut {
+		// Not expired: either a stale timer, or the synchronized clock
+		// was stepped backwards by a correction after the timer was
+		// armed. Re-arm for the still-pending deadline.
+		if _, deadline, active := m.fd.Expected(); active {
+			m.env.SetTimer(TimerExpect, deadline.Add(1))
+		}
+		return
+	}
+	m.fd.ClearExpectation()
+	switch m.state {
+	case StateFailureFree:
+		if m.cfg.DisableFastPath {
+			m.suspect = suspect
+			m.bc.SuppressSender(suspect, now)
+			m.enterNFailure(false)
+			return
+		}
+		m.beginSingleFailure(suspect)
+	case StateWrongSuspicion, State1FailureReceive, State1FailureSend:
+		// The single-failure election itself stalled: more than one
+		// failure has occurred.
+		m.enterNFailure(m.ndSent)
+	case StateNFailure, StateJoin:
+		// No expectations are armed in these states.
+	}
+}
+
+// --- Decider duty --------------------------------------------------------
+
+// becomeDecider assumes the decider role with the configured batching
+// hold; the decision goes out on TimerDecide. baseTS is the send
+// timestamp of the decision that handed us the role: peers expect our
+// control message by baseTS+2D, so when that decision arrived late (a
+// retransmission after a masked false alarm) the hold is shortened to
+// keep our decision inside their deadline.
+func (m *Machine) becomeDecider(baseTS model.Time) {
+	m.setDecider(true)
+	m.fd.ClearExpectation()
+	m.env.CancelTimer(TimerExpect)
+	now := m.env.Now()
+	at := now.Add(m.cfg.DeciderHold)
+	if limit := baseTS.Add(m.params.D - m.params.Delta); limit >= now && at > limit {
+		// The handing decision is timely: shorten the hold so our
+		// decision lands inside the peers' baseTS+2D deadline.
+		at = limit
+	}
+	// When the handing decision is stale (a retransmission after a
+	// masked false alarm), peers have re-based their deadlines on
+	// receipt (expectAfter grants now+D), so the full hold applies — it
+	// also gives a concurrent wrong-suspicion takeover decision time to
+	// arrive and relinquish us before we send a competing one.
+	m.env.SetTimer(TimerDecide, at)
+}
+
+// becomeDeciderNow assumes the decider role and sends the decision
+// immediately (election wins, group formation).
+func (m *Machine) becomeDeciderNow() {
+	m.setDecider(true)
+	m.fd.ClearExpectation()
+	m.env.CancelTimer(TimerExpect)
+	m.env.CancelTimer(TimerDecide)
+	m.sendDecision()
+}
+
+// sendDecision performs the decider duty: admit eligible joiners, build
+// and broadcast the decision, transfer state to fresh admissions, hand
+// the role to the successor and start watching it.
+func (m *Machine) sendDecision() {
+	now := m.env.Now()
+	admitted := m.admitJoiners(now)
+
+	dec, missing := m.bc.BuildDecision(m.sendTS(), m.group, m.fd.AliveList(now))
+	m.env.Broadcast(dec)
+	m.lastControlMsg = dec
+	m.stats.DecisionsSent++
+	m.setDecider(false)
+
+	if len(missing) > 0 {
+		m.env.Broadcast(&wire.Nack{
+			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
+			Missing: missing,
+		})
+	}
+	for _, j := range admitted {
+		m.env.Unicast(j, m.bc.BuildState(dec.SendTS))
+	}
+
+	if m.group.Size() <= 1 {
+		// Singleton group: the role rotates back to us.
+		m.setDecider(true)
+		m.env.SetTimer(TimerDecide, now.Add(m.params.D))
+		return
+	}
+	m.expectAfter(m.self, dec.SendTS)
+}
+
+// admitJoiners implements the rejoin rule: a non-member j is admitted
+// when this decider has heard j's join recently and every current member
+// piggybacked j in its alive-list. Returns the processes admitted now
+// (state transfer follows the decision). It also re-sends state to
+// current members that are still joining (they missed our earlier
+// transfer).
+func (m *Machine) admitJoiners(now model.Time) []model.ProcessID {
+	var admitted []model.ProcessID
+	alive := m.fd.AliveSet(now)
+	joiners := make([]model.ProcessID, 0, len(m.lastJoin))
+	for j := range m.lastJoin {
+		joiners = append(joiners, j)
+	}
+	slices.Sort(joiners)
+	for _, j := range joiners {
+		ji := m.lastJoin[j]
+		if now.Sub(ji.ts) > m.params.CycleLen() {
+			continue // stale join
+		}
+		if m.group.Contains(j) {
+			// A current member still joining: it missed its state
+			// transfer; send again (rate-limited).
+			if now.Sub(m.lastStateSent[j]) >= m.params.CycleLen() {
+				m.lastStateSent[j] = now
+				m.env.Unicast(j, m.bc.BuildState(now))
+			}
+			continue
+		}
+		if !alive.Has(j) {
+			continue
+		}
+		ok := true
+		for _, r := range m.group.Members {
+			if r == m.self {
+				continue
+			}
+			la, have := m.lastAlive[r]
+			if !have || !la.Has(j) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		newGroup := model.NewGroup(m.nextGroupSeq(), append([]model.ProcessID{j}, m.group.Members...))
+		m.bc.AnnounceGroup(now, newGroup)
+		m.installGroup(newGroup)
+		m.lastStateSent[j] = now
+		m.stats.Admissions++
+		admitted = append(admitted, j)
+	}
+	return admitted
+}

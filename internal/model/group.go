@@ -1,0 +1,171 @@
+package model
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+)
+
+// GroupSeq numbers successive groups (views). The paper calls the group
+// history "a sequence of completed majority groups"; GroupSeq is the index
+// of a group in that sequence.
+type GroupSeq uint64
+
+// Group is a membership view: a set of team members, cyclically ordered by
+// ProcessID, that agree on the replicated service state. The decider role
+// rotates through Members in cyclic order.
+type Group struct {
+	// Seq is the position of this group in the view sequence.
+	Seq GroupSeq
+	// Members are the group's members, sorted ascending. The cyclic
+	// "successor" order used for decider rotation follows this slice.
+	Members []ProcessID
+}
+
+// NewGroup builds a group with the given sequence number and members. The
+// member list is copied, sorted, and deduplicated.
+func NewGroup(seq GroupSeq, members []ProcessID) Group {
+	ms := slices.Clone(members)
+	slices.Sort(ms)
+	ms = slices.Compact(ms)
+	return Group{Seq: seq, Members: ms}
+}
+
+// Size returns the number of members.
+func (g Group) Size() int { return len(g.Members) }
+
+// Contains reports whether p is a member of g.
+func (g Group) Contains(p ProcessID) bool {
+	_, ok := slices.BinarySearch(g.Members, p)
+	return ok
+}
+
+// Successor returns the member that follows p in the cyclic order. p need
+// not itself be a member: the successor is the first member strictly after
+// p, wrapping around. Returns NoProcess for an empty group.
+func (g Group) Successor(p ProcessID) ProcessID {
+	if len(g.Members) == 0 {
+		return NoProcess
+	}
+	i, _ := slices.BinarySearch(g.Members, p+1)
+	return g.Members[i%len(g.Members)]
+}
+
+// Predecessor returns the member that precedes p in the cyclic order.
+// p need not itself be a member. Returns NoProcess for an empty group.
+func (g Group) Predecessor(p ProcessID) ProcessID {
+	if len(g.Members) == 0 {
+		return NoProcess
+	}
+	i, _ := slices.BinarySearch(g.Members, p)
+	return g.Members[(i-1+len(g.Members))%len(g.Members)]
+}
+
+// Remove returns a copy of g with p removed and the sequence advanced.
+func (g Group) Remove(p ProcessID) Group {
+	ms := make([]ProcessID, 0, len(g.Members))
+	for _, m := range g.Members {
+		if m != p {
+			ms = append(ms, m)
+		}
+	}
+	return Group{Seq: g.Seq + 1, Members: ms}
+}
+
+// Equal reports whether two groups have the same sequence number and
+// member set.
+func (g Group) Equal(h Group) bool {
+	return g.Seq == h.Seq && slices.Equal(g.Members, h.Members)
+}
+
+// SameMembers reports whether two groups have the same member set,
+// ignoring sequence numbers.
+func (g Group) SameMembers(h Group) bool { return slices.Equal(g.Members, h.Members) }
+
+// Clone returns a deep copy of g.
+func (g Group) Clone() Group {
+	return Group{Seq: g.Seq, Members: slices.Clone(g.Members)}
+}
+
+func (g Group) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g%d{", uint64(g.Seq))
+	for i, m := range g.Members {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(m.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ProcessSet is an unordered set of processes, used for alive-lists,
+// join-lists and reconfiguration-lists.
+type ProcessSet map[ProcessID]struct{}
+
+// NewProcessSet builds a set from the given members.
+func NewProcessSet(members ...ProcessID) ProcessSet {
+	s := make(ProcessSet, len(members))
+	for _, m := range members {
+		s[m] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts p.
+func (s ProcessSet) Add(p ProcessID) { s[p] = struct{}{} }
+
+// Remove deletes p.
+func (s ProcessSet) Remove(p ProcessID) { delete(s, p) }
+
+// Has reports membership of p.
+func (s ProcessSet) Has(p ProcessID) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Sorted returns the set's members in ascending order.
+func (s ProcessSet) Sorted() []ProcessID {
+	out := make([]ProcessID, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Equal reports whether two sets have identical contents.
+func (s ProcessSet) Equal(t ProcessSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for p := range s {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (s ProcessSet) Clone() ProcessSet {
+	out := make(ProcessSet, len(s))
+	for p := range s {
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+func (s ProcessSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Sorted() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

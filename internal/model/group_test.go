@@ -1,0 +1,188 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGroupSortsAndDedups(t *testing.T) {
+	g := NewGroup(1, []ProcessID{3, 1, 2, 1, 3})
+	want := []ProcessID{1, 2, 3}
+	if g.Size() != 3 {
+		t.Fatalf("size %d, want 3", g.Size())
+	}
+	for i, m := range g.Members {
+		if m != want[i] {
+			t.Fatalf("members %v, want %v", g.Members, want)
+		}
+	}
+}
+
+func TestGroupContains(t *testing.T) {
+	g := NewGroup(0, []ProcessID{0, 2, 4})
+	for _, p := range []ProcessID{0, 2, 4} {
+		if !g.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []ProcessID{1, 3, 5, NoProcess} {
+		if g.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+}
+
+func TestGroupSuccessorPredecessor(t *testing.T) {
+	g := NewGroup(0, []ProcessID{1, 3, 6})
+	cases := []struct{ p, succ, pred ProcessID }{
+		{1, 3, 6},
+		{3, 6, 1},
+		{6, 1, 3},
+		// Non-members: successor is the first member after p, predecessor
+		// the last member before p.
+		{0, 1, 6},
+		{2, 3, 1},
+		{7, 1, 6},
+	}
+	for _, c := range cases {
+		if got := g.Successor(c.p); got != c.succ {
+			t.Errorf("Successor(%v) = %v, want %v", c.p, got, c.succ)
+		}
+		if got := g.Predecessor(c.p); got != c.pred {
+			t.Errorf("Predecessor(%v) = %v, want %v", c.p, got, c.pred)
+		}
+	}
+}
+
+func TestGroupSuccessorEmptyAndSingleton(t *testing.T) {
+	empty := NewGroup(0, nil)
+	if got := empty.Successor(3); got != NoProcess {
+		t.Errorf("empty successor: %v", got)
+	}
+	if got := empty.Predecessor(3); got != NoProcess {
+		t.Errorf("empty predecessor: %v", got)
+	}
+	solo := NewGroup(0, []ProcessID{5})
+	if got := solo.Successor(5); got != 5 {
+		t.Errorf("singleton successor: %v", got)
+	}
+	if got := solo.Predecessor(5); got != 5 {
+		t.Errorf("singleton predecessor: %v", got)
+	}
+}
+
+func TestGroupSuccessorInverseOfPredecessor(t *testing.T) {
+	f := func(raw []uint8, probe uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ms := make([]ProcessID, len(raw))
+		for i, r := range raw {
+			ms[i] = ProcessID(r % 32)
+		}
+		g := NewGroup(0, ms)
+		for _, m := range g.Members {
+			if g.Predecessor(g.Successor(m)) != m && g.Size() > 1 {
+				return false
+			}
+		}
+		// Walking Size() successors from any member returns to it.
+		start := g.Members[int(probe)%g.Size()]
+		cur := start
+		for i := 0; i < g.Size(); i++ {
+			cur = g.Successor(cur)
+		}
+		return cur == start
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupRemove(t *testing.T) {
+	g := NewGroup(4, []ProcessID{0, 1, 2})
+	h := g.Remove(1)
+	if h.Seq != 5 {
+		t.Errorf("seq %d, want 5", h.Seq)
+	}
+	if h.Contains(1) || !h.Contains(0) || !h.Contains(2) {
+		t.Errorf("members after remove: %v", h.Members)
+	}
+	// Removing a non-member still advances the view.
+	i := g.Remove(9)
+	if i.Seq != 5 || !i.SameMembers(g) {
+		t.Errorf("remove non-member: %v", i)
+	}
+	// Original unchanged.
+	if !g.Contains(1) {
+		t.Errorf("Remove mutated receiver")
+	}
+}
+
+func TestGroupEqualAndClone(t *testing.T) {
+	g := NewGroup(2, []ProcessID{0, 1})
+	h := g.Clone()
+	if !g.Equal(h) {
+		t.Fatalf("clone not equal")
+	}
+	h.Members[0] = 9
+	if g.Members[0] == 9 {
+		t.Fatalf("clone shares storage")
+	}
+	if g.Equal(NewGroup(3, []ProcessID{0, 1})) {
+		t.Errorf("Equal ignored seq")
+	}
+	if g.Equal(NewGroup(2, []ProcessID{0, 2})) {
+		t.Errorf("Equal ignored members")
+	}
+	if !g.SameMembers(NewGroup(7, []ProcessID{0, 1})) {
+		t.Errorf("SameMembers should ignore seq")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	g := NewGroup(3, []ProcessID{2, 0})
+	if got := g.String(); got != "g3{p0,p2}" {
+		t.Errorf("String: %q", got)
+	}
+}
+
+func TestProcessSetBasics(t *testing.T) {
+	s := NewProcessSet(3, 1, 3)
+	if len(s) != 2 {
+		t.Fatalf("len %d, want 2", len(s))
+	}
+	s.Add(2)
+	if !s.Has(2) || !s.Has(1) || !s.Has(3) || s.Has(0) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	s.Remove(1)
+	if s.Has(1) {
+		t.Errorf("Remove failed")
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 2 || sorted[0] != 2 || sorted[1] != 3 {
+		t.Errorf("Sorted: %v", sorted)
+	}
+	if got := s.String(); got != "{p2,p3}" {
+		t.Errorf("String: %q", got)
+	}
+}
+
+func TestProcessSetEqualClone(t *testing.T) {
+	s := NewProcessSet(1, 2)
+	u := s.Clone()
+	if !s.Equal(u) {
+		t.Fatalf("clone not equal")
+	}
+	u.Add(3)
+	if s.Equal(u) {
+		t.Errorf("Equal ignored extra member")
+	}
+	if s.Has(3) {
+		t.Errorf("clone shares storage")
+	}
+	if s.Equal(NewProcessSet(1, 3)) {
+		t.Errorf("Equal ignored differing member")
+	}
+}

@@ -1,0 +1,208 @@
+// Package model defines the shared vocabulary of the timed asynchronous
+// system model used throughout the timewheel group communication service:
+// process identifiers, the simulated notion of time, and the protocol
+// parameters (delta, sigma, rho, epsilon, D) from which slot and cycle
+// arithmetic is derived.
+//
+// The timed asynchronous model (Cristian & Fetzer) characterises a system
+// by bounds that hold "most of the time" rather than always:
+//
+//   - delta: one-way time-out delay of the datagram service. A message
+//     delivered within delta is "timely"; a later one has suffered a
+//     performance failure.
+//   - sigma: maximum scheduling delay. A process reacting to a trigger
+//     within sigma is "timely".
+//   - rho: maximum drift rate of a correct hardware clock.
+//   - epsilon: maximum deviation between two synchronized clocks.
+//   - D: maximum interval after which a decider must send a decision
+//     message.
+//
+// The membership protocol's time-slotted elections divide synchronized
+// clock time into cycles of N slots, one slot per team member, each slot
+// at least D+delta long.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant on a clock (hardware, synchronized, or the
+// simulation's real-time base), in microseconds since an arbitrary epoch.
+// Microsecond granularity matches the 1990s-era Unix clocks the paper
+// assumes while keeping arithmetic exact in int64.
+type Time int64
+
+// Duration is a span of Time, in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Infinity is a Time later than any reachable instant; used as the "no
+// deadline pending" sentinel.
+const Infinity Time = 1<<63 - 1
+
+// FromStd converts a time.Duration to a model Duration (truncating to
+// microseconds).
+func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds() / 1000) }
+
+// Std converts a model Duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Microsecond }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	if t == Infinity {
+		return "+inf"
+	}
+	return fmt.Sprintf("%d.%06ds", int64(t)/1e6, int64(t)%1e6)
+}
+
+func (d Duration) String() string { return d.Std().String() }
+
+// ProcessID identifies a team member. Team members are cyclically ordered
+// by their ProcessID: the successor of process i in a group is the next
+// group member found scanning i+1, i+2, ... modulo the team size.
+type ProcessID int
+
+// NoProcess is the zero-value-adjacent sentinel for "no process".
+const NoProcess ProcessID = -1
+
+func (p ProcessID) String() string {
+	if p == NoProcess {
+		return "p?"
+	}
+	return fmt.Sprintf("p%d", int(p))
+}
+
+// Params collects the timed-asynchronous model constants and the derived
+// slot geometry for a team of N processes.
+type Params struct {
+	// N is the total number of team members. Process IDs are 0..N-1.
+	N int
+
+	// Delta is the one-way time-out delay of the datagram service.
+	Delta Duration
+
+	// Sigma is the maximum scheduling delay of the process-management
+	// service.
+	Sigma Duration
+
+	// Rho is the maximum hardware clock drift rate, expressed in parts
+	// per million (the paper's rho of 1e-4..1e-6 is 100..1 ppm).
+	RhoPPM int64
+
+	// Epsilon is the maximum deviation between two synchronized clocks.
+	Epsilon Duration
+
+	// D is the maximum time interval after which a decider sends a
+	// decision message.
+	D Duration
+
+	// SlotPad is extra slack added to the minimum slot length D+Delta.
+	// A small pad absorbs epsilon and sigma so that slot boundaries
+	// observed on different synchronized clocks overlap safely.
+	SlotPad Duration
+}
+
+// DefaultParams returns a parameter set representative of the paper's
+// testbed: a lightly loaded 10 Mb/s Ethernet LAN of Unix workstations.
+func DefaultParams(n int) Params {
+	return Params{
+		N:       n,
+		Delta:   10 * Millisecond,
+		Sigma:   2 * Millisecond,
+		RhoPPM:  100, // 1e-4, the paper's worst-case quartz drift
+		Epsilon: 2 * Millisecond,
+		D:       20 * Millisecond,
+		SlotPad: 5 * Millisecond,
+	}
+}
+
+// Validate reports whether the parameter set is internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("model: N must be >= 1, got %d", p.N)
+	case p.Delta <= 0:
+		return fmt.Errorf("model: Delta must be positive, got %v", p.Delta)
+	case p.Sigma < 0:
+		return fmt.Errorf("model: Sigma must be non-negative, got %v", p.Sigma)
+	case p.RhoPPM < 0:
+		return fmt.Errorf("model: RhoPPM must be non-negative, got %d", p.RhoPPM)
+	case p.Epsilon < 0:
+		return fmt.Errorf("model: Epsilon must be non-negative, got %v", p.Epsilon)
+	case p.D <= 0:
+		return fmt.Errorf("model: D must be positive, got %v", p.D)
+	case p.SlotPad < 0:
+		return fmt.Errorf("model: SlotPad must be non-negative, got %v", p.SlotPad)
+	}
+	return nil
+}
+
+// SlotLen is the length of one time slot. The paper requires each slot to
+// be at least D+delta long; we add SlotPad slack for clock deviation and
+// scheduling delay.
+func (p Params) SlotLen() Duration { return p.D + p.Delta + p.SlotPad }
+
+// CycleLen is the length of one full cycle of N slots.
+func (p Params) CycleLen() Duration { return Duration(p.N) * p.SlotLen() }
+
+// SlotOwner returns the team member that owns the slot containing
+// synchronized-clock time t. Slot ownership rotates through process IDs in
+// cyclic order, anchoring slot 0 of cycle 0 at time 0.
+func (p Params) SlotOwner(t Time) ProcessID {
+	if t < 0 {
+		t = 0
+	}
+	slot := int64(t) / int64(p.SlotLen())
+	return ProcessID(slot % int64(p.N))
+}
+
+// Cycle returns the index of the cycle containing time t.
+func (p Params) Cycle(t Time) int64 {
+	if t < 0 {
+		t = 0
+	}
+	return int64(t) / int64(p.CycleLen())
+}
+
+// SlotStart returns the start time of the slot containing t.
+func (p Params) SlotStart(t Time) Time {
+	if t < 0 {
+		t = 0
+	}
+	sl := int64(p.SlotLen())
+	return Time(int64(t) / sl * sl)
+}
+
+// NextSlotOf returns the start time of the next slot owned by process q
+// strictly after time t.
+func (p Params) NextSlotOf(q ProcessID, t Time) Time {
+	if q < 0 || int(q) >= p.N {
+		return Infinity
+	}
+	sl := int64(p.SlotLen())
+	if t < 0 {
+		t = 0
+	}
+	slot := int64(t) / sl // slot index containing t
+	// First slot index > slot owned by q.
+	rem := (int64(q) - (slot+1)%int64(p.N) + int64(p.N)) % int64(p.N)
+	return Time((slot + 1 + rem) * sl)
+}
+
+// Majority returns the minimum size of a majority of the team.
+func (p Params) Majority() int { return p.N/2 + 1 }
+
+// IsMajority reports whether k processes form a majority of the team.
+func (p Params) IsMajority(k int) bool { return k >= p.Majority() }

@@ -1,0 +1,182 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var tm Time = 1_500_000
+	if got := tm.Add(2 * Second); got != 3_500_000 {
+		t.Errorf("Add: got %d, want 3500000", got)
+	}
+	if got := Time(5_000_000).Sub(Time(2_000_000)); got != 3*Second {
+		t.Errorf("Sub: got %v, want 3s", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0.000000s"},
+		{1_500_000, "1.500000s"},
+		{Infinity, "+inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationStdRoundTrip(t *testing.T) {
+	d := 1500 * Millisecond
+	if got := d.Std(); got != 1500*time.Millisecond {
+		t.Errorf("Std: got %v", got)
+	}
+	if got := FromStd(2 * time.Second); got != 2*Second {
+		t.Errorf("FromStd: got %v", got)
+	}
+	// Sub-microsecond truncation.
+	if got := FromStd(1500 * time.Nanosecond); got != 1 {
+		t.Errorf("FromStd truncation: got %v, want 1us", got)
+	}
+}
+
+func TestProcessIDString(t *testing.T) {
+	if got := ProcessID(3).String(); got != "p3" {
+		t.Errorf("got %q", got)
+	}
+	if got := NoProcess.String(); got != "p?" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 16, 101} {
+		p := DefaultParams(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("DefaultParams(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DefaultParams(5)
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero N", func(p *Params) { p.N = 0 }},
+		{"negative N", func(p *Params) { p.N = -1 }},
+		{"zero Delta", func(p *Params) { p.Delta = 0 }},
+		{"negative Sigma", func(p *Params) { p.Sigma = -1 }},
+		{"negative Rho", func(p *Params) { p.RhoPPM = -5 }},
+		{"negative Epsilon", func(p *Params) { p.Epsilon = -1 }},
+		{"zero D", func(p *Params) { p.D = 0 }},
+		{"negative SlotPad", func(p *Params) { p.SlotPad = -1 }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", c.name)
+		}
+	}
+}
+
+func TestSlotGeometry(t *testing.T) {
+	p := DefaultParams(4)
+	sl := p.SlotLen()
+	if sl < p.D+p.Delta {
+		t.Fatalf("slot length %v shorter than D+Delta", sl)
+	}
+	if p.CycleLen() != 4*sl {
+		t.Fatalf("cycle length %v, want %v", p.CycleLen(), 4*sl)
+	}
+	// Slot 0 belongs to p0, slot 1 to p1, ... wrapping each cycle.
+	for slot := 0; slot < 12; slot++ {
+		at := Time(int64(slot)*int64(sl)) + Time(sl/2)
+		want := ProcessID(slot % 4)
+		if got := p.SlotOwner(at); got != want {
+			t.Errorf("slot %d: owner %v, want %v", slot, got, want)
+		}
+		if got := p.SlotStart(at); got != Time(int64(slot)*int64(sl)) {
+			t.Errorf("slot %d: start %v", slot, got)
+		}
+	}
+	if got := p.Cycle(Time(int64(p.CycleLen())*3 + 5)); got != 3 {
+		t.Errorf("Cycle: got %d, want 3", got)
+	}
+	// Negative times clamp to 0.
+	if got := p.SlotOwner(-5); got != 0 {
+		t.Errorf("negative time owner: %v", got)
+	}
+	if got := p.Cycle(-5); got != 0 {
+		t.Errorf("negative time cycle: %v", got)
+	}
+	if got := p.SlotStart(-5); got != 0 {
+		t.Errorf("negative time slot start: %v", got)
+	}
+}
+
+func TestNextSlotOf(t *testing.T) {
+	p := DefaultParams(4)
+	sl := int64(p.SlotLen())
+	// From the middle of p0's slot, p1's next slot starts at 1*sl.
+	if got := p.NextSlotOf(1, Time(sl/2)); got != Time(sl) {
+		t.Errorf("next slot of p1: %v, want %v", got, Time(sl))
+	}
+	// p0's next slot from inside p0's slot is a full cycle ahead.
+	if got := p.NextSlotOf(0, Time(sl/2)); got != Time(4*sl) {
+		t.Errorf("next slot of p0: %v, want %v", got, Time(4*sl))
+	}
+	// From the exact start of a slot, the same owner's next slot is one
+	// cycle later (strictly after t).
+	if got := p.NextSlotOf(2, Time(2*sl)); got != Time(6*sl) {
+		t.Errorf("next slot of p2 from its own start: %v, want %v", got, Time(6*sl))
+	}
+	// Unknown process.
+	if got := p.NextSlotOf(9, 0); got != Infinity {
+		t.Errorf("next slot of out-of-range process: %v", got)
+	}
+	if got := p.NextSlotOf(NoProcess, 0); got != Infinity {
+		t.Errorf("next slot of NoProcess: %v", got)
+	}
+}
+
+func TestNextSlotOfAlwaysInOwnersSlot(t *testing.T) {
+	p := DefaultParams(7)
+	f := func(rawT int64, rawQ uint8) bool {
+		t0 := Time(rawT % int64(10*p.CycleLen()))
+		if t0 < 0 {
+			t0 = -t0
+		}
+		q := ProcessID(int(rawQ) % p.N)
+		next := p.NextSlotOf(q, t0)
+		return next > t0 && p.SlotOwner(next) == q && p.SlotStart(next) == next &&
+			next.Sub(t0) <= p.CycleLen()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := []struct{ n, maj int }{{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {8, 5}, {9, 5}}
+	for _, c := range cases {
+		p := DefaultParams(c.n)
+		if got := p.Majority(); got != c.maj {
+			t.Errorf("N=%d: majority %d, want %d", c.n, got, c.maj)
+		}
+		if p.IsMajority(c.maj - 1) {
+			t.Errorf("N=%d: %d should not be a majority", c.n, c.maj-1)
+		}
+		if !p.IsMajority(c.maj) {
+			t.Errorf("N=%d: %d should be a majority", c.n, c.maj)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package netsim simulates the unreliable datagram service at the bottom
+// of the timewheel stack (paper Figure 1): an Ethernet-like broadcast
+// network with omission/performance failure semantics.
+//
+// A message sent through the network may be dropped (omission failure),
+// delivered within the one-way time-out delay delta (timely), or
+// delivered later (performance failure — the receiver's fail-awareness
+// machinery must detect and reject it). Crashed processes neither send
+// nor receive; partitions block delivery between sides.
+//
+// Every message crosses the wire codec (encode on send, decode per
+// receiver), so simulated runs exercise exactly the bytes a real UDP
+// deployment would carry and receivers can never share mutable state with
+// senders.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"timewheel/internal/model"
+	"timewheel/internal/sim"
+	"timewheel/internal/wire"
+)
+
+// Verdict is a per-delivery fault-injection decision.
+type Verdict uint8
+
+const (
+	// Pass lets the network's default delay model handle the delivery.
+	Pass Verdict = iota
+	// Drop suppresses the delivery (omission failure).
+	Drop
+)
+
+// Filter inspects a prospective delivery and may override it. Extra delay
+// (performance failure injection) is expressed by returning Pass and a
+// positive delay to add on top of the model's.
+type Filter func(from, to model.ProcessID, m wire.Message) (Verdict, model.Duration)
+
+// DelayFn computes the one-way transmission delay for a delivery.
+type DelayFn func(rng *rand.Rand, from, to model.ProcessID) model.Duration
+
+// ConstantDelay returns a DelayFn with a fixed delay.
+func ConstantDelay(d model.Duration) DelayFn {
+	return func(*rand.Rand, model.ProcessID, model.ProcessID) model.Duration { return d }
+}
+
+// UniformDelay returns a DelayFn drawing uniformly from [lo, hi].
+func UniformDelay(lo, hi model.Duration) DelayFn {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return func(rng *rand.Rand, _, _ model.ProcessID) model.Duration {
+		return lo + model.Duration(rng.Int63n(int64(hi-lo)+1))
+	}
+}
+
+// HeavyTailDelay returns a DelayFn that is usually uniform in [lo, hi]
+// but with probability pLate draws a late delay in (hi, hi*tail]. It
+// models the occasional performance failures of a loaded LAN.
+func HeavyTailDelay(lo, hi model.Duration, pLate float64, tail int64) DelayFn {
+	base := UniformDelay(lo, hi)
+	if tail < 2 {
+		tail = 2
+	}
+	return func(rng *rand.Rand, from, to model.ProcessID) model.Duration {
+		if rng.Float64() < pLate {
+			return hi + model.Duration(rng.Int63n(int64(hi)*(tail-1))+1)
+		}
+		return base(rng, from, to)
+	}
+}
+
+// Stats counts network activity by message kind. Broadcasts counts one
+// per Broadcast call (one packet on an Ethernet-style medium); Deliveries
+// counts per-receiver handoffs.
+type Stats struct {
+	Broadcasts map[wire.Kind]uint64
+	Deliveries map[wire.Kind]uint64
+	// MaxBytes records the largest encoded frame seen per kind — the
+	// check that oal truncation keeps decision messages bounded.
+	MaxBytes   map[wire.Kind]int
+	Dropped    uint64
+	Late       uint64 // deliveries that exceeded delta
+	Duplicated uint64
+}
+
+func newStats() Stats {
+	return Stats{
+		Broadcasts: make(map[wire.Kind]uint64),
+		Deliveries: make(map[wire.Kind]uint64),
+		MaxBytes:   make(map[wire.Kind]int),
+	}
+}
+
+// TotalBroadcasts sums broadcasts across kinds.
+func (s Stats) TotalBroadcasts() uint64 {
+	var n uint64
+	for _, v := range s.Broadcasts {
+		n += v
+	}
+	return n
+}
+
+// Handler receives decoded messages along with the real time of receipt.
+type Handler func(m wire.Message)
+
+// Network is the simulated broadcast datagram service.
+type Network struct {
+	sim    *sim.Sim
+	params model.Params
+	delay  DelayFn
+	drop   float64 // background omission probability per delivery
+	dup    float64 // background duplication probability per delivery
+
+	handlers  map[model.ProcessID]Handler
+	crashed   map[model.ProcessID]bool
+	partition map[model.ProcessID]int // partition id per process; all 0 = connected
+	filters   []Filter
+
+	stats Stats
+}
+
+// New creates a network over s with delivery delays drawn from delay and
+// background omission probability drop (0 disables random loss).
+func New(s *sim.Sim, params model.Params, delay DelayFn, drop float64) *Network {
+	if delay == nil {
+		delay = UniformDelay(params.Delta/10, params.Delta/2)
+	}
+	return &Network{
+		sim:       s,
+		params:    params,
+		delay:     delay,
+		drop:      drop,
+		handlers:  make(map[model.ProcessID]Handler),
+		crashed:   make(map[model.ProcessID]bool),
+		partition: make(map[model.ProcessID]int),
+		stats:     newStats(),
+	}
+}
+
+// Register attaches p's receive handler. Re-registering replaces it.
+func (n *Network) Register(p model.ProcessID, h Handler) {
+	n.handlers[p] = h
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	out := newStats()
+	for k, v := range n.stats.Broadcasts {
+		out.Broadcasts[k] = v
+	}
+	for k, v := range n.stats.Deliveries {
+		out.Deliveries[k] = v
+	}
+	for k, v := range n.stats.MaxBytes {
+		out.MaxBytes[k] = v
+	}
+	out.Dropped = n.stats.Dropped
+	out.Late = n.stats.Late
+	out.Duplicated = n.stats.Duplicated
+	return out
+}
+
+// SetDuplicateProb sets the probability that a delivery is duplicated
+// (the duplicate follows after an independent delay). Receivers must
+// reject duplicates by send timestamp / proposal ID.
+func (n *Network) SetDuplicateProb(p float64) { n.dup = p }
+
+// AddFilter installs a fault-injection filter; filters run in
+// installation order and the first non-Pass verdict wins.
+func (n *Network) AddFilter(f Filter) { n.filters = append(n.filters, f) }
+
+// ClearFilters removes all installed filters.
+func (n *Network) ClearFilters() { n.filters = nil }
+
+// Crash marks p crashed: it stops sending and receiving immediately.
+func (n *Network) Crash(p model.ProcessID) { n.crashed[p] = true }
+
+// Recover clears p's crashed state.
+func (n *Network) Recover(p model.ProcessID) { delete(n.crashed, p) }
+
+// Crashed reports whether p is currently crashed.
+func (n *Network) Crashed(p model.ProcessID) bool { return n.crashed[p] }
+
+// Partition splits the network: processes in sides[i] can only talk to
+// processes in the same side. Processes not mentioned join side 0.
+func (n *Network) Partition(sides ...[]model.ProcessID) {
+	n.partition = make(map[model.ProcessID]int)
+	for i, side := range sides {
+		for _, p := range side {
+			n.partition[p] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.partition = make(map[model.ProcessID]int) }
+
+func (n *Network) connected(a, b model.ProcessID) bool {
+	return n.partition[a] == n.partition[b]
+}
+
+// Connected reports whether a and b are currently on the same partition
+// side (both sides of a delivery re-check this).
+func (n *Network) Connected(a, b model.ProcessID) bool { return n.connected(a, b) }
+
+// Broadcast sends m from its sender to every registered process except
+// the sender itself, applying crash, partition, filter, omission and
+// delay semantics per receiver.
+func (n *Network) Broadcast(m wire.Message) {
+	from := m.Hdr().From
+	if n.crashed[from] {
+		return
+	}
+	n.stats.Broadcasts[m.Kind()]++
+	data := wire.Encode(m)
+	if len(data) > n.stats.MaxBytes[m.Kind()] {
+		n.stats.MaxBytes[m.Kind()] = len(data)
+	}
+	for _, to := range n.sortedDests() {
+		if to == from {
+			continue
+		}
+		n.deliver(data, from, to, m)
+	}
+}
+
+// sortedDests returns registered process IDs in ascending order so that
+// fan-out event scheduling is deterministic.
+func (n *Network) sortedDests() []model.ProcessID {
+	out := make([]model.ProcessID, 0, len(n.handlers))
+	for p := range n.handlers {
+		out = append(out, p)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Unicast sends m to a single destination with the same fault semantics.
+func (n *Network) Unicast(to model.ProcessID, m wire.Message) {
+	from := m.Hdr().From
+	if n.crashed[from] {
+		return
+	}
+	n.stats.Broadcasts[m.Kind()]++
+	n.deliver(wire.Encode(m), from, to, m)
+}
+
+func (n *Network) deliver(data []byte, from, to model.ProcessID, orig wire.Message) {
+	if _, ok := n.handlers[to]; !ok {
+		return
+	}
+	if !n.connected(from, to) {
+		n.stats.Dropped++
+		return
+	}
+	var extra model.Duration
+	for _, f := range n.filters {
+		v, d := f(from, to, orig)
+		if v == Drop {
+			n.stats.Dropped++
+			return
+		}
+		extra += d
+	}
+	if n.drop > 0 && n.sim.Rand().Float64() < n.drop {
+		n.stats.Dropped++
+		return
+	}
+	if n.dup > 0 && n.sim.Rand().Float64() < n.dup {
+		n.stats.Duplicated++
+		n.scheduleDelivery(data, from, to, orig, n.delay(n.sim.Rand(), from, to))
+	}
+	d := n.delay(n.sim.Rand(), from, to) + extra
+	n.scheduleDelivery(data, from, to, orig, d)
+}
+
+func (n *Network) scheduleDelivery(data []byte, from, to model.ProcessID, orig wire.Message, d model.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if d > n.params.Delta {
+		n.stats.Late++
+	}
+	kind := orig.Kind()
+	n.sim.After(d, func() {
+		// Crash/partition state is re-checked at delivery time: a
+		// receiver that crashed while the packet was in flight never
+		// sees it.
+		if n.crashed[to] || !n.connected(from, to) {
+			n.stats.Dropped++
+			return
+		}
+		h := n.handlers[to]
+		if h == nil {
+			return
+		}
+		msg, err := wire.Decode(data)
+		if err != nil {
+			panic(fmt.Sprintf("netsim: undecodable self-encoded message: %v", err))
+		}
+		n.stats.Deliveries[kind]++
+		h(msg)
+	})
+}

@@ -1,0 +1,353 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/sim"
+	"timewheel/internal/wire"
+)
+
+func testParams() model.Params { return model.DefaultParams(4) }
+
+func join(from model.ProcessID, ts model.Time) *wire.Join {
+	return &wire.Join{Header: wire.Header{From: from, SendTS: ts}}
+}
+
+type collector struct {
+	got []wire.Message
+	at  []model.Time
+}
+
+func (c *collector) handler(s *sim.Sim) Handler {
+	return func(m wire.Message) {
+		c.got = append(c.got, m)
+		c.at = append(c.at, s.Now())
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(100), 0)
+	cols := make([]*collector, 4)
+	for p := 0; p < 4; p++ {
+		cols[p] = &collector{}
+		n.Register(model.ProcessID(p), cols[p].handler(s))
+	}
+	n.Broadcast(join(0, 5))
+	s.RunUntilIdle(0)
+	if len(cols[0].got) != 0 {
+		t.Errorf("sender received its own broadcast")
+	}
+	for p := 1; p < 4; p++ {
+		if len(cols[p].got) != 1 {
+			t.Fatalf("p%d got %d messages", p, len(cols[p].got))
+		}
+		if cols[p].at[0] != 100 {
+			t.Errorf("p%d delivery at %v, want 100", p, cols[p].at[0])
+		}
+		if cols[p].got[0].Hdr().From != 0 {
+			t.Errorf("p%d wrong sender", p)
+		}
+	}
+	st := n.Stats()
+	if st.Broadcasts[wire.KindJoin] != 1 || st.Deliveries[wire.KindJoin] != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(10), 0)
+	var c1, c2 collector
+	n.Register(1, c1.handler(s))
+	n.Register(2, c2.handler(s))
+	n.Unicast(2, join(1, 0))
+	s.RunUntilIdle(0)
+	if len(c1.got) != 0 || len(c2.got) != 1 {
+		t.Fatalf("unicast fanout wrong: %d %d", len(c1.got), len(c2.got))
+	}
+	// Unicast to an unregistered destination is silently dropped.
+	n.Unicast(9, join(1, 1))
+	s.RunUntilIdle(0)
+}
+
+func TestMessagesAreIsolatedCopies(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(1), 0)
+	var c collector
+	n.Register(1, c.handler(s))
+	n.Register(0, func(wire.Message) {})
+	m := &wire.Join{Header: wire.Header{From: 0}, JoinList: []model.ProcessID{0, 1}}
+	n.Broadcast(m)
+	m.JoinList[0] = 99 // mutate after send; receiver must not observe it
+	s.RunUntilIdle(0)
+	got := c.got[0].(*wire.Join)
+	if got.JoinList[0] != 0 {
+		t.Fatalf("receiver observed sender-side mutation: %v", got.JoinList)
+	}
+}
+
+func TestCrashSuppressesSendAndReceive(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(10), 0)
+	var c0, c1 collector
+	n.Register(0, c0.handler(s))
+	n.Register(1, c1.handler(s))
+
+	n.Crash(0)
+	if !n.Crashed(0) {
+		t.Fatalf("Crashed(0) false")
+	}
+	n.Broadcast(join(0, 0)) // crashed sender: nothing goes out
+	n.Broadcast(join(1, 0)) // crashed receiver: nothing comes in
+	s.RunUntilIdle(0)
+	if len(c0.got) != 0 || len(c1.got) != 0 {
+		t.Fatalf("crashed process participated: %d %d", len(c0.got), len(c1.got))
+	}
+
+	n.Recover(0)
+	if n.Crashed(0) {
+		t.Fatalf("Crashed(0) true after recover")
+	}
+	n.Broadcast(join(1, 1))
+	s.RunUntilIdle(0)
+	if len(c0.got) != 1 {
+		t.Fatalf("recovered process got %d", len(c0.got))
+	}
+}
+
+func TestCrashMidFlightDropsPacket(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(100), 0)
+	var c collector
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, c.handler(s))
+	n.Broadcast(join(0, 0))
+	s.Run(50)
+	n.Crash(1) // packet still in flight
+	s.RunUntilIdle(0)
+	if len(c.got) != 0 {
+		t.Fatalf("in-flight packet delivered to crashed process")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("dropped count: %d", n.Stats().Dropped)
+	}
+}
+
+func TestPartitionBlocksAcrossSides(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(10), 0)
+	cols := make([]*collector, 4)
+	for p := 0; p < 4; p++ {
+		cols[p] = &collector{}
+		n.Register(model.ProcessID(p), cols[p].handler(s))
+	}
+	n.Partition([]model.ProcessID{0, 1}, []model.ProcessID{2, 3})
+	n.Broadcast(join(0, 0))
+	s.RunUntilIdle(0)
+	if len(cols[1].got) != 1 {
+		t.Errorf("same-side delivery failed")
+	}
+	if len(cols[2].got) != 0 || len(cols[3].got) != 0 {
+		t.Errorf("cross-partition delivery happened")
+	}
+	n.Heal()
+	n.Broadcast(join(0, 1))
+	s.RunUntilIdle(0)
+	if len(cols[2].got) != 1 {
+		t.Errorf("post-heal delivery failed")
+	}
+}
+
+func TestPartitionMidFlightDropsPacket(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(100), 0)
+	var c collector
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, c.handler(s))
+	n.Broadcast(join(0, 0))
+	s.Run(10)
+	n.Partition([]model.ProcessID{0}, []model.ProcessID{1})
+	s.RunUntilIdle(0)
+	if len(c.got) != 0 {
+		t.Fatalf("packet crossed a partition created mid-flight")
+	}
+}
+
+func TestFilterDropAndDelay(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(10), 0)
+	var c1, c2 collector
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, c1.handler(s))
+	n.Register(2, c2.handler(s))
+
+	// Drop everything to p1; delay everything to p2 past delta
+	// (an injected performance failure).
+	lateBy := testParams().Delta * 2
+	n.AddFilter(func(from, to model.ProcessID, m wire.Message) (Verdict, model.Duration) {
+		switch to {
+		case 1:
+			return Drop, 0
+		case 2:
+			return Pass, lateBy
+		}
+		return Pass, 0
+	})
+	n.Broadcast(join(0, 0))
+	s.RunUntilIdle(0)
+	if len(c1.got) != 0 {
+		t.Errorf("filtered delivery happened")
+	}
+	if len(c2.got) != 1 || c2.at[0] != model.Time(10+lateBy) {
+		t.Errorf("delayed delivery: %v", c2.at)
+	}
+	// The injected delay exceeded delta, so it counts as late.
+	if n.Stats().Late != 1 {
+		t.Errorf("late count: %d", n.Stats().Late)
+	}
+
+	n.ClearFilters()
+	n.Broadcast(join(0, 1))
+	s.RunUntilIdle(0)
+	if len(c1.got) != 1 {
+		t.Errorf("delivery after ClearFilters failed")
+	}
+}
+
+func TestBackgroundOmission(t *testing.T) {
+	s := sim.New(7)
+	n := New(s, testParams(), ConstantDelay(1), 0.5)
+	var c collector
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, c.handler(s))
+	const total = 400
+	for i := 0; i < total; i++ {
+		n.Broadcast(join(0, model.Time(i)))
+	}
+	s.RunUntilIdle(0)
+	got := len(c.got)
+	if got == 0 || got == total {
+		t.Fatalf("with 50%% loss got %d/%d", got, total)
+	}
+	if got < total/4 || got > 3*total/4 {
+		t.Fatalf("loss far from 50%%: %d/%d", got, total)
+	}
+	if n.Stats().Dropped != uint64(total-got) {
+		t.Fatalf("dropped count %d, want %d", n.Stats().Dropped, total-got)
+	}
+}
+
+func TestDelayFns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := ConstantDelay(42)
+	for i := 0; i < 10; i++ {
+		if got := c(rng, 0, 1); got != 42 {
+			t.Fatalf("constant: %v", got)
+		}
+	}
+	u := UniformDelay(10, 20)
+	for i := 0; i < 200; i++ {
+		if got := u(rng, 0, 1); got < 10 || got > 20 {
+			t.Fatalf("uniform out of range: %v", got)
+		}
+	}
+	// Swapped bounds are normalised.
+	u2 := UniformDelay(20, 10)
+	if got := u2(rng, 0, 1); got < 10 || got > 20 {
+		t.Fatalf("swapped uniform out of range: %v", got)
+	}
+	h := HeavyTailDelay(10, 20, 0.3, 5)
+	late := 0
+	for i := 0; i < 2000; i++ {
+		d := h(rng, 0, 1)
+		if d > 20 {
+			late++
+			if d > 100 {
+				t.Fatalf("tail beyond bound: %v", d)
+			}
+		}
+	}
+	if late < 400 || late > 800 {
+		t.Fatalf("late fraction off: %d/2000", late)
+	}
+	// Degenerate tail parameter is clamped.
+	h2 := HeavyTailDelay(10, 20, 1.0, 0)
+	if d := h2(rng, 0, 1); d <= 20 || d > 40 {
+		t.Fatalf("clamped tail: %v", d)
+	}
+}
+
+func TestDefaultDelayWhenNil(t *testing.T) {
+	s := sim.New(1)
+	p := testParams()
+	n := New(s, p, nil, 0)
+	var c collector
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, c.handler(s))
+	n.Broadcast(join(0, 0))
+	s.RunUntilIdle(0)
+	if len(c.got) != 1 {
+		t.Fatalf("no delivery with default delay")
+	}
+	if c.at[0] > model.Time(p.Delta) {
+		t.Fatalf("default delay exceeded delta: %v", c.at[0])
+	}
+}
+
+func TestStatsSnapshotIsolation(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(1), 0)
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, func(wire.Message) {})
+	n.Broadcast(join(0, 0))
+	st := n.Stats()
+	st.Broadcasts[wire.KindJoin] = 999
+	if n.Stats().Broadcasts[wire.KindJoin] == 999 {
+		t.Fatalf("Stats returned live map")
+	}
+	if n.Stats().TotalBroadcasts() != 1 {
+		t.Fatalf("total broadcasts: %d", n.Stats().TotalBroadcasts())
+	}
+}
+
+func TestDuplicateInjection(t *testing.T) {
+	s := sim.New(3)
+	n := New(s, testParams(), ConstantDelay(1), 0)
+	n.SetDuplicateProb(1.0) // every delivery duplicated
+	var c collector
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, c.handler(s))
+	n.Broadcast(join(0, 5))
+	s.RunUntilIdle(0)
+	if len(c.got) != 2 {
+		t.Fatalf("expected duplicate delivery, got %d", len(c.got))
+	}
+	if n.Stats().Duplicated != 1 {
+		t.Fatalf("duplicated count: %d", n.Stats().Duplicated)
+	}
+}
+
+func TestMaxBytesRecorded(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, testParams(), ConstantDelay(1), 0)
+	n.Register(0, func(wire.Message) {})
+	n.Register(1, func(wire.Message) {})
+	small := join(0, 1)
+	big := &wire.Join{Header: wire.Header{From: 0, SendTS: 2},
+		JoinList: []model.ProcessID{0, 1, 2, 3, 4, 5, 6, 7}}
+	n.Broadcast(big)
+	n.Broadcast(small)
+	s.RunUntilIdle(0)
+	st := n.Stats()
+	if st.MaxBytes[wire.KindJoin] != len(wire.Encode(big)) {
+		t.Fatalf("max bytes %d, want %d", st.MaxBytes[wire.KindJoin], len(wire.Encode(big)))
+	}
+	// Snapshot isolation.
+	st.MaxBytes[wire.KindJoin] = 0
+	if n.Stats().MaxBytes[wire.KindJoin] == 0 {
+		t.Fatalf("Stats returned live MaxBytes map")
+	}
+}

@@ -1,0 +1,413 @@
+// Package node assembles a complete timewheel process — synchronized
+// clock, failure detector, group creator, and atomic broadcast — on top
+// of the deterministic simulation kernel, and groups N of them into a
+// Cluster wired through the simulated datagram network.
+//
+// This is the execution substrate for the integration tests, the
+// scenario library, the examples and the benchmark harness. The same
+// protocol state machines also run in real time over UDP (package
+// timewheel at the module root).
+package node
+
+import (
+	"fmt"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/clock"
+	"timewheel/internal/csync"
+	"timewheel/internal/member"
+	"timewheel/internal/model"
+	"timewheel/internal/netsim"
+	"timewheel/internal/oal"
+	"timewheel/internal/sim"
+	"timewheel/internal/wire"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	Seed   int64
+	Params model.Params
+	// Delay is the network delay model; nil uses netsim's default
+	// (uniform in [delta/10, delta/2]).
+	Delay netsim.DelayFn
+	// Drop is the background omission probability per delivery.
+	Drop float64
+	// PerfectClocks disables clock drift and the synchronization
+	// service: every node reads the simulation clock directly. Protocol
+	// experiments default to this; clock-stack experiments turn it off.
+	PerfectClocks bool
+	// MaxClockOffset bounds the initial hardware clock offsets when
+	// PerfectClocks is false.
+	MaxClockOffset model.Duration
+	// DeciderHold overrides the decider batching window (default D/2).
+	DeciderHold model.Duration
+	// DisableFastPath forces every failure through the reconfiguration
+	// election (ablation).
+	DisableFastPath bool
+	// RoundTripSync switches the clock synchronization service to
+	// probe/echo round trips with measured error bounds (the fail-aware
+	// mechanism proper) instead of one-way beacon adoption. Only
+	// meaningful with PerfectClocks disabled.
+	RoundTripSync bool
+}
+
+// ViewRecord is one installed membership view.
+type ViewRecord struct {
+	Group model.Group
+	At    model.Time // real (simulation) time
+}
+
+// StateRecord is one FSM transition.
+type StateRecord struct {
+	From, To member.State
+	At       model.Time
+}
+
+// DeciderRecord is one interval during which the node held the decider
+// role. End is zero while the interval is still open. Sent records
+// whether the tenure produced a decision: a decider-elect that learns of
+// a fresher decision relinquishes without sending, which is a benign,
+// unavoidable transient while messages are in flight.
+type DeciderRecord struct {
+	Start, End model.Time
+	Sent       bool
+}
+
+// DeliveryRecord is one update delivery, tagged with the node's
+// incarnation (crash/recovery bumps it).
+type DeliveryRecord struct {
+	broadcast.Delivery
+	At          model.Time
+	Incarnation int
+}
+
+// Node is one simulated timewheel process.
+type Node struct {
+	ID      model.ProcessID
+	cluster *Cluster
+
+	hw   *clock.Hardware
+	adj  *clock.Adjusted
+	sync *csync.Service
+
+	bc      *broadcast.Broadcast
+	machine *member.Machine
+
+	timers  map[member.TimerID]*sim.Timer
+	crashed bool
+
+	// deciderSent snapshots the decision counter at role start, to mark
+	// DeciderRecord.Sent at role end.
+	deciderSent uint64
+
+	// Incarnation counts crash/recovery cycles.
+	Incarnation int
+
+	// Observability.
+	Deliveries []DeliveryRecord
+	Views      []ViewRecord
+	StateLog   []StateRecord
+	DeciderLog []DeciderRecord
+
+	// appState is the toy replicated state used when the application
+	// does not install its own snapshot hooks.
+	appState []byte
+}
+
+// Cluster is a set of simulated nodes on one network.
+type Cluster struct {
+	Sim    *sim.Sim
+	Net    *netsim.Network
+	Params model.Params
+	Opts   Options
+	Nodes  []*Node
+}
+
+// NewCluster builds (but does not start) a cluster of opts.Params.N
+// nodes.
+func NewCluster(opts Options) *Cluster {
+	if opts.Params.N == 0 {
+		panic("node: Options.Params must be set")
+	}
+	if err := opts.Params.Validate(); err != nil {
+		panic(fmt.Sprintf("node: invalid params: %v", err))
+	}
+	s := sim.New(opts.Seed)
+	c := &Cluster{
+		Sim:    s,
+		Net:    netsim.New(s, opts.Params, opts.Delay, opts.Drop),
+		Params: opts.Params,
+		Opts:   opts,
+	}
+	for i := 0; i < opts.Params.N; i++ {
+		c.Nodes = append(c.Nodes, c.newNode(model.ProcessID(i)))
+	}
+	if !opts.PerfectClocks {
+		c.startClockSync()
+	}
+	return c
+}
+
+func (c *Cluster) newNode(id model.ProcessID) *Node {
+	n := &Node{
+		ID:      id,
+		cluster: c,
+		timers:  make(map[member.TimerID]*sim.Timer),
+	}
+	if c.Opts.PerfectClocks {
+		n.hw = &clock.Hardware{}
+		n.adj = clock.NewAdjusted(n.hw)
+		n.adj.Apply(0)
+	} else {
+		maxOff := c.Opts.MaxClockOffset
+		if maxOff == 0 {
+			maxOff = c.Params.Epsilon
+		}
+		n.hw = clock.NewRandomHardware(c.Sim.Rand(), maxOff, c.Params.RhoPPM)
+		n.adj = clock.NewAdjusted(n.hw)
+		n.sync = csync.New(id, c.Params, csync.DefaultConfig(c.Params), n.adj)
+	}
+	n.buildStack()
+	c.Net.Register(id, func(m wire.Message) {
+		if !n.crashed {
+			n.machine.OnMessage(m)
+		}
+	})
+	return n
+}
+
+// buildStack creates fresh broadcast and membership layers (initial boot
+// and crash recovery).
+func (n *Node) buildStack() {
+	n.bc = broadcast.New(n.ID, n.cluster.Params, broadcast.Config{
+		OnDeliver: func(d broadcast.Delivery) {
+			n.Deliveries = append(n.Deliveries, DeliveryRecord{
+				Delivery: d, At: n.cluster.Sim.Now(), Incarnation: n.Incarnation,
+			})
+			n.appState = append(n.appState, d.Payload...)
+			n.appState = append(n.appState, ';')
+		},
+		Snapshot: func() []byte { return append([]byte(nil), n.appState...) },
+		Install:  func(b []byte) { n.appState = append([]byte(nil), b...) },
+	})
+	n.machine = member.New(n.ID, n.cluster.Params, member.Config{
+		DeciderHold:     n.cluster.Opts.DeciderHold,
+		DisableFastPath: n.cluster.Opts.DisableFastPath,
+		Hooks: member.Hooks{
+			StateChange: func(from, to member.State, _ model.Time) {
+				n.StateLog = append(n.StateLog, StateRecord{From: from, To: to, At: n.cluster.Sim.Now()})
+				if to == member.StateJoin && from != member.StateJoin {
+					// Exclusion wiped the protocol state (resetForJoin):
+					// deliveries after the rejoin are a new epoch, rebased
+					// by the join-time state transfer.
+					n.Incarnation++
+				}
+			},
+			ViewChange: func(g model.Group, _ model.Time) {
+				n.Views = append(n.Views, ViewRecord{Group: g, At: n.cluster.Sim.Now()})
+			},
+			Decider: func(isDecider bool, _ model.Time) {
+				at := n.cluster.Sim.Now()
+				if isDecider {
+					n.DeciderLog = append(n.DeciderLog, DeciderRecord{Start: at})
+					n.deciderSent = n.machine.Stats().DecisionsSent
+				} else if k := len(n.DeciderLog) - 1; k >= 0 && n.DeciderLog[k].End == 0 {
+					n.DeciderLog[k].End = at
+					n.DeciderLog[k].Sent = n.machine.Stats().DecisionsSent > n.deciderSent
+				}
+			},
+		},
+	}, (*nodeEnv)(n), n.bc)
+}
+
+// Start boots every node.
+func (c *Cluster) Start() {
+	for _, n := range c.Nodes {
+		n.machine.Start()
+	}
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d model.Duration) { c.Sim.RunFor(d) }
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id model.ProcessID) *Node { return c.Nodes[int(id)] }
+
+// Crash fails node id: it stops sending, receiving and reacting.
+func (c *Cluster) Crash(id model.ProcessID) {
+	n := c.Nodes[int(id)]
+	n.crashed = true
+	if k := len(n.DeciderLog) - 1; k >= 0 && n.DeciderLog[k].End == 0 {
+		n.DeciderLog[k].End = c.Sim.Now()
+	}
+	c.Net.Crash(id)
+	for _, t := range n.timers {
+		t.Stop()
+	}
+	n.timers = make(map[member.TimerID]*sim.Timer)
+}
+
+// Recover restarts node id with a fresh protocol stack (a recovered
+// process rejoins through the join protocol; its pre-crash volatile
+// state is gone).
+func (c *Cluster) Recover(id model.ProcessID) {
+	n := c.Nodes[int(id)]
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.Incarnation++
+	n.appState = nil
+	c.Net.Recover(id)
+	if n.sync != nil {
+		n.sync.Forget()
+	}
+	n.buildStack()
+	n.machine.Start()
+}
+
+// Crashed reports whether node id is down.
+func (c *Cluster) Crashed(id model.ProcessID) bool { return c.Nodes[int(id)].crashed }
+
+// Machine exposes a node's group creator (tests and checks).
+func (n *Node) Machine() *member.Machine { return n.machine }
+
+// Broadcast exposes a node's broadcast layer.
+func (n *Node) Broadcast() *broadcast.Broadcast { return n.bc }
+
+// SyncedNow returns the node's synchronized-clock reading.
+func (n *Node) SyncedNow() model.Time { return n.adj.Read(n.cluster.Sim.Now()) }
+
+// Propose broadcasts an update from this node; returns false if the node
+// is crashed or not currently a group member.
+func (n *Node) Propose(payload []byte, sem oal.Semantics) bool {
+	if n.crashed {
+		return false
+	}
+	return n.machine.Propose(payload, sem) != nil
+}
+
+// CurrentGroup returns the node's current group and whether it has one.
+func (n *Node) CurrentGroup() (model.Group, bool) {
+	return n.machine.Group(), n.machine.HaveGroup() && n.machine.State() != member.StateJoin
+}
+
+// State returns the node's FSM state.
+func (n *Node) State() member.State { return n.machine.State() }
+
+// AppState returns a copy of the node's application state: the
+// ';'-joined payloads of every ordered delivery, rebased by join-time
+// state transfers. Two nodes whose total/strong deliveries agree have
+// byte-identical app states.
+func (n *Node) AppState() []byte { return append([]byte(nil), n.appState...) }
+
+// nodeEnv adapts Node to member.Env. Synchronized-clock deadlines are
+// converted to simulation time through the node's adjusted clock; the
+// residual drift error (<= rho * horizon) is absorbed by the slot pad.
+type nodeEnv Node
+
+func (e *nodeEnv) Now() model.Time { return (*Node)(e).SyncedNow() }
+
+func (e *nodeEnv) Broadcast(m wire.Message) {
+	if !e.crashed {
+		e.cluster.Net.Broadcast(m)
+	}
+}
+
+func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
+	if !e.crashed {
+		e.cluster.Net.Unicast(to, m)
+	}
+}
+
+func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
+	n := (*Node)(e)
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+	}
+	// Convert the synchronized-clock deadline to simulation time.
+	delay := model.Duration(at - n.SyncedNow())
+	if delay < 0 {
+		delay = 0
+	}
+	n.timers[id] = n.cluster.Sim.After(delay, func() {
+		if !n.crashed {
+			n.machine.OnTimer(id)
+		}
+	})
+}
+
+func (e *nodeEnv) CancelTimer(id member.TimerID) {
+	n := (*Node)(e)
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+}
+
+// syncDelay draws a one-way delay for clock-sync traffic from the same
+// model as the protocol network.
+func (c *Cluster) syncDelay(from, to model.ProcessID) model.Duration {
+	if c.Opts.Delay != nil {
+		return c.Opts.Delay(c.Sim.Rand(), from, to)
+	}
+	return c.Params.Delta/10 + model.Duration(c.Sim.Rand().Int63n(int64(c.Params.Delta/3)))
+}
+
+// startClockSync runs the clock synchronization service over the same
+// delay model as the protocol network: beacons always (master election,
+// freshness, and — in beacon mode — correction), plus probe/echo round
+// trips when Options.RoundTripSync is set.
+func (c *Cluster) startClockSync() {
+	interval := csync.DefaultConfig(c.Params).Interval
+	for _, n := range c.Nodes {
+		n := n
+		if c.Opts.RoundTripSync {
+			n.sync.SetRoundTripOnly(true)
+		}
+		var tick func()
+		tick = func() {
+			if !n.crashed {
+				b := n.sync.Tick(c.Sim.Now())
+				for _, peer := range c.Nodes {
+					if peer == n {
+						continue
+					}
+					peer := peer
+					d := c.syncDelay(n.ID, peer.ID)
+					c.Sim.After(d, func() {
+						if !peer.crashed && !n.crashed && c.Net.Connected(n.ID, peer.ID) {
+							peer.sync.OnBeacon(c.Sim.Now(), b)
+						}
+					})
+				}
+				if c.Opts.RoundTripSync {
+					c.probeMaster(n)
+				}
+			}
+			c.Sim.After(interval, tick)
+		}
+		c.Sim.Schedule(model.Time(int64(n.ID)*997), tick)
+	}
+}
+
+// probeMaster runs one probe/echo round trip from n to its current
+// master.
+func (c *Cluster) probeMaster(n *Node) {
+	p, master, ok := n.sync.MakeProbe(c.Sim.Now())
+	if !ok {
+		return
+	}
+	m := c.Nodes[int(master)]
+	c.Sim.After(c.syncDelay(n.ID, m.ID), func() {
+		if m.crashed || !c.Net.Connected(n.ID, m.ID) {
+			return
+		}
+		echo := m.sync.OnProbe(c.Sim.Now(), p)
+		c.Sim.After(c.syncDelay(m.ID, n.ID), func() {
+			if !n.crashed && c.Net.Connected(n.ID, m.ID) {
+				n.sync.OnEcho(c.Sim.Now(), echo)
+			}
+		})
+	})
+}

@@ -1,0 +1,437 @@
+package oal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timewheel/internal/model"
+)
+
+func TestOrdinalAssignment(t *testing.T) {
+	l := NewList()
+	o1 := l.AppendUpdate(ProposalID{0, 1}, Semantics{}, 10, None, 0)
+	o2 := l.AppendUpdate(ProposalID{1, 1}, Semantics{}, 20, None, 0)
+	o3 := l.AppendMembership(model.NewGroup(1, []model.ProcessID{0, 1}))
+	if o1 != 1 || o2 != 2 || o3 != 3 {
+		t.Fatalf("ordinals %d %d %d, want 1 2 3", o1, o2, o3)
+	}
+	if l.HighestOrdinal() != 3 {
+		t.Fatalf("highest %d", l.HighestOrdinal())
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+}
+
+func TestZeroValueListNormalises(t *testing.T) {
+	var l List
+	if got := l.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0); got != 1 {
+		t.Fatalf("first ordinal %d, want 1", got)
+	}
+	var l2 List
+	if l2.HighestOrdinal() != 0 {
+		t.Fatalf("empty highest %d", l2.HighestOrdinal())
+	}
+}
+
+func TestFindAndFindOrdinal(t *testing.T) {
+	l := NewList()
+	id := ProposalID{2, 7}
+	ord := l.AppendUpdate(id, Semantics{TotalOrder, StrongAtomicity}, 5, None, 0)
+	l.AppendMembership(model.NewGroup(0, []model.ProcessID{0}))
+
+	if d := l.Find(id); d == nil || d.Ordinal != ord {
+		t.Fatalf("Find: %v", d)
+	}
+	if d := l.Find(ProposalID{2, 8}); d != nil {
+		t.Fatalf("Find absent: %v", d)
+	}
+	if d := l.FindOrdinal(ord); d == nil || d.ID != id {
+		t.Fatalf("FindOrdinal: %v", d)
+	}
+	if d := l.FindOrdinal(None); d != nil {
+		t.Fatalf("FindOrdinal(None): %v", d)
+	}
+	if d := l.FindOrdinal(99); d != nil {
+		t.Fatalf("FindOrdinal absent: %v", d)
+	}
+}
+
+func TestAcks(t *testing.T) {
+	l := NewList()
+	id := ProposalID{0, 1}
+	l.AppendUpdate(id, Semantics{}, 0, None, 0)
+	if !l.Ack(id, 3) {
+		t.Fatalf("Ack reported missing")
+	}
+	if l.Ack(ProposalID{0, 9}, 3) {
+		t.Fatalf("Ack on absent descriptor")
+	}
+	d := l.Find(id)
+	if !d.Acks.Has(3) || d.Acks.Has(2) {
+		t.Fatalf("acks: %v", d.Acks)
+	}
+	g := model.NewGroup(0, []model.ProcessID{1, 3, 5})
+	if got := d.Acks.CountIn(g); got != 1 {
+		t.Fatalf("CountIn: %d", got)
+	}
+	if d.Acks.Count() != 1 {
+		t.Fatalf("Count: %d", d.Acks.Count())
+	}
+}
+
+func TestAckSetBounds(t *testing.T) {
+	var a AckSet
+	a.Add(model.NoProcess) // out of range: ignored
+	a.Add(64)              // out of range: ignored
+	a.Add(0)
+	a.Add(63)
+	if a.Count() != 2 || !a.Has(0) || !a.Has(63) {
+		t.Fatalf("ackset: %v count=%d", a, a.Count())
+	}
+	if a.Has(model.NoProcess) || a.Has(64) {
+		t.Fatalf("out-of-range Has true")
+	}
+	b := AckSet(0)
+	b.Add(1)
+	if u := a.Union(b); u.Count() != 3 {
+		t.Fatalf("union count: %d", u.Count())
+	}
+}
+
+func TestMergeAcks(t *testing.T) {
+	mk := func() *List {
+		l := NewList()
+		l.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0)
+		l.AppendUpdate(ProposalID{1, 1}, Semantics{}, 0, None, 0)
+		return l
+	}
+	a, b := mk(), mk()
+	a.Ack(ProposalID{0, 1}, 0)
+	b.Ack(ProposalID{0, 1}, 1)
+	b.Ack(ProposalID{1, 1}, 2)
+	b.MarkUndeliverable(ProposalID{1, 1})
+	a.MergeAcks(b)
+	d0 := a.Find(ProposalID{0, 1})
+	if !d0.Acks.Has(0) || !d0.Acks.Has(1) {
+		t.Fatalf("merged acks: %v", d0.Acks)
+	}
+	d1 := a.Find(ProposalID{1, 1})
+	if !d1.Acks.Has(2) || !d1.Undeliverable {
+		t.Fatalf("merged second: %+v", d1)
+	}
+}
+
+func TestMergeAcksDivergentOrdinalsPanics(t *testing.T) {
+	a, b := NewList(), NewList()
+	a.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0) // ordinal 1
+	b.AppendUpdate(ProposalID{9, 9}, Semantics{}, 0, None, 0) // ordinal 1
+	b.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0) // ordinal 2 — diverges
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on divergent logs")
+		}
+	}()
+	a.MergeAcks(b)
+}
+
+func TestMarkUndeliverable(t *testing.T) {
+	l := NewList()
+	id := ProposalID{0, 1}
+	l.AppendUpdate(id, Semantics{}, 0, None, 0)
+	l.AppendMembership(model.NewGroup(0, []model.ProcessID{0}))
+	if !l.MarkUndeliverable(id) {
+		t.Fatalf("mark failed")
+	}
+	if !l.Find(id).Undeliverable {
+		t.Fatalf("flag not set")
+	}
+	if l.MarkUndeliverable(ProposalID{5, 5}) {
+		t.Fatalf("marked absent descriptor")
+	}
+}
+
+func TestIsPrefixOf(t *testing.T) {
+	long := NewList()
+	long.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0)
+	long.AppendUpdate(ProposalID{1, 1}, Semantics{}, 0, None, 0)
+	long.AppendMembership(model.NewGroup(1, []model.ProcessID{0, 1}))
+
+	short := NewList()
+	short.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0)
+	short.AppendUpdate(ProposalID{1, 1}, Semantics{}, 0, None, 0)
+
+	if !short.IsPrefixOf(long) {
+		t.Fatalf("short should be prefix of long")
+	}
+	if long.IsPrefixOf(short) {
+		t.Fatalf("long is not a prefix of short")
+	}
+	if !long.IsPrefixOf(long) {
+		t.Fatalf("list should be prefix of itself")
+	}
+	// Acks may differ without breaking the prefix relation.
+	short.Ack(ProposalID{0, 1}, 5)
+	if !short.IsPrefixOf(long) {
+		t.Fatalf("prefix relation must ignore ack bits")
+	}
+	// Divergent identity at same ordinal breaks it.
+	div := NewList()
+	div.AppendUpdate(ProposalID{9, 9}, Semantics{}, 0, None, 0)
+	if div.IsPrefixOf(long) {
+		t.Fatalf("divergent list reported as prefix")
+	}
+	empty := NewList()
+	if !empty.IsPrefixOf(long) || !empty.IsPrefixOf(empty) {
+		t.Fatalf("empty list must be a prefix of anything")
+	}
+}
+
+func TestIsPrefixOfKindMismatch(t *testing.T) {
+	a := NewList()
+	a.AppendMembership(model.NewGroup(0, []model.ProcessID{0}))
+	b := NewList()
+	b.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0)
+	if a.IsPrefixOf(b) {
+		t.Fatalf("membership vs update at same ordinal must not be prefix")
+	}
+	// Membership descriptors compare by group seq.
+	c := NewList()
+	c.AppendMembership(model.NewGroup(1, []model.ProcessID{0}))
+	if a.IsPrefixOf(c) {
+		t.Fatalf("different group seq must not be prefix")
+	}
+}
+
+func TestTruncateStable(t *testing.T) {
+	l := NewList()
+	l.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0)
+	l.AppendUpdate(ProposalID{0, 2}, Semantics{}, 0, None, 0)
+	l.AppendUpdate(ProposalID{0, 3}, Semantics{}, 0, None, 0)
+	l.Ack(ProposalID{0, 1}, 0)
+	l.Ack(ProposalID{0, 3}, 0)
+
+	removed := l.TruncateStable(func(d *Descriptor) bool { return d.Acks.Has(0) })
+	if len(removed) != 1 || removed[0].ID != (ProposalID{0, 1}) {
+		t.Fatalf("removed: %v", removed)
+	}
+	// Entry 3 is stable but entry 2 blocks the prefix.
+	if l.Len() != 2 || l.Entries[0].ID != (ProposalID{0, 2}) {
+		t.Fatalf("remaining: %v", l)
+	}
+	// Ordinal lookup still works after truncation.
+	if d := l.FindOrdinal(3); d == nil || d.ID != (ProposalID{0, 3}) {
+		t.Fatalf("FindOrdinal after truncate: %v", d)
+	}
+	if d := l.FindOrdinal(1); d != nil {
+		t.Fatalf("purged ordinal still found: %v", d)
+	}
+	// Next ordinal unaffected.
+	if got := l.AppendUpdate(ProposalID{0, 4}, Semantics{}, 0, None, 0); got != 4 {
+		t.Fatalf("next ordinal after truncate: %d", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := NewList()
+	l.AppendUpdate(ProposalID{0, 1}, Semantics{TotalOrder, StrictAtomicity}, 7, 3, 0)
+	l.AppendMembership(model.NewGroup(2, []model.ProcessID{0, 1, 2}))
+	c := l.Clone()
+	if !l.Equal(c) {
+		t.Fatalf("clone not equal:\n%v\n%v", l, c)
+	}
+	c.Ack(ProposalID{0, 1}, 5)
+	c.Entries[1].Members[0] = 9
+	if l.Find(ProposalID{0, 1}).Acks.Has(5) {
+		t.Fatalf("clone shares ack storage")
+	}
+	if l.Entries[1].Members[0] == 9 {
+		t.Fatalf("clone shares member storage")
+	}
+	if l.Equal(c) {
+		t.Fatalf("Equal missed differences")
+	}
+}
+
+func TestEqualDetectsFieldDifferences(t *testing.T) {
+	base := func() *List {
+		l := NewList()
+		l.AppendUpdate(ProposalID{0, 1}, Semantics{TotalOrder, WeakAtomicity}, 7, 2, 0)
+		return l
+	}
+	muts := []func(*List){
+		func(l *List) { l.Entries[0].SendTS = 8 },
+		func(l *List) { l.Entries[0].HDO = 3 },
+		func(l *List) { l.Entries[0].Sem.Order = TimeOrder },
+		func(l *List) { l.Entries[0].Undeliverable = true },
+		func(l *List) { l.Entries[0].Acks.Add(1) },
+		func(l *List) { l.AppendUpdate(ProposalID{1, 1}, Semantics{}, 0, None, 0) },
+	}
+	for i, mut := range muts {
+		a, b := base(), base()
+		mut(b)
+		if a.Equal(b) {
+			t.Errorf("mutation %d not detected by Equal", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Unordered.String() != "unordered" || TotalOrder.String() != "total" || TimeOrder.String() != "time" {
+		t.Error("Order strings")
+	}
+	if Order(9).String() == "" || Atomicity(9).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+	if WeakAtomicity.String() != "weak" || StrongAtomicity.String() != "strong" || StrictAtomicity.String() != "strict" {
+		t.Error("Atomicity strings")
+	}
+	if (Semantics{TotalOrder, StrictAtomicity}).String() != "total/strict" {
+		t.Error("Semantics string")
+	}
+	if UpdateDesc.String() != "update" || MembershipDesc.String() != "membership" {
+		t.Error("DescriptorKind strings")
+	}
+	if (ProposalID{3, 9}).String() != "p3#9" {
+		t.Error("ProposalID string")
+	}
+	l := NewList()
+	l.AppendUpdate(ProposalID{0, 1}, Semantics{}, 0, None, 0)
+	l.MarkUndeliverable(ProposalID{0, 1})
+	l.AppendMembership(model.NewGroup(0, []model.ProcessID{0}))
+	if l.String() == "" {
+		t.Error("List string empty")
+	}
+	var a AckSet
+	a.Add(0)
+	a.Add(2)
+	if a.String() != "{p0,p2}" {
+		t.Errorf("AckSet string: %q", a.String())
+	}
+}
+
+func TestAppendTruncateRoundTripProperty(t *testing.T) {
+	// Property: after any sequence of appends and full-stable truncations,
+	// ordinals remain strictly increasing and FindOrdinal agrees with the
+	// entry's position.
+	f := func(ops []uint8) bool {
+		l := NewList()
+		seq := uint64(0)
+		for _, op := range ops {
+			if op%4 == 0 && l.Len() > 0 {
+				l.TruncateStable(func(d *Descriptor) bool { return d.Ordinal%2 == 1 })
+			} else {
+				seq++
+				l.AppendUpdate(ProposalID{model.ProcessID(op % 3), seq}, Semantics{}, 0, None, 0)
+			}
+			prev := Ordinal(0)
+			for i := range l.Entries {
+				d := &l.Entries[i]
+				if d.Ordinal <= prev {
+					return false
+				}
+				prev = d.Ordinal
+				if l.FindOrdinal(d.Ordinal) != d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAcksCommutativeAndIdempotent(t *testing.T) {
+	// Property: merging peer views in any order yields the same ack
+	// state, and re-merging changes nothing.
+	f := func(ops []uint16) bool {
+		mk := func() *List {
+			l := NewList()
+			for i := 0; i < 6; i++ {
+				l.AppendUpdate(ProposalID{Proposer: model.ProcessID(i % 3), Seq: uint64(i + 1)}, Semantics{}, 0, None, 0)
+			}
+			return l
+		}
+		a, b, c := mk(), mk(), mk()
+		for _, op := range ops {
+			entry := int(op) % 6
+			who := model.ProcessID(op>>4) % 8
+			switch (op >> 8) % 3 {
+			case 0:
+				a.Entries[entry].Acks.Add(who)
+			case 1:
+				b.Entries[entry].Acks.Add(who)
+			case 2:
+				c.Entries[entry].Acks.Add(who)
+			}
+		}
+		// Merge in two different orders.
+		m1 := mk()
+		m1.MergeAcks(a)
+		m1.MergeAcks(b)
+		m1.MergeAcks(c)
+		m2 := mk()
+		m2.MergeAcks(c)
+		m2.MergeAcks(a)
+		m2.MergeAcks(b)
+		if !m1.Equal(m2) {
+			return false
+		}
+		// Idempotence.
+		m3 := m1.Clone()
+		m3.MergeAcks(a)
+		m3.MergeAcks(b)
+		m3.MergeAcks(c)
+		return m1.Equal(m3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrefixOfTransitive(t *testing.T) {
+	// Property: if a ⊑ b and b ⊑ c then a ⊑ c, for prefix chains built
+	// by extending a common log.
+	f := func(cut1, cut2 uint8, total uint8) bool {
+		n := int(total%12) + 3
+		c := NewList()
+		for i := 0; i < n; i++ {
+			c.AppendUpdate(ProposalID{Proposer: model.ProcessID(i % 4), Seq: uint64(i + 1)}, Semantics{}, 0, None, 0)
+		}
+		k1 := int(cut1) % n
+		k2 := k1 + int(cut2)%(n-k1)
+		a := &List{Entries: c.Clone().Entries[:k1], Next: Ordinal(k1 + 1)}
+		b := &List{Entries: c.Clone().Entries[:k2], Next: Ordinal(k2 + 1)}
+		if !a.IsPrefixOf(b) || !b.IsPrefixOf(c) {
+			return false
+		}
+		return a.IsPrefixOf(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncateNeverBreaksPrefixRelation(t *testing.T) {
+	// Property: a truncated list remains a prefix-compatible view of the
+	// untruncated one (by ordinal identity).
+	f := func(marks []bool) bool {
+		full := NewList()
+		for i := 0; i < 10; i++ {
+			full.AppendUpdate(ProposalID{Proposer: 0, Seq: uint64(i + 1)}, Semantics{}, 0, None, 0)
+		}
+		cut := full.Clone()
+		i := 0
+		cut.TruncateStable(func(*Descriptor) bool {
+			ok := i < len(marks) && marks[i]
+			i++
+			return ok
+		})
+		return cut.IsPrefixOf(full) || len(cut.Entries) <= len(full.Entries)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package scenario
+
+import (
+	"testing"
+
+	"timewheel/internal/check"
+)
+
+func TestFinalAssurance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	for _, n := range []int{5, 7, 9} {
+		for seed := int64(9000); seed < 9030; seed++ {
+			opts := DefaultChaos(n, seed)
+			opts.Dup = 0.05
+			r := Chaos(opts)
+			if r.Failed != "" {
+				t.Errorf("N=%d seed %d: %s", n, seed, r.Failed)
+				continue
+			}
+			if res := check.All(r.Cluster); !res.OK() {
+				t.Errorf("N=%d seed %d: %s", n, seed, res)
+			}
+		}
+	}
+}

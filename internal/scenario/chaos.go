@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// ChaosOptions configures a randomized fault schedule.
+type ChaosOptions struct {
+	N      int
+	Seed   int64
+	Cycles int // total simulated cycles
+	// CrashProb is the per-cycle probability of crashing one live
+	// member (while keeping a live majority).
+	CrashProb float64
+	// RecoverProb is the per-cycle probability of recovering one
+	// crashed member.
+	RecoverProb float64
+	// PartitionProb is the per-cycle probability of toggling a
+	// majority/minority partition (heal if one is active).
+	PartitionProb float64
+	// ProposeProb is the per-cycle probability that a random live
+	// member broadcasts an update with random semantics.
+	ProposeProb float64
+	// Drop is the network's background omission probability.
+	Drop float64
+	// Dup is the network's background duplication probability; the
+	// protocol's freshness checks must absorb duplicates silently.
+	Dup float64
+	// DriftingClocks runs the full clock stack (drifting hardware
+	// clocks + the fail-aware synchronization service) instead of
+	// perfect clocks.
+	DriftingClocks bool
+}
+
+// DefaultChaos returns a schedule that exercises every recovery path.
+func DefaultChaos(n int, seed int64) ChaosOptions {
+	return ChaosOptions{
+		N:             n,
+		Seed:          seed,
+		Cycles:        60,
+		CrashProb:     0.10,
+		RecoverProb:   0.30,
+		PartitionProb: 0.04,
+		ProposeProb:   0.80,
+		Drop:          0.002,
+		Dup:           0.01,
+	}
+}
+
+// Chaos runs a randomized schedule of crashes, recoveries, partitions
+// and proposals, then heals everything and lets the system settle. The
+// caller validates the resulting history with check.All; Chaos itself
+// asserts only the liveness end-state: with all processes healed and
+// recovered, the full group eventually re-forms.
+func Chaos(opts ChaosOptions) *Result {
+	c := node.NewCluster(node.Options{
+		Seed:          opts.Seed,
+		Params:        model.DefaultParams(opts.N),
+		PerfectClocks: !opts.DriftingClocks,
+		Drop:          opts.Drop,
+	})
+	c.Net.SetDuplicateProb(opts.Dup)
+	r := newResult(fmt.Sprintf("chaos/N=%d/seed=%d", opts.N, opts.Seed), c)
+	if !form(r) {
+		return r
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	crashed := model.NewProcessSet()
+	partitioned := false
+	sems := []oal.Semantics{
+		{Order: oal.Unordered, Atomicity: oal.WeakAtomicity},
+		{Order: oal.TotalOrder, Atomicity: oal.WeakAtomicity},
+		{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+		{Order: oal.TotalOrder, Atomicity: oal.StrictAtomicity},
+		{Order: oal.TimeOrder, Atomicity: oal.WeakAtomicity},
+	}
+	var proposals, crashes, recoveries, partitions int
+
+	for cyc := 0; cyc < opts.Cycles; cyc++ {
+		if !partitioned && rng.Float64() < opts.CrashProb && opts.N-len(crashed)-1 >= c.Params.Majority() {
+			// Crash a random live member, keeping a live majority.
+			live := liveIDs(opts.N, crashed)
+			victim := live[rng.Intn(len(live))]
+			c.Crash(victim)
+			crashed.Add(victim)
+			crashes++
+		}
+		if rng.Float64() < opts.RecoverProb && len(crashed) > 0 {
+			ids := crashed.Sorted()
+			who := ids[rng.Intn(len(ids))]
+			c.Recover(who)
+			crashed.Remove(who)
+			recoveries++
+		}
+		if rng.Float64() < opts.PartitionProb && len(crashed) == 0 {
+			if partitioned {
+				c.Net.Heal()
+			} else {
+				maj := allIDs(opts.N)[:c.Params.Majority()]
+				min := allIDs(opts.N)[c.Params.Majority():]
+				c.Net.Partition(maj, min)
+				partitions++
+			}
+			partitioned = !partitioned
+		}
+		if rng.Float64() < opts.ProposeProb {
+			live := liveIDs(opts.N, crashed)
+			who := live[rng.Intn(len(live))]
+			if c.Node(who).Propose([]byte(fmt.Sprintf("chaos-%d", cyc)), sems[rng.Intn(len(sems))]) {
+				proposals++
+			}
+		}
+		c.Run(c.Params.CycleLen())
+	}
+
+	// Heal everything and let the system settle.
+	if partitioned {
+		c.Net.Heal()
+	}
+	for _, id := range crashed.Sorted() {
+		c.Recover(id)
+	}
+	if _, ok := runUntil(c, 24, func() bool { return agreedOn(c, allIDs(opts.N)) }); !ok {
+		r.fail("full group did not re-form after healing")
+	}
+	// Drain in-flight deliveries.
+	c.Run(cyclesDur(c, 6))
+
+	r.metric("proposals", float64(proposals))
+	r.metric("crashes", float64(crashes))
+	r.metric("recoveries", float64(recoveries))
+	r.metric("partitions", float64(partitions))
+	views := 0
+	for _, n := range c.Nodes {
+		views += len(n.Views)
+	}
+	r.metric("views_installed_total", float64(views))
+	return r
+}
+
+func liveIDs(n int, crashed model.ProcessSet) []model.ProcessID {
+	out := make([]model.ProcessID, 0, n)
+	for i := 0; i < n; i++ {
+		if !crashed.Has(model.ProcessID(i)) {
+			out = append(out, model.ProcessID(i))
+		}
+	}
+	return out
+}

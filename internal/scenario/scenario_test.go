@@ -1,0 +1,396 @@
+package scenario
+
+import (
+	"testing"
+
+	"timewheel/internal/check"
+	"timewheel/internal/model"
+	"timewheel/internal/netsim"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// runChecked asserts the scenario succeeded and all protocol invariants
+// hold over its history.
+func runChecked(t *testing.T, r *Result) *Result {
+	t.Helper()
+	if r.Failed != "" {
+		t.Fatalf("%s failed: %s", r.Name, r.Failed)
+	}
+	if res := check.All(r.Cluster); !res.OK() {
+		t.Fatalf("%s invariants: %s", r.Name, res)
+	}
+	return r
+}
+
+func TestFailureFreeScenario(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		r := runChecked(t, FailureFree(n, 100+int64(n), 20))
+		if r.Metrics["membership_msgs"] != 0 {
+			t.Errorf("N=%d: %v membership messages in failure-free period", n, r.Metrics["membership_msgs"])
+		}
+		if r.Metrics["decision_msgs"] == 0 {
+			t.Errorf("N=%d: no decisions flowed", n)
+		}
+		// The heartbeat baseline would have sent many messages over the
+		// same period.
+		hb := HeartbeatBaseline(n, 20, model.DefaultParams(n))
+		if hb <= 0 {
+			t.Errorf("heartbeat baseline: %v", hb)
+		}
+	}
+}
+
+func TestSingleCrashScenario(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 12} {
+		r := runChecked(t, SingleCrash(n, 200+int64(n)))
+		if r.Metrics["single_elections"]+r.Metrics["reconfig_elections"] == 0 {
+			t.Errorf("N=%d: no election", n)
+		}
+		// The paper's bound: detection within 2D plus one no-decision
+		// ring of at most (N-1) hops each well under D, plus the fresh
+		// decider's dissemination. Generous envelope: 2D + N*D.
+		params := model.DefaultParams(n)
+		bound := float64(2*params.D) + float64(n)*float64(params.D)
+		if got := r.Metrics["recovery_us"]; got > bound {
+			t.Errorf("N=%d: recovery %vus exceeds bound %vus", n, got, bound)
+		}
+	}
+}
+
+func TestFalseSuspicionScenario(t *testing.T) {
+	// The common case: the false alarm is masked, membership unchanged.
+	// (Masking is expected, not guaranteed — a lost retransmission makes
+	// the protocol exclude and readmit instead; the sweep measures the
+	// rate.)
+	r := runChecked(t, FalseSuspicion(5, 300))
+	if r.Metrics["masked"] != 1 {
+		t.Errorf("seed 300 not masked: %v new views", r.Metrics["views_installed"])
+	}
+	if r.Metrics["wrong_suspicions"] == 0 {
+		t.Errorf("no wrong suspicion provoked")
+	}
+	// Masking dominates across seeds.
+	maskedCount := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rr := runChecked(t, FalseSuspicion(5, seed))
+		if rr.Metrics["masked"] == 1 {
+			maskedCount++
+		}
+	}
+	if maskedCount < 12 {
+		t.Errorf("masking rate too low: %d/20", maskedCount)
+	}
+}
+
+func TestMultiCrashScenario(t *testing.T) {
+	for _, f := range []int{2, 3} {
+		r := runChecked(t, MultiCrash(8, f, 400+int64(f)))
+		if r.Metrics["reconfig_elections"] == 0 {
+			t.Errorf("f=%d: recovery without reconfiguration election", f)
+		}
+		// The paper: "a new decider is typically elected in two rounds".
+		if got := r.Metrics["recovery_cycles"]; got > 4 {
+			t.Errorf("f=%d: recovery took %.1f cycles", f, got)
+		}
+	}
+}
+
+func TestMultiCrashTooManyFails(t *testing.T) {
+	r := MultiCrash(5, 3, 500) // 2 survivors < majority 3
+	if r.Failed == "" {
+		t.Fatalf("expected scenario to report failure")
+	}
+}
+
+func TestRejoinScenario(t *testing.T) {
+	r := runChecked(t, Rejoin(5, 600))
+	if r.Metrics["rejoin_us"] <= 0 {
+		t.Errorf("rejoin metric missing")
+	}
+}
+
+func TestPartitionScenario(t *testing.T) {
+	r := runChecked(t, Partition(5, 700))
+	if r.Metrics["majority_reconfig_us"] <= 0 || r.Metrics["heal_us"] <= 0 {
+		t.Errorf("metrics: %v", r.Metrics)
+	}
+}
+
+func TestWorkloadScenarios(t *testing.T) {
+	sems := []oal.Semantics{
+		{Order: oal.Unordered, Atomicity: oal.WeakAtomicity},
+		{Order: oal.TotalOrder, Atomicity: oal.WeakAtomicity},
+		{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+		{Order: oal.TotalOrder, Atomicity: oal.StrictAtomicity},
+		{Order: oal.TimeOrder, Atomicity: oal.WeakAtomicity},
+	}
+	for i, sem := range sems {
+		r := runChecked(t, Workload(5, 800+int64(i), sem, 30))
+		if r.Metrics["delivered"] < 30 {
+			t.Errorf("%v: delivered %v/30", sem, r.Metrics["delivered"])
+		}
+		// Stronger semantics cost more latency; all must stay finite and
+		// under a few cycles.
+		params := model.DefaultParams(5)
+		if got := r.Metrics["latency_max_us"]; got > float64(10*params.CycleLen()) {
+			t.Errorf("%v: max latency %v too high", sem, got)
+		}
+	}
+}
+
+func TestMetricNamesSorted(t *testing.T) {
+	r := FailureFree(3, 1, 2)
+	names := r.MetricNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names unsorted: %v", names)
+		}
+	}
+}
+
+func TestCrashedProposerBodiesRecovered(t *testing.T) {
+	// Regression: retransmissions of a crashed proposer's updates must
+	// reach members that missed the originals (the retransmitter, not
+	// the dead proposer, is the datagram source).
+	c := node.NewCluster(node.Options{Seed: 99, Params: model.DefaultParams(4), PerfectClocks: true})
+	c.Start()
+	c.Run(5 * c.Params.CycleLen())
+	sem := oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}
+	want := 0
+	for k := 0; k < 5; k++ {
+		for r := 0; r < 4; r++ {
+			if c.Node(model.ProcessID(r)).Propose([]byte("u"), sem) {
+				want++
+			}
+			c.Run(c.Params.D / 4)
+		}
+	}
+	c.Crash(3)
+	c.Run(2 * c.Params.CycleLen())
+	for r := 0; r < 3; r++ {
+		if c.Node(model.ProcessID(r)).Propose([]byte("x"), sem) {
+			want++
+		}
+	}
+	c.Run(10 * c.Params.CycleLen())
+	// The crashed proposer's in-flight tail may be dropped uniformly
+	// (§4.3) — at most its final, never-ordered update. Everything else,
+	// including its earlier updates known only through retransmission,
+	// must reach every survivor, and all survivors must agree exactly.
+	ref := make(map[oal.ProposalID]bool)
+	for _, d := range c.Node(0).Deliveries {
+		ref[d.ID] = true
+	}
+	if got := len(ref); got < want-1 {
+		t.Errorf("p0 delivered %d, want at least %d", got, want-1)
+	}
+	for r := 1; r < 3; r++ {
+		n := c.Node(model.ProcessID(r))
+		if len(n.Deliveries) != len(ref) {
+			t.Errorf("p%d delivered %d, p0 delivered %d", r, len(n.Deliveries), len(ref))
+		}
+		for _, d := range n.Deliveries {
+			if !ref[d.ID] {
+				t.Errorf("p%d delivered %v which p0 did not", r, d.ID)
+			}
+		}
+	}
+	if res := check.All(c); !res.OK() {
+		t.Fatalf("invariants: %s", res)
+	}
+}
+
+func TestChaos(t *testing.T) {
+	// Randomized crash/recover/partition/proposal schedules across
+	// several seeds; every run must end with the full group re-formed
+	// and every global invariant intact.
+	for seed := int64(0); seed < 6; seed++ {
+		opts := DefaultChaos(5, 3000+seed)
+		r := Chaos(opts)
+		if r.Failed != "" {
+			t.Fatalf("seed %d: %s", seed, r.Failed)
+		}
+		if res := check.All(r.Cluster); !res.OK() {
+			t.Fatalf("seed %d invariants: %s", seed, res)
+		}
+		if r.Metrics["crashes"]+r.Metrics["partitions"] == 0 {
+			t.Logf("seed %d produced no faults; schedule too tame", seed)
+		}
+	}
+}
+
+func TestChaosLargerTeam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	opts := DefaultChaos(9, 4242)
+	opts.Cycles = 40
+	r := Chaos(opts)
+	if r.Failed != "" {
+		t.Fatalf("%s", r.Failed)
+	}
+	if res := check.All(r.Cluster); !res.OK() {
+		t.Fatalf("invariants: %s", res)
+	}
+}
+
+func TestChaosWithDriftingClocks(t *testing.T) {
+	// The full stack — drifting hardware clocks, fail-aware clock sync,
+	// membership, broadcast — under a randomized fault schedule.
+	opts := DefaultChaos(5, 7777)
+	opts.DriftingClocks = true
+	opts.Cycles = 40
+	opts.PartitionProb = 0 // partitions also partition the sync beacons; keep this focused
+	r := Chaos(opts)
+	if r.Failed != "" {
+		t.Fatalf("%s", r.Failed)
+	}
+	if res := check.All(r.Cluster); !res.OK() {
+		t.Fatalf("invariants: %s", res)
+	}
+}
+
+func TestSlowMemberScenario(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		r := runChecked(t, SlowMember(5, 900+seed))
+		_ = r
+	}
+}
+
+func TestScriptParseErrors(t *testing.T) {
+	bad := []string{
+		"at x crash 1",
+		"at 1 crash",
+		"at 1 crash -2",
+		"at 1 explode 3",
+		"at 1 partition 0,1",
+		"at 1 partition | 1",
+		"at 1 slow 1 30",
+		"at 1 propose 1 total hello",
+		"at 1 propose 1 sideways weak x",
+		"at 1 propose 1 total soft x",
+		"run zero",
+		"crash 1",
+	}
+	for _, text := range bad {
+		if _, err := ParseScript(text); err == nil {
+			t.Errorf("accepted bad script %q", text)
+		}
+	}
+}
+
+func TestScriptRunsFaultSchedule(t *testing.T) {
+	script := `
+# crash the slot-2 member, let the group shrink, then bring it back
+at 1 propose 0 total strong before-crash
+at 2 crash 2
+at 6 recover 2
+at 7 propose 1 total strong after-recovery
+run 16
+`
+	s, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runChecked(t, s.Run(5, 61))
+	// The crash produced a shrink view and the recovery a re-admission.
+	if r.Metrics["views_installed_total"] < 3*5-2 {
+		t.Logf("views: %v", r.Metrics["views_installed_total"])
+	}
+	if !agreedOn(r.Cluster, allIDs(5)) {
+		t.Fatalf("group not restored after recovery")
+	}
+	// Both proposals delivered at a survivor.
+	var got []string
+	for _, d := range r.Cluster.Node(0).Deliveries {
+		got = append(got, string(d.Payload))
+	}
+	if len(got) != 2 || got[0] != "before-crash" || got[1] != "after-recovery" {
+		t.Fatalf("deliveries at p0: %v", got)
+	}
+}
+
+func TestScriptPartitionAndSlow(t *testing.T) {
+	script := `
+at 1 partition 0,1,2 | 3,4
+at 6 heal
+at 10 slow 4 30ms
+at 14 fast 4
+run 24
+`
+	s, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runChecked(t, s.Run(5, 62))
+}
+
+func TestScriptDefaultRunLength(t *testing.T) {
+	s, err := ParseScript("at 3 crash 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cycles != 9 {
+		t.Fatalf("default cycles: %d", s.cycles)
+	}
+}
+
+func TestDecisionSizeBoundedByTruncation(t *testing.T) {
+	// The oal's stable-prefix truncation must keep decision messages
+	// bounded no matter how many updates flow: compare a short run and a
+	// 4x longer run — max decision size must not scale with history.
+	short := runChecked(t, Workload(5, 71, oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}, 25))
+	long := runChecked(t, Workload(5, 71, oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}, 100))
+	s := short.Metrics["max_decision_bytes"]
+	l := long.Metrics["max_decision_bytes"]
+	if s <= 0 || l <= 0 {
+		t.Fatalf("sizes not recorded: %v %v", s, l)
+	}
+	if l > 2*s {
+		t.Fatalf("decision size scales with history: %v -> %v bytes", s, l)
+	}
+}
+
+func TestMixedChurn(t *testing.T) {
+	r := runChecked(t, MixedChurn(5, 91, 3))
+	if r.Metrics["proposals"] < 40 {
+		t.Fatalf("too few proposals flowed: %v", r.Metrics["proposals"])
+	}
+}
+
+func TestChaosWithRoundTripSync(t *testing.T) {
+	// Chaos over the full clock stack in round-trip mode. The network
+	// must allow epsilon-precision rounds, so use tight delays.
+	c := node.NewCluster(node.Options{
+		Seed:           8181,
+		Params:         model.DefaultParams(5),
+		PerfectClocks:  false,
+		RoundTripSync:  true,
+		MaxClockOffset: model.DefaultParams(5).Epsilon,
+		Delay:          netsim.UniformDelay(model.DefaultParams(5).Epsilon/4, model.DefaultParams(5).Epsilon-1),
+	})
+	c.Start()
+	c.Run(6 * c.Params.CycleLen())
+	if !agreedOn(c, allIDs(5)) {
+		t.Fatalf("formation failed")
+	}
+	sem := oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}
+	for k := 0; k < 8; k++ {
+		c.Node(model.ProcessID(k%5)).Propose([]byte("rt"), sem)
+		c.Run(c.Params.CycleLen())
+		if k == 3 {
+			c.Crash(2)
+		}
+		if k == 6 {
+			c.Recover(2)
+		}
+	}
+	if _, ok := runUntil(c, 16, func() bool { return agreedOn(c, allIDs(5)) }); !ok {
+		t.Fatalf("group did not re-form")
+	}
+	c.Run(6 * c.Params.CycleLen())
+	if res := check.All(c); !res.OK() {
+		t.Fatalf("invariants: %s", res)
+	}
+}

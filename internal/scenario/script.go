@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"timewheel/internal/model"
+	"timewheel/internal/netsim"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// Script is a parsed fault schedule: a sequence of actions pinned to
+// cycle boundaries, run against a fresh cluster. The text format, one
+// action per line ('#' starts a comment):
+//
+//	at <cycle> crash <id>
+//	at <cycle> recover <id>
+//	at <cycle> partition <id,id,...> | <id,id,...>
+//	at <cycle> heal
+//	at <cycle> slow <id> <lag>        e.g. "slow 3 30ms"
+//	at <cycle> fast <id>
+//	at <cycle> propose <id> <order> <atomicity> <payload>
+//	run <cycles>
+//
+// order ∈ unordered|total|time; atomicity ∈ weak|strong|strict.
+type Script struct {
+	actions []scriptAction
+	cycles  int
+}
+
+type scriptAction struct {
+	cycle int
+	line  int
+	apply func(*scriptRun) error
+}
+
+type scriptRun struct {
+	c    *clusterT
+	slow map[model.ProcessID]model.Duration
+}
+
+// clusterT aliases the node cluster for brevity inside this file.
+type clusterT = node.Cluster
+
+// ParseScript parses the text format above.
+func ParseScript(text string) (*Script, error) {
+	s := &Script{cycles: -1}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		lineNo := ln + 1
+		if fields[0] == "run" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: run wants one argument", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("line %d: bad cycle count %q", lineNo, fields[1])
+			}
+			s.cycles = n
+			continue
+		}
+		if fields[0] != "at" || len(fields) < 3 {
+			return nil, fmt.Errorf("line %d: expected 'at <cycle> <action>' or 'run <cycles>'", lineNo)
+		}
+		cycle, err := strconv.Atoi(fields[1])
+		if err != nil || cycle < 0 {
+			return nil, fmt.Errorf("line %d: bad cycle %q", lineNo, fields[1])
+		}
+		act, err := parseAction(fields[2:], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		s.actions = append(s.actions, scriptAction{cycle: cycle, line: lineNo, apply: act})
+	}
+	if s.cycles < 0 {
+		last := 0
+		for _, a := range s.actions {
+			if a.cycle > last {
+				last = a.cycle
+			}
+		}
+		s.cycles = last + 6
+	}
+	return s, nil
+}
+
+func parseAction(fields []string, lineNo int) (func(*scriptRun) error, error) {
+	pid := func(arg string) (model.ProcessID, error) {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("line %d: bad process id %q", lineNo, arg)
+		}
+		return model.ProcessID(v), nil
+	}
+	switch fields[0] {
+	case "crash":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: crash wants one id", lineNo)
+		}
+		id, err := pid(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(r *scriptRun) error {
+			if int(id) >= len(r.c.Nodes) {
+				return fmt.Errorf("line %d: no such process %v", lineNo, id)
+			}
+			r.c.Crash(id)
+			return nil
+		}, nil
+	case "recover":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: recover wants one id", lineNo)
+		}
+		id, err := pid(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(r *scriptRun) error {
+			if int(id) >= len(r.c.Nodes) {
+				return fmt.Errorf("line %d: no such process %v", lineNo, id)
+			}
+			r.c.Recover(id)
+			return nil
+		}, nil
+	case "partition":
+		rest := strings.Join(fields[1:], " ")
+		sidesText := strings.Split(rest, "|")
+		if len(sidesText) < 2 {
+			return nil, fmt.Errorf("line %d: partition wants at least two '|'-separated sides", lineNo)
+		}
+		var sides [][]model.ProcessID
+		for _, st := range sidesText {
+			var side []model.ProcessID
+			for _, tok := range strings.Split(st, ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					continue
+				}
+				id, err := pid(tok)
+				if err != nil {
+					return nil, err
+				}
+				side = append(side, id)
+			}
+			if len(side) == 0 {
+				return nil, fmt.Errorf("line %d: empty partition side", lineNo)
+			}
+			sides = append(sides, side)
+		}
+		return func(r *scriptRun) error {
+			r.c.Net.Partition(sides...)
+			return nil
+		}, nil
+	case "heal":
+		return func(r *scriptRun) error {
+			r.c.Net.Heal()
+			return nil
+		}, nil
+	case "slow":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: slow wants '<id> <lag>'", lineNo)
+		}
+		id, err := pid(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		lag, err := parseDuration(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		return func(r *scriptRun) error {
+			r.slow[id] = lag
+			return nil
+		}, nil
+	case "fast":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: fast wants one id", lineNo)
+		}
+		id, err := pid(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(r *scriptRun) error {
+			delete(r.slow, id)
+			return nil
+		}, nil
+	case "propose":
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("line %d: propose wants '<id> <order> <atomicity> <payload>'", lineNo)
+		}
+		id, err := pid(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		var sem oal.Semantics
+		switch fields[2] {
+		case "unordered":
+			sem.Order = oal.Unordered
+		case "total":
+			sem.Order = oal.TotalOrder
+		case "time":
+			sem.Order = oal.TimeOrder
+		default:
+			return nil, fmt.Errorf("line %d: unknown order %q", lineNo, fields[2])
+		}
+		switch fields[3] {
+		case "weak":
+			sem.Atomicity = oal.WeakAtomicity
+		case "strong":
+			sem.Atomicity = oal.StrongAtomicity
+		case "strict":
+			sem.Atomicity = oal.StrictAtomicity
+		default:
+			return nil, fmt.Errorf("line %d: unknown atomicity %q", lineNo, fields[3])
+		}
+		payload := fields[4]
+		return func(r *scriptRun) error {
+			if int(id) >= len(r.c.Nodes) {
+				return fmt.Errorf("line %d: no such process %v", lineNo, id)
+			}
+			r.c.Node(id).Propose([]byte(payload), sem)
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("line %d: unknown action %q", lineNo, fields[0])
+	}
+}
+
+// parseDuration accepts "30ms", "2s", "500us".
+func parseDuration(s string) (model.Duration, error) {
+	mult := model.Duration(0)
+	var numPart string
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		mult, numPart = model.Millisecond, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "us"):
+		mult, numPart = model.Microsecond, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "s"):
+		mult, numPart = model.Second, strings.TrimSuffix(s, "s")
+	default:
+		return 0, fmt.Errorf("bad duration %q (use us/ms/s)", s)
+	}
+	v, err := strconv.Atoi(numPart)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return model.Duration(v) * mult, nil
+}
+
+// Run executes the script against a fresh cluster of n nodes. Cycle 0 is
+// the moment the initial group has formed; scripted cycles count from
+// there.
+func (s *Script) Run(n int, seed int64) *Result {
+	c := cluster(n, seed)
+	r := newResult(fmt.Sprintf("script/N=%d", n), c)
+	if !form(r) {
+		return r
+	}
+	run := &scriptRun{c: c, slow: make(map[model.ProcessID]model.Duration)}
+	c.Net.AddFilter(func(from, to model.ProcessID, m wire.Message) (netsim.Verdict, model.Duration) {
+		if lag, ok := run.slow[from]; ok {
+			return netsim.Pass, lag
+		}
+		return netsim.Pass, 0
+	})
+
+	byCycle := make(map[int][]scriptAction)
+	for _, a := range s.actions {
+		byCycle[a.cycle] = append(byCycle[a.cycle], a)
+	}
+	for cyc := 0; cyc <= s.cycles; cyc++ {
+		for _, a := range byCycle[cyc] {
+			if err := a.apply(run); err != nil {
+				r.fail("%v", err)
+				return r
+			}
+		}
+		c.Run(c.Params.CycleLen())
+	}
+	r.metric("cycles", float64(s.cycles))
+	views := 0
+	for _, nd := range c.Nodes {
+		views += len(nd.Views)
+	}
+	r.metric("views_installed_total", float64(views))
+	return r
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"testing"
+
+	"timewheel/internal/check"
+)
+
+// TestChaosSweep runs the randomized fault schedule across 500 seeds —
+// the soak that historically surfaced most of the protocol races listed
+// in EXPERIMENTS.md. Every run must end with the full group re-formed
+// and zero invariant violations.
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	bad := 0
+	for seed := int64(0); seed < 500; seed++ {
+		r := Chaos(DefaultChaos(5, seed))
+		if r.Failed != "" {
+			t.Errorf("seed %d: %s", seed, r.Failed)
+			bad++
+			continue
+		}
+		if res := check.All(r.Cluster); !res.OK() {
+			t.Errorf("seed %d: %s", seed, res)
+			bad++
+		}
+		if bad > 5 {
+			t.Fatalf("too many bad seeds; aborting sweep")
+		}
+	}
+}
+
+// TestSurvivalAssumptionFallback pins the n-failure fallback: seed 424
+// historically produced a run where the knowledge of "the last group"
+// ended up split across two dead forks — no process could assemble a
+// majority from its own last group, deadlocking every reconfiguration
+// election (a violation of the paper's survival assumption). The
+// fallback to the join protocol must resolve it.
+func TestSurvivalAssumptionFallback(t *testing.T) {
+	r := Chaos(DefaultChaos(5, 424))
+	if r.Failed != "" {
+		t.Fatalf("%s", r.Failed)
+	}
+	if res := check.All(r.Cluster); !res.OK() {
+		t.Fatalf("invariants: %s", res)
+	}
+	if !agreedOn(r.Cluster, allIDs(5)) {
+		t.Fatalf("full group not re-formed")
+	}
+}

@@ -1,0 +1,196 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All protocol tests and experiments run on this kernel: virtual time
+// advances only when the event queue is drained up to the next scheduled
+// instant, so a run is a pure function of its seed and scripted faults.
+// Ties are broken by insertion order, making runs bit-for-bit
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"timewheel/internal/model"
+)
+
+// Sim is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all scheduled functions run on the caller's goroutine
+// inside Run.
+type Sim struct {
+	now    model.Time
+	queue  eventHeap
+	nextID uint64
+	rng    *rand.Rand
+
+	// Stats.
+	executed uint64
+}
+
+// New creates a simulator whose virtual clock starts at 0 and whose
+// random stream is seeded deterministically.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() model.Time { return s.now }
+
+// Rand returns the simulator's deterministic random stream.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events run so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still queued.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired
+// or been stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// At returns the virtual time at which the timer fires.
+func (t *Timer) At() model.Time {
+	if t == nil || t.ev == nil {
+		return model.Infinity
+	}
+	return t.ev.at
+}
+
+// Schedule queues fn to run at virtual time at. Scheduling in the past
+// (before Now) panics: it indicates a protocol bug, not a recoverable
+// condition.
+func (s *Sim) Schedule(at model.Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.nextID, fn: fn}
+	s.nextID++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After queues fn to run d after Now.
+func (s *Sim) After(d model.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Step runs the earliest pending event, advancing virtual time to it. It
+// reports whether an event was run.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until virtual time would exceed until, or
+// the queue empties. Events scheduled exactly at until are executed. On
+// return the clock reads until (if the horizon was reached) or the time of
+// the last event.
+func (s *Sim) Run(until model.Time) {
+	for {
+		ev := s.peek()
+		if ev == nil {
+			break
+		}
+		if ev.at > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Sim) RunFor(d model.Duration) { s.Run(s.now.Add(d)) }
+
+// RunUntilIdle executes events until none remain. It panics after limit
+// events as a runaway guard; pass 0 for the default of 10 million.
+func (s *Sim) RunUntilIdle(limit uint64) {
+	if limit == 0 {
+		limit = 10_000_000
+	}
+	for n := uint64(0); s.Step(); n++ {
+		if n >= limit {
+			panic("sim: RunUntilIdle exceeded event limit")
+		}
+	}
+}
+
+func (s *Sim) peek() *event {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+type event struct {
+	at        model.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"timewheel/internal/model"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.RunUntilIdle(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("now %v, want 30", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Fatalf("executed %d", s.Executed())
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	s.RunUntilIdle(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order: %v", got)
+		}
+	}
+}
+
+func TestSchedulingFromHandlers(t *testing.T) {
+	s := New(1)
+	var got []model.Time
+	s.Schedule(10, func() {
+		got = append(got, s.Now())
+		s.After(5, func() { got = append(got, s.Now()) })
+		s.Schedule(12, func() { got = append(got, s.Now()) })
+	})
+	s.RunUntilIdle(0)
+	if len(got) != 3 || got[0] != 10 || got[1] != 12 || got[2] != 15 {
+		t.Fatalf("times: %v", got)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(10, func() { ran++ })
+	s.Schedule(20, func() { ran++ })
+	s.Schedule(21, func() { ran++ })
+	s.Run(20)
+	if ran != 2 {
+		t.Fatalf("ran %d, want 2 (event at horizon included)", ran)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("now %v, want 20", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", s.Pending())
+	}
+	s.RunFor(1)
+	if ran != 3 || s.Now() != 21 {
+		t.Fatalf("after RunFor: ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestRunAdvancesClockOnEmptyQueue(t *testing.T) {
+	s := New(1)
+	s.Run(100)
+	if s.Now() != 100 {
+		t.Fatalf("now %v, want 100", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.Schedule(10, func() { ran = true })
+	if tm.At() != 10 {
+		t.Fatalf("At: %v", tm.At())
+	}
+	if !tm.Stop() {
+		t.Fatalf("Stop reported already-stopped")
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop should report false")
+	}
+	s.RunUntilIdle(0)
+	if ran {
+		t.Fatalf("cancelled event ran")
+	}
+	// Stopping after firing reports false.
+	tm2 := s.Schedule(s.Now().Add(1), func() {})
+	s.RunUntilIdle(0)
+	if tm2.Stop() {
+		t.Fatalf("Stop after fire should report false")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Fatalf("nil timer Stop should report false")
+	}
+	if nilTimer.At() != model.Infinity {
+		t.Fatalf("nil timer At should be Infinity")
+	}
+}
+
+func TestCancelledEventsSkippedByPeek(t *testing.T) {
+	s := New(1)
+	t1 := s.Schedule(10, func() {})
+	s.Schedule(20, func() {})
+	t1.Stop()
+	s.Run(15)
+	// The cancelled head should have been discarded without running and
+	// without blocking the horizon scan.
+	if s.Now() != 15 {
+		t.Fatalf("now %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(10, func() {})
+	s.RunUntilIdle(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic scheduling in the past")
+		}
+	}()
+	s.Schedule(5, func() {})
+}
+
+func TestAfterNegativeClampsToNow(t *testing.T) {
+	s := New(1)
+	s.Schedule(10, func() {})
+	s.RunUntilIdle(0)
+	fired := false
+	s.After(-5, func() { fired = true })
+	s.RunUntilIdle(0)
+	if !fired || s.Now() != 10 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestRunUntilIdleLimit(t *testing.T) {
+	s := New(1)
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected runaway panic")
+		}
+	}()
+	s.RunUntilIdle(100)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		var tick func()
+		tick = func() {
+			out = append(out, int64(s.Now()), s.Rand().Int63n(1000))
+			if s.Now() < 100 {
+				s.After(model.Duration(1+s.Rand().Int63n(10)), tick)
+			}
+		}
+		s.After(0, tick)
+		s.RunUntilIdle(0)
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	f := func(seed int64, rawDelays []uint16) bool {
+		s := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		var fired []model.Time
+		for _, d := range rawDelays {
+			at := model.Time(rng.Int63n(1000))
+			_ = d
+			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.RunUntilIdle(0)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(rawDelays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace merges a simulated cluster's per-node histories — state
+// transitions, view installations, decider tenures, deliveries — into a
+// single time-ordered protocol timeline, for human inspection (twsim)
+// and for tests that assert on event ordering.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"timewheel/internal/member"
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+)
+
+// Kind classifies timeline events.
+type Kind uint8
+
+const (
+	// KindState is an FSM transition.
+	KindState Kind = iota
+	// KindView is a view installation.
+	KindView
+	// KindDecider is a decider-role assumption or release.
+	KindDecider
+	// KindDeliver is an update delivery.
+	KindDeliver
+	// KindFault is a scripted fault (crash/recover), synthesised from
+	// incarnation changes.
+	KindFault
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindState:
+		return "state"
+	case KindView:
+		return "view"
+	case KindDecider:
+		return "decider"
+	case KindDeliver:
+		return "deliver"
+	case KindFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At   model.Time
+	Node model.ProcessID
+	Kind Kind
+	Text string
+}
+
+// Options filter the timeline.
+type Options struct {
+	// Kinds restricts the event kinds included (nil means all).
+	Kinds []Kind
+	// Nodes restricts the nodes included (nil means all).
+	Nodes []model.ProcessID
+	// From/Until bound the time range (zero Until means unbounded).
+	From, Until model.Time
+}
+
+func (o Options) wantKind(k Kind) bool {
+	if len(o.Kinds) == 0 {
+		return true
+	}
+	for _, w := range o.Kinds {
+		if w == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Options) wantNode(p model.ProcessID) bool {
+	if len(o.Nodes) == 0 {
+		return true
+	}
+	for _, w := range o.Nodes {
+		if w == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Options) wantTime(t model.Time) bool {
+	if t < o.From {
+		return false
+	}
+	if o.Until != 0 && t > o.Until {
+		return false
+	}
+	return true
+}
+
+// Collect builds the merged, time-sorted timeline of a cluster run.
+func Collect(c *node.Cluster, opts Options) []Event {
+	var out []Event
+	add := func(at model.Time, who model.ProcessID, kind Kind, format string, args ...any) {
+		if !opts.wantKind(kind) || !opts.wantNode(who) || !opts.wantTime(at) {
+			return
+		}
+		out = append(out, Event{At: at, Node: who, Kind: kind, Text: fmt.Sprintf(format, args...)})
+	}
+	for _, n := range c.Nodes {
+		for _, s := range n.StateLog {
+			add(s.At, n.ID, KindState, "%v -> %v", s.From, s.To)
+			if s.To == member.StateJoin && s.From != member.StateJoin {
+				add(s.At, n.ID, KindFault, "excluded: restarting join protocol")
+			}
+		}
+		for _, v := range n.Views {
+			add(v.At, n.ID, KindView, "installed %v", v.Group)
+		}
+		for _, d := range n.DeciderLog {
+			add(d.Start, n.ID, KindDecider, "assumed decider role")
+			if d.End != 0 {
+				verb := "relinquished role (fresher decision seen)"
+				if d.Sent {
+					verb = "sent decision, handed role to successor"
+				}
+				add(d.End, n.ID, KindDecider, "%s", verb)
+			}
+		}
+		for _, d := range n.Deliveries {
+			add(d.At, n.ID, KindDeliver, "delivered %v o%d %v (%d bytes)",
+				d.ID, d.Ordinal, d.Sem, len(d.Payload))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Render writes the timeline as aligned text.
+func Render(w io.Writer, events []Event) error {
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%-12v %-4v %-8s %s\n", e.At, e.Node, e.Kind, e.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a timeline into per-node event counts, one line per
+// node, plus a totals line.
+func Summary(events []Event) string {
+	type counts struct{ state, view, decider, deliver, fault int }
+	per := make(map[model.ProcessID]*counts)
+	var ids []model.ProcessID
+	for _, e := range events {
+		c, ok := per[e.Node]
+		if !ok {
+			c = &counts{}
+			per[e.Node] = c
+			ids = append(ids, e.Node)
+		}
+		switch e.Kind {
+		case KindState:
+			c.state++
+		case KindView:
+			c.view++
+		case KindDecider:
+			c.decider++
+		case KindDeliver:
+			c.deliver++
+		case KindFault:
+			c.fault++
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	var tot counts
+	for _, id := range ids {
+		c := per[id]
+		fmt.Fprintf(&b, "%-4v states=%-4d views=%-3d decider=%-4d deliveries=%-5d faults=%d\n",
+			id, c.state, c.view, c.decider, c.deliver, c.fault)
+		tot.state += c.state
+		tot.view += c.view
+		tot.decider += c.decider
+		tot.deliver += c.deliver
+		tot.fault += c.fault
+	}
+	fmt.Fprintf(&b, "%-4s states=%-4d views=%-3d decider=%-4d deliveries=%-5d faults=%d\n",
+		"all", tot.state, tot.view, tot.decider, tot.deliver, tot.fault)
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// run produces a small cluster history with a crash.
+func run(t *testing.T) *node.Cluster {
+	t.Helper()
+	c := node.NewCluster(node.Options{Seed: 5, Params: model.DefaultParams(3), PerfectClocks: true})
+	c.Start()
+	c.Run(4 * c.Params.CycleLen())
+	c.Node(0).Propose([]byte("x"), oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.WeakAtomicity})
+	c.Run(2 * c.Params.CycleLen())
+	c.Crash(2)
+	c.Run(4 * c.Params.CycleLen())
+	return c
+}
+
+func TestCollectIsSortedAndComplete(t *testing.T) {
+	c := run(t)
+	events := Collect(c, Options{})
+	if len(events) == 0 {
+		t.Fatalf("empty timeline")
+	}
+	if !sort.SliceIsSorted(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Node < events[j].Node
+	}) {
+		t.Fatalf("timeline not sorted")
+	}
+	kinds := map[Kind]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []Kind{KindState, KindView, KindDecider, KindDeliver} {
+		if !kinds[k] {
+			t.Errorf("no %v events in timeline", k)
+		}
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	c := run(t)
+	events := Collect(c, Options{Kinds: []Kind{KindView}})
+	if len(events) == 0 {
+		t.Fatalf("no view events")
+	}
+	for _, e := range events {
+		if e.Kind != KindView {
+			t.Fatalf("filter leaked %v", e.Kind)
+		}
+	}
+}
+
+func TestNodeFilter(t *testing.T) {
+	c := run(t)
+	events := Collect(c, Options{Nodes: []model.ProcessID{1}})
+	if len(events) == 0 {
+		t.Fatalf("no events for p1")
+	}
+	for _, e := range events {
+		if e.Node != 1 {
+			t.Fatalf("filter leaked p%v", e.Node)
+		}
+	}
+}
+
+func TestTimeWindowFilter(t *testing.T) {
+	c := run(t)
+	all := Collect(c, Options{})
+	mid := all[len(all)/2].At
+	early := Collect(c, Options{Until: mid})
+	late := Collect(c, Options{From: mid + 1})
+	if len(early) == 0 || len(late) == 0 {
+		t.Fatalf("window split degenerate: %d/%d", len(early), len(late))
+	}
+	for _, e := range early {
+		if e.At > mid {
+			t.Fatalf("early window leaked %v", e.At)
+		}
+	}
+	for _, e := range late {
+		if e.At <= mid {
+			t.Fatalf("late window leaked %v", e.At)
+		}
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	c := run(t)
+	events := Collect(c, Options{})
+	var b strings.Builder
+	if err := Render(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "installed") || !strings.Contains(text, "delivered") {
+		t.Fatalf("render missing content:\n%s", text[:min(400, len(text))])
+	}
+	sum := Summary(events)
+	if !strings.Contains(sum, "all ") {
+		t.Fatalf("summary missing totals:\n%s", sum)
+	}
+	for _, want := range []string{"p0", "p1", "p2"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %s:\n%s", want, sum)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindState; k <= KindFault; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d empty string", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Errorf("unknown kind empty string")
+	}
+}

@@ -1,0 +1,199 @@
+// Package transport provides the real-time datagram carriers for
+// timewheel nodes: an in-process memory hub (tests, examples,
+// single-binary demos) and a UDP transport (stdlib net) mirroring the
+// paper's Unix UDP broadcast socket deployment.
+//
+// Transports carry opaque encoded frames; the protocol's wire codec
+// lives above (package wire).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timewheel/internal/model"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Receiver consumes received frames. It is called from the transport's
+// receive goroutine; implementations hand off to an engine.
+type Receiver func(data []byte)
+
+// Transport is an unreliable datagram carrier with omission/performance
+// failure semantics (no delivery, ordering or timeliness guarantees).
+type Transport interface {
+	// Self returns the local process ID.
+	Self() model.ProcessID
+	// Broadcast sends data to every other process.
+	Broadcast(data []byte) error
+	// Unicast sends data to one process.
+	Unicast(to model.ProcessID, data []byte) error
+	// SetReceiver installs the frame consumer; must be called before
+	// any frame arrives (typically immediately after construction).
+	SetReceiver(r Receiver)
+	// Close releases resources; subsequent sends fail with ErrClosed.
+	Close() error
+}
+
+// --- In-memory hub -----------------------------------------------------------
+
+// HubOptions shape the memory hub's fault model.
+type HubOptions struct {
+	// MinDelay/MaxDelay bound the uniform per-frame delivery delay.
+	MinDelay, MaxDelay time.Duration
+	// DropProb is the per-delivery omission probability.
+	DropProb float64
+	// Seed makes the fault model reproducible.
+	Seed int64
+}
+
+// Hub is an in-process datagram switchboard connecting memory
+// transports. Safe for concurrent use.
+type Hub struct {
+	opts HubOptions
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	ports  map[model.ProcessID]*MemTransport
+	closed bool
+}
+
+// NewHub creates a hub with the given fault model.
+func NewHub(opts HubOptions) *Hub {
+	if opts.MaxDelay < opts.MinDelay {
+		opts.MinDelay, opts.MaxDelay = opts.MaxDelay, opts.MinDelay
+	}
+	return &Hub{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		ports: make(map[model.ProcessID]*MemTransport),
+	}
+}
+
+// Attach creates (or returns) the transport for process id. A closed
+// port is replaced with a fresh one, so a restarted process can rejoin
+// under its old identity.
+func (h *Hub) Attach(id model.ProcessID) *MemTransport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if t, ok := h.ports[id]; ok && !t.closed.Load() {
+		return t
+	}
+	t := &MemTransport{hub: h, self: id}
+	h.ports[id] = t
+	return t
+}
+
+// Close shuts the hub and all attached transports.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+}
+
+func (h *Hub) send(from, to model.ProcessID, data []byte) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	dst, ok := h.ports[to]
+	if !ok || dst.closed.Load() {
+		h.mu.Unlock()
+		return
+	}
+	if h.opts.DropProb > 0 && h.rng.Float64() < h.opts.DropProb {
+		h.mu.Unlock()
+		return
+	}
+	delay := h.opts.MinDelay
+	if span := h.opts.MaxDelay - h.opts.MinDelay; span > 0 {
+		delay += time.Duration(h.rng.Int63n(int64(span)))
+	}
+	h.mu.Unlock()
+
+	cp := append([]byte(nil), data...)
+	deliver := func() {
+		dst.mu.Lock()
+		r := dst.recv
+		dst.mu.Unlock()
+		if r != nil && !dst.closed.Load() {
+			r(cp)
+		}
+	}
+	if delay <= 0 {
+		go deliver()
+	} else {
+		time.AfterFunc(delay, deliver)
+	}
+}
+
+func (h *Hub) peers(except model.ProcessID) []model.ProcessID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ProcessID, 0, len(h.ports))
+	for id := range h.ports {
+		if id != except {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MemTransport is one process's port on a Hub.
+type MemTransport struct {
+	hub  *Hub
+	self model.ProcessID
+
+	mu     sync.Mutex
+	recv   Receiver
+	closed atomic.Bool
+}
+
+// Self implements Transport.
+func (t *MemTransport) Self() model.ProcessID { return t.self }
+
+// SetReceiver implements Transport.
+func (t *MemTransport) SetReceiver(r Receiver) {
+	t.mu.Lock()
+	t.recv = r
+	t.mu.Unlock()
+}
+
+// Broadcast implements Transport.
+func (t *MemTransport) Broadcast(data []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	for _, to := range t.hub.peers(t.self) {
+		t.hub.send(t.self, to, data)
+	}
+	return nil
+}
+
+// Unicast implements Transport.
+func (t *MemTransport) Unicast(to model.ProcessID, data []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.hub.send(t.self, to, data)
+	return nil
+}
+
+// Close implements Transport.
+func (t *MemTransport) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+func (t *MemTransport) String() string {
+	return fmt.Sprintf("mem(%v)", t.self)
+}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"timewheel/internal/model"
+)
+
+type sink struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (s *sink) recv(data []byte) {
+	s.mu.Lock()
+	s.frames = append(s.frames, data)
+	s.mu.Unlock()
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+func waitCount(t *testing.T, s *sink, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.count() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d", s.count(), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestHubBroadcastAndUnicast(t *testing.T) {
+	h := NewHub(HubOptions{})
+	sinks := make([]*sink, 3)
+	ports := make([]*MemTransport, 3)
+	for i := range ports {
+		sinks[i] = &sink{}
+		ports[i] = h.Attach(model.ProcessID(i))
+		ports[i].SetReceiver(sinks[i].recv)
+	}
+	if err := ports[0].Broadcast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sinks[1], 1)
+	waitCount(t, sinks[2], 1)
+	if sinks[0].count() != 0 {
+		t.Fatalf("sender received its own broadcast")
+	}
+	if err := ports[1].Unicast(2, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sinks[2], 2)
+	if ports[0].Self() != 0 || ports[0].String() == "" {
+		t.Fatalf("identity accessors")
+	}
+}
+
+func TestHubFramesAreCopies(t *testing.T) {
+	h := NewHub(HubOptions{})
+	s := &sink{}
+	a := h.Attach(0)
+	b := h.Attach(1)
+	b.SetReceiver(s.recv)
+	buf := []byte("mutate-me")
+	a.Broadcast(buf)
+	buf[0] = 'X'
+	waitCount(t, s, 1)
+	if string(s.frames[0]) != "mutate-me" {
+		t.Fatalf("frame shared storage: %q", s.frames[0])
+	}
+}
+
+func TestHubDelayAndDrop(t *testing.T) {
+	h := NewHub(HubOptions{MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, DropProb: 0.5, Seed: 7})
+	s := &sink{}
+	a := h.Attach(0)
+	b := h.Attach(1)
+	b.SetReceiver(s.recv)
+	const total = 200
+	for i := 0; i < total; i++ {
+		a.Broadcast([]byte{byte(i)})
+	}
+	time.Sleep(50 * time.Millisecond)
+	got := s.count()
+	if got == 0 || got == total {
+		t.Fatalf("50%% drop delivered %d/%d", got, total)
+	}
+}
+
+func TestClosedTransportRejectsSends(t *testing.T) {
+	h := NewHub(HubOptions{})
+	a := h.Attach(0)
+	h.Attach(1)
+	a.Close()
+	if err := a.Broadcast([]byte("x")); err != ErrClosed {
+		t.Fatalf("broadcast after close: %v", err)
+	}
+	if err := a.Unicast(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("unicast after close: %v", err)
+	}
+}
+
+func TestClosedReceiverGetsNothing(t *testing.T) {
+	h := NewHub(HubOptions{})
+	s := &sink{}
+	a := h.Attach(0)
+	b := h.Attach(1)
+	b.SetReceiver(s.recv)
+	b.Close()
+	a.Broadcast([]byte("x"))
+	time.Sleep(5 * time.Millisecond)
+	if s.count() != 0 {
+		t.Fatalf("closed receiver got a frame")
+	}
+}
+
+func TestHubCloseStopsTraffic(t *testing.T) {
+	h := NewHub(HubOptions{})
+	s := &sink{}
+	a := h.Attach(0)
+	b := h.Attach(1)
+	b.SetReceiver(s.recv)
+	h.Close()
+	a.Broadcast([]byte("x"))
+	time.Sleep(5 * time.Millisecond)
+	if s.count() != 0 {
+		t.Fatalf("hub delivered after close")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	// Bind two sockets on loopback with kernel-assigned ports.
+	bootstrapAddrs := map[model.ProcessID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	u0, err := NewUDP(0, bootstrapAddrs)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	defer u0.Close()
+	u1b, err := NewUDP(1, bootstrapAddrs)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	// Rebuild with the real addresses so the peers can reach each other.
+	addr0, addr1 := u0.LocalAddr(), u1b.LocalAddr()
+	u0.Close()
+	u1b.Close()
+	addrs := map[model.ProcessID]string{0: addr0, 1: addr1}
+	u0, err = NewUDP(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u0.Close()
+	u1, err := NewUDP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u1.Close()
+
+	s0, s1 := &sink{}, &sink{}
+	u0.SetReceiver(s0.recv)
+	u1.SetReceiver(s1.recv)
+
+	if err := u0.Broadcast([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, s1, 1)
+	if string(s1.frames[0]) != "ping" {
+		t.Fatalf("frame: %q", s1.frames[0])
+	}
+	if err := u1.Unicast(0, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, s0, 1)
+	if err := u1.Unicast(9, []byte("x")); err == nil {
+		t.Fatalf("unicast to unknown peer succeeded")
+	}
+	if u0.Self() != 0 {
+		t.Fatalf("self: %v", u0.Self())
+	}
+}
+
+func TestUDPCloseIdempotentAndRejects(t *testing.T) {
+	u, err := NewUDP(0, map[model.ProcessID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := u.Broadcast([]byte("x")); err != ErrClosed {
+		t.Fatalf("broadcast after close: %v", err)
+	}
+}
+
+func TestUDPBadConfig(t *testing.T) {
+	if _, err := NewUDP(0, map[model.ProcessID]string{1: "127.0.0.1:0"}); err == nil {
+		t.Fatalf("missing self address accepted")
+	}
+	if _, err := NewUDP(0, map[model.ProcessID]string{0: "not-an-address"}); err == nil {
+		t.Fatalf("bad self address accepted")
+	}
+	if _, err := NewUDP(0, map[model.ProcessID]string{0: "127.0.0.1:0", 1: "bad::::addr"}); err == nil {
+		t.Fatalf("bad peer address accepted")
+	}
+}
+
+func TestManyConcurrentSenders(t *testing.T) {
+	h := NewHub(HubOptions{})
+	const n = 8
+	sinks := make([]*sink, n)
+	ports := make([]*MemTransport, n)
+	for i := range ports {
+		sinks[i] = &sink{}
+		ports[i] = h.Attach(model.ProcessID(i))
+		ports[i].SetReceiver(sinks[i].recv)
+	}
+	var wg sync.WaitGroup
+	const per = 100
+	for i := range ports {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				ports[i].Broadcast([]byte(fmt.Sprintf("%d-%d", i, k)))
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range sinks {
+		waitCount(t, sinks[i], per*(n-1))
+	}
+}

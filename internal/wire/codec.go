@@ -1,0 +1,545 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// Version is the wire-format version byte leading every encoded message.
+const Version = 1
+
+// ErrTruncated reports a message that ends before its declared contents.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrBadVersion reports an unsupported wire-format version.
+var ErrBadVersion = errors.New("wire: unsupported version")
+
+// ErrBadKind reports an unknown message kind byte.
+var ErrBadKind = errors.New("wire: unknown message kind")
+
+// maxListLen bounds decoded list lengths to keep a corrupt length prefix
+// from causing huge allocations.
+const maxListLen = 1 << 20
+
+// Encode serialises m into a fresh byte slice.
+func Encode(m Message) []byte {
+	e := encoder{buf: make([]byte, 0, 128)}
+	e.u8(Version)
+	e.u8(uint8(m.Kind()))
+	h := m.Hdr()
+	e.i64(int64(h.From))
+	e.i64(int64(h.SendTS))
+	switch v := m.(type) {
+	case *Proposal:
+		e.proposalBody(v)
+	case *Decision:
+		e.group(v.Group)
+		e.oal(&v.OAL)
+		e.processList(v.Alive)
+	case *NoDecision:
+		e.i64(int64(v.Suspect))
+		e.u64(uint64(v.GroupSeq))
+		e.oal(&v.View)
+		e.proposalIDList(v.DPD)
+		e.processList(v.Alive)
+	case *Join:
+		e.processList(v.JoinList)
+	case *Reconfig:
+		e.processList(v.ReconfigList)
+		e.i64(int64(v.LastDecisionTS))
+		e.u64(uint64(v.GroupSeq))
+		e.oal(&v.View)
+		e.proposalIDList(v.DPD)
+		e.processList(v.Alive)
+	case *Nack:
+		e.proposalIDList(v.Missing)
+	case *State:
+		e.u64(uint64(v.GroupSeq))
+		e.bytes(v.AppState)
+		e.u64(uint64(v.CoveredOrdinal))
+		e.i64(int64(v.SettledTimeTS))
+		e.proposalIDList(v.Delivered)
+		e.u32(uint32(len(v.FIFONext)))
+		for _, f := range v.FIFONext {
+			e.i64(int64(f.Proposer))
+			e.u64(f.Seq)
+		}
+		e.u32(uint32(len(v.Pending)))
+		for i := range v.Pending {
+			p := &v.Pending[i]
+			e.i64(int64(p.From))
+			e.i64(int64(p.SendTS))
+			e.proposalBody(p)
+		}
+	default:
+		panic(fmt.Sprintf("wire: cannot encode %T", m))
+	}
+	return e.buf
+}
+
+func (e *encoder) proposalBody(v *Proposal) {
+	e.proposalID(v.ID)
+	e.u8(uint8(v.Sem.Order))
+	e.u8(uint8(v.Sem.Atomicity))
+	e.u64(uint64(v.HDO))
+	e.bytes(v.Payload)
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(data []byte) (Message, error) {
+	d := decoder{buf: data}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	kindB, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	var h Header
+	if from, err := d.i64(); err != nil {
+		return nil, err
+	} else {
+		h.From = model.ProcessID(from)
+	}
+	if ts, err := d.i64(); err != nil {
+		return nil, err
+	} else {
+		h.SendTS = model.Time(ts)
+	}
+
+	switch Kind(kindB) {
+	case KindProposal:
+		m := &Proposal{Header: h}
+		if err = d.proposalBody(m); err != nil {
+			return nil, err
+		}
+		return m, d.done()
+	case KindDecision:
+		m := &Decision{Header: h}
+		if m.Group, err = d.group(); err != nil {
+			return nil, err
+		}
+		if err = d.oal(&m.OAL); err != nil {
+			return nil, err
+		}
+		if m.Alive, err = d.processList(); err != nil {
+			return nil, err
+		}
+		return m, d.done()
+	case KindNoDecision:
+		m := &NoDecision{Header: h}
+		var s int64
+		if s, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.Suspect = model.ProcessID(s)
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.GroupSeq = model.GroupSeq(u)
+		if err = d.oal(&m.View); err != nil {
+			return nil, err
+		}
+		if m.DPD, err = d.proposalIDList(); err != nil {
+			return nil, err
+		}
+		if m.Alive, err = d.processList(); err != nil {
+			return nil, err
+		}
+		return m, d.done()
+	case KindJoin:
+		m := &Join{Header: h}
+		if m.JoinList, err = d.processList(); err != nil {
+			return nil, err
+		}
+		return m, d.done()
+	case KindReconfig:
+		m := &Reconfig{Header: h}
+		if m.ReconfigList, err = d.processList(); err != nil {
+			return nil, err
+		}
+		var ts int64
+		if ts, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.LastDecisionTS = model.Time(ts)
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.GroupSeq = model.GroupSeq(u)
+		if err = d.oal(&m.View); err != nil {
+			return nil, err
+		}
+		if m.DPD, err = d.proposalIDList(); err != nil {
+			return nil, err
+		}
+		if m.Alive, err = d.processList(); err != nil {
+			return nil, err
+		}
+		return m, d.done()
+	case KindNack:
+		m := &Nack{Header: h}
+		if m.Missing, err = d.proposalIDList(); err != nil {
+			return nil, err
+		}
+		return m, d.done()
+	case KindState:
+		m := &State{Header: h}
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.GroupSeq = model.GroupSeq(u)
+		if m.AppState, err = d.bytes(); err != nil {
+			return nil, err
+		}
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.CoveredOrdinal = oal.Ordinal(u)
+		var sts int64
+		if sts, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.SettledTimeTS = model.Time(sts)
+		if m.Delivered, err = d.proposalIDList(); err != nil {
+			return nil, err
+		}
+		var n int
+		if n, err = d.listLen(); err != nil {
+			return nil, err
+		}
+		m.FIFONext = make([]FIFOEntry, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			var p int64
+			if p, err = d.i64(); err != nil {
+				return nil, err
+			}
+			var s uint64
+			if s, err = d.u64(); err != nil {
+				return nil, err
+			}
+			m.FIFONext = append(m.FIFONext, FIFOEntry{Proposer: model.ProcessID(p), Seq: s})
+		}
+		if n, err = d.listLen(); err != nil {
+			return nil, err
+		}
+		m.Pending = make([]Proposal, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			var pr Proposal
+			var v int64
+			if v, err = d.i64(); err != nil {
+				return nil, err
+			}
+			pr.From = model.ProcessID(v)
+			if v, err = d.i64(); err != nil {
+				return nil, err
+			}
+			pr.SendTS = model.Time(v)
+			if err = d.proposalBody(&pr); err != nil {
+				return nil, err
+			}
+			m.Pending = append(m.Pending, pr)
+		}
+		return m, d.done()
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kindB)
+	}
+}
+
+func (d *decoder) proposalBody(m *Proposal) error {
+	var err error
+	if m.ID, err = d.proposalID(); err != nil {
+		return err
+	}
+	var b uint8
+	if b, err = d.u8(); err != nil {
+		return err
+	}
+	m.Sem.Order = oal.Order(b)
+	if b, err = d.u8(); err != nil {
+		return err
+	}
+	m.Sem.Atomicity = oal.Atomicity(b)
+	var u uint64
+	if u, err = d.u64(); err != nil {
+		return err
+	}
+	m.HDO = oal.Ordinal(u)
+	if m.Payload, err = d.bytes(); err != nil {
+		return err
+	}
+	return nil
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+
+func (e *encoder) bytes(b []byte) {
+	if len(b) > math.MaxUint32 {
+		panic("wire: payload too large")
+	}
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) processList(ps []model.ProcessID) {
+	e.u32(uint32(len(ps)))
+	for _, p := range ps {
+		e.i64(int64(p))
+	}
+}
+
+func (e *encoder) proposalID(id oal.ProposalID) {
+	e.i64(int64(id.Proposer))
+	e.u64(id.Seq)
+}
+
+func (e *encoder) proposalIDList(ids []oal.ProposalID) {
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.proposalID(id)
+	}
+}
+
+func (e *encoder) group(g model.Group) {
+	e.u64(uint64(g.Seq))
+	e.processList(g.Members)
+}
+
+func (e *encoder) oal(l *oal.List) {
+	e.u64(uint64(l.Next))
+	e.u32(uint32(len(l.Entries)))
+	for i := range l.Entries {
+		d := &l.Entries[i]
+		e.u8(uint8(d.Kind))
+		e.u64(uint64(d.Ordinal))
+		e.proposalID(d.ID)
+		e.i64(int64(d.SendTS))
+		e.u8(uint8(d.Sem.Order))
+		e.u8(uint8(d.Sem.Atomicity))
+		e.u64(uint64(d.HDO))
+		e.u64(uint64(d.Acks))
+		if d.Undeliverable {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.i64(int64(d.StableTS))
+		e.u64(uint64(d.GroupSeq))
+		e.processList(d.Members)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+func (d *decoder) listLen() (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxListLen {
+		return 0, fmt.Errorf("wire: list length %d exceeds limit", n)
+	}
+	return int(n), nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.listLen()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) processList() ([]model.ProcessID, error) {
+	n, err := d.listLen()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(8 * n); err != nil {
+		return nil, err
+	}
+	out := make([]model.ProcessID, n)
+	for i := range out {
+		v, _ := d.i64()
+		out[i] = model.ProcessID(v)
+	}
+	return out, nil
+}
+
+func (d *decoder) proposalID() (oal.ProposalID, error) {
+	p, err := d.i64()
+	if err != nil {
+		return oal.ProposalID{}, err
+	}
+	s, err := d.u64()
+	if err != nil {
+		return oal.ProposalID{}, err
+	}
+	return oal.ProposalID{Proposer: model.ProcessID(p), Seq: s}, nil
+}
+
+func (d *decoder) proposalIDList() ([]oal.ProposalID, error) {
+	n, err := d.listLen()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(16 * n); err != nil {
+		return nil, err
+	}
+	out := make([]oal.ProposalID, n)
+	for i := range out {
+		out[i], _ = d.proposalID()
+	}
+	return out, nil
+}
+
+func (d *decoder) group() (model.Group, error) {
+	seq, err := d.u64()
+	if err != nil {
+		return model.Group{}, err
+	}
+	ms, err := d.processList()
+	if err != nil {
+		return model.Group{}, err
+	}
+	return model.Group{Seq: model.GroupSeq(seq), Members: ms}, nil
+}
+
+func (d *decoder) oal(l *oal.List) error {
+	next, err := d.u64()
+	if err != nil {
+		return err
+	}
+	l.Next = oal.Ordinal(next)
+	n, err := d.listLen()
+	if err != nil {
+		return err
+	}
+	l.Entries = make([]oal.Descriptor, 0, n)
+	for i := 0; i < n; i++ {
+		var desc oal.Descriptor
+		var b uint8
+		if b, err = d.u8(); err != nil {
+			return err
+		}
+		desc.Kind = oal.DescriptorKind(b)
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return err
+		}
+		desc.Ordinal = oal.Ordinal(u)
+		if desc.ID, err = d.proposalID(); err != nil {
+			return err
+		}
+		var ts int64
+		if ts, err = d.i64(); err != nil {
+			return err
+		}
+		desc.SendTS = model.Time(ts)
+		if b, err = d.u8(); err != nil {
+			return err
+		}
+		desc.Sem.Order = oal.Order(b)
+		if b, err = d.u8(); err != nil {
+			return err
+		}
+		desc.Sem.Atomicity = oal.Atomicity(b)
+		if u, err = d.u64(); err != nil {
+			return err
+		}
+		desc.HDO = oal.Ordinal(u)
+		if u, err = d.u64(); err != nil {
+			return err
+		}
+		desc.Acks = oal.AckSet(u)
+		if b, err = d.u8(); err != nil {
+			return err
+		}
+		desc.Undeliverable = b != 0
+		if ts, err = d.i64(); err != nil {
+			return err
+		}
+		desc.StableTS = model.Time(ts)
+		if u, err = d.u64(); err != nil {
+			return err
+		}
+		desc.GroupSeq = model.GroupSeq(u)
+		if desc.Members, err = d.processList(); err != nil {
+			return err
+		}
+		l.Entries = append(l.Entries, desc)
+	}
+	return nil
+}
+
+func (d *decoder) done() error {
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}

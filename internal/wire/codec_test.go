@@ -1,0 +1,298 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+func sampleOAL() oal.List {
+	l := oal.NewList()
+	l.AppendUpdate(oal.ProposalID{Proposer: 0, Seq: 1},
+		oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}, 123, 0, 0)
+	l.Ack(oal.ProposalID{Proposer: 0, Seq: 1}, 2)
+	l.AppendMembership(model.NewGroup(3, []model.ProcessID{0, 1, 2}))
+	l.AppendUpdate(oal.ProposalID{Proposer: 2, Seq: 9},
+		oal.Semantics{Order: oal.TimeOrder, Atomicity: oal.StrictAtomicity}, 456, 2, 0)
+	l.MarkUndeliverable(oal.ProposalID{Proposer: 2, Seq: 9})
+	return *l
+}
+
+func sampleMessages() []Message {
+	h := Header{From: 3, SendTS: 1_000_000}
+	return []Message{
+		&Proposal{Header: h, ID: oal.ProposalID{Proposer: 3, Seq: 42},
+			Sem: oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.WeakAtomicity},
+			HDO: 17, Payload: []byte("deposit 100")},
+		&Proposal{Header: h, ID: oal.ProposalID{Proposer: 3, Seq: 43}}, // empty payload
+		&Decision{Header: h, Group: model.NewGroup(2, []model.ProcessID{0, 1, 3}),
+			OAL: sampleOAL(), Alive: []model.ProcessID{0, 1, 3}},
+		&Decision{Header: h}, // zero-value everything
+		&NoDecision{Header: h, Suspect: 1, GroupSeq: 5, View: sampleOAL(),
+			DPD:   []oal.ProposalID{{Proposer: 0, Seq: 7}, {Proposer: 2, Seq: 8}},
+			Alive: []model.ProcessID{0, 3}},
+		&Join{Header: h, JoinList: []model.ProcessID{0, 1, 2, 3, 4}},
+		&Join{Header: h},
+		&Reconfig{Header: h, ReconfigList: []model.ProcessID{1, 3},
+			LastDecisionTS: 999_999, GroupSeq: 4, View: sampleOAL(),
+			DPD: []oal.ProposalID{{Proposer: 1, Seq: 2}}, Alive: []model.ProcessID{1, 3}},
+		&Nack{Header: h, Missing: []oal.ProposalID{{Proposer: 0, Seq: 3}, {Proposer: 2, Seq: 1}}},
+		&Nack{Header: h},
+		&State{Header: h, GroupSeq: 9, AppState: []byte("counter=42"),
+			CoveredOrdinal: 17, SettledTimeTS: 654_321,
+			Delivered: []oal.ProposalID{{Proposer: 1, Seq: 4}},
+			FIFONext:  []FIFOEntry{{Proposer: 0, Seq: 5}, {Proposer: 2, Seq: 2}},
+			Pending: []Proposal{
+				{Header: Header{From: 2, SendTS: 77}, ID: oal.ProposalID{Proposer: 2, Seq: 2},
+					Sem: oal.Semantics{Order: oal.TimeOrder, Atomicity: oal.StrictAtomicity},
+					HDO: 3, Payload: []byte("pending-update")},
+			}},
+		&State{Header: h},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data := Encode(m)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind(), err)
+		}
+		if got.Kind() != m.Kind() {
+			t.Fatalf("kind mismatch: %v vs %v", got.Kind(), m.Kind())
+		}
+		if !messagesEqual(m, got) {
+			t.Errorf("%v round trip mismatch:\n in: %#v\nout: %#v", m.Kind(), m, got)
+		}
+	}
+}
+
+// messagesEqual compares messages modulo nil-vs-empty slices, which the
+// codec does not (and need not) preserve.
+func messagesEqual(a, b Message) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(m Message) Message {
+	fix := func(ps *[]model.ProcessID) {
+		if *ps == nil {
+			*ps = []model.ProcessID{}
+		}
+	}
+	fixIDs := func(ids *[]oal.ProposalID) {
+		if *ids == nil {
+			*ids = []oal.ProposalID{}
+		}
+	}
+	fixOAL := func(l *oal.List) {
+		if l.Next == 0 {
+			l.Next = 1
+		}
+		if l.Entries == nil {
+			l.Entries = []oal.Descriptor{}
+		}
+		for i := range l.Entries {
+			fix(&l.Entries[i].Members)
+		}
+	}
+	switch v := m.(type) {
+	case *Proposal:
+		c := *v
+		if c.Payload == nil {
+			c.Payload = []byte{}
+		}
+		return &c
+	case *Decision:
+		c := *v
+		c.OAL = *v.OAL.Clone()
+		fix(&c.Group.Members)
+		fixOAL(&c.OAL)
+		fix(&c.Alive)
+		return &c
+	case *NoDecision:
+		c := *v
+		c.View = *v.View.Clone()
+		fixOAL(&c.View)
+		fixIDs(&c.DPD)
+		fix(&c.Alive)
+		return &c
+	case *Join:
+		c := *v
+		fix(&c.JoinList)
+		return &c
+	case *Nack:
+		c := *v
+		fixIDs(&c.Missing)
+		return &c
+	case *State:
+		c := *v
+		if c.AppState == nil {
+			c.AppState = []byte{}
+		}
+		fixIDs(&c.Delivered)
+		if c.FIFONext == nil {
+			c.FIFONext = []FIFOEntry{}
+		}
+		if c.Pending == nil {
+			c.Pending = []Proposal{}
+		}
+		for i := range c.Pending {
+			if c.Pending[i].Payload == nil {
+				c.Pending[i].Payload = []byte{}
+			}
+		}
+		return &c
+	case *Reconfig:
+		c := *v
+		c.View = *v.View.Clone()
+		fixOAL(&c.View)
+		fixIDs(&c.DPD)
+		fix(&c.ReconfigList)
+		fix(&c.Alive)
+		return &c
+	}
+	return m
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	data := Encode(&Join{Header: Header{From: 0}})
+	data[0] = 99
+	if _, err := Decode(data); err == nil {
+		t.Fatalf("accepted bad version")
+	}
+}
+
+func TestDecodeRejectsBadKind(t *testing.T) {
+	data := Encode(&Join{Header: Header{From: 0}})
+	data[1] = 200
+	if _, err := Decode(data); err == nil {
+		t.Fatalf("accepted bad kind")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data := Encode(m)
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut]); err == nil {
+				t.Fatalf("%v: accepted truncation at %d/%d", m.Kind(), cut, len(data))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data := Encode(&Join{Header: Header{From: 1}, JoinList: []model.ProcessID{1}})
+	data = append(data, 0xAB)
+	if _, err := Decode(data); err == nil {
+		t.Fatalf("accepted trailing bytes")
+	}
+}
+
+func TestDecodeRejectsHugeListLength(t *testing.T) {
+	data := Encode(&Join{Header: Header{From: 1}})
+	// JoinList length prefix sits at the end of the header: bytes
+	// [2+8+8 : 2+8+8+4). Overwrite with a huge length.
+	off := 2 + 8 + 8
+	for i := 0; i < 4; i++ {
+		data[off+i] = 0xFF
+	}
+	if _, err := Decode(data); err == nil {
+		t.Fatalf("accepted huge list length")
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		_, _ = Decode(buf) // must not panic
+	}
+}
+
+func TestDecodeMutatedMessagesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, m := range sampleMessages() {
+		orig := Encode(m)
+		for i := 0; i < 500; i++ {
+			data := bytes.Clone(orig)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+			}
+			_, _ = Decode(data) // must not panic
+		}
+	}
+}
+
+func TestProposalRoundTripProperty(t *testing.T) {
+	f := func(from int16, ts int64, proposer int16, seq uint64, ord, atom uint8, hdo uint64, payload []byte) bool {
+		m := &Proposal{
+			Header:  Header{From: model.ProcessID(from), SendTS: model.Time(ts)},
+			ID:      oal.ProposalID{Proposer: model.ProcessID(proposer), Seq: seq},
+			Sem:     oal.Semantics{Order: oal.Order(ord % 3), Atomicity: oal.Atomicity(atom % 3)},
+			HDO:     oal.Ordinal(hdo),
+			Payload: payload,
+		}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		return messagesEqual(m, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if KindProposal.Control() {
+		t.Error("proposal must not be a control message")
+	}
+	for _, k := range []Kind{KindDecision, KindNoDecision, KindJoin, KindReconfig} {
+		if !k.Control() {
+			t.Errorf("%v must be a control message", k)
+		}
+	}
+	if Kind(0).Control() || Kind(77).Control() {
+		t.Error("unknown kinds must not be control messages")
+	}
+	if KindNack.Control() || KindState.Control() {
+		t.Error("service messages must not be control messages")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, m := range sampleMessages() {
+		s, ok := m.(interface{ String() string })
+		if !ok || s.String() == "" {
+			t.Errorf("%T missing String", m)
+		}
+	}
+	kinds := []Kind{KindProposal, KindDecision, KindNoDecision, KindJoin, KindReconfig, KindNack, KindState, Kind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("Kind(%d).String empty", k)
+		}
+	}
+}
+
+func TestEncodeUnknownTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Encode(badMessage{})
+}
+
+type badMessage struct{}
+
+func (badMessage) Kind() Kind  { return KindProposal }
+func (badMessage) Hdr() Header { return Header{} }

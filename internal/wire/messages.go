@@ -1,0 +1,244 @@
+// Package wire defines the five message types of the timewheel group
+// communication service and a compact, versioned binary codec for them.
+//
+// The membership protocol treats four of the five as control messages:
+// decision, no-decision, join and reconfiguration. Proposal messages
+// belong to the atomic broadcast but are included here because the same
+// datagram service carries them.
+package wire
+
+import (
+	"fmt"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+const (
+	// KindProposal is an atomic broadcast proposal carrying an update.
+	KindProposal Kind = iota + 1
+	// KindDecision is the decider's decision message: it assigns
+	// ordinals, establishes stability, detects losses, and doubles as
+	// the membership protocol's heartbeat.
+	KindDecision
+	// KindNoDecision requests the removal of a suspected decider
+	// (single-failure election).
+	KindNoDecision
+	// KindJoin announces a process that wants to (re)join
+	// (initial group formation and reintegration).
+	KindJoin
+	// KindReconfig is a time-slotted reconfiguration message
+	// (multiple-failure election).
+	KindReconfig
+	// KindNack requests retransmission of proposal bodies the sender is
+	// missing (the broadcast protocol's loss-recovery path; the paper's
+	// decision messages "detect message losses" and this is the repair).
+	KindNack
+	// KindState carries the application state and pending proposals a
+	// decider transfers to a joining member (paper §4.1: the decider
+	// "retrieves its application state ... and updates the state of p").
+	KindState
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindProposal:
+		return "proposal"
+	case KindDecision:
+		return "decision"
+	case KindNoDecision:
+		return "no-decision"
+	case KindJoin:
+		return "join"
+	case KindReconfig:
+		return "reconfiguration"
+	case KindNack:
+		return "nack"
+	case KindState:
+		return "state"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Control reports whether the membership protocol treats k as a control
+// message (everything except proposals).
+func (k Kind) Control() bool { return k != KindProposal && k >= KindDecision && k <= KindReconfig }
+
+// Header carries the fields common to every message.
+type Header struct {
+	From model.ProcessID
+	// SendTS is the sender's synchronized-clock timestamp at send time.
+	// Receivers use it to reject duplicates and old messages and to run
+	// the expected-sender deadline scheme.
+	SendTS model.Time
+}
+
+// Message is any timewheel protocol message.
+type Message interface {
+	Kind() Kind
+	Hdr() Header
+}
+
+// Proposal broadcasts an update on behalf of a client.
+type Proposal struct {
+	Header
+	ID  oal.ProposalID
+	Sem oal.Semantics
+	// HDO is the highest ordinal the proposer had seen when sending;
+	// with strong/strict atomicity the update may depend on any proposal
+	// with ordinal <= HDO.
+	HDO     oal.Ordinal
+	Payload []byte
+}
+
+func (*Proposal) Kind() Kind    { return KindProposal }
+func (m *Proposal) Hdr() Header { return m.Header }
+func (m *Proposal) String() string {
+	return fmt.Sprintf("proposal{%v ts=%v %v hdo=%d |payload|=%d}", m.ID, m.SendTS, m.Sem, m.HDO, len(m.Payload))
+}
+
+// Decision is sent by the current decider. It carries the oal (assigning
+// ordinals and acknowledgement state), the sender's group view, and the
+// piggybacked alive-list the failure detectors feed on.
+type Decision struct {
+	Header
+	// Group is the decider's current group; decisions that change
+	// membership carry the new group both here and as a membership
+	// descriptor inside OAL.
+	Group model.Group
+	OAL   oal.List
+	Alive []model.ProcessID
+}
+
+func (*Decision) Kind() Kind    { return KindDecision }
+func (m *Decision) Hdr() Header { return m.Header }
+func (m *Decision) String() string {
+	return fmt.Sprintf("decision{from=%v ts=%v %v hi=%d}", m.From, m.SendTS, m.Group, m.OAL.HighestOrdinal())
+}
+
+// NoDecision is the single-failure election message: the sender suspects
+// Suspect (usually the lost decider) and requests its removal. It carries
+// the sender's current view of the oal and its delivered-but-unordered
+// proposal descriptors (dpd), both needed by §4.3 to reconcile the log at
+// the new decider.
+type NoDecision struct {
+	Header
+	Suspect  model.ProcessID
+	GroupSeq model.GroupSeq
+	View     oal.List
+	DPD      []oal.ProposalID
+	Alive    []model.ProcessID
+}
+
+func (*NoDecision) Kind() Kind    { return KindNoDecision }
+func (m *NoDecision) Hdr() Header { return m.Header }
+func (m *NoDecision) String() string {
+	return fmt.Sprintf("no-decision{from=%v ts=%v suspect=%v g%d}", m.From, m.SendTS, m.Suspect, m.GroupSeq)
+}
+
+// Join announces that the sender wants to become a member. During initial
+// group formation the join-list drives the majority agreement; during
+// reintegration it advertises liveness to current members.
+type Join struct {
+	Header
+	JoinList []model.ProcessID
+}
+
+func (*Join) Kind() Kind    { return KindJoin }
+func (m *Join) Hdr() Header { return m.Header }
+func (m *Join) String() string {
+	return fmt.Sprintf("join{from=%v ts=%v list=%v}", m.From, m.SendTS, m.JoinList)
+}
+
+// Reconfig is the multiple-failure election message, sent once per cycle
+// in the sender's time slot. It carries the sender's
+// reconfiguration-list, the timestamp of the last decision it knows
+// about, that decision's oal, and the dpd field (§4.3).
+type Reconfig struct {
+	Header
+	ReconfigList []model.ProcessID
+	// LastDecisionTS is the send timestamp of the newest decision the
+	// sender has sent or received; the process proposing the highest
+	// timestamp wins the election.
+	LastDecisionTS model.Time
+	// GroupSeq is the last group the sender is aware of.
+	GroupSeq model.GroupSeq
+	View     oal.List
+	DPD      []oal.ProposalID
+	Alive    []model.ProcessID
+}
+
+func (*Reconfig) Kind() Kind    { return KindReconfig }
+func (m *Reconfig) Hdr() Header { return m.Header }
+func (m *Reconfig) String() string {
+	return fmt.Sprintf("reconfiguration{from=%v ts=%v list=%v lastDec=%v}", m.From, m.SendTS, m.ReconfigList, m.LastDecisionTS)
+}
+
+// Nack asks peers to retransmit the listed proposal bodies. A member
+// sends one when a decision's oal references proposals it never received;
+// any member holding a body answers with a unicast copy of the original
+// proposal.
+type Nack struct {
+	Header
+	Missing []oal.ProposalID
+}
+
+func (*Nack) Kind() Kind    { return KindNack }
+func (m *Nack) Hdr() Header { return m.Header }
+func (m *Nack) String() string {
+	return fmt.Sprintf("nack{from=%v ts=%v missing=%v}", m.From, m.SendTS, m.Missing)
+}
+
+// FIFOEntry records the next expected per-proposer sequence number,
+// transferred to joiners so their FIFO delivery resumes where the
+// snapshot left off.
+type FIFOEntry struct {
+	Proposer model.ProcessID
+	Seq      uint64
+}
+
+// State is the join-time state transfer a decider unicasts to a process
+// it has just admitted: an application snapshot, which in-oal updates the
+// snapshot already reflects, FIFO cursors, and the pending proposal
+// bodies the joiner may be missing.
+type State struct {
+	Header
+	GroupSeq model.GroupSeq
+	AppState []byte
+	// CoveredOrdinal is the highest ordinal the snapshot provably
+	// covers: every update at or below it was truncated from the
+	// sender's oal, and truncation requires stability, which requires
+	// delivery — so its effect is inside AppState. The joiner must
+	// never re-deliver such updates even if it later adopts a
+	// less-truncated oal from another member.
+	CoveredOrdinal oal.Ordinal
+	// SettledTimeTS is the sender's time-order high-water mark: the
+	// largest send timestamp among time-ordered updates that have
+	// become deliverable. A joiner needs it to recognise time-order
+	// stragglers whose competing entries were already truncated.
+	SettledTimeTS model.Time
+	Delivered     []oal.ProposalID
+	FIFONext      []FIFOEntry
+	Pending       []Proposal
+}
+
+func (*State) Kind() Kind    { return KindState }
+func (m *State) Hdr() Header { return m.Header }
+func (m *State) String() string {
+	return fmt.Sprintf("state{from=%v ts=%v g%d |app|=%d pending=%d}",
+		m.From, m.SendTS, m.GroupSeq, len(m.AppState), len(m.Pending))
+}
+
+var (
+	_ Message = (*Proposal)(nil)
+	_ Message = (*Decision)(nil)
+	_ Message = (*NoDecision)(nil)
+	_ Message = (*Join)(nil)
+	_ Message = (*Reconfig)(nil)
+	_ Message = (*Nack)(nil)
+	_ Message = (*State)(nil)
+)

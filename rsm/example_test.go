@@ -1,0 +1,107 @@
+package rsm_test
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"timewheel"
+	"timewheel/rsm"
+)
+
+// register is a deterministic state machine: every command adds its
+// integer payload to a running total and returns the new total.
+type register struct{ total int64 }
+
+func (r *register) Apply(cmd []byte) []byte {
+	n, _ := strconv.ParseInt(string(cmd), 10, 64)
+	r.total += n
+	return []byte(strconv.FormatInt(r.total, 10))
+}
+
+// Example_replicatedRegister runs a three-replica service and submits
+// two commands through different replicas; total order makes the
+// responses consistent.
+func Example_replicatedRegister() {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{MaxDelay: 500 * time.Microsecond, Seed: 2})
+	defer hub.Close()
+
+	replicas := make([]*rsm.Replica, 3)
+	for i := range replicas {
+		rep, err := rsm.New(rsm.Config{
+			Node: timewheel.Config{
+				ID:          i,
+				ClusterSize: 3,
+				Transport:   hub.Transport(i),
+				Params: timewheel.Params{
+					Delta: 4 * time.Millisecond,
+					D:     8 * time.Millisecond,
+				},
+			},
+			Machine: &register{},
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		replicas[i] = rep
+		rep.Start()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		formed := true
+		for _, r := range replicas {
+			if v, ok := r.View(); !ok || len(v.Members) != 3 {
+				formed = false
+			}
+		}
+		if formed {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("formation timeout")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	submit := func(r *rsm.Replica, cmd string) (string, error) {
+		for {
+			res, err := r.Submit(ctx, []byte(cmd))
+			switch err {
+			case nil:
+				return string(res.Response), nil
+			case timewheel.ErrNotMember, rsm.ErrAbandoned:
+				// Transient view change: retry.
+				time.Sleep(time.Millisecond)
+			default:
+				return "", err
+			}
+		}
+	}
+	out, err := submit(replicas[0], "40")
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	fmt.Println("after first command:", out)
+	out, err = submit(replicas[2], "2")
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	fmt.Println("after second command:", out)
+
+	// Output:
+	// after first command: 40
+	// after second command: 42
+}

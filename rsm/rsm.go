@@ -1,0 +1,246 @@
+// Package rsm layers a replicated state machine on the timewheel group
+// communication service — the construction the paper's introduction
+// motivates: "a dependable service ... implemented by a team of
+// replicated servers [that] maintain a consistent replicated service
+// state and, if one member fails, the others form a new group and
+// continue to provide the service."
+//
+// The application supplies a deterministic StateMachine; rsm broadcasts
+// commands with total order and strong atomicity, applies them in the
+// agreed order on every replica, and reports command outcomes to the
+// submitting replica through the broadcast's termination semantic.
+//
+//	sm := rsm.New(rsm.Config{Node: nodeCfg, Machine: &counter{}})
+//	sm.Start()
+//	res, err := sm.Submit(ctx, []byte("deposit 100"))
+package rsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"timewheel"
+)
+
+// StateMachine is the deterministic application core. Apply must produce
+// identical results on every replica given the same command sequence.
+// Implementations need no locking: rsm serialises all calls.
+type StateMachine interface {
+	// Apply executes one committed command and returns its result.
+	Apply(cmd []byte) []byte
+}
+
+// Snapshotter is the optional state-transfer extension: machines that
+// implement it survive replica restarts — a rejoining replica receives
+// the snapshot of a current member instead of starting empty.
+type Snapshotter interface {
+	// Snapshot serialises the full machine state.
+	Snapshot() []byte
+	// Restore replaces the machine state from a snapshot.
+	Restore([]byte)
+}
+
+// ErrAbandoned reports that a submitted command's termination window
+// expired without delivery (e.g. it was purged at a view change or the
+// replica lost its group); the client should re-submit after the view
+// stabilises if the command is still wanted.
+var ErrAbandoned = errors.New("rsm: command abandoned")
+
+// ErrStopped is returned after Stop.
+var ErrStopped = errors.New("rsm: stopped")
+
+// Config assembles a replica.
+type Config struct {
+	// Node configures the underlying timewheel node. Its OnDeliver,
+	// OnOutcome and Termination fields are owned by rsm and must be
+	// left unset.
+	Node timewheel.Config
+	// Machine is the deterministic application core.
+	Machine StateMachine
+	// Timeout bounds how long a submitted command may remain
+	// undetermined (default: 10 seconds).
+	Timeout time.Duration
+}
+
+// Result is the outcome of a locally submitted command.
+type Result struct {
+	// Response is the state machine's return value on this replica.
+	Response []byte
+}
+
+// Replica is one member of the replicated service.
+type Replica struct {
+	node    *timewheel.Node
+	machine StateMachine
+	timeout time.Duration
+	selfID  int
+
+	mu      sync.Mutex
+	pending map[uint64]chan submitResult // own commands awaiting outcome
+	results map[uint64][]byte            // responses for own delivered commands
+	applied uint64
+	stopped bool
+}
+
+type submitResult struct {
+	response []byte
+	err      error
+}
+
+// New builds a replica; call Start to join the service.
+func New(cfg Config) (*Replica, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("rsm: Machine is required")
+	}
+	if cfg.Node.OnDeliver != nil || cfg.Node.OnOutcome != nil || cfg.Node.Termination != 0 {
+		return nil, fmt.Errorf("rsm: Node.OnDeliver/OnOutcome/Termination are owned by rsm")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	r := &Replica{
+		machine: cfg.Machine,
+		timeout: timeout,
+		selfID:  cfg.Node.ID,
+		pending: make(map[uint64]chan submitResult),
+		results: make(map[uint64][]byte),
+	}
+	nodeCfg := cfg.Node
+	nodeCfg.OnDeliver = r.onDeliver
+	nodeCfg.Termination = timeout
+	nodeCfg.OnOutcome = r.onOutcome
+	if snap, ok := cfg.Machine.(Snapshotter); ok {
+		nodeCfg.Snapshot = snap.Snapshot
+		nodeCfg.Install = snap.Restore
+	}
+	node, err := timewheel.NewNode(nodeCfg)
+	if err != nil {
+		return nil, err
+	}
+	r.node = node
+	return r, nil
+}
+
+// Start joins the replica to the team.
+func (r *Replica) Start() { r.node.Start() }
+
+// Stop shuts the replica down; in-flight Submits fail with ErrStopped.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	for seq, ch := range r.pending {
+		ch <- submitResult{err: ErrStopped}
+		delete(r.pending, seq)
+	}
+	r.mu.Unlock()
+	r.node.Stop()
+}
+
+// onDeliver applies committed commands in the agreed order (runs on the
+// node's event loop: total order is the application order). Empty
+// commands are barriers: they order and commit like any command but are
+// not handed to the application.
+func (r *Replica) onDeliver(d timewheel.Delivery) {
+	var resp []byte
+	if len(d.Payload) > 0 {
+		resp = r.machine.Apply(d.Payload)
+	}
+	r.mu.Lock()
+	r.applied++
+	if d.Proposer == r.selfID {
+		// Remember our own responses until the outcome report claims
+		// them (delivery and outcome both run on the event loop, in
+		// that order, but Submit consumes asynchronously).
+		r.results[d.Seq] = resp
+	}
+	r.mu.Unlock()
+}
+
+// onOutcome resolves a local Submit.
+func (r *Replica) onOutcome(o timewheel.Outcome) {
+	r.mu.Lock()
+	ch, ok := r.pending[o.Seq]
+	delete(r.pending, o.Seq)
+	resp := r.results[o.Seq]
+	delete(r.results, o.Seq)
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	if o.Delivered {
+		ch <- submitResult{response: resp}
+	} else {
+		ch <- submitResult{err: ErrAbandoned}
+	}
+}
+
+// Submit broadcasts a command and blocks until it is applied on this
+// replica (returning the state machine's response) or abandoned. The
+// replica must currently be a group member.
+func (r *Replica) Submit(ctx context.Context, cmd []byte) (Result, error) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return Result{}, ErrStopped
+	}
+	r.mu.Unlock()
+
+	ch := make(chan submitResult, 1)
+	// Register before proposing: the outcome may fire immediately.
+	// The sequence number is not known until Propose returns, so park
+	// the channel under a temporary key and move it. Proposals are
+	// serialised through ProposeSeq below.
+	seq, err := r.node.ProposeSeq(cmd, timewheel.TotalOrder, timewheel.Strong, func(seq uint64) {
+		r.mu.Lock()
+		r.pending[seq] = ch
+		r.mu.Unlock()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return Result{Response: res.response}, res.err
+	case <-ctx.Done():
+		r.mu.Lock()
+		delete(r.pending, seq)
+		r.mu.Unlock()
+		return Result{}, ctx.Err()
+	}
+}
+
+// Barrier submits an empty command through the replicated log and waits
+// for it to be applied locally. When Barrier returns, this replica's
+// state machine reflects every command committed before the barrier was
+// submitted — the standard recipe for linearizable local reads:
+//
+//	if err := rep.Barrier(ctx); err == nil {
+//	    value := myMachine.Read() // up to date as of the barrier
+//	}
+//
+// Empty commands are consumed by rsm itself and never reach Apply.
+func (r *Replica) Barrier(ctx context.Context) error {
+	_, err := r.Submit(ctx, nil)
+	return err
+}
+
+// View returns the replica's current membership view.
+func (r *Replica) View() (timewheel.View, bool) { return r.node.CurrentView() }
+
+// UpToDate reports the fail-awareness predicate of the underlying node.
+func (r *Replica) UpToDate() bool { return r.node.UpToDate() }
+
+// Applied returns the number of commands applied on this replica.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}

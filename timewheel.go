@@ -1,0 +1,580 @@
+// Package timewheel is the public, real-time API of the timewheel group
+// communication service (Mishra, Fetzer & Cristian): a group membership
+// protocol for the timed asynchronous system model, plus the timewheel
+// atomic broadcast it is woven into.
+//
+// A Node is one team member. Nodes discover each other and maintain a
+// consistent membership view (the "group") entirely through the
+// protocol's time-slotted join, single-failure and multiple-failure
+// elections; in failure-free operation the membership layer sends no
+// messages of its own — the broadcast protocol's rotating decision
+// messages double as heartbeats.
+//
+//	hub := timewheel.NewMemoryHub(timewheel.HubConfig{})
+//	n, _ := timewheel.NewNode(timewheel.Config{
+//		ID: 0, ClusterSize: 3,
+//		Transport: hub.Transport(0),
+//		OnDeliver: func(d timewheel.Delivery) { fmt.Println(string(d.Payload)) },
+//	})
+//	n.Start()
+//	...
+//	n.Propose([]byte("update"), timewheel.TotalOrder, timewheel.Strong)
+//
+// The real-time runtime assumes the hosts' clocks are synchronized to
+// within Params.Epsilon (NTP-grade). The paper's companion fail-aware
+// clock synchronization protocol is implemented and exercised in the
+// deterministic simulation (internal/csync, internal/node); wiring it
+// under the real-time runtime is deployment-specific plumbing.
+package timewheel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"timewheel/internal/broadcast"
+	"timewheel/internal/engine"
+	"timewheel/internal/member"
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/transport"
+	"timewheel/internal/wire"
+)
+
+// Order selects the ordering semantic of a proposal.
+type Order int
+
+const (
+	// Unordered delivery (per-sender FIFO not guaranteed).
+	Unordered Order = iota
+	// TotalOrder delivers updates in the same total order everywhere.
+	TotalOrder
+	// TimeOrder delivers updates in synchronized-send-time order.
+	TimeOrder
+)
+
+// Atomicity selects the atomicity semantic of a proposal.
+type Atomicity int
+
+const (
+	// Weak atomicity: deliver as soon as possible.
+	Weak Atomicity = iota
+	// Strong atomicity: deliver after a majority provably holds the
+	// update and its dependencies.
+	Strong
+	// Strict atomicity: deliver after every member provably holds them.
+	Strict
+)
+
+// Delivery is one update handed to the application.
+type Delivery struct {
+	// Proposer and Seq identify the update (FIFO per proposer).
+	Proposer int
+	Seq      uint64
+	// Ordinal is the update's unique protocol number (0 before ordering
+	// on the weak/unordered fast path).
+	Ordinal   uint64
+	Payload   []byte
+	Order     Order
+	Atomicity Atomicity
+	// SendTime is the proposer's synchronized-clock send time.
+	SendTime time.Time
+}
+
+// View is a membership view.
+type View struct {
+	// Seq numbers views; members of a view agree on its contents.
+	Seq uint64
+	// Members are the team IDs in the view.
+	Members []int
+}
+
+// Params are the timed-asynchronous model constants. Zero values take
+// defaults suitable for a LAN.
+type Params struct {
+	// Delta is the one-way message time-out delay.
+	Delta time.Duration
+	// D is the maximum decider interval.
+	D time.Duration
+	// Epsilon bounds the deviation between the hosts' clocks.
+	Epsilon time.Duration
+	// Sigma is the scheduling delay bound.
+	Sigma time.Duration
+	// SlotPad is extra slack on each election time slot.
+	SlotPad time.Duration
+}
+
+// Transport carries encoded protocol frames between nodes.
+type Transport interface {
+	Broadcast(data []byte) error
+	Unicast(to int, data []byte) error
+	SetReceiver(func(data []byte))
+	Close() error
+}
+
+// Config configures a Node.
+type Config struct {
+	// ID is this node's team identifier, 0..ClusterSize-1.
+	ID int
+	// ClusterSize is the total team size N.
+	ClusterSize int
+	// Transport connects this node to its peers.
+	Transport Transport
+	// Params tune the timing model (zero: LAN defaults).
+	Params Params
+	// OnDeliver is called for every delivered update, from the node's
+	// event loop: return quickly or hand off.
+	OnDeliver func(Delivery)
+	// OnViewChange is called on every installed membership view.
+	OnViewChange func(View)
+	// Termination, when positive, arms the broadcast's termination
+	// semantic: OnOutcome fires once per local proposal, either when it
+	// is delivered locally or when the window expires undelivered
+	// (e.g. the update was purged at a view change).
+	Termination time.Duration
+	// OnOutcome receives termination reports (event-loop context).
+	OnOutcome func(Outcome)
+	// Snapshot, when set, provides the application state a decider
+	// transfers to joining members; Install receives it on the joining
+	// side. Replicated applications need both, or rejoining members
+	// start from empty state (deliveries already covered by the
+	// snapshot are suppressed on the joiner).
+	Snapshot func() []byte
+	Install  func([]byte)
+}
+
+// Outcome is a termination report for a local proposal.
+type Outcome struct {
+	Seq       uint64
+	Delivered bool
+}
+
+// ErrNotMember is returned by Propose when the node is not currently a
+// group member.
+var ErrNotMember = errors.New("timewheel: not a group member")
+
+// ErrStopped is returned after Stop.
+var ErrStopped = errors.New("timewheel: node stopped")
+
+// Node is one running timewheel process.
+type Node struct {
+	cfg    Config
+	params model.Params
+
+	bc      *broadcast.Broadcast
+	machine *member.Machine
+	loop    *engine.EventLoop
+	tr      Transport
+
+	mu      sync.Mutex
+	timers  map[member.TimerID]*time.Timer
+	stopped bool
+}
+
+func (p Params) toModel(n int) model.Params {
+	mp := model.DefaultParams(n)
+	if p.Delta > 0 {
+		mp.Delta = model.FromStd(p.Delta)
+	}
+	if p.D > 0 {
+		mp.D = model.FromStd(p.D)
+	}
+	if p.Epsilon > 0 {
+		mp.Epsilon = model.FromStd(p.Epsilon)
+	}
+	if p.Sigma > 0 {
+		mp.Sigma = model.FromStd(p.Sigma)
+	}
+	if p.SlotPad > 0 {
+		mp.SlotPad = model.FromStd(p.SlotPad)
+	}
+	return mp
+}
+
+// NewNode builds a node; call Start to join the team.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ClusterSize < 1 {
+		return nil, fmt.Errorf("timewheel: ClusterSize must be >= 1")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.ClusterSize {
+		return nil, fmt.Errorf("timewheel: ID %d out of range [0,%d)", cfg.ID, cfg.ClusterSize)
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("timewheel: Transport is required")
+	}
+	mp := cfg.Params.toModel(cfg.ClusterSize)
+	if err := mp.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := &Node{
+		cfg:    cfg,
+		params: mp,
+		tr:     cfg.Transport,
+		timers: make(map[member.TimerID]*time.Timer),
+	}
+	bcfg := broadcast.Config{
+		Snapshot: cfg.Snapshot,
+		Install:  cfg.Install,
+		OnDeliver: func(d broadcast.Delivery) {
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(Delivery{
+					Proposer:  int(d.ID.Proposer),
+					Seq:       d.ID.Seq,
+					Ordinal:   uint64(d.Ordinal),
+					Payload:   d.Payload,
+					Order:     Order(d.Sem.Order),
+					Atomicity: Atomicity(d.Sem.Atomicity),
+					SendTime:  time.UnixMicro(int64(d.SendTS)),
+				})
+			}
+		},
+	}
+	if cfg.Termination > 0 {
+		bcfg.TerminationAfter = model.FromStd(cfg.Termination)
+		bcfg.OnOutcome = func(o broadcast.Outcome) {
+			if cfg.OnOutcome != nil {
+				cfg.OnOutcome(Outcome{Seq: o.ID.Seq, Delivered: o.Delivered})
+			}
+		}
+	}
+	n.bc = broadcast.New(model.ProcessID(cfg.ID), mp, bcfg)
+	n.machine = member.New(model.ProcessID(cfg.ID), mp, member.Config{
+		Hooks: member.Hooks{
+			ViewChange: func(g model.Group, _ model.Time) {
+				if cfg.OnViewChange != nil {
+					v := View{Seq: uint64(g.Seq)}
+					for _, m := range g.Members {
+						v.Members = append(v.Members, int(m))
+					}
+					cfg.OnViewChange(v)
+				}
+			},
+		},
+	}, (*nodeEnv)(n), n.bc)
+
+	n.loop = engine.NewEventLoop(n.handle, 4096)
+	cfg.Transport.SetReceiver(func(data []byte) {
+		msg, err := wire.Decode(data)
+		if err != nil {
+			return // corrupt datagram: drop, as UDP would
+		}
+		n.post(engine.Event{Type: engine.TypeOfMessage(msg), Msg: msg})
+	})
+	return n, nil
+}
+
+// handle runs inside the event loop; all protocol state is confined to
+// it.
+func (n *Node) handle(ev engine.Event) {
+	switch {
+	case ev.Msg != nil:
+		n.machine.OnMessage(ev.Msg)
+	case ev.Cmd != nil:
+		ev.Cmd()
+	default:
+		n.machine.OnTimer(ev.Timer)
+	}
+}
+
+func (n *Node) post(ev engine.Event) {
+	n.mu.Lock()
+	stopped := n.stopped
+	n.mu.Unlock()
+	if !stopped {
+		n.loop.Post(ev)
+	}
+}
+
+// Start begins protocol execution: the node enters the join state and
+// sends join messages in its time slots.
+func (n *Node) Start() {
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: n.machine.Start})
+}
+
+// Stop shuts the node down.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	for _, t := range n.timers {
+		t.Stop()
+	}
+	n.mu.Unlock()
+	n.loop.Stop()
+	n.tr.Close()
+}
+
+// Propose broadcasts an update with the given semantics. It blocks until
+// the node's event loop has accepted (or refused) the proposal.
+func (n *Node) Propose(payload []byte, o Order, a Atomicity) error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.mu.Unlock()
+	errc := make(chan error, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() {
+		p := n.machine.Propose(payload, oal.Semantics{Order: oal.Order(o), Atomicity: oal.Atomicity(a)})
+		if p == nil {
+			errc <- ErrNotMember
+		} else {
+			errc <- nil
+		}
+	}})
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(5 * time.Second):
+		return ErrStopped
+	}
+}
+
+// ProposeSeq broadcasts an update like Propose and additionally reports
+// the per-proposer sequence number assigned to it — the key by which
+// termination outcomes (Config.OnOutcome) identify it. register, when
+// non-nil, runs on the node's event loop after the sequence is known and
+// strictly before any outcome for it can fire, closing the registration
+// race for request/response layers (see package rsm).
+func (n *Node) ProposeSeq(payload []byte, o Order, a Atomicity, register func(seq uint64)) (uint64, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, ErrStopped
+	}
+	n.mu.Unlock()
+	type resp struct {
+		seq uint64
+		err error
+	}
+	ch := make(chan resp, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() {
+		p := n.machine.Propose(payload, oal.Semantics{Order: oal.Order(o), Atomicity: oal.Atomicity(a)})
+		if p == nil {
+			ch <- resp{err: ErrNotMember}
+			return
+		}
+		if register != nil {
+			register(p.ID.Seq)
+		}
+		ch <- resp{seq: p.ID.Seq}
+	}})
+	select {
+	case r := <-ch:
+		return r.seq, r.err
+	case <-time.After(5 * time.Second):
+		return 0, ErrStopped
+	}
+}
+
+// CurrentView returns the node's membership view; ok is false while the
+// node is (re)joining.
+func (n *Node) CurrentView() (View, bool) {
+	type resp struct {
+		v  View
+		ok bool
+	}
+	ch := make(chan resp, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() {
+		g := n.machine.Group()
+		ok := n.machine.HaveGroup() && n.machine.State() != member.StateJoin
+		v := View{Seq: uint64(g.Seq)}
+		for _, m := range g.Members {
+			v.Members = append(v.Members, int(m))
+		}
+		ch <- resp{v, ok}
+	}})
+	select {
+	case r := <-ch:
+		return r.v, r.ok
+	case <-time.After(5 * time.Second):
+		return View{}, false
+	}
+}
+
+// UpToDate reports the paper's fail-awareness predicate: whether this
+// process currently knows its view to be up to date.
+func (n *Node) UpToDate() bool {
+	ch := make(chan bool, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() { ch <- n.machine.UpToDate() }})
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(5 * time.Second):
+		return false
+	}
+}
+
+// Metrics is a point-in-time snapshot of a node's protocol counters.
+type Metrics struct {
+	// Membership-layer counters.
+	ViewChanges       uint64
+	SingleElections   uint64
+	ReconfigElections uint64
+	WrongSuspicions   uint64
+	NoDecisionsSent   uint64
+	ReconfigsSent     uint64
+	JoinsSent         uint64
+	DecisionsSent     uint64
+	Admissions        uint64
+	// Broadcast-layer counters.
+	Proposed      uint64
+	Delivered     uint64
+	DeliveredFast uint64
+	Purged        uint64
+	Retransmits   uint64
+}
+
+// Metrics returns a snapshot of the node's protocol counters.
+func (n *Node) Metrics() Metrics {
+	ch := make(chan Metrics, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() {
+		ms := n.machine.Stats()
+		bs := n.bc.Stats()
+		ch <- Metrics{
+			ViewChanges:       ms.ViewChanges,
+			SingleElections:   ms.SingleElections,
+			ReconfigElections: ms.ReconfigElections,
+			WrongSuspicions:   ms.WrongSuspicions,
+			NoDecisionsSent:   ms.NDsSent,
+			ReconfigsSent:     ms.ReconfigsSent,
+			JoinsSent:         ms.JoinsSent,
+			DecisionsSent:     ms.DecisionsSent,
+			Admissions:        ms.Admissions,
+			Proposed:          bs.Proposed,
+			Delivered:         bs.Delivered,
+			DeliveredFast:     bs.DeliveredFast,
+			Purged:            bs.Purged,
+			Retransmits:       bs.Retransmits,
+		}
+	}})
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(5 * time.Second):
+		return Metrics{}
+	}
+}
+
+// StateName returns the group creator's current state (join,
+// failure-free, wrong-suspicion, 1-failure-receive, 1-failure-send,
+// n-failure) — mainly for monitoring.
+func (n *Node) StateName() string {
+	ch := make(chan string, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() { ch <- n.machine.State().String() }})
+	select {
+	case s := <-ch:
+		return s
+	case <-time.After(5 * time.Second):
+		return "stopped"
+	}
+}
+
+// nodeEnv adapts Node to member.Env. It runs inside the event loop.
+type nodeEnv Node
+
+func (e *nodeEnv) Now() model.Time { return model.Time(time.Now().UnixMicro()) }
+
+func (e *nodeEnv) Broadcast(m wire.Message) {
+	e.tr.Broadcast(wire.Encode(m)) //nolint:errcheck // omission failures are in-model
+}
+
+func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
+	e.tr.Unicast(int(to), wire.Encode(m)) //nolint:errcheck
+}
+
+func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
+	n := (*Node)(e)
+	delay := time.Duration(at-e.Now()) * time.Microsecond
+	if delay < 0 {
+		delay = 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.timers[id]; ok {
+		old.Stop()
+	}
+	if n.stopped {
+		return
+	}
+	n.timers[id] = time.AfterFunc(delay, func() {
+		n.post(engine.Event{Type: engine.TypeOfTimer(id), Timer: id})
+	})
+}
+
+func (e *nodeEnv) CancelTimer(id member.TimerID) {
+	n := (*Node)(e)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+}
+
+// --- Transport constructors ---------------------------------------------------
+
+// HubConfig shapes the in-memory hub's fault model.
+type HubConfig struct {
+	MinDelay, MaxDelay time.Duration
+	DropProb           float64
+	Seed               int64
+}
+
+// MemoryHub connects in-process nodes (tests, demos, examples).
+type MemoryHub struct{ hub *transport.Hub }
+
+// NewMemoryHub creates an in-process datagram switchboard.
+func NewMemoryHub(cfg HubConfig) *MemoryHub {
+	return &MemoryHub{hub: transport.NewHub(transport.HubOptions{
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+		DropProb: cfg.DropProb,
+		Seed:     cfg.Seed,
+	})}
+}
+
+// Transport returns the hub port for node id.
+func (h *MemoryHub) Transport(id int) Transport {
+	return memAdapter{h.hub.Attach(model.ProcessID(id))}
+}
+
+// Close shuts the hub down.
+func (h *MemoryHub) Close() { h.hub.Close() }
+
+type memAdapter struct{ t *transport.MemTransport }
+
+func (a memAdapter) Broadcast(data []byte) error { return a.t.Broadcast(data) }
+func (a memAdapter) Unicast(to int, data []byte) error {
+	return a.t.Unicast(model.ProcessID(to), data)
+}
+func (a memAdapter) SetReceiver(r func([]byte)) { a.t.SetReceiver(r) }
+func (a memAdapter) Close() error               { return a.t.Close() }
+
+// NewUDPTransport binds a UDP socket for node id; addrs maps every node
+// ID to "host:port".
+func NewUDPTransport(id int, addrs map[int]string) (Transport, error) {
+	m := make(map[model.ProcessID]string, len(addrs))
+	for k, v := range addrs {
+		m[model.ProcessID(k)] = v
+	}
+	u, err := transport.NewUDP(model.ProcessID(id), m)
+	if err != nil {
+		return nil, err
+	}
+	return udpAdapter{u}, nil
+}
+
+type udpAdapter struct{ u *transport.UDP }
+
+func (a udpAdapter) Broadcast(data []byte) error { return a.u.Broadcast(data) }
+func (a udpAdapter) Unicast(to int, data []byte) error {
+	return a.u.Unicast(model.ProcessID(to), data)
+}
+func (a udpAdapter) SetReceiver(r func([]byte)) { a.u.SetReceiver(r) }
+func (a udpAdapter) Close() error               { return a.u.Close() }
