@@ -15,6 +15,9 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzRecord -fuzztime=30s ./internal/durable
+	$(GO) test -fuzz=FuzzSnapshotBody -fuzztime=30s ./internal/durable
+	$(GO) test -fuzz=FuzzRecoverScan -fuzztime=30s ./internal/durable
 
 vet:
 	$(GO) vet ./...

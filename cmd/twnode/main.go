@@ -9,6 +9,11 @@
 //	twnode -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
 //	twnode -id 1 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
 //	twnode -id 2 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+//
+// With -data-dir the node keeps a write-ahead log and snapshots under
+// <dir>/node-<id> and survives crashes: kill -9 it, restart it with the
+// same flags, and it comes back warm — application deliveries replayed
+// from disk and only the missed suffix fetched from the group.
 package main
 
 import (
@@ -16,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"timewheel"
@@ -27,8 +34,10 @@ func main() {
 		id    = flag.Int("id", 0, "this node's ID (index into -peers)")
 		peers = flag.String("peers", "127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002",
 			"comma-separated host:port list, one per node, in ID order")
-		delta = flag.Duration("delta", 10*time.Millisecond, "one-way timeout delay")
-		dd    = flag.Duration("D", 20*time.Millisecond, "max decider interval")
+		delta   = flag.Duration("delta", 10*time.Millisecond, "one-way timeout delay")
+		dd      = flag.Duration("D", 20*time.Millisecond, "max decider interval")
+		dataDir = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: volatile)")
+		fsync   = flag.String("fsync", "batched", "fsync policy: always | batched | none")
 	)
 	flag.Parse()
 
@@ -47,11 +56,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "transport: %v\n", err)
 		os.Exit(1)
 	}
+	dir := ""
+	if *dataDir != "" {
+		dir = fmt.Sprintf("%s/node-%d", *dataDir, *id)
+	}
 	node, err := timewheel.NewNode(timewheel.Config{
 		ID:          *id,
 		ClusterSize: len(list),
 		Transport:   tr,
 		Params:      timewheel.Params{Delta: *delta, D: *dd},
+		DataDir:     dir,
+		Fsync:       *fsync,
 		OnDeliver: func(d timewheel.Delivery) {
 			fmt.Printf("[deliver] o%-4d from p%d: %s\n", d.Ordinal, d.Proposer, d.Payload)
 		},
@@ -63,7 +78,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "node: %v\n", err)
 		os.Exit(1)
 	}
+	if rec := node.Recovery(); rec.Durable {
+		fmt.Printf("[recover] snapshot=%v updates=%d views=%d covered=o%d lineage=%d torn=%v\n",
+			rec.HaveSnapshot, rec.LoggedUpdates, rec.LoggedViews, rec.Covered, rec.Lineage, rec.TornTail)
+		for _, d := range rec.Discarded {
+			fmt.Printf("[recover] discarded: %s\n", d)
+		}
+	}
 	node.Start()
+
+	// A signal must flush the log before the process dies: Stop closes
+	// the store, syncing any batched appends. (kill -9 skips this — that
+	// is exactly the crash the recovery path is for.)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Printf("\n[signal]  %v: flushing log and stopping\n", s)
+		node.Stop()
+		os.Exit(0)
+	}()
 	defer node.Stop()
 	fmt.Printf("node p%d up at %s — type lines to broadcast, 'status' for state, ctrl-D to quit\n",
 		*id, addrs[*id])

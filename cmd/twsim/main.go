@@ -47,6 +47,10 @@ var scenarios = map[string]struct {
 		"a crashed member recovers and is readmitted with state transfer",
 		scenario.Rejoin,
 	},
+	"durable-rejoin": {
+		"a durable member is killed, restarts from its WAL and rejoins via a replay delta",
+		scenario.DurableRejoin,
+	},
 	"partition": {
 		"majority/minority split, then healing",
 		scenario.Partition,

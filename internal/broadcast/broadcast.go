@@ -81,6 +81,17 @@ type Config struct {
 	TerminationAfter model.Duration
 	// OnOutcome receives termination reports.
 	OnOutcome func(Outcome)
+	// OnLineage fires when this process adopts a new ordinal lineage
+	// (a group formation restarted the ordinal space). A durable node
+	// uses it to mark the boundary in its log and drop its now
+	// incomparable replay tail.
+	OnLineage func(model.GroupSeq)
+	// ReplaySince, when set, serves rejoin deltas from this process's
+	// durable log: it returns every logged delivery a member with
+	// contiguous coverage `since` still needs, in delivery order, and
+	// whether the log reaches back that far. Unset (volatile process),
+	// every state transfer is a full one.
+	ReplaySince func(since oal.Ordinal) ([]wire.ReplayEntry, bool)
 }
 
 // Stats counts broadcast-layer activity.
@@ -91,6 +102,9 @@ type Stats struct {
 	Purged        uint64 // updates marked undeliverable locally
 	NacksNeeded   uint64
 	Retransmits   uint64
+	StateFulls    uint64 // full state transfers built for joiners
+	StateDeltas   uint64 // delta (replay) state transfers built
+	ReplayApplied uint64 // deliveries applied here from a rejoin delta
 }
 
 // Broadcast is one member's broadcast-protocol state. Not safe for
@@ -138,6 +152,25 @@ type Broadcast struct {
 	// reflected in the installed application state and must never be
 	// re-delivered, even from a less-truncated oal adopted later.
 	snapshotCovered oal.Ordinal
+
+	// lineage identifies the ordinal space this process's coverage
+	// belongs to: the sequence number of the group formation that
+	// (re)started ordinals at 1. Coverage and ordinals are only
+	// comparable within one lineage; adopting a decision from another
+	// lineage invalidates snapshotCovered (see adoptLineage).
+	lineage model.GroupSeq
+
+	// deferApp suppresses application hand-off while a recovered
+	// joiner's state transfer is outstanding. A joining process adopts
+	// live decisions (to keep the oal warm for admission), but a
+	// process that advertised recovered coverage may be served a replay
+	// *delta* instead of a full install: delivering adopted entries
+	// before that delta arrives would both apply them out of order
+	// relative to the replayed prefix and inflate the live coverage the
+	// next join re-advertises. While set, entries stay undelivered (and
+	// unmarked) in the buffer; ApplyState clears the flag and flushes.
+	// Volatile joiners never set it — a full transfer rebases them.
+	deferApp bool
 
 	// maxSettledTimeTS is the largest send timestamp of any time-ordered
 	// update that has become deliverable (its settle window passed while
@@ -417,7 +450,15 @@ func (b *Broadcast) AdoptDecision(now model.Time, dec *wire.Decision) (adopted b
 		// regress ordinals. Only a stale decider produces this.
 		return false, nil
 	}
-	b.deliverTruncated(now, &dec.OAL)
+	if dec.Lineage != b.lineage {
+		// The decision belongs to another ordinal space; our retained
+		// view cannot be compared against its oal, so the truncation
+		// sweep below would be meaningless. (On first adoption the view
+		// is empty and the sweep is a no-op anyway.)
+		b.adoptLineage(dec.Lineage)
+	} else {
+		b.deliverTruncated(now, &dec.OAL)
+	}
 	b.lastDecTS = dec.SendTS
 	b.view = dec.OAL.Clone()
 	b.refreshOwnAcks()
@@ -480,6 +521,13 @@ func (b *Broadcast) deliverTruncated(now model.Time, incoming *oal.List) {
 		if d.Ordinal <= b.snapshotCovered {
 			// Already reflected in the join-time snapshot.
 			b.delivered[d.ID] = true
+			continue
+		}
+		if b.deferApp {
+			// The outstanding transfer covers every stable-truncated
+			// ordinal (they are below the serving member's coverage), so
+			// leave the entry for the replay or the transfer's
+			// delivered-set; the body stays buffered until then.
 			continue
 		}
 		if p, ok := b.pb[d.ID]; ok {

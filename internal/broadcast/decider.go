@@ -31,10 +31,11 @@ func (b *Broadcast) BuildDecision(now model.Time, group model.Group, alive []mod
 	b.lastDecTS = now
 	b.syncSettledTimeTS()
 	dec := &wire.Decision{
-		Header: wire.Header{From: b.self, SendTS: now},
-		Group:  group.Clone(),
-		OAL:    *b.view.Clone(),
-		Alive:  slices.Clone(alive),
+		Header:  wire.Header{From: b.self, SendTS: now},
+		Group:   group.Clone(),
+		OAL:     *b.view.Clone(),
+		Alive:   slices.Clone(alive),
+		Lineage: b.lineage,
 	}
 	b.tryDeliver(now)
 	return dec, missing
@@ -414,7 +415,14 @@ func (b *Broadcast) hasUndeliverableDependency(d *oal.Descriptor) bool {
 // member: application snapshot, which retained updates that snapshot
 // already covers, per-proposer ordering cursors, and the pending bodies
 // the joiner may lack.
-func (b *Broadcast) BuildState(now model.Time) *wire.State {
+//
+// joinerCovered and joinerLineage are what the joiner advertised in its
+// join message. When the joiner's coverage belongs to this lineage and
+// this process's durable log reaches back that far, the transfer is a
+// delta: no application snapshot, just a replay of the deliveries the
+// joiner missed. A zero joinerCovered (or a lineage mismatch, or no
+// durable log) always yields a full transfer.
+func (b *Broadcast) BuildState(now model.Time, joinerCovered oal.Ordinal, joinerLineage model.GroupSeq) *wire.State {
 	covered := b.view.HighestOrdinal()
 	if len(b.view.Entries) > 0 {
 		covered = b.view.Entries[0].Ordinal - 1
@@ -422,9 +430,26 @@ func (b *Broadcast) BuildState(now model.Time) *wire.State {
 	st := &wire.State{
 		Header:         wire.Header{From: b.self, SendTS: now},
 		GroupSeq:       b.group.Seq,
-		AppState:       b.cfg.Snapshot(),
 		CoveredOrdinal: covered,
 		SettledTimeTS:  b.maxSettledTimeTS,
+	}
+	delta := false
+	if b.cfg.ReplaySince != nil && b.lineage != 0 &&
+		joinerLineage == b.lineage && joinerCovered > 0 {
+		if replay, ok := b.cfg.ReplaySince(joinerCovered); ok {
+			st.NoAppState = true
+			st.Replay = replay
+			// The replay brings the joiner's application state up to this
+			// process's full delivery state, so it covers our contiguous
+			// coverage — not just the truncation point above.
+			st.CoveredOrdinal = b.CoveredOrdinal()
+			delta = true
+			b.stats.StateDeltas++
+		}
+	}
+	if !delta {
+		st.AppState = b.cfg.Snapshot()
+		b.stats.StateFulls++
 	}
 	for i := range b.view.Entries {
 		d := &b.view.Entries[i]
@@ -455,10 +480,37 @@ func (b *Broadcast) BuildState(now model.Time) *wire.State {
 }
 
 // ApplyState installs a transferred state at a joining member: the
-// application snapshot, the delivered set (so covered updates are not
+// application snapshot (or, for a delta transfer, the replayed
+// deliveries), the delivered set (so covered updates are not
 // re-delivered), ordering cursors, and pending bodies.
 func (b *Broadcast) ApplyState(now model.Time, st *wire.State) {
-	b.cfg.Install(st.AppState)
+	if st.NoAppState {
+		// Delta transfer: apply the missed deliveries on top of our
+		// recovered application state, in the sender's delivery order.
+		// The duplicate checks run against our coverage *before* this
+		// transfer raises it, so nothing replayed is suppressed by its
+		// own transfer.
+		for i := range st.Replay {
+			e := &st.Replay[i]
+			if b.delivered[e.ID] {
+				continue
+			}
+			if e.Ordinal != oal.None && e.Ordinal <= b.snapshotCovered {
+				b.delivered[e.ID] = true
+				continue
+			}
+			b.delivered[e.ID] = true
+			b.stats.Delivered++
+			b.stats.ReplayApplied++
+			b.cfg.OnDeliver(Delivery{
+				ID:      e.ID,
+				Payload: slices.Clone(e.Payload),
+				Ordinal: e.Ordinal,
+				Sem:     e.Sem,
+				SendTS:  e.SendTS,
+			})
+		}
+	}
 	if st.CoveredOrdinal > b.snapshotCovered {
 		b.snapshotCovered = st.CoveredOrdinal
 	}
@@ -476,7 +528,17 @@ func (b *Broadcast) ApplyState(now model.Time, st *wire.State) {
 			b.nextSeq = f.Seq
 		}
 	}
+	if !st.NoAppState {
+		// Install last, after the coverage and delivered-set bookkeeping:
+		// a durable node snapshots from inside its install hook, and the
+		// snapshot metadata must describe the installed state.
+		b.cfg.Install(st.AppState)
+	}
+	// The transfer this state represents has landed: resume application
+	// hand-off and flush anything adopted while deliveries were deferred.
+	b.deferApp = false
 	for i := range st.Pending {
 		b.OnProposal(now, &st.Pending[i])
 	}
+	b.tryDeliver(now)
 }

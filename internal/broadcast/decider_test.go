@@ -288,7 +288,7 @@ func TestStateTransferRoundTrip(t *testing.T) {
 	_ = dec
 	pending := sender.Propose(300, []byte("pending"), sem(oal.TotalOrder, oal.WeakAtomicity))
 
-	st := sender.BuildState(400)
+	st := sender.BuildState(400, 0, 0)
 	if string(st.AppState) != "app-state-v7" {
 		t.Fatalf("app state: %q", st.AppState)
 	}
@@ -329,7 +329,7 @@ func TestStateTransferCodecRoundTrip(t *testing.T) {
 	sender := New(0, params, Config{Snapshot: func() []byte { return []byte("s") }})
 	sender.SetGroup(g)
 	sender.Propose(100, []byte("x"), sem(oal.Unordered, oal.WeakAtomicity))
-	st := sender.BuildState(200)
+	st := sender.BuildState(200, 0, 0)
 	decoded, err := wire.Decode(wire.Encode(st))
 	if err != nil {
 		t.Fatalf("codec: %v", err)

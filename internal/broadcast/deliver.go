@@ -13,9 +13,19 @@ import (
 // application. It loops to a fixpoint because one delivery can unblock
 // others (ordering chains, FIFO).
 func (b *Broadcast) tryDeliver(now model.Time) {
+	if b.deferApp {
+		return
+	}
 	b.deliverFast(now)
 	for b.deliverOrderedPass(now) {
 	}
+}
+
+// DeferDeliveries toggles join-time delivery deferral (see the deferApp
+// field). member.Machine sets it when entering the join state with
+// recovered coverage to advertise; ApplyState clears it.
+func (b *Broadcast) DeferDeliveries(on bool) {
+	b.deferApp = on
 }
 
 // deliverFast is the weak/unordered fast path: such updates are delivered

@@ -1,0 +1,263 @@
+// Package durable is the crash-recovery subsystem: a segmented,
+// CRC-framed append-only write-ahead log plus atomic snapshot files.
+//
+// A timewheel process with a data directory appends every delivered
+// update and every installed view to the log at delivery time, and
+// periodically writes a snapshot of the application state. After a
+// crash (including kill -9), Open replays the newest valid snapshot
+// plus the log tail, so the process rejoins the group warm and only
+// fetches the delta of updates it missed — falling back to a full
+// network state transfer when the log is stale, torn, or corrupt.
+//
+// On-disk layout (all files live directly in the data directory):
+//
+//	wal-<first index, %016x>.seg   log segments, rotated by size
+//	snap-<last index, %016x>.snap  snapshots, written atomically
+//
+// Every record — log records and the snapshot body alike — is framed
+// as
+//
+//	u32 length | u32 CRC-32C(body) | body
+//
+// with little-endian integers, and every body starts with a format
+// version byte and a kind byte. See docs/PERSISTENCE.md for the full
+// format and the recovery algorithm.
+package durable
+
+import (
+	"errors"
+	"time"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncBatched syncs at most once per BatchInterval (checked on
+	// append) and on rotation, snapshot and Close. One interval of
+	// acknowledged deliveries may be lost on a crash; recovery then
+	// fetches them as part of the rejoin delta. This is the default.
+	FsyncBatched FsyncPolicy = iota
+	// FsyncAlways syncs after every append.
+	FsyncAlways
+	// FsyncNone never syncs explicitly (the OS flushes eventually).
+	FsyncNone
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return "batched"
+	}
+}
+
+// ParseFsyncPolicy maps the -fsync flag spellings to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batched", "":
+		return FsyncBatched, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return FsyncBatched, errors.New("durable: unknown fsync policy " + s)
+}
+
+// Options configures a store.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// Policy is the fsync policy (default FsyncBatched).
+	Policy FsyncPolicy
+	// BatchInterval is the FsyncBatched window (default 50ms).
+	BatchInterval time.Duration
+	// SegmentBytes rotates the log when the active segment exceeds it
+	// (default 1 MiB).
+	SegmentBytes int64
+	// TailKeep bounds the in-memory replay tail: the most recent
+	// TailKeep update records stay servable as a rejoin delta,
+	// independent of how often this process snapshots (default 1024).
+	TailKeep int
+}
+
+// DefaultTailKeep is the replay-tail retention applied when
+// Options.TailKeep is zero.
+const DefaultTailKeep = 1024
+
+func (o Options) withDefaults() Options {
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// UpdateRecord is one delivered update.
+type UpdateRecord struct {
+	ID      oal.ProposalID
+	Ordinal oal.Ordinal // oal.None for fast-path (dpd) deliveries
+	Sem     oal.Semantics
+	SendTS  model.Time
+	Payload []byte
+}
+
+// ViewRecord is one installed membership view. Membership descriptors
+// occupy ordinals in the oal, so the record carries the descriptor's
+// ordinal: recovery needs it to compute the contiguous coverage the
+// process can advertise when rejoining.
+type ViewRecord struct {
+	Seq     model.GroupSeq
+	Members []model.ProcessID
+	Ordinal oal.Ordinal
+	Lineage model.GroupSeq
+}
+
+// FIFOCursor is one proposer's next-expected FIFO sequence number.
+type FIFOCursor struct {
+	Proposer model.ProcessID
+	Next     uint64
+}
+
+// ExtraEntry identifies an update delivered beyond the snapshot's
+// contiguous coverage (a delivery past a gap, or a fast-path delivery,
+// recorded with ordinal oal.None). Its payload is folded into the
+// snapshot's application state; only the identity is kept, so a
+// restarted process never re-applies it.
+type ExtraEntry struct {
+	ID      oal.ProposalID
+	Ordinal oal.Ordinal
+}
+
+// SnapshotMeta is the protocol state stored alongside the application
+// snapshot.
+type SnapshotMeta struct {
+	// Lineage is the ordinal space the coverage belongs to: the group
+	// sequence number of the formation that started it. Ordinals restart
+	// at 1 on every group formation, so coverage from one lineage must
+	// never be compared against ordinals from another.
+	Lineage model.GroupSeq
+	// Covered is the contiguous prefix of ordinals the application
+	// state provably includes.
+	Covered oal.Ordinal
+	// SettledTS is the broadcast layer's high-water settled timestamp.
+	SettledTS model.Time
+	// Extra lists deliveries beyond Covered folded into the state.
+	Extra []ExtraEntry
+	// FIFO holds the per-proposer FIFO cursors.
+	FIFO []FIFOCursor
+}
+
+// Recovery is what Open reconstructed from disk.
+type Recovery struct {
+	// HaveSnapshot reports whether a valid snapshot was loaded.
+	HaveSnapshot bool
+	// Meta is the loaded snapshot's protocol state (zero value without
+	// a snapshot).
+	Meta SnapshotMeta
+	// AppState is the loaded snapshot's application state.
+	AppState []byte
+	// Updates and Views are the valid log records after the snapshot,
+	// in append order.
+	Updates []UpdateRecord
+	Views   []ViewRecord
+	// TornTail reports that the final record was incomplete (the
+	// expected shape after a crash mid-append) and was truncated away.
+	TornTail bool
+	// Discarded collects human-readable notes about data that failed
+	// validation (corrupt snapshots, mid-log corruption, version
+	// mismatches). Empty means a fully clean recovery.
+	Discarded []string
+}
+
+// Empty reports whether recovery found nothing usable.
+func (r *Recovery) Empty() bool {
+	return !r.HaveSnapshot && len(r.Updates) == 0 && len(r.Views) == 0
+}
+
+// AdvertisedCoverage returns the contiguous ordinal prefix the
+// recovered state provably includes: the snapshot coverage extended
+// over the recovered log records (updates, view descriptors) and the
+// snapshot's extra entries. A rejoining process advertises this so the
+// decider can serve it a delta instead of a full state transfer.
+//
+// When the log spans a lineage boundary (the process crashed after a
+// group formation restarted the ordinal space but before the next
+// snapshot), post-boundary ordinals are incomparable with the
+// snapshot's, so only the snapshot's own coverage and extras count —
+// the conservative claim degrades to a full transfer, never to a delta
+// over the wrong base.
+func (r *Recovery) AdvertisedCoverage() oal.Ordinal {
+	have := make(map[oal.Ordinal]bool)
+	for _, e := range r.Meta.Extra {
+		if e.Ordinal != oal.None {
+			have[e.Ordinal] = true
+		}
+	}
+	if !r.mixedLineage() {
+		for _, u := range r.Updates {
+			if u.Ordinal != oal.None {
+				have[u.Ordinal] = true
+			}
+		}
+		for _, v := range r.Views {
+			if v.Ordinal != oal.None {
+				have[v.Ordinal] = true
+			}
+		}
+	}
+	c := r.Meta.Covered
+	for have[c+1] {
+		c++
+	}
+	return c
+}
+
+// mixedLineage reports whether the recovered log contains view records
+// from a lineage other than the recovery's base lineage.
+func (r *Recovery) mixedLineage() bool {
+	lin := r.Lineage()
+	for _, v := range r.Views {
+		if v.Lineage != lin {
+			return true
+		}
+	}
+	return false
+}
+
+// DeliveredIDs returns every update identity the recovered state has
+// applied (snapshot extras plus logged updates). The rejoining process
+// seeds its delivered set with these so a replayed or retransmitted
+// update is never applied twice.
+func (r *Recovery) DeliveredIDs() []oal.ProposalID {
+	out := make([]oal.ProposalID, 0, len(r.Meta.Extra)+len(r.Updates))
+	for _, e := range r.Meta.Extra {
+		out = append(out, e.ID)
+	}
+	for _, u := range r.Updates {
+		out = append(out, u.ID)
+	}
+	return out
+}
+
+// Lineage returns the lineage of the recovered application state's
+// base: the snapshot's when one was loaded (the base IS the snapshot),
+// else the first recovered view's (a founding member that never
+// snapshotted rebuilt its state from scratch within that lineage).
+// Never the last view's — a lineage boundary in the log changes the
+// ordinal space but not the base the coverage claim is about.
+func (r *Recovery) Lineage() model.GroupSeq {
+	if r.HaveSnapshot || len(r.Views) == 0 {
+		return r.Meta.Lineage
+	}
+	return r.Views[0].Lineage
+}

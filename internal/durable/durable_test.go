@@ -1,0 +1,403 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+func mustOpen(t *testing.T, opts Options) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+func upd(proposer int, seq uint64, ord oal.Ordinal, payload string) UpdateRecord {
+	return UpdateRecord{
+		ID:      oal.ProposalID{Proposer: model.ProcessID(proposer), Seq: seq},
+		Ordinal: ord,
+		Sem:     oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+		SendTS:  model.Time(1000 + int64(seq)),
+		Payload: []byte(payload),
+	}
+}
+
+func TestRoundTripEmptyDir(t *testing.T) {
+	s, rec := mustOpen(t, Options{Dir: t.TempDir()})
+	defer s.Close()
+	if !rec.Empty() || rec.TornTail || len(rec.Discarded) != 0 {
+		t.Fatalf("fresh dir should recover empty: %+v", rec)
+	}
+}
+
+func TestRoundTripUpdatesAndViews(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncAlways})
+	want := []UpdateRecord{upd(0, 1, 1, "a"), upd(1, 1, 2, "b"), upd(0, 2, oal.None, "fast")}
+	for _, u := range want {
+		if err := s.AppendUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := ViewRecord{Seq: 7, Members: []model.ProcessID{0, 1, 2}, Ordinal: 3, Lineage: 7}
+	if err := s.AppendView(view); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, Options{Dir: dir})
+	defer s2.Close()
+	if len(rec.Discarded) != 0 || rec.TornTail {
+		t.Fatalf("clean log flagged: %+v", rec.Discarded)
+	}
+	if len(rec.Updates) != len(want) {
+		t.Fatalf("got %d updates, want %d", len(rec.Updates), len(want))
+	}
+	for i, u := range rec.Updates {
+		if u.ID != want[i].ID || u.Ordinal != want[i].Ordinal ||
+			u.Sem != want[i].Sem || u.SendTS != want[i].SendTS ||
+			string(u.Payload) != string(want[i].Payload) {
+			t.Fatalf("update %d: got %+v want %+v", i, u, want[i])
+		}
+	}
+	if len(rec.Views) != 1 || rec.Views[0].Seq != 7 || rec.Views[0].Ordinal != 3 ||
+		len(rec.Views[0].Members) != 3 || rec.Lineage() != 7 {
+		t.Fatalf("view round-trip: %+v", rec.Views)
+	}
+	// Coverage: ordinals 1,2 from updates, 3 from the view descriptor.
+	if c := rec.AdvertisedCoverage(); c != 3 {
+		t.Fatalf("advertised coverage = %d, want 3", c)
+	}
+	if n := len(rec.DeliveredIDs()); n != 3 {
+		t.Fatalf("delivered ids = %d, want 3", n)
+	}
+}
+
+func TestSnapshotRoundTripAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncAlways})
+	for i := 1; i <= 5; i++ {
+		if err := s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := SnapshotMeta{
+		Lineage:   42,
+		Covered:   5,
+		SettledTS: 99,
+		Extra:     []ExtraEntry{{ID: oal.ProposalID{Proposer: 1, Seq: 9}, Ordinal: oal.None}},
+		FIFO:      []FIFOCursor{{Proposer: 0, Next: 6}},
+	}
+	if err := s.WriteSnapshot(meta, []byte("app-state")); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot records survive alongside it.
+	if err := s.AppendUpdate(upd(1, 1, 6, "post")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec := mustOpen(t, Options{Dir: dir})
+	defer s2.Close()
+	if !rec.HaveSnapshot {
+		t.Fatalf("snapshot not recovered: %+v", rec.Discarded)
+	}
+	if rec.Meta.Lineage != 42 || rec.Meta.Covered != 5 || rec.Meta.SettledTS != 99 ||
+		len(rec.Meta.Extra) != 1 || len(rec.Meta.FIFO) != 1 || string(rec.AppState) != "app-state" {
+		t.Fatalf("snapshot meta round-trip: %+v", rec.Meta)
+	}
+	// The five pre-snapshot updates must be truncated away.
+	if len(rec.Updates) != 1 || string(rec.Updates[0].Payload) != "post" {
+		t.Fatalf("log not truncated to post-snapshot records: %+v", rec.Updates)
+	}
+	if c := rec.AdvertisedCoverage(); c != 6 {
+		t.Fatalf("advertised coverage = %d, want 6", c)
+	}
+}
+
+func TestRotationKeepsAllRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 128, Policy: FsyncNone})
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if err := s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), strings.Repeat("p", 20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(files) < 3 {
+		t.Fatalf("expected several segments, got %v", files)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if len(rec.Updates) != n || len(rec.Discarded) != 0 {
+		t.Fatalf("recovered %d/%d updates (%v)", len(rec.Updates), n, rec.Discarded)
+	}
+}
+
+// lastSegment returns the path of the newest log segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(files) == 0 {
+		t.Fatal("no segments")
+	}
+	last := files[0]
+	for _, f := range files {
+		if f > last {
+			last = f
+		}
+	}
+	return last
+}
+
+func writeLog(t *testing.T, dir string, n int) {
+	t.Helper()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncAlways})
+	for i := 1; i <= n; i++ {
+		if err := s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), "payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+}
+
+func TestTornFinalRecordIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 4)
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last record mid-frame: a crash during the final append.
+	if err := os.WriteFile(seg, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rec := mustOpen(t, Options{Dir: dir})
+	defer s.Close()
+	if !rec.TornTail {
+		t.Fatalf("torn tail not detected: %+v", rec)
+	}
+	if len(rec.Updates) != 3 {
+		t.Fatalf("want the 3 intact records, got %d", len(rec.Updates))
+	}
+	// The repair must stick: a second recovery is clean.
+	s.Close()
+	_, rec2 := mustOpen(t, Options{Dir: dir})
+	if rec2.TornTail || len(rec2.Updates) != 3 {
+		t.Fatalf("repair did not persist: %+v", rec2)
+	}
+}
+
+func TestCorruptCRCDiscardsFromThatPoint(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 4)
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the second record. Record boundaries:
+	// walk the frames.
+	off := 0
+	n, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off += n
+	raw[off+frameHeaderLen+3] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if len(rec.Updates) != 1 {
+		t.Fatalf("want only the record before the corruption, got %d", len(rec.Updates))
+	}
+	if len(rec.Discarded) == 0 {
+		t.Fatal("corruption not reported")
+	}
+	if rec.TornTail {
+		t.Fatal("CRC corruption must not be classified as a torn tail")
+	}
+}
+
+func TestVersionMismatchFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncAlways})
+	s.AppendUpdate(upd(0, 1, 1, "a")) //nolint:errcheck
+	if err := s.WriteSnapshot(SnapshotMeta{Lineage: 1, Covered: 1}, []byte("st")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Bump the version byte inside the snapshot body and refresh the
+	// CRC so only the version check can reject it.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %v", snaps)
+	}
+	raw, _ := os.ReadFile(snaps[0])
+	body := append([]byte(nil), raw[frameHeaderLen:]...)
+	body[0] = Version + 1
+	if err := os.WriteFile(snaps[0], frame(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if rec.HaveSnapshot {
+		t.Fatal("version-mismatched snapshot was accepted")
+	}
+	found := false
+	for _, d := range rec.Discarded {
+		if strings.Contains(d, "version") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("version mismatch not reported: %v", rec.Discarded)
+	}
+}
+
+func TestMarkerWithoutSnapshotDiscardsAll(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncAlways})
+	s.AppendUpdate(upd(0, 1, 1, "a")) //nolint:errcheck
+	if err := s.WriteSnapshot(SnapshotMeta{Lineage: 1, Covered: 1}, []byte("st")); err != nil {
+		t.Fatal(err)
+	}
+	s.AppendUpdate(upd(0, 2, 2, "b")) //nolint:errcheck
+	s.Close()
+	// Delete the snapshot file: the marker now points at nothing, and
+	// the pre-snapshot records are already truncated away.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	for _, p := range snaps {
+		os.Remove(p)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if !rec.Empty() {
+		t.Fatalf("marker without snapshot must force a full transfer: %+v", rec)
+	}
+	if len(rec.Discarded) == 0 {
+		t.Fatal("missing snapshot not reported")
+	}
+}
+
+func TestReplaySince(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncNone})
+	defer s.Close()
+	for i := 1; i <= 6; i++ {
+		s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), "x")) //nolint:errcheck
+	}
+	got, ok := s.ReplaySince(4)
+	if !ok || len(got) != 2 || got[0].Ordinal != 5 || got[1].Ordinal != 6 {
+		t.Fatalf("ReplaySince(4) = %v, %v", got, ok)
+	}
+	if err := s.WriteSnapshot(SnapshotMeta{Covered: 4}, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	// Retention is count-based (TailKeep), not snapshot-driven: the
+	// snapshot leaves the servable window untouched, so a member that
+	// went down well before it can still fetch a delta.
+	if got, ok := s.ReplaySince(2); !ok || len(got) != 4 {
+		t.Fatalf("ReplaySince(2) after snapshot = %v, %v", got, ok)
+	}
+}
+
+func TestReplayTailKeepBound(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: dir, Policy: FsyncNone, TailKeep: 3})
+	defer s.Close()
+	for i := 1; i <= 6; i++ {
+		s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), "x")) //nolint:errcheck
+	}
+	// Only the most recent 3 updates are retained; the floor rose to
+	// the highest pruned ordinal.
+	if f := s.TailFloor(); f != 3 {
+		t.Fatalf("tail floor = %d, want 3", f)
+	}
+	if _, ok := s.ReplaySince(2); ok {
+		t.Fatal("ReplaySince below the pruned floor must fail")
+	}
+	got, ok := s.ReplaySince(3)
+	if !ok || len(got) != 3 || got[0].Ordinal != 4 {
+		t.Fatalf("ReplaySince(3) = %v, %v", got, ok)
+	}
+}
+
+func TestReplayTailSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 5)
+	s, _ := mustOpen(t, Options{Dir: dir})
+	defer s.Close()
+	got, ok := s.ReplaySince(2)
+	if !ok || len(got) != 3 {
+		t.Fatalf("reopened tail: %v, %v", got, ok)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncBatched, FsyncNone} {
+		dir := t.TempDir()
+		s, _ := mustOpen(t, Options{Dir: dir, Policy: pol})
+		for i := 1; i <= 3; i++ {
+			if err := s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), "x")); err != nil {
+				t.Fatalf("%v: %v", pol, err)
+			}
+		}
+		st := s.Stats()
+		if pol == FsyncAlways && st.Syncs < 3 {
+			t.Fatalf("always: %d syncs", st.Syncs)
+		}
+		s.Close()
+		_, rec := mustOpen(t, Options{Dir: dir})
+		if len(rec.Updates) != 3 {
+			t.Fatalf("%v: recovered %d", pol, len(rec.Updates))
+		}
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "batched": FsyncBatched, "none": FsyncNone, "": FsyncBatched,
+	} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("wat"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestAdvertisedCoverageStopsAtGap(t *testing.T) {
+	rec := &Recovery{
+		Meta: SnapshotMeta{Covered: 2},
+		Updates: []UpdateRecord{
+			upd(0, 1, 3, "a"), upd(0, 2, 5, "gap"), // 4 missing
+		},
+	}
+	if c := rec.AdvertisedCoverage(); c != 3 {
+		t.Fatalf("coverage = %d, want 3 (stop at the gap)", c)
+	}
+}
+
+func TestClosedStoreRejectsAppends(t *testing.T) {
+	s, _ := mustOpen(t, Options{Dir: t.TempDir()})
+	s.Close()
+	if err := s.AppendUpdate(upd(0, 1, 1, "x")); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}

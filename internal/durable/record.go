@@ -1,0 +1,328 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// Version is the durable record format version. A bump invalidates
+// existing data directories: recovery treats older versions as
+// corrupt and falls back to a full network state transfer.
+const Version = 1
+
+// Record kinds. The snapshot kind only ever appears as the single
+// framed body of a snap-*.snap file; the others are log records.
+const (
+	kindUpdate   = 1 // one delivered update
+	kindView     = 2 // one installed membership view
+	kindSnapMark = 3 // marker: a snapshot through index N was written
+	kindSnapshot = 4 // snapshot file body
+)
+
+// frameHeaderLen is u32 length + u32 CRC.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single record body (frames claiming more are
+// treated as corruption, not as gigantic allocations).
+const maxRecordBytes = 1 << 26
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors (also produced, wrapped, during recovery scans).
+var (
+	ErrTruncated  = errors.New("durable: truncated record")
+	ErrBadCRC     = errors.New("durable: CRC mismatch")
+	ErrBadVersion = errors.New("durable: unknown format version")
+	ErrBadKind    = errors.New("durable: unknown record kind")
+	ErrCorrupt    = errors.New("durable: corrupt record")
+)
+
+// record is one decoded log record.
+type record struct {
+	kind    int
+	index   uint64
+	update  UpdateRecord   // kind == kindUpdate
+	view    ViewRecord     // kind == kindView
+	snapTo  uint64         // kind == kindSnapMark: snapshot covers indexes <= snapTo
+	lineage model.GroupSeq // kind == kindSnapMark
+}
+
+// --- encoding ----------------------------------------------------------------
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// frame wraps body as `u32 len | u32 crc | body` and returns the full
+// frame.
+func frame(body []byte) []byte {
+	out := make([]byte, frameHeaderLen, frameHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+func encodeUpdate(index uint64, u UpdateRecord) []byte {
+	e := &encoder{}
+	e.u8(Version)
+	e.u8(kindUpdate)
+	e.u64(index)
+	e.u64(uint64(u.ID.Proposer))
+	e.u64(u.ID.Seq)
+	e.u64(uint64(u.Ordinal))
+	e.u8(uint8(u.Sem.Order))
+	e.u8(uint8(u.Sem.Atomicity))
+	e.i64(int64(u.SendTS))
+	e.bytes(u.Payload)
+	return frame(e.buf)
+}
+
+func encodeView(index uint64, v ViewRecord) []byte {
+	e := &encoder{}
+	e.u8(Version)
+	e.u8(kindView)
+	e.u64(index)
+	e.u64(uint64(v.Seq))
+	e.u64(uint64(v.Lineage))
+	e.u64(uint64(v.Ordinal))
+	e.u32(uint32(len(v.Members)))
+	for _, m := range v.Members {
+		e.u64(uint64(m))
+	}
+	return frame(e.buf)
+}
+
+func encodeSnapMark(index, snapTo uint64, lineage model.GroupSeq) []byte {
+	e := &encoder{}
+	e.u8(Version)
+	e.u8(kindSnapMark)
+	e.u64(index)
+	e.u64(snapTo)
+	e.u64(uint64(lineage))
+	return frame(e.buf)
+}
+
+func encodeSnapshot(index uint64, meta SnapshotMeta, appState []byte) []byte {
+	e := &encoder{}
+	e.u8(Version)
+	e.u8(kindSnapshot)
+	e.u64(index)
+	e.u64(uint64(meta.Lineage))
+	e.u64(uint64(meta.Covered))
+	e.i64(int64(meta.SettledTS))
+	e.u32(uint32(len(meta.Extra)))
+	for _, x := range meta.Extra {
+		e.u64(uint64(x.ID.Proposer))
+		e.u64(x.ID.Seq)
+		e.u64(uint64(x.Ordinal))
+	}
+	e.u32(uint32(len(meta.FIFO)))
+	for _, f := range meta.FIFO {
+		e.u64(uint64(f.Proposer))
+		e.u64(f.Next)
+	}
+	e.bytes(appState)
+	return frame(e.buf)
+}
+
+// --- decoding ----------------------------------------------------------------
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > maxRecordBytes || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	out := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return out
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// decodeBody decodes a verified frame body into a record (log kinds
+// only).
+func decodeBody(body []byte) (record, error) {
+	d := &decoder{buf: body}
+	if v := d.u8(); d.err == nil && v != Version {
+		return record{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	kind := int(d.u8())
+	r := record{kind: kind, index: d.u64()}
+	if d.err == nil && r.index == 0 {
+		return record{}, fmt.Errorf("%w: record index 0", ErrCorrupt)
+	}
+	switch kind {
+	case kindUpdate:
+		r.update.ID.Proposer = model.ProcessID(d.u64())
+		r.update.ID.Seq = d.u64()
+		r.update.Ordinal = oal.Ordinal(d.u64())
+		r.update.Sem.Order = oal.Order(d.u8())
+		r.update.Sem.Atomicity = oal.Atomicity(d.u8())
+		r.update.SendTS = model.Time(d.i64())
+		r.update.Payload = d.bytes()
+	case kindView:
+		r.view.Seq = model.GroupSeq(d.u64())
+		r.view.Lineage = model.GroupSeq(d.u64())
+		r.view.Ordinal = oal.Ordinal(d.u64())
+		n := int(d.u32())
+		if d.err == nil && (n < 0 || n > maxRecordBytes/8) {
+			return record{}, ErrTruncated
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			r.view.Members = append(r.view.Members, model.ProcessID(d.u64()))
+		}
+	case kindSnapMark:
+		r.snapTo = d.u64()
+		r.lineage = model.GroupSeq(d.u64())
+	default:
+		if d.err == nil {
+			return record{}, fmt.Errorf("%w: %d", ErrBadKind, kind)
+		}
+	}
+	if err := d.done(); err != nil {
+		return record{}, err
+	}
+	return r, nil
+}
+
+// decodeSnapshotBody decodes a verified snapshot-file body.
+func decodeSnapshotBody(body []byte) (index uint64, meta SnapshotMeta, appState []byte, err error) {
+	d := &decoder{buf: body}
+	if v := d.u8(); d.err == nil && v != Version {
+		return 0, meta, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if k := d.u8(); d.err == nil && k != kindSnapshot {
+		return 0, meta, nil, fmt.Errorf("%w: %d", ErrBadKind, k)
+	}
+	index = d.u64()
+	meta.Lineage = model.GroupSeq(d.u64())
+	meta.Covered = oal.Ordinal(d.u64())
+	meta.SettledTS = model.Time(d.i64())
+	nx := int(d.u32())
+	if d.err == nil && (nx < 0 || nx > maxRecordBytes/24) {
+		return 0, meta, nil, ErrTruncated
+	}
+	for i := 0; i < nx && d.err == nil; i++ {
+		var x ExtraEntry
+		x.ID.Proposer = model.ProcessID(d.u64())
+		x.ID.Seq = d.u64()
+		x.Ordinal = oal.Ordinal(d.u64())
+		meta.Extra = append(meta.Extra, x)
+	}
+	nf := int(d.u32())
+	if d.err == nil && (nf < 0 || nf > maxRecordBytes/16) {
+		return 0, meta, nil, ErrTruncated
+	}
+	for i := 0; i < nf && d.err == nil; i++ {
+		var f FIFOCursor
+		f.Proposer = model.ProcessID(d.u64())
+		f.Next = d.u64()
+		meta.FIFO = append(meta.FIFO, f)
+	}
+	appState = d.bytes()
+	if err := d.done(); err != nil {
+		return 0, meta, nil, err
+	}
+	return index, meta, appState, nil
+}
+
+// DecodeFrame verifies and decodes one framed record from buf,
+// returning the decoded record and the number of bytes consumed. It is
+// exported for the fuzz harness; the store's recovery scan uses the
+// same checks. The error is ErrTruncated when buf ends mid-frame (the
+// torn-tail case), ErrBadCRC / ErrBadVersion / ErrBadKind otherwise.
+func DecodeFrame(buf []byte) (n int, err error) {
+	body, n, err := splitFrame(buf)
+	if err != nil {
+		return n, err
+	}
+	if _, err := decodeBody(body); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// splitFrame validates the frame header and CRC and returns the body.
+func splitFrame(buf []byte) (body []byte, n int, err error) {
+	if len(buf) < frameHeaderLen {
+		return nil, 0, ErrTruncated
+	}
+	ln := binary.LittleEndian.Uint32(buf[0:4])
+	if ln > maxRecordBytes {
+		return nil, 0, fmt.Errorf("%w: frame length %d", ErrCorrupt, ln)
+	}
+	if len(buf) < frameHeaderLen+int(ln) {
+		return nil, 0, ErrTruncated
+	}
+	body = buf[frameHeaderLen : frameHeaderLen+int(ln)]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, 0, ErrBadCRC
+	}
+	return body, frameHeaderLen + int(ln), nil
+}

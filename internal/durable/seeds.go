@@ -1,0 +1,32 @@
+package durable
+
+import (
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// FuzzSeedFrames returns one valid frame of every durable record kind
+// plus the hostile shapes recovery must survive — a truncated tail and
+// a corrupt-CRC frame. It seeds both this package's fuzz targets and
+// the wire codec's FuzzDecode (which must reject durable frames
+// cleanly).
+func FuzzSeedFrames() [][]byte {
+	u := encodeUpdate(1, UpdateRecord{
+		ID:      oal.ProposalID{Proposer: 2, Seq: 9},
+		Ordinal: 5,
+		Sem:     oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+		SendTS:  12345,
+		Payload: []byte("payload"),
+	})
+	v := encodeView(2, ViewRecord{Seq: 3, Members: []model.ProcessID{0, 1, 2}, Ordinal: 6, Lineage: 3})
+	m := encodeSnapMark(3, 2, 3)
+	s := encodeSnapshot(4, SnapshotMeta{
+		Lineage: 3, Covered: 6, SettledTS: 77,
+		Extra: []ExtraEntry{{ID: oal.ProposalID{Proposer: 1, Seq: 4}, Ordinal: 7}},
+		FIFO:  []FIFOCursor{{Proposer: 0, Next: 2}},
+	}, []byte("app"))
+	torn := append([]byte(nil), u[:len(u)-3]...)
+	bad := append([]byte(nil), v...)
+	bad[len(bad)-1] ^= 0xff
+	return [][]byte{u, v, m, s, torn, bad}
+}

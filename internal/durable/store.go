@@ -1,0 +1,535 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"timewheel/internal/oal"
+)
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(first uint64) string  { return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix) }
+func snapName(index uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, index, snapSuffix) }
+
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	return v, err == nil
+}
+
+// Store is an open durable-state directory: the active log segment
+// plus the in-memory replay tail used to serve rejoin deltas. Methods
+// are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+
+	seg      *os.File
+	segSize  int64
+	next     uint64 // index of the next record to append
+	lastSync time.Time
+	closed   bool
+
+	// tail holds every appended update with ordinal > tailFloor (plus
+	// fast-path deliveries since the floor was set), in append order —
+	// the source for ReplaySince.
+	tail      []UpdateRecord
+	tailFloor oal.Ordinal
+
+	// Stats.
+	appends   uint64
+	syncs     uint64
+	snapshots uint64
+}
+
+// Stats are cumulative store counters.
+type Stats struct {
+	Appends   uint64
+	Syncs     uint64
+	Snapshots uint64
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Appends: s.appends, Syncs: s.syncs, Snapshots: s.snapshots}
+}
+
+// Open opens (creating if needed) the data directory, recovers the
+// newest valid snapshot plus the log tail, repairs the log on disk
+// (truncating a torn final record, deleting segments past a corruption
+// point), and starts a fresh active segment. The returned Recovery is
+// never nil.
+func Open(opts Options) (*Store, *Recovery, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("durable: Options.Dir must be set")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if opts.TailKeep <= 0 {
+		opts.TailKeep = DefaultTailKeep
+	}
+	s := &Store{opts: opts, lastSync: time.Now()}
+	rec, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Seed the replay tail. Snapshot extras are deliveries whose
+	// payloads live only inside the snapshot's app state, so the floor
+	// must rise past them: a joiner older than that hole needs a full
+	// transfer.
+	s.tailFloor = rec.Meta.Covered
+	for _, x := range rec.Meta.Extra {
+		if x.Ordinal > s.tailFloor {
+			s.tailFloor = x.Ordinal
+		}
+	}
+	s.pruneTail()
+	for _, u := range rec.Updates {
+		if u.Ordinal == oal.None || u.Ordinal > s.tailFloor {
+			s.tail = append(s.tail, u)
+		}
+	}
+	if err := s.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+// recover scans the directory, fills in s.next, and returns what was
+// reconstructed. It repairs the on-disk log as a side effect.
+func (s *Store) recover() (*Recovery, error) {
+	rec := &Recovery{}
+	names, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs, snaps []uint64
+	for _, de := range names {
+		if v, ok := parseName(de.Name(), segPrefix, segSuffix); ok {
+			segs = append(segs, v)
+		} else if v, ok := parseName(de.Name(), snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, v)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+
+	// Newest decodable snapshot wins.
+	var snapIndex uint64
+	for _, v := range snaps {
+		raw, err := os.ReadFile(filepath.Join(s.opts.Dir, snapName(v)))
+		if err != nil {
+			rec.note("snapshot %016x: %v", v, err)
+			continue
+		}
+		body, _, err := splitFrame(raw)
+		if err == nil {
+			var idx uint64
+			var meta SnapshotMeta
+			var app []byte
+			if idx, meta, app, err = decodeSnapshotBody(body); err == nil && idx != v {
+				err = fmt.Errorf("index %016x does not match filename", idx)
+			}
+			if err == nil {
+				rec.HaveSnapshot, rec.Meta, rec.AppState, snapIndex = true, meta, app, v
+				break
+			}
+		}
+		rec.note("snapshot %016x: %v", v, err)
+	}
+
+	// Scan segments in order, skipping records the snapshot covers.
+	s.next = snapIndex + 1
+	expected := uint64(0)  // next record index, once the first record is seen
+	firstSeen := uint64(0) // index of the first record seen
+	lost := false          // a marker promised a snapshot we cannot load
+	cut := -1              // segs[cut+1:] are invalid and will be deleted
+scan:
+	for si, first := range segs {
+		raw, err := os.ReadFile(filepath.Join(s.opts.Dir, segName(first)))
+		if err != nil {
+			rec.note("segment %016x: %v", first, err)
+			cut = si - 1
+			break
+		}
+		off := 0
+		for off < len(raw) {
+			n, r, err := decodeAt(raw, off)
+			if err != nil {
+				last := si == len(segs)-1
+				if last && err == ErrTruncated {
+					rec.TornTail = true
+				} else {
+					rec.note("segment %016x offset %d: %v", first, off, err)
+				}
+				// Keep the valid prefix: truncate this segment here and
+				// drop everything after it.
+				s.truncateSegment(first, off, rec)
+				cut = si
+				break scan
+			}
+			if expected != 0 && r.index != expected {
+				rec.note("segment %016x: index gap (%d after %d)", first, r.index, expected-1)
+				s.truncateSegment(first, off, rec)
+				cut = si
+				break scan
+			}
+			expected = r.index + 1
+			if firstSeen == 0 {
+				firstSeen = r.index
+			}
+			if r.index > snapIndex {
+				switch r.kind {
+				case kindUpdate:
+					rec.Updates = append(rec.Updates, r.update)
+				case kindView:
+					rec.Views = append(rec.Views, r.view)
+				case kindSnapMark:
+					if r.snapTo > snapIndex {
+						// The marker promises a snapshot we could not
+						// load: the records it covered may already be
+						// truncated away, so no reconstruction is
+						// possible — not even from later records, which
+						// would apply on top of the missing state.
+						rec.note("snapshot %016x marked but not loadable", r.snapTo)
+						lost = true
+					}
+				}
+			}
+			off += n
+		}
+	}
+	if cut >= 0 {
+		for _, first := range segs[cut+1:] {
+			if err := os.Remove(filepath.Join(s.opts.Dir, segName(first))); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+	}
+	if lost {
+		rec.HaveSnapshot = false
+		rec.Meta, rec.AppState = SnapshotMeta{}, nil
+		rec.Updates, rec.Views = nil, nil
+	}
+	if firstSeen > snapIndex+1 {
+		// Leading segments are missing: the log tail cannot connect to
+		// the snapshot, so its records are unusable.
+		rec.note("log starts at %d, snapshot covers through %d", firstSeen, snapIndex)
+		rec.Updates, rec.Views = nil, nil
+	}
+	if expected > s.next {
+		s.next = expected
+	}
+	if rec.Empty() && s.next > 1 {
+		// Nothing usable survived validation: wipe the directory so
+		// stale files cannot collide with the indexes of the fresh
+		// incarnation.
+		for _, first := range segs {
+			os.Remove(filepath.Join(s.opts.Dir, segName(first)))
+		}
+		for _, v := range snaps {
+			os.Remove(filepath.Join(s.opts.Dir, snapName(v)))
+		}
+		s.next = 1
+	}
+	return rec, nil
+}
+
+// decodeAt decodes the frame starting at off.
+func decodeAt(raw []byte, off int) (n int, r record, err error) {
+	body, n, err := splitFrame(raw[off:])
+	if err != nil {
+		return 0, record{}, err
+	}
+	r, err = decodeBody(body)
+	if err != nil {
+		return 0, record{}, err
+	}
+	return n, r, nil
+}
+
+func (r *Recovery) note(format string, args ...any) {
+	r.Discarded = append(r.Discarded, fmt.Sprintf(format, args...))
+}
+
+// truncateSegment cuts the named segment at off (removing it entirely
+// when off is 0), so the next recovery does not re-walk bad bytes.
+func (s *Store) truncateSegment(first uint64, off int, rec *Recovery) {
+	path := filepath.Join(s.opts.Dir, segName(first))
+	var err error
+	if off == 0 {
+		err = os.Remove(path)
+	} else {
+		err = os.Truncate(path, int64(off))
+	}
+	if err != nil {
+		rec.note("repair %016x: %v", first, err)
+	}
+}
+
+// openSegment starts a fresh active segment at the current next index.
+func (s *Store) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(s.opts.Dir, segName(s.next)),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.seg, s.segSize = f, 0
+	s.syncDir()
+	return nil
+}
+
+// syncDir flushes directory metadata (new files, renames); errors are
+// ignored on filesystems that do not support it.
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.opts.Dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}
+
+// AppendUpdate logs one delivered update.
+func (s *Store) AppendUpdate(u UpdateRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	if err := s.append(encodeUpdate(s.next, u)); err != nil {
+		return err
+	}
+	s.tail = append(s.tail, u)
+	s.pruneTail()
+	return nil
+}
+
+// AppendView logs one installed view.
+func (s *Store) AppendView(v ViewRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	return s.append(encodeView(s.next, v))
+}
+
+// append writes one encoded frame, applying rotation and the fsync
+// policy. Caller holds s.mu.
+func (s *Store) append(frame []byte) error {
+	if s.segSize >= s.opts.SegmentBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.seg.Write(frame); err != nil {
+		return err
+	}
+	s.segSize += int64(len(frame))
+	s.next++
+	s.appends++
+	switch s.opts.Policy {
+	case FsyncAlways:
+		return s.fsync()
+	case FsyncBatched:
+		if time.Since(s.lastSync) >= s.opts.BatchInterval {
+			return s.fsync()
+		}
+	}
+	return nil
+}
+
+// rotate seals the active segment and opens the next one. Caller holds
+// s.mu.
+func (s *Store) rotate() error {
+	if err := s.fsync(); err != nil {
+		return err
+	}
+	if err := s.seg.Close(); err != nil {
+		return err
+	}
+	return s.openSegment()
+}
+
+func (s *Store) fsync() error {
+	s.lastSync = time.Now()
+	s.syncs++
+	return s.seg.Sync()
+}
+
+// WriteSnapshot atomically persists the application state plus
+// protocol metadata, appends a snapshot marker, and truncates the log:
+// segments whose records the snapshot covers are deleted, as are older
+// snapshot files. The replay tail is pruned to meta.Covered.
+func (s *Store) WriteSnapshot(meta SnapshotMeta, appState []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	snapTo := s.next - 1 // the snapshot covers every record so far
+
+	// 1. Snapshot file, atomically: tmp + fsync + rename + dir fsync.
+	path := filepath.Join(s.opts.Dir, snapName(snapTo))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(encodeSnapshot(snapTo, meta, appState))
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	s.syncDir()
+
+	// 2. Rotate so every prior segment is fully covered, then append
+	// the marker as the new segment's first record.
+	if err := s.rotate(); err != nil {
+		return err
+	}
+	if err := s.append(encodeSnapMark(s.next, snapTo, meta.Lineage)); err != nil {
+		return err
+	}
+	if err := s.fsync(); err != nil {
+		return err
+	}
+
+	// 3. Truncate: older segments and older snapshots are superseded.
+	names, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range names {
+		if v, ok := parseName(de.Name(), segPrefix, segSuffix); ok && v <= snapTo {
+			os.Remove(filepath.Join(s.opts.Dir, de.Name()))
+		} else if v, ok := parseName(de.Name(), snapPrefix, snapSuffix); ok && v < snapTo {
+			os.Remove(filepath.Join(s.opts.Dir, de.Name()))
+		}
+	}
+
+	s.snapshots++
+	return nil
+}
+
+// pruneTail bounds the in-memory replay tail to the most recent
+// TailKeep updates. Retention is count-based, deliberately decoupled
+// from snapshot cadence: a frequently snapshotting member can still
+// serve a contiguous replay delta to a peer that missed up to TailKeep
+// deliveries. Pruned ordinals raise the floor — the tail below it is
+// no longer contiguous, so ReplaySince refuses to reach back there.
+func (s *Store) pruneTail() {
+	excess := len(s.tail) - s.opts.TailKeep
+	if excess <= 0 {
+		return
+	}
+	for _, u := range s.tail[:excess] {
+		if u.Ordinal != oal.None && u.Ordinal > s.tailFloor {
+			s.tailFloor = u.Ordinal
+		}
+	}
+	s.tail = append([]UpdateRecord(nil), s.tail[excess:]...)
+}
+
+// ReplaySince returns the logged updates a member that has contiguous
+// coverage through `since` still needs, in delivery order, and whether
+// the tail reaches back that far. When ok is false the joiner must be
+// served a full state transfer instead.
+func (s *Store) ReplaySince(since oal.Ordinal) ([]UpdateRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since < s.tailFloor {
+		return nil, false
+	}
+	var out []UpdateRecord
+	for _, u := range s.tail {
+		if u.Ordinal == oal.None || u.Ordinal > since {
+			out = append(out, u)
+		}
+	}
+	return out, true
+}
+
+// TailFloor returns the oldest coverage the store can serve a delta
+// for.
+func (s *Store) TailFloor() oal.Ordinal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tailFloor
+}
+
+// ResetTail clears the replay tail and raises its floor — used when
+// the ordinal space restarts (new lineage) and the old tail can no
+// longer be compared against joiner coverage.
+func (s *Store) ResetTail(floor oal.Ordinal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tail = nil
+	s.tailFloor = floor
+}
+
+// Sync forces the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	return s.fsync()
+}
+
+// Abandon closes the store's file handle without a final sync — the
+// closest a live process gets to simulating its own kill -9. Bytes
+// already handed to the OS survive (as they would when only the process
+// dies); loss of unsynced bytes at a machine crash is exercised by the
+// torn-tail tests, which truncate files directly.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.seg.Close() //nolint:errcheck // abandoning: sync intentionally skipped
+}
+
+// Close syncs and closes the store. Further operations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.seg.Sync()
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

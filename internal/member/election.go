@@ -20,9 +20,17 @@ func (m *Machine) onOwnSlot() {
 		// (admitJoiners) fires again. Not via sendJoin — this must not
 		// displace lastControlMsg, which the wrong-suspicion resend rule
 		// may need for a decision.
+		// The advertised coverage repeats the last sendJoin values rather
+		// than the live broadcast state: while the transfer is outstanding
+		// this process's application state still has the base it had when
+		// it joined, so a fresher live claim (e.g. the new lineage adopted
+		// from the admitting decision) would earn a delta on top of the
+		// wrong base. The stale claim degrades safely to a full transfer.
 		m.env.Broadcast(&wire.Join{
-			Header:   wire.Header{From: m.self, SendTS: m.sendTS()},
-			JoinList: []model.ProcessID{m.self},
+			Header:         wire.Header{From: m.self, SendTS: m.sendTS()},
+			JoinList:       []model.ProcessID{m.self},
+			CoveredOrdinal: m.advCovered,
+			Lineage:        m.advLineage,
 		})
 		m.stats.JoinsSent++
 	}
@@ -73,11 +81,29 @@ func (m *Machine) joinList(now model.Time) model.ProcessSet {
 	return jl
 }
 
+// freezeAdvertisement captures the recovered coverage this process will
+// advertise for the whole of the upcoming join: every sendJoin repeats
+// the frozen values rather than re-sampling the broadcast layer. While
+// joining the process adopts live decisions, and the live
+// CoveredOrdinal counts stable-truncated ordinals it never applied —
+// re-advertising it would shrink the replay delta below what the
+// recovered application state actually holds. Deliveries are deferred
+// for the same reason whenever a nonzero claim is advertised (a delta,
+// not a rebasing full install, may answer it). For volatile processes
+// both values are zero and the deferral stays off: behavior is
+// unchanged.
+func (m *Machine) freezeAdvertisement() {
+	m.advCovered, m.advLineage = m.bc.CoveredOrdinal(), m.bc.Lineage()
+	m.bc.DeferDeliveries(m.advCovered > 0 && m.advLineage != 0)
+}
+
 func (m *Machine) sendJoin() {
 	now := m.env.Now()
 	j := &wire.Join{
-		Header:   wire.Header{From: m.self, SendTS: m.sendTS()},
-		JoinList: m.joinList(now).Sorted(),
+		Header:         wire.Header{From: m.self, SendTS: m.sendTS()},
+		JoinList:       m.joinList(now).Sorted(),
+		CoveredOrdinal: m.advCovered,
+		Lineage:        m.advLineage,
 	}
 	m.env.Broadcast(j)
 	m.lastControlMsg = j
@@ -88,7 +114,12 @@ func (m *Machine) sendJoin() {
 // their alive-lists (joins are control messages); joining processes
 // build join-lists from them.
 func (m *Machine) onJoin(j *wire.Join) {
-	m.lastJoin[j.From] = joinInfo{ts: j.SendTS, list: model.NewProcessSet(j.JoinList...)}
+	m.lastJoin[j.From] = joinInfo{
+		ts:      j.SendTS,
+		list:    model.NewProcessSet(j.JoinList...),
+		covered: j.CoveredOrdinal,
+		lineage: j.Lineage,
+	}
 }
 
 // tryFormInitialGroup applies the paper's initial-formation rule in this
@@ -114,13 +145,52 @@ func (m *Machine) tryFormInitialGroup() {
 			return // join-lists have not converged yet
 		}
 	}
+	if m.staleForFormation(jl) {
+		return // a joiner with fresher recovered state must form instead
+	}
 	group := model.NewGroup(m.nextGroupSeq(), jl.Sorted())
+	// Formation restarts the ordinal space: announce the new lineage so
+	// every decision carries it and stale recovered coverage is dropped.
+	m.bc.BeginLineage(group.Seq)
 	m.bc.AnnounceGroup(now, group)
 	m.installGroup(group)
 	m.setState(StateFailureFree)
 	m.clearElection()
 	m.lastJoin = make(map[model.ProcessID]joinInfo)
 	m.becomeDeciderNow()
+}
+
+// staleForFormation reports whether another join-list member advertised
+// fresher recovered state than this process, in which case this process
+// must not win the formation race: the first decider's application
+// state becomes the new lineage's base, so the freshest recovered state
+// has to form the group (everyone else re-syncs from it). Ordering is
+// by (lineage, covered, process id) — lineages grow monotonically, so a
+// higher lineage means a later, fresher history. With no recovered
+// state anywhere (all advertisements zero) the gate is inert and
+// formation behaves exactly as in the volatile protocol.
+func (m *Machine) staleForFormation(jl model.ProcessSet) bool {
+	// Compare what everyone *advertised*: our live broadcast coverage
+	// may have drifted upward from decisions adopted mid-join, and the
+	// peers ranked us by the frozen values our joins carried.
+	myLin, myCov := m.advLineage, m.advCovered
+	any := myLin != 0 || myCov != 0
+	stale := false
+	for q := range jl {
+		if q == m.self {
+			continue
+		}
+		ji := m.lastJoin[q]
+		if ji.lineage != 0 || ji.covered != 0 {
+			any = true
+		}
+		if ji.lineage > myLin ||
+			(ji.lineage == myLin && ji.covered > myCov) ||
+			(ji.lineage == myLin && ji.covered == myCov && q > m.self) {
+			stale = true
+		}
+	}
+	return any && stale
 }
 
 // --- Reconfiguration (multiple-failure) protocol --------------------------

@@ -135,6 +135,11 @@ type Config struct {
 type joinInfo struct {
 	ts   model.Time
 	list model.ProcessSet
+	// covered and lineage are the durable coverage the joiner advertised:
+	// the contiguous ordinal prefix its recovered state includes, and the
+	// ordinal space that prefix belongs to. Zero for volatile joiners.
+	covered oal.Ordinal
+	lineage model.GroupSeq
 }
 
 type reconfigInfo struct {
@@ -213,6 +218,14 @@ type Machine struct {
 	// transfer; an admission into a group at most this old needs no
 	// further transfer (the State won the race against the decision).
 	appliedStateSeq model.GroupSeq
+
+	// advCovered and advLineage are what this process advertised in its
+	// last join message. The formation paths compare them against other
+	// joiners' advertisements *after* the broadcast layer's live values
+	// have already moved on (adopting the formation decision clears
+	// cross-lineage coverage), so the advertised values are kept here.
+	advCovered oal.Ordinal
+	advLineage model.GroupSeq
 
 	stats Stats
 }
@@ -305,6 +318,7 @@ func (m *Machine) UpToDate() bool {
 // Start begins protocol execution in the join state.
 func (m *Machine) Start() {
 	m.seedSeq()
+	m.freezeAdvertisement()
 	m.scheduleSlotTimer()
 }
 

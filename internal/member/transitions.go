@@ -197,6 +197,21 @@ func (m *Machine) isLate(sendTS, now model.Time) bool {
 // joinCompleted finishes the join protocol: the decision's membership
 // includes this process.
 func (m *Machine) joinCompleted(dec *wire.Decision) {
+	// Did any other joiner advertise fresher recovered state than our own
+	// last advertisement? Checked against the advertised values, not the
+	// live broadcast state — adopting this decision may already have
+	// cleared cross-lineage coverage. Evaluated before lastJoin is reset.
+	fresherSeen := false
+	for q, ji := range m.lastJoin {
+		if q == m.self {
+			continue
+		}
+		if ji.lineage > m.advLineage ||
+			(ji.lineage == m.advLineage && ji.covered > m.advCovered) {
+			fresherSeen = true
+			break
+		}
+	}
 	m.installGroup(dec.Group)
 	m.setState(StateFailureFree)
 	m.clearElection()
@@ -205,11 +220,21 @@ func (m *Machine) joinCompleted(dec *wire.Decision) {
 	// transfer, and the State unicast races this decision broadcast:
 	// record the debt unless a transfer for (at least) this group already
 	// arrived. Initial formation — the adopted log is exactly one
-	// membership descriptor at ordinal 1 — has no state to transfer.
+	// membership descriptor at ordinal 1 — has no state to transfer
+	// between volatile processes; but when a co-former advertised fresher
+	// recovered state, the forming decider's application state is the new
+	// lineage's base and ours is stale, so the transfer debt applies.
 	formation := len(dec.OAL.Entries) == 1 &&
 		dec.OAL.Entries[0].Kind == oal.MembershipDesc &&
 		dec.OAL.Entries[0].Ordinal == 1
-	if !formation && m.appliedStateSeq < dec.Group.Seq {
+	if formation {
+		m.needState = fresherSeen
+		if !fresherSeen {
+			// Our own recovered state is the lineage's base: no transfer
+			// is coming, so stop deferring deliveries (if we ever were).
+			m.bc.DeferDeliveries(false)
+		}
+	} else if m.appliedStateSeq < dec.Group.Seq {
 		m.needState = true
 	}
 	if m.isLate(dec.SendTS, m.env.Now()) {
@@ -275,6 +300,7 @@ func (m *Machine) resetForJoin() {
 	m.fd.Forget()
 	m.bc.Reset()
 	m.seedSeq()
+	m.freezeAdvertisement()
 	m.needState = false
 	m.appliedStateSeq = 0
 	m.env.CancelTimer(TimerExpect)
@@ -563,7 +589,8 @@ func (m *Machine) sendDecision() {
 		})
 	}
 	for _, j := range admitted {
-		m.env.Unicast(j, m.bc.BuildState(dec.SendTS))
+		ji := m.lastJoin[j]
+		m.env.Unicast(j, m.bc.BuildState(dec.SendTS, ji.covered, ji.lineage))
 	}
 
 	if m.group.Size() <= 1 {
@@ -599,7 +626,7 @@ func (m *Machine) admitJoiners(now model.Time) []model.ProcessID {
 			// transfer; send again (rate-limited).
 			if now.Sub(m.lastStateSent[j]) >= m.params.CycleLen() {
 				m.lastStateSent[j] = now
-				m.env.Unicast(j, m.bc.BuildState(now))
+				m.env.Unicast(j, m.bc.BuildState(now, ji.covered, ji.lineage))
 			}
 			continue
 		}

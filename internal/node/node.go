@@ -11,10 +11,12 @@ package node
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"timewheel/internal/broadcast"
 	"timewheel/internal/clock"
 	"timewheel/internal/csync"
+	"timewheel/internal/durable"
 	"timewheel/internal/member"
 	"timewheel/internal/model"
 	"timewheel/internal/netsim"
@@ -49,6 +51,16 @@ type Options struct {
 	// mechanism proper) instead of one-way beacon adoption. Only
 	// meaningful with PerfectClocks disabled.
 	RoundTripSync bool
+	// DataDir, when set, gives every node a durable store (write-ahead
+	// log + snapshots) in DataDir/node-<id>: Crash abandons the store as
+	// kill -9 would, and Recover reopens it and rejoins warm from the
+	// recovered state instead of starting empty.
+	DataDir string
+	// Fsync is the durable store's fsync policy (default batched).
+	Fsync durable.FsyncPolicy
+	// SnapshotEvery writes an application snapshot after that many
+	// logged deliveries (default 64; only meaningful with DataDir).
+	SnapshotEvery int
 }
 
 // ViewRecord is one installed membership view.
@@ -102,6 +114,15 @@ type Node struct {
 
 	// Incarnation counts crash/recovery cycles.
 	Incarnation int
+
+	// store is the node's durable store (nil without Options.DataDir);
+	// sinceSnap counts logged deliveries since the last snapshot.
+	store     *durable.Store
+	sinceSnap int
+
+	// Installs counts full state-transfer installs — a warm (delta)
+	// rejoin must not bump it.
+	Installs int
 
 	// Observability.
 	Deliveries []DeliveryRecord
@@ -167,7 +188,9 @@ func (c *Cluster) newNode(id model.ProcessID) *Node {
 		n.adj = clock.NewAdjusted(n.hw)
 		n.sync = csync.New(id, c.Params, csync.DefaultConfig(c.Params), n.adj)
 	}
+	rec := n.openStore()
 	n.buildStack()
+	n.applyRecovery(rec)
 	c.Net.Register(id, func(m wire.Message) {
 		if !n.crashed {
 			n.machine.OnMessage(m)
@@ -176,20 +199,130 @@ func (c *Cluster) newNode(id model.ProcessID) *Node {
 	return n
 }
 
+// openStore opens (or reopens, on recovery) the node's durable store
+// and returns what it recovered from disk; nil without a data
+// directory.
+func (n *Node) openStore() *durable.Recovery {
+	if n.cluster.Opts.DataDir == "" {
+		return nil
+	}
+	st, rec, err := durable.Open(durable.Options{
+		Dir:    filepath.Join(n.cluster.Opts.DataDir, fmt.Sprintf("node-%d", n.ID)),
+		Policy: n.cluster.Opts.Fsync,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("node %d: durable store: %v", n.ID, err))
+	}
+	n.store = st
+	return rec
+}
+
+// applyRecovery rebuilds the node's application and delivery state from
+// what the durable store recovered: the snapshot is the base, the
+// logged updates are re-applied on top, and the broadcast layer is
+// seeded so nothing recovered is ever re-delivered — and so the join
+// message advertises the recovered coverage for a delta rejoin.
+func (n *Node) applyRecovery(rec *durable.Recovery) {
+	if rec == nil || rec.Empty() {
+		return
+	}
+	if rec.HaveSnapshot {
+		n.appState = append([]byte(nil), rec.AppState...)
+	}
+	img := broadcast.Image{
+		Lineage:   rec.Lineage(),
+		Covered:   rec.AdvertisedCoverage(),
+		SettledTS: rec.Meta.SettledTS,
+	}
+	for _, x := range rec.Meta.Extra {
+		img.Extra = append(img.Extra, broadcast.ImageExtra{ID: x.ID, Ordinal: x.Ordinal})
+	}
+	for _, u := range rec.Updates {
+		n.appState = append(n.appState, u.Payload...)
+		n.appState = append(n.appState, ';')
+		img.Extra = append(img.Extra, broadcast.ImageExtra{ID: u.ID, Ordinal: u.Ordinal})
+	}
+	for _, f := range rec.Meta.FIFO {
+		img.FIFO = append(img.FIFO, wire.FIFOEntry{Proposer: f.Proposer, Seq: f.Next})
+	}
+	n.bc.SeedRecovered(img)
+}
+
+// writeSnapshot persists the application state with the broadcast
+// layer's matching delivery image and prunes the log behind it.
+func (n *Node) writeSnapshot() {
+	if n.store == nil {
+		return
+	}
+	img := n.bc.SnapshotImage()
+	meta := durable.SnapshotMeta{Lineage: img.Lineage, Covered: img.Covered, SettledTS: img.SettledTS}
+	for _, x := range img.Extra {
+		meta.Extra = append(meta.Extra, durable.ExtraEntry{ID: x.ID, Ordinal: x.Ordinal})
+	}
+	for _, f := range img.FIFO {
+		meta.FIFO = append(meta.FIFO, durable.FIFOCursor{Proposer: f.Proposer, Next: f.Seq})
+	}
+	n.store.WriteSnapshot(meta, append([]byte(nil), n.appState...)) //nolint:errcheck // in-model omission
+	n.sinceSnap = 0
+}
+
 // buildStack creates fresh broadcast and membership layers (initial boot
 // and crash recovery).
 func (n *Node) buildStack() {
-	n.bc = broadcast.New(n.ID, n.cluster.Params, broadcast.Config{
+	snapEvery := n.cluster.Opts.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 64
+	}
+	bcfg := broadcast.Config{
 		OnDeliver: func(d broadcast.Delivery) {
+			if n.store != nil {
+				n.store.AppendUpdate(durable.UpdateRecord{ //nolint:errcheck
+					ID: d.ID, Ordinal: d.Ordinal, Sem: d.Sem, SendTS: d.SendTS, Payload: d.Payload,
+				})
+			}
 			n.Deliveries = append(n.Deliveries, DeliveryRecord{
 				Delivery: d, At: n.cluster.Sim.Now(), Incarnation: n.Incarnation,
 			})
 			n.appState = append(n.appState, d.Payload...)
 			n.appState = append(n.appState, ';')
+			if n.store != nil {
+				if n.sinceSnap++; n.sinceSnap >= snapEvery {
+					n.writeSnapshot()
+				}
+			}
 		},
 		Snapshot: func() []byte { return append([]byte(nil), n.appState...) },
-		Install:  func(b []byte) { n.appState = append([]byte(nil), b...) },
-	})
+		Install: func(b []byte) {
+			n.appState = append([]byte(nil), b...)
+			n.Installs++
+			// A full transfer rebases the application state: snapshot it
+			// with the matching delivery image so the log restarts clean.
+			n.writeSnapshot()
+		},
+	}
+	if n.store != nil {
+		bcfg.OnLineage = func(lin model.GroupSeq) {
+			// A lineage boundary restarts the ordinal space: mark it in
+			// the log (recovery then knows post-boundary ordinals are
+			// incomparable with the snapshot's) and drop the replay tail.
+			n.store.AppendView(durable.ViewRecord{Lineage: lin, Ordinal: oal.None}) //nolint:errcheck
+			n.store.ResetTail(0)
+		}
+		bcfg.ReplaySince = func(since oal.Ordinal) ([]wire.ReplayEntry, bool) {
+			recs, ok := n.store.ReplaySince(since)
+			if !ok {
+				return nil, false
+			}
+			out := make([]wire.ReplayEntry, 0, len(recs))
+			for _, u := range recs {
+				out = append(out, wire.ReplayEntry{
+					ID: u.ID, Ordinal: u.Ordinal, Sem: u.Sem, SendTS: u.SendTS, Payload: u.Payload,
+				})
+			}
+			return out, true
+		}
+	}
+	n.bc = broadcast.New(n.ID, n.cluster.Params, bcfg)
 	n.machine = member.New(n.ID, n.cluster.Params, member.Config{
 		DeciderHold:     n.cluster.Opts.DeciderHold,
 		DisableFastPath: n.cluster.Opts.DisableFastPath,
@@ -205,6 +338,17 @@ func (n *Node) buildStack() {
 			},
 			ViewChange: func(g model.Group, _ model.Time) {
 				n.Views = append(n.Views, ViewRecord{Group: g, At: n.cluster.Sim.Now()})
+				if n.store != nil {
+					// Membership descriptors occupy ordinals; logging the
+					// view with its ordinal lets recovery count it toward
+					// contiguous coverage.
+					n.store.AppendView(durable.ViewRecord{ //nolint:errcheck
+						Seq:     g.Seq,
+						Members: append([]model.ProcessID(nil), g.Members...),
+						Ordinal: n.bc.MembershipOrdinal(g.Seq),
+						Lineage: n.bc.Lineage(),
+					})
+				}
 			},
 			Decider: func(isDecider bool, _ model.Time) {
 				at := n.cluster.Sim.Now()
@@ -245,11 +389,19 @@ func (c *Cluster) Crash(id model.ProcessID) {
 		t.Stop()
 	}
 	n.timers = make(map[member.TimerID]*sim.Timer)
+	if n.store != nil {
+		// kill -9: no final sync, no snapshot — recovery must cope with
+		// whatever the log holds.
+		n.store.Abandon()
+		n.store = nil
+	}
 }
 
 // Recover restarts node id with a fresh protocol stack (a recovered
 // process rejoins through the join protocol; its pre-crash volatile
-// state is gone).
+// state is gone). With a data directory the restart recovers the
+// durable state first — the application state is rebuilt from the
+// snapshot plus the log, and the rejoin fetches only the delta.
 func (c *Cluster) Recover(id model.ProcessID) {
 	n := c.Nodes[int(id)]
 	if !n.crashed {
@@ -258,11 +410,14 @@ func (c *Cluster) Recover(id model.ProcessID) {
 	n.crashed = false
 	n.Incarnation++
 	n.appState = nil
+	n.sinceSnap = 0
 	c.Net.Recover(id)
 	if n.sync != nil {
 		n.sync.Forget()
 	}
+	rec := n.openStore()
 	n.buildStack()
+	n.applyRecovery(rec)
 	n.machine.Start()
 }
 
@@ -274,6 +429,10 @@ func (n *Node) Machine() *member.Machine { return n.machine }
 
 // Broadcast exposes a node's broadcast layer.
 func (n *Node) Broadcast() *broadcast.Broadcast { return n.bc }
+
+// Store exposes a node's durable store; nil without Options.DataDir
+// (and while crashed).
+func (n *Node) Store() *durable.Store { return n.store }
 
 // SyncedNow returns the node's synchronized-clock reading.
 func (n *Node) SyncedNow() model.Time { return n.adj.Read(n.cluster.Sim.Now()) }

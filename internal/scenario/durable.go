@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"timewheel/internal/durable"
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// DurableRejoin is the crash-recovery experiment for the durable state
+// subsystem: a member of a durable cluster is killed without warning
+// (its store is abandoned mid-flight, as kill -9 would), the group
+// keeps committing updates while it is down, and the member restarts
+// on the same data directory. It must come back warm — application
+// state rebuilt from its snapshot and log, rejoining with a replay
+// delta from a current member instead of a full state transfer — and
+// converge to the same application state as everyone else.
+func DurableRejoin(n int, seed int64) *Result {
+	dir, err := os.MkdirTemp("", "twdur")
+	if err != nil {
+		r := newResult("durable-rejoin", nil)
+		r.fail("temp dir: %v", err)
+		return r
+	}
+	defer os.RemoveAll(dir)
+	return DurableRejoinAt(n, seed, dir)
+}
+
+// DurableRejoinAt runs DurableRejoin against a caller-owned data
+// directory (tests pass t.TempDir()).
+func DurableRejoinAt(n int, seed int64, dataDir string) *Result {
+	c := node.NewCluster(node.Options{
+		Seed:          seed,
+		Params:        model.DefaultParams(n),
+		PerfectClocks: true,
+		DataDir:       dataDir,
+		// Always: the simulation clock makes the batched wall-clock
+		// window meaningless, and determinism matters more than append
+		// throughput here.
+		Fsync: durable.FsyncAlways,
+	})
+	r := newResult(fmt.Sprintf("durable-rejoin/N=%d", n), c)
+	if !form(r) {
+		return r
+	}
+	sem := oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}
+	proposals := 0
+	propose := func(k int, tag string) {
+		for i := 0; i < k; i++ {
+			who := c.Node(model.ProcessID(proposals % n))
+			if c.Crashed(who.ID) {
+				who = c.Node(0)
+			}
+			if who.Propose([]byte(fmt.Sprintf("%s%d", tag, i)), sem) {
+				proposals++
+			}
+			c.Run(c.Params.D)
+		}
+	}
+	propose(8, "pre")
+	c.Run(cyclesDur(c, 4)) // drain: the victim must hold them before dying
+
+	victim := model.ProcessID(n - 1)
+	c.Crash(victim)
+	if _, ok := runUntil(c, 6, func() bool { return agreedOn(c, remove(allIDs(n), victim)) }); !ok {
+		r.fail("crash never detected")
+		return r
+	}
+	propose(8, "down") // the delta the victim must fetch on rejoin
+
+	installsBefore := c.Node(victim).Installs
+	deltasBefore := uint64(0)
+	for _, nd := range c.Nodes {
+		deltasBefore += nd.Broadcast().Stats().StateDeltas
+	}
+	c.Recover(victim)
+	if len(c.Node(victim).AppState()) == 0 {
+		r.fail("recovered node came back with empty application state")
+		return r
+	}
+	recoverAt := c.Sim.Now()
+	at, ok := runUntil(c, 12, func() bool { return agreedOn(c, allIDs(n)) })
+	if !ok {
+		r.fail("recovered process never readmitted")
+		return r
+	}
+	r.metric("rejoin_us", float64(at.Sub(recoverAt)))
+	c.Run(cyclesDur(c, 6)) // settle outstanding deliveries
+
+	// The recovered member must have converged without a full transfer.
+	if got, want := c.Node(victim).AppState(), c.Node(0).AppState(); !bytes.Equal(got, want) {
+		r.fail("app state diverged after durable rejoin:\n victim %q\n node0  %q", got, want)
+	}
+	deltasAfter := uint64(0)
+	for _, nd := range c.Nodes {
+		deltasAfter += nd.Broadcast().Stats().StateDeltas
+	}
+	r.metric("full_installs", float64(c.Node(victim).Installs-installsBefore))
+	r.metric("delta_rejoins", float64(deltasAfter-deltasBefore))
+	if c.Node(victim).Installs != installsBefore {
+		r.fail("durable rejoin fell back to a full state transfer")
+	}
+	if deltasAfter == deltasBefore {
+		r.fail("no member served a replay delta")
+	}
+	r.metric("proposals", float64(proposals))
+	return r
+}

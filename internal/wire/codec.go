@@ -11,7 +11,9 @@ import (
 )
 
 // Version is the wire-format version byte leading every encoded message.
-const Version = 1
+// Version 2 added the durable-recovery fields: Join coverage
+// advertisement, Decision lineage, and State delta replay.
+const Version = 2
 
 // ErrTruncated reports a message that ends before its declared contents.
 var ErrTruncated = errors.New("wire: truncated message")
@@ -41,6 +43,7 @@ func Encode(m Message) []byte {
 		e.group(v.Group)
 		e.oal(&v.OAL)
 		e.processList(v.Alive)
+		e.u64(uint64(v.Lineage))
 	case *NoDecision:
 		e.i64(int64(v.Suspect))
 		e.u64(uint64(v.GroupSeq))
@@ -48,7 +51,11 @@ func Encode(m Message) []byte {
 		e.proposalIDList(v.DPD)
 		e.processList(v.Alive)
 	case *Join:
+		// JoinList stays first: older tooling located it at a fixed
+		// offset right after the header.
 		e.processList(v.JoinList)
+		e.u64(uint64(v.CoveredOrdinal))
+		e.u64(uint64(v.Lineage))
 	case *Reconfig:
 		e.processList(v.ReconfigList)
 		e.i64(int64(v.LastDecisionTS))
@@ -75,6 +82,21 @@ func Encode(m Message) []byte {
 			e.i64(int64(p.From))
 			e.i64(int64(p.SendTS))
 			e.proposalBody(p)
+		}
+		if v.NoAppState {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.u32(uint32(len(v.Replay)))
+		for i := range v.Replay {
+			r := &v.Replay[i]
+			e.proposalID(r.ID)
+			e.u64(uint64(r.Ordinal))
+			e.u8(uint8(r.Sem.Order))
+			e.u8(uint8(r.Sem.Atomicity))
+			e.i64(int64(r.SendTS))
+			e.bytes(r.Payload)
 		}
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
@@ -134,6 +156,11 @@ func Decode(data []byte) (Message, error) {
 		if m.Alive, err = d.processList(); err != nil {
 			return nil, err
 		}
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.Lineage = model.GroupSeq(u)
 		return m, d.done()
 	case KindNoDecision:
 		m := &NoDecision{Header: h}
@@ -162,6 +189,15 @@ func Decode(data []byte) (Message, error) {
 		if m.JoinList, err = d.processList(); err != nil {
 			return nil, err
 		}
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.CoveredOrdinal = oal.Ordinal(u)
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.Lineage = model.GroupSeq(u)
 		return m, d.done()
 	case KindReconfig:
 		m := &Reconfig{Header: h}
@@ -251,6 +287,42 @@ func Decode(data []byte) (Message, error) {
 				return nil, err
 			}
 			m.Pending = append(m.Pending, pr)
+		}
+		var b uint8
+		if b, err = d.u8(); err != nil {
+			return nil, err
+		}
+		m.NoAppState = b != 0
+		if n, err = d.listLen(); err != nil {
+			return nil, err
+		}
+		m.Replay = make([]ReplayEntry, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			var r ReplayEntry
+			if r.ID, err = d.proposalID(); err != nil {
+				return nil, err
+			}
+			if u, err = d.u64(); err != nil {
+				return nil, err
+			}
+			r.Ordinal = oal.Ordinal(u)
+			if b, err = d.u8(); err != nil {
+				return nil, err
+			}
+			r.Sem.Order = oal.Order(b)
+			if b, err = d.u8(); err != nil {
+				return nil, err
+			}
+			r.Sem.Atomicity = oal.Atomicity(b)
+			var ts int64
+			if ts, err = d.i64(); err != nil {
+				return nil, err
+			}
+			r.SendTS = model.Time(ts)
+			if r.Payload, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			m.Replay = append(m.Replay, r)
 		}
 		return m, d.done()
 	default:

@@ -31,12 +31,13 @@ func sampleMessages() []Message {
 			HDO: 17, Payload: []byte("deposit 100")},
 		&Proposal{Header: h, ID: oal.ProposalID{Proposer: 3, Seq: 43}}, // empty payload
 		&Decision{Header: h, Group: model.NewGroup(2, []model.ProcessID{0, 1, 3}),
-			OAL: sampleOAL(), Alive: []model.ProcessID{0, 1, 3}},
+			OAL: sampleOAL(), Alive: []model.ProcessID{0, 1, 3}, Lineage: 2},
 		&Decision{Header: h}, // zero-value everything
 		&NoDecision{Header: h, Suspect: 1, GroupSeq: 5, View: sampleOAL(),
 			DPD:   []oal.ProposalID{{Proposer: 0, Seq: 7}, {Proposer: 2, Seq: 8}},
 			Alive: []model.ProcessID{0, 3}},
-		&Join{Header: h, JoinList: []model.ProcessID{0, 1, 2, 3, 4}},
+		&Join{Header: h, JoinList: []model.ProcessID{0, 1, 2, 3, 4},
+			CoveredOrdinal: 12, Lineage: 3},
 		&Join{Header: h},
 		&Reconfig{Header: h, ReconfigList: []model.ProcessID{1, 3},
 			LastDecisionTS: 999_999, GroupSeq: 4, View: sampleOAL(),
@@ -51,6 +52,14 @@ func sampleMessages() []Message {
 				{Header: Header{From: 2, SendTS: 77}, ID: oal.ProposalID{Proposer: 2, Seq: 2},
 					Sem: oal.Semantics{Order: oal.TimeOrder, Atomicity: oal.StrictAtomicity},
 					HDO: 3, Payload: []byte("pending-update")},
+			}},
+		&State{Header: h, GroupSeq: 9, CoveredOrdinal: 20, NoAppState: true,
+			Replay: []ReplayEntry{
+				{ID: oal.ProposalID{Proposer: 1, Seq: 5}, Ordinal: 18,
+					Sem:    oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+					SendTS: 700_000, Payload: []byte("missed-update")},
+				{ID: oal.ProposalID{Proposer: 0, Seq: 2}, Ordinal: oal.None,
+					SendTS: 700_001, Payload: []byte("fast")},
 			}},
 		&State{Header: h},
 	}
@@ -144,6 +153,14 @@ func normalize(m Message) Message {
 		for i := range c.Pending {
 			if c.Pending[i].Payload == nil {
 				c.Pending[i].Payload = []byte{}
+			}
+		}
+		if c.Replay == nil {
+			c.Replay = []ReplayEntry{}
+		}
+		for i := range c.Replay {
+			if c.Replay[i].Payload == nil {
+				c.Replay[i].Payload = []byte{}
 			}
 		}
 		return &c

@@ -3,6 +3,7 @@ package wire
 import (
 	"testing"
 
+	"timewheel/internal/durable"
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
 )
@@ -20,6 +21,12 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, byte(KindDecision), 0, 0})
+	// Durable-log record frames (internal/durable shares the codec
+	// idioms): the wire decoder must reject them cleanly, including the
+	// truncated-tail and corrupt-CRC shapes recovery repairs.
+	for _, s := range durable.FuzzSeedFrames() {
+		f.Add(s)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

@@ -112,6 +112,11 @@ type Decision struct {
 	Group model.Group
 	OAL   oal.List
 	Alive []model.ProcessID
+	// Lineage is the ordinal space this decision's oal belongs to: the
+	// group sequence number of the formation that started numbering at
+	// one. A receiver holding coverage from a different lineage must
+	// discard that coverage before applying the oal.
+	Lineage model.GroupSeq
 }
 
 func (*Decision) Kind() Kind    { return KindDecision }
@@ -146,6 +151,15 @@ func (m *NoDecision) String() string {
 type Join struct {
 	Header
 	JoinList []model.ProcessID
+	// CoveredOrdinal advertises the contiguous ordinal prefix the
+	// sender recovered from its durable log (zero when it has none):
+	// the decider uses it to serve a replay delta instead of a full
+	// state transfer. Lineage names the ordinal space the coverage
+	// belongs to — the group sequence number of the formation that
+	// started it; coverage from a different lineage is meaningless and
+	// must be ignored.
+	CoveredOrdinal oal.Ordinal
+	Lineage        model.GroupSeq
 }
 
 func (*Join) Kind() Kind    { return KindJoin }
@@ -224,6 +238,23 @@ type State struct {
 	Delivered     []oal.ProposalID
 	FIFONext      []FIFOEntry
 	Pending       []Proposal
+	// NoAppState marks a delta transfer: the joiner advertised durable
+	// coverage in the sender's lineage, so AppState is empty and Replay
+	// carries only the updates the joiner is missing. The joiner keeps
+	// its recovered application state and applies Replay on top.
+	NoAppState bool
+	Replay     []ReplayEntry
+}
+
+// ReplayEntry is one update in a delta state transfer: enough to
+// deliver it exactly as the group did (ordinal order preserved by the
+// slice order; oal.None marks fast-path deliveries).
+type ReplayEntry struct {
+	ID      oal.ProposalID
+	Ordinal oal.Ordinal
+	Sem     oal.Semantics
+	SendTS  model.Time
+	Payload []byte
 }
 
 func (*State) Kind() Kind    { return KindState }

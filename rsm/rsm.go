@@ -235,6 +235,13 @@ func (r *Replica) Barrier(ctx context.Context) error {
 // View returns the replica's current membership view.
 func (r *Replica) View() (timewheel.View, bool) { return r.node.CurrentView() }
 
+// Recovery reports what the underlying node rebuilt from its data
+// directory at construction time (zero value when Node.DataDir is
+// unset). When Durable is set, the state machine has already been
+// restored from the latest snapshot and replayed through the logged
+// deliveries by the time New returns.
+func (r *Replica) Recovery() timewheel.RecoveryReport { return r.node.Recovery() }
+
 // UpToDate reports the fail-awareness predicate of the underlying node.
 func (r *Replica) UpToDate() bool { return r.node.UpToDate() }
 

@@ -3,9 +3,11 @@ package rsm
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -399,5 +401,136 @@ func TestReplicaRestartRecoversStateViaSnapshot(t *testing.T) {
 		_, log0 := machines[0].counter.snapshot()
 		t.Fatalf("rejoined replica state %d, stable replicas have %d\n p2 post-restore log: %v\n p0 log: %v",
 			got, want, log2, log0)
+	}
+}
+
+// restoreCounter counts Restore calls so the durable restart test can
+// tell a warm (log-replayed) rejoin from a full state transfer.
+type restoreCounter struct {
+	snapCounter
+	restores atomic.Int64
+}
+
+func (r *restoreCounter) Restore(b []byte) {
+	r.restores.Add(1)
+	r.snapCounter.Restore(b)
+}
+
+func TestReplicaDurableRestartWarmRejoin(t *testing.T) {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{MaxDelay: 300 * time.Microsecond, Seed: 17})
+	defer hub.Close()
+	const n = 3
+	base := t.TempDir()
+	machines := make([]*restoreCounter, n)
+	reps := make([]*Replica, n)
+	mk := func(i int) *Replica {
+		rep, err := New(Config{
+			Node: timewheel.Config{
+				ID: i, ClusterSize: n, Transport: hub.Transport(i), Params: fastParams(),
+				DataDir:       filepath.Join(base, fmt.Sprintf("replica-%d", i)),
+				Fsync:         "always",
+				SnapshotEvery: 4,
+			},
+			Machine: machines[i],
+			Timeout: 3 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	for i := 0; i < n; i++ {
+		machines[i] = &restoreCounter{}
+		reps[i] = mk(i)
+		reps[i].Start()
+	}
+	defer func() {
+		for _, r := range reps {
+			if r != nil {
+				r.Stop()
+			}
+		}
+	}()
+	waitView := func(r *Replica, size int) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			if v, ok := r.View(); ok && len(v.Members) == size {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("view of size %d never formed", size)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for _, r := range reps {
+		waitView(r, n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	submit := func(r *Replica, cmd string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			_, err := r.Submit(ctx, []byte(cmd))
+			if err == nil {
+				return
+			}
+			if (err == timewheel.ErrNotMember || err == ErrAbandoned) && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			t.Fatalf("submit %q: %v", cmd, err)
+		}
+	}
+	for k := 0; k < 6; k++ {
+		submit(reps[0], "add 1")
+	}
+	// The barrier pins replica 2's applied state before it goes down:
+	// everything submitted above is on its disk when Stop returns.
+	if err := reps[2].Barrier(ctx); err != nil {
+		t.Fatalf("pre-stop barrier: %v", err)
+	}
+	preTotal, _ := machines[2].counter.snapshot()
+
+	reps[2].Stop()
+	waitView(reps[0], n-1)
+	for k := 0; k < 5; k++ {
+		submit(reps[0], "add 10")
+	}
+
+	// Restart on the same data directory with an empty machine: New must
+	// rebuild the pre-stop state from disk before the node ever joins.
+	machines[2] = &restoreCounter{}
+	reps[2] = mk(2)
+	rec := reps[2].Recovery()
+	if !rec.Durable {
+		t.Fatalf("restarted replica did not recover from its data directory")
+	}
+	if got, _ := machines[2].counter.snapshot(); got != preTotal {
+		t.Fatalf("boot recovery rebuilt total %d, want pre-stop total %d (report %+v)", got, preTotal, rec)
+	}
+	bootRestores := machines[2].restores.Load()
+
+	reps[2].Start()
+	waitView(reps[2], n)
+	if err := reps[2].Barrier(ctx); err != nil {
+		t.Fatalf("barrier on rejoined replica: %v", err)
+	}
+	if err := reps[0].Barrier(ctx); err != nil {
+		t.Fatalf("barrier on stable replica: %v", err)
+	}
+	want, _ := machines[0].counter.snapshot()
+	got, _ := machines[2].counter.snapshot()
+	if got != want {
+		t.Fatalf("rejoined replica state %d, stable replicas have %d", got, want)
+	}
+	// A warm rejoin fetches the missed commands as a replay delta through
+	// Apply; a Restore after Start would mean it fell back to a full
+	// state transfer.
+	if r := machines[2].restores.Load(); r != bootRestores {
+		t.Fatalf("rejoin fell back to a full state transfer (%d restores after start)", r-bootRestores)
 	}
 }

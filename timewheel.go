@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"timewheel/internal/broadcast"
+	"timewheel/internal/durable"
 	"timewheel/internal/engine"
 	"timewheel/internal/member"
 	"timewheel/internal/model"
@@ -142,6 +143,26 @@ type Config struct {
 	// snapshot are suppressed on the joiner).
 	Snapshot func() []byte
 	Install  func([]byte)
+	// DataDir, when set, makes the node durable: every delivered update
+	// and installed view is appended to a CRC-framed write-ahead log in
+	// that directory, application snapshots are written atomically, and
+	// after a crash (including kill -9) the node recovers its state
+	// from disk before rejoining — warm, fetching only the updates it
+	// missed when a current member can serve them from its own log.
+	// Recovered deliveries are replayed through Install and OnDeliver
+	// before Start. Unset, the node keeps all state in memory and
+	// behaves exactly as before. See docs/PERSISTENCE.md.
+	DataDir string
+	// Fsync selects when log appends reach stable storage: "always",
+	// "batched" (default) or "none".
+	Fsync string
+	// FsyncInterval is the batched-fsync window (default 50ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a snapshot after that many logged deliveries
+	// (default 256). Snapshots capture Config.Snapshot's state; without
+	// Snapshot/Install hooks the node is log-only and replays its whole
+	// log through OnDeliver on restart.
+	SnapshotEvery int
 }
 
 // Outcome is a termination report for a local proposal.
@@ -167,9 +188,40 @@ type Node struct {
 	loop    *engine.EventLoop
 	tr      Transport
 
+	// store is the durable store (nil without Config.DataDir);
+	// sinceSnap counts logged deliveries since the last snapshot. Both
+	// are event-loop confined after NewNode returns.
+	store     *durable.Store
+	sinceSnap int
+	recovery  RecoveryReport
+
 	mu      sync.Mutex
 	timers  map[member.TimerID]*time.Timer
 	stopped bool
+}
+
+// RecoveryReport summarises what a durable node loaded from disk at
+// startup.
+type RecoveryReport struct {
+	// Durable reports whether the node has a data directory at all.
+	Durable bool
+	// HaveSnapshot reports whether a valid snapshot was loaded.
+	HaveSnapshot bool
+	// LoggedUpdates and LoggedViews count the valid log records
+	// replayed on top of the snapshot.
+	LoggedUpdates int
+	LoggedViews   int
+	// Covered is the contiguous ordinal prefix the recovered state
+	// includes — what the node advertises for a delta rejoin.
+	Covered uint64
+	// Lineage is the ordinal space Covered belongs to.
+	Lineage uint64
+	// TornTail reports that a torn final record was truncated away (the
+	// expected shape after a crash mid-append).
+	TornTail bool
+	// Discarded notes data that failed validation; empty means a fully
+	// clean recovery.
+	Discarded []string
 }
 
 func (p Params) toModel(n int) model.Params {
@@ -214,22 +266,74 @@ func NewNode(cfg Config) (*Node, error) {
 		tr:     cfg.Transport,
 		timers: make(map[member.TimerID]*time.Timer),
 	}
+	var rec *durable.Recovery
+	if cfg.DataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		n.store, rec, err = durable.Open(durable.Options{
+			Dir:           cfg.DataDir,
+			Policy:        policy,
+			BatchInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 256
+	}
 	bcfg := broadcast.Config{
 		Snapshot: cfg.Snapshot,
 		Install:  cfg.Install,
 		OnDeliver: func(d broadcast.Delivery) {
-			if cfg.OnDeliver != nil {
-				cfg.OnDeliver(Delivery{
-					Proposer:  int(d.ID.Proposer),
-					Seq:       d.ID.Seq,
-					Ordinal:   uint64(d.Ordinal),
-					Payload:   d.Payload,
-					Order:     Order(d.Sem.Order),
-					Atomicity: Atomicity(d.Sem.Atomicity),
-					SendTime:  time.UnixMicro(int64(d.SendTS)),
+			if n.store != nil {
+				n.store.AppendUpdate(durable.UpdateRecord{ //nolint:errcheck
+					ID: d.ID, Ordinal: d.Ordinal, Sem: d.Sem, SendTS: d.SendTS, Payload: d.Payload,
 				})
 			}
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(toDelivery(d))
+			}
+			if n.store != nil {
+				if n.sinceSnap++; n.sinceSnap >= snapEvery {
+					n.writeSnapshot()
+				}
+			}
 		},
+	}
+	if n.store != nil {
+		if cfg.Install != nil {
+			bcfg.Install = func(b []byte) {
+				cfg.Install(b)
+				// A full transfer rebases the application state: snapshot
+				// it with the matching delivery image so the log restarts
+				// clean behind it.
+				n.writeSnapshot()
+			}
+		}
+		bcfg.OnLineage = func(lin model.GroupSeq) {
+			// A lineage boundary restarts the ordinal space: mark it in
+			// the log (recovery then knows post-boundary ordinals are
+			// incomparable with the snapshot's) and drop the replay tail.
+			n.store.AppendView(durable.ViewRecord{Lineage: lin, Ordinal: oal.None}) //nolint:errcheck
+			n.store.ResetTail(0)
+		}
+		bcfg.ReplaySince = func(since oal.Ordinal) ([]wire.ReplayEntry, bool) {
+			recs, ok := n.store.ReplaySince(since)
+			if !ok {
+				return nil, false
+			}
+			out := make([]wire.ReplayEntry, 0, len(recs))
+			for _, u := range recs {
+				out = append(out, wire.ReplayEntry{
+					ID: u.ID, Ordinal: u.Ordinal, Sem: u.Sem, SendTS: u.SendTS, Payload: u.Payload,
+				})
+			}
+			return out, true
+		}
 	}
 	if cfg.Termination > 0 {
 		bcfg.TerminationAfter = model.FromStd(cfg.Termination)
@@ -243,6 +347,17 @@ func NewNode(cfg Config) (*Node, error) {
 	n.machine = member.New(model.ProcessID(cfg.ID), mp, member.Config{
 		Hooks: member.Hooks{
 			ViewChange: func(g model.Group, _ model.Time) {
+				if n.store != nil {
+					// Membership descriptors occupy ordinals; logging the
+					// view with its ordinal lets recovery count it toward
+					// contiguous coverage.
+					n.store.AppendView(durable.ViewRecord{ //nolint:errcheck
+						Seq:     g.Seq,
+						Members: append([]model.ProcessID(nil), g.Members...),
+						Ordinal: n.bc.MembershipOrdinal(g.Seq),
+						Lineage: n.bc.Lineage(),
+					})
+				}
 				if cfg.OnViewChange != nil {
 					v := View{Seq: uint64(g.Seq)}
 					for _, m := range g.Members {
@@ -253,6 +368,9 @@ func NewNode(cfg Config) (*Node, error) {
 			},
 		},
 	}, (*nodeEnv)(n), n.bc)
+	if rec != nil {
+		n.seedRecovery(rec)
+	}
 
 	n.loop = engine.NewEventLoop(n.handle, 4096)
 	cfg.Transport.SetReceiver(func(data []byte) {
@@ -264,6 +382,88 @@ func NewNode(cfg Config) (*Node, error) {
 	})
 	return n, nil
 }
+
+// toDelivery converts a broadcast-layer delivery to the public type.
+func toDelivery(d broadcast.Delivery) Delivery {
+	return Delivery{
+		Proposer:  int(d.ID.Proposer),
+		Seq:       d.ID.Seq,
+		Ordinal:   uint64(d.Ordinal),
+		Payload:   d.Payload,
+		Order:     Order(d.Sem.Order),
+		Atomicity: Atomicity(d.Sem.Atomicity),
+		SendTime:  time.UnixMicro(int64(d.SendTS)),
+	}
+}
+
+// writeSnapshot persists the application state with the broadcast
+// layer's matching delivery image and prunes the log behind it. Without
+// Snapshot/Install hooks the node stays log-only: there is no state the
+// snapshot could capture, so the log must keep every delivery.
+func (n *Node) writeSnapshot() {
+	n.sinceSnap = 0
+	if n.store == nil || n.cfg.Snapshot == nil {
+		return
+	}
+	img := n.bc.SnapshotImage()
+	meta := durable.SnapshotMeta{Lineage: img.Lineage, Covered: img.Covered, SettledTS: img.SettledTS}
+	for _, x := range img.Extra {
+		meta.Extra = append(meta.Extra, durable.ExtraEntry{ID: x.ID, Ordinal: x.Ordinal})
+	}
+	for _, f := range img.FIFO {
+		meta.FIFO = append(meta.FIFO, durable.FIFOCursor{Proposer: f.Proposer, Next: f.Seq})
+	}
+	n.store.WriteSnapshot(meta, n.cfg.Snapshot()) //nolint:errcheck // best-effort; log retains the tail
+}
+
+// seedRecovery rebuilds the application and delivery state from what
+// the durable store recovered, before the protocol starts: the snapshot
+// is installed as the base, the logged updates are replayed through
+// OnDeliver on top, and the broadcast layer is seeded so nothing
+// recovered is ever re-applied — and so the node's join message
+// advertises the recovered coverage for a delta rejoin.
+func (n *Node) seedRecovery(rec *durable.Recovery) {
+	n.recovery = RecoveryReport{
+		Durable:       true,
+		HaveSnapshot:  rec.HaveSnapshot,
+		LoggedUpdates: len(rec.Updates),
+		LoggedViews:   len(rec.Views),
+		Covered:       uint64(rec.AdvertisedCoverage()),
+		Lineage:       uint64(rec.Lineage()),
+		TornTail:      rec.TornTail,
+		Discarded:     rec.Discarded,
+	}
+	if rec.Empty() {
+		return
+	}
+	if rec.HaveSnapshot && n.cfg.Install != nil {
+		n.cfg.Install(rec.AppState)
+	}
+	img := broadcast.Image{
+		Lineage:   rec.Lineage(),
+		Covered:   rec.AdvertisedCoverage(),
+		SettledTS: rec.Meta.SettledTS,
+	}
+	for _, x := range rec.Meta.Extra {
+		img.Extra = append(img.Extra, broadcast.ImageExtra{ID: x.ID, Ordinal: x.Ordinal})
+	}
+	for _, u := range rec.Updates {
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(toDelivery(broadcast.Delivery{
+				ID: u.ID, Ordinal: u.Ordinal, Payload: u.Payload, Sem: u.Sem, SendTS: u.SendTS,
+			}))
+		}
+		img.Extra = append(img.Extra, broadcast.ImageExtra{ID: u.ID, Ordinal: u.Ordinal})
+	}
+	for _, f := range rec.Meta.FIFO {
+		img.FIFO = append(img.FIFO, wire.FIFOEntry{Proposer: f.Proposer, Seq: f.Next})
+	}
+	n.bc.SeedRecovered(img)
+}
+
+// Recovery returns the startup recovery report; Durable is false when
+// the node has no data directory.
+func (n *Node) Recovery() RecoveryReport { return n.recovery }
 
 // handle runs inside the event loop; all protocol state is confined to
 // it.
@@ -307,6 +507,9 @@ func (n *Node) Stop() {
 	n.mu.Unlock()
 	n.loop.Stop()
 	n.tr.Close()
+	if n.store != nil {
+		n.store.Close() //nolint:errcheck // final flush; nothing to do on error
+	}
 }
 
 // Propose broadcasts an update with the given semantics. It blocks until
@@ -428,6 +631,11 @@ type Metrics struct {
 	DeliveredFast uint64
 	Purged        uint64
 	Retransmits   uint64
+	// State-transfer counters: full snapshots vs. rejoin deltas served
+	// to joiners, and replayed delta entries applied on this node.
+	StateFulls    uint64
+	StateDeltas   uint64
+	ReplayApplied uint64
 }
 
 // Metrics returns a snapshot of the node's protocol counters.
@@ -451,6 +659,9 @@ func (n *Node) Metrics() Metrics {
 			DeliveredFast:     bs.DeliveredFast,
 			Purged:            bs.Purged,
 			Retransmits:       bs.Retransmits,
+			StateFulls:        bs.StateFulls,
+			StateDeltas:       bs.StateDeltas,
+			ReplayApplied:     bs.ReplayApplied,
 		}
 	}})
 	select {
