@@ -188,7 +188,9 @@ func e7Engines() {
 		e := mk(func(engine.Event) {})
 		start := time.Now()
 		for i := uint64(0); i < events; i++ {
-			e.Post(engine.Event{Type: engine.EventType(i % uint64(engine.NumEventTypes))})
+			for !e.Post(engine.Event{Type: engine.EventType(i % uint64(engine.NumEventTypes))}) {
+				runtime.Gosched()
+			}
 			for e.Handled() <= i {
 				runtime.Gosched()
 			}

@@ -34,10 +34,15 @@ func main() {
 		id    = flag.Int("id", 0, "this node's ID (index into -peers)")
 		peers = flag.String("peers", "127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002",
 			"comma-separated host:port list, one per node, in ID order")
-		delta   = flag.Duration("delta", 10*time.Millisecond, "one-way timeout delay")
-		dd      = flag.Duration("D", 20*time.Millisecond, "max decider interval")
-		dataDir = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: volatile)")
-		fsync   = flag.String("fsync", "batched", "fsync policy: always | batched | none")
+		delta       = flag.Duration("delta", 10*time.Millisecond, "one-way timeout delay")
+		dd          = flag.Duration("D", 20*time.Millisecond, "max decider interval")
+		dataDir     = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: volatile)")
+		fsync       = flag.String("fsync", "batched", "fsync policy: always | batched | none")
+		guardBudget = flag.Duration("guard-budget", 0,
+			"enable the fail-aware timeliness guard with this handler/timer budget; "+
+				"a sustained violation makes the node self-exclude and rejoin warm (0: off)")
+		chaosSeed = flag.Int64("chaos-seed", 0,
+			"wrap the transport in deterministic chaos middleware with this seed (0: off)")
 	)
 	flag.Parse()
 
@@ -56,6 +61,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "transport: %v\n", err)
 		os.Exit(1)
 	}
+	var chaos *timewheel.ChaosNet
+	if *chaosSeed != 0 {
+		// A mild demo mix: enough loss and reordering to exercise the
+		// retransmit and election paths without drowning the group.
+		chaos = timewheel.NewChaosNet(timewheel.ChaosConfig{
+			Seed:        *chaosSeed,
+			MaxDelay:    *delta / 4,
+			DropProb:    0.02,
+			DupProb:     0.02,
+			CorruptProb: 0.01,
+			ReorderProb: 0.05,
+		})
+		tr = chaos.Wrap(*id, tr)
+		fmt.Printf("[chaos]   transport wrapped, seed=%d\n", *chaosSeed)
+	}
 	dir := ""
 	if *dataDir != "" {
 		dir = fmt.Sprintf("%s/node-%d", *dataDir, *id)
@@ -67,6 +87,12 @@ func main() {
 		Params:      timewheel.Params{Delta: *delta, D: *dd},
 		DataDir:     dir,
 		Fsync:       *fsync,
+		Guard: timewheel.GuardConfig{
+			Enabled:         *guardBudget > 0,
+			HandlerBudget:   *guardBudget,
+			TimerLateBudget: *guardBudget,
+			Enforce:         true,
+		},
 		OnDeliver: func(d timewheel.Delivery) {
 			fmt.Printf("[deliver] o%-4d from p%d: %s\n", d.Ordinal, d.Proposer, d.Payload)
 		},
@@ -110,6 +136,14 @@ func main() {
 		case "status":
 			v, ok := node.CurrentView()
 			fmt.Printf("[status]  state=%s view=g%d %v (member=%v)\n", node.StateName(), v.Seq, v.Members, ok)
+			if *guardBudget > 0 {
+				g := node.GuardStats()
+				fmt.Printf("[guard]   overruns=%d lateTimers=%d clockJumps=%d selfExclusions=%d suppressed=%d queueDrops=%d tripped=%v\n",
+					g.Overruns, g.LateTimers, g.ClockJumps, g.SelfExclusions, g.SuppressedSends, g.QueueDrops, g.Tripped)
+			}
+			if chaos != nil {
+				fmt.Printf("[chaos]   %+v\n", chaos.Stats())
+			}
 		default:
 			if err := node.Propose([]byte(line), timewheel.TotalOrder, timewheel.Strong); err != nil {
 				fmt.Printf("[error]   %v\n", err)

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"timewheel/internal/check"
+	"timewheel/internal/livechaos"
 	"timewheel/internal/oal"
 	"timewheel/internal/scenario"
 	"timewheel/internal/trace"
@@ -73,13 +75,14 @@ var scenarios = map[string]struct {
 
 func main() {
 	var (
-		name    = flag.String("scenario", "single-crash", "scenario to run (see -list)")
-		n       = flag.Int("n", 5, "team size N")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list scenarios and exit")
-		quiet   = flag.Bool("quiet", false, "suppress the timeline")
-		jsonOut = flag.Bool("json", false, "emit the timeline as JSON lines")
-		script  = flag.String("script", "", "run a fault-schedule script file instead of a named scenario")
+		name     = flag.String("scenario", "single-crash", "scenario to run (see -list)")
+		n        = flag.Int("n", 5, "team size N")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		quiet    = flag.Bool("quiet", false, "suppress the timeline")
+		jsonOut  = flag.Bool("json", false, "emit the timeline as JSON lines")
+		script   = flag.String("script", "", "run a fault-schedule script file instead of a named scenario")
+		duration = flag.Duration("duration", 1500*time.Millisecond, "nemesis phase length (live-chaos only)")
 	)
 	flag.Parse()
 
@@ -92,6 +95,15 @@ func main() {
 		for _, k := range names {
 			fmt.Printf("%-16s %s\n", k, scenarios[k].desc)
 		}
+		fmt.Printf("%-16s %s\n", "live-chaos",
+			"live cluster (real clocks and goroutines) under chaos middleware, a nemesis, and an injected stall")
+		return
+	}
+
+	if *name == "live-chaos" {
+		// Not a simulator scenario: real nodes on real clocks, so it has
+		// its own runner and its own (wall-time-adapted) invariant check.
+		runLiveChaos(*n, *seed, *duration, *quiet)
 		return
 	}
 
@@ -148,6 +160,43 @@ func main() {
 	res := check.All(r.Cluster)
 	fmt.Printf("invariants: %s\n", res)
 	if r.Failed != "" || !res.OK() {
+		os.Exit(1)
+	}
+}
+
+// runLiveChaos drives internal/livechaos: a real N-node cluster on the
+// in-memory hub, chaos middleware with a scripted nemesis, an injected
+// event-goroutine stall, and the wall-clock-adapted membership checks.
+func runLiveChaos(n int, seed int64, duration time.Duration, quiet bool) {
+	logf := func(string, ...any) {}
+	if !quiet {
+		logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	rep, err := livechaos.Run(livechaos.Options{
+		N: n, Seed: seed, Duration: duration, Victim: -1, Logf: logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "live-chaos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("scenario: live-chaos")
+	fmt.Println("metrics:")
+	fmt.Printf("  %-24s %12d\n", "victim", rep.Victim)
+	fmt.Printf("  %-24s %12d\n", "self_exclusions", rep.SelfExclusions)
+	fmt.Printf("  %-24s %12d\n", "warm_rejoins", rep.WarmRejoins)
+	fmt.Printf("  %-24s %12d\n", "chaos_dropped", rep.Chaos.Dropped)
+	fmt.Printf("  %-24s %12d\n", "chaos_blocked", rep.Chaos.Blocked)
+	fmt.Printf("  %-24s %12d\n", "chaos_reordered", rep.Chaos.Reordered)
+	for i, d := range rep.Delivered {
+		fmt.Printf("  delivered[%d]%13s %12d\n", i, "", d)
+	}
+	for i, g := range rep.Guard {
+		fmt.Printf("  guard[%d]: overruns=%d lateTimers=%d selfExclusions=%d suppressed=%d tripped=%v\n",
+			i, g.Overruns, g.LateTimers, g.SelfExclusions, g.SuppressedSends, g.Tripped)
+	}
+	fmt.Printf("converged: %v\n", rep.Converged)
+	fmt.Printf("invariants: %s\n", rep.Invariants)
+	if !rep.Converged || !rep.Invariants.OK() {
 		os.Exit(1)
 	}
 }

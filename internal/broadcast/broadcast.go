@@ -256,8 +256,10 @@ func (b *Broadcast) Reset() {
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
 	cfg := b.cfg
+	stats := b.stats // counters are cumulative across rejoins
 	fresh := New(b.self, b.params, cfg)
 	*b = *fresh
+	b.stats = stats
 	if cfg.OnOutcome != nil {
 		for _, id := range pending {
 			cfg.OnOutcome(Outcome{ID: id, Delivered: false})

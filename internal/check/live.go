@@ -1,0 +1,150 @@
+// Live-cluster invariant checking: the same §3 membership properties the
+// simulator validators enforce (view agreement, majority groups, at most
+// one decider), adapted to histories recorded from *real running nodes*.
+// Live nodes differ from simulated ones in two ways that matter here:
+// events are stamped with per-node wall clocks (so interval comparisons
+// must tolerate a skew bound rather than demand a shared virtual clock),
+// and the run is observed while still in motion (so decider tenures may
+// be open). The history types are plain data — the timewheel node layer
+// produces them — keeping this package free of a dependency on the live
+// node implementation.
+package check
+
+import (
+	"fmt"
+	"time"
+)
+
+// LiveView is one view installation recorded by a live node.
+type LiveView struct {
+	Seq     uint64
+	Members []int
+	At      time.Time
+}
+
+// LiveTenure is one decider tenure recorded by a live node.
+type LiveTenure struct {
+	Start time.Time
+	// End is the tenure's end, or the collection time for a tenure
+	// still open when the history was snapshotted (Open true).
+	End  time.Time
+	Sent bool // the tenure produced at least one decision
+	Open bool
+}
+
+// LiveHistory is everything one live node contributes to the checks.
+type LiveHistory struct {
+	ID      int
+	Views   []LiveView
+	Tenures []LiveTenure
+}
+
+// LiveAll runs the three adapted membership validators over live
+// histories from a team of clusterSize processes. skew bounds the
+// worst-case disagreement between any two nodes' wall clocks (the live
+// analogue of the model's epsilon); interval overlaps shorter than skew
+// are not provable from timestamps taken on different clocks.
+func LiveAll(clusterSize int, hs []LiveHistory, skew time.Duration) *Result {
+	r := &Result{}
+	LiveViewAgreement(hs, r)
+	LiveMajorityGroups(clusterSize, hs, r)
+	LiveAtMostOneDecider(hs, skew, r)
+	return r
+}
+
+// LiveViewAgreement mirrors ViewAgreement: two *completed* groups (every
+// listed member recorded the installation) with the same sequence number
+// must have identical member sets.
+func LiveViewAgreement(hs []LiveHistory, r *Result) {
+	type groupKey struct {
+		seq     uint64
+		members string
+	}
+	installs := make(map[groupKey]map[int]bool)
+	members := make(map[groupKey][]int)
+	for _, h := range hs {
+		for _, v := range h.Views {
+			k := groupKey{v.Seq, fmt.Sprint(v.Members)}
+			if installs[k] == nil {
+				installs[k] = make(map[int]bool)
+				members[k] = v.Members
+			}
+			installs[k][h.ID] = true
+		}
+	}
+	completed := make(map[uint64]string)
+	for k, who := range installs {
+		all := true
+		for _, m := range members[k] {
+			if !who[m] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		if prev, ok := completed[k.seq]; ok && prev != k.members {
+			r.add("view-agreement", "seq %d: completed groups %s and %s coexist",
+				k.seq, prev, k.members)
+		} else {
+			completed[k.seq] = k.members
+		}
+	}
+}
+
+// LiveMajorityGroups mirrors MajorityGroups: every installed view holds
+// at least a majority of the team.
+func LiveMajorityGroups(clusterSize int, hs []LiveHistory, r *Result) {
+	maj := clusterSize/2 + 1
+	for _, h := range hs {
+		for _, v := range h.Views {
+			if len(v.Members) < maj {
+				r.add("majority", "p%d installed sub-majority view g%d %v", h.ID, v.Seq, v.Members)
+			}
+		}
+	}
+}
+
+// LiveAtMostOneDecider mirrors AtMostOneDecider: no two decision-
+// producing tenures on different nodes overlap — here, by more than
+// skew, since each tenure is stamped on its own node's clock. Closed
+// tenures that never sent a decision (a decider-elect relinquishing) are
+// benign and excluded; open tenures are included, decision or not, since
+// a live decider's next decision may be imminent.
+func LiveAtMostOneDecider(hs []LiveHistory, skew time.Duration, r *Result) {
+	type interval struct {
+		who        int
+		start, end time.Time
+	}
+	var all []interval
+	for _, h := range hs {
+		for _, t := range h.Tenures {
+			if !t.Open && !t.Sent {
+				continue
+			}
+			all = append(all, interval{h.ID, t.Start, t.End})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if a.who == b.who {
+				continue
+			}
+			ovStart, ovEnd := a.start, a.end
+			if b.start.After(ovStart) {
+				ovStart = b.start
+			}
+			if b.end.Before(ovEnd) {
+				ovEnd = b.end
+			}
+			if ovEnd.Sub(ovStart) > skew {
+				r.add("one-decider", "p%d [%v,%v) overlaps p%d [%v,%v) by %v (> skew %v)",
+					a.who, a.start.Format("15:04:05.000"), a.end.Format("15:04:05.000"),
+					b.who, b.start.Format("15:04:05.000"), b.end.Format("15:04:05.000"),
+					ovEnd.Sub(ovStart), skew)
+			}
+		}
+	}
+}

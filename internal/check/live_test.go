@@ -1,0 +1,146 @@
+package check
+
+import (
+	"testing"
+	"time"
+)
+
+func lt(ms int) time.Time {
+	return time.Unix(1_700_000_000, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestLiveViewAgreement(t *testing.T) {
+	ok := []LiveHistory{
+		{ID: 0, Views: []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(0)}}},
+		{ID: 1, Views: []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(1)}}},
+		{ID: 2, Views: []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(2)}}},
+	}
+	r := &Result{}
+	LiveViewAgreement(ok, r)
+	if !r.OK() {
+		t.Fatalf("clean history flagged: %s", r)
+	}
+
+	// Two completed groups at the same seq with different members.
+	split := []LiveHistory{
+		{ID: 0, Views: []LiveView{{Seq: 2, Members: []int{0, 1}, At: lt(0)}}},
+		{ID: 1, Views: []LiveView{{Seq: 2, Members: []int{0, 1}, At: lt(1)}}},
+		{ID: 2, Views: []LiveView{{Seq: 2, Members: []int{2, 3}, At: lt(2)}}},
+		{ID: 3, Views: []LiveView{{Seq: 2, Members: []int{2, 3}, At: lt(3)}}},
+	}
+	r = &Result{}
+	LiveViewAgreement(split, r)
+	if r.OK() {
+		t.Fatalf("split brain not flagged")
+	}
+
+	// An uncompleted fork (node 2 never installed the rival view) is the
+	// paper's allowed limited divergence.
+	fork := []LiveHistory{
+		{ID: 0, Views: []LiveView{{Seq: 2, Members: []int{0, 1}, At: lt(0)}}},
+		{ID: 1, Views: []LiveView{{Seq: 2, Members: []int{0, 1}, At: lt(1)}}},
+		{ID: 2, Views: []LiveView{{Seq: 2, Members: []int{2, 3}, At: lt(2)}}},
+	}
+	r = &Result{}
+	LiveViewAgreement(fork, r)
+	if !r.OK() {
+		t.Fatalf("uncompleted fork flagged: %s", r)
+	}
+}
+
+func TestLiveMajorityGroups(t *testing.T) {
+	hs := []LiveHistory{
+		{ID: 0, Views: []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(0)}}},
+		{ID: 1, Views: []LiveView{{Seq: 2, Members: []int{0, 1}, At: lt(5)}}},
+	}
+	r := &Result{}
+	LiveMajorityGroups(5, hs, r)
+	if r.OK() {
+		t.Fatalf("sub-majority view (2 of 5) not flagged")
+	}
+	r = &Result{}
+	LiveMajorityGroups(3, hs, r)
+	if !r.OK() {
+		t.Fatalf("majority views flagged: %s", r)
+	}
+}
+
+func TestLiveAtMostOneDecider(t *testing.T) {
+	// Sequential tenures: fine.
+	hs := []LiveHistory{
+		{ID: 0, Tenures: []LiveTenure{{Start: lt(0), End: lt(100), Sent: true}}},
+		{ID: 1, Tenures: []LiveTenure{{Start: lt(100), End: lt(200), Sent: true}}},
+	}
+	r := &Result{}
+	LiveAtMostOneDecider(hs, 10*time.Millisecond, r)
+	if !r.OK() {
+		t.Fatalf("sequential tenures flagged: %s", r)
+	}
+
+	// Overlap beyond the skew bound: violation.
+	bad := []LiveHistory{
+		{ID: 0, Tenures: []LiveTenure{{Start: lt(0), End: lt(150), Sent: true}}},
+		{ID: 1, Tenures: []LiveTenure{{Start: lt(100), End: lt(200), Sent: true}}},
+	}
+	r = &Result{}
+	LiveAtMostOneDecider(bad, 10*time.Millisecond, r)
+	if r.OK() {
+		t.Fatalf("50ms overlap with 10ms skew not flagged")
+	}
+
+	// The same overlap within the skew bound is not provable from
+	// timestamps taken on different clocks.
+	r = &Result{}
+	LiveAtMostOneDecider(bad, 60*time.Millisecond, r)
+	if !r.OK() {
+		t.Fatalf("sub-skew overlap flagged: %s", r)
+	}
+
+	// A closed tenure that never sent a decision is benign.
+	benign := []LiveHistory{
+		{ID: 0, Tenures: []LiveTenure{{Start: lt(0), End: lt(150), Sent: false}}},
+		{ID: 1, Tenures: []LiveTenure{{Start: lt(100), End: lt(200), Sent: true}}},
+	}
+	r = &Result{}
+	LiveAtMostOneDecider(benign, 10*time.Millisecond, r)
+	if !r.OK() {
+		t.Fatalf("non-sending tenure flagged: %s", r)
+	}
+
+	// An open tenure counts even without a decision yet.
+	open := []LiveHistory{
+		{ID: 0, Tenures: []LiveTenure{{Start: lt(0), End: lt(150), Sent: false, Open: true}}},
+		{ID: 1, Tenures: []LiveTenure{{Start: lt(100), End: lt(200), Sent: true}}},
+	}
+	r = &Result{}
+	LiveAtMostOneDecider(open, 10*time.Millisecond, r)
+	if r.OK() {
+		t.Fatalf("open-tenure overlap not flagged")
+	}
+
+	// Same node re-elected: no self-overlap violation.
+	same := []LiveHistory{
+		{ID: 0, Tenures: []LiveTenure{
+			{Start: lt(0), End: lt(150), Sent: true},
+			{Start: lt(100), End: lt(200), Sent: true},
+		}},
+	}
+	r = &Result{}
+	LiveAtMostOneDecider(same, 0, r)
+	if !r.OK() {
+		t.Fatalf("same-node overlap flagged: %s", r)
+	}
+}
+
+func TestLiveAll(t *testing.T) {
+	hs := []LiveHistory{
+		{ID: 0,
+			Views:   []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(0)}},
+			Tenures: []LiveTenure{{Start: lt(0), End: lt(100), Sent: true}}},
+		{ID: 1, Views: []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(1)}}},
+		{ID: 2, Views: []LiveView{{Seq: 1, Members: []int{0, 1, 2}, At: lt(2)}}},
+	}
+	if r := LiveAll(3, hs, 5*time.Millisecond); !r.OK() {
+		t.Fatalf("clean live run flagged: %s", r)
+	}
+}

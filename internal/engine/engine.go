@@ -22,6 +22,7 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timewheel/internal/member"
 	"timewheel/internal/wire"
@@ -61,6 +62,12 @@ type Event struct {
 	Msg   wire.Message
 	Timer member.TimerID
 	Cmd   func()
+	// Due is the wall-clock deadline a timer event was armed for (zero
+	// for non-timer events). The dispatching layer compares it against
+	// the handling time for fail-aware timer-lateness accounting: the
+	// gap covers both OS-timer slip and queueing delay behind a stalled
+	// handler.
+	Due time.Time
 }
 
 // TypeOfMessage maps a wire message to its event type.
@@ -101,13 +108,22 @@ type Handler func(Event)
 
 // Engine is a concurrent event demultiplexer.
 type Engine interface {
-	// Post enqueues an event from any goroutine. It blocks when the
-	// engine's buffers are full and drops the event after Stop.
-	Post(Event)
+	// Post enqueues an event from any goroutine without blocking and
+	// reports whether it was accepted. When the engine's bounded queue
+	// is full (or the engine is stopped) the event is dropped and the
+	// drop is counted: queue overflow is an in-model omission failure,
+	// made observable instead of stalling the caller — a transport
+	// receive goroutine or timer callback must never block on a slow
+	// protocol core.
+	Post(Event) bool
 	// Stop shuts the engine down and waits for in-flight handlers.
 	Stop()
 	// Handled returns the number of events dispatched so far.
 	Handled() uint64
+	// Dropped returns the number of events rejected by a full queue
+	// while the engine was running (posts after Stop are not counted —
+	// shutdown is not an overload signal).
+	Dropped() uint64
 }
 
 // --- Event-based engine ----------------------------------------------------
@@ -120,6 +136,7 @@ type EventLoop struct {
 	done    chan struct{}
 	stopped atomic.Bool
 	handled atomic.Uint64
+	dropped atomic.Uint64
 	wg      sync.WaitGroup
 }
 
@@ -161,13 +178,16 @@ func (e *EventLoop) run() {
 }
 
 // Post implements Engine.
-func (e *EventLoop) Post(ev Event) {
+func (e *EventLoop) Post(ev Event) bool {
 	if e.stopped.Load() {
-		return
+		return false
 	}
 	select {
 	case e.ch <- ev:
-	case <-e.done:
+		return true
+	default:
+		e.dropped.Add(1)
+		return false
 	}
 }
 
@@ -183,6 +203,9 @@ func (e *EventLoop) Stop() {
 // Handled implements Engine.
 func (e *EventLoop) Handled() uint64 { return e.handled.Load() }
 
+// Dropped implements Engine.
+func (e *EventLoop) Dropped() uint64 { return e.dropped.Load() }
+
 // --- Thread-based engine -----------------------------------------------------
 
 // Threaded is the thread-per-event-type engine: each event type has its
@@ -197,6 +220,7 @@ type Threaded struct {
 	done    chan struct{}
 	stopped atomic.Bool
 	handled atomic.Uint64
+	dropped atomic.Uint64
 	wg      sync.WaitGroup
 }
 
@@ -244,16 +268,19 @@ func (t *Threaded) dispatch(ev Event) {
 }
 
 // Post implements Engine.
-func (t *Threaded) Post(ev Event) {
+func (t *Threaded) Post(ev Event) bool {
 	if t.stopped.Load() {
-		return
+		return false
 	}
 	if ev.Type >= numEventTypes {
 		ev.Type = EvCommand
 	}
 	select {
 	case t.chans[ev.Type] <- ev:
-	case <-t.done:
+		return true
+	default:
+		t.dropped.Add(1)
+		return false
 	}
 }
 
@@ -268,6 +295,9 @@ func (t *Threaded) Stop() {
 
 // Handled implements Engine.
 func (t *Threaded) Handled() uint64 { return t.handled.Load() }
+
+// Dropped implements Engine.
+func (t *Threaded) Dropped() uint64 { return t.dropped.Load() }
 
 var (
 	_ Engine = (*EventLoop)(nil)

@@ -36,18 +36,23 @@ func TestAllEventsDispatched(t *testing.T) {
 			var e Engine
 			h := func(Event) { count.Add(1) }
 			if name == "event-loop" {
-				e = NewEventLoop(h, 0)
+				e = NewEventLoop(h, 10_000)
 			} else {
-				e = NewThreaded(h, 0)
+				e = NewThreaded(h, 10_000)
 			}
 			const n = 10_000
 			for i := 0; i < n; i++ {
-				e.Post(Event{Type: EventType(i % NumEventTypes)})
+				if !e.Post(Event{Type: EventType(i % NumEventTypes)}) {
+					t.Fatalf("post %d rejected with depth %d", i, n)
+				}
 			}
 			waitHandled(t, e, n)
 			e.Stop()
 			if count.Load() != n {
 				t.Fatalf("handled %d", count.Load())
+			}
+			if e.Dropped() != 0 {
+				t.Fatalf("dropped %d with a large enough queue", e.Dropped())
 			}
 		})
 	}
@@ -69,13 +74,13 @@ func TestHandlerNeverRunsConcurrently(t *testing.T) {
 				inHandler.Add(-1)
 			}
 			var e Engine
+			const posters, per = 8, 500
 			if name == "event-loop" {
-				e = NewEventLoop(h, 0)
+				e = NewEventLoop(h, posters*per)
 			} else {
-				e = NewThreaded(h, 0)
+				e = NewThreaded(h, posters*per)
 			}
 			var wg sync.WaitGroup
-			const posters, per = 8, 500
 			for p := 0; p < posters; p++ {
 				p := p
 				wg.Add(1)
@@ -98,8 +103,8 @@ func TestHandlerNeverRunsConcurrently(t *testing.T) {
 
 func TestEventLoopPreservesFIFO(t *testing.T) {
 	var got []int
-	e := NewEventLoop(func(ev Event) { got = append(got, int(ev.Type)) }, 0)
 	const n = 1000
+	e := NewEventLoop(func(ev Event) { got = append(got, int(ev.Type)) }, n)
 	for i := 0; i < n; i++ {
 		e.Post(Event{Type: EventType(i % NumEventTypes)})
 	}
@@ -114,11 +119,11 @@ func TestEventLoopPreservesFIFO(t *testing.T) {
 
 func TestThreadedPreservesPerTypeFIFO(t *testing.T) {
 	perType := make(map[EventType][]int)
+	const n = 3000
 	e := NewThreaded(func(ev Event) {
 		// The engine serialises handler execution, so no extra locking.
 		ev.Cmd()
-	}, 0)
-	const n = 3000
+	}, n)
 	for i := 0; i < n; i++ {
 		i := i
 		ty := EventType(i % NumEventTypes)
@@ -150,11 +155,68 @@ func TestStopIsIdempotentAndDropsLatePosts(t *testing.T) {
 			e.Stop()
 			e.Stop() // idempotent
 			before := e.Handled()
-			e.Post(Event{})
+			if e.Post(Event{}) {
+				t.Fatalf("post after stop was accepted")
+			}
 			time.Sleep(time.Millisecond)
 			if e.Handled() != before {
 				t.Fatalf("post after stop was handled")
 			}
+			if e.Dropped() != 0 {
+				t.Fatalf("post after stop counted as an overflow drop")
+			}
+		})
+	}
+}
+
+func TestPostOnFullQueueDropsAndCounts(t *testing.T) {
+	for name := range engines(nil) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// A gate blocks the first handler so nothing drains: with
+			// depth 1 the queue holds exactly one more event and every
+			// further Post must be rejected and counted, not block.
+			gate := make(chan struct{})
+			started := make(chan struct{}, 1)
+			h := func(Event) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-gate
+			}
+			var e Engine
+			if name == "event-loop" {
+				e = NewEventLoop(h, 1)
+			} else {
+				e = NewThreaded(h, 1)
+			}
+			if !e.Post(Event{Type: EvCommand}) {
+				t.Fatalf("first post rejected")
+			}
+			<-started // handler is now stalled on the gate
+			if !e.Post(Event{Type: EvCommand}) {
+				t.Fatalf("post into empty depth-1 queue rejected")
+			}
+			const extra = 5
+			for i := 0; i < extra; i++ {
+				done := make(chan bool, 1)
+				go func() { done <- e.Post(Event{Type: EvCommand}) }()
+				select {
+				case ok := <-done:
+					if ok {
+						t.Fatalf("post %d accepted on a full queue", i)
+					}
+				case <-time.After(time.Second):
+					t.Fatalf("post %d blocked on a full queue", i)
+				}
+			}
+			if got := e.Dropped(); got != extra {
+				t.Fatalf("Dropped() = %d, want %d", got, extra)
+			}
+			close(gate)
+			waitHandled(t, e, 2)
+			e.Stop()
 		})
 	}
 }

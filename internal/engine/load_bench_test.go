@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -12,6 +13,7 @@ func loadTest(b *testing.B, e Engine) {
 		per = 1
 	}
 	var wg sync.WaitGroup
+	var accepted atomic.Uint64
 	b.ResetTimer()
 	for p := 0; p < posters; p++ {
 		p := p
@@ -19,12 +21,14 @@ func loadTest(b *testing.B, e Engine) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				e.Post(Event{Type: EventType((p*7 + i) % NumEventTypes)})
+				if e.Post(Event{Type: EventType((p*7 + i) % NumEventTypes)}) {
+					accepted.Add(1)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	for e.Handled() < uint64(posters*per) {
+	for e.Handled() < accepted.Load() {
 	}
 	b.StopTimer()
 	e.Stop()

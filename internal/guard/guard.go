@@ -1,0 +1,267 @@
+// Package guard implements the local performance-failure detector the
+// timed asynchronous model demands of a fail-aware process (paper §2:
+// processes "have access to local hardware clocks" and must know when
+// their own scheduling or clock has failed them). The failure detector
+// in internal/member tells a process which *peers* look late; the guard
+// tells a process when *it itself* has become the slow one — a stalled
+// handler, a timer fired long after its deadline, a synchronized-clock
+// discontinuity — so it can stop emitting control messages whose
+// timestamps no longer mean what receivers will assume they mean.
+//
+// The guard is advisory until it trips: every violation is counted, and
+// when TripCount violations land within TripWindow the guard trips.
+// What a trip means is the caller's policy (Config.Enforce): the node
+// layer either self-excludes (suppresses control sends, abandons any
+// in-progress decision, rejoins warm), or — in observe-only mode —
+// keeps running and counts the late control traffic it would have
+// suppressed, which is exactly the ablation the chaos tests assert on.
+package guard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the guard's budgets. Zero values take the defaults;
+// negative values disable the corresponding check.
+type Config struct {
+	// HandlerBudget bounds the wall-clock time one event handler may
+	// take before it counts as an overrun (default 100ms).
+	HandlerBudget time.Duration
+	// TimerLateBudget bounds how far past its armed deadline a timer
+	// event may be dispatched (default 100ms). This covers both OS
+	// timer slip and queueing behind a stalled handler.
+	TimerLateBudget time.Duration
+	// ClockJumpMax bounds the divergence between the wall clock and the
+	// monotonic clock across consecutive observations (default 1s); a
+	// larger divergence is a clock discontinuity (step, suspend/resume).
+	ClockJumpMax time.Duration
+	// TripCount violations within TripWindow trip the guard
+	// (defaults 3 within 1s).
+	TripCount  int
+	TripWindow time.Duration
+	// Enforce selects the trip policy: true means the node layer
+	// self-excludes; false means violations and late sends are only
+	// counted (the trip still latches so tests can see it fired).
+	Enforce bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.HandlerBudget == 0 {
+		c.HandlerBudget = 100 * time.Millisecond
+	}
+	if c.TimerLateBudget == 0 {
+		c.TimerLateBudget = 100 * time.Millisecond
+	}
+	if c.ClockJumpMax == 0 {
+		c.ClockJumpMax = time.Second
+	}
+	if c.TripCount == 0 {
+		c.TripCount = 3
+	}
+	if c.TripWindow == 0 {
+		c.TripWindow = time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of the guard's counters. All counters are
+// cumulative over the guard's lifetime.
+type Stats struct {
+	// Overruns counts handlers that exceeded HandlerBudget.
+	Overruns uint64
+	// LateTimers counts timer events dispatched more than
+	// TimerLateBudget past their armed deadline.
+	LateTimers uint64
+	// ClockJumps counts wall-vs-monotonic clock discontinuities larger
+	// than ClockJumpMax.
+	ClockJumps uint64
+	// SelfExclusions counts guard trips that led the node to
+	// self-exclude and rejoin.
+	SelfExclusions uint64
+	// SuppressedSends counts control messages withheld while tripped
+	// with Enforce set.
+	SuppressedSends uint64
+	// LateSends counts control messages let through while tripped in
+	// observe-only mode — the traffic a fail-aware process must not
+	// emit, made countable for the enforcement ablation.
+	LateSends uint64
+	// QueueDrops mirrors the engine's bounded-queue drop counter (the
+	// node layer fills it in; the guard itself does not track it).
+	QueueDrops uint64
+	// Tripped reports whether the guard is currently (Enforce) or was
+	// ever (observe-only) tripped.
+	Tripped bool
+}
+
+// Guard is the detector. Note* methods are called from the engine's
+// dispatch goroutine(s); AllowControlSend, Tripped and Stats may be
+// called from any goroutine.
+type Guard struct {
+	cfg Config
+
+	overruns       atomic.Uint64
+	lateTimers     atomic.Uint64
+	clockJumps     atomic.Uint64
+	selfExclusions atomic.Uint64
+	suppressed     atomic.Uint64
+	lateSends      atomic.Uint64
+	tripped        atomic.Bool
+	everTripped    atomic.Bool
+
+	// mu guards the violation window and the last clock observation.
+	// Note* callers are serialised by the engine in practice, but the
+	// Threaded engine dispatches from several goroutines and Rearm is
+	// called from the handler path, so the small critical section is
+	// locked rather than assumed.
+	mu         sync.Mutex
+	violations []time.Time
+	lastClock  time.Time
+	graceUntil time.Time
+}
+
+// New returns a guard with cfg's budgets (zero fields defaulted).
+func New(cfg Config) *Guard {
+	return &Guard{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (g *Guard) Config() Config { return g.cfg }
+
+// NoteClock checks the wall clock against the monotonic clock. now must
+// carry a monotonic reading (i.e. come straight from time.Now).
+func (g *Guard) NoteClock(now time.Time) {
+	if g.cfg.ClockJumpMax < 0 {
+		return
+	}
+	g.mu.Lock()
+	last := g.lastClock
+	g.lastClock = now
+	g.mu.Unlock()
+	if last.IsZero() {
+		return
+	}
+	// Round(0) strips the monotonic reading, so the first difference is
+	// wall-clock and the second is monotonic; a synchronized clock that
+	// stepped (NTP slew gone wrong, suspend/resume, VM migration) shows
+	// up as divergence between the two.
+	g.noteClockDelta(now.Round(0).Sub(last.Round(0)), now.Sub(last), now)
+}
+
+// noteClockDelta compares one wall-clock interval against the monotonic
+// interval spanning the same pair of observations (split out from
+// NoteClock because the public time API cannot fabricate divergent
+// readings for tests).
+func (g *Guard) noteClockDelta(wall, mono time.Duration, now time.Time) {
+	div := wall - mono
+	if div < 0 {
+		div = -div
+	}
+	if div > g.cfg.ClockJumpMax {
+		g.clockJumps.Add(1)
+		g.violation(now)
+	}
+}
+
+// NoteTimerFired records a timer event dispatched at now that was armed
+// for the given deadline (zero deadlines are ignored).
+func (g *Guard) NoteTimerFired(now, due time.Time) {
+	if g.cfg.TimerLateBudget < 0 || due.IsZero() {
+		return
+	}
+	if late := now.Sub(due); late > g.cfg.TimerLateBudget {
+		g.lateTimers.Add(1)
+		g.violation(now)
+	}
+}
+
+// NoteHandlerDone records a handler that started at start and returned
+// at now.
+func (g *Guard) NoteHandlerDone(start, now time.Time) {
+	if g.cfg.HandlerBudget < 0 {
+		return
+	}
+	if now.Sub(start) > g.cfg.HandlerBudget {
+		g.overruns.Add(1)
+		g.violation(now)
+	}
+}
+
+// violation appends to the sliding window and trips the guard when
+// TripCount violations land within TripWindow. During the grace period
+// after a Rearm, violations are counted (the counters above already
+// were) but do not re-trip: the backlog of late timers drained right
+// after a self-exclusion describes the *old* stall, not a new one.
+func (g *Guard) violation(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if now.Before(g.graceUntil) {
+		return
+	}
+	cutoff := now.Add(-g.cfg.TripWindow)
+	keep := g.violations[:0]
+	for _, t := range g.violations {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	g.violations = append(keep, now)
+	if len(g.violations) >= g.cfg.TripCount {
+		if g.tripped.CompareAndSwap(false, true) {
+			g.everTripped.Store(true)
+		}
+	}
+}
+
+// Tripped reports whether the guard is currently tripped.
+func (g *Guard) Tripped() bool { return g.tripped.Load() }
+
+// AllowControlSend is consulted before every outgoing control message.
+// Untripped: allowed. Tripped with Enforce: suppressed (counted).
+// Tripped observe-only: allowed but counted as a late send — the
+// message a fail-aware process should not have emitted.
+func (g *Guard) AllowControlSend() bool {
+	if !g.tripped.Load() {
+		return true
+	}
+	if g.cfg.Enforce {
+		g.suppressed.Add(1)
+		return false
+	}
+	g.lateSends.Add(1)
+	return true
+}
+
+// NoteSelfExclusion records that the node acted on a trip by
+// self-excluding.
+func (g *Guard) NoteSelfExclusion() { g.selfExclusions.Add(1) }
+
+// Rearm clears the trip after the node has self-excluded and dropped to
+// the join state, opening a grace window (one TripWindow) during which
+// stale violations cannot immediately re-trip the guard. Observe-only
+// guards latch: the trip survives Rearm so tests and operators can see
+// it fired.
+func (g *Guard) Rearm(now time.Time) {
+	g.mu.Lock()
+	g.violations = g.violations[:0]
+	g.graceUntil = now.Add(g.cfg.TripWindow)
+	g.mu.Unlock()
+	if g.cfg.Enforce {
+		g.tripped.Store(false)
+	}
+}
+
+// Stats snapshots the counters. Safe from any goroutine, including
+// while the guarded event loop is stalled.
+func (g *Guard) Stats() Stats {
+	return Stats{
+		Overruns:        g.overruns.Load(),
+		LateTimers:      g.lateTimers.Load(),
+		ClockJumps:      g.clockJumps.Load(),
+		SelfExclusions:  g.selfExclusions.Load(),
+		SuppressedSends: g.suppressed.Load(),
+		LateSends:       g.lateSends.Load(),
+		Tripped:         g.tripped.Load() || g.everTripped.Load(),
+	}
+}

@@ -1,0 +1,160 @@
+package guard
+
+import (
+	"testing"
+	"time"
+)
+
+func at(ms int) time.Time {
+	// A fixed base keeps the tests deterministic; Round(0) strips the
+	// monotonic clock so NoteClock's wall-vs-mono comparison is exercised
+	// through explicit monotonic-carrying values where needed.
+	return time.Unix(1_000_000, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{})
+	c := g.Config()
+	if c.HandlerBudget != 100*time.Millisecond || c.TimerLateBudget != 100*time.Millisecond ||
+		c.ClockJumpMax != time.Second || c.TripCount != 3 || c.TripWindow != time.Second {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestHandlerOverrunCountsAndTrips(t *testing.T) {
+	g := New(Config{HandlerBudget: 10 * time.Millisecond, TripCount: 2, TripWindow: time.Second, Enforce: true})
+	g.NoteHandlerDone(at(0), at(5)) // within budget
+	if s := g.Stats(); s.Overruns != 0 {
+		t.Fatalf("overrun counted for a fast handler")
+	}
+	g.NoteHandlerDone(at(0), at(50))
+	if g.Tripped() {
+		t.Fatalf("tripped after one violation with TripCount=2")
+	}
+	g.NoteHandlerDone(at(100), at(200))
+	if !g.Tripped() {
+		t.Fatalf("not tripped after two violations within the window")
+	}
+	if s := g.Stats(); s.Overruns != 2 || !s.Tripped {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestViolationsOutsideWindowDoNotTrip(t *testing.T) {
+	g := New(Config{HandlerBudget: 10 * time.Millisecond, TripCount: 2, TripWindow: 100 * time.Millisecond})
+	g.NoteHandlerDone(at(0), at(50))
+	g.NoteHandlerDone(at(500), at(550)) // 500ms later: first violation aged out
+	if g.Tripped() {
+		t.Fatalf("tripped on violations spread beyond the window")
+	}
+}
+
+func TestTimerLateness(t *testing.T) {
+	g := New(Config{TimerLateBudget: 5 * time.Millisecond, TripCount: 1})
+	g.NoteTimerFired(at(3), at(0))
+	if s := g.Stats(); s.LateTimers != 0 {
+		t.Fatalf("3ms late counted against a 5ms budget")
+	}
+	g.NoteTimerFired(at(20), at(0))
+	if s := g.Stats(); s.LateTimers != 1 || !g.Tripped() {
+		t.Fatalf("stats %+v tripped=%v", s, g.Tripped())
+	}
+	// Zero deadline (non-timer event) is ignored.
+	g.NoteTimerFired(at(1000), time.Time{})
+	if s := g.Stats(); s.LateTimers != 1 {
+		t.Fatalf("zero deadline counted")
+	}
+}
+
+func TestClockJump(t *testing.T) {
+	// The public time API can't fabricate a wall reading that diverges
+	// from its monotonic reading (Add moves both), so drive the
+	// comparison directly: 10ms of monotonic flow during which the wall
+	// clock moved 1.01s is a step.
+	g := New(Config{ClockJumpMax: 50 * time.Millisecond, TripCount: 1})
+	g.noteClockDelta(time.Second+10*time.Millisecond, 10*time.Millisecond, at(10))
+	if s := g.Stats(); s.ClockJumps != 1 {
+		t.Fatalf("clock step not detected: %+v", s)
+	}
+	// Backward steps count too.
+	g2 := New(Config{ClockJumpMax: 50 * time.Millisecond, TripCount: 1})
+	g2.noteClockDelta(-time.Second, 10*time.Millisecond, at(10))
+	if s := g2.Stats(); s.ClockJumps != 1 {
+		t.Fatalf("backward step not detected: %+v", s)
+	}
+}
+
+func TestClockSmoothFlowIsClean(t *testing.T) {
+	g := New(Config{ClockJumpMax: 50 * time.Millisecond, TripCount: 1})
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		g.NoteClock(base.Add(time.Duration(i) * 10 * time.Millisecond))
+	}
+	if s := g.Stats(); s.ClockJumps != 0 {
+		t.Fatalf("smooth clock flagged: %+v", s)
+	}
+}
+
+func TestEnforceSuppressesAndRearms(t *testing.T) {
+	g := New(Config{HandlerBudget: time.Millisecond, TripCount: 1, TripWindow: 100 * time.Millisecond, Enforce: true})
+	if !g.AllowControlSend() {
+		t.Fatalf("untripped guard blocked a send")
+	}
+	g.NoteHandlerDone(at(0), at(10))
+	if g.AllowControlSend() {
+		t.Fatalf("tripped enforcing guard allowed a send")
+	}
+	if s := g.Stats(); s.SuppressedSends != 1 || s.LateSends != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	g.NoteSelfExclusion()
+	g.Rearm(at(10))
+	if g.Tripped() {
+		t.Fatalf("still tripped after rearm")
+	}
+	if !g.AllowControlSend() {
+		t.Fatalf("rearmed guard blocked a send")
+	}
+	// A stale violation inside the grace window must not re-trip...
+	g.NoteHandlerDone(at(11), at(20))
+	if g.Tripped() {
+		t.Fatalf("re-tripped during grace period")
+	}
+	// ...but a fresh one after the grace window must.
+	g.NoteHandlerDone(at(200), at(250))
+	if !g.Tripped() {
+		t.Fatalf("violation after grace did not trip")
+	}
+	if s := g.Stats(); s.SelfExclusions != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestObserveOnlyCountsLateSendsAndLatches(t *testing.T) {
+	g := New(Config{HandlerBudget: time.Millisecond, TripCount: 1})
+	g.NoteHandlerDone(at(0), at(10))
+	if !g.AllowControlSend() {
+		t.Fatalf("observe-only guard suppressed a send")
+	}
+	if s := g.Stats(); s.LateSends != 1 || s.SuppressedSends != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	g.Rearm(at(10))
+	if !g.Tripped() {
+		t.Fatalf("observe-only trip did not latch across Rearm")
+	}
+	if s := g.Stats(); !s.Tripped {
+		t.Fatalf("stats lost the latched trip: %+v", s)
+	}
+}
+
+func TestDisabledChecks(t *testing.T) {
+	g := New(Config{HandlerBudget: -1, TimerLateBudget: -1, ClockJumpMax: -1, TripCount: 1})
+	g.NoteHandlerDone(at(0), at(10_000))
+	g.NoteTimerFired(at(10_000), at(0))
+	g.NoteClock(time.Now())
+	g.NoteClock(time.Now().Round(0).Add(time.Hour))
+	if s := g.Stats(); s.Overruns+s.LateTimers+s.ClockJumps != 0 || g.Tripped() {
+		t.Fatalf("disabled checks still fired: %+v", s)
+	}
+}

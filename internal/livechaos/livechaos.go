@@ -1,0 +1,368 @@
+// Package livechaos runs a real timewheel cluster — N live nodes, each
+// on its own goroutine-backed engine — under the chaos transport
+// middleware and a scripted nemesis, injects event-goroutine stalls,
+// and checks the paper's §3 membership invariants against the histories
+// the nodes record. It is the live-cluster counterpart of the netsim
+// scenarios: the same properties, validated on real clocks and real
+// concurrency instead of the simulator's virtual time.
+package livechaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"timewheel"
+	"timewheel/internal/check"
+	"timewheel/internal/model"
+	"timewheel/internal/transport"
+)
+
+// Options configures one live chaos run.
+type Options struct {
+	// N is the cluster size (default 3).
+	N int
+	// Seed drives the chaos fault mix and the nemesis schedule.
+	Seed int64
+	// Duration is the nemesis phase length (default 1.5s); the run
+	// itself lasts longer (formation before, reconvergence after).
+	Duration time.Duration
+	// Stall is the length of the stall injected into the victim's
+	// event goroutine mid-run (default 400ms — far beyond the guard
+	// budgets, so an enforcing guard must trip).
+	Stall time.Duration
+	// Victim selects the stalled node; -1 (default via zero Options
+	// literal is 0 — pass -1 explicitly) picks a node that is not
+	// currently the decider, keeping the recorded tenure overlap
+	// within the skew bound the invariant check can tolerate.
+	Victim int
+	// Observe runs the guard in observe-only mode: violations are
+	// counted (LateSends in particular) but nothing is suppressed and
+	// the node never self-excludes.
+	Observe bool
+	// DataDir is the base directory for the nodes' durable state; a
+	// temp directory (removed afterwards) is used when empty. Durable
+	// state is what makes the post-exclusion rejoin warm.
+	DataDir string
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Report is what one run produces.
+type Report struct {
+	// Guard holds each node's final guard counters, indexed by ID.
+	Guard []timewheel.GuardStats
+	// Chaos holds the chaos middleware's fault counters.
+	Chaos transport.ChaosStats
+	// Invariants is the live-adapted §3 membership check result.
+	Invariants *check.Result
+	// Delivered is each node's delivered-update count.
+	Delivered []uint64
+	// SelfExclusions and LateSends are summed over the cluster.
+	SelfExclusions uint64
+	LateSends      uint64
+	// Victim is the node that was stalled.
+	Victim int
+	// Converged reports whether every node was back in a full view
+	// (and the victim up to date) by the end of the run.
+	Converged bool
+	// WarmRejoins counts replay deltas served cluster-wide — a warm
+	// (coverage-preserving) rejoin shows up here rather than as a
+	// full state transfer.
+	WarmRejoins uint64
+}
+
+// port lifts an internal chaos-wrapped transport to the public
+// timewheel.Transport interface.
+type port struct{ t transport.Transport }
+
+func (p port) Broadcast(data []byte) error       { return p.t.Broadcast(data) }
+func (p port) Unicast(to int, data []byte) error { return p.t.Unicast(model.ProcessID(to), data) }
+func (p port) SetReceiver(r func(data []byte))   { p.t.SetReceiver(r) }
+func (p port) Close() error                      { return p.t.Close() }
+
+// Run executes one live chaos run and reports what happened. Errors are
+// setup failures only; protocol misbehaviour lands in the Report.
+func Run(o Options) (*Report, error) {
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.Duration <= 0 {
+		o.Duration = 1500 * time.Millisecond
+	}
+	if o.Stall <= 0 {
+		o.Stall = 400 * time.Millisecond
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dataDir := o.DataDir
+	if dataDir == "" {
+		d, err := os.MkdirTemp("", "livechaos")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dataDir = d
+	}
+
+	// The protocol constants leave room for the chaos delays: worst
+	// case hub delay (300µs) plus chaos hold (1ms) stays under Delta.
+	params := timewheel.Params{
+		Delta:   3 * time.Millisecond,
+		D:       8 * time.Millisecond,
+		Epsilon: time.Millisecond,
+		Sigma:   time.Millisecond,
+		SlotPad: 500 * time.Microsecond,
+	}
+	hub := transport.NewHub(transport.HubOptions{MaxDelay: 300 * time.Microsecond, Seed: o.Seed})
+	defer hub.Close()
+	net := transport.NewChaosNet(o.Seed, transport.Faults{
+		MaxDelay:  time.Millisecond,
+		Drop:      0.02,
+		Duplicate: 0.02,
+		Corrupt:   0.01,
+		Reorder:   0.05,
+		// The default reorder hold (4×MaxDelay = 4ms) pushes a held
+		// frame past Delta+Epsilon+Sigma — every reordered control
+		// message would arrive "late" and feed wrong-suspicion storms.
+		// 2ms keeps reordering real but inside the timeliness bound.
+		ReorderDelay: 2 * time.Millisecond,
+	})
+
+	nodes := make([]*timewheel.Node, o.N)
+	delivered := make([]atomic.Uint64, o.N)
+	ids := make([]model.ProcessID, o.N)
+	for i := 0; i < o.N; i++ {
+		ids[i] = model.ProcessID(i)
+		i := i
+		nd, err := timewheel.NewNode(timewheel.Config{
+			ID:          i,
+			ClusterSize: o.N,
+			Transport:   port{net.Wrap(hub.Attach(model.ProcessID(i)))},
+			Params:      params,
+			DataDir:     filepath.Join(dataDir, fmt.Sprintf("node-%d", i)),
+			Fsync:       "none",
+			OnDeliver:   func(timewheel.Delivery) { delivered[i].Add(1) },
+			Guard: timewheel.GuardConfig{
+				Enabled: true,
+				// Generous budgets: a loaded test host (and the race
+				// detector) produces real 30ms+ scheduling lateness on
+				// perfectly healthy nodes, and a spurious trip cascades —
+				// exclusion, election, re-formation, a new lineage.
+				// 100ms only catches the injected 400ms stall.
+				HandlerBudget:   100 * time.Millisecond,
+				TimerLateBudget: 100 * time.Millisecond,
+				// A stalled node shows one overrun (the stall itself)
+				// plus one late slot timer — the slot timer re-arms
+				// from its own handler, so only one is ever queued.
+				TripCount:  2,
+				TripWindow: 2 * time.Second,
+				Enforce:    !o.Observe,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	fullView := func(nd *timewheel.Node) bool {
+		v, ok := nd.CurrentView()
+		return ok && len(v.Members) == o.N
+	}
+	allFull := func() bool {
+		for _, nd := range nodes {
+			if !fullView(nd) {
+				return false
+			}
+		}
+		return true
+	}
+	if !waitUntil(20*time.Second, allFull) {
+		return nil, fmt.Errorf("cluster never formed a full view")
+	}
+	logf("formed: %d nodes in a full view", o.N)
+
+	// Background proposers keep updates (and decisions) flowing so the
+	// chaos has traffic to torment and the histories have substance.
+	propStop := make(chan struct{})
+	propDone := make(chan struct{})
+	go func() {
+		defer close(propDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-propStop:
+				return
+			case <-tick.C:
+				nd := nodes[i%o.N]
+				// Rejected proposals (mid-rejoin, excluded) are fine.
+				_ = nd.Propose([]byte(fmt.Sprintf("u%d", i)), timewheel.TotalOrder, timewheel.Strong)
+			}
+		}
+	}()
+
+	// Phase one: the scripted nemesis flaps links and partitions while
+	// the per-frame faults (drop/dup/corrupt/reorder) torment every
+	// frame. The schedule ends healed.
+	steps := transport.RandomNemesis(o.Seed+1, ids, 4, o.Duration)
+	for _, s := range steps {
+		logf("nemesis @%v: %s", s.After, s.Desc)
+	}
+	stopSched := net.RunSchedule(steps)
+	defer stopSched()
+	time.Sleep(o.Duration + 50*time.Millisecond)
+	stopSched()
+	net.Heal()
+	if !waitUntil(20*time.Second, allFull) {
+		logf("cluster did not restabilize after the nemesis")
+		for i, nd := range nodes {
+			v, ok := nd.CurrentView()
+			logf("node %d: state=%s view=%v ok=%v upToDate=%v metrics=%+v",
+				i, nd.StateName(), v, ok, nd.UpToDate(), nd.Metrics())
+			views, _ := nd.History()
+			for _, hv := range views {
+				logf("  node %d view history: seq=%d members=%v at=%v", i, hv.Seq, hv.Members, hv.At.Format("15:04:05.000"))
+			}
+		}
+	}
+
+	// Phase two: with the membership stable again (per-frame faults
+	// still active), stall the victim's event goroutine. Partitions
+	// stay healed here: losing the majority mid-stall would force a
+	// full re-formation — a new ordinal lineage — and the victim's
+	// preserved coverage could no longer be served as a warm delta.
+	//
+	// Self-exclusion is deliberately a no-op for a node already in the
+	// join state, and residual churn from the nemesis (per-frame drops
+	// keep causing occasional wrong suspicions) can exclude a node in
+	// the window between the stability check and the stall landing on
+	// its event queue. So: require a settled cluster, pick a victim
+	// that is an up-to-date member, and if the stall caught it mid-
+	// rejoin anyway (no SelfExclusions increase), settle and retry.
+	allSettled := func() bool {
+		if !allFull() {
+			return false
+		}
+		for _, nd := range nodes {
+			if !nd.UpToDate() {
+				return false
+			}
+		}
+		return true
+	}
+	victim := o.Victim
+	forced := victim >= 0 && victim < o.N
+	for attempt := 0; attempt < 3; attempt++ {
+		if !waitUntil(20*time.Second, allSettled) {
+			logf("cluster never settled before stall attempt %d", attempt)
+			break
+		}
+		if !forced {
+			// Prefer a victim that does not currently hold the decider
+			// role: a stalled decider cannot stamp its tenure's end until
+			// it wakes, so its recorded interval would overlap the
+			// successor's by the stall length — unprovable either way
+			// from wall clocks.
+			victim = 0
+			for i, nd := range nodes {
+				_, tens := nd.History()
+				open := len(tens) > 0 && tens[len(tens)-1].Open
+				if !open && nd.UpToDate() {
+					victim = i
+					break
+				}
+			}
+		}
+		before := nodes[victim].GuardStats().SelfExclusions
+		logf("stalling node %d for %v (attempt %d)", victim, o.Stall, attempt)
+		nodes[victim].InjectStall(o.Stall)
+		time.Sleep(o.Stall)
+		if o.Observe {
+			break // nothing to retry for: the guard never excludes
+		}
+		if waitUntil(5*time.Second, func() bool {
+			return nodes[victim].GuardStats().SelfExclusions > before
+		}) {
+			break
+		}
+		logf("stall hit node %d while it was not a stable member; retrying", victim)
+	}
+
+	converged := waitUntil(30*time.Second, func() bool {
+		return allFull() && nodes[victim].UpToDate()
+	})
+	if !converged {
+		for i, nd := range nodes {
+			v, ok := nd.CurrentView()
+			logf("node %d: state=%s view=%v ok=%v upToDate=%v metrics=%+v",
+				i, nd.StateName(), v, ok, nd.UpToDate(), nd.Metrics())
+		}
+	}
+	close(propStop)
+	<-propDone
+
+	rep := &Report{
+		Guard:     make([]timewheel.GuardStats, o.N),
+		Chaos:     net.Stats(),
+		Delivered: make([]uint64, o.N),
+		Victim:    victim,
+		Converged: converged,
+	}
+	hs := make([]check.LiveHistory, o.N)
+	for i, nd := range nodes {
+		rep.Guard[i] = nd.GuardStats()
+		rep.SelfExclusions += rep.Guard[i].SelfExclusions
+		rep.LateSends += rep.Guard[i].LateSends
+		rep.Delivered[i] = delivered[i].Load()
+		rep.WarmRejoins += nd.Metrics().StateDeltas
+		views, tenures := nd.History()
+		h := check.LiveHistory{ID: i}
+		for _, v := range views {
+			h.Views = append(h.Views, check.LiveView{Seq: v.Seq, Members: v.Members, At: v.At})
+		}
+		for _, tn := range tenures {
+			h.Tenures = append(h.Tenures, check.LiveTenure{
+				Start: tn.Start, End: tn.End, Sent: tn.Sent, Open: tn.Open,
+			})
+		}
+		hs[i] = h
+	}
+	// The skew bound covers stamp latency (hooks run on the nodes'
+	// event goroutines, which lag under load and the race detector),
+	// not just clock disagreement; genuine split-brain overlaps run to
+	// the partition length and still trip it.
+	rep.Invariants = check.LiveAll(o.N, hs, 150*time.Millisecond)
+	for i, nd := range nodes {
+		m := nd.Metrics()
+		logf("node %d final: guard=%+v fulls=%d deltas=%d replayApplied=%d selfExcl=%d",
+			i, rep.Guard[i], m.StateFulls, m.StateDeltas, m.ReplayApplied, m.SelfExclusions)
+	}
+	logf("guard totals: selfExclusions=%d lateSends=%d; chaos: %+v",
+		rep.SelfExclusions, rep.LateSends, rep.Chaos)
+	return rep, nil
+}
+
+func waitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}

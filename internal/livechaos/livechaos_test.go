@@ -1,0 +1,69 @@
+package livechaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveChaos is the live soak: three real nodes over chaos-wrapped
+// transports, a scripted nemesis flapping links and partitions, and an
+// injected event-goroutine stall. The enforcing guard must trip on the
+// stall, the victim must self-exclude and rejoin warm, and the adapted
+// §3 membership invariants must hold over the recorded histories.
+func TestLiveChaos(t *testing.T) {
+	rep, err := Run(Options{
+		N:        3,
+		Seed:     11,
+		Duration: 1500 * time.Millisecond,
+		Stall:    400 * time.Millisecond,
+		Victim:   -1,
+		DataDir:  t.TempDir(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Invariants.OK() {
+		t.Fatalf("membership invariants violated:\n%s", rep.Invariants)
+	}
+	if rep.SelfExclusions == 0 {
+		t.Fatalf("no guard-triggered self-exclusion; guard stats: %+v", rep.Guard)
+	}
+	if !rep.Converged {
+		t.Fatalf("cluster did not reconverge after the nemesis; guard stats: %+v", rep.Guard)
+	}
+	if rep.WarmRejoins == 0 {
+		t.Fatalf("self-excluded node rejoined via full transfer, not a warm delta")
+	}
+	if rep.Chaos.Dropped+rep.Chaos.Blocked == 0 {
+		t.Fatalf("chaos middleware injected no faults: %+v", rep.Chaos)
+	}
+}
+
+// TestLiveChaosObserveMode reruns the same schedule with the guard in
+// observe-only mode: the stall still trips the detector, but nothing is
+// suppressed — the victim keeps emitting late control traffic (counted
+// as LateSends) and never self-excludes. This is the paper's negative
+// space: without fail-aware enforcement, performance failures leak onto
+// the network.
+func TestLiveChaosObserveMode(t *testing.T) {
+	rep, err := Run(Options{
+		N:        3,
+		Seed:     11,
+		Duration: 1500 * time.Millisecond,
+		Stall:    400 * time.Millisecond,
+		Victim:   -1,
+		Observe:  true,
+		DataDir:  t.TempDir(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SelfExclusions != 0 {
+		t.Fatalf("observe-only guard self-excluded %d times", rep.SelfExclusions)
+	}
+	if rep.LateSends == 0 {
+		t.Fatalf("no late control sends recorded in observe mode; guard stats: %+v", rep.Guard)
+	}
+}

@@ -74,7 +74,11 @@ func (m *Machine) joinList(now model.Time) model.ProcessSet {
 	window := m.params.CycleLen() + m.params.Epsilon + m.params.Sigma
 	jl := model.NewProcessSet(m.self)
 	for q, ji := range m.lastJoin {
-		if q != m.self && now.Sub(ji.ts) <= window {
+		// Non-forming joins (a member re-advertising a lost state
+		// transfer) stay out: that member never evaluates the formation
+		// rule, so counting it would demand a join-list convergence it
+		// cannot take part in.
+		if q != m.self && ji.forming && now.Sub(ji.ts) <= window {
 			jl.Add(q)
 		}
 	}
@@ -104,6 +108,7 @@ func (m *Machine) sendJoin() {
 		JoinList:       m.joinList(now).Sorted(),
 		CoveredOrdinal: m.advCovered,
 		Lineage:        m.advLineage,
+		Forming:        true,
 	}
 	m.env.Broadcast(j)
 	m.lastControlMsg = j
@@ -119,6 +124,7 @@ func (m *Machine) onJoin(j *wire.Join) {
 		list:    model.NewProcessSet(j.JoinList...),
 		covered: j.CoveredOrdinal,
 		lineage: j.Lineage,
+		forming: j.Forming,
 	}
 }
 

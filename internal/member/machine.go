@@ -140,6 +140,9 @@ type joinInfo struct {
 	// ordinal space that prefix belongs to. Zero for volatile joiners.
 	covered oal.Ordinal
 	lineage model.GroupSeq
+	// forming is the join's Forming flag: only joins from processes
+	// actually running the join protocol weigh in on formation.
+	forming bool
 }
 
 type reconfigInfo struct {
@@ -241,6 +244,7 @@ type Stats struct {
 	JoinsSent         uint64
 	DecisionsSent     uint64
 	Admissions        uint64
+	SelfExclusions    uint64 // guard-triggered drops to the join state
 }
 
 // New creates a machine for process self on top of bc.

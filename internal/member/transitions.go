@@ -203,7 +203,7 @@ func (m *Machine) joinCompleted(dec *wire.Decision) {
 	// cleared cross-lineage coverage. Evaluated before lastJoin is reset.
 	fresherSeen := false
 	for q, ji := range m.lastJoin {
-		if q == m.self {
+		if q == m.self || !ji.forming {
 			continue
 		}
 		if ji.lineage > m.advLineage ||
@@ -306,6 +306,26 @@ func (m *Machine) resetForJoin() {
 	m.env.CancelTimer(TimerExpect)
 	m.env.CancelTimer(TimerDecide)
 	m.setState(StateJoin)
+}
+
+// SelfExclude drops a process that has detected its own performance
+// failure (a fail-aware process's duty: it must not keep acting on a
+// view whose timeliness assumptions it has personally violated) back to
+// the join state. It is semantically an instantaneous crash and
+// recovery with a perfect log: the broadcast image is snapshotted
+// before the reset and re-seeded after, so the subsequent join
+// advertises the process's real coverage and the group can serve a
+// delta state transfer instead of a full one — the same warm-rejoin
+// path a durable restart takes.
+func (m *Machine) SelfExclude() {
+	if m.state == StateJoin {
+		return
+	}
+	img := m.bc.SnapshotImage()
+	m.resetForJoin()
+	m.bc.SeedRecovered(img)
+	m.freezeAdvertisement()
+	m.stats.SelfExclusions++
 }
 
 // --- No-decision handling ----------------------------------------------
@@ -448,6 +468,19 @@ func (m *Machine) beginSingleFailure(s model.ProcessID) {
 		m.setState(State1FailureSend)
 		// Watch the ring: our own message restarts the chain.
 		m.rollRing(m.self, m.lastSendTS)
+		if m.group.Size() == 2 {
+			// Degenerate ring: in a two-member group we are both the
+			// suspect's successor and its predecessor, so there is no
+			// one left to concur and nothing to arm surveillance on
+			// (the ring successor of self is self). Conclude at once —
+			// "every member except the suspect" has vacuously concurred
+			// — or the process would wait in 1-failure-send forever.
+			if m.group.Size()-1 >= m.params.Majority() {
+				m.winSingleElection()
+			} else {
+				m.enterNFailure(m.ndSent)
+			}
+		}
 	} else {
 		m.setState(State1FailureReceive)
 		// The ring starts at the suspect's successor; buffered

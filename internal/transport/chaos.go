@@ -1,0 +1,385 @@
+// Chaos middleware: a deterministic, seed-driven fault injector that
+// wraps any Transport (memory hub and UDP alike) and a scripted nemesis
+// for partitions and link flapping. The simulator (internal/netsim)
+// already torments the protocol under a virtual clock; this file is the
+// same adversary for *live* nodes running on real goroutines, real
+// timers and real (or in-memory) sockets — the regime the paper's
+// timed asynchronous model is actually about.
+//
+// All faults are applied on the inbound side of each wrapped transport:
+// a broadcast is one send call on the sender but N link traversals, and
+// per-link asymmetry (A hears B but B does not hear A) only exists at
+// the receivers. The sender of an inbound frame is recovered by
+// decoding its wire header.
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"timewheel/internal/model"
+	"timewheel/internal/wire"
+)
+
+// --- Shared per-frame fault model -------------------------------------------
+
+// Faults is the seed-driven per-frame fault model shared by the memory
+// hub and the Chaos wrapper: uniform delay, omission, duplication,
+// single-byte corruption, and reordering (an extra hold that lets later
+// frames overtake).
+type Faults struct {
+	// MinDelay/MaxDelay bound the uniform per-frame delivery delay.
+	MinDelay, MaxDelay time.Duration
+	// Drop, Duplicate, Corrupt, Reorder are independent per-frame
+	// probabilities.
+	Drop, Duplicate, Corrupt, Reorder float64
+	// ReorderDelay is the extra hold for reordered frames (default
+	// 4*MaxDelay, min 1ms).
+	ReorderDelay time.Duration
+}
+
+// delivery is one planned copy of a frame.
+type delivery struct {
+	delay       time.Duration
+	corruptAt   int  // byte index to flip, -1 for none
+	corruptMask byte // non-zero xor mask
+	reordered   bool
+}
+
+// plan rolls the dice for one frame: nil means dropped, otherwise one
+// entry per copy to deliver. The caller must hold whatever lock guards
+// rng.
+func (f Faults) plan(rng *rand.Rand) []delivery {
+	if f.Drop > 0 && rng.Float64() < f.Drop {
+		return nil
+	}
+	copies := 1
+	if f.Duplicate > 0 && rng.Float64() < f.Duplicate {
+		copies = 2
+	}
+	hold := f.ReorderDelay
+	if hold <= 0 {
+		hold = 4 * f.MaxDelay
+		if hold < time.Millisecond {
+			hold = time.Millisecond
+		}
+	}
+	plans := make([]delivery, copies)
+	for i := range plans {
+		d := delivery{delay: f.MinDelay, corruptAt: -1}
+		if span := f.MaxDelay - f.MinDelay; span > 0 {
+			d.delay += time.Duration(rng.Int63n(int64(span)))
+		}
+		if f.Reorder > 0 && rng.Float64() < f.Reorder {
+			d.delay += hold
+			d.reordered = true
+		}
+		if f.Corrupt > 0 && rng.Float64() < f.Corrupt {
+			d.corruptAt = rng.Intn(1 << 16) // clamped to len(frame) at copy time
+			d.corruptMask = byte(1 + rng.Intn(255))
+		}
+		plans[i] = d
+	}
+	return plans
+}
+
+// schedule delivers each planned copy of data to sink after its delay,
+// applying corruption to the copy (never the caller's buffer).
+func schedule(plans []delivery, data []byte, sink func([]byte)) {
+	for _, p := range plans {
+		cp := append([]byte(nil), data...)
+		if p.corruptAt >= 0 && len(cp) > 0 {
+			cp[p.corruptAt%len(cp)] ^= p.corruptMask
+		}
+		if p.delay <= 0 {
+			go sink(cp)
+		} else {
+			time.AfterFunc(p.delay, func() { sink(cp) })
+		}
+	}
+}
+
+// --- ChaosNet: the controller -------------------------------------------------
+
+// ChaosStats counts what the middleware did to traffic.
+type ChaosStats struct {
+	Delivered  uint64 // frames handed to receivers (incl. duplicates)
+	Dropped    uint64 // random omissions
+	Blocked    uint64 // frames discarded by a partition or blocked link
+	Duplicated uint64
+	Corrupted  uint64
+	Reordered  uint64
+	Undecoded  uint64 // inbound frames whose sender could not be decoded
+}
+
+// ChaosNet is the controller shared by all Chaos wrappers in one
+// cluster: one seeded rng, one fault mix, one partition/link-block
+// table, one stats block. Wrap each node's transport before handing it
+// to the node; drive partitions and flapping via a nemesis schedule.
+type ChaosNet struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	faults  Faults
+	blocked map[[2]model.ProcessID]bool // [from, to]: to must not hear from
+	stats   ChaosStats
+	stopped bool
+}
+
+// NewChaosNet creates a controller with a deterministic seed and an
+// initial fault mix (zero Faults means a transparent wrapper until the
+// nemesis acts).
+func NewChaosNet(seed int64, faults Faults) *ChaosNet {
+	return &ChaosNet{
+		rng:     rand.New(rand.NewSource(seed)),
+		faults:  faults,
+		blocked: make(map[[2]model.ProcessID]bool),
+	}
+}
+
+// SetFaults replaces the random per-link fault mix.
+func (c *ChaosNet) SetFaults(f Faults) {
+	c.mu.Lock()
+	c.faults = f
+	c.mu.Unlock()
+}
+
+// BlockLink makes `to` deaf to `from` (one direction only).
+func (c *ChaosNet) BlockLink(from, to model.ProcessID) {
+	c.mu.Lock()
+	c.blocked[[2]model.ProcessID{from, to}] = true
+	c.mu.Unlock()
+}
+
+// UnblockLink restores one direction of a link.
+func (c *ChaosNet) UnblockLink(from, to model.ProcessID) {
+	c.mu.Lock()
+	delete(c.blocked, [2]model.ProcessID{from, to})
+	c.mu.Unlock()
+}
+
+// Partition splits the cluster in two: every cross-side link is blocked
+// in both directions.
+func (c *ChaosNet) Partition(sideA, sideB []model.ProcessID) {
+	c.mu.Lock()
+	for _, a := range sideA {
+		for _, b := range sideB {
+			c.blocked[[2]model.ProcessID{a, b}] = true
+			c.blocked[[2]model.ProcessID{b, a}] = true
+		}
+	}
+	c.mu.Unlock()
+}
+
+// PartitionOneWay blocks only the sideA->sideB direction — the
+// asymmetric failure (paper §2: "p can receive messages from q but not
+// vice versa") that heartbeat schemes notoriously mishandle.
+func (c *ChaosNet) PartitionOneWay(sideA, sideB []model.ProcessID) {
+	c.mu.Lock()
+	for _, a := range sideA {
+		for _, b := range sideB {
+			c.blocked[[2]model.ProcessID{a, b}] = true
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Heal unblocks every link.
+func (c *ChaosNet) Heal() {
+	c.mu.Lock()
+	c.blocked = make(map[[2]model.ProcessID]bool)
+	c.mu.Unlock()
+}
+
+// Stats snapshots the middleware counters.
+func (c *ChaosNet) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Wrap interposes the chaos middleware on t. The wrapper is what the
+// node must be given; t keeps carrying the (now-tormented) frames.
+func (c *ChaosNet) Wrap(t Transport) *Chaos {
+	return &Chaos{net: c, inner: t}
+}
+
+// --- Chaos: the per-node wrapper ----------------------------------------------
+
+// Chaos is one node's chaos-wrapped transport. Sends pass straight
+// through to the inner transport; all faults hit inbound frames, where
+// per-link identity (and thus asymmetry) exists.
+type Chaos struct {
+	net   *ChaosNet
+	inner Transport
+}
+
+// Self implements Transport.
+func (t *Chaos) Self() model.ProcessID { return t.inner.Self() }
+
+// Broadcast implements Transport.
+func (t *Chaos) Broadcast(data []byte) error { return t.inner.Broadcast(data) }
+
+// Unicast implements Transport.
+func (t *Chaos) Unicast(to model.ProcessID, data []byte) error {
+	return t.inner.Unicast(to, data)
+}
+
+// SetReceiver implements Transport.
+func (t *Chaos) SetReceiver(r Receiver) {
+	self := t.inner.Self()
+	t.inner.SetReceiver(func(data []byte) { t.net.onFrame(self, data, r) })
+}
+
+// Close implements Transport.
+func (t *Chaos) Close() error { return t.inner.Close() }
+
+var _ Transport = (*Chaos)(nil)
+
+func (c *ChaosNet) onFrame(self model.ProcessID, data []byte, r Receiver) {
+	msg, err := wire.Decode(data)
+	if err != nil {
+		// Can't attribute a sender (e.g. already corrupted upstream):
+		// pass it through untormented; the node drops it anyway.
+		c.mu.Lock()
+		c.stats.Undecoded++
+		c.mu.Unlock()
+		r(data)
+		return
+	}
+	from := msg.Hdr().From
+
+	c.mu.Lock()
+	if c.blocked[[2]model.ProcessID{from, self}] {
+		c.stats.Blocked++
+		c.mu.Unlock()
+		return
+	}
+	plans := c.faults.plan(c.rng)
+	if plans == nil {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return
+	}
+	c.stats.Delivered += uint64(len(plans))
+	if len(plans) > 1 {
+		c.stats.Duplicated++
+	}
+	for _, p := range plans {
+		if p.corruptAt >= 0 {
+			c.stats.Corrupted++
+		}
+		if p.reordered {
+			c.stats.Reordered++
+		}
+	}
+	c.mu.Unlock()
+
+	schedule(plans, data, r)
+}
+
+// --- Nemesis: scripted link failures -------------------------------------------
+
+// NemesisStep is one act in a chaos schedule, executed After the
+// schedule starts.
+type NemesisStep struct {
+	After time.Duration
+	Desc  string
+	Do    func(*ChaosNet)
+}
+
+// RunSchedule executes the steps against the controller on their own
+// timers and returns a stop function (idempotent; pending steps are
+// cancelled).
+func (c *ChaosNet) RunSchedule(steps []NemesisStep) (stop func()) {
+	timers := make([]*time.Timer, 0, len(steps))
+	for _, s := range steps {
+		s := s
+		timers = append(timers, time.AfterFunc(s.After, func() {
+			c.mu.Lock()
+			dead := c.stopped
+			c.mu.Unlock()
+			if !dead {
+				s.Do(c)
+			}
+		}))
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.stopped = true
+			c.mu.Unlock()
+			for _, t := range timers {
+				t.Stop()
+			}
+		})
+	}
+}
+
+// RandomNemesis builds a deterministic schedule of n partition and
+// link-flap events spread over total, against a cluster of ids. Only
+// minority partitions are created (the majority side can keep making
+// progress, so protocol invariants stay checkable), every fault is
+// healed before the next strikes, and the schedule ends fully healed.
+func RandomNemesis(seed int64, ids []model.ProcessID, n int, total time.Duration) []NemesisStep {
+	rng := rand.New(rand.NewSource(seed))
+	if n <= 0 || len(ids) < 2 || total <= 0 {
+		return nil
+	}
+	period := total / time.Duration(n+1)
+	steps := make([]NemesisStep, 0, 2*n)
+	at := period
+	for i := 0; i < n; i++ {
+		// A minority side: up to (len-1)/2 members, at least 1.
+		maxSide := (len(ids) - 1) / 2
+		if maxSide < 1 {
+			maxSide = 1
+		}
+		k := 1 + rng.Intn(maxSide)
+		perm := rng.Perm(len(ids))
+		side := make([]model.ProcessID, 0, k)
+		rest := make([]model.ProcessID, 0, len(ids)-k)
+		for j, p := range perm {
+			if j < k {
+				side = append(side, ids[p])
+			} else {
+				rest = append(rest, ids[p])
+			}
+		}
+		kind := rng.Intn(3)
+		steps = append(steps, NemesisStep{
+			After: at,
+			Desc:  nemesisDesc(kind),
+			Do: func(c *ChaosNet) {
+				switch kind {
+				case 0:
+					c.Partition(side, rest)
+				case 1:
+					c.PartitionOneWay(side, rest)
+				default: // flap: block one direction of one link
+					c.BlockLink(rest[0], side[0])
+				}
+			},
+		})
+		// Heal midway to the next strike.
+		steps = append(steps, NemesisStep{
+			After: at + period/2,
+			Desc:  "heal",
+			Do:    func(c *ChaosNet) { c.Heal() },
+		})
+		at += period
+	}
+	return steps
+}
+
+func nemesisDesc(kind int) string {
+	switch kind {
+	case 0:
+		return "partition (two-way)"
+	case 1:
+		return "partition (one-way)"
+	default:
+		return "link flap"
+	}
+}

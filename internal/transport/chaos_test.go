@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"timewheel/internal/model"
+	"timewheel/internal/wire"
+)
+
+// frame builds a decodable wire frame attributed to `from`, so the
+// chaos wrapper can recover the sender.
+func frame(from model.ProcessID) []byte {
+	return wire.Encode(&wire.Nack{Header: wire.Header{From: from, SendTS: 1}})
+}
+
+func chaosPair(t *testing.T, net *ChaosNet) (a, b Transport, sa, sb *sink) {
+	t.Helper()
+	h := NewHub(HubOptions{})
+	sa, sb = &sink{}, &sink{}
+	a = net.Wrap(h.Attach(0))
+	b = net.Wrap(h.Attach(1))
+	a.SetReceiver(sa.recv)
+	b.SetReceiver(sb.recv)
+	return
+}
+
+func TestChaosTransparentByDefault(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	a, b, sa, sb := chaosPair(t, net)
+	if err := a.Unicast(1, frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unicast(0, frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sa, 1)
+	waitCount(t, sb, 1)
+	if s := net.Stats(); s.Delivered != 2 || s.Dropped+s.Blocked+s.Corrupted != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestChaosDropAll(t *testing.T) {
+	net := NewChaosNet(1, Faults{Drop: 1})
+	a, _, _, sb := chaosPair(t, net)
+	for i := 0; i < 20; i++ {
+		if err := a.Unicast(1, frame(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if sb.count() != 0 {
+		t.Fatalf("%d frames survived Drop=1", sb.count())
+	}
+	if s := net.Stats(); s.Dropped != 20 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestChaosAsymmetricBlock(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	a, b, sa, sb := chaosPair(t, net)
+	// 1 goes deaf to 0; 0 still hears 1.
+	net.BlockLink(0, 1)
+	if err := a.Unicast(1, frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unicast(0, frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sa, 1)
+	time.Sleep(10 * time.Millisecond)
+	if sb.count() != 0 {
+		t.Fatalf("blocked direction delivered")
+	}
+	if s := net.Stats(); s.Blocked != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	net.UnblockLink(0, 1)
+	if err := a.Unicast(1, frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb, 1)
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	h := NewHub(HubOptions{})
+	sinks := make([]*sink, 4)
+	ports := make([]Transport, 4)
+	for i := range ports {
+		sinks[i] = &sink{}
+		ports[i] = net.Wrap(h.Attach(model.ProcessID(i)))
+		ports[i].SetReceiver(sinks[i].recv)
+	}
+	net.Partition([]model.ProcessID{0, 1}, []model.ProcessID{2, 3})
+	if err := ports[0].Broadcast(frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sinks[1], 1)
+	time.Sleep(10 * time.Millisecond)
+	if sinks[2].count()+sinks[3].count() != 0 {
+		t.Fatalf("partition leaked")
+	}
+	net.Heal()
+	if err := ports[0].Broadcast(frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sinks[1:] {
+		waitCount(t, s, 2-1) // 1 and the others each have >=1 now
+	}
+	waitCount(t, sinks[1], 2)
+}
+
+func TestChaosDuplicationAndCorruption(t *testing.T) {
+	net := NewChaosNet(7, Faults{Duplicate: 1})
+	a, _, _, sb := chaosPair(t, net)
+	orig := frame(0)
+	if err := a.Unicast(1, orig); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb, 2)
+	if s := net.Stats(); s.Duplicated != 1 || s.Delivered != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	net2 := NewChaosNet(7, Faults{Corrupt: 1})
+	a2, _, _, sb2 := chaosPair(t, net2)
+	if err := a2.Unicast(1, orig); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb2, 1)
+	sb2.mu.Lock()
+	got := sb2.frames[0]
+	sb2.mu.Unlock()
+	if bytes.Equal(got, orig) {
+		t.Fatalf("corrupted frame identical to original")
+	}
+	if s := net2.Stats(); s.Corrupted != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestChaosReorderHoldsFrames(t *testing.T) {
+	// Reorder=1 with a long hold: a frame sent first arrives after one
+	// sent later through a second, transparent controller path. Here we
+	// just assert the hold is applied (arrival is delayed past the
+	// nominal max delay) and counted.
+	net := NewChaosNet(3, Faults{Reorder: 1, ReorderDelay: 30 * time.Millisecond})
+	a, _, _, sb := chaosPair(t, net)
+	start := time.Now()
+	if err := a.Unicast(1, frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb, 1)
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("reordered frame arrived after %v, hold not applied", el)
+	}
+	if s := net.Stats(); s.Reordered != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestChaosUndecodableFramePassesThrough(t *testing.T) {
+	net := NewChaosNet(1, Faults{Drop: 1}) // even Drop=1 must not eat it
+	a, _, _, sb := chaosPair(t, net)
+	if err := a.Unicast(1, []byte{0xff, 0xfe, 0xfd}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb, 1)
+	if s := net.Stats(); s.Undecoded != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestHubFaultKnobs(t *testing.T) {
+	// Duplication: every frame twice.
+	h := NewHub(HubOptions{DupProb: 1, Seed: 1})
+	s1 := &sink{}
+	p0, p1 := h.Attach(0), h.Attach(1)
+	p1.SetReceiver(s1.recv)
+	p0.SetReceiver(func([]byte) {})
+	if err := p0.Unicast(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, s1, 2)
+
+	// Corruption: the delivered copy differs; the caller's buffer is
+	// untouched.
+	h2 := NewHub(HubOptions{CorruptProb: 1, Seed: 2})
+	s2 := &sink{}
+	q0, q1 := h2.Attach(0), h2.Attach(1)
+	q1.SetReceiver(s2.recv)
+	orig := []byte("untouched payload")
+	if err := q0.Unicast(1, orig); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, s2, 1)
+	if !bytes.Equal(orig, []byte("untouched payload")) {
+		t.Fatalf("sender's buffer was corrupted in place")
+	}
+	s2.mu.Lock()
+	got := s2.frames[0]
+	s2.mu.Unlock()
+	if bytes.Equal(got, orig) {
+		t.Fatalf("corrupted delivery identical to original")
+	}
+
+	// Reorder: the hold delays delivery.
+	h3 := NewHub(HubOptions{ReorderProb: 1, ReorderDelay: 30 * time.Millisecond, Seed: 3})
+	s3 := &sink{}
+	r0, r1 := h3.Attach(0), h3.Attach(1)
+	r1.SetReceiver(s3.recv)
+	start := time.Now()
+	if err := r0.Unicast(1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, s3, 1)
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("reorder hold not applied (%v)", el)
+	}
+}
+
+func TestFaultsPlanDeterministic(t *testing.T) {
+	f := Faults{MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		Drop: 0.2, Duplicate: 0.2, Corrupt: 0.2, Reorder: 0.2}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		pa, pb := f.plan(a), f.plan(b)
+		if len(pa) != len(pb) {
+			t.Fatalf("plan %d diverged", i)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("plan %d copy %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomNemesisEndsHealed(t *testing.T) {
+	ids := []model.ProcessID{0, 1, 2, 3, 4}
+	steps := RandomNemesis(9, ids, 4, time.Second)
+	if len(steps) != 8 {
+		t.Fatalf("want 4 fault + 4 heal steps, got %d", len(steps))
+	}
+	last := steps[len(steps)-1]
+	if last.Desc != "heal" {
+		t.Fatalf("schedule ends with %q", last.Desc)
+	}
+	// Apply the whole schedule in order; afterwards nothing is blocked.
+	net := NewChaosNet(9, Faults{})
+	for _, s := range steps {
+		s.Do(net)
+	}
+	net.mu.Lock()
+	n := len(net.blocked)
+	net.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d links still blocked after a full schedule", n)
+	}
+}
+
+func TestRunScheduleStopCancelsPending(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	fired := make(chan struct{}, 1)
+	stop := net.RunSchedule([]NemesisStep{
+		{After: time.Hour, Desc: "never", Do: func(*ChaosNet) { fired <- struct{}{} }},
+	})
+	stop()
+	select {
+	case <-fired:
+		t.Fatalf("cancelled step fired")
+	case <-time.After(10 * time.Millisecond):
+	}
+}

@@ -43,20 +43,43 @@ type Transport interface {
 
 // --- In-memory hub -----------------------------------------------------------
 
-// HubOptions shape the memory hub's fault model.
+// HubOptions shape the memory hub's fault model, at parity with the
+// simulator's (internal/netsim): delay, omission, duplication,
+// corruption and reordering.
 type HubOptions struct {
 	// MinDelay/MaxDelay bound the uniform per-frame delivery delay.
 	MinDelay, MaxDelay time.Duration
 	// DropProb is the per-delivery omission probability.
 	DropProb float64
+	// DupProb is the probability a frame is delivered twice (UDP
+	// duplicates).
+	DupProb float64
+	// CorruptProb is the probability a delivered frame has one byte
+	// flipped (the wire codec rejects it, modelling a failed checksum).
+	CorruptProb float64
+	// ReorderProb is the probability a frame is held an extra
+	// ReorderDelay so later frames overtake it.
+	ReorderProb float64
+	// ReorderDelay is the extra hold for reordered frames (default
+	// 4*MaxDelay, min 1ms).
+	ReorderDelay time.Duration
 	// Seed makes the fault model reproducible.
 	Seed int64
+}
+
+func (o HubOptions) faults() Faults {
+	return Faults{
+		MinDelay: o.MinDelay, MaxDelay: o.MaxDelay,
+		Drop: o.DropProb, Duplicate: o.DupProb,
+		Corrupt: o.CorruptProb, Reorder: o.ReorderProb,
+		ReorderDelay: o.ReorderDelay,
+	}
 }
 
 // Hub is an in-process datagram switchboard connecting memory
 // transports. Safe for concurrent use.
 type Hub struct {
-	opts HubOptions
+	faults Faults
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -70,9 +93,9 @@ func NewHub(opts HubOptions) *Hub {
 		opts.MinDelay, opts.MaxDelay = opts.MaxDelay, opts.MinDelay
 	}
 	return &Hub{
-		opts:  opts,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
-		ports: make(map[model.ProcessID]*MemTransport),
+		faults: opts.faults(),
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		ports:  make(map[model.ProcessID]*MemTransport),
 	}
 }
 
@@ -108,30 +131,17 @@ func (h *Hub) send(from, to model.ProcessID, data []byte) {
 		h.mu.Unlock()
 		return
 	}
-	if h.opts.DropProb > 0 && h.rng.Float64() < h.opts.DropProb {
-		h.mu.Unlock()
-		return
-	}
-	delay := h.opts.MinDelay
-	if span := h.opts.MaxDelay - h.opts.MinDelay; span > 0 {
-		delay += time.Duration(h.rng.Int63n(int64(span)))
-	}
+	plans := h.faults.plan(h.rng)
 	h.mu.Unlock()
 
-	cp := append([]byte(nil), data...)
-	deliver := func() {
+	schedule(plans, data, func(cp []byte) {
 		dst.mu.Lock()
 		r := dst.recv
 		dst.mu.Unlock()
 		if r != nil && !dst.closed.Load() {
 			r(cp)
 		}
-	}
-	if delay <= 0 {
-		go deliver()
-	} else {
-		time.AfterFunc(delay, deliver)
-	}
+	})
 }
 
 func (h *Hub) peers(except model.ProcessID) []model.ProcessID {

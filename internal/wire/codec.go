@@ -12,8 +12,9 @@ import (
 
 // Version is the wire-format version byte leading every encoded message.
 // Version 2 added the durable-recovery fields: Join coverage
-// advertisement, Decision lineage, and State delta replay.
-const Version = 2
+// advertisement, Decision lineage, and State delta replay. Version 3
+// added the Join forming flag.
+const Version = 3
 
 // ErrTruncated reports a message that ends before its declared contents.
 var ErrTruncated = errors.New("wire: truncated message")
@@ -56,6 +57,11 @@ func Encode(m Message) []byte {
 		e.processList(v.JoinList)
 		e.u64(uint64(v.CoveredOrdinal))
 		e.u64(uint64(v.Lineage))
+		if v.Forming {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
 	case *Reconfig:
 		e.processList(v.ReconfigList)
 		e.i64(int64(v.LastDecisionTS))
@@ -198,6 +204,11 @@ func Decode(data []byte) (Message, error) {
 			return nil, err
 		}
 		m.Lineage = model.GroupSeq(u)
+		var fb uint8
+		if fb, err = d.u8(); err != nil {
+			return nil, err
+		}
+		m.Forming = fb != 0
 		return m, d.done()
 	case KindReconfig:
 		m := &Reconfig{Header: h}

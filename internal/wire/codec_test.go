@@ -37,7 +37,7 @@ func sampleMessages() []Message {
 			DPD:   []oal.ProposalID{{Proposer: 0, Seq: 7}, {Proposer: 2, Seq: 8}},
 			Alive: []model.ProcessID{0, 3}},
 		&Join{Header: h, JoinList: []model.ProcessID{0, 1, 2, 3, 4},
-			CoveredOrdinal: 12, Lineage: 3},
+			CoveredOrdinal: 12, Lineage: 3, Forming: true},
 		&Join{Header: h},
 		&Reconfig{Header: h, ReconfigList: []model.ProcessID{1, 3},
 			LastDecisionTS: 999_999, GroupSeq: 4, View: sampleOAL(),

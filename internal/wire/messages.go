@@ -160,12 +160,20 @@ type Join struct {
 	// must be ignored.
 	CoveredOrdinal oal.Ordinal
 	Lineage        model.GroupSeq
+	// Forming distinguishes a join-state process competing in initial
+	// group formation from a current member merely re-advertising an
+	// outstanding state transfer. Only forming joins may enter
+	// join-lists or the formation freshness ranking: a member's
+	// re-advertisement carries durable coverage that would otherwise
+	// outrank every real joiner and stall formation on a process that
+	// never evaluates the formation rule.
+	Forming bool
 }
 
 func (*Join) Kind() Kind    { return KindJoin }
 func (m *Join) Hdr() Header { return m.Header }
 func (m *Join) String() string {
-	return fmt.Sprintf("join{from=%v ts=%v list=%v}", m.From, m.SendTS, m.JoinList)
+	return fmt.Sprintf("join{from=%v ts=%v list=%v forming=%v}", m.From, m.SendTS, m.JoinList, m.Forming)
 }
 
 // Reconfig is the multiple-failure election message, sent once per cycle

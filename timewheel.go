@@ -36,6 +36,7 @@ import (
 	"timewheel/internal/broadcast"
 	"timewheel/internal/durable"
 	"timewheel/internal/engine"
+	"timewheel/internal/guard"
 	"timewheel/internal/member"
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
@@ -163,6 +164,59 @@ type Config struct {
 	// Snapshot/Install hooks the node is log-only and replays its whole
 	// log through OnDeliver on restart.
 	SnapshotEvery int
+	// Engine selects the event demultiplexer: "loop" (default — the
+	// single-threaded event loop the paper's authors chose) or
+	// "threaded" (the thread-per-event-type architecture they measured
+	// and rejected; kept runnable for comparison).
+	Engine string
+	// Guard configures the fail-aware timeliness guard (disabled when
+	// zero). See GuardConfig and docs/ROBUSTNESS.md.
+	Guard GuardConfig
+}
+
+// GuardConfig configures the node's local performance-failure detector
+// (the fail-awareness the timed asynchronous model demands: a process
+// whose own scheduling or clock has failed must know, and must not emit
+// late control messages as if it were timely). See docs/ROBUSTNESS.md.
+type GuardConfig struct {
+	// Enabled turns the guard on; the remaining fields are ignored when
+	// false.
+	Enabled bool
+	// HandlerBudget bounds one event handler's wall-clock time
+	// (default 100ms; negative disables the check).
+	HandlerBudget time.Duration
+	// TimerLateBudget bounds how far past its armed deadline a timer
+	// event may be dispatched — covering OS timer slip and queueing
+	// behind a stalled handler (default 100ms; negative disables).
+	TimerLateBudget time.Duration
+	// ClockJumpMax bounds wall-vs-monotonic clock divergence between
+	// consecutive events (default 1s; negative disables).
+	ClockJumpMax time.Duration
+	// TripCount violations within TripWindow trip the guard
+	// (defaults 3 within 1s).
+	TripCount  int
+	TripWindow time.Duration
+	// Enforce makes a trip act: the node self-excludes — suppresses
+	// outgoing control messages, abandons any in-progress decision, and
+	// drops to the join state to rejoin warm. False is observe-only:
+	// violations and the late control sends they would have suppressed
+	// are only counted (GuardStats.LateSends).
+	Enforce bool
+}
+
+// GuardStats is a snapshot of the guard's counters plus the engine's
+// queue-overflow count. It is collected lock-free from atomics, so it
+// is readable even while the node's event goroutine is stalled — which
+// is exactly when it is most interesting.
+type GuardStats struct {
+	Overruns        uint64 // handlers that blew HandlerBudget
+	LateTimers      uint64 // timer events dispatched > TimerLateBudget late
+	ClockJumps      uint64 // wall-vs-monotonic discontinuities
+	SelfExclusions  uint64 // guard trips acted on (Enforce)
+	SuppressedSends uint64 // control messages withheld while tripped
+	LateSends       uint64 // control messages let through while tripped (observe-only)
+	QueueDrops      uint64 // events rejected by the engine's full queue
+	Tripped         bool   // currently tripped (Enforce) or ever tripped (observe)
 }
 
 // Outcome is a termination report for a local proposal.
@@ -185,8 +239,9 @@ type Node struct {
 
 	bc      *broadcast.Broadcast
 	machine *member.Machine
-	loop    *engine.EventLoop
+	loop    engine.Engine
 	tr      Transport
+	guard   *guard.Guard // nil when Config.Guard.Enabled is false
 
 	// store is the durable store (nil without Config.DataDir);
 	// sinceSnap counts logged deliveries since the last snapshot. Both
@@ -198,6 +253,49 @@ type Node struct {
 	mu      sync.Mutex
 	timers  map[member.TimerID]*time.Timer
 	stopped bool
+
+	// histMu guards the membership history the live invariant checks
+	// consume (written from the event goroutine, read from anywhere).
+	histMu      sync.Mutex
+	views       []ViewEvent
+	tenures     []DeciderTenure
+	deciderSent uint64 // DecisionsSent at tenure start, for Sent marking
+}
+
+// ViewEvent is one view installation in the node's recorded history,
+// stamped with the local wall clock.
+type ViewEvent struct {
+	Seq     uint64
+	Members []int
+	At      time.Time
+}
+
+// DeciderTenure is one interval during which the node held the decider
+// role. Open tenures have End equal to the History() snapshot time and
+// Open true. Sent records whether the tenure produced a decision; a
+// decider-elect relinquishing on a fresher in-flight decision is a
+// benign non-sending tenure.
+type DeciderTenure struct {
+	Start, End time.Time
+	Sent       bool
+	Open       bool
+}
+
+// History snapshots the node's recorded view installations and decider
+// tenures — the inputs the live-cluster invariant checks
+// (internal/check's Live* validators) need from real running nodes.
+func (n *Node) History() (views []ViewEvent, tenures []DeciderTenure) {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	views = append(views, n.views...)
+	now := time.Now()
+	for _, t := range n.tenures {
+		if t.End.IsZero() {
+			t.End, t.Open = now, true
+		}
+		tenures = append(tenures, t)
+	}
+	return views, tenures
 }
 
 // RecoveryReport summarises what a durable node loaded from disk at
@@ -358,12 +456,27 @@ func NewNode(cfg Config) (*Node, error) {
 						Lineage: n.bc.Lineage(),
 					})
 				}
+				ve := ViewEvent{Seq: uint64(g.Seq), At: time.Now()}
+				for _, m := range g.Members {
+					ve.Members = append(ve.Members, int(m))
+				}
+				n.histMu.Lock()
+				n.views = append(n.views, ve)
+				n.histMu.Unlock()
 				if cfg.OnViewChange != nil {
-					v := View{Seq: uint64(g.Seq)}
-					for _, m := range g.Members {
-						v.Members = append(v.Members, int(m))
-					}
-					cfg.OnViewChange(v)
+					cfg.OnViewChange(View{Seq: ve.Seq, Members: ve.Members})
+				}
+			},
+			Decider: func(isDecider bool, _ model.Time) {
+				at := time.Now()
+				n.histMu.Lock()
+				defer n.histMu.Unlock()
+				if isDecider {
+					n.tenures = append(n.tenures, DeciderTenure{Start: at})
+					n.deciderSent = n.machine.Stats().DecisionsSent
+				} else if k := len(n.tenures) - 1; k >= 0 && n.tenures[k].End.IsZero() {
+					n.tenures[k].End = at
+					n.tenures[k].Sent = n.machine.Stats().DecisionsSent > n.deciderSent
 				}
 			},
 		},
@@ -371,13 +484,33 @@ func NewNode(cfg Config) (*Node, error) {
 	if rec != nil {
 		n.seedRecovery(rec)
 	}
+	if cfg.Guard.Enabled {
+		n.guard = guard.New(guard.Config{
+			HandlerBudget:   cfg.Guard.HandlerBudget,
+			TimerLateBudget: cfg.Guard.TimerLateBudget,
+			ClockJumpMax:    cfg.Guard.ClockJumpMax,
+			TripCount:       cfg.Guard.TripCount,
+			TripWindow:      cfg.Guard.TripWindow,
+			Enforce:         cfg.Guard.Enforce,
+		})
+	}
 
-	n.loop = engine.NewEventLoop(n.handle, 4096)
+	switch cfg.Engine {
+	case "", "loop":
+		n.loop = engine.NewEventLoop(n.handle, 4096)
+	case "threaded":
+		n.loop = engine.NewThreaded(n.handle, 512)
+	default:
+		return nil, fmt.Errorf("timewheel: unknown engine %q (want \"loop\" or \"threaded\")", cfg.Engine)
+	}
 	cfg.Transport.SetReceiver(func(data []byte) {
 		msg, err := wire.Decode(data)
 		if err != nil {
 			return // corrupt datagram: drop, as UDP would
 		}
+		// A full queue drops the message — an in-model omission failure,
+		// counted in GuardStats.QueueDrops — rather than blocking the
+		// transport's receive goroutine behind a slow protocol core.
 		n.post(engine.Event{Type: engine.TypeOfMessage(msg), Msg: msg})
 	})
 	return n, nil
@@ -466,8 +599,27 @@ func (n *Node) seedRecovery(rec *durable.Recovery) {
 func (n *Node) Recovery() RecoveryReport { return n.recovery }
 
 // handle runs inside the event loop; all protocol state is confined to
-// it.
+// it. With a guard configured, every event is bracketed by the
+// performance-failure checks: clock discontinuity and timer lateness
+// before dispatch, handler overrun after, and — when a sustained
+// violation has tripped the guard under Enforce — self-exclusion.
 func (n *Node) handle(ev engine.Event) {
+	g := n.guard
+	if g == nil {
+		n.dispatch(ev)
+		return
+	}
+	start := time.Now()
+	g.NoteClock(start)
+	g.NoteTimerFired(start, ev.Due)
+	n.dispatch(ev)
+	g.NoteHandlerDone(start, time.Now())
+	if g.Tripped() && g.Config().Enforce {
+		n.selfExclude()
+	}
+}
+
+func (n *Node) dispatch(ev engine.Event) {
 	switch {
 	case ev.Msg != nil:
 		n.machine.OnMessage(ev.Msg)
@@ -478,13 +630,31 @@ func (n *Node) handle(ev engine.Event) {
 	}
 }
 
-func (n *Node) post(ev engine.Event) {
+// selfExclude acts on a guard trip (event-goroutine context): the
+// machine drops to the join state via the warm-rejoin path — its
+// broadcast image survives the reset, so the join advertises real
+// coverage and a current member can serve a delta instead of a full
+// state transfer — and the guard is rearmed with a grace window so the
+// backlog of stale lateness drained right after the stall does not
+// immediately re-trip it.
+func (n *Node) selfExclude() {
+	if n.machine.State() != member.StateJoin {
+		n.machine.SelfExclude()
+		n.guard.NoteSelfExclusion()
+	}
+	n.guard.Rearm(time.Now())
+}
+
+// post hands an event to the engine; false means it was dropped (node
+// stopped, or queue full — the latter counted in GuardStats.QueueDrops).
+func (n *Node) post(ev engine.Event) bool {
 	n.mu.Lock()
 	stopped := n.stopped
 	n.mu.Unlock()
-	if !stopped {
-		n.loop.Post(ev)
+	if stopped {
+		return false
 	}
+	return n.loop.Post(ev)
 }
 
 // Start begins protocol execution: the node enters the join state and
@@ -625,6 +795,7 @@ type Metrics struct {
 	JoinsSent         uint64
 	DecisionsSent     uint64
 	Admissions        uint64
+	SelfExclusions    uint64
 	// Broadcast-layer counters.
 	Proposed      uint64
 	Delivered     uint64
@@ -654,6 +825,7 @@ func (n *Node) Metrics() Metrics {
 			JoinsSent:         ms.JoinsSent,
 			DecisionsSent:     ms.DecisionsSent,
 			Admissions:        ms.Admissions,
+			SelfExclusions:    ms.SelfExclusions,
 			Proposed:          bs.Proposed,
 			Delivered:         bs.Delivered,
 			DeliveredFast:     bs.DeliveredFast,
@@ -670,6 +842,36 @@ func (n *Node) Metrics() Metrics {
 	case <-time.After(5 * time.Second):
 		return Metrics{}
 	}
+}
+
+// GuardStats snapshots the timeliness guard's counters plus the
+// engine's queue-overflow count. Unlike Metrics, it does not round-trip
+// through the event loop: it reads atomics, so it stays available while
+// the event goroutine is stalled — the condition it exists to observe.
+func (n *Node) GuardStats() GuardStats {
+	var s GuardStats
+	if n.guard != nil {
+		gs := n.guard.Stats()
+		s = GuardStats{
+			Overruns:        gs.Overruns,
+			LateTimers:      gs.LateTimers,
+			ClockJumps:      gs.ClockJumps,
+			SelfExclusions:  gs.SelfExclusions,
+			SuppressedSends: gs.SuppressedSends,
+			LateSends:       gs.LateSends,
+			Tripped:         gs.Tripped,
+		}
+	}
+	s.QueueDrops = n.loop.Dropped()
+	return s
+}
+
+// InjectStall occupies the node's event goroutine for d — a synthetic
+// scheduling stall (the live analogue of a GC pause or a preempted
+// process) for tests and chaos runs. It returns immediately; the stall
+// happens when the event is dispatched.
+func (n *Node) InjectStall(d time.Duration) {
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() { time.Sleep(d) }})
 }
 
 // StateName returns the group creator's current state (join,
@@ -692,10 +894,18 @@ type nodeEnv Node
 func (e *nodeEnv) Now() model.Time { return model.Time(time.Now().UnixMicro()) }
 
 func (e *nodeEnv) Broadcast(m wire.Message) {
+	n := (*Node)(e)
+	if n.guard != nil && !n.guard.AllowControlSend() {
+		return // tripped under Enforce: a fail-aware process goes silent
+	}
 	e.tr.Broadcast(wire.Encode(m)) //nolint:errcheck // omission failures are in-model
 }
 
 func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
+	n := (*Node)(e)
+	if n.guard != nil && !n.guard.AllowControlSend() {
+		return
+	}
 	e.tr.Unicast(int(to), wire.Encode(m)) //nolint:errcheck
 }
 
@@ -705,6 +915,7 @@ func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
 	if delay < 0 {
 		delay = 0
 	}
+	due := time.Now().Add(delay)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if old, ok := n.timers[id]; ok {
@@ -714,8 +925,26 @@ func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
 		return
 	}
 	n.timers[id] = time.AfterFunc(delay, func() {
-		n.post(engine.Event{Type: engine.TypeOfTimer(id), Timer: id})
+		n.postTimer(id, due)
 	})
+}
+
+// postTimer posts a timer firing, stamped with its armed deadline for
+// lateness accounting. Unlike messages, a timer must not be lost to a
+// full queue: the slot schedule re-arms only from its own handler, so a
+// dropped TimerSlot would silence the node permanently. Retry on a
+// short backoff until the queue drains or the node stops; the original
+// deadline is kept, so the guard sees the true lateness.
+func (n *Node) postTimer(id member.TimerID, due time.Time) {
+	if n.post(engine.Event{Type: engine.TypeOfTimer(id), Timer: id, Due: due}) {
+		return
+	}
+	n.mu.Lock()
+	stopped := n.stopped
+	n.mu.Unlock()
+	if !stopped {
+		time.AfterFunc(time.Millisecond, func() { n.postTimer(id, due) })
+	}
 }
 
 func (e *nodeEnv) CancelTimer(id member.TimerID) {
@@ -730,10 +959,14 @@ func (e *nodeEnv) CancelTimer(id member.TimerID) {
 
 // --- Transport constructors ---------------------------------------------------
 
-// HubConfig shapes the in-memory hub's fault model.
+// HubConfig shapes the in-memory hub's fault model (at parity with the
+// simulator's: delay, loss, duplication, corruption, reordering).
 type HubConfig struct {
 	MinDelay, MaxDelay time.Duration
 	DropProb           float64
+	DupProb            float64
+	CorruptProb        float64
+	ReorderProb        float64
 	Seed               int64
 }
 
@@ -743,10 +976,13 @@ type MemoryHub struct{ hub *transport.Hub }
 // NewMemoryHub creates an in-process datagram switchboard.
 func NewMemoryHub(cfg HubConfig) *MemoryHub {
 	return &MemoryHub{hub: transport.NewHub(transport.HubOptions{
-		MinDelay: cfg.MinDelay,
-		MaxDelay: cfg.MaxDelay,
-		DropProb: cfg.DropProb,
-		Seed:     cfg.Seed,
+		MinDelay:    cfg.MinDelay,
+		MaxDelay:    cfg.MaxDelay,
+		DropProb:    cfg.DropProb,
+		DupProb:     cfg.DupProb,
+		CorruptProb: cfg.CorruptProb,
+		ReorderProb: cfg.ReorderProb,
+		Seed:        cfg.Seed,
 	})}
 }
 
@@ -789,3 +1025,89 @@ func (a udpAdapter) Unicast(to int, data []byte) error {
 }
 func (a udpAdapter) SetReceiver(r func([]byte)) { a.u.SetReceiver(r) }
 func (a udpAdapter) Close() error               { return a.u.Close() }
+
+// --- Chaos middleware ----------------------------------------------------------
+
+// ChaosConfig shapes the seed-driven chaos middleware's random per-link
+// fault mix. Partitions, link flapping and nemesis schedules are
+// available on the internal API (internal/transport); this public
+// surface covers demos and soak runs over any Transport — memory hub
+// and UDP alike.
+type ChaosConfig struct {
+	Seed               int64
+	MinDelay, MaxDelay time.Duration
+	// DropProb, DupProb, CorruptProb, ReorderProb are independent
+	// per-frame probabilities applied on the receiving side of each
+	// wrapped transport.
+	DropProb    float64
+	DupProb     float64
+	CorruptProb float64
+	ReorderProb float64
+}
+
+// ChaosNet is a chaos controller shared by the wrapped transports of
+// one cluster: one seed, one fault mix, one stats block.
+type ChaosNet struct{ net *transport.ChaosNet }
+
+// NewChaosNet creates a chaos controller.
+func NewChaosNet(cfg ChaosConfig) *ChaosNet {
+	return &ChaosNet{net: transport.NewChaosNet(cfg.Seed, transport.Faults{
+		MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+		Drop: cfg.DropProb, Duplicate: cfg.DupProb,
+		Corrupt: cfg.CorruptProb, Reorder: cfg.ReorderProb,
+	})}
+}
+
+// Wrap interposes the chaos middleware on node id's transport; hand the
+// returned Transport to NewNode in place of t.
+func (c *ChaosNet) Wrap(id int, t Transport) Transport {
+	return chaosOuter{c.net.Wrap(chaosInner{t: t, id: model.ProcessID(id)})}
+}
+
+// ChaosStats counts the faults the middleware has injected so far.
+type ChaosStats struct {
+	Delivered  uint64 // frames passed through (possibly delayed)
+	Dropped    uint64 // frames discarded by the drop probability
+	Blocked    uint64 // frames discarded by an active partition
+	Duplicated uint64 // extra copies injected
+	Corrupted  uint64 // frames with flipped bits
+	Reordered  uint64 // frames held back past their successors
+}
+
+// Stats snapshots the cluster-wide fault counters.
+func (c *ChaosNet) Stats() ChaosStats {
+	s := c.net.Stats()
+	return ChaosStats{
+		Delivered: s.Delivered, Dropped: s.Dropped, Blocked: s.Blocked,
+		Duplicated: s.Duplicated, Corrupted: s.Corrupted, Reordered: s.Reordered,
+	}
+}
+
+// Heal removes any active link blocks (the per-frame fault mix keeps
+// running).
+func (c *ChaosNet) Heal() { c.net.Heal() }
+
+// chaosInner lifts a public Transport to the internal interface (which
+// additionally knows its own process ID).
+type chaosInner struct {
+	t  Transport
+	id model.ProcessID
+}
+
+func (a chaosInner) Self() model.ProcessID            { return a.id }
+func (a chaosInner) Broadcast(data []byte) error      { return a.t.Broadcast(data) }
+func (a chaosInner) SetReceiver(r transport.Receiver) { a.t.SetReceiver(r) }
+func (a chaosInner) Close() error                     { return a.t.Close() }
+func (a chaosInner) Unicast(to model.ProcessID, data []byte) error {
+	return a.t.Unicast(int(to), data)
+}
+
+// chaosOuter adapts the wrapped transport back to the public interface.
+type chaosOuter struct{ c *transport.Chaos }
+
+func (a chaosOuter) Broadcast(data []byte) error { return a.c.Broadcast(data) }
+func (a chaosOuter) Unicast(to int, data []byte) error {
+	return a.c.Unicast(model.ProcessID(to), data)
+}
+func (a chaosOuter) SetReceiver(r func([]byte)) { a.c.SetReceiver(r) }
+func (a chaosOuter) Close() error               { return a.c.Close() }
