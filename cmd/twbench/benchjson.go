@@ -1,0 +1,310 @@
+// Machine-readable benchmarking: `twbench -json` runs the hot-path
+// micro-benchmarks (engine dispatch, observability emit, histogram
+// observe) plus a short live-cluster run, and writes the results as
+// BENCH_<date>.json so the perf trajectory accumulates across PRs.
+// `-compare <baseline.json> -threshold <x>` turns the same run into a
+// regression smoke test for CI: exit non-zero when any micro-benchmark
+// slows down by more than the (deliberately generous) threshold.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"timewheel"
+	"timewheel/internal/engine"
+	"timewheel/internal/obs"
+)
+
+// benchResult is one micro-benchmark measurement, the stable unit the
+// baseline comparison keys on.
+type benchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Iterations  int    `json:"iterations"`
+}
+
+// histSummary is a live-cluster latency distribution (nanoseconds).
+// These are wall-clock dependent and recorded for trend-watching only;
+// they are excluded from the regression comparison.
+type histSummary struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P90Ns int64  `json:"p90_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Histograms []histSummary `json:"histograms"`
+}
+
+func runBenchJSON(outDir, baseline string, threshold float64) int {
+	report := benchReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	micro := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"EventLoopDispatch", benchEventLoopDispatch},
+		{"ThreadedDispatch", benchThreadedDispatch},
+		{"ObsEmitDisabled", benchObsEmitDisabled},
+		{"ObsEmitRingEnabled", benchObsEmitRingEnabled},
+		{"HistogramObserve", benchHistogramObserve},
+		{"CounterInc", benchCounterInc},
+	}
+	for _, m := range micro {
+		r := testing.Benchmark(m.fn)
+		br := benchResult{
+			Name:        m.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		report.Benchmarks = append(report.Benchmarks, br)
+		fmt.Printf("  %-22s %10d ns/op %6d B/op %4d allocs/op\n",
+			m.name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+
+	hists, err := liveClusterHistograms()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "live-cluster run: %v\n", err)
+		return 1
+	}
+	report.Histograms = hists
+	for _, h := range hists {
+		fmt.Printf("  %-42s n=%-6d p50=%-8s p99=%-8s max=%s\n",
+			h.Name, h.Count,
+			time.Duration(h.P50Ns), time.Duration(h.P99Ns), time.Duration(h.MaxNs))
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "out dir: %v\n", err)
+		return 1
+	}
+	path := filepath.Join(outDir, "BENCH_"+report.Date+".json")
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if baseline == "" {
+		return 0
+	}
+	return compareBaseline(report, baseline, threshold)
+}
+
+// compareBaseline flags micro-benchmarks that regressed by more than
+// threshold x vs the committed baseline. The threshold is generous on
+// purpose: CI machines are noisy, and the point is catching order-of-
+// magnitude mistakes (an allocation on the emit path, a lock on the
+// dispatch path), not 10% drift.
+func compareBaseline(cur benchReport, baselinePath string, threshold float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+		return 1
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s: %v\n", baselinePath, err)
+		return 1
+	}
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	regressions := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(b.NsPerOp) / float64(old.NsPerOp)
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  compare %-22s %10d -> %10d ns/op (%.2fx, limit %.1fx) %s\n",
+			b.Name, old.NsPerOp, b.NsPerOp, ratio, threshold, status)
+		// A newly-allocating zero-alloc path is a regression regardless
+		// of wall time — it is the property the acceptance criteria pin.
+		if old.AllocsPerOp == 0 && b.AllocsPerOp > 0 {
+			fmt.Printf("  compare %-22s now allocates (%d allocs/op, was 0) REGRESSION\n",
+				b.Name, b.AllocsPerOp)
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "%d benchmark regression(s) vs %s\n", regressions, baselinePath)
+		return 1
+	}
+	fmt.Printf("no regressions vs %s\n", baselinePath)
+	return 0
+}
+
+// The protocol core handles one event at a time, so the number that
+// matters is the post -> handled round trip through the engine.
+func benchEventLoopDispatch(b *testing.B) {
+	benchDispatch(b, engine.NewEventLoop(func(engine.Event) {}, 4096))
+}
+
+func benchThreadedDispatch(b *testing.B) {
+	benchDispatch(b, engine.NewThreaded(func(engine.Event) {}, 512))
+}
+
+func benchDispatch(b *testing.B, e engine.Engine) {
+	defer e.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !e.Post(engine.Event{Type: engine.EventType(i % int(engine.NumEventTypes))}) {
+			runtime.Gosched()
+		}
+		for e.Handled() <= uint64(i) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// The cost every instrumented hot path pays when nobody is watching —
+// the acceptance criteria require this to stay allocation-free.
+func benchObsEmitDisabled(b *testing.B) {
+	t := obs.NewTracer(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Emit(obs.EvStateChange, 0, int64(i), 0)
+	}
+}
+
+func benchObsEmitRingEnabled(b *testing.B) {
+	t := obs.NewTracer(1024)
+	defer t.EnableRing()()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Emit(obs.EvStateChange, 0, int64(i), 0)
+	}
+}
+
+func benchHistogramObserve(b *testing.B) {
+	h := obs.NewHistogram(obs.LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i%1000) * 1000)
+	}
+}
+
+func benchCounterInc(b *testing.B) {
+	var c obs.Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// liveClusterHistograms forms a three-node in-memory cluster, pushes a
+// burst of ordered broadcasts through it, and snapshots the latency
+// distributions the observability layer accumulated — the same numbers
+// /metrics would export from a real deployment.
+func liveClusterHistograms() ([]histSummary, error) {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{})
+	defer hub.Close()
+	const n = 3
+	nodes := make([]*timewheel.Node, n)
+	for i := 0; i < n; i++ {
+		node, err := timewheel.NewNode(timewheel.Config{
+			ID:          i,
+			ClusterSize: n,
+			Transport:   hub.Transport(i),
+			Params:      timewheel.Params{Delta: 2 * time.Millisecond, D: 4 * time.Millisecond},
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+		defer node.Stop()
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		formed := true
+		for _, node := range nodes {
+			if v, ok := node.CurrentView(); !ok || len(v.Members) < n {
+				formed = false
+			}
+		}
+		if formed {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster never formed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		if err := nodes[i%n].Propose([]byte("bench"), timewheel.TotalOrder, timewheel.Strong); err != nil {
+			return nil, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	var out []histSummary
+	for _, name := range []string{
+		"timewheel_handler_latency_seconds",
+		"timewheel_timer_lateness_seconds",
+		"timewheel_view_install_latency_seconds",
+		"timewheel_decision_latency_seconds",
+		"timewheel_delivery_lag_seconds",
+		"timewheel_peer_delay_seconds",
+	} {
+		hs, ok := nodes[0].HistogramStat(name)
+		if !ok {
+			continue
+		}
+		out = append(out, histSummary{
+			Name:  name,
+			Count: int64(hs.Count),
+			P50Ns: hs.P50,
+			P90Ns: hs.P90,
+			P99Ns: hs.P99,
+			MaxNs: hs.Max,
+		})
+	}
+	return out, nil
+}

@@ -10,6 +10,8 @@
 //	twbench              # all experiments
 //	twbench -exp e3      # one experiment
 //	twbench -seeds 5     # average over more seeds
+//	twbench -json        # machine-readable micro-benchmarks -> BENCH_<date>.json
+//	twbench -json -compare bench_baseline.json   # CI regression smoke
 package main
 
 import (
@@ -29,12 +31,19 @@ import (
 )
 
 var (
-	flagExp   = flag.String("exp", "all", "experiment to run: e1..e9 or all")
-	flagSeeds = flag.Int("seeds", 3, "seeds to average over")
+	flagExp       = flag.String("exp", "all", "experiment to run: e1..e9 or all")
+	flagSeeds     = flag.Int("seeds", 3, "seeds to average over")
+	flagJSON      = flag.Bool("json", false, "run micro-benchmarks + a live-cluster sample and write BENCH_<date>.json")
+	flagOut       = flag.String("out", ".", "directory for the BENCH_<date>.json report (with -json)")
+	flagCompare   = flag.String("compare", "", "baseline BENCH json to compare against (with -json); exit 1 on regression")
+	flagThreshold = flag.Float64("threshold", 10, "ns/op slowdown factor that counts as a regression (with -compare)")
 )
 
 func main() {
 	flag.Parse()
+	if *flagJSON {
+		os.Exit(runBenchJSON(*flagOut, *flagCompare, *flagThreshold))
+	}
 	experiments := map[string]func(){
 		"e1": e1FSMCoverage,
 		"e2": e2FailureFreeTraffic,

@@ -43,6 +43,9 @@ func main() {
 				"a sustained violation makes the node self-exclude and rejoin warm (0: off)")
 		chaosSeed = flag.Int64("chaos-seed", 0,
 			"wrap the transport in deterministic chaos middleware with this seed (0: off)")
+		httpAddr = flag.String("http", "",
+			"serve observability endpoints on this address "+
+				"(/metrics, /healthz, /debug/events, /debug/pprof; empty: off)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,16 @@ func main() {
 		for _, d := range rec.Discarded {
 			fmt.Printf("[recover] discarded: %s\n", d)
 		}
+	}
+	if *httpAddr != "" {
+		obsSrv, err := node.ServeObs(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			os.Exit(1)
+		}
+		defer obsSrv.Close()
+		fmt.Printf("[http]    metrics at http://%s/metrics, health at /healthz, events at /debug/events\n",
+			obsSrv.Addr())
 	}
 	node.Start()
 

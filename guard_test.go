@@ -98,9 +98,16 @@ func TestStallSelfExclusionAndWarmRejoin(t *testing.T) {
 			DataDir:   fmt.Sprintf("%s/node-%d", t.TempDir(), i),
 			Fsync:     "none",
 			Guard: GuardConfig{
-				Enabled:         true,
-				HandlerBudget:   25 * time.Millisecond,
-				TimerLateBudget: 25 * time.Millisecond,
+				Enabled: true,
+				// Loaded hosts (race detector, parallel packages) see
+				// real >25ms scheduling lateness on healthy nodes; a
+				// spurious trip on a second node costs the majority, the
+				// group re-forms under a new lineage, and the victim's
+				// old-lineage coverage can then only be served as a full
+				// transfer. 100ms keeps healthy nodes quiet while the
+				// 400ms stall still trips the victim deterministically.
+				HandlerBudget:   100 * time.Millisecond,
+				TimerLateBudget: 100 * time.Millisecond,
 				TripCount:       2,
 				TripWindow:      2 * time.Second,
 				Enforce:         true,

@@ -138,23 +138,21 @@ func (b *Broadcast) atomicityOK(d *oal.Descriptor) bool {
 	// The update itself and every update it may depend on (ordinal <=
 	// hdo) must be sufficiently acknowledged. Ordinals below the view's
 	// first retained entry were truncated as stable — fully acknowledged
-	// by construction.
+	// by construction. An hdo beyond the highest known ordinal names a
+	// dependency this process has not seen, so the update must wait.
+	// One pass over the retained entries (sorted by ordinal) covers the
+	// whole [first, hdo] window: iterating ordinal-by-ordinal would cost
+	// O(hdo-first) lookups, and a corrupt hdo once turned that into a
+	// multi-minute spin on the event goroutine.
 	if d.Acks.CountIn(b.group) < need {
 		return false
 	}
-	first := oal.Ordinal(1)
-	if len(b.view.Entries) > 0 {
-		first = b.view.Entries[0].Ordinal
+	if d.HDO > b.view.HighestOrdinal() {
+		return false
 	}
-	for o := first; o <= d.HDO; o++ {
-		dep := b.view.FindOrdinal(o)
-		if dep == nil {
-			// Gap inside the retained window (never happens with a
-			// well-formed oal) or beyond the highest known ordinal:
-			// the dependency is unknown, so the update must wait.
-			if o > b.view.HighestOrdinal() {
-				return false
-			}
+	for i := range b.view.Entries {
+		dep := &b.view.Entries[i]
+		if dep.Ordinal == oal.None || dep.Ordinal > d.HDO {
 			continue
 		}
 		if dep.Kind != oal.UpdateDesc || dep.Undeliverable {

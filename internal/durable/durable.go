@@ -86,6 +86,17 @@ type Options struct {
 	// TailKeep update records stay servable as a rejoin delta,
 	// independent of how often this process snapshots (default 1024).
 	TailKeep int
+	// ObserveSync, if set, receives the wall-clock duration of every
+	// log-segment fsync. Called with the store lock held on the append
+	// path — it must be fast and non-blocking (an atomic histogram
+	// observe, not I/O).
+	ObserveSync func(d time.Duration)
+	// ObserveSnapshot, if set, receives the encoded byte size of every
+	// successfully written snapshot. Same constraints as ObserveSync.
+	ObserveSnapshot func(bytes int)
+	// ObserveReplay, if set, receives the record count of every served
+	// replay delta. Same constraints as ObserveSync.
+	ObserveReplay func(records int)
 }
 
 // DefaultTailKeep is the replay-tail retention applied when

@@ -369,9 +369,14 @@ func (s *Store) rotate() error {
 }
 
 func (s *Store) fsync() error {
-	s.lastSync = time.Now()
+	start := time.Now()
+	s.lastSync = start
 	s.syncs++
-	return s.seg.Sync()
+	err := s.seg.Sync()
+	if s.opts.ObserveSync != nil {
+		s.opts.ObserveSync(time.Since(start))
+	}
+	return err
 }
 
 // WriteSnapshot atomically persists the application state plus
@@ -393,7 +398,8 @@ func (s *Store) WriteSnapshot(meta SnapshotMeta, appState []byte) error {
 	if err != nil {
 		return err
 	}
-	_, werr := f.Write(encodeSnapshot(snapTo, meta, appState))
+	enc := encodeSnapshot(snapTo, meta, appState)
+	_, werr := f.Write(enc)
 	if serr := f.Sync(); werr == nil {
 		werr = serr
 	}
@@ -435,6 +441,9 @@ func (s *Store) WriteSnapshot(meta SnapshotMeta, appState []byte) error {
 	}
 
 	s.snapshots++
+	if s.opts.ObserveSnapshot != nil {
+		s.opts.ObserveSnapshot(len(enc))
+	}
 	return nil
 }
 
@@ -472,6 +481,9 @@ func (s *Store) ReplaySince(since oal.Ordinal) ([]UpdateRecord, bool) {
 		if u.Ordinal == oal.None || u.Ordinal > since {
 			out = append(out, u)
 		}
+	}
+	if s.opts.ObserveReplay != nil {
+		s.opts.ObserveReplay(len(out))
 	}
 	return out, true
 }

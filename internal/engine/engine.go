@@ -124,6 +124,11 @@ type Engine interface {
 	// while the engine was running (posts after Stop are not counted —
 	// shutdown is not an overload signal).
 	Dropped() uint64
+	// QueueLen returns the number of events currently queued and not
+	// yet dispatched — the backlog an observer should watch to see a
+	// stalling handler before the queue overflows. Safe from any
+	// goroutine; the value is instantaneously stale by nature.
+	QueueLen() int
 }
 
 // --- Event-based engine ----------------------------------------------------
@@ -205,6 +210,9 @@ func (e *EventLoop) Handled() uint64 { return e.handled.Load() }
 
 // Dropped implements Engine.
 func (e *EventLoop) Dropped() uint64 { return e.dropped.Load() }
+
+// QueueLen implements Engine.
+func (e *EventLoop) QueueLen() int { return len(e.ch) }
 
 // --- Thread-based engine -----------------------------------------------------
 
@@ -298,6 +306,15 @@ func (t *Threaded) Handled() uint64 { return t.handled.Load() }
 
 // Dropped implements Engine.
 func (t *Threaded) Dropped() uint64 { return t.dropped.Load() }
+
+// QueueLen implements Engine. It sums the per-type queues.
+func (t *Threaded) QueueLen() int {
+	n := 0
+	for i := range t.chans {
+		n += len(t.chans[i])
+	}
+	return n
+}
 
 var (
 	_ Engine = (*EventLoop)(nil)

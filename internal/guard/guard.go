@@ -90,6 +90,9 @@ type Stats struct {
 	// QueueDrops mirrors the engine's bounded-queue drop counter (the
 	// node layer fills it in; the guard itself does not track it).
 	QueueDrops uint64
+	// Trips counts how many times the guard transitioned from armed to
+	// tripped (distinct trip episodes, not violations).
+	Trips uint64
 	// Tripped reports whether the guard is currently (Enforce) or was
 	// ever (observe-only) tripped.
 	Tripped bool
@@ -107,8 +110,14 @@ type Guard struct {
 	selfExclusions atomic.Uint64
 	suppressed     atomic.Uint64
 	lateSends      atomic.Uint64
+	trips          atomic.Uint64
 	tripped        atomic.Bool
 	everTripped    atomic.Bool
+
+	// onTrip, if set, is called once per armed→tripped transition, from
+	// the goroutine that detected the violation. It must be fast and
+	// non-blocking (it runs under mu).
+	onTrip func()
 
 	// mu guards the violation window and the last clock observation.
 	// Note* callers are serialised by the engine in practice, but the
@@ -210,12 +219,21 @@ func (g *Guard) violation(now time.Time) {
 	if len(g.violations) >= g.cfg.TripCount {
 		if g.tripped.CompareAndSwap(false, true) {
 			g.everTripped.Store(true)
+			g.trips.Add(1)
+			if g.onTrip != nil {
+				g.onTrip()
+			}
 		}
 	}
 }
 
 // Tripped reports whether the guard is currently tripped.
 func (g *Guard) Tripped() bool { return g.tripped.Load() }
+
+// OnTrip installs a callback invoked once per armed→tripped transition
+// (observability taps). Call before the guard is in use; the callback
+// runs on the violating goroutine and must not block.
+func (g *Guard) OnTrip(fn func()) { g.onTrip = fn }
 
 // AllowControlSend is consulted before every outgoing control message.
 // Untripped: allowed. Tripped with Enforce: suppressed (counted).
@@ -262,6 +280,7 @@ func (g *Guard) Stats() Stats {
 		SelfExclusions:  g.selfExclusions.Load(),
 		SuppressedSends: g.suppressed.Load(),
 		LateSends:       g.lateSends.Load(),
+		Trips:           g.trips.Load(),
 		Tripped:         g.tripped.Load() || g.everTripped.Load(),
 	}
 }

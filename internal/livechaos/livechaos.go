@@ -38,6 +38,22 @@ type Options struct {
 	// currently the decider, keeping the recorded tenure overlap
 	// within the skew bound the invariant check can tolerate.
 	Victim int
+	// Stalls is how many distinct nodes are stalled concurrently in
+	// phase two (default 1). With more than one victim the cluster
+	// must still hold a majority: Stalls <= (N-1)/2.
+	Stalls int
+	// GuardBudget overrides the per-node handler/timer budgets
+	// (default 100ms). Bigger clusters under full-suite test load see
+	// real scheduling lateness beyond 100ms on healthy nodes; a
+	// spurious trip cascades into exclusion churn, so heavy runs
+	// should raise this while keeping it under Stall.
+	GuardBudget time.Duration
+	// ConvergeTimeout bounds the post-stall reconvergence wait
+	// (default 30s).
+	ConvergeTimeout time.Duration
+	// NemesisFlaps is the number of link/partition flaps in the
+	// scripted nemesis schedule (default 4).
+	NemesisFlaps int
 	// Observe runs the guard in observe-only mode: violations are
 	// counted (LateSends in particular) but nothing is suppressed and
 	// the node never self-excludes.
@@ -63,8 +79,15 @@ type Report struct {
 	// SelfExclusions and LateSends are summed over the cluster.
 	SelfExclusions uint64
 	LateSends      uint64
-	// Victim is the node that was stalled.
-	Victim int
+	// Victim is the first stalled node; Victims lists all of them.
+	Victim  int
+	Victims []int
+	// SuspicionReaction and ElectionDuration summarize each node's
+	// observability histograms for the run (nanosecond latencies):
+	// how far past the ts+2D deadline suspicion handlers fired, and
+	// how long leaving the failure-free state lasted end to end.
+	SuspicionReaction []timewheel.HistogramStat
+	ElectionDuration  []timewheel.HistogramStat
 	// Converged reports whether every node was back in a full view
 	// (and the victim up to date) by the end of the run.
 	Converged bool
@@ -94,6 +117,18 @@ func Run(o Options) (*Report, error) {
 	}
 	if o.Stall <= 0 {
 		o.Stall = 400 * time.Millisecond
+	}
+	if o.Stalls <= 0 {
+		o.Stalls = 1
+	}
+	if o.NemesisFlaps <= 0 {
+		o.NemesisFlaps = 4
+	}
+	if o.GuardBudget <= 0 {
+		o.GuardBudget = 100 * time.Millisecond
+	}
+	if o.ConvergeTimeout <= 0 {
+		o.ConvergeTimeout = 30 * time.Second
 	}
 	logf := o.Logf
 	if logf == nil {
@@ -154,8 +189,8 @@ func Run(o Options) (*Report, error) {
 				// perfectly healthy nodes, and a spurious trip cascades —
 				// exclusion, election, re-formation, a new lineage.
 				// 100ms only catches the injected 400ms stall.
-				HandlerBudget:   100 * time.Millisecond,
-				TimerLateBudget: 100 * time.Millisecond,
+				HandlerBudget:   o.GuardBudget,
+				TimerLateBudget: o.GuardBudget,
 				// A stalled node shows one overrun (the stall itself)
 				// plus one late slot timer — the slot timer re-arms
 				// from its own handler, so only one is ever queued.
@@ -218,7 +253,7 @@ func Run(o Options) (*Report, error) {
 	// Phase one: the scripted nemesis flaps links and partitions while
 	// the per-frame faults (drop/dup/corrupt/reorder) torment every
 	// frame. The schedule ends healed.
-	steps := transport.RandomNemesis(o.Seed+1, ids, 4, o.Duration)
+	steps := transport.RandomNemesis(o.Seed+1, ids, o.NemesisFlaps, o.Duration)
 	for _, s := range steps {
 		logf("nemesis @%v: %s", s.After, s.Desc)
 	}
@@ -266,45 +301,106 @@ func Run(o Options) (*Report, error) {
 	}
 	victim := o.Victim
 	forced := victim >= 0 && victim < o.N
+	warmDeltas := func() uint64 {
+		var s uint64
+		for _, nd := range nodes {
+			s += nd.Metrics().StateDeltas
+		}
+		return s
+	}
+	deltasBefore := warmDeltas()
+	victimsConverged := func(victims []int) func() bool {
+		return func() bool {
+			if !allFull() {
+				return false
+			}
+			for _, v := range victims {
+				if !nodes[v].UpToDate() {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	var victims []int
 	for attempt := 0; attempt < 3; attempt++ {
 		if !waitUntil(20*time.Second, allSettled) {
 			logf("cluster never settled before stall attempt %d", attempt)
 			break
 		}
-		if !forced {
-			// Prefer a victim that does not currently hold the decider
-			// role: a stalled decider cannot stamp its tenure's end until
-			// it wakes, so its recorded interval would overlap the
-			// successor's by the stall length — unprovable either way
-			// from wall clocks.
-			victim = 0
-			for i, nd := range nodes {
-				_, tens := nd.History()
-				open := len(tens) > 0 && tens[len(tens)-1].Open
-				if !open && nd.UpToDate() {
-					victim = i
-					break
-				}
+		// Prefer victims that do not currently hold the decider role: a
+		// stalled decider cannot stamp its tenure's end until it wakes,
+		// so its recorded interval would overlap the successor's by the
+		// stall length — unprovable either way from wall clocks.
+		victims = victims[:0]
+		if forced {
+			victims = append(victims, victim)
+		}
+		for i, nd := range nodes {
+			if len(victims) >= o.Stalls {
+				break
+			}
+			if forced && i == victim {
+				continue
+			}
+			_, tens := nd.History()
+			open := len(tens) > 0 && tens[len(tens)-1].Open
+			if !open && nd.UpToDate() {
+				victims = append(victims, i)
 			}
 		}
-		before := nodes[victim].GuardStats().SelfExclusions
-		logf("stalling node %d for %v (attempt %d)", victim, o.Stall, attempt)
-		nodes[victim].InjectStall(o.Stall)
+		for i := 0; len(victims) < o.Stalls && i < o.N; i++ {
+			dup := false
+			for _, v := range victims {
+				dup = dup || v == i
+			}
+			if !dup {
+				victims = append(victims, i)
+			}
+		}
+		victim = victims[0]
+		exclusions := func() uint64 {
+			var s uint64
+			for _, v := range victims {
+				s += nodes[v].GuardStats().SelfExclusions
+			}
+			return s
+		}
+		before := exclusions()
+		logf("stalling nodes %v for %v (attempt %d)", victims, o.Stall, attempt)
+		for _, v := range victims {
+			nodes[v].InjectStall(o.Stall)
+		}
 		time.Sleep(o.Stall)
 		if o.Observe {
 			break // nothing to retry for: the guard never excludes
 		}
-		if waitUntil(5*time.Second, func() bool {
-			return nodes[victim].GuardStats().SelfExclusions > before
-		}) {
+		if !waitUntil(5*time.Second, func() bool { return exclusions() > before }) {
+			logf("stall hit nodes %v while not stable members; retrying", victims)
+			continue
+		}
+		// The exclusion landed; wait for the rejoin and check it was
+		// warm. Residual wrong-suspicion churn can cascade the cluster
+		// into a full re-formation — a new ordinal lineage — right as
+		// the victim rejoins, degrading the transfer to a full snapshot.
+		// That is legitimate protocol behavior, but it is not what this
+		// phase exists to demonstrate, so stall again once settled.
+		if !waitUntil(o.ConvergeTimeout, victimsConverged(victims)) {
+			break // let the final convergence check report the failure
+		}
+		if warmDeltas() > deltasBefore {
 			break
 		}
-		logf("stall hit node %d while it was not a stable member; retrying", victim)
+		logf("victims %v rejoined cold (re-formation coincided with the rejoin); retrying", victims)
+	}
+	if len(victims) == 0 { // settle loop bailed before picking anyone
+		if victim < 0 || victim >= o.N {
+			victim = 0
+		}
+		victims = []int{victim}
 	}
 
-	converged := waitUntil(30*time.Second, func() bool {
-		return allFull() && nodes[victim].UpToDate()
-	})
+	converged := waitUntil(o.ConvergeTimeout, victimsConverged(victims))
 	if !converged {
 		for i, nd := range nodes {
 			v, ok := nd.CurrentView()
@@ -316,11 +412,14 @@ func Run(o Options) (*Report, error) {
 	<-propDone
 
 	rep := &Report{
-		Guard:     make([]timewheel.GuardStats, o.N),
-		Chaos:     net.Stats(),
-		Delivered: make([]uint64, o.N),
-		Victim:    victim,
-		Converged: converged,
+		Guard:             make([]timewheel.GuardStats, o.N),
+		Chaos:             net.Stats(),
+		Delivered:         make([]uint64, o.N),
+		Victim:            victim,
+		Victims:           victims,
+		Converged:         converged,
+		SuspicionReaction: make([]timewheel.HistogramStat, o.N),
+		ElectionDuration:  make([]timewheel.HistogramStat, o.N),
 	}
 	hs := make([]check.LiveHistory, o.N)
 	for i, nd := range nodes {
@@ -348,8 +447,13 @@ func Run(o Options) (*Report, error) {
 	rep.Invariants = check.LiveAll(o.N, hs, 150*time.Millisecond)
 	for i, nd := range nodes {
 		m := nd.Metrics()
+		rep.SuspicionReaction[i], _ = nd.HistogramStat("timewheel_suspicion_reaction_seconds")
+		rep.ElectionDuration[i], _ = nd.HistogramStat("timewheel_election_duration_seconds")
 		logf("node %d final: guard=%+v fulls=%d deltas=%d replayApplied=%d selfExcl=%d",
 			i, rep.Guard[i], m.StateFulls, m.StateDeltas, m.ReplayApplied, m.SelfExclusions)
+		logf("node %d obs: suspicion n=%d max=%v; election n=%d max=%v",
+			i, rep.SuspicionReaction[i].Count, time.Duration(rep.SuspicionReaction[i].Max),
+			rep.ElectionDuration[i].Count, time.Duration(rep.ElectionDuration[i].Max))
 	}
 	logf("guard totals: selfExclusions=%d lateSends=%d; chaos: %+v",
 		rep.SelfExclusions, rep.LateSends, rep.Chaos)

@@ -40,6 +40,80 @@ func TestLiveChaos(t *testing.T) {
 	}
 }
 
+// TestLiveChaosFiveNodeDualStall is the heavier soak: five nodes, a
+// longer nemesis schedule, and two concurrent event-goroutine stalls on
+// different nodes — the surviving three still hold a majority, so the
+// group must exclude both victims and readmit them warm. On top of the
+// membership invariants it asserts the observability layer's new
+// protocol metrics stayed inside wall-clock-adapted bounds.
+func TestLiveChaosFiveNodeDualStall(t *testing.T) {
+	rep, err := Run(Options{
+		N:            5,
+		Seed:         23,
+		Duration:     2500 * time.Millisecond,
+		NemesisFlaps: 6,
+		Stall:        600 * time.Millisecond,
+		Stalls:       2,
+		Victim:       -1,
+		// Five nodes under full-suite test load see real >100ms
+		// scheduling lateness on healthy nodes; 250ms keeps spurious
+		// trips out while the 600ms stall still trips reliably. The
+		// bigger cluster also reconverges through more churn, hence
+		// the longer window.
+		GuardBudget:     250 * time.Millisecond,
+		ConvergeTimeout: 60 * time.Second,
+		DataDir:         t.TempDir(),
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Invariants.OK() {
+		t.Fatalf("membership invariants violated:\n%s", rep.Invariants)
+	}
+	if len(rep.Victims) != 2 || rep.Victims[0] == rep.Victims[1] {
+		t.Fatalf("expected two distinct victims, got %v", rep.Victims)
+	}
+	if rep.SelfExclusions == 0 {
+		t.Fatalf("no guard-triggered self-exclusion; guard stats: %+v", rep.Guard)
+	}
+	if !rep.Converged {
+		t.Fatalf("cluster did not reconverge; guard stats: %+v", rep.Guard)
+	}
+
+	// The new obs instruments, within wall-clock-adapted bounds. These
+	// are scheduling-latency measurements on a loaded test host (often
+	// under the race detector), so the bounds are generous multiples of
+	// the protocol constants, not the paper's tight 2D envelope: the
+	// point is that the metrics are live and sane, not microbenchmarks.
+	const (
+		maxSuspicionLag = 2 * time.Second  // reaction past the ts+2D deadline
+		maxElection     = 15 * time.Second // leave failure-free -> next view
+	)
+	var suspicions, elections uint64
+	for i := range rep.SuspicionReaction {
+		sr, el := rep.SuspicionReaction[i], rep.ElectionDuration[i]
+		suspicions += sr.Count
+		elections += el.Count
+		if sr.Count > 0 && time.Duration(sr.Max) > maxSuspicionLag {
+			t.Errorf("node %d suspicion reaction max %v exceeds %v",
+				i, time.Duration(sr.Max), maxSuspicionLag)
+		}
+		if el.Count > 0 && time.Duration(el.Max) > maxElection {
+			t.Errorf("node %d election duration max %v exceeds %v",
+				i, time.Duration(el.Max), maxElection)
+		}
+	}
+	// Two stalled members must have provoked suspicions on the healthy
+	// majority, and their exclusion (plus readmission) runs elections.
+	if suspicions == 0 {
+		t.Error("no suspicion reactions recorded across the cluster")
+	}
+	if elections == 0 {
+		t.Error("no election durations recorded across the cluster")
+	}
+}
+
 // TestLiveChaosObserveMode reruns the same schedule with the guard in
 // observe-only mode: the stall still trips the detector, but nothing is
 // suppressed — the victim keeps emitting late control traffic (counted

@@ -112,6 +112,12 @@ type Hooks struct {
 	StateChange func(from, to State, at model.Time)
 	ViewChange  func(g model.Group, at model.Time)
 	Decider     func(isDecider bool, at model.Time)
+	// Suspicion fires when the failure detector times out on a process:
+	// deadline is the ts+2D expectation that expired and now the local
+	// clock when the timeout handler ran, so now-deadline is the
+	// suspicion reaction lag (timer slip + queueing) that fail-aware
+	// timeliness claims are judged against.
+	Suspicion func(suspect model.ProcessID, deadline, now model.Time)
 }
 
 // Config tunes the machine.

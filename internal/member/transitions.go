@@ -546,6 +546,10 @@ func (m *Machine) onExpectTimeout() {
 		}
 		return
 	}
+	if m.cfg.Hooks.Suspicion != nil {
+		_, deadline, _ := m.fd.Expected()
+		m.cfg.Hooks.Suspicion(suspect, deadline, now)
+	}
 	m.fd.ClearExpectation()
 	switch m.state {
 	case StateFailureFree:

@@ -1,0 +1,274 @@
+// Package obs is the live observability core of the timewheel stack: a
+// dependency-free set of lock-free instruments (atomic counters and
+// gauges, fixed-bucket histograms sized for protocol timescales) plus a
+// ring-buffered protocol event tracer, and a registry that exports all
+// of it in Prometheus text exposition format and JSON.
+//
+// Design constraints, in order:
+//
+//   - emitting into an instrument must be safe from any goroutine and
+//     must never block (atomics only, no locks on the update path);
+//   - the protocol's guarantees are *timed*, so the primary instrument
+//     is the latency histogram — fixed log-spaced buckets from 1µs to
+//     10s cover every protocol timescale (handler dispatch, one-way
+//     delay, election duration, fsync);
+//   - when nothing is watching, the cost must be near zero: the tracer's
+//     disabled emit path is one atomic load and allocates nothing.
+//
+// The registry is scrape-oriented: registration takes a lock, updates
+// never do, and readers get weakly consistent snapshots (each word is
+// read atomically; cross-instrument skew is possible and fine).
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Store overwrites the counter. It exists for mirror counters that track
+// a monotonic source maintained elsewhere (e.g. event-loop-confined
+// protocol stats copied out on scrape); direct instrumentation should
+// use Inc/Add.
+func (c *Counter) Store(v uint64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// --- Histograms ---------------------------------------------------------------
+
+// LatencyBuckets are the standard protocol-timescale bucket upper
+// bounds, in nanoseconds: log-spaced 1-2-5 steps from 1µs to 10s. They
+// cover everything the protocol times — handler dispatch (µs), one-way
+// delay and decision latency (ms), elections and fsync stalls (ms–s) —
+// with a final implicit +Inf bucket for pathologies.
+var LatencyBuckets = []int64{
+	1_000, 2_000, 5_000, // 1µs 2µs 5µs
+	10_000, 20_000, 50_000, // 10µs 20µs 50µs
+	100_000, 200_000, 500_000, // 100µs 200µs 500µs
+	1_000_000, 2_000_000, 5_000_000, // 1ms 2ms 5ms
+	10_000_000, 20_000_000, 50_000_000, // 10ms 20ms 50ms
+	100_000_000, 200_000_000, 500_000_000, // 100ms 200ms 500ms
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // 1s 2s 5s
+	10_000_000_000, // 10s
+}
+
+// CountBuckets suit entry counts (replay-delta sizes, batch sizes).
+var CountBuckets = []int64{
+	1, 2, 5, 10, 20, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+}
+
+// ByteBuckets suit payload and snapshot sizes.
+var ByteBuckets = []int64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+	256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// Histogram is a fixed-bucket histogram over int64 values (by
+// convention nanoseconds for latency, raw counts or bytes otherwise).
+// Observation is lock-free: one binary search over the bounds plus
+// three atomic adds. Bounds are upper bounds, ascending; values above
+// the last bound land in an implicit +Inf bucket.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, cumulative only at snapshot time
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a free-standing histogram (registry-less use:
+// tests, embedding). bounds must be ascending and non-empty.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// bucketIdx returns the index of the bucket v falls into.
+func (h *Histogram) bucketIdx(v int64) int {
+	lo, hi := 0, len(h.bounds) // hi is the +Inf bucket
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketIdx(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(int64(time.Since(t0))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Merge adds o's observations into h. Both histograms must share the
+// same bucket bounds (it reports false and does nothing otherwise).
+// Merging is how per-shard or per-run histograms are combined into one
+// distribution.
+func (h *Histogram) Merge(o *Histogram) bool {
+	if h == nil || o == nil || len(h.bounds) != len(o.bounds) {
+		return false
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return false
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.sum.Add(o.sum.Load())
+	h.count.Add(o.count.Load())
+	return true
+}
+
+// HistogramSnapshot is a weakly consistent copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry
+	// for the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []int64
+	Counts []uint64
+	Sum    int64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts,
+// returning the upper bound of the bucket holding it — a conservative
+// (over-)estimate. The +Inf bucket reports the last finite bound. Zero
+// observations report 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1] // +Inf bucket: clamp
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Max returns the upper bound of the highest non-empty bucket (the
+// last finite bound when the +Inf bucket is occupied), 0 when empty.
+func (s HistogramSnapshot) Max() int64 {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] == 0 {
+			continue
+		}
+		if i < len(s.Bounds) {
+			return s.Bounds[i]
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}

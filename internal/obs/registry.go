@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// Labels is an ordered label set.
+type Labels []Label
+
+// L builds a label set from alternating name/value pairs:
+// obs.L("peer", "2").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L wants name/value pairs")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+func (ls Labels) key() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// promLabels renders {a="x",b="y"}, with extra pairs appended (used for
+// the histogram le label). Values are escaped per the text exposition
+// format.
+func promLabels(ls Labels, extra ...Label) string {
+	all := append(append(Labels{}, ls...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type series struct {
+	labels Labels
+	c      *Counter
+	g      *Gauge
+	cfn    func() uint64
+	gfn    func() int64
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	unit   float64 // exposition multiplier: Seconds for ns values, 1 otherwise
+	bounds []int64
+	series []*series
+	byKey  map[string]*series
+}
+
+// Unit constants for histogram exposition: the stored int64 values are
+// multiplied by the unit when rendered (so nanosecond observations
+// export as Prometheus-conventional seconds).
+const (
+	Seconds = 1e-9 // values are nanoseconds
+	Raw     = 1.0  // values are dimensionless (counts, bytes)
+)
+
+// Registry holds named instruments and renders them. Registration locks;
+// instrument updates never do. Registering the same name+labels again
+// returns the existing instrument, so layers can wire independently.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, unit float64, bounds []int64) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, unit: unit, bounds: bounds,
+			byKey: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	return f
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter, Raw, nil)
+	if s, ok := f.byKey[labels.key()]; ok {
+		return s.c
+	}
+	s := &series{labels: labels, c: &Counter{}}
+	f.series = append(f.series, s)
+	f.byKey[labels.key()] = s
+	return s.c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge, Raw, nil)
+	if s, ok := f.byKey[labels.key()]; ok {
+		return s.g
+	}
+	s := &series{labels: labels, g: &Gauge{}}
+	f.series = append(f.series, s)
+	f.byKey[labels.key()] = s
+	return s.g
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for monotonic sources that already are atomics
+// (engine handled/dropped counts, guard counters).
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounterFunc, Raw, nil)
+	if _, ok := f.byKey[labels.key()]; ok {
+		return
+	}
+	s := &series{labels: labels, cfn: fn}
+	f.series = append(f.series, s)
+	f.byKey[labels.key()] = s
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time (queue
+// depth, trip state).
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGaugeFunc, Raw, nil)
+	if _, ok := f.byKey[labels.key()]; ok {
+		return
+	}
+	s := &series{labels: labels, gfn: fn}
+	f.series = append(f.series, s)
+	f.byKey[labels.key()] = s
+}
+
+// Histogram registers (or finds) a histogram series. unit scales values
+// at exposition (obs.Seconds for nanosecond observations, obs.Raw for
+// counts/bytes). All series of one family share bounds and unit.
+func (r *Registry) Histogram(name, help string, bounds []int64, unit float64, labels Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	if unit == 0 {
+		unit = Raw
+	}
+	f := r.family(name, help, kindHistogram, unit, bounds)
+	if s, ok := f.byKey[labels.key()]; ok {
+		return s.h
+	}
+	s := &series{labels: labels, h: NewHistogram(f.bounds)}
+	f.series = append(f.series, s)
+	f.byKey[labels.key()] = s
+	return s.h
+}
+
+// CounterValue sums the current values of every series of the named
+// counter family; ok is false for unknown names.
+func (r *Registry) CounterValue(name string) (v uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, found := r.fams[name]
+	if !found || (f.kind != kindCounter && f.kind != kindCounterFunc) {
+		return 0, false
+	}
+	for _, s := range f.series {
+		if s.c != nil {
+			v += s.c.Value()
+		} else if s.cfn != nil {
+			v += s.cfn()
+		}
+	}
+	return v, true
+}
+
+// HistogramSnapshot merges every series of the named histogram family
+// into one snapshot; ok is false for unknown names.
+func (r *Registry) HistogramSnapshot(name string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, found := r.fams[name]
+	if !found || f.kind != kindHistogram {
+		return HistogramSnapshot{}, false
+	}
+	out := HistogramSnapshot{Bounds: f.bounds, Counts: make([]uint64, len(f.bounds)+1)}
+	for _, s := range f.series {
+		snap := s.h.Snapshot()
+		for i, c := range snap.Counts {
+			out.Counts[i] += c
+		}
+		out.Sum += snap.Sum
+		out.Count += snap.Count
+	}
+	return out, true
+}
+
+// famView is a render-time view of one family: the immutable metadata
+// plus a copy of the series slice taken under the lock. Registration
+// appends to family.series, so renderers must not iterate the live
+// slice header; the *series themselves are safe (labels are immutable,
+// values are atomics).
+type famView struct {
+	*family
+	series []*series
+}
+
+// snapshotFams copies the family list — and each family's series slice
+// — under the lock so rendering can proceed without it (value reads are
+// atomic anyway).
+func (r *Registry) snapshotFams() []famView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]famView, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.fams[name]
+		out = append(out, famView{family: f, series: append([]*series(nil), f.series...)})
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFams() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writePromSeries(w, f.family, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.c.Value())
+		return err
+	case kindCounterFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.cfn())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.g.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.gfn())
+		return err
+	}
+	snap := s.h.Snapshot()
+	var cum uint64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := Label{Name: "le", Value: formatBound(float64(b) * f.unit)}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		promLabels(s.labels, Label{Name: "le", Value: "+Inf"}), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, promLabels(s.labels), float64(snap.Sum)*f.unit); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), snap.Count)
+	return err
+}
+
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// JSONMetric is one series in the registry's JSON rendering.
+type JSONMetric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *int64            `json:"value,omitempty"`
+	// Histogram summary fields (unit-scaled: seconds for latency).
+	Count *uint64  `json:"count,omitempty"`
+	Sum   *float64 `json:"sum,omitempty"`
+	P50   *float64 `json:"p50,omitempty"`
+	P90   *float64 `json:"p90,omitempty"`
+	P99   *float64 `json:"p99,omitempty"`
+	Max   *float64 `json:"max,omitempty"`
+}
+
+// Snapshot renders every series as a JSONMetric (also the expvar shape).
+func (r *Registry) Snapshot() []JSONMetric {
+	var out []JSONMetric
+	for _, f := range r.snapshotFams() {
+		for _, s := range f.series {
+			m := JSONMetric{Name: f.name, Type: f.kind.String()}
+			if len(s.labels) > 0 {
+				m.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					m.Labels[l.Name] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				v := int64(s.c.Value())
+				m.Value = &v
+			case kindCounterFunc:
+				v := int64(s.cfn())
+				m.Value = &v
+			case kindGauge:
+				v := s.g.Value()
+				m.Value = &v
+			case kindGaugeFunc:
+				v := s.gfn()
+				m.Value = &v
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				cnt := snap.Count
+				sum := float64(snap.Sum) * f.unit
+				p50 := float64(snap.Quantile(0.50)) * f.unit
+				p90 := float64(snap.Quantile(0.90)) * f.unit
+				p99 := float64(snap.Quantile(0.99)) * f.unit
+				mx := float64(snap.Max()) * f.unit
+				m.Count, m.Sum, m.P50, m.P90, m.P99, m.Max = &cnt, &sum, &p50, &p90, &p99, &mx
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the registry as a JSON array of series.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Names returns the registered family names, sorted (docs, tests).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

@@ -6,11 +6,18 @@
 // timers and real (or in-memory) sockets — the regime the paper's
 // timed asynchronous model is actually about.
 //
-// All faults are applied on the inbound side of each wrapped transport:
-// a broadcast is one send call on the sender but N link traversals, and
-// per-link asymmetry (A hears B but B does not hear A) only exists at
-// the receivers. The sender of an inbound frame is recovered by
-// decoding its wire header.
+// Per-link faults are applied on the inbound side of each wrapped
+// transport: a broadcast is one send call on the sender but N link
+// traversals, and per-link asymmetry (A hears B but B does not hear A)
+// only exists at the receivers. The sender of an inbound frame is
+// recovered by decoding its wire header.
+//
+// A second, per-sender fault stage (SetSendFaults) runs on the outbound
+// side, before a broadcast fans out: it models congestion at the
+// sender's own NIC — every receiver misses (or late-receives) the same
+// datagram — which composes with the receive stage to make asymmetric
+// one-way degradation expressible: degrade A's sends and A's peers stop
+// hearing A while A still hears everyone.
 package transport
 
 import (
@@ -111,6 +118,14 @@ type ChaosStats struct {
 	Corrupted  uint64
 	Reordered  uint64
 	Undecoded  uint64 // inbound frames whose sender could not be decoded
+
+	// Sender-side stage counters (SetSendFaults). A dropped send is one
+	// whole datagram — for a broadcast, every receiver misses it.
+	SendDropped    uint64
+	SendDelivered  uint64 // send calls passed on (incl. duplicates)
+	SendDuplicated uint64
+	SendCorrupted  uint64
+	SendReordered  uint64
 }
 
 // ChaosNet is the controller shared by all Chaos wrappers in one
@@ -118,12 +133,13 @@ type ChaosStats struct {
 // table, one stats block. Wrap each node's transport before handing it
 // to the node; drive partitions and flapping via a nemesis schedule.
 type ChaosNet struct {
-	mu      sync.Mutex
-	rng     *rand.Rand
-	faults  Faults
-	blocked map[[2]model.ProcessID]bool // [from, to]: to must not hear from
-	stats   ChaosStats
-	stopped bool
+	mu         sync.Mutex
+	rng        *rand.Rand
+	faults     Faults
+	sendFaults map[model.ProcessID]Faults  // per-sender outbound stage
+	blocked    map[[2]model.ProcessID]bool // [from, to]: to must not hear from
+	stats      ChaosStats
+	stopped    bool
 }
 
 // NewChaosNet creates a controller with a deterministic seed and an
@@ -131,9 +147,10 @@ type ChaosNet struct {
 // nemesis acts).
 func NewChaosNet(seed int64, faults Faults) *ChaosNet {
 	return &ChaosNet{
-		rng:     rand.New(rand.NewSource(seed)),
-		faults:  faults,
-		blocked: make(map[[2]model.ProcessID]bool),
+		rng:        rand.New(rand.NewSource(seed)),
+		faults:     faults,
+		sendFaults: make(map[model.ProcessID]Faults),
+		blocked:    make(map[[2]model.ProcessID]bool),
 	}
 }
 
@@ -142,6 +159,60 @@ func (c *ChaosNet) SetFaults(f Faults) {
 	c.mu.Lock()
 	c.faults = f
 	c.mu.Unlock()
+}
+
+// SetSendFaults installs (or replaces) a sender-side fault mix for
+// frames sent by from. The mix is applied once per send call, before a
+// broadcast fans out — a dropped or delayed datagram affects every
+// receiver identically, modelling congestion at the sender's NIC
+// rather than independent per-link loss. Composing it with the
+// receive-side mix gives one-way-degraded links.
+func (c *ChaosNet) SetSendFaults(from model.ProcessID, f Faults) {
+	c.mu.Lock()
+	c.sendFaults[from] = f
+	c.mu.Unlock()
+}
+
+// ClearSendFaults removes from's sender-side fault mix.
+func (c *ChaosNet) ClearSendFaults(from model.ProcessID) {
+	c.mu.Lock()
+	delete(c.sendFaults, from)
+	c.mu.Unlock()
+}
+
+// onSend runs the sender-side stage for one outbound datagram. It
+// reports whether the stage took responsibility for the send: false
+// means no mix is installed and the caller should send directly. emit
+// is invoked once per surviving copy, possibly delayed, with a private
+// (possibly corrupted) copy of data.
+func (c *ChaosNet) onSend(self model.ProcessID, data []byte, emit func([]byte)) bool {
+	c.mu.Lock()
+	f, ok := c.sendFaults[self]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	plans := f.plan(c.rng)
+	if plans == nil {
+		c.stats.SendDropped++
+		c.mu.Unlock()
+		return true
+	}
+	c.stats.SendDelivered += uint64(len(plans))
+	if len(plans) > 1 {
+		c.stats.SendDuplicated++
+	}
+	for _, p := range plans {
+		if p.corruptAt >= 0 {
+			c.stats.SendCorrupted++
+		}
+		if p.reordered {
+			c.stats.SendReordered++
+		}
+	}
+	c.mu.Unlock()
+	schedule(plans, data, emit)
+	return true
 }
 
 // BlockLink makes `to` deaf to `from` (one direction only).
@@ -206,9 +277,10 @@ func (c *ChaosNet) Wrap(t Transport) *Chaos {
 
 // --- Chaos: the per-node wrapper ----------------------------------------------
 
-// Chaos is one node's chaos-wrapped transport. Sends pass straight
-// through to the inner transport; all faults hit inbound frames, where
-// per-link identity (and thus asymmetry) exists.
+// Chaos is one node's chaos-wrapped transport. Per-link faults hit
+// inbound frames, where per-link identity (and thus asymmetry) exists;
+// the optional per-sender stage (SetSendFaults) torments outbound
+// datagrams before fan-out.
 type Chaos struct {
 	net   *ChaosNet
 	inner Transport
@@ -217,11 +289,22 @@ type Chaos struct {
 // Self implements Transport.
 func (t *Chaos) Self() model.ProcessID { return t.inner.Self() }
 
-// Broadcast implements Transport.
-func (t *Chaos) Broadcast(data []byte) error { return t.inner.Broadcast(data) }
+// Broadcast implements Transport. Sender-side faults (if installed for
+// this node) apply once, pre-fan-out; a faulted send's error is
+// swallowed — from the protocol's viewpoint it is an omission failure,
+// which is in-model.
+func (t *Chaos) Broadcast(data []byte) error {
+	if t.net.onSend(t.inner.Self(), data, func(b []byte) { t.inner.Broadcast(b) }) { //nolint:errcheck
+		return nil
+	}
+	return t.inner.Broadcast(data)
+}
 
 // Unicast implements Transport.
 func (t *Chaos) Unicast(to model.ProcessID, data []byte) error {
+	if t.net.onSend(t.inner.Self(), data, func(b []byte) { t.inner.Unicast(to, b) }) { //nolint:errcheck
+		return nil
+	}
 	return t.inner.Unicast(to, data)
 }
 

@@ -164,6 +164,62 @@ func TestChaosReorderHoldsFrames(t *testing.T) {
 	}
 }
 
+// The satellite scenario: one-way degradation via the sender-side
+// stage. Node 0's sends are fully dropped before fan-out; node 0 keeps
+// hearing node 1 (its receive path is untouched), while node 1 hears
+// nothing from node 0 — asymmetric congestion at 0's NIC.
+func TestChaosSendFaultsOneWayDegradedLink(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	a, b, sa, sb := chaosPair(t, net)
+	net.SetSendFaults(0, Faults{Drop: 1})
+
+	for i := 0; i < 10; i++ {
+		if err := a.Broadcast(frame(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Unicast(0, frame(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, sa, 10) // 0 still hears 1
+	time.Sleep(20 * time.Millisecond)
+	if sb.count() != 0 {
+		t.Fatalf("%d frames from the degraded sender got through", sb.count())
+	}
+	s := net.Stats()
+	if s.SendDropped != 10 {
+		t.Fatalf("SendDropped = %d, want 10 (stats %+v)", s.SendDropped, s)
+	}
+
+	// Clearing the mix restores the link; other senders were never
+	// affected.
+	net.ClearSendFaults(0)
+	if err := a.Broadcast(frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb, 1)
+}
+
+// Sender-side delay holds the datagram before fan-out; duplication
+// emits the whole send twice.
+func TestChaosSendFaultsDelayAndDuplicate(t *testing.T) {
+	net := NewChaosNet(7, Faults{})
+	a, _, _, sb := chaosPair(t, net)
+	net.SetSendFaults(0, Faults{MinDelay: 20 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Duplicate: 1})
+
+	if err := a.Unicast(1, frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.count(); got != 0 {
+		t.Fatalf("delayed send arrived immediately (%d)", got)
+	}
+	waitCount(t, sb, 2) // duplicate: both copies arrive after the hold
+	s := net.Stats()
+	if s.SendDelivered != 2 || s.SendDuplicated != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
 func TestChaosUndecodableFramePassesThrough(t *testing.T) {
 	net := NewChaosNet(1, Faults{Drop: 1}) // even Drop=1 must not eat it
 	a, _, _, sb := chaosPair(t, net)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"timewheel/internal/model"
@@ -13,8 +14,13 @@ import (
 // Version is the wire-format version byte leading every encoded message.
 // Version 2 added the durable-recovery fields: Join coverage
 // advertisement, Decision lineage, and State delta replay. Version 3
-// added the Join forming flag.
-const Version = 3
+// added the Join forming flag. Version 4 appended a CRC-32C frame check:
+// the structural validation (version, kind, length prefixes) catches
+// most transport corruption, but a bit flip inside a value field —
+// an ordinal, an HDO — used to decode "successfully" into garbage that
+// poisoned the protocol state. Now it is rejected at decode and shows
+// up in the receiver's drop counter.
+const Version = 4
 
 // ErrTruncated reports a message that ends before its declared contents.
 var ErrTruncated = errors.New("wire: truncated message")
@@ -24,6 +30,16 @@ var ErrBadVersion = errors.New("wire: unsupported version")
 
 // ErrBadKind reports an unknown message kind byte.
 var ErrBadKind = errors.New("wire: unknown message kind")
+
+// ErrChecksum reports a frame whose CRC-32C trailer does not match its
+// contents — corruption in transit.
+var ErrChecksum = errors.New("wire: checksum mismatch")
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64); crcSize is the frame trailer length.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const crcSize = 4
 
 // maxListLen bounds decoded list lengths to keep a corrupt length prefix
 // from causing huge allocations.
@@ -107,7 +123,9 @@ func Encode(m Message) []byte {
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
-	return e.buf
+	var crc [crcSize]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(e.buf, crcTable))
+	return append(e.buf, crc[:]...)
 }
 
 func (e *encoder) proposalBody(v *Proposal) {
@@ -120,7 +138,14 @@ func (e *encoder) proposalBody(v *Proposal) {
 
 // Decode parses a message previously produced by Encode.
 func Decode(data []byte) (Message, error) {
-	d := decoder{buf: data}
+	if len(data) < crcSize+1 {
+		return nil, ErrTruncated
+	}
+	body, trailer := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
+	d := decoder{buf: body}
 	ver, err := d.u8()
 	if err != nil {
 		return nil, err

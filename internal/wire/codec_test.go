@@ -192,6 +192,25 @@ func TestDecodeRejectsBadKind(t *testing.T) {
 	}
 }
 
+// Every single-byte flip anywhere in a frame must be rejected. This is
+// the property the chaos middleware's Corrupt fault leans on: before
+// the CRC-32C trailer, a flip inside a value field (an ordinal, an hdo)
+// decoded "successfully" into garbage that poisoned protocol state.
+func TestDecodeRejectsSingleByteCorruption(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data := Encode(m)
+		for i := range data {
+			for _, mask := range []byte{0x01, 0x80, 0xff} {
+				mut := append([]byte(nil), data...)
+				mut[i] ^= mask
+				if _, err := Decode(mut); err == nil {
+					t.Fatalf("%T: accepted frame with byte %d xor %#x", m, i, mask)
+				}
+			}
+		}
+	}
+}
+
 func TestDecodeRejectsTruncation(t *testing.T) {
 	for _, m := range sampleMessages() {
 		data := Encode(m)

@@ -1,0 +1,145 @@
+package timewheel
+
+// HTTP export of the observability layer: Prometheus text + JSON
+// metrics, a stall-safe health endpoint, the live protocol event ring,
+// expvar and pprof — everything an operator needs to watch a node
+// honour (or miss) its timed guarantees.
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"timewheel/internal/member"
+)
+
+// Health is a point-in-time liveness summary, collected entirely from
+// atomics: it stays readable while the node's event goroutine is
+// stalled, which is exactly when an external health check matters.
+type Health struct {
+	// Healthy is true when the node is an operating group member: a
+	// view is installed and current, the membership state is not join
+	// or n-failure, and the timeliness guard (if enabled) is not
+	// tripped.
+	Healthy bool `json:"healthy"`
+	// State is the membership state name ("failure-free", "join", ...).
+	State string `json:"state"`
+	// InView reports whether a membership view is installed and has not
+	// been abandoned since.
+	InView bool `json:"in_view"`
+	// GuardTripped reports a currently tripped timeliness guard (always
+	// false when the guard is disabled).
+	GuardTripped bool `json:"guard_tripped"`
+}
+
+// Health reports the node's health without touching the event loop.
+func (n *Node) Health() Health {
+	st := member.State(n.obs.state.Value())
+	tripped := n.guard != nil && n.guard.Tripped()
+	inView := n.obs.inView.Value() == 1
+	return Health{
+		Healthy:      inView && healthyState(st) && !tripped,
+		State:        st.String(),
+		InView:       inView,
+		GuardTripped: tripped,
+	}
+}
+
+// ObsHandler returns the node's observability HTTP handler:
+//
+//	/metrics        Prometheus text exposition (?format=json for JSON)
+//	/healthz        200 when healthy, 503 otherwise; JSON body either way
+//	/debug/events   protocol trace ring as JSON (?since=<cursor> to poll)
+//	/debug/vars     expvar (includes the "timewheel" per-node snapshot)
+//	/debug/pprof/   runtime profiles
+//
+// Creating the handler enables trace-ring recording for the rest of
+// the process lifetime (the per-event cost goes from one atomic load
+// to one ring write — still lock-free and allocation-free).
+func (n *Node) ObsHandler() http.Handler {
+	tracer.EnableRing() // intentionally never disabled; see doc comment
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			n.refreshMirror(defaultMirrorTimeout)
+			n.obs.reg.WriteJSON(w) //nolint:errcheck // client gone
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		n.WriteMetrics(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := n.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		evs, next := tracer.Since(since)
+		out := struct {
+			Next   uint64       `json:"next"`
+			Events []TraceEvent `json:"events"`
+		}{Next: next, Events: make([]TraceEvent, 0, len(evs))}
+		for _, ev := range evs {
+			out.Events = append(out.Events, TraceEvent{
+				Seq: ev.Seq, At: ev.Time(), Node: int(ev.Node),
+				Type: ev.Type.String(), A: ev.A, B: ev.B,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out) //nolint:errcheck
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// defaultMirrorTimeout bounds how long a scrape waits for the event
+// loop to refresh the mirrored Stats counters.
+const defaultMirrorTimeout = 200 * time.Millisecond
+
+// ObsServer is a running observability HTTP listener (see ServeObs).
+type ObsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *ObsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down. The node keeps running.
+func (s *ObsServer) Close() error { return s.srv.Close() }
+
+// ServeObs binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the
+// node's observability endpoints on it until Close. The server is
+// independent of the node's lifecycle: metrics stay scrapeable while
+// the event loop is stalled, and after Stop.
+func (n *Node) ServeObs(addr string) (*ObsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: n.ObsHandler()}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return &ObsServer{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,267 @@
+package timewheel
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The acceptance criteria: /metrics serves valid Prometheus text with
+// the protocol's key instrument families, /healthz tracks guard and
+// membership state, /debug/events streams the trace ring.
+func TestObsEndpoints(t *testing.T) {
+	// Ring recording normally starts when the first ObsHandler is
+	// created; enable it up front so the formation history (view
+	// installs, state changes) is in the ring when we scrape it.
+	defer tracer.EnableRing()()
+
+	nodes, _, stop := startCluster(t, 3)
+	defer stop()
+
+	srv, err := nodes[0].ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Traffic so latency histograms and counters are non-trivial.
+	for i := 0; i < 5; i++ {
+		if err := nodes[0].Propose([]byte("x"), TotalOrder, Strong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	// The acceptance-critical families.
+	for _, want := range []string{
+		"timewheel_engine_queue_depth",
+		"timewheel_fsm_transitions_total",
+		"timewheel_view_install_latency_seconds_bucket",
+		"timewheel_decision_latency_seconds_bucket",
+		`timewheel_peer_delay_seconds_bucket{peer="1"`,
+		`timewheel_peer_delay_seconds_bucket{peer="2"`,
+		"timewheel_guard_trips_total",
+		"timewheel_handler_latency_seconds_count",
+		"timewheel_member_view_changes_total",
+		"timewheel_transport_sends_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Prometheus text format sanity: TYPE lines, cumulative +Inf buckets.
+	if !strings.Contains(body, "# TYPE timewheel_peer_delay_seconds histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+	if !strings.Contains(body, `le="+Inf"`) {
+		t.Error("missing +Inf bucket")
+	}
+	// The node has handled events, so the handler histogram is live.
+	if hs, ok := nodes[0].HistogramStat("timewheel_handler_latency_seconds"); !ok || hs.Count == 0 {
+		t.Errorf("handler latency histogram empty: %+v ok=%v", hs, ok)
+	}
+	// Peer delay (the timeliness-graph edge weights) observed for both peers.
+	if hs, ok := nodes[0].HistogramStat("timewheel_peer_delay_seconds"); !ok || hs.Count == 0 {
+		t.Errorf("peer delay histogram empty: %+v ok=%v", hs, ok)
+	}
+
+	code, body = get("/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", code)
+	}
+	var jm []map[string]any
+	if err := json.Unmarshal([]byte(body), &jm); err != nil {
+		t.Fatalf("metrics JSON not parseable: %v", err)
+	}
+	if len(jm) == 0 {
+		t.Fatal("metrics JSON empty")
+	}
+
+	// Healthy formed member: 200. Poll briefly — under heavy load (the
+	// race detector) a transient wrong suspicion can catch the node
+	// mid-rejoin at the moment of a single-shot scrape.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = get("/healthz")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz = %d (%s), want 200", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil || !h.Healthy || !h.InView {
+		t.Fatalf("healthz body %s (err %v)", body, err)
+	}
+
+	// Trace ring records protocol history (view installs at minimum).
+	code, body = get("/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events status %d", code)
+	}
+	var evs struct {
+		Next   uint64       `json:"next"`
+		Events []TraceEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("events JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range evs.Events {
+		seen[ev.Type] = true
+	}
+	if !seen["view-install"] || !seen["state-change"] {
+		t.Errorf("trace ring missing protocol events; saw %v", seen)
+	}
+
+	// expvar is wired.
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"timewheel"`) {
+		t.Errorf("/debug/vars = %d, timewheel key present=%v",
+			code, strings.Contains(body, `"timewheel"`))
+	}
+}
+
+// A node that has not joined (no view installed) must report unhealthy.
+func TestHealthzUnhealthyBeforeJoin(t *testing.T) {
+	hub := NewMemoryHub(HubConfig{})
+	defer hub.Close()
+	n, err := NewNode(Config{ID: 0, ClusterSize: 3, Transport: hub.Transport(0), Params: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	srv, err := n.ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-join /healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// Health must reflect a tripped guard, and must stay readable while the
+// event loop is stalled — the condition it exists to observe.
+func TestHealthzGuardTripped(t *testing.T) {
+	hub := NewMemoryHub(HubConfig{})
+	defer hub.Close()
+	n, err := NewNode(Config{
+		ID: 0, ClusterSize: 1, Transport: hub.Transport(0), Params: fastParams(),
+		Guard: GuardConfig{
+			Enabled:       true,
+			HandlerBudget: time.Millisecond,
+			TripCount:     1,
+			Enforce:       false, // observe-only: the trip latches
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	n.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := n.CurrentView(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("single-node group never formed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// No pre-stall "healthy" assertion: with a 1ms budget and TripCount 1
+	// the hair-trigger guard can legitimately trip on ordinary scheduling
+	// noise before the injected stall. The property under test is only
+	// trip -> unhealthy, which the wait below covers either way.
+
+	n.InjectStall(50 * time.Millisecond) // blows the 1ms budget, trips at 1 violation
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if h := n.Health(); h.GuardTripped && !h.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("guard trip never reflected in health: %+v", n.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v, ok := n.CounterValue("timewheel_guard_trips_total"); !ok || v == 0 {
+		t.Errorf("guard trip counter = %d ok=%v", v, ok)
+	}
+}
+
+// Observe delivers the same protocol events to an embedder-provided
+// sink, and cancel detaches it.
+func TestObservePublicHook(t *testing.T) {
+	var mu sync.Mutex
+	byType := map[string]int{}
+	cancel := Observe(func(ev TraceEvent) {
+		mu.Lock()
+		byType[ev.Type]++
+		mu.Unlock()
+	})
+	defer cancel()
+
+	nodes, _, stop := startCluster(t, 3)
+	defer stop()
+	if err := nodes[0].Propose([]byte("x"), TotalOrder, Strong); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := byType["view-install"] > 0 && byType["state-change"] > 0 && byType["decider-start"] > 0
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("observe sink missing events: %v", byType)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cancel()
+	mu.Lock()
+	before := byType["state-change"]
+	mu.Unlock()
+	// New cluster activity after cancel must not reach the sink.
+	nodes[1].Propose([]byte("y"), TotalOrder, Strong) //nolint:errcheck
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	after := byType["state-change"]
+	mu.Unlock()
+	if after != before {
+		t.Errorf("cancelled sink still receiving (%d -> %d)", before, after)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"timewheel/internal/member"
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
+	"timewheel/internal/obs"
 	"timewheel/internal/transport"
 	"timewheel/internal/wire"
 )
@@ -216,6 +217,7 @@ type GuardStats struct {
 	SuppressedSends uint64 // control messages withheld while tripped
 	LateSends       uint64 // control messages let through while tripped (observe-only)
 	QueueDrops      uint64 // events rejected by the engine's full queue
+	Trips           uint64 // armed-to-tripped transitions
 	Tripped         bool   // currently tripped (Enforce) or ever tripped (observe)
 }
 
@@ -242,6 +244,7 @@ type Node struct {
 	loop    engine.Engine
 	tr      Transport
 	guard   *guard.Guard // nil when Config.Guard.Enabled is false
+	obs     *nodeObs     // live metrics registry + trace taps (always set)
 
 	// store is the durable store (nil without Config.DataDir);
 	// sinceSnap counts logged deliveries since the last snapshot. Both
@@ -364,6 +367,7 @@ func NewNode(cfg Config) (*Node, error) {
 		tr:     cfg.Transport,
 		timers: make(map[member.TimerID]*time.Timer),
 	}
+	n.obs = newNodeObs(n)
 	var rec *durable.Recovery
 	if cfg.DataDir != "" {
 		policy, err := durable.ParseFsyncPolicy(cfg.Fsync)
@@ -374,6 +378,17 @@ func NewNode(cfg Config) (*Node, error) {
 			Dir:           cfg.DataDir,
 			Policy:        policy,
 			BatchInterval: cfg.FsyncInterval,
+			ObserveSync: func(d time.Duration) {
+				n.obs.fsyncLat.ObserveDuration(d)
+				n.obs.emit(obs.EvWALSync, int64(d), 0)
+			},
+			ObserveSnapshot: func(bytes int) {
+				n.obs.snapBytes.Observe(int64(bytes))
+				n.obs.emit(obs.EvSnapshot, int64(bytes), 0)
+			},
+			ObserveReplay: func(records int) {
+				n.obs.replaySize.Observe(int64(records))
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -387,6 +402,9 @@ func NewNode(cfg Config) (*Node, error) {
 		Snapshot: cfg.Snapshot,
 		Install:  cfg.Install,
 		OnDeliver: func(d broadcast.Delivery) {
+			if lag := time.Now().UnixMicro() - int64(d.SendTS); lag > 0 {
+				n.obs.deliveryLag.Observe(lag * int64(time.Microsecond))
+			}
 			if n.store != nil {
 				n.store.AppendUpdate(durable.UpdateRecord{ //nolint:errcheck
 					ID: d.ID, Ordinal: d.Ordinal, Sem: d.Sem, SendTS: d.SendTS, Payload: d.Payload,
@@ -444,7 +462,14 @@ func NewNode(cfg Config) (*Node, error) {
 	n.bc = broadcast.New(model.ProcessID(cfg.ID), mp, bcfg)
 	n.machine = member.New(model.ProcessID(cfg.ID), mp, member.Config{
 		Hooks: member.Hooks{
+			StateChange: func(from, to member.State, _ model.Time) {
+				n.obs.onStateChange(from, to)
+			},
+			Suspicion: func(suspect model.ProcessID, deadline, now model.Time) {
+				n.obs.onSuspicion(suspect, deadline, now)
+			},
 			ViewChange: func(g model.Group, _ model.Time) {
+				n.obs.onViewChange(g)
 				if n.store != nil {
 					// Membership descriptors occupy ordinals; logging the
 					// view with its ordinal lets recovery count it toward
@@ -469,15 +494,18 @@ func NewNode(cfg Config) (*Node, error) {
 			},
 			Decider: func(isDecider bool, _ model.Time) {
 				at := time.Now()
+				sent := false
 				n.histMu.Lock()
-				defer n.histMu.Unlock()
 				if isDecider {
 					n.tenures = append(n.tenures, DeciderTenure{Start: at})
 					n.deciderSent = n.machine.Stats().DecisionsSent
 				} else if k := len(n.tenures) - 1; k >= 0 && n.tenures[k].End.IsZero() {
 					n.tenures[k].End = at
-					n.tenures[k].Sent = n.machine.Stats().DecisionsSent > n.deciderSent
+					sent = n.machine.Stats().DecisionsSent > n.deciderSent
+					n.tenures[k].Sent = sent
 				}
+				n.histMu.Unlock()
+				n.obs.onDecider(isDecider, sent)
 			},
 		},
 	}, (*nodeEnv)(n), n.bc)
@@ -493,6 +521,7 @@ func NewNode(cfg Config) (*Node, error) {
 			TripWindow:      cfg.Guard.TripWindow,
 			Enforce:         cfg.Guard.Enforce,
 		})
+		n.guard.OnTrip(func() { n.obs.emit(obs.EvGuardTrip, 0, 0) })
 	}
 
 	switch cfg.Engine {
@@ -506,13 +535,20 @@ func NewNode(cfg Config) (*Node, error) {
 	cfg.Transport.SetReceiver(func(data []byte) {
 		msg, err := wire.Decode(data)
 		if err != nil {
+			n.obs.recvDrops.Inc()
 			return // corrupt datagram: drop, as UDP would
 		}
+		hdr := msg.Hdr()
+		n.obs.onRecv(hdr.From, hdr.SendTS)
 		// A full queue drops the message — an in-model omission failure,
 		// counted in GuardStats.QueueDrops — rather than blocking the
 		// transport's receive goroutine behind a slow protocol core.
-		n.post(engine.Event{Type: engine.TypeOfMessage(msg), Msg: msg})
+		if !n.post(engine.Event{Type: engine.TypeOfMessage(msg), Msg: msg}) {
+			n.obs.recvDrops.Inc()
+			n.obs.emit(obs.EvQueueDrop, int64(msg.Kind()), 0)
+		}
 	})
+	registerExpvar(n)
 	return n, nil
 }
 
@@ -604,18 +640,25 @@ func (n *Node) Recovery() RecoveryReport { return n.recovery }
 // before dispatch, handler overrun after, and — when a sustained
 // violation has tripped the guard under Enforce — self-exclusion.
 func (n *Node) handle(ev engine.Event) {
-	g := n.guard
-	if g == nil {
-		n.dispatch(ev)
-		return
-	}
 	start := time.Now()
-	g.NoteClock(start)
-	g.NoteTimerFired(start, ev.Due)
+	if !ev.Due.IsZero() {
+		if late := start.Sub(ev.Due); late > 0 {
+			n.obs.timerLateness.ObserveDuration(late)
+		}
+	}
+	g := n.guard
+	if g != nil {
+		g.NoteClock(start)
+		g.NoteTimerFired(start, ev.Due)
+	}
 	n.dispatch(ev)
-	g.NoteHandlerDone(start, time.Now())
-	if g.Tripped() && g.Config().Enforce {
-		n.selfExclude()
+	end := time.Now()
+	n.obs.handlerLatency.ObserveDuration(end.Sub(start))
+	if g != nil {
+		g.NoteHandlerDone(start, end)
+		if g.Tripped() && g.Config().Enforce {
+			n.selfExclude()
+		}
 	}
 }
 
@@ -641,8 +684,10 @@ func (n *Node) selfExclude() {
 	if n.machine.State() != member.StateJoin {
 		n.machine.SelfExclude()
 		n.guard.NoteSelfExclusion()
+		n.obs.emit(obs.EvSelfExclude, 0, 0)
 	}
 	n.guard.Rearm(time.Now())
+	n.obs.emit(obs.EvGuardRearm, 0, 0)
 }
 
 // post hands an event to the engine; false means it was dropped (node
@@ -680,6 +725,7 @@ func (n *Node) Stop() {
 	if n.store != nil {
 		n.store.Close() //nolint:errcheck // final flush; nothing to do on error
 	}
+	unregisterExpvar(n)
 }
 
 // Propose broadcasts an update with the given semantics. It blocks until
@@ -859,6 +905,7 @@ func (n *Node) GuardStats() GuardStats {
 			SelfExclusions:  gs.SelfExclusions,
 			SuppressedSends: gs.SuppressedSends,
 			LateSends:       gs.LateSends,
+			Trips:           gs.Trips,
 			Tripped:         gs.Tripped,
 		}
 	}
@@ -898,6 +945,7 @@ func (e *nodeEnv) Broadcast(m wire.Message) {
 	if n.guard != nil && !n.guard.AllowControlSend() {
 		return // tripped under Enforce: a fail-aware process goes silent
 	}
+	n.obs.sends.Inc()
 	e.tr.Broadcast(wire.Encode(m)) //nolint:errcheck // omission failures are in-model
 }
 
@@ -906,6 +954,7 @@ func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
 	if n.guard != nil && !n.guard.AllowControlSend() {
 		return
 	}
+	n.obs.sends.Inc()
 	e.tr.Unicast(int(to), wire.Encode(m)) //nolint:errcheck
 }
 
@@ -1072,6 +1121,11 @@ type ChaosStats struct {
 	Duplicated uint64 // extra copies injected
 	Corrupted  uint64 // frames with flipped bits
 	Reordered  uint64 // frames held back past their successors
+
+	// Sender-side stage (SetSendFaults): whole datagrams affected
+	// before a broadcast fans out.
+	SendDropped   uint64
+	SendDelivered uint64
 }
 
 // Stats snapshots the cluster-wide fault counters.
@@ -1080,7 +1134,25 @@ func (c *ChaosNet) Stats() ChaosStats {
 	return ChaosStats{
 		Delivered: s.Delivered, Dropped: s.Dropped, Blocked: s.Blocked,
 		Duplicated: s.Duplicated, Corrupted: s.Corrupted, Reordered: s.Reordered,
+		SendDropped: s.SendDropped, SendDelivered: s.SendDelivered,
 	}
+}
+
+// SetSendFaults installs a sender-side fault mix for node id's outgoing
+// datagrams, applied once per send before a broadcast fans out —
+// congestion at the sender's NIC, the asymmetric half of a one-way
+// degraded link (the receive-side mix is the other half).
+func (c *ChaosNet) SetSendFaults(id int, cfg ChaosConfig) {
+	c.net.SetSendFaults(model.ProcessID(id), transport.Faults{
+		MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+		Drop: cfg.DropProb, Duplicate: cfg.DupProb,
+		Corrupt: cfg.CorruptProb, Reorder: cfg.ReorderProb,
+	})
+}
+
+// ClearSendFaults removes node id's sender-side fault mix.
+func (c *ChaosNet) ClearSendFaults(id int) {
+	c.net.ClearSendFaults(model.ProcessID(id))
 }
 
 // Heal removes any active link blocks (the per-frame fault mix keeps
