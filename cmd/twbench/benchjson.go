@@ -43,14 +43,33 @@ type histSummary struct {
 	MaxNs int64  `json:"max_ns"`
 }
 
+// adaptiveSummary records what the adaptive-timeout estimators settled
+// on during the live-cluster run: the budgets the guard actually
+// enforced vs the statically-configured ones, the scheduling-noise
+// estimates behind them, and the widest per-peer surveillance deadline.
+// Wall-clock dependent, trend-watching only — excluded from the
+// regression comparison like the histograms.
+type adaptiveSummary struct {
+	Widened           uint64 `json:"widened"`
+	Shrunk            uint64 `json:"shrunk"`
+	FlapBoosts        uint64 `json:"flap_boosts"`
+	ExpectOverwrites  uint64 `json:"expect_overwrites"`
+	HandlerBudgetNs   int64  `json:"handler_budget_ns"`
+	TimerLateBudgetNs int64  `json:"timer_late_budget_ns"`
+	NoiseHandlerNs    int64  `json:"noise_handler_ns"`
+	NoiseLatenessNs   int64  `json:"noise_lateness_ns"`
+	MaxPeerDeadlineNs int64  `json:"max_peer_deadline_ns"`
+}
+
 type benchReport struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	Benchmarks []benchResult `json:"benchmarks"`
-	Histograms []histSummary `json:"histograms"`
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	Benchmarks []benchResult    `json:"benchmarks"`
+	Histograms []histSummary    `json:"histograms"`
+	Adaptive   *adaptiveSummary `json:"adaptive,omitempty"`
 }
 
 func runBenchJSON(outDir, baseline string, threshold float64) int {
@@ -87,16 +106,23 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 			m.name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
 	}
 
-	hists, err := liveClusterHistograms()
+	hists, ad, err := liveClusterHistograms()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "live-cluster run: %v\n", err)
 		return 1
 	}
 	report.Histograms = hists
+	report.Adaptive = ad
 	for _, h := range hists {
 		fmt.Printf("  %-42s n=%-6d p50=%-8s p99=%-8s max=%s\n",
 			h.Name, h.Count,
 			time.Duration(h.P50Ns), time.Duration(h.P99Ns), time.Duration(h.MaxNs))
+	}
+	if ad != nil {
+		fmt.Printf("  adaptive: budgets handler=%s timer=%s (noise handler=%s lateness=%s) widened=%d shrunk=%d maxPeerDeadline=%s\n",
+			time.Duration(ad.HandlerBudgetNs), time.Duration(ad.TimerLateBudgetNs),
+			time.Duration(ad.NoiseHandlerNs), time.Duration(ad.NoiseLatenessNs),
+			ad.Widened, ad.Shrunk, time.Duration(ad.MaxPeerDeadlineNs))
 	}
 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -235,11 +261,13 @@ func benchCounterInc(b *testing.B) {
 	}
 }
 
-// liveClusterHistograms forms a three-node in-memory cluster, pushes a
-// burst of ordered broadcasts through it, and snapshots the latency
-// distributions the observability layer accumulated — the same numbers
-// /metrics would export from a real deployment.
-func liveClusterHistograms() ([]histSummary, error) {
+// liveClusterHistograms forms a three-node in-memory cluster with
+// adaptive timeouts on (guard in observe mode, budgets driven by the
+// scheduling-noise estimator), pushes a burst of ordered broadcasts
+// through it, and snapshots the latency distributions and adaptation
+// state the observability layer accumulated — the same numbers /metrics
+// would export from a real deployment.
+func liveClusterHistograms() ([]histSummary, *adaptiveSummary, error) {
 	hub := timewheel.NewMemoryHub(timewheel.HubConfig{})
 	defer hub.Close()
 	const n = 3
@@ -250,9 +278,12 @@ func liveClusterHistograms() ([]histSummary, error) {
 			ClusterSize: n,
 			Transport:   hub.Transport(i),
 			Params:      timewheel.Params{Delta: 2 * time.Millisecond, D: 4 * time.Millisecond},
+			Adaptive:    timewheel.AdaptiveConfig{Enabled: true},
+			// No explicit budgets: the noise estimator drives them.
+			Guard: timewheel.GuardConfig{Enabled: true, Enforce: false},
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nodes[i] = node
 		defer node.Stop()
@@ -272,13 +303,13 @@ func liveClusterHistograms() ([]histSummary, error) {
 			break
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("cluster never formed")
+			return nil, nil, fmt.Errorf("cluster never formed")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	for i := 0; i < 50; i++ {
 		if err := nodes[i%n].Propose([]byte("bench"), timewheel.TotalOrder, timewheel.Strong); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -306,5 +337,21 @@ func liveClusterHistograms() ([]histSummary, error) {
 			MaxNs: hs.Max,
 		})
 	}
-	return out, nil
+	st := nodes[0].AdaptiveStats()
+	ad := &adaptiveSummary{
+		Widened:           st.Widened,
+		Shrunk:            st.Shrunk,
+		FlapBoosts:        st.FlapBoosts,
+		ExpectOverwrites:  st.ExpectOverwrites,
+		HandlerBudgetNs:   int64(st.HandlerBudget),
+		TimerLateBudgetNs: int64(st.TimerLateBudget),
+		NoiseHandlerNs:    int64(st.NoiseHandler),
+		NoiseLatenessNs:   int64(st.NoiseLateness),
+	}
+	for _, span := range st.PeerDeadlineSpans {
+		if int64(span) > ad.MaxPeerDeadlineNs {
+			ad.MaxPeerDeadlineNs = int64(span)
+		}
+	}
+	return out, ad, nil
 }

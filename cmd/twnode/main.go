@@ -41,6 +41,9 @@ func main() {
 		guardBudget = flag.Duration("guard-budget", 0,
 			"enable the fail-aware timeliness guard with this handler/timer budget; "+
 				"a sustained violation makes the node self-exclude and rejoin warm (0: off)")
+		adaptive = flag.Bool("adaptive", false,
+			"estimate per-peer delay online and adapt the failure-detector deadlines "+
+				"and guard budgets to it (floor 2D, ceiling 4×2D)")
 		chaosSeed = flag.Int64("chaos-seed", 0,
 			"wrap the transport in deterministic chaos middleware with this seed (0: off)")
 		httpAddr = flag.String("http", "",
@@ -90,6 +93,7 @@ func main() {
 		Params:      timewheel.Params{Delta: *delta, D: *dd},
 		DataDir:     dir,
 		Fsync:       *fsync,
+		Adaptive:    timewheel.AdaptiveConfig{Enabled: *adaptive},
 		Guard: timewheel.GuardConfig{
 			Enabled:         *guardBudget > 0,
 			HandlerBudget:   *guardBudget,
@@ -153,6 +157,12 @@ func main() {
 				g := node.GuardStats()
 				fmt.Printf("[guard]   overruns=%d lateTimers=%d clockJumps=%d selfExclusions=%d suppressed=%d queueDrops=%d tripped=%v\n",
 					g.Overruns, g.LateTimers, g.ClockJumps, g.SelfExclusions, g.SuppressedSends, g.QueueDrops, g.Tripped)
+			}
+			if *adaptive {
+				a := node.AdaptiveStats()
+				fmt.Printf("[adapt]   widened=%d shrunk=%d flapBoosts=%d overwrites=%d noise(handler=%v late=%v) budgets(handler=%v timer=%v) spans=%v\n",
+					a.Widened, a.Shrunk, a.FlapBoosts, a.ExpectOverwrites,
+					a.NoiseHandler, a.NoiseLateness, a.HandlerBudget, a.TimerLateBudget, a.PeerDeadlineSpans)
 			}
 			if chaos != nil {
 				fmt.Printf("[chaos]   %+v\n", chaos.Stats())

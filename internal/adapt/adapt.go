@@ -1,0 +1,310 @@
+// Package adapt provides the online timeliness estimators behind the
+// adaptive fail-aware timeouts (ROADMAP: "adaptive budget (EWMA of
+// observed scheduling noise)" and "an adaptive failure detector could
+// consume them"). It is the per-link timeliness-graph estimation of
+// Delporte-Gallet et al. (Algorithms For Extracting Timeliness Graphs)
+// applied to the paper's timed asynchronous model: instead of assuming
+// one global one-way delay bound Delta for every link, each link's
+// observed delay distribution is tracked online and the failure
+// detector's per-peer suspicion deadline follows the link it actually
+// has — "some links are synchronous, some aren't" (Granular Synchrony).
+//
+// Two estimators, two consumers:
+//
+//   - DelayEstimator: per-peer EWMA + windowed quantile over one-way
+//     control-message delay (fed from the same synchronized send
+//     timestamps that drive timewheel_peer_delay_seconds). Consumed by
+//     fdetect.Detector for adaptive suspicion deadlines.
+//   - NoiseEstimator: windowed quantile over local scheduling noise
+//     (timer lateness, handler duration, queue wait). Consumed by
+//     guard.Guard as an adaptive budget source, replacing the per-host
+//     static budget calibration step (the 30ms-vs-100ms lesson in
+//     docs/ROBUSTNESS.md).
+//
+// Everything is stdlib-only and safe for concurrent observe-vs-read:
+// samples arrive from the event-loop/transport goroutines while bounds
+// are read by the detector, the guard, and metric scrapes.
+package adapt
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config tunes an estimator. The zero value takes defaults.
+type Config struct {
+	// Window is the number of recent samples kept for the quantile
+	// (default 128). Larger windows react slower but resist bursts.
+	Window int
+	// Quantile in (0,1] selects the order statistic used as the bound
+	// basis (default 0.99).
+	Quantile float64
+	// Alpha is the EWMA smoothing factor in (0,1] (default 0.125, the
+	// classic RFC 6298 SRTT weight).
+	Alpha float64
+	// Margin multiplies the quantile into a safety bound (default 1.5).
+	Margin float64
+	// MinSamples gates Bound: below this many observations the
+	// estimator reports not-ready (default 8).
+	MinSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.Quantile <= 0 || c.Quantile > 1 {
+		c.Quantile = 0.99
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.125
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	return c
+}
+
+// Sampler is one online estimator: an EWMA plus a fixed ring of the
+// last Window samples for the windowed quantile. Deterministic for a
+// fixed sample sequence; safe for concurrent Observe and reads.
+type Sampler struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ewma  float64 // nanoseconds; 0 until first sample
+	ring  []int64 // nanoseconds
+	next  int
+	count uint64
+}
+
+// NewSampler creates a sampler with cfg (zero fields defaulted).
+func NewSampler(cfg Config) *Sampler {
+	c := cfg.withDefaults()
+	return &Sampler{cfg: c, ring: make([]int64, c.Window)}
+}
+
+// Observe feeds one sample. Negative samples are clamped to zero.
+func (s *Sampler) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := float64(d.Nanoseconds())
+	s.mu.Lock()
+	if s.count == 0 {
+		s.ewma = ns
+	} else {
+		s.ewma += s.cfg.Alpha * (ns - s.ewma)
+	}
+	s.ring[s.next] = d.Nanoseconds()
+	s.next = (s.next + 1) % len(s.ring)
+	s.count++
+	s.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (s *Sampler) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// EWMA returns the exponentially weighted moving average, or 0 before
+// the first sample.
+func (s *Sampler) EWMA() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.ewma)
+}
+
+// Quantile returns the configured quantile over the sample window, or
+// 0 before the first sample.
+func (s *Sampler) Quantile() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quantileLocked()
+}
+
+func (s *Sampler) quantileLocked() time.Duration {
+	n := int(s.count)
+	if n == 0 {
+		return 0
+	}
+	if n > len(s.ring) {
+		n = len(s.ring)
+	}
+	buf := make([]int64, n)
+	if s.count <= uint64(len(s.ring)) {
+		copy(buf, s.ring[:n])
+	} else {
+		copy(buf, s.ring)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(math.Ceil(s.cfg.Quantile*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(buf[idx])
+}
+
+// Bound returns quantile × Margin, and ok=false until MinSamples
+// observations have arrived (callers should fall back to their static
+// or most-lenient behavior until then).
+func (s *Sampler) Bound() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count < uint64(s.cfg.MinSamples) {
+		return 0, false
+	}
+	q := float64(s.quantileLocked().Nanoseconds())
+	return time.Duration(q * s.cfg.Margin), true
+}
+
+// DelayEstimator tracks one Sampler per peer over observed one-way
+// control-message delay. Peers are dense small integers (ProcessIDs).
+type DelayEstimator struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[int]*Sampler
+}
+
+// NewDelayEstimator creates a per-peer delay estimator.
+func NewDelayEstimator(cfg Config) *DelayEstimator {
+	return &DelayEstimator{cfg: cfg.withDefaults(), peers: make(map[int]*Sampler)}
+}
+
+func (e *DelayEstimator) sampler(peer int, create bool) *Sampler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.peers[peer]
+	if s == nil && create {
+		s = NewSampler(e.cfg)
+		e.peers[peer] = s
+	}
+	return s
+}
+
+// Observe feeds one delay sample for peer.
+func (e *DelayEstimator) Observe(peer int, d time.Duration) {
+	e.sampler(peer, true).Observe(d)
+}
+
+// Bound returns the estimated delay bound (quantile × margin) for peer;
+// ok is false until enough samples have been observed from it.
+func (e *DelayEstimator) Bound(peer int) (time.Duration, bool) {
+	s := e.sampler(peer, false)
+	if s == nil {
+		return 0, false
+	}
+	return s.Bound()
+}
+
+// EWMA returns peer's smoothed delay, or 0 for an unknown peer.
+func (e *DelayEstimator) EWMA(peer int) time.Duration {
+	s := e.sampler(peer, false)
+	if s == nil {
+		return 0
+	}
+	return s.EWMA()
+}
+
+// Count returns the number of samples observed from peer.
+func (e *DelayEstimator) Count(peer int) uint64 {
+	s := e.sampler(peer, false)
+	if s == nil {
+		return 0
+	}
+	return s.Count()
+}
+
+// Peers returns the peer IDs with at least one sample, sorted.
+func (e *DelayEstimator) Peers() []int {
+	e.mu.Lock()
+	out := make([]int, 0, len(e.peers))
+	for p := range e.peers {
+		out = append(out, p)
+	}
+	e.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// NoiseEstimator tracks the host's own scheduling noise: timer
+// lateness and handler duration, each with its own sampler. Budgets()
+// implements the guard's adaptive budget source: each budget is the
+// clamped noise bound, so the guard's definition of "this host has
+// performance-failed" tracks what the host normally does instead of a
+// static constant.
+type NoiseEstimator struct {
+	cfg         Config
+	floor, ceil time.Duration
+
+	lateness *Sampler // timer dispatch past its armed deadline + queue wait
+	handler  *Sampler // handler wall-clock duration
+}
+
+// NewNoiseEstimator creates a scheduling-noise estimator whose budgets
+// are clamped to [floor, ceil]. Zero floor/ceil take 5ms and 2s.
+func NewNoiseEstimator(cfg Config, floor, ceil time.Duration) *NoiseEstimator {
+	if floor <= 0 {
+		floor = 5 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	if ceil < floor {
+		ceil = floor
+	}
+	c := cfg.withDefaults()
+	return &NoiseEstimator{
+		cfg: c, floor: floor, ceil: ceil,
+		lateness: NewSampler(c),
+		handler:  NewSampler(c),
+	}
+}
+
+// ObserveLateness feeds one timer-lateness (or queue-wait) sample.
+func (n *NoiseEstimator) ObserveLateness(d time.Duration) { n.lateness.Observe(d) }
+
+// ObserveHandler feeds one handler-duration sample.
+func (n *NoiseEstimator) ObserveHandler(d time.Duration) { n.handler.Observe(d) }
+
+func (n *NoiseEstimator) clamp(d time.Duration) time.Duration {
+	if d < n.floor {
+		return n.floor
+	}
+	if d > n.ceil {
+		return n.ceil
+	}
+	return d
+}
+
+// Budgets returns the current adaptive handler and timer-lateness
+// budgets: the clamped noise bound per dimension. Before enough
+// samples, the floor is returned (most conservative: the guard falls
+// back to its static budget while the estimator warms up — see
+// guard.Config.Budgets).
+func (n *NoiseEstimator) Budgets() (handler, timerLate time.Duration) {
+	if b, ok := n.handler.Bound(); ok {
+		handler = n.clamp(b)
+	}
+	if b, ok := n.lateness.Bound(); ok {
+		timerLate = n.clamp(b)
+	}
+	return handler, timerLate
+}
+
+// LatenessEstimate returns the smoothed timer-lateness noise (EWMA).
+func (n *NoiseEstimator) LatenessEstimate() time.Duration { return n.lateness.EWMA() }
+
+// HandlerEstimate returns the smoothed handler-duration noise (EWMA).
+func (n *NoiseEstimator) HandlerEstimate() time.Duration { return n.handler.EWMA() }

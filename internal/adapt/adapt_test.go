@@ -1,0 +1,179 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// A fixed sample sequence must produce identical estimates on every
+// run — the estimator has no hidden randomness or time dependence.
+func TestSamplerDeterminism(t *testing.T) {
+	run := func() (time.Duration, time.Duration, time.Duration) {
+		s := NewSampler(Config{Window: 16, Quantile: 0.9, Alpha: 0.25, Margin: 2})
+		for i := 0; i < 100; i++ {
+			s.Observe(time.Duration(1+i%7) * time.Millisecond)
+		}
+		b, ok := s.Bound()
+		if !ok {
+			t.Fatal("Bound not ready after 100 samples")
+		}
+		return s.EWMA(), s.Quantile(), b
+	}
+	e1, q1, b1 := run()
+	e2, q2, b2 := run()
+	if e1 != e2 || q1 != q2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%v,%v,%v) vs (%v,%v,%v)", e1, q1, b1, e2, q2, b2)
+	}
+	if q1 != 7*time.Millisecond {
+		t.Fatalf("q0.9 over window of 1..7ms = %v, want 7ms", q1)
+	}
+	if b1 != 14*time.Millisecond {
+		t.Fatalf("bound = %v, want quantile*margin = 14ms", b1)
+	}
+}
+
+// The EWMA converges toward a level shift and the windowed quantile
+// fully decays to the new regime once the window has turned over.
+func TestSamplerConvergenceAndDecay(t *testing.T) {
+	s := NewSampler(Config{Window: 32, Quantile: 0.99, Alpha: 0.125, Margin: 1})
+	for i := 0; i < 64; i++ {
+		s.Observe(10 * time.Millisecond)
+	}
+	if got := s.EWMA(); got != 10*time.Millisecond {
+		t.Fatalf("steady EWMA = %v, want 10ms", got)
+	}
+	// Level shift down: 10ms -> 1ms.
+	for i := 0; i < 64; i++ {
+		s.Observe(1 * time.Millisecond)
+	}
+	ew := s.EWMA()
+	if ew > 2*time.Millisecond || ew < 1*time.Millisecond {
+		t.Fatalf("EWMA after shift = %v, want ~1ms", ew)
+	}
+	// Window (32) fully turned over: the old 10ms samples are gone.
+	if q := s.Quantile(); q != 1*time.Millisecond {
+		t.Fatalf("quantile after decay = %v, want 1ms", q)
+	}
+}
+
+func TestSamplerNotReadyBeforeMinSamples(t *testing.T) {
+	s := NewSampler(Config{MinSamples: 8})
+	for i := 0; i < 7; i++ {
+		s.Observe(time.Millisecond)
+		if _, ok := s.Bound(); ok {
+			t.Fatalf("Bound ready at %d samples, MinSamples=8", i+1)
+		}
+	}
+	s.Observe(time.Millisecond)
+	if _, ok := s.Bound(); !ok {
+		t.Fatal("Bound not ready at MinSamples")
+	}
+}
+
+func TestSamplerNegativeClamped(t *testing.T) {
+	s := NewSampler(Config{})
+	s.Observe(-5 * time.Millisecond)
+	if got := s.EWMA(); got != 0 {
+		t.Fatalf("EWMA of clamped negative sample = %v, want 0", got)
+	}
+}
+
+// NoiseEstimator budgets clamp to [floor, ceil]: quiet hosts never get
+// a hair-trigger budget, stalling hosts never teach themselves an
+// unbounded one.
+func TestNoiseBudgetClamping(t *testing.T) {
+	n := NewNoiseEstimator(Config{MinSamples: 4, Margin: 1}, 10*time.Millisecond, 100*time.Millisecond)
+	// Tiny noise: clamped up to the floor.
+	for i := 0; i < 8; i++ {
+		n.ObserveLateness(100 * time.Microsecond)
+		n.ObserveHandler(50 * time.Microsecond)
+	}
+	h, l := n.Budgets()
+	if h != 10*time.Millisecond || l != 10*time.Millisecond {
+		t.Fatalf("budgets = (%v,%v), want floor 10ms both", h, l)
+	}
+	// Huge noise: clamped down to the ceiling.
+	for i := 0; i < 200; i++ {
+		n.ObserveLateness(5 * time.Second)
+		n.ObserveHandler(5 * time.Second)
+	}
+	h, l = n.Budgets()
+	if h != 100*time.Millisecond || l != 100*time.Millisecond {
+		t.Fatalf("budgets = (%v,%v), want ceiling 100ms both", h, l)
+	}
+}
+
+func TestNoiseBudgetsZeroUntilWarm(t *testing.T) {
+	n := NewNoiseEstimator(Config{MinSamples: 8}, 0, 0)
+	n.ObserveLateness(time.Millisecond)
+	if h, l := n.Budgets(); h != 0 || l != 0 {
+		t.Fatalf("budgets before warmup = (%v,%v), want (0,0)", h, l)
+	}
+}
+
+func TestDelayEstimatorPerPeer(t *testing.T) {
+	e := NewDelayEstimator(Config{MinSamples: 4, Quantile: 1, Margin: 1, Window: 8})
+	for i := 0; i < 8; i++ {
+		e.Observe(1, 2*time.Millisecond)
+		e.Observe(2, 20*time.Millisecond)
+	}
+	b1, ok1 := e.Bound(1)
+	b2, ok2 := e.Bound(2)
+	if !ok1 || !ok2 {
+		t.Fatal("bounds not ready")
+	}
+	if b1 != 2*time.Millisecond || b2 != 20*time.Millisecond {
+		t.Fatalf("bounds = (%v,%v), want (2ms,20ms)", b1, b2)
+	}
+	if _, ok := e.Bound(3); ok {
+		t.Fatal("unknown peer reported a bound")
+	}
+	if got := e.Peers(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Peers = %v, want [1 2]", got)
+	}
+	if e.Count(2) != 8 {
+		t.Fatalf("Count(2) = %d, want 8", e.Count(2))
+	}
+}
+
+// Concurrent observers and readers must be race-free (run under -race).
+func TestConcurrentObserveVsRead(t *testing.T) {
+	e := NewDelayEstimator(Config{Window: 64})
+	n := NewNoiseEstimator(Config{Window: 64}, 0, 0)
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				e.Observe(g%3, time.Duration(i)*time.Microsecond)
+				n.ObserveLateness(time.Duration(i) * time.Microsecond)
+				n.ObserveHandler(time.Duration(i) * time.Microsecond)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range e.Peers() {
+				e.Bound(p)
+				e.EWMA(p)
+			}
+			n.Budgets()
+			n.LatenessEstimate()
+			n.HandlerEstimate()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+}

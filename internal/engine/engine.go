@@ -68,6 +68,12 @@ type Event struct {
 	// gap covers both OS-timer slip and queueing delay behind a stalled
 	// handler.
 	Due time.Time
+	// Posted is when the event entered the queue (zero unless the
+	// posting layer stamps it). The dispatching layer uses it to sample
+	// queue-wait as local scheduling noise for the adaptive timeout
+	// estimator — unlike Due it exists for every event type, so the
+	// noise estimate tracks congestion, not just timer slip.
+	Posted time.Time
 }
 
 // TypeOfMessage maps a wire message to its event type.

@@ -1,0 +1,247 @@
+package fdetect
+
+import (
+	"sync/atomic"
+
+	"timewheel/internal/model"
+)
+
+// DelayEstimator supplies per-peer one-way delay bounds — the adaptive
+// replacement for the model's global Delta. The detector feeds it every
+// fresh control-message delay it observes and asks it for the current
+// estimated bound (typically a windowed quantile times a safety
+// margin). Bound returns ok=false while the estimator is still warming
+// up for that peer; the detector then falls back to its most lenient
+// grant so an unknown link is never suspected on a guess.
+//
+// This is the per-link timeliness-graph estimation of Delporte-Gallet
+// et al.: each link gets the bound it actually exhibits, rather than
+// every link inheriting the globally calibrated worst case.
+type DelayEstimator interface {
+	Observe(peer model.ProcessID, d model.Duration)
+	Bound(peer model.ProcessID) (bound model.Duration, ok bool)
+}
+
+// AdaptiveConfig tunes the adaptive suspicion deadlines. Zero fields
+// take defaults.
+type AdaptiveConfig struct {
+	// CeilFactor bounds the per-peer deadline grant at CeilFactor×2D
+	// (default 4): adaptation may stretch the paper's ts+2D surveillance
+	// deadline for a demonstrably slow link, but never beyond this
+	// ceiling — a peer slower than that is treated as failed, keeping
+	// crash-detection latency bounded.
+	CeilFactor float64
+	// Shrink is the hysteresis ratio (default 0.7): a grant widens to
+	// any larger estimate immediately, but only shrinks when the new
+	// estimate falls below Shrink×current — so the deadline does not
+	// oscillate around a noisy estimate.
+	Shrink float64
+	// Backoff is the flap-suppression window (default CeilFactor×2D):
+	// after a peer is suspected, its grant is boosted to the ceiling
+	// and pinned for Backoff, so a peer hovering at the threshold is
+	// suspected once, not toggled in and out of the group.
+	Backoff model.Duration
+}
+
+func (c AdaptiveConfig) withDefaults(params model.Params) AdaptiveConfig {
+	if c.CeilFactor < 1 {
+		c.CeilFactor = 4
+	}
+	if c.Shrink <= 0 || c.Shrink >= 1 {
+		c.Shrink = 0.7
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = model.Duration(c.CeilFactor * float64(2*params.D))
+	}
+	return c
+}
+
+// AdaptStats counts adaptation events. All fields are lifetime totals.
+type AdaptStats struct {
+	// Widened counts per-peer grant increases (estimate grew).
+	Widened uint64
+	// Shrunk counts per-peer grant decreases past the hysteresis band.
+	Shrunk uint64
+	// FlapBoosts counts flap-suppression boosts applied on suspicion.
+	FlapBoosts uint64
+	// ExpectOverwrites counts Expect calls that replaced an active
+	// expectation.
+	ExpectOverwrites uint64
+}
+
+// grantState is one peer's adaptive deadline grant. Mutated only from
+// the detector's event loop; the atomics exist so metric scrapes on
+// other goroutines can read without racing.
+type grantState struct {
+	span       atomic.Int64 // model.Duration; 0 = not yet granted
+	boostUntil atomic.Int64 // model.Time; flap-suppression window end
+}
+
+// EnableAdaptive switches the detector to adaptive per-peer suspicion
+// deadlines fed by est. Call before the detector is driven; static
+// behavior (the paper's fixed ts+2D / Delta+Epsilon+Sigma bounds) is
+// the default when this is never called.
+func (d *Detector) EnableAdaptive(est DelayEstimator, cfg AdaptiveConfig) {
+	d.est = est
+	d.acfg = cfg.withDefaults(d.params)
+	d.grants = make(map[model.ProcessID]*grantState)
+}
+
+// AdaptiveEnabled reports whether adaptive deadlines are active.
+func (d *Detector) AdaptiveEnabled() bool { return d.est != nil }
+
+func (d *Detector) grantFloor() model.Duration { return 2 * d.params.D }
+
+func (d *Detector) grantCeil() model.Duration {
+	return model.Duration(d.acfg.CeilFactor * float64(2*d.params.D))
+}
+
+// grant returns peer's grant cell, creating it on first use. The map
+// is written only from the event loop but read by metric scrapes, so
+// access goes through grantsMu; the cells themselves are atomics.
+func (d *Detector) grant(peer model.ProcessID) *grantState {
+	d.grantsMu.Lock()
+	defer d.grantsMu.Unlock()
+	g := d.grants[peer]
+	if g == nil {
+		g = &grantState{}
+		d.grants[peer] = g
+	}
+	return g
+}
+
+// grantFor computes the current deadline grant for peer: the estimated
+// one-way bound plus one D of scheduling headroom, clamped to
+// [2D, CeilFactor×2D], passed through the widen-fast/shrink-slow
+// hysteresis and the post-suspicion flap-suppression pin.
+func (d *Detector) grantFor(peer model.ProcessID, now model.Time) model.Duration {
+	floor, ceil := d.grantFloor(), d.grantCeil()
+	g := d.grant(peer)
+	raw := ceil // warmup: most lenient — never suspect on a guess
+	if b, ok := d.est.Bound(peer); ok {
+		raw = d.params.D + b
+		if raw < floor {
+			raw = floor
+		}
+		if raw > ceil {
+			raw = ceil
+		}
+	}
+	cur := model.Duration(g.span.Load())
+	if cur == 0 {
+		g.span.Store(int64(raw))
+		return raw
+	}
+	if now < model.Time(g.boostUntil.Load()) && raw < cur {
+		return cur // flap suppression: pinned, no shrinking
+	}
+	switch {
+	case raw > cur:
+		d.widened.Add(1)
+		g.span.Store(int64(raw))
+		return raw
+	case raw < model.Duration(float64(cur)*d.acfg.Shrink):
+		d.shrunk.Add(1)
+		g.span.Store(int64(raw))
+		return raw
+	default:
+		return cur // hysteresis band: hold
+	}
+}
+
+// noteSuspicion applies flap suppression after peer timed out: boost
+// its grant to the ceiling and pin it for the backoff window, so if the
+// peer is merely hovering at the threshold it is suspected this once
+// and then given the full ceiling to prove itself.
+func (d *Detector) noteSuspicion(peer model.ProcessID, now model.Time) {
+	if d.est == nil {
+		return
+	}
+	g := d.grant(peer)
+	g.span.Store(int64(d.grantCeil()))
+	g.boostUntil.Store(int64(now.Add(d.acfg.Backoff)))
+	d.flapBoosts.Add(1)
+}
+
+// ExpectDeadline returns the surveillance deadline for a control
+// message expected from peer following one timestamped ts. Static mode
+// is the paper's bound: ts+2D, floored at now+D so a deadline armed
+// while draining a backlog is never already passed. Adaptive mode
+// anchors on receipt: max(ts+2D, now+grant) — a healthy successor of a
+// slow peer receives the handing decision late through no fault of its
+// own, so its clock, not the slow sender's timestamp, is what its
+// deadline must be measured from.
+func (d *Detector) ExpectDeadline(peer model.ProcessID, ts, now model.Time) model.Time {
+	deadline := ts.Add(2 * d.params.D)
+	if d.est == nil {
+		if minDeadline := now.Add(d.params.D); deadline < minDeadline {
+			deadline = minDeadline
+		}
+		return deadline
+	}
+	if adaptive := now.Add(d.grantFor(peer, now)); adaptive > deadline {
+		deadline = adaptive
+	}
+	return deadline
+}
+
+// TimelyBound returns the one-way delay bound against which control
+// messages from peer are judged timely (alive-list admission and the
+// fail-aware late test). Static mode: the model's Delta+Epsilon+Sigma.
+// Adaptive mode: the estimated per-link bound, never tighter than the
+// static bound and never looser than the grant ceiling — a link the
+// estimator has measured as slow-but-steady stays "timely" instead of
+// having every message rejected as a performance failure.
+func (d *Detector) TimelyBound(peer model.ProcessID) model.Duration {
+	static := d.params.Delta + d.params.Epsilon + d.params.Sigma
+	if d.est == nil {
+		return static
+	}
+	b, ok := d.est.Bound(peer)
+	if !ok {
+		return static
+	}
+	if ceil := d.grantCeil(); b > ceil {
+		b = ceil
+	}
+	if b < static {
+		return static
+	}
+	return b
+}
+
+// DeadlineSpan returns peer's current adaptive deadline grant (0 when
+// adaptation is off or the peer has no grant yet). Safe from any
+// goroutine — this is the metric-scrape read.
+func (d *Detector) DeadlineSpan(peer model.ProcessID) model.Duration {
+	d.grantsMu.Lock()
+	g := d.grants[peer]
+	d.grantsMu.Unlock()
+	if g != nil {
+		return model.Duration(g.span.Load())
+	}
+	return 0
+}
+
+// AdaptStats snapshots the adaptation counters. Safe from any
+// goroutine.
+func (d *Detector) AdaptStats() AdaptStats {
+	return AdaptStats{
+		Widened:          d.widened.Load(),
+		Shrunk:           d.shrunk.Load(),
+		FlapBoosts:       d.flapBoosts.Load(),
+		ExpectOverwrites: d.expOverwrites.Load(),
+	}
+}
+
+// OnExpectOverwrite installs a callback invoked (from the detector's
+// event loop) whenever Expect replaces an active expectation; old and
+// next are the previous and new expected senders. Observability tap —
+// must not call back into the detector.
+func (d *Detector) OnExpectOverwrite(fn func(old, next model.ProcessID)) {
+	d.onOverwrite = fn
+}
+
+// ExpectOverwrites returns the lifetime count of Expect calls that
+// replaced an active expectation.
+func (d *Detector) ExpectOverwrites() uint64 { return d.expOverwrites.Load() }

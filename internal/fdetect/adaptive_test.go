@@ -1,0 +1,250 @@
+package fdetect
+
+import (
+	"testing"
+
+	"timewheel/internal/model"
+)
+
+// fakeEst is a scripted DelayEstimator: tests set the bound per peer.
+type fakeEst struct {
+	bounds   map[model.ProcessID]model.Duration
+	observed map[model.ProcessID][]model.Duration
+}
+
+func newFakeEst() *fakeEst {
+	return &fakeEst{
+		bounds:   make(map[model.ProcessID]model.Duration),
+		observed: make(map[model.ProcessID][]model.Duration),
+	}
+}
+
+func (f *fakeEst) Observe(peer model.ProcessID, d model.Duration) {
+	f.observed[peer] = append(f.observed[peer], d)
+}
+
+func (f *fakeEst) Bound(peer model.ProcessID) (model.Duration, bool) {
+	b, ok := f.bounds[peer]
+	return b, ok
+}
+
+func adet() (*Detector, *fakeEst) {
+	d := det()
+	est := newFakeEst()
+	d.EnableAdaptive(est, AdaptiveConfig{})
+	return d, est
+}
+
+// Static mode must reproduce the paper's formula exactly: ts+2D with a
+// now+D floor — byte-identical seed behavior when Adaptive is off.
+func TestExpectDeadlineStatic(t *testing.T) {
+	d := det()
+	p := d.params
+	if got, want := d.ExpectDeadline(1, 1000, 1000), model.Time(1000).Add(2*p.D); got != want {
+		t.Fatalf("static deadline = %v, want ts+2D = %v", got, want)
+	}
+	// Ancient ts: floored at now+D.
+	now := model.Time(1000).Add(10 * p.D)
+	if got, want := d.ExpectDeadline(1, 1000, now), now.Add(p.D); got != want {
+		t.Fatalf("static floored deadline = %v, want now+D = %v", got, want)
+	}
+}
+
+// Warmup (no estimate yet): the grant is the ceiling — an unknown link
+// is never suspected on a guess.
+func TestAdaptiveWarmupUsesCeiling(t *testing.T) {
+	d, _ := adet()
+	p := d.params
+	now := model.Time(1000)
+	want := now.Add(model.Duration(4 * float64(2*p.D)))
+	if got := d.ExpectDeadline(1, 1000, now); got != want {
+		t.Fatalf("warmup deadline = %v, want now+ceil = %v", got, want)
+	}
+}
+
+// The grant clamps to [2D, CeilFactor×2D] whatever the estimator says.
+func TestAdaptiveGrantClamping(t *testing.T) {
+	d, est := adet()
+	p := d.params
+	now := model.Time(1000)
+
+	// Tiny estimate: floor 2D — never tighter than the paper's bound.
+	est.bounds[1] = 1
+	if got, want := d.ExpectDeadline(1, 1000, now), now.Add(2*p.D); got < want {
+		t.Fatalf("tiny estimate deadline = %v, want >= ts+2D = %v", got, want)
+	}
+
+	// Huge estimate: ceiling CeilFactor×2D — crash detection stays bounded.
+	est.bounds[2] = 1 << 40
+	ceil := model.Duration(4 * float64(2*p.D))
+	if got, want := d.ExpectDeadline(2, 1000, now), now.Add(ceil); got != want {
+		t.Fatalf("huge estimate deadline = %v, want now+ceil = %v", got, want)
+	}
+	if span := d.DeadlineSpan(2); span != ceil {
+		t.Fatalf("DeadlineSpan = %v, want ceil %v", span, ceil)
+	}
+}
+
+// Hysteresis: the grant widens immediately but does not shrink for
+// small estimate drops — no deadline oscillation around a noisy
+// estimate, so no suspect/unsuspect toggling.
+func TestAdaptiveHysteresisNoToggle(t *testing.T) {
+	d, est := adet()
+	p := d.params
+	now := model.Time(1000)
+
+	est.bounds[1] = 3 * p.D // grant = D + 3D = 4D
+	d.ExpectDeadline(1, 1000, now)
+	g1 := d.DeadlineSpan(1)
+	if g1 != 4*p.D {
+		t.Fatalf("grant = %v, want 4D", g1)
+	}
+
+	// Small dip (above Shrink×current): grant holds.
+	est.bounds[1] = 5 * p.D / 2 // raw 3.5D > 0.7*4D = 2.8D
+	d.ExpectDeadline(1, 1000, now)
+	if g := d.DeadlineSpan(1); g != g1 {
+		t.Fatalf("grant shrank on a small dip: %v -> %v", g1, g)
+	}
+
+	// Growth: adopted immediately.
+	est.bounds[1] = 5 * p.D
+	d.ExpectDeadline(1, 1000, now)
+	if g := d.DeadlineSpan(1); g != 6*p.D {
+		t.Fatalf("grant did not widen: %v", g)
+	}
+
+	// Large drop (below Shrink×current): adopted.
+	est.bounds[1] = p.D
+	d.ExpectDeadline(1, 1000, now)
+	if g := d.DeadlineSpan(1); g != 2*p.D {
+		t.Fatalf("grant did not shrink on a large drop: %v", g)
+	}
+
+	st := d.AdaptStats()
+	if st.Widened == 0 || st.Shrunk == 0 {
+		t.Fatalf("adaptation counters not recorded: %+v", st)
+	}
+}
+
+// Flap suppression: after a timeout the suspect's grant boosts to the
+// ceiling and is pinned for the backoff window, so a threshold-hovering
+// peer is suspected once, not repeatedly.
+func TestAdaptiveFlapSuppression(t *testing.T) {
+	d, est := adet()
+	p := d.params
+	ceil := model.Duration(4 * float64(2*p.D))
+
+	est.bounds[2] = p.D
+	now := model.Time(1000)
+	d.Expect(2, 1000, d.ExpectDeadline(2, 1000, now))
+	_, deadline, _ := d.Expected()
+
+	s, dl, to := d.TimedOut(deadline + 1)
+	if !to || s != 2 || dl != deadline {
+		t.Fatalf("TimedOut = (%v,%v,%v)", s, dl, to)
+	}
+	if g := d.DeadlineSpan(2); g != ceil {
+		t.Fatalf("no flap boost: grant = %v, want ceil %v", g, ceil)
+	}
+	if st := d.AdaptStats(); st.FlapBoosts != 1 {
+		t.Fatalf("FlapBoosts = %d", st.FlapBoosts)
+	}
+
+	// Inside the backoff window the estimator's small bound must not
+	// shrink the pinned grant.
+	d.ExpectDeadline(2, deadline+2, deadline+2)
+	if g := d.DeadlineSpan(2); g != ceil {
+		t.Fatalf("grant shrank inside backoff: %v", g)
+	}
+
+	// After the window, normal hysteresis resumes: the large drop from
+	// the ceiling is adopted.
+	after := (deadline + 1).Add(ceil) + 1
+	d.ExpectDeadline(2, model.Time(after), after)
+	if g := d.DeadlineSpan(2); g != 2*p.D {
+		t.Fatalf("grant did not recover after backoff: %v", g)
+	}
+}
+
+// TimelyBound: static below, per-link estimate above, ceiling on top.
+func TestTimelyBound(t *testing.T) {
+	d, est := adet()
+	p := d.params
+	static := p.Delta + p.Epsilon + p.Sigma
+
+	// No estimate yet: static.
+	if got := d.TimelyBound(1); got != static {
+		t.Fatalf("warmup TimelyBound = %v, want static %v", got, static)
+	}
+	// Estimate below static: never tighter than the model's bound.
+	est.bounds[1] = 1
+	if got := d.TimelyBound(1); got != static {
+		t.Fatalf("tiny TimelyBound = %v, want static %v", got, static)
+	}
+	// Slow link: the estimate applies (5D is inside the 8D ceiling).
+	est.bounds[1] = 5 * p.D
+	if got := d.TimelyBound(1); got != 5*p.D {
+		t.Fatalf("slow-link TimelyBound = %v, want 5D", got)
+	}
+	// Clamped at the ceiling.
+	est.bounds[1] = 1 << 40
+	if got, ceil := d.TimelyBound(1), model.Duration(4*float64(2*p.D)); got != ceil {
+		t.Fatalf("TimelyBound = %v, want ceil %v", got, ceil)
+	}
+
+	// Static-mode detector: always the model's bound.
+	sd := det()
+	if got := sd.TimelyBound(1); got != static {
+		t.Fatalf("static TimelyBound = %v, want %v", got, static)
+	}
+}
+
+// RecordControl feeds the estimator every fresh observation and judges
+// timeliness against the widened per-link bound.
+func TestRecordControlFeedsEstimator(t *testing.T) {
+	d, est := adet()
+	p := d.params
+	static := p.Delta + p.Epsilon + p.Sigma
+
+	// Late by the static bound, but the link's estimate covers it.
+	est.bounds[1] = 10 * p.D
+	late := model.Time(100).Add(static + 1)
+	if !d.RecordControl(1, 100, late) {
+		t.Fatal("fresh message rejected")
+	}
+	if got := est.observed[1]; len(got) != 1 || got[0] != static+1 {
+		t.Fatalf("estimator fed %v, want [%v]", got, static+1)
+	}
+	if alive := d.AliveList(late); len(alive) != 2 {
+		t.Fatalf("slow-but-covered sender not in alive list: %v", alive)
+	}
+
+	// Stale messages do not feed the estimator.
+	d.RecordControl(1, 99, late)
+	if got := est.observed[1]; len(got) != 1 {
+		t.Fatalf("stale message fed the estimator: %v", got)
+	}
+}
+
+// Expect overwrites are counted and reported.
+func TestExpectOverwriteAccounting(t *testing.T) {
+	d := det()
+	var gotOld, gotNext model.ProcessID = model.NoProcess, model.NoProcess
+	d.OnExpectOverwrite(func(old, next model.ProcessID) { gotOld, gotNext = old, next })
+
+	d.Expect(1, 100, 200)
+	if d.ExpectOverwrites() != 0 {
+		t.Fatal("first Expect counted as overwrite")
+	}
+	d.Expect(2, 150, 250)
+	if d.ExpectOverwrites() != 1 || gotOld != 1 || gotNext != 2 {
+		t.Fatalf("overwrite not reported: n=%d old=%v next=%v",
+			d.ExpectOverwrites(), gotOld, gotNext)
+	}
+	d.ClearExpectation()
+	d.Expect(3, 300, 400)
+	if d.ExpectOverwrites() != 1 {
+		t.Fatal("Expect after clear counted as overwrite")
+	}
+}

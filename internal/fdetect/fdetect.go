@@ -18,6 +18,8 @@ package fdetect
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"timewheel/internal/model"
 )
@@ -47,6 +49,20 @@ type Detector struct {
 	expDeadline model.Time // ... and arrive before this clock time
 
 	suspicions uint64
+
+	// Adaptive per-peer deadlines (see adaptive.go). est == nil means
+	// static mode — the paper's fixed bounds, bit-identical to the
+	// pre-adaptive detector.
+	est         DelayEstimator
+	acfg        AdaptiveConfig
+	grantsMu    sync.Mutex
+	grants      map[model.ProcessID]*grantState
+	widened     atomic.Uint64
+	shrunk      atomic.Uint64
+	flapBoosts  atomic.Uint64
+	onOverwrite func(old, next model.ProcessID)
+
+	expOverwrites atomic.Uint64
 }
 
 // New creates a detector for process self.
@@ -71,7 +87,16 @@ func (d *Detector) RecordControl(from model.ProcessID, sendTS, now model.Time) b
 		return false
 	}
 	d.lastControl[from] = sendTS
-	if now.Sub(sendTS) <= d.params.Delta+d.params.Epsilon+d.params.Sigma {
+	if d.est != nil {
+		// Feed the estimator every fresh delay observation — late ones
+		// especially: they are what teaches it the link is slow.
+		delay := now.Sub(sendTS)
+		if delay < 0 {
+			delay = 0
+		}
+		d.est.Observe(from, delay)
+	}
+	if now.Sub(sendTS) <= d.TimelyBound(from) {
 		if sendTS > d.lastTimely[from] {
 			d.lastTimely[from] = sendTS
 		}
@@ -111,8 +136,18 @@ func (d *Detector) Forget() {
 }
 
 // Expect arms the surveillance: a control message from sender with
-// timestamp greater than after must arrive before deadline.
+// timestamp greater than after must arrive before deadline. Replacing
+// an already-active expectation is legitimate (the no-decision ring
+// rolls the surveillance forward) but used to happen silently; it is
+// now counted and reported through OnExpectOverwrite so surveillance
+// churn is observable.
 func (d *Detector) Expect(sender model.ProcessID, after, deadline model.Time) {
+	if d.expActive {
+		d.expOverwrites.Add(1)
+		if d.onOverwrite != nil {
+			d.onOverwrite(d.expSender, sender)
+		}
+	}
 	d.expActive = true
 	d.expSender = sender
 	d.expAfter = after
@@ -134,16 +169,20 @@ func (d *Detector) Satisfies(p model.ProcessID, ts model.Time) bool {
 	return d.expActive && p == d.expSender && ts > d.expAfter
 }
 
-// TimedOut reports whether the expectation is armed and its deadline has
-// passed at synchronized time now; if so it records a suspicion and
-// returns the suspect. The expectation stays armed — the caller (group
-// creator) decides what to do next.
-func (d *Detector) TimedOut(now model.Time) (suspect model.ProcessID, timedOut bool) {
+// TimedOut reports whether the expectation is armed and its deadline
+// has passed at synchronized time now; if so it records a suspicion and
+// returns the suspect along with the deadline that fired — callers
+// bound suspicion-reaction latency against it. The expectation stays
+// armed — the caller (group creator) decides what to do next. In
+// adaptive mode a timeout also flap-boosts the suspect's grant so a
+// threshold-hovering peer is suspected once, not toggled.
+func (d *Detector) TimedOut(now model.Time) (suspect model.ProcessID, deadline model.Time, timedOut bool) {
 	if d.expActive && now > d.expDeadline {
 		d.suspicions++
-		return d.expSender, true
+		d.noteSuspicion(d.expSender, now)
+		return d.expSender, d.expDeadline, true
 	}
-	return model.NoProcess, false
+	return model.NoProcess, 0, false
 }
 
 // Suspicions returns the lifetime count of timeout failures reported.

@@ -101,7 +101,7 @@ func TestExpectationLifecycle(t *testing.T) {
 	if _, _, active := d.Expected(); active {
 		t.Fatalf("expectation active at start")
 	}
-	if s, to := d.TimedOut(1 << 40); to || s != model.NoProcess {
+	if s, _, to := d.TimedOut(1 << 40); to || s != model.NoProcess {
 		t.Fatalf("timeout with no expectation")
 	}
 
@@ -123,18 +123,18 @@ func TestExpectationLifecycle(t *testing.T) {
 	}
 
 	// No timeout before the deadline (inclusive).
-	if _, to := d.TimedOut(140); to {
+	if _, _, to := d.TimedOut(140); to {
 		t.Errorf("timed out at deadline")
 	}
-	if s, to := d.TimedOut(141); !to || s != 2 {
-		t.Errorf("timeout after deadline: %v %v", s, to)
+	if s, dl, to := d.TimedOut(141); !to || s != 2 || dl != 140 {
+		t.Errorf("timeout after deadline: %v %v %v", s, dl, to)
 	}
 	if d.Suspicions() != 1 {
 		t.Errorf("suspicions: %d", d.Suspicions())
 	}
 
 	d.ClearExpectation()
-	if _, to := d.TimedOut(1 << 40); to {
+	if _, _, to := d.TimedOut(1 << 40); to {
 		t.Errorf("timeout after clear")
 	}
 	if d.Satisfies(2, 999) {

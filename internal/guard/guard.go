@@ -45,6 +45,21 @@ type Config struct {
 	// self-excludes; false means violations and late sends are only
 	// counted (the trip still latches so tests can see it fired).
 	Enforce bool
+	// Budgets, if set, supplies adaptive handler/timer-lateness budgets
+	// (typically an adapt.NoiseEstimator tracking the host's observed
+	// scheduling noise). A dimension whose static budget above was set
+	// explicitly (non-zero) keeps the static value — explicit
+	// configuration overrides adaptation — and the source is also
+	// ignored for a dimension while it reports 0 (estimator warmup).
+	Budgets BudgetSource
+}
+
+// BudgetSource supplies the guard's adaptive budgets. Budgets is called
+// on every guarded observation, from the engine's dispatch
+// goroutine(s): implementations must be fast and concurrency-safe. A
+// returned 0 means "no estimate yet" for that dimension.
+type BudgetSource interface {
+	Budgets() (handler, timerLate time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +119,11 @@ type Stats struct {
 type Guard struct {
 	cfg Config
 
+	// handlerExplicit/timerExplicit record which static budgets the
+	// caller set explicitly: those dimensions never follow Config.Budgets.
+	handlerExplicit bool
+	timerExplicit   bool
+
 	overruns       atomic.Uint64
 	lateTimers     atomic.Uint64
 	clockJumps     atomic.Uint64
@@ -132,11 +152,45 @@ type Guard struct {
 
 // New returns a guard with cfg's budgets (zero fields defaulted).
 func New(cfg Config) *Guard {
-	return &Guard{cfg: cfg.withDefaults()}
+	return &Guard{
+		cfg:             cfg.withDefaults(),
+		handlerExplicit: cfg.HandlerBudget != 0,
+		timerExplicit:   cfg.TimerLateBudget != 0,
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
 func (g *Guard) Config() Config { return g.cfg }
+
+// handlerBudget returns the budget one handler is judged against right
+// now: the adaptive source when one is wired, this dimension was not
+// set explicitly, and the source has warmed up; the static value
+// otherwise.
+func (g *Guard) handlerBudget() time.Duration {
+	if g.cfg.Budgets != nil && !g.handlerExplicit {
+		if h, _ := g.cfg.Budgets.Budgets(); h > 0 {
+			return h
+		}
+	}
+	return g.cfg.HandlerBudget
+}
+
+// timerLateBudget is handlerBudget's twin for timer lateness.
+func (g *Guard) timerLateBudget() time.Duration {
+	if g.cfg.Budgets != nil && !g.timerExplicit {
+		if _, l := g.cfg.Budgets.Budgets(); l > 0 {
+			return l
+		}
+	}
+	return g.cfg.TimerLateBudget
+}
+
+// EffectiveBudgets returns the handler and timer-lateness budgets
+// currently in force (adaptive values when a source is driving them).
+// Safe from any goroutine; this is what the budget gauges export.
+func (g *Guard) EffectiveBudgets() (handler, timerLate time.Duration) {
+	return g.handlerBudget(), g.timerLateBudget()
+}
 
 // NoteClock checks the wall clock against the monotonic clock. now must
 // carry a monotonic reading (i.e. come straight from time.Now).
@@ -179,7 +233,7 @@ func (g *Guard) NoteTimerFired(now, due time.Time) {
 	if g.cfg.TimerLateBudget < 0 || due.IsZero() {
 		return
 	}
-	if late := now.Sub(due); late > g.cfg.TimerLateBudget {
+	if late := now.Sub(due); late > g.timerLateBudget() {
 		g.lateTimers.Add(1)
 		g.violation(now)
 	}
@@ -191,7 +245,7 @@ func (g *Guard) NoteHandlerDone(start, now time.Time) {
 	if g.cfg.HandlerBudget < 0 {
 		return
 	}
-	if now.Sub(start) > g.cfg.HandlerBudget {
+	if now.Sub(start) > g.handlerBudget() {
 		g.overruns.Add(1)
 		g.violation(now)
 	}

@@ -158,3 +158,64 @@ func TestDisabledChecks(t *testing.T) {
 		t.Fatalf("disabled checks still fired: %+v", s)
 	}
 }
+
+// fixedBudgets is a scripted BudgetSource.
+type fixedBudgets struct{ handler, timerLate time.Duration }
+
+func (f fixedBudgets) Budgets() (time.Duration, time.Duration) { return f.handler, f.timerLate }
+
+func TestAdaptiveBudgetSource(t *testing.T) {
+	src := &fixedBudgets{handler: 5 * time.Millisecond, timerLate: 7 * time.Millisecond}
+	g := New(Config{Budgets: src, TripCount: 1})
+
+	// Inside the adaptive budgets (but far under the 100ms defaults the
+	// static config would have applied): no violation either way.
+	g.NoteHandlerDone(at(0), at(4))
+	g.NoteTimerFired(at(6), at(0))
+	if s := g.Stats(); s.Overruns+s.LateTimers != 0 {
+		t.Fatalf("violations inside adaptive budgets: %+v", s)
+	}
+
+	// Over the adaptive budgets, though well under the static defaults:
+	// the adaptive source is in force.
+	g.NoteHandlerDone(at(100), at(106))
+	g.NoteTimerFired(at(108), at(100))
+	if s := g.Stats(); s.Overruns != 1 || s.LateTimers != 1 {
+		t.Fatalf("adaptive budgets not applied: %+v", s)
+	}
+	if h, l := g.EffectiveBudgets(); h != src.handler || l != src.timerLate {
+		t.Fatalf("EffectiveBudgets = (%v,%v)", h, l)
+	}
+}
+
+func TestExplicitBudgetOverridesSource(t *testing.T) {
+	src := &fixedBudgets{handler: time.Millisecond, timerLate: time.Millisecond}
+	g := New(Config{HandlerBudget: 50 * time.Millisecond, Budgets: src, TripCount: 1})
+
+	// Handler budget was set explicitly: the 1ms adaptive value is
+	// ignored for it, so a 10ms handler is fine...
+	g.NoteHandlerDone(at(0), at(10))
+	if s := g.Stats(); s.Overruns != 0 {
+		t.Fatalf("explicit handler budget not honored: %+v", s)
+	}
+	// ...while the timer dimension (not explicit) follows the source.
+	g.NoteTimerFired(at(10), at(0))
+	if s := g.Stats(); s.LateTimers != 1 {
+		t.Fatalf("non-explicit timer budget ignored the source: %+v", s)
+	}
+	if h, _ := g.EffectiveBudgets(); h != 50*time.Millisecond {
+		t.Fatalf("EffectiveBudgets handler = %v, want explicit 50ms", h)
+	}
+}
+
+func TestBudgetSourceWarmupFallsBackToStatic(t *testing.T) {
+	src := &fixedBudgets{} // both dimensions still warming up (0)
+	g := New(Config{Budgets: src, TripCount: 1})
+	if h, l := g.EffectiveBudgets(); h != 100*time.Millisecond || l != 100*time.Millisecond {
+		t.Fatalf("warmup budgets = (%v,%v), want static defaults", h, l)
+	}
+	g.NoteHandlerDone(at(0), at(50))
+	if s := g.Stats(); s.Overruns != 0 {
+		t.Fatalf("warmup used a zero budget: %+v", s)
+	}
+}

@@ -1,0 +1,376 @@
+package livechaos
+
+// The adaptive-vs-static soak: a live cluster with one slow-but-healthy
+// member — its outbound datagrams rate-limited through a token bucket
+// and jittered well past the static 2D surveillance deadline — run once
+// with the static failure detector and once with adaptive per-peer
+// timeouts. The static detector keeps suspecting the slow peer (it
+// looks crashed by the paper's fixed bound); the adaptive detector
+// learns the link's delay distribution and leaves it alone, while a
+// genuine crash of the same peer is still detected within the adapted
+// (CeilFactor×2D-capped) deadline. This is the live counterpart of the
+// per-link timeliness-graph argument in PAPERS.md: some links are
+// timely, some are merely slow, and only an estimator can tell.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"timewheel"
+	"timewheel/internal/model"
+	"timewheel/internal/transport"
+)
+
+// SlowPeerOptions configures one slow-peer soak run.
+type SlowPeerOptions struct {
+	// N is the cluster size (default 5).
+	N int
+	// Seed drives the hub and chaos randomness.
+	Seed int64
+	// Adaptive enables per-peer adaptive timeouts on every node.
+	Adaptive bool
+	// SlowNode is the degraded member (default N-1).
+	SlowNode int
+	// SendMin/SendMax jitter the slow node's outbound datagrams
+	// (defaults 16ms/30ms — past the static 2D=16ms deadline on every
+	// send, inside the adaptive CeilFactor×2D=64ms ceiling).
+	SendMin, SendMax time.Duration
+	// Rate/Burst shape the slow node's outbound bandwidth through the
+	// chaos token bucket (defaults 128KiB/s with a 1KiB burst), adding
+	// load-dependent queueing delay on top of the fixed jitter. The
+	// rate must sit above the node's sustained control+proposal load:
+	// below it the virtual queue diverges and the peer really does go
+	// past any bound — genuinely untimely, not merely slow.
+	Rate, Burst int64
+	// Grace is how long after degrading the link the run waits before
+	// the measured window opens (default 2s): the estimators need a few
+	// cycles of slow samples, and the one transition suspicion — the
+	// expectation armed under the old fast-link grant fires before the
+	// first slow sample lands — is warmup, not the steady-state claim.
+	Grace time.Duration
+	// Window is how long the degraded-but-healthy phase is observed
+	// (default 3s).
+	Window time.Duration
+	// DataDir is the base directory for durable state.
+	DataDir string
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// SlowPeerReport is what one slow-peer run produces.
+type SlowPeerReport struct {
+	// FalseSuspicions counts suspicion events naming the slow node
+	// during the steady-state window; GraceSuspicions counts them in
+	// the adaptation grace right after the link degrades (the static
+	// detector ejects the peer here; the adaptive detector may emit one
+	// transition suspicion before the first slow sample lands);
+	// OtherSuspicions counts suspicions of anyone else across the run
+	// (churn context, not an assertion target).
+	FalseSuspicions uint64
+	GraceSuspicions uint64
+	OtherSuspicions uint64
+	// MemberAtCrash reports whether every healthy node still held the
+	// slow peer in its view when the crash was injected — true is the
+	// adaptive claim, false the static detector's permanent ejection.
+	MemberAtCrash bool
+	// CrashSuspected reports whether stopping the slow node produced a
+	// suspicion naming it; CrashLatency is stop-to-first-suspicion.
+	CrashSuspected bool
+	CrashLatency   time.Duration
+	// DeadlineSpan is the widest surveillance grant any healthy node
+	// holds for the slow peer at crash time (adaptive runs only);
+	// DeadlineCeil is the configured CeilFactor×2D cap it must respect.
+	DeadlineSpan time.Duration
+	DeadlineCeil time.Duration
+	// Converged reports whether the healthy nodes installed a view
+	// without the crashed peer by the end of the run.
+	Converged bool
+	// Adapt holds each healthy node's final adaptive-estimator
+	// snapshot, indexed by ID (the slow node's entry is zero).
+	Adapt []timewheel.AdaptiveStats
+	// Chaos holds the middleware counters (Shaped shows the token
+	// bucket worked).
+	Chaos transport.ChaosStats
+}
+
+// RunSlowPeer executes one slow-peer soak. Errors are setup failures;
+// detector behaviour lands in the report.
+func RunSlowPeer(o SlowPeerOptions) (*SlowPeerReport, error) {
+	if o.N <= 0 {
+		o.N = 5
+	}
+	if o.SlowNode <= 0 || o.SlowNode >= o.N {
+		o.SlowNode = o.N - 1
+	}
+	if o.SendMin <= 0 {
+		o.SendMin = 16 * time.Millisecond
+	}
+	if o.SendMax <= 0 {
+		o.SendMax = 30 * time.Millisecond
+	}
+	if o.Rate <= 0 {
+		o.Rate = 128 << 10
+	}
+	if o.Burst <= 0 {
+		o.Burst = 1 << 10
+	}
+	if o.Grace <= 0 {
+		o.Grace = 2 * time.Second
+	}
+	if o.Window <= 0 {
+		o.Window = 3 * time.Second
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	slow := o.SlowNode
+
+	// Same protocol constants as the main soak: 2D = 16ms, so the slow
+	// link's 16-30ms jitter makes every one of its control messages miss
+	// the static deadline while staying inside the adaptive ceiling.
+	params := timewheel.Params{
+		Delta:   3 * time.Millisecond,
+		D:       8 * time.Millisecond,
+		Epsilon: time.Millisecond,
+		Sigma:   time.Millisecond,
+		SlotPad: 500 * time.Microsecond,
+	}
+	ceil := time.Duration(4 * float64(2*params.D))
+
+	hub := transport.NewHub(transport.HubOptions{MaxDelay: 300 * time.Microsecond, Seed: o.Seed})
+	defer hub.Close()
+	net := transport.NewChaosNet(o.Seed, transport.Faults{})
+
+	// Suspicion accounting rides the process-wide trace stream. The run
+	// has four phases: clean-link formation, the adaptation grace after
+	// the link degrades (a transition suspicion here is warmup — the
+	// expectation was armed under the fast-link grant before the first
+	// slow sample arrived — not the steady-state claim), the measured
+	// window (any suspicion naming the live slow node is a false one),
+	// and post-crash (the first such event stamps detection latency).
+	const (
+		phaseForming = iota
+		phaseGrace
+		phaseWindow
+		phaseCrashed
+	)
+	var (
+		phase     atomic.Int32
+		graceSusp atomic.Uint64
+		falseSusp atomic.Uint64
+		otherSusp atomic.Uint64
+		crashedAt atomic.Int64 // UnixNano of the Stop call
+		detected  atomic.Int64 // stop-to-suspicion latency, ns
+	)
+	cancel := timewheel.Observe(func(ev timewheel.TraceEvent) {
+		if ev.Type != "suspicion" || ev.Node == slow {
+			return
+		}
+		logf("suspicion: phase=%d node=%d suspect=%d lag=%v", phase.Load(), ev.Node, ev.A, time.Duration(ev.B))
+		if int(ev.A) != slow {
+			otherSusp.Add(1)
+			return
+		}
+		switch phase.Load() {
+		case phaseGrace:
+			graceSusp.Add(1)
+		case phaseWindow:
+			falseSusp.Add(1)
+		case phaseCrashed:
+			if at := crashedAt.Load(); at != 0 {
+				detected.CompareAndSwap(0, ev.At.UnixNano()-at)
+			}
+		}
+	})
+	defer cancel()
+
+	nodes := make([]*timewheel.Node, o.N)
+	for i := 0; i < o.N; i++ {
+		nd, err := timewheel.NewNode(timewheel.Config{
+			ID:          i,
+			ClusterSize: o.N,
+			Transport:   port{net.Wrap(hub.Attach(model.ProcessID(i)))},
+			Params:      params,
+			DataDir:     filepath.Join(o.DataDir, fmt.Sprintf("node-%d", i)),
+			Fsync:       "none",
+			Adaptive: timewheel.AdaptiveConfig{
+				Enabled: o.Adaptive,
+				// Margin 2 (over the default 1.5) keeps the adapted
+				// deadline a scheduling-noise-sized stretch above the
+				// link's q99 on a loaded CI host; the ceiling still caps
+				// the result at 4×2D.
+				Margin: 2,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	// Formation happens on a clean link — a member whose joins arrive
+	// past the timeliness bound can never satisfy the formation rule's
+	// join-list convergence (its entry ages in and out of everyone's
+	// join-list mid-cycle), under either detector. The degradation is
+	// installed afterwards, which is also the deployment-shaped story:
+	// a member's uplink goes bad while it is in the group.
+	allFull := func() bool {
+		for _, nd := range nodes {
+			v, ok := nd.CurrentView()
+			if !ok || len(v.Members) != o.N {
+				return false
+			}
+		}
+		return true
+	}
+	if !waitUntil(20*time.Second, allFull) {
+		for i, nd := range nodes {
+			v, ok := nd.CurrentView()
+			logf("node %d: state=%s view=%v ok=%v upToDate=%v", i, nd.StateName(), v, ok, nd.UpToDate())
+		}
+		return nil, fmt.Errorf("cluster never formed a full view")
+	}
+	logf("formed: %d nodes in a full view (adaptive=%v)", o.N, o.Adaptive)
+
+	// Background proposers keep update traffic flowing through the
+	// token bucket so the shaper has something to queue.
+	propStop := make(chan struct{})
+	propDone := make(chan struct{})
+	go func() {
+		defer close(propDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-propStop:
+				return
+			case <-tick.C:
+				_ = nodes[i%o.N].Propose([]byte(fmt.Sprintf("u%d", i)), timewheel.TotalOrder, timewheel.Strong)
+			}
+		}
+	}()
+
+	// Degrade the slow node's uplink: fixed jitter past 2D plus
+	// token-bucket queueing delay — the profile an estimator can learn
+	// and a fixed bound cannot.
+	phase.Store(phaseGrace)
+	net.SetSendFaults(model.ProcessID(slow), transport.Faults{MinDelay: o.SendMin, MaxDelay: o.SendMax})
+	net.SetRate(model.ProcessID(slow), o.Rate, o.Burst)
+	logf("degraded node %d's uplink: %v-%v jitter, %dB/s (burst %dB); grace %v",
+		slow, o.SendMin, o.SendMax, o.Rate, o.Burst, o.Grace)
+	time.Sleep(o.Grace)
+	if o.Adaptive {
+		// The measured claim needs a steady state to measure: the slow
+		// peer back in everyone's view (the transition suspicion, if
+		// any, recovered) and staying there.
+		if !holdFor(20*time.Second, 500*time.Millisecond, allFull) {
+			for i, nd := range nodes {
+				v, ok := nd.CurrentView()
+				logf("node %d: state=%s view=%v ok=%v", i, nd.StateName(), v, ok)
+			}
+			return nil, fmt.Errorf("slow node never restabilized as a member under the adaptive detector")
+		}
+	}
+	logf("observing the degraded-but-healthy link for %v", o.Window)
+	phase.Store(phaseWindow)
+
+	time.Sleep(o.Window)
+
+	rep := &SlowPeerReport{
+		DeadlineCeil: ceil,
+		Adapt:        make([]timewheel.AdaptiveStats, o.N),
+	}
+	for i, nd := range nodes {
+		if i == slow {
+			continue
+		}
+		st := nd.AdaptiveStats()
+		rep.Adapt[i] = st
+		if span := st.PeerDeadlineSpans[slow]; span > rep.DeadlineSpan {
+			rep.DeadlineSpan = span
+		}
+	}
+
+	rep.MemberAtCrash = allFull()
+
+	// Crash the slow peer for real. The phase flips first so a suspicion
+	// racing the Stop is attributed to the crash, not counted as false.
+	crashedAt.Store(time.Now().UnixNano())
+	phase.Store(phaseCrashed)
+	logf("crashing node %d (member everywhere: %v)", slow, rep.MemberAtCrash)
+	nodes[slow].Stop()
+
+	if rep.MemberAtCrash {
+		// Detection only means something if the peer was still being
+		// surveilled; the static detector already ejected it for good.
+		waitUntil(10*time.Second, func() bool { return detected.Load() != 0 })
+	}
+	excludedEverywhere := func() bool {
+		for i, nd := range nodes {
+			if i == slow {
+				continue
+			}
+			v, ok := nd.CurrentView()
+			if !ok || len(v.Members) != o.N-1 {
+				return false
+			}
+			for _, m := range v.Members {
+				if m == slow {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rep.Converged = waitUntil(30*time.Second, excludedEverywhere)
+
+	close(propStop)
+	<-propDone
+
+	rep.FalseSuspicions = falseSusp.Load()
+	rep.GraceSuspicions = graceSusp.Load()
+	rep.OtherSuspicions = otherSusp.Load()
+	if d := detected.Load(); d != 0 {
+		rep.CrashSuspected = true
+		rep.CrashLatency = time.Duration(d)
+	}
+	rep.Chaos = net.Stats()
+	logf("adaptive=%v: falseSuspicions=%d graceSuspicions=%d otherSuspicions=%d memberAtCrash=%v crashLatency=%v span=%v shaped=%d(%v)",
+		o.Adaptive, rep.FalseSuspicions, rep.GraceSuspicions, rep.OtherSuspicions, rep.MemberAtCrash,
+		rep.CrashLatency, rep.DeadlineSpan, rep.Chaos.Shaped, rep.Chaos.ShapeDelay)
+	return rep, nil
+}
+
+// holdFor waits up to timeout for cond to hold continuously for hold.
+func holdFor(timeout, hold time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			held := time.Now().Add(hold)
+			stable := true
+			for time.Now().Before(held) {
+				if !cond() {
+					stable = false
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if stable {
+				return true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

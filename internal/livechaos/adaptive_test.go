@@ -1,0 +1,87 @@
+package livechaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveChaosAdaptiveVsStatic is the adaptive-timeout soak: five live
+// nodes, one of them behind a rate-limited, jittery uplink whose delays
+// sit past the static 2D surveillance deadline on every send. Under the
+// static detector the slow-but-healthy peer keeps getting suspected;
+// under the adaptive detector it is left alone — and when it then
+// genuinely crashes, it is still suspected, within the adapted
+// (CeilFactor×2D-capped) deadline rather than never.
+func TestLiveChaosAdaptiveVsStatic(t *testing.T) {
+	static, err := RunSlowPeer(SlowPeerOptions{
+		Seed:    31,
+		DataDir: t.TempDir(),
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.GraceSuspicions+static.FalseSuspicions == 0 {
+		t.Fatalf("static detector never suspected the slow-but-healthy peer — the link is not actually past 2D (report %+v)", static)
+	}
+	if static.MemberAtCrash {
+		t.Errorf("static detector kept the never-timely peer as a member — AliveList should have starved its readmission")
+	}
+
+	adaptive, err := RunSlowPeer(SlowPeerOptions{
+		Seed:     31,
+		Adaptive: true,
+		DataDir:  t.TempDir(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.FalseSuspicions != 0 {
+		t.Errorf("adaptive detector falsely suspected the healthy slow peer %d times in the steady-state window (static: %d)",
+			adaptive.FalseSuspicions, static.GraceSuspicions+static.FalseSuspicions)
+	}
+	if !adaptive.MemberAtCrash {
+		t.Errorf("slow peer was not a member everywhere at crash time — the adaptive detector failed to keep it in the group")
+	}
+
+	// The grant actually adapted: wider than the paper's 2D, no wider
+	// than the configured ceiling.
+	if adaptive.DeadlineSpan <= 16*time.Millisecond {
+		t.Errorf("slow peer's deadline grant %v never widened past 2D", adaptive.DeadlineSpan)
+	}
+	if adaptive.DeadlineSpan > adaptive.DeadlineCeil {
+		t.Errorf("deadline grant %v exceeds the ceiling %v", adaptive.DeadlineSpan, adaptive.DeadlineCeil)
+	}
+
+	// A real crash is still detected. The wall-clock bound is the
+	// adapted deadline (≤64ms) plus a rotation turn plus generous CI
+	// scheduling slack — the claim is bounded detection, not a
+	// microbenchmark.
+	if !adaptive.CrashSuspected {
+		t.Fatalf("crashed slow peer was never suspected under the adaptive detector (report %+v)", adaptive)
+	}
+	if adaptive.CrashLatency > 5*time.Second {
+		t.Errorf("crash detection took %v, far beyond the adapted bound %v",
+			adaptive.CrashLatency, adaptive.DeadlineCeil)
+	}
+	if !adaptive.Converged {
+		t.Errorf("healthy nodes never installed a view without the crashed peer")
+	}
+
+	// Estimator bookkeeping is live: the healthy nodes adapted (widened
+	// at least once warming from the ceiling is not guaranteed, but the
+	// per-peer span map must carry the slow peer).
+	sawSpan := false
+	for _, st := range adaptive.Adapt {
+		if st.PeerDeadlineSpans != nil && st.PeerDeadlineSpans[adaptive2SlowNode] > 0 {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Errorf("no healthy node reports a deadline span for the slow peer: %+v", adaptive.Adapt)
+	}
+}
+
+// adaptive2SlowNode mirrors RunSlowPeer's default SlowNode for N=5.
+const adaptive2SlowNode = 4

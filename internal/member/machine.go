@@ -462,13 +462,11 @@ func (m *Machine) expectAfter(sender model.ProcessID, ts model.Time) {
 		m.env.CancelTimer(TimerExpect)
 		return
 	}
-	deadline := ts.Add(2 * m.params.D)
-	if minDeadline := m.env.Now().Add(m.params.D); deadline < minDeadline {
-		// Never arm a deadline that has effectively already passed
-		// (e.g. after processing a backlog): give the expected sender
-		// at least D from now.
-		deadline = minDeadline
-	}
+	// Static mode: ts+2D, floored at now+D so a deadline armed while
+	// draining a backlog has not effectively already passed. Adaptive
+	// mode: the detector grants the expected sender its estimated
+	// per-link bound instead (see fdetect.ExpectDeadline).
+	deadline := m.fd.ExpectDeadline(e, ts, m.env.Now())
 	m.fd.Expect(e, ts, deadline)
 	// Fire strictly after the deadline: a message arriving exactly at
 	// the deadline is still timely.

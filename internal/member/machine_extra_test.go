@@ -251,10 +251,10 @@ func TestRingHelpersSkipSuspect(t *testing.T) {
 func TestIsLateBoundary(t *testing.T) {
 	r := newRig(t, 1)
 	bound := r.p.Delta + r.p.Epsilon + r.p.Sigma
-	if r.m.isLate(1000, model.Time(1000).Add(bound)) {
+	if r.m.isLate(0, 1000, model.Time(1000).Add(bound)) {
 		t.Fatalf("at-bound message classified late")
 	}
-	if !r.m.isLate(1000, model.Time(1000).Add(bound+1)) {
+	if !r.m.isLate(0, 1000, model.Time(1000).Add(bound+1)) {
 		t.Fatalf("past-bound message classified timely")
 	}
 }

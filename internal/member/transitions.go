@@ -160,7 +160,7 @@ func (m *Machine) onDecision(dec *wire.Decision) {
 		return
 	}
 
-	if m.isLate(dec.SendTS, now) {
+	if m.isLate(dec.From, dec.SendTS, now) {
 		// Fail-awareness (paper §3): a late message is a performance
 		// failure of its sender and is rejected for protocol-control
 		// purposes — its log content was absorbed above, but it hands
@@ -189,9 +189,14 @@ func (m *Machine) onDecision(dec *wire.Decision) {
 
 // isLate applies the timed-asynchronous timeliness test: a message whose
 // transmission took more than delta (plus the clock deviation and
-// scheduling slack) has suffered a performance failure.
-func (m *Machine) isLate(sendTS, now model.Time) bool {
-	return now.Sub(sendTS) > m.params.Delta+m.params.Epsilon+m.params.Sigma
+// scheduling slack) has suffered a performance failure. The bound is
+// per-sender: static mode uses the model's global Delta+Epsilon+Sigma;
+// adaptive mode widens it to the link's estimated bound, so a
+// slow-but-steady sender's control messages keep their protocol meaning
+// instead of being rejected (and the sender eventually excluded) for
+// exhibiting the delay its link always has.
+func (m *Machine) isLate(from model.ProcessID, sendTS, now model.Time) bool {
+	return now.Sub(sendTS) > m.fd.TimelyBound(from)
 }
 
 // joinCompleted finishes the join protocol: the decision's membership
@@ -237,7 +242,7 @@ func (m *Machine) joinCompleted(dec *wire.Decision) {
 	} else if m.appliedStateSeq < dec.Group.Seq {
 		m.needState = true
 	}
-	if m.isLate(dec.SendTS, m.env.Now()) {
+	if m.isLate(dec.From, dec.SendTS, m.env.Now()) {
 		return // a later timely decision will arm rotation for us
 	}
 	next := m.group.Successor(dec.From)
@@ -536,18 +541,17 @@ func (m *Machine) sendNoDecision(q model.ProcessID) {
 
 func (m *Machine) onExpectTimeout() {
 	now := m.env.Now()
-	suspect, timedOut := m.fd.TimedOut(now)
+	suspect, deadline, timedOut := m.fd.TimedOut(now)
 	if !timedOut {
 		// Not expired: either a stale timer, or the synchronized clock
 		// was stepped backwards by a correction after the timer was
 		// armed. Re-arm for the still-pending deadline.
-		if _, deadline, active := m.fd.Expected(); active {
-			m.env.SetTimer(TimerExpect, deadline.Add(1))
+		if _, pending, active := m.fd.Expected(); active {
+			m.env.SetTimer(TimerExpect, pending.Add(1))
 		}
 		return
 	}
 	if m.cfg.Hooks.Suspicion != nil {
-		_, deadline, _ := m.fd.Expected()
 		m.cfg.Hooks.Suspicion(suspect, deadline, now)
 	}
 	m.fd.ClearExpectation()

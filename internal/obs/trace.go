@@ -38,6 +38,9 @@ const (
 	EvSnapshot
 	// EvQueueDrop marks an event rejected by the engine's full queue.
 	EvQueueDrop
+	// EvExpectOverwrite: the failure detector replaced a still-armed
+	// expectation; A=previous expected sender, B=new expected sender.
+	EvExpectOverwrite
 )
 
 func (t EventType) String() string {
@@ -68,6 +71,8 @@ func (t EventType) String() string {
 		return "snapshot"
 	case EvQueueDrop:
 		return "queue-drop"
+	case EvExpectOverwrite:
+		return "expect-overwrite"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

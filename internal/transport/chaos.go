@@ -17,7 +17,10 @@
 // sender's own NIC — every receiver misses (or late-receives) the same
 // datagram — which composes with the receive stage to make asymmetric
 // one-way degradation expressible: degrade A's sends and A's peers stop
-// hearing A while A still hears everyone.
+// hearing A while A still hears everyone. A token-bucket bandwidth
+// shaper (SetRate) sits in front of the sender stage, turning sustained
+// overload into steadily growing queueing delay — the slow-but-healthy
+// link profile the adaptive failure detector is calibrated against.
 package transport
 
 import (
@@ -126,6 +129,10 @@ type ChaosStats struct {
 	SendDuplicated uint64
 	SendCorrupted  uint64
 	SendReordered  uint64
+
+	// Bandwidth-shaping stage counters (SetRate).
+	Shaped     uint64        // datagrams held back by an empty token bucket
+	ShapeDelay time.Duration // cumulative queueing delay the shaper added
 }
 
 // ChaosNet is the controller shared by all Chaos wrappers in one
@@ -136,10 +143,24 @@ type ChaosNet struct {
 	mu         sync.Mutex
 	rng        *rand.Rand
 	faults     Faults
-	sendFaults map[model.ProcessID]Faults  // per-sender outbound stage
-	blocked    map[[2]model.ProcessID]bool // [from, to]: to must not hear from
+	sendFaults map[model.ProcessID]Faults     // per-sender outbound stage
+	rates      map[model.ProcessID]*rateLimit // per-sender token buckets
+	blocked    map[[2]model.ProcessID]bool    // [from, to]: to must not hear from
 	stats      ChaosStats
 	stopped    bool
+}
+
+// rateLimit is one sender's token bucket. tokens is in bytes and may go
+// negative: the deficit is the virtual queue behind the bottleneck, and
+// deficit/rate is exactly the queueing delay the next datagram sees —
+// sustained overload therefore produces steadily growing delays rather
+// than a fixed per-frame hold, which is what a real saturated uplink
+// does to a timeliness estimator.
+type rateLimit struct {
+	bytesPerSec float64
+	burst       float64
+	tokens      float64
+	last        time.Time
 }
 
 // NewChaosNet creates a controller with a deterministic seed and an
@@ -150,8 +171,61 @@ func NewChaosNet(seed int64, faults Faults) *ChaosNet {
 		rng:        rand.New(rand.NewSource(seed)),
 		faults:     faults,
 		sendFaults: make(map[model.ProcessID]Faults),
+		rates:      make(map[model.ProcessID]*rateLimit),
 		blocked:    make(map[[2]model.ProcessID]bool),
 	}
+}
+
+// SetRate installs a token-bucket bandwidth limit on from's outbound
+// datagrams: sustained throughput is capped at bytesPerSec with up to
+// burst bytes passing unshaped (burst <= 0 defaults to one second's
+// worth). The bucket runs before the per-sender fault mix, so the
+// shaper's queueing delay composes with SetSendFaults drop/delay/
+// reorder and with the receive-side mix. bytesPerSec <= 0 removes the
+// limit.
+func (c *ChaosNet) SetRate(from model.ProcessID, bytesPerSec, burst int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytesPerSec <= 0 {
+		delete(c.rates, from)
+		return
+	}
+	if burst <= 0 {
+		burst = bytesPerSec
+	}
+	c.rates[from] = &rateLimit{
+		bytesPerSec: float64(bytesPerSec),
+		burst:       float64(burst),
+		tokens:      float64(burst),
+	}
+}
+
+// shapeDelay charges one outbound datagram of n bytes against from's
+// token bucket and returns how long the sender's link holds it (0 when
+// no limit is installed or the bucket covers it).
+func (c *ChaosNet) shapeDelay(from model.ProcessID, n int) time.Duration {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.rates[from]
+	if !ok {
+		return 0
+	}
+	if !r.last.IsZero() {
+		r.tokens += now.Sub(r.last).Seconds() * r.bytesPerSec
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+	}
+	r.last = now
+	r.tokens -= float64(n)
+	if r.tokens >= 0 {
+		return 0
+	}
+	d := time.Duration(-r.tokens / r.bytesPerSec * float64(time.Second))
+	c.stats.Shaped++
+	c.stats.ShapeDelay += d
+	return d
 }
 
 // SetFaults replaces the random per-link fault mix.
@@ -289,23 +363,43 @@ type Chaos struct {
 // Self implements Transport.
 func (t *Chaos) Self() model.ProcessID { return t.inner.Self() }
 
-// Broadcast implements Transport. Sender-side faults (if installed for
-// this node) apply once, pre-fan-out; a faulted send's error is
-// swallowed — from the protocol's viewpoint it is an omission failure,
-// which is in-model.
-func (t *Chaos) Broadcast(data []byte) error {
-	if t.net.onSend(t.inner.Self(), data, func(b []byte) { t.inner.Broadcast(b) }) { //nolint:errcheck
+// SetRate caps this node's sustained outbound throughput at bytesPerSec
+// with up to burst bytes of slack — see ChaosNet.SetRate.
+func (t *Chaos) SetRate(bytesPerSec, burst int64) {
+	t.net.SetRate(t.inner.Self(), bytesPerSec, burst)
+}
+
+// sendVia runs the outbound stages in order — token-bucket shaping,
+// then the per-sender fault mix — and finally forwards the datagram. A
+// shaped or faulted send's error is swallowed: from the protocol's
+// viewpoint a lost datagram is an omission failure, which is in-model.
+func (t *Chaos) sendVia(data []byte, forward func([]byte) error) error {
+	self := t.inner.Self()
+	if d := t.net.shapeDelay(self, len(data)); d > 0 {
+		cp := append([]byte(nil), data...)
+		time.AfterFunc(d, func() {
+			if !t.net.onSend(self, cp, func(b []byte) { forward(b) }) { //nolint:errcheck
+				forward(cp) //nolint:errcheck
+			}
+		})
 		return nil
 	}
-	return t.inner.Broadcast(data)
+	if t.net.onSend(self, data, func(b []byte) { forward(b) }) { //nolint:errcheck
+		return nil
+	}
+	return forward(data)
+}
+
+// Broadcast implements Transport. Sender-side stages (bandwidth shaping
+// and the fault mix, if installed for this node) apply once,
+// pre-fan-out.
+func (t *Chaos) Broadcast(data []byte) error {
+	return t.sendVia(data, t.inner.Broadcast)
 }
 
 // Unicast implements Transport.
 func (t *Chaos) Unicast(to model.ProcessID, data []byte) error {
-	if t.net.onSend(t.inner.Self(), data, func(b []byte) { t.inner.Unicast(to, b) }) { //nolint:errcheck
-		return nil
-	}
-	return t.inner.Unicast(to, data)
+	return t.sendVia(data, func(b []byte) error { return t.inner.Unicast(to, b) })
 }
 
 // SetReceiver implements Transport.

@@ -220,6 +220,70 @@ func TestChaosSendFaultsDelayAndDuplicate(t *testing.T) {
 	}
 }
 
+// The token bucket lets the burst through unshaped, then turns
+// sustained overload into growing queueing delay — and composes with
+// the sender-side fault stage (the shaped datagram still rolls the
+// send-fault dice after its hold).
+func TestChaosSetRateShapesSustainedOverload(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	a, _, _, sb := chaosPair(t, net)
+	f := frame(0)
+	// Burst covers exactly two frames; rate drains one frame per ~20ms.
+	rate := int64(len(f)) * 50
+	net.SetRate(0, rate, int64(2*len(f)))
+
+	start := time.Now()
+	for i := 0; i < 6; i++ {
+		if err := a.Unicast(1, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, sb, 6)
+	// Frames 3..6 overdraw the bucket by 1..4 frames: the last one waits
+	// ~4 frame-times = 80ms.
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("6 frames through a 2-frame bucket arrived in %v, shaping not applied", el)
+	}
+	s := net.Stats()
+	if s.Shaped < 4 || s.ShapeDelay == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// Removing the limit restores immediate delivery.
+	net.SetRate(0, 0, 0)
+	start = time.Now()
+	if err := a.Unicast(1, f); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sb, 7)
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("unshaped frame took %v after SetRate(0)", el)
+	}
+}
+
+// Shaping composes with a sender-side drop mix: held datagrams still
+// roll the send-fault dice after the bucket delay, so Drop=1 eats them.
+func TestChaosSetRateComposesWithSendFaults(t *testing.T) {
+	net := NewChaosNet(1, Faults{})
+	a, _, _, sb := chaosPair(t, net)
+	f := frame(0)
+	net.SetRate(0, int64(len(f))*100, int64(len(f)))
+	net.SetSendFaults(0, Faults{Drop: 1})
+
+	for i := 0; i < 5; i++ {
+		if err := a.Unicast(1, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(80 * time.Millisecond)
+	if got := sb.count(); got != 0 {
+		t.Fatalf("%d shaped frames escaped Drop=1", got)
+	}
+	if s := net.Stats(); s.SendDropped != 5 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
 func TestChaosUndecodableFramePassesThrough(t *testing.T) {
 	net := NewChaosNet(1, Faults{Drop: 1}) // even Drop=1 must not eat it
 	a, _, _, sb := chaosPair(t, net)

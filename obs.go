@@ -286,6 +286,47 @@ func newNodeObs(n *Node) *nodeObs {
 	return o
 }
 
+// registerAdaptive wires the adaptive-timeout instruments. The
+// expect-overwrite counter is always registered (the fdetect bug it
+// surfaces predates adaptation); the adapt_* series only exist when
+// Adaptive is enabled. Gauges are exported in microseconds (suffix _us)
+// because GaugeFunc carries no unit scaling; the histogram families
+// remain the *_seconds source of truth for distributions.
+func (o *nodeObs) registerAdaptive(n *Node) {
+	r := o.reg
+	r.CounterFunc("timewheel_fd_expect_overwrites_total",
+		"armed failure-detector expectations replaced before firing", nil,
+		func() uint64 { return n.machine.Detector().ExpectOverwrites() })
+	if n.adaptDelay == nil {
+		return
+	}
+	r.CounterFunc("timewheel_adapt_widened_total",
+		"per-peer suspicion grants widened by the delay estimator", nil,
+		func() uint64 { return n.machine.Detector().AdaptStats().Widened })
+	r.CounterFunc("timewheel_adapt_shrunk_total",
+		"per-peer suspicion grants shrunk past the hysteresis threshold", nil,
+		func() uint64 { return n.machine.Detector().AdaptStats().Shrunk })
+	r.CounterFunc("timewheel_adapt_flap_boosts_total",
+		"suspicion-triggered grant boosts to the ceiling (flap suppression)", nil,
+		func() uint64 { return n.machine.Detector().AdaptStats().FlapBoosts })
+	r.GaugeFunc("timewheel_adapt_noise_handler_us",
+		"EWMA of observed handler runtime feeding the adaptive guard budget (microseconds)", nil,
+		func() int64 { return n.adaptNoise.HandlerEstimate().Microseconds() })
+	r.GaugeFunc("timewheel_adapt_noise_lateness_us",
+		"EWMA of observed scheduling lateness feeding the adaptive guard budget (microseconds)", nil,
+		func() int64 { return n.adaptNoise.LatenessEstimate().Microseconds() })
+	for p := 0; p < n.cfg.ClusterSize; p++ {
+		if p == n.cfg.ID {
+			continue
+		}
+		peer := model.ProcessID(p)
+		r.GaugeFunc("timewheel_adapt_peer_deadline_us",
+			"current adaptive expectation-deadline span granted to the peer (microseconds; 0 before first grant)",
+			obs.L("peer", itoa(p)),
+			func() int64 { return int64(n.machine.Detector().DeadlineSpan(peer)) })
+	}
+}
+
 // itoa avoids strconv in the hot-path file's imports for one call site.
 func itoa(v int) string {
 	if v == 0 {

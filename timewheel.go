@@ -33,8 +33,10 @@ import (
 	"sync"
 	"time"
 
+	"timewheel/internal/adapt"
 	"timewheel/internal/broadcast"
 	"timewheel/internal/durable"
+	"timewheel/internal/fdetect"
 	"timewheel/internal/engine"
 	"timewheel/internal/guard"
 	"timewheel/internal/member"
@@ -173,6 +175,71 @@ type Config struct {
 	// Guard configures the fail-aware timeliness guard (disabled when
 	// zero). See GuardConfig and docs/ROBUSTNESS.md.
 	Guard GuardConfig
+	// Adaptive configures adaptive fail-aware timeouts (disabled when
+	// zero — wire behavior is then identical to a build without the
+	// feature). See AdaptiveConfig and docs/ROBUSTNESS.md.
+	Adaptive AdaptiveConfig
+}
+
+// AdaptiveConfig turns on per-peer timeliness estimation: the failure
+// detector's suspicion deadlines follow each link's observed delay
+// distribution (clamped between the paper's 2D bound and
+// CeilFactor×2D, with hysteresis and flap suppression), and — when the
+// guard is enabled — its handler/timer budgets track the host's
+// observed scheduling noise instead of static constants. Static
+// GuardConfig budgets set explicitly remain explicit overrides. See
+// docs/ROBUSTNESS.md ("Adaptive timeouts").
+type AdaptiveConfig struct {
+	// Enabled turns adaptation on; the remaining fields are ignored
+	// when false and default when zero.
+	Enabled bool
+	// Window is the sample window per estimator (default 128).
+	Window int
+	// Quantile in (0,1] is the order statistic the bounds derive from
+	// (default 0.99).
+	Quantile float64
+	// Margin multiplies the quantile into a safety bound (default 1.5).
+	Margin float64
+	// CeilFactor bounds a peer's adaptive suspicion deadline at
+	// CeilFactor×2D (default 4) — adaptation stretches deadlines for
+	// slow links but crash detection latency stays bounded.
+	CeilFactor float64
+	// BudgetFloor/BudgetCeil clamp the adaptive guard budgets
+	// (defaults 5ms and 2s). The ceiling is also what keeps a
+	// chronically degrading host from teaching the guard that its
+	// degradation is normal.
+	BudgetFloor time.Duration
+	BudgetCeil  time.Duration
+}
+
+// AdaptiveStats snapshots the adaptive-timeout estimators. Collected
+// from atomics and mutex-protected samplers without touching the event
+// loop, so it stays readable during a stall.
+type AdaptiveStats struct {
+	// Enabled mirrors Config.Adaptive.Enabled.
+	Enabled bool
+	// Widened/Shrunk count per-peer deadline-grant moves; FlapBoosts
+	// counts post-suspicion flap-suppression pins.
+	Widened    uint64
+	Shrunk     uint64
+	FlapBoosts uint64
+	// ExpectOverwrites counts failure-detector expectations replaced
+	// while still armed (tracked even with adaptation off).
+	ExpectOverwrites uint64
+	// HandlerBudget/TimerLateBudget are the guard budgets currently in
+	// force (adaptive when a source drives them); the Static* fields
+	// are what the static configuration would have used.
+	HandlerBudget         time.Duration
+	TimerLateBudget       time.Duration
+	StaticHandlerBudget   time.Duration
+	StaticTimerLateBudget time.Duration
+	// NoiseHandler/NoiseLateness are the smoothed (EWMA) scheduling-
+	// noise estimates.
+	NoiseHandler  time.Duration
+	NoiseLateness time.Duration
+	// PeerDeadlineSpans maps peer ID to its current adaptive deadline
+	// grant (the span added to "now" when arming surveillance on it).
+	PeerDeadlineSpans map[int]time.Duration
 }
 
 // GuardConfig configures the node's local performance-failure detector
@@ -245,6 +312,15 @@ type Node struct {
 	tr      Transport
 	guard   *guard.Guard // nil when Config.Guard.Enabled is false
 	obs     *nodeObs     // live metrics registry + trace taps (always set)
+
+	// Adaptive-timeout estimators (nil when Config.Adaptive.Enabled is
+	// false). adaptDelay feeds the failure detector per-peer delay
+	// bounds; adaptNoise feeds the guard its budgets and is sampled
+	// from handle(). adaptCeil caps the noise samples accepted when no
+	// guard supplies an effective budget.
+	adaptDelay *adapt.DelayEstimator
+	adaptNoise *adapt.NoiseEstimator
+	adaptCeil  time.Duration
 
 	// store is the durable store (nil without Config.DataDir);
 	// sinceSnap counts logged deliveries since the last snapshot. Both
@@ -512,17 +588,43 @@ func NewNode(cfg Config) (*Node, error) {
 	if rec != nil {
 		n.seedRecovery(rec)
 	}
+	// Expectation-overwrite accounting is observability, not adaptation:
+	// wired whether or not Adaptive is on.
+	n.machine.Detector().OnExpectOverwrite(func(old, next model.ProcessID) {
+		n.obs.emit(obs.EvExpectOverwrite, int64(old), int64(next))
+	})
+	if cfg.Adaptive.Enabled {
+		acfg := adapt.Config{
+			Window:   cfg.Adaptive.Window,
+			Quantile: cfg.Adaptive.Quantile,
+			Margin:   cfg.Adaptive.Margin,
+		}
+		n.adaptDelay = adapt.NewDelayEstimator(acfg)
+		n.adaptNoise = adapt.NewNoiseEstimator(acfg, cfg.Adaptive.BudgetFloor, cfg.Adaptive.BudgetCeil)
+		if n.adaptCeil = cfg.Adaptive.BudgetCeil; n.adaptCeil <= 0 {
+			n.adaptCeil = 2 * time.Second
+		}
+		n.machine.Detector().EnableAdaptive(
+			adaptDelayAdapter{n.adaptDelay},
+			fdetect.AdaptiveConfig{CeilFactor: cfg.Adaptive.CeilFactor},
+		)
+	}
 	if cfg.Guard.Enabled {
-		n.guard = guard.New(guard.Config{
+		gcfg := guard.Config{
 			HandlerBudget:   cfg.Guard.HandlerBudget,
 			TimerLateBudget: cfg.Guard.TimerLateBudget,
 			ClockJumpMax:    cfg.Guard.ClockJumpMax,
 			TripCount:       cfg.Guard.TripCount,
 			TripWindow:      cfg.Guard.TripWindow,
 			Enforce:         cfg.Guard.Enforce,
-		})
+		}
+		if n.adaptNoise != nil {
+			gcfg.Budgets = n.adaptNoise
+		}
+		n.guard = guard.New(gcfg)
 		n.guard.OnTrip(func() { n.obs.emit(obs.EvGuardTrip, 0, 0) })
 	}
+	n.obs.registerAdaptive(n)
 
 	switch cfg.Engine {
 	case "", "loop":
@@ -660,6 +762,42 @@ func (n *Node) handle(ev engine.Event) {
 			n.selfExclude()
 		}
 	}
+	n.sampleNoise(ev, start, end)
+}
+
+// sampleNoise feeds the scheduling-noise estimator from the event just
+// handled: timer lateness and queue wait into the lateness sampler,
+// handler duration into the handler sampler. Samples beyond the budget
+// currently in force are excluded — a genuine stall must trip the
+// guard, not teach the estimator that stalls are normal (chronic
+// degradation is instead bounded by the estimator's ceiling).
+func (n *Node) sampleNoise(ev engine.Event, start, end time.Time) {
+	ne := n.adaptNoise
+	if ne == nil {
+		return
+	}
+	handlerLimit, latenessLimit := n.adaptCeil, n.adaptCeil
+	if n.guard != nil {
+		handlerLimit, latenessLimit = n.guard.EffectiveBudgets()
+	}
+	if !ev.Due.IsZero() {
+		late := start.Sub(ev.Due)
+		if late < 0 {
+			late = 0
+		}
+		if late <= latenessLimit {
+			ne.ObserveLateness(late)
+		}
+	} else if !ev.Posted.IsZero() {
+		// Non-timer events have no deadline; their queue wait is the
+		// congestion half of the same scheduling-noise signal.
+		if wait := start.Sub(ev.Posted); wait >= 0 && wait <= latenessLimit {
+			ne.ObserveLateness(wait)
+		}
+	}
+	if dur := end.Sub(start); dur <= handlerLimit {
+		ne.ObserveHandler(dur)
+	}
 }
 
 func (n *Node) dispatch(ev engine.Event) {
@@ -693,6 +831,9 @@ func (n *Node) selfExclude() {
 // post hands an event to the engine; false means it was dropped (node
 // stopped, or queue full — the latter counted in GuardStats.QueueDrops).
 func (n *Node) post(ev engine.Event) bool {
+	if n.adaptNoise != nil && ev.Posted.IsZero() {
+		ev.Posted = time.Now() // queue-wait sampling (adaptive mode only)
+	}
 	n.mu.Lock()
 	stopped := n.stopped
 	n.mu.Unlock()
@@ -913,6 +1054,53 @@ func (n *Node) GuardStats() GuardStats {
 	return s
 }
 
+// adaptDelayAdapter lifts adapt.DelayEstimator (time.Duration, int
+// peers) to fdetect.DelayEstimator (model units, ProcessID peers).
+type adaptDelayAdapter struct{ est *adapt.DelayEstimator }
+
+func (a adaptDelayAdapter) Observe(peer model.ProcessID, d model.Duration) {
+	a.est.Observe(int(peer), d.Std())
+}
+
+func (a adaptDelayAdapter) Bound(peer model.ProcessID) (model.Duration, bool) {
+	b, ok := a.est.Bound(int(peer))
+	return model.FromStd(b), ok
+}
+
+// AdaptiveStats snapshots the adaptive-timeout layer. Like GuardStats
+// it reads atomics and samplers directly — no event-loop round-trip —
+// so it stays available mid-stall. With Adaptive disabled only the
+// ExpectOverwrites counter is live.
+func (n *Node) AdaptiveStats() AdaptiveStats {
+	det := n.machine.Detector()
+	as := det.AdaptStats()
+	s := AdaptiveStats{
+		Enabled:          n.cfg.Adaptive.Enabled,
+		Widened:          as.Widened,
+		Shrunk:           as.Shrunk,
+		FlapBoosts:       as.FlapBoosts,
+		ExpectOverwrites: as.ExpectOverwrites,
+	}
+	if n.guard != nil {
+		s.HandlerBudget, s.TimerLateBudget = n.guard.EffectiveBudgets()
+		gc := n.guard.Config()
+		s.StaticHandlerBudget, s.StaticTimerLateBudget = gc.HandlerBudget, gc.TimerLateBudget
+	}
+	if n.adaptNoise != nil {
+		s.NoiseHandler = n.adaptNoise.HandlerEstimate()
+		s.NoiseLateness = n.adaptNoise.LatenessEstimate()
+	}
+	if n.adaptDelay != nil {
+		s.PeerDeadlineSpans = make(map[int]time.Duration)
+		for _, p := range n.adaptDelay.Peers() {
+			if span := det.DeadlineSpan(model.ProcessID(p)); span > 0 {
+				s.PeerDeadlineSpans[p] = span.Std()
+			}
+		}
+	}
+	return s
+}
+
 // InjectStall occupies the node's event goroutine for d — a synthetic
 // scheduling stall (the live analogue of a GC pause or a preempted
 // process) for tests and chaos runs. It returns immediately; the stall
@@ -1126,6 +1314,10 @@ type ChaosStats struct {
 	// before a broadcast fans out.
 	SendDropped   uint64
 	SendDelivered uint64
+
+	// Bandwidth-shaping stage (SetRate).
+	Shaped     uint64        // datagrams held back by an empty token bucket
+	ShapeDelay time.Duration // cumulative queueing delay the shaper added
 }
 
 // Stats snapshots the cluster-wide fault counters.
@@ -1135,7 +1327,18 @@ func (c *ChaosNet) Stats() ChaosStats {
 		Delivered: s.Delivered, Dropped: s.Dropped, Blocked: s.Blocked,
 		Duplicated: s.Duplicated, Corrupted: s.Corrupted, Reordered: s.Reordered,
 		SendDropped: s.SendDropped, SendDelivered: s.SendDelivered,
+		Shaped: s.Shaped, ShapeDelay: s.ShapeDelay,
 	}
+}
+
+// SetRate caps node id's sustained outbound throughput at bytesPerSec
+// with up to burst bytes of slack (burst <= 0 defaults to one second's
+// worth); bytesPerSec <= 0 removes the limit. The token bucket's
+// queueing delay composes with the sender-side fault mix and the
+// receive-side faults, so a rate-limited jittery link — slow but
+// healthy — is expressible for the adaptive-timeout soaks.
+func (c *ChaosNet) SetRate(id int, bytesPerSec, burst int64) {
+	c.net.SetRate(model.ProcessID(id), bytesPerSec, burst)
 }
 
 // SetSendFaults installs a sender-side fault mix for node id's outgoing
