@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race bench fuzz vet fmt experiments fsm examples clean
+.PHONY: all test race bench benchplot fuzz vet fmt experiments fsm examples clean
 
 all: vet test
 
@@ -12,6 +12,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+benchplot:
+	$(GO) run ./scripts -dir . -out bench_trajectory.svg
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire

@@ -18,7 +18,10 @@ import (
 
 	"timewheel"
 	"timewheel/internal/engine"
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
 	"timewheel/internal/obs"
+	"timewheel/internal/wire"
 )
 
 // benchResult is one micro-benchmark measurement, the stable unit the
@@ -91,6 +94,9 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 		{"ObsEmitRingEnabled", benchObsEmitRingEnabled},
 		{"HistogramObserve", benchHistogramObserve},
 		{"CounterInc", benchCounterInc},
+		{"WireEncodeDecision", benchWireEncodeDecision},
+		{"WireDecodeDecision", benchWireDecodeDecision},
+		{"WireRoundTripDelta", benchWireRoundTripDelta},
 	}
 	for _, m := range micro {
 		r := testing.Benchmark(m.fn)
@@ -258,6 +264,78 @@ func benchCounterInc(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+// --- Wire hot path ------------------------------------------------------------
+//
+// The pooled codec's acceptance criterion is 0 allocs/op at steady
+// state; the baseline comparison's zero-alloc gate turns any new
+// allocation here into a CI failure.
+
+// benchDecision builds the heaviest steady-state frame: a decision with
+// a 32-entry unstable-oal window. delta=true instead builds what wire v5
+// rotation actually ships — four changed entries against that baseline.
+func benchDecision(delta bool) *wire.Decision {
+	entries, ordBase, seqBase := 32, 0, 0
+	if delta {
+		entries, ordBase, seqBase = 4, 40, 1000
+	}
+	l := oal.NewList()
+	for i := 0; i < entries; i++ {
+		id := oal.ProposalID{Proposer: model.ProcessID(i % 5), Seq: uint64(seqBase + i)}
+		l.AppendUpdate(id, oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+			model.Time(1000+i), oal.Ordinal(ordBase+i), oal.AckSet(0b10111))
+	}
+	dec := &wire.Decision{
+		Header:  wire.Header{From: 2, SendTS: 5_000_000},
+		Group:   model.NewGroup(7, []model.ProcessID{0, 1, 2, 3, 4}),
+		OAL:     *l,
+		Alive:   []model.ProcessID{0, 1, 2, 3, 4},
+		Lineage: 7,
+	}
+	if delta {
+		dec.BaseTS = 4_000_000
+		dec.TruncBelow = 3
+	}
+	return dec
+}
+
+func benchWireEncodeDecision(b *testing.B) {
+	dec := benchDecision(false)
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.EncodeTo(buf, dec)
+	}
+}
+
+func benchWireDecodeDecision(b *testing.B) {
+	frame := wire.Encode(benchDecision(false))
+	var dc wire.Decoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dc.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireRoundTripDelta(b *testing.B) {
+	dec := benchDecision(true)
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	var dc wire.Decoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := wire.EncodeTo(buf, dec)
+		if _, err := dc.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

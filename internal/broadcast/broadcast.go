@@ -92,6 +92,12 @@ type Config struct {
 	// whether the log reaches back that far. Unset (volatile process),
 	// every state transfer is a full one.
 	ReplaySince func(since oal.Ordinal) ([]wire.ReplayEntry, bool)
+	// FullOALEvery bounds the delta-decision chain: every n-th decision
+	// carries the full oal even when a delta applies, so a member with
+	// a lost baseline catches up without a round trip. Zero means the
+	// default (8); negative disables delta encoding entirely — every
+	// decision and no-decision ships the full oal.
+	FullOALEvery int
 }
 
 // Stats counts broadcast-layer activity.
@@ -105,6 +111,11 @@ type Stats struct {
 	StateFulls    uint64 // full state transfers built for joiners
 	StateDeltas   uint64 // delta (replay) state transfers built
 	ReplayApplied uint64 // deliveries applied here from a rejoin delta
+
+	DecisionsFull  uint64 // decisions built carrying the full oal
+	DecisionsDelta uint64 // decisions built delta-encoded
+	DeltaMisses    uint64 // received deltas whose baseline didn't match
+	OALFullServed  uint64 // OALFull baseline replies served
 }
 
 // Broadcast is one member's broadcast-protocol state. Not safe for
@@ -120,6 +131,19 @@ type Broadcast struct {
 	// freshest decision seen plus locally updated ack bits.
 	view      *oal.List
 	lastDecTS model.Time
+
+	// baseRing retains the pristine oals of the freshest few decisions
+	// built or adopted here, oldest first — the cluster-shared baselines
+	// delta-encoded decisions and no-decision views are keyed against
+	// (see delta.go). Empty when no baseline is held (fresh start,
+	// lineage change).
+	baseRing []pristineView
+	// fullEvery caps consecutive delta decisions (negative: deltas off);
+	// sinceFull counts deltas since the last full decision; forceFull
+	// makes the next decision ship the full oal regardless.
+	fullEvery int
+	sinceFull int
+	forceFull bool
 
 	// pb is the proposal buffer: bodies received, keyed by ID.
 	pb map[oal.ProposalID]*wire.Proposal
@@ -204,10 +228,15 @@ func New(self model.ProcessID, params model.Params, cfg Config) *Broadcast {
 	if cfg.Install == nil {
 		cfg.Install = func([]byte) {}
 	}
+	fullEvery := cfg.FullOALEvery
+	if fullEvery == 0 {
+		fullEvery = defaultFullOALEvery
+	}
 	return &Broadcast{
 		self:          self,
 		params:        params,
 		cfg:           cfg,
+		fullEvery:     fullEvery,
 		view:          oal.NewList(),
 		pb:            make(map[oal.ProposalID]*wire.Proposal),
 		delivered:     make(map[oal.ProposalID]bool),
@@ -444,6 +473,15 @@ func (b *Broadcast) SuppressSender(q model.ProcessID, now model.Time) {
 // updates whose bodies this process is missing and should request via a
 // nack (rate-limited to one request per proposal per D).
 func (b *Broadcast) AdoptDecision(now model.Time, dec *wire.Decision) (adopted bool, missing []oal.ProposalID) {
+	if dec.BaseTS != 0 {
+		// Delta-encoded: reconstruct the full oal in place first. The
+		// member layer normally does this itself (to turn a baseline
+		// miss into an OALReq); a still-partial decision must never
+		// reach the adoption body below.
+		if !b.ResolveDecisionDelta(dec) || dec.BaseTS != 0 {
+			return false, nil
+		}
+	}
 	if dec.SendTS <= b.lastDecTS {
 		return false, nil
 	}
@@ -462,6 +500,7 @@ func (b *Broadcast) AdoptDecision(now model.Time, dec *wire.Decision) (adopted b
 		b.deliverTruncated(now, &dec.OAL)
 	}
 	b.lastDecTS = dec.SendTS
+	b.pushBaseline(dec.SendTS, dec.OAL.Clone()) // pristine, pre-ack-refresh
 	b.view = dec.OAL.Clone()
 	b.refreshOwnAcks()
 	b.syncOrderedSeq()

@@ -30,13 +30,26 @@ func (b *Broadcast) BuildDecision(now model.Time, group model.Group, alive []mod
 	}
 	b.lastDecTS = now
 	b.syncSettledTimeTS()
+	full := b.view.Clone()
 	dec := &wire.Decision{
 		Header:  wire.Header{From: b.self, SendTS: now},
 		Group:   group.Clone(),
-		OAL:     *b.view.Clone(),
+		OAL:     *full,
 		Alive:   slices.Clone(alive),
 		Lineage: b.lineage,
 	}
+	if b.encodeDelta(dec, full) {
+		b.sinceFull++
+		b.stats.DecisionsDelta++
+	} else {
+		// Shipping full: give dec its own copy so the retained baseline
+		// stays pristine whatever the caller does with the message.
+		dec.OAL = *full.Clone()
+		b.sinceFull = 0
+		b.forceFull = false
+		b.stats.DecisionsFull++
+	}
+	b.pushBaseline(now, full)
 	b.tryDeliver(now)
 	return dec, missing
 }
@@ -227,6 +240,10 @@ func (b *Broadcast) AnnounceGroup(now model.Time, g model.Group) {
 		d.StableTS = now
 	}
 	b.group = g.Clone()
+	// Membership changes ride in a full decision: joiners have no
+	// baseline yet, and the formation-decision shape (a single
+	// membership descriptor) is recognised on the wire.
+	b.forceFull = true
 }
 
 // Report is one peer's log view received during an election, from its

@@ -1,0 +1,228 @@
+package broadcast
+
+import (
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// Delta-encoded decisions (wire v5). Steady state, consecutive decisions
+// share almost all of their oal: most descriptors are unchanged, a few
+// gain ack bits, a few are appended, a stable prefix is truncated. The
+// decider therefore ships only the entries that changed, against a
+// baseline the receivers already hold:
+//
+//   - every process retains a short ring of *pristine* oals — the exact
+//     wire content of the freshest decisions it built or adopted,
+//     captured before local ack refreshes diverge b.view from them.
+//     The decision at any timestamp is one broadcast message, so every
+//     member's pristine copy of it is identical.
+//   - a delta decision carries BaseTS (the ring's oldest timestamp at
+//     the sender — a few decisions back, not the latest), TruncBelow
+//     (the first ordinal the full oal retains; truncation is conveyed
+//     by the bound, not by shipping the survivors), the entries that
+//     changed since BaseTS, and the full list's Next (so freshness
+//     guards work unreconstructed).
+//   - descriptors evolve monotonically (ack bits, stability stamps and
+//     undeliverable marks are only ever added), so "changed since
+//     BaseTS" covers every change since *any* later decision too. A
+//     receiver therefore overlays the delta onto its own newest
+//     pristine baseline whenever that baseline is at least as new as
+//     BaseTS — it may have missed up to deltaWindow-1 consecutive
+//     decisions and still apply the next one.
+//   - a receiver that fell further behind requests a baseline with an
+//     OALReq; the server answers with its newest pristine oal in an
+//     OALFull and, as a backstop, ships its next decision full.
+//
+// Elections and membership changes force the next decision full, and
+// every fullEvery-th decision is full regardless, bounding how long a
+// lost baseline can stall a member.
+
+const defaultFullOALEvery = 8
+
+// deltaWindow is how many pristine decision oals each process retains,
+// and thus how far back a delta may reach: a receiver that missed up to
+// deltaWindow-1 consecutive decisions still applies the next delta.
+const deltaWindow = 3
+
+// pristineView is one retained decision oal, exactly as it went over
+// the wire.
+type pristineView struct {
+	ts   model.Time
+	view *oal.List
+}
+
+// deltaEligible reports whether the next outgoing decision/no-decision
+// may be delta-encoded against the retained baselines.
+func (b *Broadcast) deltaEligible() bool {
+	return b.fullEvery >= 0 && !b.forceFull && len(b.baseRing) > 0
+}
+
+// ForceFullOAL makes this process's next decision carry the full oal.
+// The member layer calls it when an OALReq arrives: some peer lost the
+// baseline, and one full decision re-seeds everyone at once.
+func (b *Broadcast) ForceFullOAL() { b.forceFull = true }
+
+// pushBaseline retains full (a pristine clone the caller hands over —
+// it must not be mutated afterwards) as the newest baseline at ts.
+func (b *Broadcast) pushBaseline(ts model.Time, full *oal.List) {
+	b.baseRing = append(b.baseRing, pristineView{ts: ts, view: full})
+	if len(b.baseRing) > deltaWindow {
+		copy(b.baseRing, b.baseRing[1:])
+		b.baseRing = b.baseRing[:deltaWindow]
+	}
+}
+
+// clearBaselines drops every retained baseline; the next decision ships
+// full.
+func (b *Broadcast) clearBaselines() { b.baseRing = nil }
+
+// newestBaseline returns the freshest retained pristine oal, or nil.
+func (b *Broadcast) newestBaseline() *pristineView {
+	if len(b.baseRing) == 0 {
+		return nil
+	}
+	return &b.baseRing[len(b.baseRing)-1]
+}
+
+// encodeDelta rewrites dec (currently carrying the full oal in full)
+// into delta form against the oldest retained baseline when eligible
+// and profitable. It returns whether dec is now a delta.
+func (b *Broadcast) encodeDelta(dec *wire.Decision, full *oal.List) bool {
+	if !b.deltaEligible() || b.sinceFull+1 >= b.fullEvery {
+		return false
+	}
+	base := &b.baseRing[0] // oldest: tolerates receivers a few decisions behind
+	delta, ok := oal.Diff(base.view, full)
+	if !ok || len(delta) >= len(full.Entries) {
+		// Unorderable baseline or no savings: a full oal is no larger
+		// and never needs a baseline round trip.
+		return false
+	}
+	dec.BaseTS = base.ts
+	dec.TruncBelow = oal.TruncationPoint(full)
+	dec.OAL = oal.List{Entries: delta, Next: full.Next}
+	return true
+}
+
+// resolveDelta overlays a delta list onto this process's newest
+// baseline, writing the reconstructed full list into out. It reports
+// whether the baseline qualifies (same lineage space implied by the
+// caller, and at least as new as the delta's BaseTS — monotone
+// descriptor evolution makes any such baseline valid).
+func (b *Broadcast) resolveDelta(baseTS model.Time, truncBelow oal.Ordinal, delta *oal.List) (out *oal.List, ok bool) {
+	base := b.newestBaseline()
+	if base == nil || baseTS > base.ts {
+		return nil, false
+	}
+	out = oal.NewList()
+	if !oal.ReconstructInto(out, base.view, truncBelow, delta) {
+		return nil, false
+	}
+	return out, true
+}
+
+// ResolveDecisionDelta reconstructs a delta-encoded decision's full oal
+// in place against this process's baselines. It returns true when dec
+// now carries a full oal — it already did, reconstruction succeeded, or
+// the decision is stale and AdoptDecision will drop it regardless — and
+// false when no baseline qualifies: the caller cannot use the decision
+// and should request a baseline via OALReq.
+func (b *Broadcast) ResolveDecisionDelta(dec *wire.Decision) bool {
+	if dec.BaseTS == 0 {
+		return true
+	}
+	if dec.SendTS <= b.lastDecTS {
+		return true // stale either way; don't demand a baseline for it
+	}
+	if dec.Lineage != b.lineage {
+		b.stats.DeltaMisses++
+		return false
+	}
+	full, ok := b.resolveDelta(dec.BaseTS, dec.TruncBelow, &dec.OAL)
+	if !ok {
+		b.stats.DeltaMisses++
+		return false
+	}
+	dec.OAL = *full
+	dec.BaseTS, dec.TruncBelow = 0, 0
+	return true
+}
+
+// ResolveNoDecisionDelta reconstructs a delta-encoded no-decision view
+// in place, under the same baseline contract as decisions. A false
+// return leaves nd untouched (BaseTS != 0 keeps marking it partial);
+// the caller may retry later — ResolveNoDecisionDelta is idempotent —
+// and must not treat nd.View as a full log until it succeeds.
+func (b *Broadcast) ResolveNoDecisionDelta(nd *wire.NoDecision) bool {
+	if nd.BaseTS == 0 {
+		return true
+	}
+	full, ok := b.resolveDelta(nd.BaseTS, nd.TruncBelow, &nd.View)
+	if !ok {
+		b.stats.DeltaMisses++
+		return false
+	}
+	nd.View = *full
+	nd.BaseTS, nd.TruncBelow = 0, 0
+	return true
+}
+
+// NoDecisionView returns this process's oal view for an outgoing
+// no-decision message: delta-encoded against the oldest retained
+// baseline when possible (no-decisions broadcast every slot during an
+// election, so the savings compound), full otherwise. The accompanying
+// BaseTS and TruncBelow go out in the same message.
+func (b *Broadcast) NoDecisionView() (view oal.List, baseTS model.Time, truncBelow oal.Ordinal) {
+	full := b.CurrentView()
+	if b.deltaEligible() {
+		base := &b.baseRing[0]
+		if delta, ok := oal.Diff(base.view, full); ok && len(delta) < len(full.Entries) {
+			return oal.List{Entries: delta, Next: full.Next}, base.ts, oal.TruncationPoint(full)
+		}
+	}
+	return *full, 0, 0
+}
+
+// ServeFullOAL builds the OALFull reply to an OALReq: the newest
+// pristine baseline, which is what deltas overlay onto cluster-wide.
+// Serving the (locally ack-refreshed) current view instead would hand
+// the requester a baseline nobody else diffs from. Returns nil when
+// this process holds no baseline to serve.
+func (b *Broadcast) ServeFullOAL(now model.Time) *wire.OALFull {
+	base := b.newestBaseline()
+	if base == nil {
+		return nil
+	}
+	b.stats.OALFullServed++
+	return &wire.OALFull{
+		Header:  wire.Header{From: b.self, SendTS: now},
+		Group:   b.group.Clone(),
+		Lineage: b.lineage,
+		DecTS:   base.ts,
+		OAL:     *base.view.Clone(),
+	}
+}
+
+// InstallFullOAL applies a served baseline. A baseline newer than
+// anything seen here doubles as a full decision (the content is exactly
+// the decision sent at DecTS) and goes through the normal adoption
+// path, returning the bodies to nack; a baseline matching the freshest
+// adopted decision just (re)installs the overlay base. Stale baselines
+// are ignored.
+func (b *Broadcast) InstallFullOAL(now model.Time, of *wire.OALFull) (adopted bool, missing []oal.ProposalID) {
+	if of.Lineage == b.lineage && of.DecTS == b.lastDecTS {
+		if b.newestBaseline() == nil {
+			b.pushBaseline(of.DecTS, of.OAL.Clone())
+			return true, nil
+		}
+		return false, nil
+	}
+	dec := wire.Decision{
+		Header:  wire.Header{From: of.From, SendTS: of.DecTS},
+		Group:   of.Group,
+		OAL:     of.OAL,
+		Lineage: of.Lineage,
+	}
+	return b.AdoptDecision(now, &dec)
+}

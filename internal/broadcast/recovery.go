@@ -154,6 +154,7 @@ func (b *Broadcast) adoptLineage(lin model.GroupSeq) {
 	}
 	prev := b.lineage
 	b.lineage = lin
+	b.clearBaselines() // baselines never cross ordinal spaces
 	if prev != 0 {
 		b.snapshotCovered = 0
 	}

@@ -157,6 +157,12 @@ func (d *Detector) Expect(sender model.ProcessID, after, deadline model.Time) {
 // ClearExpectation disarms the surveillance.
 func (d *Detector) ClearExpectation() { d.expActive = false }
 
+// ExpectedAfter returns the base timestamp of the active expectation —
+// the send time of the control message whose ring successor is being
+// watched. A suspicion raised before that message was sent is evidence
+// about an interval the message itself already covers.
+func (d *Detector) ExpectedAfter() model.Time { return d.expAfter }
+
 // Expected returns the currently expected sender and deadline; active is
 // false when surveillance is disarmed.
 func (d *Detector) Expected() (sender model.ProcessID, deadline model.Time, active bool) {

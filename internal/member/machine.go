@@ -216,6 +216,10 @@ type Machine struct {
 	// lastStateSent rate-limits join-time state transfers per joiner.
 	lastStateSent map[model.ProcessID]model.Time
 
+	// lastOALReq rate-limits full-oal baseline requests per target: one
+	// OALReq per sender per D, however many unresolvable deltas arrive.
+	lastOALReq map[model.ProcessID]model.Time
+
 	// needState records an outstanding join-time state transfer: the
 	// admitting decision (a broadcast) can overtake the decider's State
 	// unicast, and the unicast can be lost outright. While set, the
@@ -251,6 +255,7 @@ type Stats struct {
 	DecisionsSent     uint64
 	Admissions        uint64
 	SelfExclusions    uint64 // guard-triggered drops to the join state
+	OALReqsSent       uint64 // full-oal baseline requests sent
 }
 
 // New creates a machine for process self on top of bc.
@@ -275,6 +280,7 @@ func New(self model.ProcessID, params model.Params, cfg Config, env Env, bc *bro
 		lastReconfig:  make(map[model.ProcessID]reconfigInfo),
 		lastAlive:     make(map[model.ProcessID]model.ProcessSet),
 		lastStateSent: make(map[model.ProcessID]model.Time),
+		lastOALReq:    make(map[model.ProcessID]model.Time),
 	}
 }
 

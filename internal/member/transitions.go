@@ -56,7 +56,47 @@ func (m *Machine) OnMessage(msg wire.Message) {
 			m.appliedStateSeq = v.GroupSeq
 			m.needState = false
 		}
+	case *wire.OALReq:
+		// A peer can't resolve our deltas: serve it the baseline, and
+		// ship the next decision full in case others lost it too.
+		m.bc.ForceFullOAL()
+		if of := m.bc.ServeFullOAL(m.sendTS()); of != nil {
+			m.env.Unicast(v.From, of)
+		}
+	case *wire.OALFull:
+		m.onOALFull(v)
 	}
+}
+
+// onOALFull applies a served baseline: newer than anything seen here it
+// doubles as a full decision (content-wise it is one) and may surface
+// missing bodies to nack; either way a freshly installed baseline lets
+// buffered delta no-decisions resolve.
+func (m *Machine) onOALFull(of *wire.OALFull) {
+	adopted, missing := m.bc.InstallFullOAL(m.env.Now(), of)
+	if len(missing) > 0 {
+		m.env.Broadcast(&wire.Nack{
+			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
+			Missing: missing,
+		})
+	}
+	if adopted {
+		for _, nd := range m.pendingND {
+			m.bc.ResolveNoDecisionDelta(nd)
+		}
+	}
+}
+
+// requestFullOAL asks `from` for the delta baseline this process is
+// missing, at most once per D per target.
+func (m *Machine) requestFullOAL(from model.ProcessID) {
+	now := m.env.Now()
+	if last, ok := m.lastOALReq[from]; ok && now.Sub(last) < m.params.D {
+		return
+	}
+	m.lastOALReq[from] = now
+	m.env.Unicast(from, &wire.OALReq{Header: wire.Header{From: m.self, SendTS: m.sendTS()}})
+	m.stats.OALReqsSent++
 }
 
 // noteAlive records the alive-list piggybacked on a control message.
@@ -88,6 +128,14 @@ func (m *Machine) onDecision(dec *wire.Decision) {
 		// suspected process that has not yet learned it was excluded)
 		// while our own rotation is alive: its log lacks our membership
 		// descriptor and purge marks — ignore it entirely.
+		return
+	}
+	if !m.bc.ResolveDecisionDelta(dec) {
+		// Delta-encoded against a baseline we don't hold (first contact,
+		// or we missed the baseline decision): fetch the baseline; the
+		// chain re-delivers the content, and surveillance keeps running
+		// off whatever control message does arrive timely.
+		m.requestFullOAL(dec.From)
 		return
 	}
 	adopted, missing := m.bc.AdoptDecision(now, dec)
@@ -340,6 +388,13 @@ func (m *Machine) onNoDecision(nd *wire.NoDecision) {
 		return
 	}
 	m.pendingND[nd.From] = nd
+	if !m.bc.ResolveNoDecisionDelta(nd) {
+		// The view is delta-encoded against a baseline we lack. The ring
+		// bookkeeping below needs only the header and suspect; the view
+		// only matters when concluding the election, which retries the
+		// resolution (the baseline may land via OALFull meanwhile).
+		m.requestFullOAL(nd.From)
+	}
 
 	// Wrong-suspicion resend rule: if we are the suspect, somebody
 	// missed our last control message; resend it.
@@ -369,8 +424,14 @@ func (m *Machine) onNoDecision(nd *wire.NoDecision) {
 		// A no-decision about the very process we are watching, arriving
 		// before our own deadline: if our expectation is still
 		// unsatisfied we concur early (clocks differ by at most
-		// epsilon).
-		if exp, _, active := m.fd.Expected(); active && nd.Suspect == exp {
+		// epsilon). Only a suspicion newer than the control message
+		// that armed our expectation counts: an older one complains
+		// about an interval that message already covered — typically a
+		// masked false alarm's no-decision re-broadcast by the resend
+		// rule — and concurring would re-ignite the settled election
+		// against the freshly handed-off decider.
+		if exp, _, active := m.fd.Expected(); active && nd.Suspect == exp &&
+			nd.SendTS > m.fd.ExpectedAfter() {
 			m.beginSingleFailure(exp)
 		}
 	case State1FailureReceive:
@@ -509,7 +570,23 @@ func (m *Machine) winSingleElection() {
 		if !ok {
 			continue
 		}
-		reports = append(reports, broadcast.Report{From: from, View: &nd.View, DPD: nd.DPD})
+		view := &nd.View
+		if !m.bc.ResolveNoDecisionDelta(nd) {
+			// Still delta-encoded against a baseline we lack. The view's
+			// Next rides the wire even in delta form, so we can tell
+			// whether the peer's log extends past ours: if it does, we
+			// must not reconcile without it — stand down and let the
+			// requested baseline arrive (or the election escalate to the
+			// reconfiguration protocol, whose views are always full).
+			if nd.View.Next > m.bc.CurrentView().Next {
+				m.requestFullOAL(from)
+				return
+			}
+			// A prefix of our log: its entries add nothing; its dpd (sent
+			// separately, never delta-encoded) still counts.
+			view = nil
+		}
+		reports = append(reports, broadcast.Report{From: from, View: view, DPD: nd.DPD})
 	}
 	m.bc.Reconcile(now, newGroup, departed, reports)
 	m.installGroup(newGroup)
@@ -523,13 +600,16 @@ func (m *Machine) winSingleElection() {
 // this process's oal view and dpd (§4.3).
 func (m *Machine) sendNoDecision(q model.ProcessID) {
 	m.bc.SuppressSender(q, m.env.Now())
+	view, baseTS, truncBelow := m.bc.NoDecisionView()
 	nd := &wire.NoDecision{
-		Header:   wire.Header{From: m.self, SendTS: m.sendTS()},
-		Suspect:  q,
-		GroupSeq: m.group.Seq,
-		View:     *m.bc.CurrentView(),
-		DPD:      m.bc.DPD(),
-		Alive:    m.fd.AliveList(m.env.Now()),
+		Header:     wire.Header{From: m.self, SendTS: m.sendTS()},
+		Suspect:    q,
+		GroupSeq:   m.group.Seq,
+		View:       view,
+		BaseTS:     baseTS,
+		TruncBelow: truncBelow,
+		DPD:        m.bc.DPD(),
+		Alive:      m.fd.AliveList(m.env.Now()),
 	}
 	m.env.Broadcast(nd)
 	m.lastControlMsg = nd

@@ -81,7 +81,11 @@ type Stats struct {
 	Deliveries map[wire.Kind]uint64
 	// MaxBytes records the largest encoded frame seen per kind — the
 	// check that oal truncation keeps decision messages bounded.
-	MaxBytes   map[wire.Kind]int
+	MaxBytes map[wire.Kind]int
+	// Bytes accumulates sender-side bytes-on-wire per kind (one frame
+	// per Broadcast/Unicast call, matching Broadcasts' packet count) —
+	// what the delta-decision optimisation is measured by.
+	Bytes      map[wire.Kind]uint64
 	Dropped    uint64
 	Late       uint64 // deliveries that exceeded delta
 	Duplicated uint64
@@ -92,6 +96,7 @@ func newStats() Stats {
 		Broadcasts: make(map[wire.Kind]uint64),
 		Deliveries: make(map[wire.Kind]uint64),
 		MaxBytes:   make(map[wire.Kind]int),
+		Bytes:      make(map[wire.Kind]uint64),
 	}
 }
 
@@ -158,6 +163,9 @@ func (n *Network) Stats() Stats {
 	for k, v := range n.stats.MaxBytes {
 		out.MaxBytes[k] = v
 	}
+	for k, v := range n.stats.Bytes {
+		out.Bytes[k] = v
+	}
 	out.Dropped = n.stats.Dropped
 	out.Late = n.stats.Late
 	out.Duplicated = n.stats.Duplicated
@@ -217,6 +225,7 @@ func (n *Network) Broadcast(m wire.Message) {
 	}
 	n.stats.Broadcasts[m.Kind()]++
 	data := wire.Encode(m)
+	n.stats.Bytes[m.Kind()] += uint64(len(data))
 	if len(data) > n.stats.MaxBytes[m.Kind()] {
 		n.stats.MaxBytes[m.Kind()] = len(data)
 	}
@@ -246,7 +255,12 @@ func (n *Network) Unicast(to model.ProcessID, m wire.Message) {
 		return
 	}
 	n.stats.Broadcasts[m.Kind()]++
-	n.deliver(wire.Encode(m), from, to, m)
+	data := wire.Encode(m)
+	n.stats.Bytes[m.Kind()] += uint64(len(data))
+	if len(data) > n.stats.MaxBytes[m.Kind()] {
+		n.stats.MaxBytes[m.Kind()] = len(data)
+	}
+	n.deliver(data, from, to, m)
 }
 
 func (n *Network) deliver(data []byte, from, to model.ProcessID, orig wire.Message) {

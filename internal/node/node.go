@@ -61,6 +61,11 @@ type Options struct {
 	// SnapshotEvery writes an application snapshot after that many
 	// logged deliveries (default 64; only meaningful with DataDir).
 	SnapshotEvery int
+	// FullOALEvery forwards to broadcast.Config.FullOALEvery: every
+	// n-th decision carries the full oal between delta-encoded ones
+	// (0 = the broadcast layer's default cadence, negative = disable
+	// delta encoding entirely, every decision full).
+	FullOALEvery int
 }
 
 // ViewRecord is one installed membership view.
@@ -274,6 +279,7 @@ func (n *Node) buildStack() {
 		snapEvery = 64
 	}
 	bcfg := broadcast.Config{
+		FullOALEvery: n.cluster.Opts.FullOALEvery,
 		OnDeliver: func(d broadcast.Delivery) {
 			if n.store != nil {
 				n.store.AppendUpdate(durable.UpdateRecord{ //nolint:errcheck

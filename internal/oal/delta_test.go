@@ -1,0 +1,156 @@
+package oal
+
+import (
+	"testing"
+
+	"timewheel/internal/model"
+)
+
+func mkList(t *testing.T, n int) *List {
+	t.Helper()
+	l := NewList()
+	for i := 0; i < n; i++ {
+		id := ProposalID{Proposer: model.ProcessID(i % 3), Seq: uint64(i)}
+		l.AppendUpdate(id, Semantics{Order: TotalOrder, Atomicity: StrongAtomicity}, model.Time(100+i), None, 0)
+	}
+	return l
+}
+
+func reconstructEquals(t *testing.T, base, full *List, truncBelow Ordinal, delta []Descriptor) {
+	t.Helper()
+	d := &List{Entries: delta, Next: full.Next}
+	var got List
+	if !ReconstructInto(&got, base, truncBelow, d) {
+		t.Fatalf("ReconstructInto rejected well-formed inputs")
+	}
+	if !got.Equal(full) {
+		t.Fatalf("reconstruction mismatch:\n base=%v\ndelta=%v\n got=%v\n want=%v", base, delta, &got, full)
+	}
+}
+
+func TestDiffIdenticalListsIsEmpty(t *testing.T) {
+	base := mkList(t, 8)
+	full := base.Clone()
+	delta, ok := Diff(base, full)
+	if !ok {
+		t.Fatalf("Diff rejected ordered lists")
+	}
+	if len(delta) != 0 {
+		t.Fatalf("identical lists produced delta %v", delta)
+	}
+	reconstructEquals(t, base, full, TruncationPoint(full), delta)
+}
+
+func TestDiffCapturesNewAndChangedEntries(t *testing.T) {
+	base := mkList(t, 8)
+	full := base.Clone()
+	// Change an ack and a mark, append two new entries.
+	full.Entries[2].Acks.Add(5)
+	full.Entries[6].Undeliverable = true
+	full.AppendUpdate(ProposalID{Proposer: 9, Seq: 1}, Semantics{}, 500, None, 0)
+	full.AppendMembership(model.Group{Seq: 3, Members: []model.ProcessID{0, 1, 2}})
+	delta, ok := Diff(base, full)
+	if !ok {
+		t.Fatalf("Diff rejected ordered lists")
+	}
+	if len(delta) != 4 {
+		t.Fatalf("want 4 delta entries, got %d: %v", len(delta), delta)
+	}
+	reconstructEquals(t, base, full, TruncationPoint(full), delta)
+}
+
+func TestReconstructDropsTruncatedPrefix(t *testing.T) {
+	base := mkList(t, 10)
+	full := base.Clone()
+	// Sender truncated the first 4 entries and changed one survivor.
+	full.TruncateStable(func(d *Descriptor) bool { return d.Ordinal <= 4 })
+	full.Entries[1].StableTS = 999
+	delta, ok := Diff(base, full)
+	if !ok {
+		t.Fatalf("Diff rejected ordered lists")
+	}
+	if len(delta) != 1 {
+		t.Fatalf("want 1 delta entry, got %d: %v", len(delta), delta)
+	}
+	reconstructEquals(t, base, full, TruncationPoint(full), delta)
+}
+
+func TestReconstructEmptyFullList(t *testing.T) {
+	base := mkList(t, 5)
+	full := base.Clone()
+	full.TruncateStable(func(*Descriptor) bool { return true })
+	delta, ok := Diff(base, full)
+	if !ok || len(delta) != 0 {
+		t.Fatalf("want empty delta, got ok=%v %v", ok, delta)
+	}
+	reconstructEquals(t, base, full, TruncationPoint(full), delta)
+}
+
+func TestDiffRejectsUnorderedEntries(t *testing.T) {
+	base := mkList(t, 3)
+	bad := base.Clone()
+	bad.Entries[0].Ordinal, bad.Entries[2].Ordinal = bad.Entries[2].Ordinal, bad.Entries[0].Ordinal
+	if _, ok := Diff(base, bad); ok {
+		t.Fatalf("Diff accepted out-of-order full list")
+	}
+	if _, ok := Diff(bad, base); ok {
+		t.Fatalf("Diff accepted out-of-order base list")
+	}
+	var dst List
+	if ReconstructInto(&dst, bad, 1, base) {
+		t.Fatalf("ReconstructInto accepted out-of-order base")
+	}
+	unassigned := base.Clone()
+	unassigned.Entries[1].Ordinal = None
+	if _, ok := Diff(base, unassigned); ok {
+		t.Fatalf("Diff accepted unassigned ordinal")
+	}
+}
+
+func TestReconstructKeepsBasePristine(t *testing.T) {
+	base := mkList(t, 4)
+	base.AppendMembership(model.Group{Seq: 2, Members: []model.ProcessID{0, 1}})
+	snapshot := base.Clone()
+	full := base.Clone()
+	full.Entries[4].Members = append(full.Entries[4].Members, 7)
+	full.Entries[4].GroupSeq = 3
+	delta, ok := Diff(base, full)
+	if !ok {
+		t.Fatalf("Diff rejected ordered lists")
+	}
+	var got List
+	if !ReconstructInto(&got, base, TruncationPoint(full), &List{Entries: delta, Next: full.Next}) {
+		t.Fatalf("ReconstructInto rejected well-formed inputs")
+	}
+	// Mutating the reconstruction must not reach base.
+	for i := range got.Entries {
+		if len(got.Entries[i].Members) > 0 {
+			got.Entries[i].Members[0] = 42
+		}
+	}
+	if !base.Equal(snapshot) {
+		t.Fatalf("base mutated through reconstruction:\n got=%v\nwant=%v", base, snapshot)
+	}
+}
+
+func TestReconstructIntoReusesCapacity(t *testing.T) {
+	base := mkList(t, 16)
+	full := base.Clone()
+	full.Entries[3].Acks.Add(1)
+	delta, _ := Diff(base, full)
+	var dst List
+	d := &List{Entries: delta, Next: full.Next}
+	if !ReconstructInto(&dst, base, TruncationPoint(full), d) {
+		t.Fatal("first reconstruction failed")
+	}
+	firstCap := cap(dst.Entries)
+	if !ReconstructInto(&dst, base, TruncationPoint(full), d) {
+		t.Fatal("second reconstruction failed")
+	}
+	if cap(dst.Entries) != firstCap {
+		t.Fatalf("dst entries reallocated: cap %d -> %d", firstCap, cap(dst.Entries))
+	}
+	if !dst.Equal(full) {
+		t.Fatalf("reuse reconstruction mismatch: got=%v want=%v", &dst, full)
+	}
+}

@@ -414,8 +414,8 @@ func (t *Chaos) Close() error { return t.inner.Close() }
 var _ Transport = (*Chaos)(nil)
 
 func (c *ChaosNet) onFrame(self model.ProcessID, data []byte, r Receiver) {
-	msg, err := wire.Decode(data)
-	if err != nil {
+	from, ok := frameSender(data)
+	if !ok {
 		// Can't attribute a sender (e.g. already corrupted upstream):
 		// pass it through untormented; the node drops it anyway.
 		c.mu.Lock()
@@ -424,7 +424,6 @@ func (c *ChaosNet) onFrame(self model.ProcessID, data []byte, r Receiver) {
 		r(data)
 		return
 	}
-	from := msg.Hdr().From
 
 	c.mu.Lock()
 	if c.blocked[[2]model.ProcessID{from, self}] {
@@ -453,6 +452,29 @@ func (c *ChaosNet) onFrame(self model.ProcessID, data []byte, r Receiver) {
 	c.mu.Unlock()
 
 	schedule(plans, data, r)
+}
+
+// frameSender attributes an inbound datagram to its sending process. A
+// coalesced datagram (wire.CoalesceMagic) is one network traversal, so
+// the per-link fault roll applies to the envelope as a whole; all its
+// sub-frames share one sender, recovered from the first.
+func frameSender(data []byte) (model.ProcessID, bool) {
+	if wire.IsCoalesced(data) {
+		var first []byte
+		if err := wire.SplitCoalesced(data, func(frame []byte) {
+			if first == nil {
+				first = frame
+			}
+		}); err != nil {
+			return model.NoProcess, false
+		}
+		data = first
+	}
+	msg, err := wire.Decode(data)
+	if err != nil {
+		return model.NoProcess, false
+	}
+	return msg.Hdr().From, true
 }
 
 // --- Nemesis: scripted link failures -------------------------------------------

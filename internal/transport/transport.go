@@ -22,11 +22,17 @@ import (
 var ErrClosed = errors.New("transport: closed")
 
 // Receiver consumes received frames. It is called from the transport's
-// receive goroutine; implementations hand off to an engine.
+// receive goroutine; implementations hand off to an engine. The data
+// slice is on loan from the transport for the duration of the call:
+// implementations must decode or copy before returning and must not
+// retain it (the UDP transport recycles receive buffers).
 type Receiver func(data []byte)
 
 // Transport is an unreliable datagram carrier with omission/performance
 // failure semantics (no delivery, ordering or timeliness guarantees).
+// Send calls do not retain data past their return: callers may recycle
+// the encode buffer immediately (in-process transports copy per
+// scheduled delivery; sockets hand the bytes to the kernel).
 type Transport interface {
 	// Self returns the local process ID.
 	Self() model.ProcessID

@@ -66,12 +66,22 @@ func NewUDP(self model.ProcessID, addrs map[model.ProcessID]string) (*UDP, error
 	return u, nil
 }
 
+// recvBufs recycles datagram receive buffers across read loops: steady
+// state, the hot receive path allocates nothing per frame.
+var recvBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, maxDatagram)
+		return &b
+	},
+}
+
 func (u *UDP) readLoop() {
 	defer u.wg.Done()
-	buf := make([]byte, maxDatagram)
 	for {
-		n, _, err := u.conn.ReadFromUDP(buf)
+		bp := recvBufs.Get().(*[]byte)
+		n, _, err := u.conn.ReadFromUDP(*bp)
 		if err != nil {
+			recvBufs.Put(bp)
 			if u.closed.Load() {
 				return
 			}
@@ -81,10 +91,12 @@ func (u *UDP) readLoop() {
 		r := u.recv
 		u.mu.Unlock()
 		if r != nil {
-			cp := make([]byte, n)
-			copy(cp, buf[:n])
-			r(cp)
+			// The buffer is on loan for the duration of the call (the
+			// Receiver contract); it is released once the receiver has
+			// decoded/handed off — no per-frame copy.
+			r((*bp)[:n])
 		}
+		recvBufs.Put(bp)
 	}
 }
 

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// The hot-path acceptance criterion is allocation-freedom, not just
+// speed: every benchmark below pins 0 allocs/op explicitly, so a
+// regression fails `go test` as well as showing up in twbench numbers.
+
+func assertZeroAllocs(b *testing.B, fn func()) {
+	b.Helper()
+	fn() // warm pools and scratch capacity before counting
+	if n := testing.AllocsPerRun(100, fn); n != 0 {
+		b.Fatalf("%v allocs/op on the steady-state path, want 0", n)
+	}
+}
+
+// BenchmarkEncodeDecision measures the heaviest frame on the hot send
+// path: a full-oal decision with a populated window, encoded into a
+// reused pooled buffer.
+func BenchmarkEncodeDecision(b *testing.B) {
+	dec := bigDecision(32)
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	assertZeroAllocs(b, func() { EncodeTo(buf, dec) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeTo(buf, dec)
+	}
+}
+
+// BenchmarkDecodeDecision measures the matching receive path: scratch
+// decoding of the same frame, slices reused across calls.
+func BenchmarkDecodeDecision(b *testing.B) {
+	frame := Encode(bigDecision(32))
+	var dc Decoder
+	assertZeroAllocs(b, func() {
+		if _, err := dc.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dc.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// deltaDecision is what steady-state rotation ships under wire v5: a
+// decision carrying only the entries changed since the baseline, with
+// BaseTS pointing at it.
+func deltaDecision(changed int) *Decision {
+	l := oal.NewList()
+	for i := 0; i < changed; i++ {
+		id := oal.ProposalID{Proposer: model.ProcessID(i % 5), Seq: uint64(1000 + i)}
+		l.AppendUpdate(id, oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity},
+			model.Time(6_000_000+i), oal.Ordinal(40+i), oal.AckSet(0b00111))
+	}
+	return &Decision{
+		Header:     Header{From: 3, SendTS: 6_010_000},
+		Group:      model.NewGroup(7, []model.ProcessID{0, 1, 2, 3, 4}),
+		OAL:        *l,
+		Alive:      []model.ProcessID{0, 1, 2, 3, 4},
+		Lineage:    7,
+		BaseTS:     5_000_000,
+		TruncBelow: 3,
+	}
+}
+
+// BenchmarkRoundTripDelta measures the whole steady-state wire round
+// trip for a delta-encoded decision (4 changed entries against a
+// 32-entry window): pooled encode then scratch decode.
+func BenchmarkRoundTripDelta(b *testing.B) {
+	dec := deltaDecision(4)
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	var dc Decoder
+	roundTrip := func() {
+		frame := EncodeTo(buf, dec)
+		if _, err := dc.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	assertZeroAllocs(b, roundTrip)
+	full := len(Encode(bigDecision(32)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+	b.ReportMetric(float64(len(EncodeTo(buf, dec)))/float64(full), "delta_bytes_ratio")
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Coalesced multi-frame datagrams: the send path packs every control
+// frame produced while handling one event and bound for the same
+// destination into a single datagram, halving (or better) the syscall
+// and per-packet overhead of decision+state or proposal+nack bursts.
+//
+// Layout: a magic byte (CoalesceMagic, distinct from every frame version
+// byte so plain frames and coalesced datagrams are self-describing),
+// a sub-frame count, then count sub-frames each prefixed with a u32
+// little-endian length. Every sub-frame is a complete Encode frame with
+// its own CRC-32C trailer, so corruption anywhere — envelope or content
+// — is rejected per sub-frame by the existing decode path.
+
+// CoalesceMagic is the first byte of a coalesced datagram. Plain frames
+// start with their version byte (≤ Version), so the two never collide.
+const CoalesceMagic = 0xC0
+
+// MaxCoalescedSize bounds a coalesced datagram so it stays under the
+// 64 KiB UDP datagram ceiling with headroom for the envelope.
+const MaxCoalescedSize = 60 * 1024
+
+// maxCoalescedFrames is the u8 sub-frame count ceiling.
+const maxCoalescedFrames = 255
+
+const coalesceHeader = 2 // magic + count
+
+// ErrNotCoalesced reports data that does not start with CoalesceMagic.
+var ErrNotCoalesced = errors.New("wire: not a coalesced datagram")
+
+// ErrBadCoalesce reports a malformed coalesced envelope.
+var ErrBadCoalesce = errors.New("wire: malformed coalesced datagram")
+
+// IsCoalesced reports whether data is a coalesced multi-frame datagram.
+func IsCoalesced(data []byte) bool {
+	return len(data) > 0 && data[0] == CoalesceMagic
+}
+
+// SplitCoalesced iterates the sub-frames of a coalesced datagram,
+// calling fn with each (sub-frames alias data). It validates the
+// envelope; sub-frame content is validated by Decode's CRC as usual.
+func SplitCoalesced(data []byte, fn func(frame []byte)) error {
+	if !IsCoalesced(data) {
+		return ErrNotCoalesced
+	}
+	if len(data) < coalesceHeader {
+		return ErrBadCoalesce
+	}
+	count := int(data[1])
+	if count == 0 {
+		return ErrBadCoalesce
+	}
+	off := coalesceHeader
+	for i := 0; i < count; i++ {
+		if off+4 > len(data) {
+			return ErrBadCoalesce
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if n > len(data)-off {
+			return ErrBadCoalesce
+		}
+		fn(data[off : off+n])
+		off += n
+	}
+	if off != len(data) {
+		return ErrBadCoalesce
+	}
+	return nil
+}
+
+// Coalescer accumulates frames for one destination, encoding them
+// directly into its own reusable buffer. Usage: TryAppend each message;
+// when it reports false, send Datagram(), Reset, and re-append. After
+// the final message, send Datagram() if non-nil and Reset. The returned
+// datagram aliases the coalescer's buffer and is valid until Reset.
+type Coalescer struct {
+	buf   []byte
+	count int
+}
+
+// TryAppend encodes m into the pending datagram. It returns false —
+// leaving the pending datagram unchanged — when adding m would overflow
+// MaxCoalescedSize or the sub-frame count; the caller must flush and
+// retry. A single frame larger than MaxCoalescedSize is accepted alone
+// (it becomes an uncoalesced oversized datagram, exactly as before).
+func (c *Coalescer) TryAppend(m Message) bool {
+	if c.count >= maxCoalescedFrames {
+		return false
+	}
+	if c.count == 0 {
+		c.buf = append(c.buf[:0], CoalesceMagic, 0)
+	}
+	lenOff := len(c.buf)
+	c.buf = append(c.buf, 0, 0, 0, 0)
+	c.buf = AppendEncode(c.buf, m)
+	binary.LittleEndian.PutUint32(c.buf[lenOff:], uint32(len(c.buf)-lenOff-4))
+	if len(c.buf) > MaxCoalescedSize+coalesceHeader && c.count > 0 {
+		c.buf = c.buf[:lenOff]
+		return false
+	}
+	c.count++
+	return true
+}
+
+// Count returns the number of pending sub-frames.
+func (c *Coalescer) Count() int { return c.count }
+
+// Datagram returns the pending datagram: nil when empty, the bare frame
+// when a single message is pending (no envelope overhead for the common
+// case), the enveloped multi-frame datagram otherwise.
+func (c *Coalescer) Datagram() []byte {
+	switch c.count {
+	case 0:
+		return nil
+	case 1:
+		return c.buf[coalesceHeader+4:]
+	default:
+		c.buf[1] = byte(c.count)
+		return c.buf
+	}
+}
+
+// Reset clears the pending datagram, retaining the buffer.
+func (c *Coalescer) Reset() {
+	c.buf = c.buf[:0]
+	c.count = 0
+}

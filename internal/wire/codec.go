@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sync"
 
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
@@ -19,8 +20,14 @@ import (
 // most transport corruption, but a bit flip inside a value field —
 // an ordinal, an HDO — used to decode "successfully" into garbage that
 // poisoned the protocol state. Now it is rejected at decode and shows
-// up in the receiver's drop counter.
-const Version = 4
+// up in the receiver's drop counter. Version 5 added oal delta encoding
+// (Decision BaseTS/TruncBelow, NoDecision BaseTS) and the OALReq/OALFull
+// baseline-repair messages; v4 frames still decode (the delta fields
+// read as zero, i.e. "full oal").
+const Version = 5
+
+// minVersion is the oldest wire format Decode still accepts.
+const minVersion = 4
 
 // ErrTruncated reports a message that ends before its declared contents.
 var ErrTruncated = errors.New("wire: truncated message")
@@ -45,9 +52,48 @@ const crcSize = 4
 // from causing huge allocations.
 const maxListLen = 1 << 20
 
+// maxPooledBuffer keeps oversized frames (large state transfers) from
+// pinning memory in the encode-buffer pool.
+const maxPooledBuffer = 64 * 1024
+
+// Buffer is a pooled encode buffer for the send hot path: obtain one
+// with GetBuffer, fill it with EncodeTo, hand the frame to a transport
+// (transports copy synchronously before returning), then recycle it
+// with PutBuffer.
+type Buffer struct{ B []byte }
+
+var bufferPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 2048)} }}
+
+// GetBuffer returns an empty pooled encode buffer.
+func GetBuffer() *Buffer { return bufferPool.Get().(*Buffer) }
+
+// PutBuffer recycles b. The caller must no longer reference b.B.
+func PutBuffer(b *Buffer) {
+	if cap(b.B) > maxPooledBuffer {
+		return
+	}
+	b.B = b.B[:0]
+	bufferPool.Put(b)
+}
+
+// EncodeTo serialises m into b, replacing its contents, and returns the
+// encoded frame (aliasing b.B).
+func EncodeTo(b *Buffer, m Message) []byte {
+	b.B = AppendEncode(b.B[:0], m)
+	return b.B
+}
+
 // Encode serialises m into a fresh byte slice.
 func Encode(m Message) []byte {
-	e := encoder{buf: make([]byte, 0, 128)}
+	return AppendEncode(make([]byte, 0, 128), m)
+}
+
+// AppendEncode serialises m, appends the frame to dst and returns the
+// extended slice. The frame's CRC covers only the appended bytes, so
+// frames compose into coalesced datagrams and reused buffers.
+func AppendEncode(dst []byte, m Message) []byte {
+	e := encoder{buf: dst}
+	start := len(dst)
 	e.u8(Version)
 	e.u8(uint8(m.Kind()))
 	h := m.Hdr()
@@ -61,12 +107,16 @@ func Encode(m Message) []byte {
 		e.oal(&v.OAL)
 		e.processList(v.Alive)
 		e.u64(uint64(v.Lineage))
+		e.i64(int64(v.BaseTS))
+		e.u64(uint64(v.TruncBelow))
 	case *NoDecision:
 		e.i64(int64(v.Suspect))
 		e.u64(uint64(v.GroupSeq))
 		e.oal(&v.View)
 		e.proposalIDList(v.DPD)
 		e.processList(v.Alive)
+		e.i64(int64(v.BaseTS))
+		e.u64(uint64(v.TruncBelow))
 	case *Join:
 		// JoinList stays first: older tooling located it at a fixed
 		// offset right after the header.
@@ -120,11 +170,18 @@ func Encode(m Message) []byte {
 			e.i64(int64(r.SendTS))
 			e.bytes(r.Payload)
 		}
+	case *OALReq:
+		// Header only.
+	case *OALFull:
+		e.group(v.Group)
+		e.u64(uint64(v.Lineage))
+		e.i64(int64(v.DecTS))
+		e.oal(&v.OAL)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
 	var crc [crcSize]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(e.buf, crcTable))
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(e.buf[start:], crcTable))
 	return append(e.buf, crc[:]...)
 }
 
@@ -136,8 +193,37 @@ func (e *encoder) proposalBody(v *Proposal) {
 	e.bytes(v.Payload)
 }
 
-// Decode parses a message previously produced by Encode.
+// Decoder decodes frames into internal per-kind scratch structs, reusing
+// their slices across calls: steady-state decoding of a stable message
+// mix performs no allocations. The returned message (and every slice it
+// references) is valid only until the next Decode call on the same
+// Decoder — callers that retain messages (the live protocol path keeps
+// pending no-decisions, for example) must use the package-level Decode.
+type Decoder struct {
+	proposal   Proposal
+	decision   Decision
+	noDecision NoDecision
+	join       Join
+	reconfig   Reconfig
+	nack       Nack
+	state      State
+	oalReq     OALReq
+	oalFull    OALFull
+}
+
+// Decode parses a frame, reusing dc's scratch. See the type comment for
+// the aliasing contract.
+func (dc *Decoder) Decode(data []byte) (Message, error) {
+	return decodeFrame(data, dc)
+}
+
+// Decode parses a message previously produced by Encode. The result is
+// freshly allocated and safe to retain.
 func Decode(data []byte) (Message, error) {
+	return decodeFrame(data, nil)
+}
+
+func decodeFrame(data []byte, sc *Decoder) (Message, error) {
 	if len(data) < crcSize+1 {
 		return nil, ErrTruncated
 	}
@@ -150,9 +236,10 @@ func Decode(data []byte) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != Version {
+	if ver < minVersion || ver > Version {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
+	d.ver = ver
 	kindB, err := d.u8()
 	if err != nil {
 		return nil, err
@@ -171,20 +258,32 @@ func Decode(data []byte) (Message, error) {
 
 	switch Kind(kindB) {
 	case KindProposal:
-		m := &Proposal{Header: h}
+		var m *Proposal
+		if sc != nil {
+			m = &sc.proposal
+		} else {
+			m = &Proposal{}
+		}
+		m.Header = h
 		if err = d.proposalBody(m); err != nil {
 			return nil, err
 		}
 		return m, d.done()
 	case KindDecision:
-		m := &Decision{Header: h}
-		if m.Group, err = d.group(); err != nil {
+		var m *Decision
+		if sc != nil {
+			m = &sc.decision
+		} else {
+			m = &Decision{}
+		}
+		m.Header = h
+		if m.Group, err = d.group(m.Group.Members); err != nil {
 			return nil, err
 		}
 		if err = d.oal(&m.OAL); err != nil {
 			return nil, err
 		}
-		if m.Alive, err = d.processList(); err != nil {
+		if m.Alive, err = d.processList(m.Alive); err != nil {
 			return nil, err
 		}
 		var u uint64
@@ -192,9 +291,28 @@ func Decode(data []byte) (Message, error) {
 			return nil, err
 		}
 		m.Lineage = model.GroupSeq(u)
+		// v4 frames predate delta encoding: zero means "full oal".
+		m.BaseTS, m.TruncBelow = 0, 0
+		if d.ver >= 5 {
+			var ts int64
+			if ts, err = d.i64(); err != nil {
+				return nil, err
+			}
+			m.BaseTS = model.Time(ts)
+			if u, err = d.u64(); err != nil {
+				return nil, err
+			}
+			m.TruncBelow = oal.Ordinal(u)
+		}
 		return m, d.done()
 	case KindNoDecision:
-		m := &NoDecision{Header: h}
+		var m *NoDecision
+		if sc != nil {
+			m = &sc.noDecision
+		} else {
+			m = &NoDecision{}
+		}
+		m.Header = h
 		var s int64
 		if s, err = d.i64(); err != nil {
 			return nil, err
@@ -208,16 +326,34 @@ func Decode(data []byte) (Message, error) {
 		if err = d.oal(&m.View); err != nil {
 			return nil, err
 		}
-		if m.DPD, err = d.proposalIDList(); err != nil {
+		if m.DPD, err = d.proposalIDList(m.DPD); err != nil {
 			return nil, err
 		}
-		if m.Alive, err = d.processList(); err != nil {
+		if m.Alive, err = d.processList(m.Alive); err != nil {
 			return nil, err
+		}
+		m.BaseTS, m.TruncBelow = 0, 0
+		if d.ver >= 5 {
+			var ts int64
+			if ts, err = d.i64(); err != nil {
+				return nil, err
+			}
+			m.BaseTS = model.Time(ts)
+			if u, err = d.u64(); err != nil {
+				return nil, err
+			}
+			m.TruncBelow = oal.Ordinal(u)
 		}
 		return m, d.done()
 	case KindJoin:
-		m := &Join{Header: h}
-		if m.JoinList, err = d.processList(); err != nil {
+		var m *Join
+		if sc != nil {
+			m = &sc.join
+		} else {
+			m = &Join{}
+		}
+		m.Header = h
+		if m.JoinList, err = d.processList(m.JoinList); err != nil {
 			return nil, err
 		}
 		var u uint64
@@ -236,8 +372,14 @@ func Decode(data []byte) (Message, error) {
 		m.Forming = fb != 0
 		return m, d.done()
 	case KindReconfig:
-		m := &Reconfig{Header: h}
-		if m.ReconfigList, err = d.processList(); err != nil {
+		var m *Reconfig
+		if sc != nil {
+			m = &sc.reconfig
+		} else {
+			m = &Reconfig{}
+		}
+		m.Header = h
+		if m.ReconfigList, err = d.processList(m.ReconfigList); err != nil {
 			return nil, err
 		}
 		var ts int64
@@ -253,27 +395,39 @@ func Decode(data []byte) (Message, error) {
 		if err = d.oal(&m.View); err != nil {
 			return nil, err
 		}
-		if m.DPD, err = d.proposalIDList(); err != nil {
+		if m.DPD, err = d.proposalIDList(m.DPD); err != nil {
 			return nil, err
 		}
-		if m.Alive, err = d.processList(); err != nil {
+		if m.Alive, err = d.processList(m.Alive); err != nil {
 			return nil, err
 		}
 		return m, d.done()
 	case KindNack:
-		m := &Nack{Header: h}
-		if m.Missing, err = d.proposalIDList(); err != nil {
+		var m *Nack
+		if sc != nil {
+			m = &sc.nack
+		} else {
+			m = &Nack{}
+		}
+		m.Header = h
+		if m.Missing, err = d.proposalIDList(m.Missing); err != nil {
 			return nil, err
 		}
 		return m, d.done()
 	case KindState:
-		m := &State{Header: h}
+		var m *State
+		if sc != nil {
+			m = &sc.state
+		} else {
+			m = &State{}
+		}
+		m.Header = h
 		var u uint64
 		if u, err = d.u64(); err != nil {
 			return nil, err
 		}
 		m.GroupSeq = model.GroupSeq(u)
-		if m.AppState, err = d.bytes(); err != nil {
+		if m.AppState, err = d.bytes(m.AppState); err != nil {
 			return nil, err
 		}
 		if u, err = d.u64(); err != nil {
@@ -285,31 +439,33 @@ func Decode(data []byte) (Message, error) {
 			return nil, err
 		}
 		m.SettledTimeTS = model.Time(sts)
-		if m.Delivered, err = d.proposalIDList(); err != nil {
+		if m.Delivered, err = d.proposalIDList(m.Delivered); err != nil {
 			return nil, err
 		}
 		var n int
 		if n, err = d.listLen(); err != nil {
 			return nil, err
 		}
-		m.FIFONext = make([]FIFOEntry, 0, min(n, 1024))
-		for i := 0; i < n; i++ {
-			var p int64
-			if p, err = d.i64(); err != nil {
-				return nil, err
-			}
-			var s uint64
-			if s, err = d.u64(); err != nil {
-				return nil, err
-			}
-			m.FIFONext = append(m.FIFONext, FIFOEntry{Proposer: model.ProcessID(p), Seq: s})
+		if err = d.need(16 * n); err != nil {
+			return nil, err
+		}
+		m.FIFONext = listFor(m.FIFONext, n)
+		for i := range m.FIFONext {
+			p, _ := d.i64()
+			s, _ := d.u64()
+			m.FIFONext[i] = FIFOEntry{Proposer: model.ProcessID(p), Seq: s}
 		}
 		if n, err = d.listLen(); err != nil {
 			return nil, err
 		}
-		m.Pending = make([]Proposal, 0, min(n, 1024))
-		for i := 0; i < n; i++ {
-			var pr Proposal
+		// Each pending proposal is at least header+id+sem+hdo+payload
+		// length — guard before sizing the slice.
+		if err = d.need(41 * n); err != nil {
+			return nil, err
+		}
+		m.Pending = listFor(m.Pending, n)
+		for i := range m.Pending {
+			pr := &m.Pending[i]
 			var v int64
 			if v, err = d.i64(); err != nil {
 				return nil, err
@@ -319,10 +475,9 @@ func Decode(data []byte) (Message, error) {
 				return nil, err
 			}
 			pr.SendTS = model.Time(v)
-			if err = d.proposalBody(&pr); err != nil {
+			if err = d.proposalBody(pr); err != nil {
 				return nil, err
 			}
-			m.Pending = append(m.Pending, pr)
 		}
 		var b uint8
 		if b, err = d.u8(); err != nil {
@@ -332,9 +487,12 @@ func Decode(data []byte) (Message, error) {
 		if n, err = d.listLen(); err != nil {
 			return nil, err
 		}
-		m.Replay = make([]ReplayEntry, 0, min(n, 1024))
-		for i := 0; i < n; i++ {
-			var r ReplayEntry
+		if err = d.need(38 * n); err != nil {
+			return nil, err
+		}
+		m.Replay = listFor(m.Replay, n)
+		for i := range m.Replay {
+			r := &m.Replay[i]
 			if r.ID, err = d.proposalID(); err != nil {
 				return nil, err
 			}
@@ -355,10 +513,43 @@ func Decode(data []byte) (Message, error) {
 				return nil, err
 			}
 			r.SendTS = model.Time(ts)
-			if r.Payload, err = d.bytes(); err != nil {
+			if r.Payload, err = d.bytes(r.Payload); err != nil {
 				return nil, err
 			}
-			m.Replay = append(m.Replay, r)
+		}
+		return m, d.done()
+	case KindOALReq:
+		var m *OALReq
+		if sc != nil {
+			m = &sc.oalReq
+		} else {
+			m = &OALReq{}
+		}
+		m.Header = h
+		return m, d.done()
+	case KindOALFull:
+		var m *OALFull
+		if sc != nil {
+			m = &sc.oalFull
+		} else {
+			m = &OALFull{}
+		}
+		m.Header = h
+		if m.Group, err = d.group(m.Group.Members); err != nil {
+			return nil, err
+		}
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		m.Lineage = model.GroupSeq(u)
+		var ts int64
+		if ts, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.DecTS = model.Time(ts)
+		if err = d.oal(&m.OAL); err != nil {
+			return nil, err
 		}
 		return m, d.done()
 	default:
@@ -385,7 +576,7 @@ func (d *decoder) proposalBody(m *Proposal) error {
 		return err
 	}
 	m.HDO = oal.Ordinal(u)
-	if m.Payload, err = d.bytes(); err != nil {
+	if m.Payload, err = d.bytes(m.Payload); err != nil {
 		return err
 	}
 	return nil
@@ -457,6 +648,7 @@ func (e *encoder) oal(l *oal.List) {
 type decoder struct {
 	buf []byte
 	off int
+	ver uint8
 }
 
 func (d *decoder) need(n int) error {
@@ -509,7 +701,21 @@ func (d *decoder) listLen() (int, error) {
 	return int(n), nil
 }
 
-func (d *decoder) bytes() ([]byte, error) {
+// listFor returns a length-n slice, reusing s's backing array when it
+// fits. Harvested elements keep their old nested slices so decode loops
+// that fill every field reuse those allocations too.
+func listFor[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+// bytes decodes a length-prefixed byte string, reusing prev's backing
+// array when it fits.
+func (d *decoder) bytes(prev []byte) ([]byte, error) {
 	n, err := d.listLen()
 	if err != nil {
 		return nil, err
@@ -517,13 +723,13 @@ func (d *decoder) bytes() ([]byte, error) {
 	if err := d.need(n); err != nil {
 		return nil, err
 	}
-	out := make([]byte, n)
+	out := listFor(prev, n)
 	copy(out, d.buf[d.off:])
 	d.off += n
 	return out, nil
 }
 
-func (d *decoder) processList() ([]model.ProcessID, error) {
+func (d *decoder) processList(prev []model.ProcessID) ([]model.ProcessID, error) {
 	n, err := d.listLen()
 	if err != nil {
 		return nil, err
@@ -531,7 +737,7 @@ func (d *decoder) processList() ([]model.ProcessID, error) {
 	if err := d.need(8 * n); err != nil {
 		return nil, err
 	}
-	out := make([]model.ProcessID, n)
+	out := listFor(prev, n)
 	for i := range out {
 		v, _ := d.i64()
 		out[i] = model.ProcessID(v)
@@ -551,7 +757,7 @@ func (d *decoder) proposalID() (oal.ProposalID, error) {
 	return oal.ProposalID{Proposer: model.ProcessID(p), Seq: s}, nil
 }
 
-func (d *decoder) proposalIDList() ([]oal.ProposalID, error) {
+func (d *decoder) proposalIDList(prev []oal.ProposalID) ([]oal.ProposalID, error) {
 	n, err := d.listLen()
 	if err != nil {
 		return nil, err
@@ -559,19 +765,19 @@ func (d *decoder) proposalIDList() ([]oal.ProposalID, error) {
 	if err := d.need(16 * n); err != nil {
 		return nil, err
 	}
-	out := make([]oal.ProposalID, n)
+	out := listFor(prev, n)
 	for i := range out {
 		out[i], _ = d.proposalID()
 	}
 	return out, nil
 }
 
-func (d *decoder) group() (model.Group, error) {
+func (d *decoder) group(prevMembers []model.ProcessID) (model.Group, error) {
 	seq, err := d.u64()
 	if err != nil {
 		return model.Group{}, err
 	}
-	ms, err := d.processList()
+	ms, err := d.processList(prevMembers)
 	if err != nil {
 		return model.Group{}, err
 	}
@@ -588,9 +794,15 @@ func (d *decoder) oal(l *oal.List) error {
 	if err != nil {
 		return err
 	}
-	l.Entries = make([]oal.Descriptor, 0, n)
-	for i := 0; i < n; i++ {
-		var desc oal.Descriptor
+	// Every descriptor occupies at least 52 bytes on the wire — guard
+	// before sizing the slice so a corrupt length cannot force a huge
+	// allocation.
+	if err := d.need(52 * n); err != nil {
+		return err
+	}
+	l.Entries = listFor(l.Entries, n)
+	for i := range l.Entries {
+		desc := &l.Entries[i]
 		var b uint8
 		if b, err = d.u8(); err != nil {
 			return err
@@ -637,10 +849,9 @@ func (d *decoder) oal(l *oal.List) error {
 			return err
 		}
 		desc.GroupSeq = model.GroupSeq(u)
-		if desc.Members, err = d.processList(); err != nil {
+		if desc.Members, err = d.processList(desc.Members); err != nil {
 			return err
 		}
-		l.Entries = append(l.Entries, desc)
 	}
 	return nil
 }

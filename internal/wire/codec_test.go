@@ -33,9 +33,14 @@ func sampleMessages() []Message {
 		&Decision{Header: h, Group: model.NewGroup(2, []model.ProcessID{0, 1, 3}),
 			OAL: sampleOAL(), Alive: []model.ProcessID{0, 1, 3}, Lineage: 2},
 		&Decision{Header: h}, // zero-value everything
+		&Decision{Header: h, Group: model.NewGroup(2, []model.ProcessID{0, 1, 3}),
+			OAL: sampleOAL(), Alive: []model.ProcessID{0, 1, 3}, Lineage: 2,
+			BaseTS: 900_000, TruncBelow: 2}, // delta-encoded oal (v5)
 		&NoDecision{Header: h, Suspect: 1, GroupSeq: 5, View: sampleOAL(),
 			DPD:   []oal.ProposalID{{Proposer: 0, Seq: 7}, {Proposer: 2, Seq: 8}},
 			Alive: []model.ProcessID{0, 3}},
+		&NoDecision{Header: h, Suspect: 1, GroupSeq: 5, View: sampleOAL(),
+			Alive: []model.ProcessID{0, 3}, BaseTS: 900_001, TruncBelow: 3},
 		&Join{Header: h, JoinList: []model.ProcessID{0, 1, 2, 3, 4},
 			CoveredOrdinal: 12, Lineage: 3, Forming: true},
 		&Join{Header: h},
@@ -62,6 +67,10 @@ func sampleMessages() []Message {
 					SendTS: 700_001, Payload: []byte("fast")},
 			}},
 		&State{Header: h},
+		&OALReq{Header: h},
+		&OALFull{Header: h, Group: model.NewGroup(4, []model.ProcessID{0, 1, 2}),
+			Lineage: 2, DecTS: 800_000, OAL: sampleOAL()},
+		&OALFull{Header: h},
 	}
 }
 
@@ -171,6 +180,12 @@ func normalize(m Message) Message {
 		fixIDs(&c.DPD)
 		fix(&c.ReconfigList)
 		fix(&c.Alive)
+		return &c
+	case *OALFull:
+		c := *v
+		c.OAL = *v.OAL.Clone()
+		fix(&c.Group.Members)
+		fixOAL(&c.OAL)
 		return &c
 	}
 	return m
@@ -302,6 +317,9 @@ func TestKindPredicates(t *testing.T) {
 	if KindNack.Control() || KindState.Control() {
 		t.Error("service messages must not be control messages")
 	}
+	if KindOALReq.Control() || KindOALFull.Control() {
+		t.Error("oal repair messages must not be control messages")
+	}
 }
 
 func TestStringers(t *testing.T) {
@@ -311,7 +329,7 @@ func TestStringers(t *testing.T) {
 			t.Errorf("%T missing String", m)
 		}
 	}
-	kinds := []Kind{KindProposal, KindDecision, KindNoDecision, KindJoin, KindReconfig, KindNack, KindState, Kind(42)}
+	kinds := []Kind{KindProposal, KindDecision, KindNoDecision, KindJoin, KindReconfig, KindNack, KindState, KindOALReq, KindOALFull, Kind(42)}
 	for _, k := range kinds {
 		if k.String() == "" {
 			t.Errorf("Kind(%d).String empty", k)

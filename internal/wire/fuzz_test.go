@@ -30,8 +30,18 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
+		// The scratch decoder must agree with the allocating one, on
+		// both acceptance and content.
+		var dc Decoder
+		ms, errs := dc.Decode(data)
+		if (err == nil) != (errs == nil) {
+			t.Fatalf("decoder disagreement: Decode err=%v, scratch err=%v", err, errs)
+		}
 		if err != nil {
 			return
+		}
+		if !messagesEqual(m, ms) {
+			t.Fatalf("scratch decode diverged:\n%#v\n%#v", m, ms)
 		}
 		re := Encode(m)
 		m2, err := Decode(re)
@@ -43,6 +53,71 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !messagesEqual(normalize(m), normalize(m2)) {
 			t.Fatalf("round trip changed content:\n%#v\n%#v", m, m2)
+		}
+	})
+}
+
+// FuzzSplitCoalesced drives the coalesced-datagram splitter with
+// arbitrary bytes: it must never panic, and whatever splits cleanly into
+// decodable frames must survive re-coalescing and re-splitting intact.
+func FuzzSplitCoalesced(f *testing.F) {
+	var c Coalescer
+	for _, m := range sampleMessages() {
+		c.TryAppend(m)
+	}
+	f.Add(append([]byte(nil), c.Datagram()...))
+	c.Reset()
+	c.TryAppend(&Nack{Header: Header{From: 1, SendTS: 2}})
+	c.TryAppend(&OALReq{Header: Header{From: 3, SendTS: 4}})
+	f.Add(append([]byte(nil), c.Datagram()...))
+	f.Add([]byte{CoalesceMagic})
+	f.Add([]byte{CoalesceMagic, 0})
+	f.Add([]byte{CoalesceMagic, 2, 1, 0, 0, 0, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var msgs []Message
+		clean := true
+		if err := SplitCoalesced(data, func(frame []byte) {
+			m, derr := Decode(frame)
+			if derr != nil {
+				clean = false
+				return
+			}
+			msgs = append(msgs, m)
+		}); err != nil || !clean || len(msgs) == 0 {
+			return
+		}
+		var rc Coalescer
+		for _, m := range msgs {
+			if !rc.TryAppend(m) {
+				return // legitimately over the size budget
+			}
+		}
+		var back []Message
+		if err := SplitCoalesced(rc.Datagram(), func(frame []byte) {
+			m, derr := Decode(frame)
+			if derr != nil {
+				t.Fatalf("re-split decode: %v", derr)
+			}
+			back = append(back, m)
+		}); err != nil {
+			if len(msgs) == 1 {
+				// A single message re-coalesces to a bare frame.
+				m, derr := Decode(rc.Datagram())
+				if derr != nil || !messagesEqual(msgs[0], m) {
+					t.Fatalf("bare re-coalesce mismatch: %v", derr)
+				}
+				return
+			}
+			t.Fatalf("re-split: %v", err)
+		}
+		if len(back) != len(msgs) {
+			t.Fatalf("re-split %d frames, want %d", len(back), len(msgs))
+		}
+		for i := range msgs {
+			if !messagesEqual(msgs[i], back[i]) {
+				t.Fatalf("frame %d changed across re-coalesce", i)
+			}
 		}
 	})
 }

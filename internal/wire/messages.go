@@ -41,6 +41,15 @@ const (
 	// decider transfers to a joining member (paper §4.1: the decider
 	// "retrieves its application state ... and updates the state of p").
 	KindState
+	// KindOALReq asks a peer for its full oal baseline. A member sends
+	// one when it receives a delta-encoded decision it cannot apply
+	// (missing or mismatched base); the answer is an OALFull.
+	KindOALReq
+	// KindOALFull carries a member's pristine copy of the last decision's
+	// full oal — the shared baseline delta-encoded decisions diff
+	// against. It repairs a peer that lost the baseline without waiting
+	// for the decider's next periodic full-oal decision.
+	KindOALFull
 )
 
 func (k Kind) String() string {
@@ -59,6 +68,10 @@ func (k Kind) String() string {
 		return "nack"
 	case KindState:
 		return "state"
+	case KindOALReq:
+		return "oal-request"
+	case KindOALFull:
+		return "oal-full"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -117,6 +130,16 @@ type Decision struct {
 	// one. A receiver holding coverage from a different lineage must
 	// discard that coverage before applying the oal.
 	Lineage model.GroupSeq
+	// BaseTS, when non-zero, marks a delta-encoded oal (wire v5): OAL
+	// holds only the entries that are new or changed since the decision
+	// whose send timestamp was BaseTS; the receiver reconstructs the
+	// full list from its pristine copy of that decision. Zero means OAL
+	// is the full list (and is what a v4 frame decodes to).
+	BaseTS model.Time
+	// TruncBelow is the sender's first retained ordinal when BaseTS is
+	// non-zero: base entries below it were truncated and must be dropped
+	// during reconstruction.
+	TruncBelow oal.Ordinal
 }
 
 func (*Decision) Kind() Kind    { return KindDecision }
@@ -137,6 +160,11 @@ type NoDecision struct {
 	View     oal.List
 	DPD      []oal.ProposalID
 	Alive    []model.ProcessID
+	// BaseTS, when non-zero, marks View as delta-encoded against the
+	// decision whose send timestamp was BaseTS, exactly as on Decision.
+	// TruncBelow is the sender's first retained ordinal.
+	BaseTS     model.Time
+	TruncBelow oal.Ordinal
 }
 
 func (*NoDecision) Kind() Kind    { return KindNoDecision }
@@ -272,6 +300,36 @@ func (m *State) String() string {
 		m.From, m.SendTS, m.GroupSeq, len(m.AppState), len(m.Pending))
 }
 
+// OALReq asks the receiver for its full oal baseline (see KindOALReq).
+type OALReq struct {
+	Header
+}
+
+func (*OALReq) Kind() Kind    { return KindOALReq }
+func (m *OALReq) Hdr() Header { return m.Header }
+func (m *OALReq) String() string {
+	return fmt.Sprintf("oal-request{from=%v ts=%v}", m.From, m.SendTS)
+}
+
+// OALFull answers an OALReq with the sender's pristine copy of the last
+// decision's full oal: the group it installed, the ordinal-space lineage,
+// the decision's send timestamp (DecTS), and the decision's oal content
+// exactly as broadcast. A receiver applies it like a full decision with
+// SendTS = DecTS, which also re-establishes the delta baseline.
+type OALFull struct {
+	Header
+	Group   model.Group
+	Lineage model.GroupSeq
+	DecTS   model.Time
+	OAL     oal.List
+}
+
+func (*OALFull) Kind() Kind    { return KindOALFull }
+func (m *OALFull) Hdr() Header { return m.Header }
+func (m *OALFull) String() string {
+	return fmt.Sprintf("oal-full{from=%v ts=%v dec=%v hi=%d}", m.From, m.SendTS, m.DecTS, m.OAL.HighestOrdinal())
+}
+
 var (
 	_ Message = (*Proposal)(nil)
 	_ Message = (*Decision)(nil)
@@ -280,4 +338,6 @@ var (
 	_ Message = (*Reconfig)(nil)
 	_ Message = (*Nack)(nil)
 	_ Message = (*State)(nil)
+	_ Message = (*OALReq)(nil)
+	_ Message = (*OALFull)(nil)
 )

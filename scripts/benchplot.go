@@ -1,0 +1,210 @@
+// Command benchplot renders the perf trajectory accumulated by
+// `twbench -json`: one BENCH_<date>.json lands per PR, and this tool
+// turns the pile into a per-benchmark text table plus an SVG line chart
+// (log-scale ns/op over time), so a hot-path regression shows up as a
+// kink instead of hiding inside a single run's noise.
+//
+// Usage:
+//
+//	go run ./scripts -dir . -out bench_trajectory.svg
+//	make benchplot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type benchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var (
+	flagDir = flag.String("dir", ".", "directory holding BENCH_*.json reports")
+	flagOut = flag.String("out", "bench_trajectory.svg", "output SVG path (empty = table only)")
+)
+
+func main() {
+	flag.Parse()
+	reports, err := loadReports(*flagDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(reports) == 0 {
+		fmt.Fprintf(os.Stderr, "no BENCH_*.json under %s\n", *flagDir)
+		os.Exit(1)
+	}
+	names, series := buildSeries(reports)
+	printTable(reports, names, series)
+	if *flagOut == "" {
+		return
+	}
+	svg := renderSVG(reports, names, series)
+	if err := os.WriteFile(*flagOut, []byte(svg), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d reports, %d benchmarks)\n", *flagOut, len(reports), len(names))
+}
+
+func loadReports(dir string) ([]benchReport, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []benchReport
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r benchReport
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if r.Date == "" {
+			// Fall back to the filename's date so hand-renamed reports
+			// still sort.
+			r.Date = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Date < out[j].Date })
+	return out, nil
+}
+
+// buildSeries pivots the reports into one ns/op series per benchmark
+// name; a benchmark absent from a report (added in a later PR) holds
+// zero there and the table/plot skip the gap.
+func buildSeries(reports []benchReport) (names []string, series map[string][]int64) {
+	series = make(map[string][]int64)
+	for ri, r := range reports {
+		for _, b := range r.Benchmarks {
+			s, ok := series[b.Name]
+			if !ok {
+				s = make([]int64, len(reports))
+				series[b.Name] = s
+				names = append(names, b.Name)
+			}
+			s[ri] = b.NsPerOp
+		}
+	}
+	sort.Strings(names)
+	return names, series
+}
+
+func printTable(reports []benchReport, names []string, series map[string][]int64) {
+	fmt.Printf("%-24s", "benchmark (ns/op)")
+	for _, r := range reports {
+		fmt.Printf(" %12s", r.Date)
+	}
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("%-24s", name)
+		for _, v := range series[name] {
+			if v == 0 {
+				fmt.Printf(" %12s", "-")
+			} else {
+				fmt.Printf(" %12d", v)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// palette cycles through visually-distinct line colors.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// renderSVG draws each benchmark's ns/op over the report dates on a
+// log10 y-axis (the series span ~1ns counters to ~1µs dispatches).
+func renderSVG(reports []benchReport, names []string, series map[string][]int64) string {
+	const (
+		w, h                      = 960, 480
+		mLeft, mRight, mTop, mBot = 70, 230, 30, 50
+	)
+	plotW, plotH := w-mLeft-mRight, h-mTop-mBot
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			if v <= 0 {
+				continue
+			}
+			l := math.Log10(float64(v))
+			lo, hi = math.Min(lo, l), math.Max(hi, l)
+		}
+	}
+	lo, hi = math.Floor(lo), math.Ceil(hi)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	x := func(i int) float64 {
+		if len(reports) == 1 {
+			return float64(mLeft + plotW/2)
+		}
+		return float64(mLeft) + float64(i)/float64(len(reports)-1)*float64(plotW)
+	}
+	y := func(ns int64) float64 {
+		return float64(mTop) + (1-(math.Log10(float64(ns))-lo)/(hi-lo))*float64(plotH)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">twbench micro-benchmark trajectory (ns/op, log scale)</text>`+"\n", mLeft)
+
+	// Gridlines and y labels at each decade.
+	for d := lo; d <= hi; d++ {
+		yy := y(int64(math.Pow(10, d)))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mLeft, yy, w-mRight, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%g</text>`+"\n", mLeft-8, yy+4, math.Pow(10, d))
+	}
+	// X labels: report dates.
+	for i, r := range reports {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", x(i), h-mBot+20, r.Date)
+	}
+
+	for ni, name := range names {
+		color := palette[ni%len(palette)]
+		var pts []string
+		for i, v := range series[name] {
+			if v <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for i, v := range series[name] {
+			if v > 0 {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", x(i), y(v), color)
+			}
+		}
+		// Legend entry.
+		ly := mTop + 14*ni
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			w-mRight+10, ly+8, w-mRight+30, ly+8, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", w-mRight+36, ly+12, name)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

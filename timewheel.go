@@ -36,8 +36,8 @@ import (
 	"timewheel/internal/adapt"
 	"timewheel/internal/broadcast"
 	"timewheel/internal/durable"
-	"timewheel/internal/fdetect"
 	"timewheel/internal/engine"
+	"timewheel/internal/fdetect"
 	"timewheel/internal/guard"
 	"timewheel/internal/member"
 	"timewheel/internal/model"
@@ -329,6 +329,15 @@ type Node struct {
 	sinceSnap int
 	recovery  RecoveryReport
 
+	// Send coalescing (event-loop confined): every control frame
+	// produced while handling one event is encoded straight into a
+	// per-destination coalescer's reusable buffer; handle() flushes
+	// them as one datagram per destination after dispatch — no
+	// per-message allocation or syscall on the hot send path.
+	coBcast wire.Coalescer
+	coUni   map[int]*wire.Coalescer
+	coDests []int
+
 	mu      sync.Mutex
 	timers  map[member.TimerID]*time.Timer
 	stopped bool
@@ -442,6 +451,7 @@ func NewNode(cfg Config) (*Node, error) {
 		params: mp,
 		tr:     cfg.Transport,
 		timers: make(map[member.TimerID]*time.Timer),
+		coUni:  make(map[int]*wire.Coalescer),
 	}
 	n.obs = newNodeObs(n)
 	var rec *durable.Recovery
@@ -634,11 +644,11 @@ func NewNode(cfg Config) (*Node, error) {
 	default:
 		return nil, fmt.Errorf("timewheel: unknown engine %q (want \"loop\" or \"threaded\")", cfg.Engine)
 	}
-	cfg.Transport.SetReceiver(func(data []byte) {
+	recvFrame := func(data []byte) {
 		msg, err := wire.Decode(data)
 		if err != nil {
 			n.obs.recvDrops.Inc()
-			return // corrupt datagram: drop, as UDP would
+			return // corrupt frame: drop, as UDP would
 		}
 		hdr := msg.Hdr()
 		n.obs.onRecv(hdr.From, hdr.SendTS)
@@ -649,6 +659,18 @@ func NewNode(cfg Config) (*Node, error) {
 			n.obs.recvDrops.Inc()
 			n.obs.emit(obs.EvQueueDrop, int64(msg.Kind()), 0)
 		}
+	}
+	cfg.Transport.SetReceiver(func(data []byte) {
+		if wire.IsCoalesced(data) {
+			// A coalesced datagram: each sub-frame decodes (and fails
+			// CRC) independently. Decode copies what it keeps, so the
+			// borrowed transport buffer is released on return.
+			if wire.SplitCoalesced(data, recvFrame) != nil {
+				n.obs.recvDrops.Inc() // malformed envelope
+			}
+			return
+		}
+		recvFrame(data)
 	})
 	registerExpvar(n)
 	return n, nil
@@ -754,6 +776,7 @@ func (n *Node) handle(ev engine.Event) {
 		g.NoteTimerFired(start, ev.Due)
 	}
 	n.dispatch(ev)
+	n.flushSends()
 	end := time.Now()
 	n.obs.handlerLatency.ObserveDuration(end.Sub(start))
 	if g != nil {
@@ -1134,7 +1157,10 @@ func (e *nodeEnv) Broadcast(m wire.Message) {
 		return // tripped under Enforce: a fail-aware process goes silent
 	}
 	n.obs.sends.Inc()
-	e.tr.Broadcast(wire.Encode(m)) //nolint:errcheck // omission failures are in-model
+	if !n.coBcast.TryAppend(m) {
+		n.flushBroadcast()
+		n.coBcast.TryAppend(m)
+	}
 }
 
 func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
@@ -1143,7 +1169,45 @@ func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
 		return
 	}
 	n.obs.sends.Inc()
-	e.tr.Unicast(int(to), wire.Encode(m)) //nolint:errcheck
+	dst := int(to)
+	c := n.coUni[dst]
+	if c == nil {
+		c = new(wire.Coalescer)
+		n.coUni[dst] = c
+	}
+	if c.Count() == 0 {
+		n.coDests = append(n.coDests, dst)
+	}
+	if !c.TryAppend(m) {
+		if d := c.Datagram(); d != nil {
+			n.tr.Unicast(dst, d) //nolint:errcheck // omission failures are in-model
+		}
+		c.Reset()
+		c.TryAppend(m)
+	}
+}
+
+// flushBroadcast sends the pending broadcast datagram, encoded once and
+// fanned out by the transport with no per-peer copies.
+func (n *Node) flushBroadcast() {
+	if d := n.coBcast.Datagram(); d != nil {
+		n.tr.Broadcast(d) //nolint:errcheck // omission failures are in-model
+	}
+	n.coBcast.Reset()
+}
+
+// flushSends ships every datagram coalesced during the event just
+// dispatched: one broadcast, then one datagram per unicast destination.
+func (n *Node) flushSends() {
+	n.flushBroadcast()
+	for _, dst := range n.coDests {
+		c := n.coUni[dst]
+		if d := c.Datagram(); d != nil {
+			n.tr.Unicast(dst, d) //nolint:errcheck // omission failures are in-model
+		}
+		c.Reset()
+	}
+	n.coDests = n.coDests[:0]
 }
 
 func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
