@@ -9,6 +9,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
 	"timewheel/internal/obs"
+	"timewheel/internal/transport"
 	"timewheel/internal/wire"
 )
 
@@ -97,6 +99,7 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 		{"WireEncodeDecision", benchWireEncodeDecision},
 		{"WireDecodeDecision", benchWireDecodeDecision},
 		{"WireRoundTripDelta", benchWireRoundTripDelta},
+		{"FabricDemux", benchFabricDemux},
 	}
 	for _, m := range micro {
 		r := testing.Benchmark(m.fn)
@@ -324,6 +327,42 @@ func benchWireDecodeDecision(b *testing.B) {
 	}
 }
 
+// benchTrunk is a loopback trunk for the demux benchmark: the demux
+// registers its receiver here and the benchmark drives it directly.
+type benchTrunk struct{ recv transport.Receiver }
+
+func (t *benchTrunk) Self() model.ProcessID                 { return 0 }
+func (t *benchTrunk) Broadcast([]byte) error                { return nil }
+func (t *benchTrunk) Unicast(model.ProcessID, []byte) error { return nil }
+func (t *benchTrunk) SetReceiver(r transport.Receiver)      { t.recv = r }
+func (t *benchTrunk) Close() error                          { return nil }
+
+// benchFabricDemux measures the fabric receive hot path: one grouped
+// (wire v6) datagram of four coalesced frames routed through the demux
+// to its group port. Acceptance: 0 allocs/op — the multi-group fabric
+// must not tax the wire path it multiplexes.
+func benchFabricDemux(b *testing.B) {
+	trunk := &benchTrunk{}
+	d := transport.NewDemux(trunk)
+	sink := 0
+	d.Port(3).SetReceiver(func(frame []byte) { sink += len(frame) })
+	var c wire.Coalescer
+	c.SetGroup(3)
+	for i := 0; i < 4; i++ {
+		if !c.TryAppend(&wire.Nack{Header: wire.Header{From: model.ProcessID(i), SendTS: model.Time(i)}}) {
+			b.Fatal("TryAppend refused")
+		}
+	}
+	data := append([]byte(nil), c.Datagram()...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trunk.recv(data)
+	}
+	_ = sink
+	_ = d
+}
+
 func benchWireRoundTripDelta(b *testing.B) {
 	dec := benchDecision(true)
 	buf := wire.GetBuffer()
@@ -386,7 +425,17 @@ func liveClusterHistograms() ([]histSummary, *adaptiveSummary, error) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	for i := 0; i < 50; i++ {
-		if err := nodes[i%n].Propose([]byte("bench"), timewheel.TotalOrder, timewheel.Strong); err != nil {
+		err := nodes[i%n].Propose([]byte("bench"), timewheel.TotalOrder, timewheel.Strong)
+		if errors.Is(err, timewheel.ErrNotMember) {
+			// A transient wrong suspicion mid-burst (easy to provoke on
+			// a loaded single-CPU runner with these tight params) drops
+			// the proposer out of the group until its automatic rejoin;
+			// skip the slot — this sampler collects histograms, it is
+			// not a liveness assertion.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if err != nil {
 			return nil, nil, err
 		}
 		time.Sleep(time.Millisecond)

@@ -1,0 +1,143 @@
+package main
+
+// Fabric mode (-groups): instead of one timewheel group spanning all
+// peers, the peer list becomes a shared trunk and this process hosts
+// one member of every group whose replica list names its host id. Typed
+// lines are routed by key — the first whitespace-separated token —
+// through the consistent-hash ring, exactly the sharded deployment
+// docs/FABRIC.md describes.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"timewheel"
+	"timewheel/fabric"
+)
+
+// parseGroups parses the -groups syntax: semicolon-separated
+// "<gid>:<host>,<host>,..." placements, e.g. "1:0,1,2;2:1,2,3".
+func parseGroups(s string) ([]fabric.GroupSpec, error) {
+	var specs []fabric.GroupSpec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		gidStr, hostsStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("group %q: want <gid>:<host>,<host>,...", part)
+		}
+		gid, err := strconv.ParseUint(strings.TrimSpace(gidStr), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("group %q: bad id: %v", part, err)
+		}
+		spec := fabric.GroupSpec{ID: uint32(gid)}
+		for _, h := range strings.Split(hostsStr, ",") {
+			host, err := strconv.Atoi(strings.TrimSpace(h))
+			if err != nil {
+				return nil, fmt.Errorf("group %q: bad host: %v", part, err)
+			}
+			spec.Replicas = append(spec.Replicas, host)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-groups is empty")
+	}
+	return specs, nil
+}
+
+// runFabric is twnode's fabric mode main loop.
+func runFabric(host int, tr timewheel.Transport, specs []fabric.GroupSpec, vnodes int,
+	params timewheel.Params, dataDir, fsync string, adaptive bool, httpAddr string) {
+	ids := make([]uint32, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	ring, err := fabric.NewRing(ids, vnodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ring: %v\n", err)
+		os.Exit(1)
+	}
+	dir := ""
+	if dataDir != "" {
+		dir = fmt.Sprintf("%s/host-%d", dataDir, host)
+	}
+	node, err := fabric.New(fabric.Config{
+		Host:      host,
+		Transport: tr,
+		Groups:    specs,
+		Ring:      ring,
+		Params:    params,
+		DataDir:   dir,
+		Fsync:     fsync,
+		Adaptive:  timewheel.AdaptiveConfig{Enabled: adaptive},
+		OnDeliver: func(gid uint32, d timewheel.Delivery) {
+			fmt.Printf("[deliver] g%d o%-4d from p%d: %s\n", gid, d.Ordinal, d.Proposer, d.Payload)
+		},
+		OnViewChange: func(gid uint32, v timewheel.View) {
+			fmt.Printf("[view]    g%d view %d %v\n", gid, v.Seq, v.Members)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabric: %v\n", err)
+		os.Exit(1)
+	}
+	hosted := node.Hosted()
+	if len(hosted) == 0 {
+		fmt.Fprintf(os.Stderr, "host %d appears in no group's replica list\n", host)
+		os.Exit(1)
+	}
+	if httpAddr != "" {
+		// Observability rides the first hosted group's node; all groups
+		// share the process, and per-group series carry {group="gN"}.
+		if g := node.Group(hosted[0]); g != nil {
+			if srv, err := g.ServeObs(httpAddr); err == nil {
+				defer srv.Close()
+				fmt.Printf("[http]    observability at http://%s (group g%d's registry)\n", srv.Addr(), hosted[0])
+			} else {
+				fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			}
+		}
+	}
+	node.Start()
+	defer node.Stop()
+	router := fabric.NewRouter(node.Ring())
+
+	fmt.Printf("fabric host %d up, hosting groups %v of %d on the ring — "+
+		"type '<key> <text>' to route a broadcast, 'status' for state, ctrl-D to quit\n",
+		host, hosted, len(ids))
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "status":
+			for _, gid := range node.Hosted() {
+				g := node.Group(gid)
+				v, ok := g.CurrentView()
+				fmt.Printf("[status]  g%d view=%d %v (member=%v) delivered=%d\n",
+					gid, v.Seq, v.Members, ok, g.Metrics().Delivered)
+			}
+			st := node.DemuxStats()
+			fmt.Printf("[demux]   unknownGroup=%d malformed=%d ring epoch=%d\n",
+				st.UnknownGroup, st.Malformed, node.Ring().Epoch())
+		default:
+			key, _, _ := strings.Cut(line, " ")
+			err := router.Do([]byte(key), 3,
+				func() { router.Update(node.Ring()) },
+				func(gid uint32, epoch uint64) error {
+					return node.ProposeKey(epoch, []byte(key), []byte(line), timewheel.TotalOrder, timewheel.Strong)
+				})
+			if err != nil {
+				gid, _ := router.Route([]byte(key))
+				fmt.Printf("[error]   key %q (group g%d): %v\n", key, gid, err)
+			}
+		}
+	}
+}

@@ -49,6 +49,12 @@ func main() {
 		httpAddr = flag.String("http", "",
 			"serve observability endpoints on this address "+
 				"(/metrics, /healthz, /debug/events, /debug/pprof; empty: off)")
+		groups = flag.String("groups", "",
+			"fabric mode: semicolon-separated group placements <gid>:<host>,<host>,... "+
+				"(e.g. '1:0,1,2;2:1,2,3'); -id becomes the host id on the shared trunk "+
+				"and this process hosts every group listing it (empty: single-group mode)")
+		ringVnodes = flag.Int("ring", 0,
+			"fabric mode: virtual points per group on the consistent-hash ring (0: default)")
 	)
 	flag.Parse()
 
@@ -81,6 +87,16 @@ func main() {
 		})
 		tr = chaos.Wrap(*id, tr)
 		fmt.Printf("[chaos]   transport wrapped, seed=%d\n", *chaosSeed)
+	}
+	if *groups != "" {
+		specs, err := parseGroups(*groups)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-groups: %v\n", err)
+			os.Exit(2)
+		}
+		runFabric(*id, tr, specs, *ringVnodes,
+			timewheel.Params{Delta: *delta, D: *dd}, *dataDir, *fsync, *adaptive, *httpAddr)
+		return
 	}
 	dir := ""
 	if *dataDir != "" {

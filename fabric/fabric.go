@@ -1,0 +1,545 @@
+// Package fabric shards a keyspace over many timewheel groups sharing
+// one transport — the multi-group scaling path: the paper's protocol
+// runs each group at its sweet-spot N, and capacity grows by adding
+// groups, not members.
+//
+// A fabric Node is one host. It multiplexes every group it hosts over a
+// single socket: each group's timewheel engine tags its datagrams with
+// the group-id (the wire v6 grouped envelope) and a demux stage routes
+// inbound datagrams to the hosting engine. A consistent-hash Ring maps
+// keys to groups; the client-side Router retries on ErrWrongGroup after
+// a routing-epoch flip. MoveGroup rebalances: it moves one replica of a
+// group between hosts using a durable snapshot clone plus the
+// protocol's own replay-delta rejoin, then flips the ring epoch.
+//
+// See docs/FABRIC.md for the wire format, ring semantics and the move
+// protocol.
+package fabric
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"timewheel"
+	"timewheel/internal/durable"
+	"timewheel/internal/model"
+	"timewheel/internal/transport"
+)
+
+// GroupSpec places one timewheel group on the fabric: the group's wire
+// id and the hosts its members run on — member i of the group is the
+// timewheel node with ID i on host Replicas[i].
+type GroupSpec struct {
+	// ID is the group's wire id, nonzero (0 is the legacy untagged
+	// format) and unique across the fabric.
+	ID uint32
+	// Replicas maps member index to host id. Hosts must be distinct:
+	// co-hosting two members of the same group would fold two engines
+	// onto one demux port.
+	Replicas []int
+}
+
+func (s GroupSpec) clone() GroupSpec {
+	s.Replicas = append([]int(nil), s.Replicas...)
+	return s
+}
+
+func (s GroupSpec) memberOn(host int) (int, bool) {
+	for i, h := range s.Replicas {
+		if h == host {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func (s GroupSpec) validate() error {
+	if s.ID == 0 {
+		return fmt.Errorf("fabric: group id 0 is reserved for the legacy wire format")
+	}
+	if len(s.Replicas) == 0 {
+		return fmt.Errorf("fabric: group %d has no replicas", s.ID)
+	}
+	seen := make(map[int]bool, len(s.Replicas))
+	for _, h := range s.Replicas {
+		if h < 0 {
+			return fmt.Errorf("fabric: group %d: negative host %d", s.ID, h)
+		}
+		if seen[h] {
+			return fmt.Errorf("fabric: group %d places two members on host %d", s.ID, h)
+		}
+		seen[h] = true
+	}
+	return nil
+}
+
+// Config configures a fabric Node.
+type Config struct {
+	// Host is this node's id on the shared transport.
+	Host int
+	// Transport is the shared trunk socket connecting all fabric hosts
+	// (addressed by host id). The node installs the demux as its
+	// receiver and closes it on Stop.
+	Transport timewheel.Transport
+	// Groups is the fabric-wide placement; the node hosts the subset
+	// whose Replicas include Host.
+	Groups []GroupSpec
+	// Ring is the initial routing table. Nil builds an epoch-1 ring
+	// over Groups with DefaultVnodes.
+	Ring *Ring
+	// Params tune every hosted group's timing model.
+	Params timewheel.Params
+	// DataDir, when set, makes every hosted group durable under
+	// DataDir/g<id> — required on both ends for snapshot-clone moves
+	// (without it MoveGroup falls back to a full state transfer).
+	DataDir string
+	// Fsync and SnapshotEvery pass through to each hosted group.
+	Fsync         string
+	SnapshotEvery int
+	// Adaptive and Guard pass through to each hosted group.
+	Adaptive timewheel.AdaptiveConfig
+	Guard    timewheel.GuardConfig
+	// OnDeliver, OnViewChange, Snapshot and Install are the per-group
+	// application hooks, keyed by group id.
+	OnDeliver    func(gid uint32, d timewheel.Delivery)
+	OnViewChange func(gid uint32, v timewheel.View)
+	Snapshot     func(gid uint32) []byte
+	Install      func(gid uint32, state []byte)
+}
+
+// Node is one fabric host: the demux over the shared trunk plus a
+// timewheel engine per hosted group.
+type Node struct {
+	cfg   Config
+	demux *transport.Demux
+	ring  atomic.Pointer[Ring]
+
+	mu      sync.Mutex
+	hosted  map[uint32]*hostedGroup
+	started bool
+	stopped bool
+}
+
+type hostedGroup struct {
+	spec GroupSpec // current layout (rewritten by UpdateGroup under Node.mu)
+	idx  int       // this host's member index
+	node *timewheel.Node
+	port *groupPort
+}
+
+// New builds a fabric node and its hosted group engines; call Start to
+// join. The transport's receiver is taken over immediately.
+func New(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("fabric: Transport is required")
+	}
+	if cfg.Host < 0 {
+		return nil, fmt.Errorf("fabric: negative host id %d", cfg.Host)
+	}
+	ids := make([]uint32, 0, len(cfg.Groups))
+	seen := make(map[uint32]bool, len(cfg.Groups))
+	for _, s := range cfg.Groups {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("fabric: duplicate group id %d", s.ID)
+		}
+		seen[s.ID] = true
+		ids = append(ids, s.ID)
+	}
+	ring := cfg.Ring
+	if ring == nil {
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("fabric: no groups and no ring")
+		}
+		var err error
+		if ring, err = NewRing(ids, 0); err != nil {
+			return nil, err
+		}
+	}
+	n := &Node{
+		cfg:    cfg,
+		demux:  transport.NewDemux(trunkAdapter{t: cfg.Transport, id: model.ProcessID(cfg.Host)}),
+		hosted: make(map[uint32]*hostedGroup),
+	}
+	n.ring.Store(ring)
+	for _, s := range cfg.Groups {
+		if _, ok := s.memberOn(cfg.Host); !ok {
+			continue
+		}
+		if err := n.addGroupLocked(s.clone()); err != nil {
+			n.Stop()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// addGroupLocked builds the engine for one hosted group. Callers hold
+// no lock during New (single goroutine) — AddGroup wraps it.
+func (n *Node) addGroupLocked(spec GroupSpec) error {
+	idx, ok := spec.memberOn(n.cfg.Host)
+	if !ok {
+		return fmt.Errorf("fabric: host %d is not a replica of group %d", n.cfg.Host, spec.ID)
+	}
+	if _, dup := n.hosted[spec.ID]; dup {
+		return fmt.Errorf("fabric: group %d already hosted", spec.ID)
+	}
+	gp := &groupPort{
+		port:    n.demux.Port(spec.ID),
+		self:    model.ProcessID(n.cfg.Host),
+		selfIdx: idx,
+	}
+	gp.setReplicas(spec.Replicas)
+	gid := spec.ID
+	twc := timewheel.Config{
+		ID:            idx,
+		ClusterSize:   len(spec.Replicas),
+		Transport:     gp,
+		Params:        n.cfg.Params,
+		Group:         gid,
+		Fsync:         n.cfg.Fsync,
+		SnapshotEvery: n.cfg.SnapshotEvery,
+		Adaptive:      n.cfg.Adaptive,
+		Guard:         n.cfg.Guard,
+	}
+	if n.cfg.DataDir != "" {
+		twc.DataDir = n.groupDir(gid)
+	}
+	if cb := n.cfg.OnDeliver; cb != nil {
+		twc.OnDeliver = func(d timewheel.Delivery) { cb(gid, d) }
+	}
+	if cb := n.cfg.OnViewChange; cb != nil {
+		twc.OnViewChange = func(v timewheel.View) { cb(gid, v) }
+	}
+	if cb := n.cfg.Snapshot; cb != nil {
+		twc.Snapshot = func() []byte { return cb(gid) }
+	}
+	if cb := n.cfg.Install; cb != nil {
+		twc.Install = func(state []byte) { cb(gid, state) }
+	}
+	tn, err := timewheel.NewNode(twc)
+	if err != nil {
+		gp.Close() //nolint:errcheck // deregistration only
+		return err
+	}
+	n.hosted[spec.ID] = &hostedGroup{spec: spec, idx: idx, node: tn, port: gp}
+	return nil
+}
+
+// groupDir is the durable directory for one hosted group's member.
+func (n *Node) groupDir(gid uint32) string {
+	return filepath.Join(n.cfg.DataDir, fmt.Sprintf("g%d", gid))
+}
+
+// Start starts every hosted group engine.
+func (n *Node) Start() {
+	n.mu.Lock()
+	n.started = true
+	gs := make([]*hostedGroup, 0, len(n.hosted))
+	for _, h := range n.hosted {
+		gs = append(gs, h)
+	}
+	n.mu.Unlock()
+	for _, h := range gs {
+		h.node.Start()
+	}
+}
+
+// Stop stops every hosted engine and closes the shared trunk.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	gs := make([]*hostedGroup, 0, len(n.hosted))
+	for _, h := range n.hosted {
+		gs = append(gs, h)
+	}
+	n.mu.Unlock()
+	for _, h := range gs {
+		h.node.Stop()
+	}
+	n.demux.Close() //nolint:errcheck // trunk close
+}
+
+// Ring returns the node's current routing table.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// SetRing installs a newer routing table (stale epochs are ignored).
+func (n *Node) SetRing(r *Ring) {
+	for {
+		cur := n.ring.Load()
+		if r == nil || r.Epoch() <= cur.Epoch() {
+			return
+		}
+		if n.ring.CompareAndSwap(cur, r) {
+			return
+		}
+	}
+}
+
+// Host returns this node's host id.
+func (n *Node) Host() int { return n.cfg.Host }
+
+// Hosted returns the ids of the groups this node currently hosts.
+func (n *Node) Hosted() []uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint32, 0, len(n.hosted))
+	for gid := range n.hosted {
+		out = append(out, gid)
+	}
+	return out
+}
+
+// Group returns the engine for a hosted group, or nil.
+func (n *Node) Group(gid uint32) *timewheel.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hosted[gid]; h != nil {
+		return h.node
+	}
+	return nil
+}
+
+// Spec returns the node's current layout for a hosted group.
+func (n *Node) Spec(gid uint32) (GroupSpec, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hosted[gid]; h != nil {
+		return h.spec.clone(), true
+	}
+	return GroupSpec{}, false
+}
+
+// DemuxStats snapshots the demux drop counters.
+func (n *Node) DemuxStats() transport.DemuxStats { return n.demux.Stats() }
+
+// AddGroup hosts a new group on this node (it must appear in
+// spec.Replicas). If the node is started, the engine starts joining
+// immediately — with a durable directory seeded by CloneSnapshot it
+// advertises the cloned coverage and rejoins by replay delta.
+func (n *Node) AddGroup(spec GroupSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return timewheel.ErrStopped
+	}
+	if err := n.addGroupLocked(spec.clone()); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	h := n.hosted[spec.ID]
+	started := n.started
+	n.mu.Unlock()
+	if started {
+		h.node.Start()
+	}
+	return nil
+}
+
+// RemoveGroup stops and unhosts a group's engine; its demux port is
+// deregistered (the shared trunk stays open). The durable directory is
+// left in place — it seeds a snapshot clone if the group moves on.
+func (n *Node) RemoveGroup(gid uint32) error {
+	n.mu.Lock()
+	h := n.hosted[gid]
+	delete(n.hosted, gid)
+	n.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("fabric: group %d not hosted", gid)
+	}
+	h.node.Stop()
+	return nil
+}
+
+// UpdateGroup installs a new replica layout for gid on this node: a
+// hosted engine's sends to the moved member start flowing to its new
+// host. No-op for groups this node does not host. The node itself must
+// still be a replica at its old index (moving the local member is
+// Remove/AddGroup territory — see MoveGroup).
+func (n *Node) UpdateGroup(spec GroupSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.hosted[spec.ID]
+	if h == nil {
+		return nil
+	}
+	if len(spec.Replicas) != len(h.spec.Replicas) {
+		return fmt.Errorf("fabric: group %d resize (%d → %d members) is not a layout update",
+			spec.ID, len(h.spec.Replicas), len(spec.Replicas))
+	}
+	if idx, ok := spec.memberOn(n.cfg.Host); !ok || idx != h.idx {
+		return fmt.Errorf("fabric: layout update would move the local member of group %d", spec.ID)
+	}
+	h.spec = spec.clone()
+	h.port.setReplicas(h.spec.Replicas)
+	return nil
+}
+
+// ProposeKey routes a key through the node's ring and proposes the
+// payload on the owning group. The caller presents the routing epoch
+// its table came from; a stale epoch — or a key owned by a group this
+// node does not host — returns ErrWrongGroup, telling the client to
+// refresh its ring (Router.Do automates the retry).
+func (n *Node) ProposeKey(epoch uint64, key, payload []byte, o timewheel.Order, a timewheel.Atomicity) error {
+	r := n.ring.Load()
+	if epoch != r.Epoch() {
+		return ErrWrongGroup
+	}
+	gid := r.Route(key)
+	n.mu.Lock()
+	h := n.hosted[gid]
+	n.mu.Unlock()
+	if h == nil {
+		return ErrWrongGroup
+	}
+	return h.node.Propose(payload, o, a)
+}
+
+// MoveGroup moves group gid's replica from host src to host dst — the
+// scripted rebalancing step. The sequence:
+//
+//  1. Checkpoint the source member (durable snapshot at the current
+//     delivery frontier) and stop it.
+//  2. Clone the snapshot into the destination's group directory
+//     (skipped — full transfer fallback — when either side is not
+//     durable or the checkpoint failed).
+//  3. Install the new layout on every fabric node and flip the ring
+//     epoch atomically on each.
+//  4. Start the destination member: recovery advertises the cloned
+//     coverage and the ordinary rejoin machinery replays the delta
+//     written since the checkpoint from the group's live members.
+//
+// The group keeps operating on its surviving majority throughout; the
+// returned ring (epoch+1) is what clients' Routers should Update to.
+// all must include every fabric node, src and dst among them.
+func MoveGroup(gid uint32, src, dst *Node, all []*Node) (*Ring, error) {
+	src.mu.Lock()
+	h := src.hosted[gid]
+	src.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("fabric: group %d not hosted on source host %d", gid, src.cfg.Host)
+	}
+	if _, hosts := dst.Spec(gid); hosts {
+		return nil, fmt.Errorf("fabric: group %d already hosted on destination host %d", gid, dst.cfg.Host)
+	}
+	spec := h.spec.clone()
+	if _, ok := spec.memberOn(dst.cfg.Host); ok {
+		return nil, fmt.Errorf("fabric: host %d is already a replica of group %d", dst.cfg.Host, gid)
+	}
+
+	// 1. Fix the transfer base and stop the source member. Checkpoint
+	// failure is not fatal — the destination then starts cold and the
+	// protocol's full state transfer covers the move.
+	snapshotted := h.node.Checkpoint() == nil
+	if err := src.RemoveGroup(gid); err != nil {
+		return nil, err
+	}
+
+	// 2. Seed the destination directory. Any doubt — no snapshot, dirty
+	// destination, I/O error — falls back to full transfer.
+	if snapshotted && src.cfg.DataDir != "" && dst.cfg.DataDir != "" {
+		durable.CloneSnapshot(src.groupDir(gid), dst.groupDir(gid)) //nolint:errcheck
+	}
+
+	// 3. New layout everywhere, then the epoch flip.
+	spec.Replicas[h.idx] = dst.cfg.Host
+	for _, m := range all {
+		if m == src || m == dst {
+			continue
+		}
+		if err := m.UpdateGroup(spec); err != nil {
+			return nil, err
+		}
+	}
+	next := src.Ring().WithEpoch(src.Ring().Epoch() + 1)
+	for _, m := range all {
+		m.SetRing(next)
+	}
+
+	// 4. Bring up the destination member; it joins the surviving
+	// members and fetches the delta (or the full state) from them.
+	if err := dst.AddGroup(spec); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// --- Transport adapters ------------------------------------------------------
+
+// trunkAdapter lifts the public Transport to the internal interface the
+// demux consumes (which additionally knows its own process id).
+type trunkAdapter struct {
+	t  timewheel.Transport
+	id model.ProcessID
+}
+
+func (a trunkAdapter) Self() model.ProcessID            { return a.id }
+func (a trunkAdapter) Broadcast(data []byte) error      { return a.t.Broadcast(data) }
+func (a trunkAdapter) SetReceiver(r transport.Receiver) { a.t.SetReceiver(r) }
+func (a trunkAdapter) Close() error                     { return a.t.Close() }
+func (a trunkAdapter) Unicast(to model.ProcessID, data []byte) error {
+	return a.t.Unicast(int(to), data)
+}
+
+// groupPort adapts a demux port to one group engine's Transport,
+// translating member indexes to host ids. Broadcast is a unicast
+// fan-out over the replica hosts: the trunk's own broadcast would reach
+// every fabric host, including those not hosting this group. The
+// replica table is swapped atomically by layout updates (group moves)
+// while the engine keeps sending.
+type groupPort struct {
+	port     *transport.Port
+	self     model.ProcessID
+	selfIdx  int
+	replicas atomic.Value // []model.ProcessID, member index → host
+}
+
+func (g *groupPort) setReplicas(rs []int) {
+	hosts := make([]model.ProcessID, len(rs))
+	for i, h := range rs {
+		hosts[i] = model.ProcessID(h)
+	}
+	g.replicas.Store(hosts)
+}
+
+func (g *groupPort) Broadcast(data []byte) error {
+	hosts := g.replicas.Load().([]model.ProcessID)
+	var firstErr error
+	for i, h := range hosts {
+		if i == g.selfIdx {
+			continue
+		}
+		if err := g.port.Unicast(h, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (g *groupPort) Unicast(to int, data []byte) error {
+	hosts := g.replicas.Load().([]model.ProcessID)
+	if to < 0 || to >= len(hosts) {
+		return fmt.Errorf("fabric: member %d out of range", to)
+	}
+	return g.port.Unicast(hosts[to], data)
+}
+
+func (g *groupPort) SetReceiver(r func(data []byte)) { g.port.SetReceiver(transport.Receiver(r)) }
+
+// Close deregisters the group's demux port; the shared trunk stays
+// open for every other hosted group.
+func (g *groupPort) Close() error { return g.port.Close() }

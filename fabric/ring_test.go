@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]uint32{1, 0}, 0); err == nil {
+		t.Fatal("group id 0 accepted")
+	}
+	if _, err := NewRing([]uint32{1, 2, 1}, 0); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+}
+
+func TestRingRouteDeterministic(t *testing.T) {
+	r, err := NewRing([]uint32{1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if a, b := r.Route(key), r.Route(key); a != b {
+			t.Fatalf("Route(%q) unstable: %d vs %d", key, a, b)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	groups := []uint32{1, 2, 3, 4}
+	r, err := NewRing(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10000
+	counts := map[uint32]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Route([]byte(fmt.Sprintf("object/%d", i)))]++
+	}
+	want := keys / len(groups)
+	for _, gid := range groups {
+		c := counts[gid]
+		if c < want/2 || c > want*2 {
+			t.Fatalf("group %d owns %d of %d keys (want ~%d): imbalanced ring %v",
+				gid, c, keys, want, counts)
+		}
+	}
+}
+
+// Adding one group to the ring must remap only roughly its fair share of
+// keys — the consistent-hashing property the vnode scheme exists for.
+func TestRingMinimalRemapOnGrowth(t *testing.T) {
+	old, _ := NewRing([]uint32{1, 2, 3, 4}, 0)
+	grown, _ := NewRing([]uint32{1, 2, 3, 4, 5}, 0)
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("object/%d", i))
+		a, b := old.Route(key), grown.Route(key)
+		if a != b {
+			if b != 5 {
+				t.Fatalf("key %q moved between surviving groups: %d -> %d", key, a, b)
+			}
+			moved++
+		}
+	}
+	// Fair share is 1/5 = 2000; allow generous slack for hash variance.
+	if moved < keys/10 || moved > keys/2 {
+		t.Fatalf("adding one group remapped %d of %d keys; want ~%d", moved, keys, keys/5)
+	}
+}
+
+func TestRingWithEpochKeepsMapping(t *testing.T) {
+	r, _ := NewRing([]uint32{7, 9}, 8)
+	next := r.WithEpoch(r.Epoch() + 1)
+	if next.Epoch() != 2 || r.Epoch() != 1 {
+		t.Fatalf("epochs: old %d new %d", r.Epoch(), next.Epoch())
+	}
+	for i := 0; i < 200; i++ {
+		key := []byte{byte(i), byte(i >> 4)}
+		if r.Route(key) != next.Route(key) {
+			t.Fatalf("WithEpoch changed the mapping for key %v", key)
+		}
+	}
+}
+
+func TestRingRouteZeroAlloc(t *testing.T) {
+	r, _ := NewRing([]uint32{1, 2, 3}, 0)
+	key := []byte("allocation-probe")
+	if n := testing.AllocsPerRun(200, func() { r.Route(key) }); n != 0 {
+		t.Fatalf("Route allocates %v per op", n)
+	}
+}

@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrWrongGroup reports that a key was presented to a node that does
+// not host the key's group under the current routing epoch — the
+// client's ring is stale (a move flipped the epoch) or its per-group
+// placement table is. The caller refreshes its ring and retries;
+// Router.Do packages that loop.
+var ErrWrongGroup = errors.New("fabric: wrong group for key")
+
+// Router is the client-side routing table: an atomically swapped Ring.
+// Route never locks; Update installs a newer ring (stale epochs are
+// ignored, so refreshes racing a move converge on the newest table).
+type Router struct {
+	ring atomic.Pointer[Ring]
+}
+
+// NewRouter starts a router at the given ring.
+func NewRouter(r *Ring) *Router {
+	rt := &Router{}
+	rt.ring.Store(r)
+	return rt
+}
+
+// Ring returns the current routing table.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// Update installs r if it is newer than the current table; it reports
+// whether the table changed.
+func (rt *Router) Update(r *Ring) bool {
+	for {
+		cur := rt.ring.Load()
+		if r == nil || r.Epoch() <= cur.Epoch() {
+			return false
+		}
+		if rt.ring.CompareAndSwap(cur, r) {
+			return true
+		}
+	}
+}
+
+// Route maps a key to its group under the current table, reporting the
+// table's epoch alongside so the caller can present it to the serving
+// node (which rejects stale epochs with ErrWrongGroup).
+func (rt *Router) Route(key []byte) (gid uint32, epoch uint64) {
+	r := rt.ring.Load()
+	return r.Route(key), r.Epoch()
+}
+
+// Do runs fn against the key's group, retrying on ErrWrongGroup with a
+// freshly loaded table each attempt — the refresh hook (typically a
+// fetch of the serving cluster's current ring, fed to Update) runs
+// between attempts; nil skips refreshing and just re-reads the local
+// table, which covers a concurrent Update by another client goroutine.
+func (rt *Router) Do(key []byte, attempts int, refresh func(), fn func(gid uint32, epoch uint64) error) error {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		gid, epoch := rt.Route(key)
+		if err = fn(gid, epoch); !errors.Is(err, ErrWrongGroup) {
+			return err
+		}
+		if refresh != nil {
+			refresh()
+		}
+	}
+	return fmt.Errorf("fabric: routing did not converge after %d attempts: %w", attempts, err)
+}

@@ -1,0 +1,93 @@
+package durable
+
+// CloneSnapshot seeds a fresh data directory from another store's
+// newest snapshot — the state-transfer primitive of a group move
+// (fabric.MoveGroup): the destination replica opens the cloned
+// directory, recovers the snapshot image, and its join advertises the
+// covered prefix so live members serve only the delta written since.
+//
+// Snapshot files are written atomically (tmp + fsync + rename), so
+// reading one out of a live store's directory is safe; the newest file
+// is already durable and self-validating (CRC frame + embedded index).
+// CloneSnapshot is deliberately conservative: the destination directory
+// must be empty or absent (mixing a foreign snapshot into existing
+// state would splice incomparable histories), and any unreadable or
+// missing snapshot just reports cloned=false — the caller proceeds and
+// the ordinary full state transfer covers the move.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CloneSnapshot copies the newest snapshot file from srcDir into
+// dstDir. cloned is false when srcDir holds no readable snapshot.
+// An error is returned when dstDir exists and is non-empty, or on I/O
+// failure writing the copy.
+func CloneSnapshot(srcDir, dstDir string) (cloned bool, err error) {
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return false, fmt.Errorf("durable: clone source: %w", err)
+	}
+	var snaps []uint64
+	for _, de := range entries {
+		if v, ok := parseName(de.Name(), snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, v)
+		}
+	}
+	if len(snaps) == 0 {
+		return false, nil
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+
+	if existing, err := os.ReadDir(dstDir); err == nil && len(existing) > 0 {
+		return false, fmt.Errorf("durable: clone destination %s is not empty", dstDir)
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return false, err
+	}
+
+	for _, v := range snaps {
+		raw, err := os.ReadFile(filepath.Join(srcDir, snapName(v)))
+		if err != nil {
+			continue // racing a snapshot rotation; older ones still serve
+		}
+		// Validate before planting: a corrupt clone would silently force
+		// the destination down the full-transfer path anyway, but
+		// cheaper to discover here.
+		if body, _, ferr := splitFrame(raw); ferr != nil {
+			continue
+		} else if idx, _, _, derr := decodeSnapshotBody(body); derr != nil || idx != v {
+			continue
+		}
+		tmp := filepath.Join(dstDir, "clone.tmp")
+		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+			return false, err
+		}
+		if err := syncFile(tmp); err != nil {
+			os.Remove(tmp)
+			return false, err
+		}
+		if err := os.Rename(tmp, filepath.Join(dstDir, snapName(v))); err != nil {
+			os.Remove(tmp)
+			return false, err
+		}
+		if d, err := os.Open(dstDir); err == nil {
+			d.Sync() //nolint:errcheck // see Store.syncDir
+			d.Close()
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -1,0 +1,104 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timewheel/internal/oal"
+)
+
+func TestCloneSnapshotSeedsFreshDir(t *testing.T) {
+	src := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: src, Policy: FsyncAlways})
+	for i := 1; i <= 4; i++ {
+		if err := s.AppendUpdate(upd(0, uint64(i), oal.Ordinal(i), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteSnapshot(SnapshotMeta{Lineage: 7, Covered: 4, SettledTS: 11}, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot tail stays behind on the source — the clone carries
+	// only the snapshot; the tail reaches the destination as a replay
+	// delta through the live protocol.
+	if err := s.AppendUpdate(upd(1, 1, 5, "post")); err != nil {
+		t.Fatal(err)
+	}
+	// Clone while the source store is still live: snapshot writes are
+	// atomic, so this is safe by design.
+	dst := filepath.Join(t.TempDir(), "moved")
+	cloned, err := CloneSnapshot(src, dst)
+	if err != nil || !cloned {
+		t.Fatalf("CloneSnapshot = %v, %v; want true, nil", cloned, err)
+	}
+	s.Close()
+
+	d, rec := mustOpen(t, Options{Dir: dst})
+	defer d.Close()
+	if !rec.HaveSnapshot {
+		t.Fatalf("clone did not recover: %+v", rec.Discarded)
+	}
+	if rec.Meta.Lineage != 7 || rec.Meta.Covered != 4 || string(rec.AppState) != "state" {
+		t.Fatalf("cloned snapshot mismatch: %+v", rec.Meta)
+	}
+	if len(rec.Updates) != 0 {
+		t.Fatalf("clone picked up log records: %+v", rec.Updates)
+	}
+	if c := rec.AdvertisedCoverage(); c != 4 {
+		t.Fatalf("advertised coverage = %d, want 4", c)
+	}
+}
+
+func TestCloneSnapshotNoSnapshot(t *testing.T) {
+	src := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: src, Policy: FsyncNone})
+	if err := s.AppendUpdate(upd(0, 1, 1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	cloned, err := CloneSnapshot(src, filepath.Join(t.TempDir(), "d"))
+	if err != nil || cloned {
+		t.Fatalf("CloneSnapshot = %v, %v; want false, nil (full-transfer fallback)", cloned, err)
+	}
+}
+
+func TestCloneSnapshotRefusesNonEmptyDest(t *testing.T) {
+	src := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: src, Policy: FsyncNone})
+	if err := s.WriteSnapshot(SnapshotMeta{Covered: 1}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	dst := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dst, "stale"), []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if cloned, err := CloneSnapshot(src, dst); err == nil || cloned {
+		t.Fatalf("CloneSnapshot into non-empty dir = %v, %v; want error", cloned, err)
+	}
+}
+
+func TestCloneSnapshotSkipsCorrupt(t *testing.T) {
+	src := t.TempDir()
+	s, _ := mustOpen(t, Options{Dir: src, Policy: FsyncNone})
+	if err := s.WriteSnapshot(SnapshotMeta{Covered: 2}, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A newer, corrupt snapshot must be skipped in favor of the older
+	// valid one.
+	if err := os.WriteFile(filepath.Join(src, snapName(99)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "d")
+	cloned, err := CloneSnapshot(src, dst)
+	if err != nil || !cloned {
+		t.Fatalf("CloneSnapshot = %v, %v; want true, nil", cloned, err)
+	}
+	d, rec := mustOpen(t, Options{Dir: dst})
+	defer d.Close()
+	if !rec.HaveSnapshot || string(rec.AppState) != "good" {
+		t.Fatalf("clone did not fall back to the valid snapshot: %+v", rec)
+	}
+}

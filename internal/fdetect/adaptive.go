@@ -67,6 +67,12 @@ type AdaptStats struct {
 	// ExpectOverwrites counts Expect calls that replaced an active
 	// expectation.
 	ExpectOverwrites uint64
+	// AppSamples counts application-broadcast delay observations fed to
+	// the estimator (RecordAppDelay past all its guards).
+	AppSamples uint64
+	// DeadlineTightenings counts armed surveillance deadlines pulled
+	// earlier by a fresh sample.
+	DeadlineTightenings uint64
 }
 
 // grantState is one peer's adaptive deadline grant. Mutated only from
@@ -85,6 +91,73 @@ func (d *Detector) EnableAdaptive(est DelayEstimator, cfg AdaptiveConfig) {
 	d.est = est
 	d.acfg = cfg.withDefaults(d.params)
 	d.grants = make(map[model.ProcessID]*grantState)
+	d.lastApp = make(map[model.ProcessID]model.Time)
+}
+
+// RecordAppDelay feeds the estimator one application-broadcast delay
+// observation — a proposal from `from` stamped sendTS, received at now.
+// Proposal traffic usually dwarfs control traffic, so sampling it makes
+// the per-link bounds converge in seconds instead of view-change
+// lifetimes. Guards, in order:
+//
+//   - adaptive mode only, and never our own loopback;
+//   - per-sender freshness (a Nack-triggered retransmission rewrites
+//     From but keeps the original SendTS, so a stale timestamp must not
+//     be attributed to the retransmitter);
+//   - delay ≤ the grant ceiling (anything slower is either a
+//     retransmitted antique or a link the detector already treats as
+//     failed — feeding it would only poison the estimate).
+//
+// When the fresh sample shrinks the expected sender's bound enough to
+// tighten an armed surveillance deadline, the deadline is re-evaluated
+// in place and the OnDeadlineTighten callback tells the owner to
+// re-arm its timer. Event-loop only, like the rest of the detector.
+func (d *Detector) RecordAppDelay(from model.ProcessID, sendTS, now model.Time) (tightened bool) {
+	if d.est == nil || from == d.self {
+		return false
+	}
+	if last, ok := d.lastApp[from]; ok && sendTS <= last {
+		return false
+	}
+	d.lastApp[from] = sendTS
+	delay := now.Sub(sendTS)
+	if delay < 0 {
+		delay = 0
+	}
+	if delay > d.grantCeil() {
+		return false
+	}
+	d.est.Observe(from, delay)
+	d.appSamples.Add(1)
+	return d.maybeTighten(now)
+}
+
+// maybeTighten re-evaluates an armed expectation against the current
+// estimate. Only strict improvements are applied: ExpectDeadline
+// anchors adaptive deadlines on `now`, so recomputation can otherwise
+// drift the deadline later — tightening must stay monotone.
+func (d *Detector) maybeTighten(now model.Time) bool {
+	if !d.expActive {
+		return false
+	}
+	deadline := d.ExpectDeadline(d.expSender, d.expAfter, now)
+	if deadline >= d.expDeadline {
+		return false
+	}
+	d.expDeadline = deadline
+	d.appTightened.Add(1)
+	if d.onTighten != nil {
+		d.onTighten(d.expSender, deadline)
+	}
+	return true
+}
+
+// OnDeadlineTighten installs a callback invoked (from the detector's
+// event loop) when a fresh delay sample tightened the armed
+// surveillance deadline; the owner re-arms its expect timer to the new,
+// earlier deadline. Must not call back into the detector.
+func (d *Detector) OnDeadlineTighten(fn func(sender model.ProcessID, deadline model.Time)) {
+	d.onTighten = fn
 }
 
 // AdaptiveEnabled reports whether adaptive deadlines are active.
@@ -227,10 +300,12 @@ func (d *Detector) DeadlineSpan(peer model.ProcessID) model.Duration {
 // goroutine.
 func (d *Detector) AdaptStats() AdaptStats {
 	return AdaptStats{
-		Widened:          d.widened.Load(),
-		Shrunk:           d.shrunk.Load(),
-		FlapBoosts:       d.flapBoosts.Load(),
-		ExpectOverwrites: d.expOverwrites.Load(),
+		Widened:             d.widened.Load(),
+		Shrunk:              d.shrunk.Load(),
+		FlapBoosts:          d.flapBoosts.Load(),
+		ExpectOverwrites:    d.expOverwrites.Load(),
+		AppSamples:          d.appSamples.Load(),
+		DeadlineTightenings: d.appTightened.Load(),
 	}
 }
 

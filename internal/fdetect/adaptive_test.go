@@ -248,3 +248,106 @@ func TestExpectOverwriteAccounting(t *testing.T) {
 		t.Fatal("Expect after clear counted as overwrite")
 	}
 }
+
+// Application-broadcast sampling: fresh proposal delays feed the
+// estimator under the same freshness discipline as control messages,
+// discard implausibly slow samples, and never run in static mode.
+func TestRecordAppDelayGuards(t *testing.T) {
+	// Static mode: hard no-op.
+	d := det()
+	if d.RecordAppDelay(1, 100, 101) {
+		t.Fatal("static detector claimed a tightening")
+	}
+
+	d, est := adet()
+	p := d.params
+
+	// Fresh sample feeds the estimator.
+	if d.RecordAppDelay(1, 100, model.Time(100).Add(p.Delta)) {
+		t.Fatal("tightened with no armed expectation")
+	}
+	if got := est.observed[1]; len(got) != 1 || got[0] != p.Delta {
+		t.Fatalf("estimator fed %v, want [%v]", got, p.Delta)
+	}
+	if d.AdaptStats().AppSamples != 1 {
+		t.Fatalf("AppSamples = %d, want 1", d.AdaptStats().AppSamples)
+	}
+
+	// Stale timestamp (a Nack retransmission carries the original
+	// SendTS): rejected.
+	d.RecordAppDelay(1, 99, 200)
+	if got := est.observed[1]; len(got) != 1 {
+		t.Fatalf("stale sample fed the estimator: %v", got)
+	}
+
+	// Loopback: rejected (detector self is 0).
+	d.RecordAppDelay(0, 500, 501)
+	if got := est.observed[0]; len(got) != 0 {
+		t.Fatalf("self sample fed the estimator: %v", got)
+	}
+
+	// Implausibly slow (beyond the grant ceiling): rejected.
+	d.RecordAppDelay(1, 200, model.Time(200).Add(d.grantCeil()+1))
+	if got := est.observed[1]; len(got) != 1 {
+		t.Fatalf("over-ceiling sample fed the estimator: %v", got)
+	}
+	if s := d.AdaptStats(); s.AppSamples != 1 {
+		t.Fatalf("AppSamples = %d after rejected samples, want 1", s.AppSamples)
+	}
+}
+
+// A fresh sample that shrinks the expected sender's bound tightens the
+// armed deadline in place, fires the callback, and never loosens.
+func TestRecordAppDelayTightensArmedDeadline(t *testing.T) {
+	d, est := adet()
+	p := d.params
+
+	var cbSender model.ProcessID
+	var cbDeadline model.Time
+	calls := 0
+	d.OnDeadlineTighten(func(s model.ProcessID, dl model.Time) {
+		cbSender, cbDeadline = s, dl
+		calls++
+	})
+
+	// Arm on peer 1 during warmup: the deadline gets the full ceiling.
+	now := model.Time(1000)
+	deadline := d.ExpectDeadline(1, now, now)
+	d.Expect(1, now, deadline)
+	if want := now.Add(d.grantCeil()); deadline != want {
+		t.Fatalf("warmup deadline = %v, want ceiling %v", deadline, want)
+	}
+
+	// A fast sample from an unrelated peer must not touch the deadline.
+	est.bounds[2] = p.Delta
+	d.RecordAppDelay(2, now, now.Add(p.Delta))
+	if _, dl, _ := d.Expected(); dl != deadline {
+		t.Fatalf("unrelated peer moved the deadline: %v", dl)
+	}
+
+	// A fast sample from the expected sender shrinks the bound; the
+	// armed deadline must follow it down and the callback must fire.
+	est.bounds[1] = p.Delta
+	later := now.Add(p.Delta)
+	if !d.RecordAppDelay(1, now.Add(1), later) {
+		t.Fatal("shrinking sample did not tighten")
+	}
+	_, tightened, active := d.Expected()
+	if !active || tightened >= deadline {
+		t.Fatalf("deadline %v not tightened below %v", tightened, deadline)
+	}
+	if calls != 1 || cbSender != 1 || cbDeadline != tightened {
+		t.Fatalf("callback: calls=%d sender=%v deadline=%v (want 1, 1, %v)",
+			calls, cbSender, cbDeadline, tightened)
+	}
+	if s := d.AdaptStats(); s.DeadlineTightenings != 1 {
+		t.Fatalf("DeadlineTightenings = %d, want 1", s.DeadlineTightenings)
+	}
+
+	// Another sample at the same estimate must not loosen the deadline
+	// (recomputation anchors on a later now, which would drift it out).
+	d.RecordAppDelay(1, now.Add(2), later.Add(p.Delta))
+	if _, dl, _ := d.Expected(); dl > tightened {
+		t.Fatalf("deadline drifted later: %v > %v", dl, tightened)
+	}
+}

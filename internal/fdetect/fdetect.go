@@ -62,6 +62,15 @@ type Detector struct {
 	flapBoosts  atomic.Uint64
 	onOverwrite func(old, next model.ProcessID)
 
+	// Application-traffic sampling (see RecordAppDelay): proposal
+	// broadcasts carry the same send timestamps as control messages and
+	// usually dominate them in volume, so they make the estimator
+	// converge much faster. lastApp is the per-sender freshness gate.
+	lastApp      map[model.ProcessID]model.Time
+	appSamples   atomic.Uint64
+	appTightened atomic.Uint64
+	onTighten    func(sender model.ProcessID, deadline model.Time)
+
 	expOverwrites atomic.Uint64
 }
 
@@ -132,6 +141,9 @@ func (d *Detector) AliveSet(now model.Time) model.ProcessSet {
 func (d *Detector) Forget() {
 	d.lastControl = make(map[model.ProcessID]model.Time)
 	d.lastTimely = make(map[model.ProcessID]model.Time)
+	if d.lastApp != nil {
+		d.lastApp = make(map[model.ProcessID]model.Time)
+	}
 	d.ClearExpectation()
 }
 

@@ -266,7 +266,7 @@ func New(self model.ProcessID, params model.Params, cfg Config, env Env, bc *bro
 	if cfg.NFFallbackCycles <= 0 {
 		cfg.NFFallbackCycles = 8
 	}
-	return &Machine{
+	m := &Machine{
 		self:          self,
 		params:        params,
 		cfg:           cfg,
@@ -282,6 +282,14 @@ func New(self model.ProcessID, params model.Params, cfg Config, env Env, bc *bro
 		lastStateSent: make(map[model.ProcessID]model.Time),
 		lastOALReq:    make(map[model.ProcessID]model.Time),
 	}
+	// When a fresh application-traffic sample tightens the armed
+	// surveillance deadline, pull the expect timer in with it — the
+	// whole point of sampling proposals is reacting on the improved
+	// bound, not the stale one armed before it.
+	m.fd.OnDeadlineTighten(func(_ model.ProcessID, deadline model.Time) {
+		m.env.SetTimer(TimerExpect, deadline.Add(1))
+	})
+	return m
 }
 
 // Accessors.

@@ -37,6 +37,13 @@ func (m *Machine) OnMessage(msg wire.Message) {
 		m.noteAlive(v.From, v.Alive)
 		m.onReconfig(v)
 	case *wire.Proposal:
+		// Application traffic carries the same send timestamps as
+		// control messages — feed the adaptive delay estimator (no-op
+		// in static mode) before handing the proposal to the broadcast
+		// layer. A sample that shrinks the expected sender's bound
+		// tightens the armed surveillance deadline via the detector's
+		// OnDeadlineTighten callback (wired in New).
+		m.fd.RecordAppDelay(v.From, v.SendTS, m.env.Now())
 		m.bc.OnProposal(m.env.Now(), v)
 	case *wire.Nack:
 		for _, body := range m.bc.OnNack(v) {

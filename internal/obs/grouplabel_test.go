@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBaseLabelsCompose verifies the fabric group label: every series
+// registered after SetBaseLabels renders with the base pair prefixed,
+// composing with per-series labels like peer.
+func TestBaseLabelsCompose(t *testing.T) {
+	r := NewRegistry()
+	r.SetBaseLabels(L("group", "g3"))
+	r.Counter("timewheel_sends_total", "sends", nil).Inc()
+	r.Counter("timewheel_suspicions_total", "suspicions", L("peer", "2")).Add(5)
+	r.Histogram("timewheel_handler_latency_seconds", "latency", LatencyBuckets, Seconds, nil).Observe(1000)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`timewheel_sends_total{group="g3"} 1`,
+		`timewheel_suspicions_total{group="g3",peer="2"} 5`,
+		`timewheel_handler_latency_seconds_count{group="g3"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestBaseLabelsDistinguishSeries: two registries with different base
+// labels keep identically-named series apart when scraped merged.
+func TestBaseLabelsDistinguishSeries(t *testing.T) {
+	var buf strings.Builder
+	for _, g := range []string{"g1", "g2"} {
+		r := NewRegistry()
+		r.SetBaseLabels(L("group", g))
+		r.Counter("timewheel_sends_total", "sends", nil).Inc()
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, `timewheel_sends_total{group="g1"} 1`) ||
+		!strings.Contains(out, `timewheel_sends_total{group="g2"} 1`) {
+		t.Fatalf("merged scrape lost a group:\n%s", out)
+	}
+}
+
+// TestNoBaseLabelsZeroAlloc guards the disabled path: without base
+// labels the instrument hot paths must stay allocation-free — the
+// fabric label machinery costs nothing to nodes that don't use it.
+func TestNoBaseLabelsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("timewheel_sends_total", "sends", nil)
+	h := r.Histogram("timewheel_handler_latency_seconds", "latency", LatencyBuckets, Seconds, nil)
+	if a := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(12345)
+	}); a != 0 {
+		t.Fatalf("instrument hot path allocates %.1f/op with no base labels, want 0", a)
+	}
+	// And registration without a base returns the label set unmodified.
+	if got := r.withBase(nil); got != nil {
+		t.Fatal("withBase(nil) allocated with no base set")
+	}
+	ls := L("peer", "2")
+	if got := r.withBase(ls); &got[0] != &ls[0] {
+		t.Fatal("withBase copied labels with no base set")
+	}
+}

@@ -130,6 +130,7 @@ const (
 // returns the existing instrument, so layers can wire independently.
 type Registry struct {
 	mu    sync.Mutex
+	base  Labels
 	fams  map[string]*family
 	order []string
 }
@@ -137,6 +138,30 @@ type Registry struct {
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{fams: make(map[string]*family)}
+}
+
+// SetBaseLabels prefixes every series registered from now on with ls —
+// how a fabric node stamps each group's registry with {group="gN"}
+// without threading the label through every call site. Call before any
+// registration; series already registered keep their labels. The merge
+// happens at registration time only, so the render path and the
+// instrument hot paths (Counter.Inc, Histogram.Observe) are untouched:
+// with no base labels the registry is byte-for-byte the pre-fabric one.
+func (r *Registry) SetBaseLabels(ls Labels) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base = ls
+}
+
+// withBase merges the base labels in front of ls, allocating only when
+// there is a base to merge.
+func (r *Registry) withBase(ls Labels) Labels {
+	if len(r.base) == 0 {
+		return ls
+	}
+	out := make(Labels, 0, len(r.base)+len(ls))
+	out = append(out, r.base...)
+	return append(out, ls...)
 }
 
 func (r *Registry) family(name, help string, kind metricKind, unit float64, bounds []int64) *family {
@@ -158,6 +183,7 @@ func (r *Registry) family(name, help string, kind metricKind, unit float64, boun
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	labels = r.withBase(labels)
 	f := r.family(name, help, kindCounter, Raw, nil)
 	if s, ok := f.byKey[labels.key()]; ok {
 		return s.c
@@ -172,6 +198,7 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	labels = r.withBase(labels)
 	f := r.family(name, help, kindGauge, Raw, nil)
 	if s, ok := f.byKey[labels.key()]; ok {
 		return s.g
@@ -188,6 +215,7 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	labels = r.withBase(labels)
 	f := r.family(name, help, kindCounterFunc, Raw, nil)
 	if _, ok := f.byKey[labels.key()]; ok {
 		return
@@ -202,6 +230,7 @@ func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint6
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	labels = r.withBase(labels)
 	f := r.family(name, help, kindGaugeFunc, Raw, nil)
 	if _, ok := f.byKey[labels.key()]; ok {
 		return
@@ -217,6 +246,7 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) 
 func (r *Registry) Histogram(name, help string, bounds []int64, unit float64, labels Labels) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	labels = r.withBase(labels)
 	if len(bounds) == 0 {
 		bounds = LatencyBuckets
 	}

@@ -1,0 +1,193 @@
+package transport
+
+// Demux fans one trunk transport out to many per-group virtual
+// transports, the receive half of the multi-group fabric: every
+// datagram on the shared socket is routed by the group-id in its v6
+// envelope (wire.GroupMagic) to the engine hosting that group. The
+// demux peeks only at envelope bytes — frame decoding stays above, in
+// each group's own receive path — so the hot path is a magic check, a
+// u32 read, one lock-free map lookup and the length-prefix walk:
+// allocation-free end to end (CI-gated by BenchmarkFabricDemux).
+//
+// Untagged traffic (bare frames and legacy 0xC0 envelopes) is the
+// implicit group 0, delivered whole to the group-0 port when one is
+// registered: a v5 single-group peer keeps talking to a fabric node
+// hosting its group at id 0. Datagrams for unregistered groups are
+// counted and dropped — never delivered to some other group.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"timewheel/internal/model"
+	"timewheel/internal/wire"
+)
+
+// Demux routes datagrams from one trunk transport to per-group ports.
+// Port registration is rare (group placement changes); routing is the
+// per-datagram hot path, so the port table is a copy-on-write map
+// behind an atomic — the receive goroutine never takes the lock.
+type Demux struct {
+	trunk Transport
+
+	mu    sync.Mutex   // guards port-table rewrites
+	ports atomic.Value // map[uint32]*Port, copy-on-write
+
+	unknownGroup atomic.Uint64
+	malformed    atomic.Uint64
+}
+
+// DemuxStats is a point-in-time snapshot of the demux drop counters.
+type DemuxStats struct {
+	// UnknownGroup counts datagrams addressed to a group with no
+	// registered port (dropped, never cross-delivered).
+	UnknownGroup uint64
+	// Malformed counts datagrams with an unparseable group envelope.
+	Malformed uint64
+}
+
+// NewDemux wraps trunk and installs itself as trunk's receiver. The
+// trunk must not have another receiver; all delivery flows through
+// per-group ports from here on.
+func NewDemux(trunk Transport) *Demux {
+	d := &Demux{trunk: trunk}
+	d.ports.Store(map[uint32]*Port{})
+	trunk.SetReceiver(d.route)
+	return d
+}
+
+// route is the trunk receiver: envelope peek, table lookup, dispatch.
+func (d *Demux) route(data []byte) {
+	gid, ok := wire.GroupOf(data)
+	if !ok {
+		d.malformed.Add(1)
+		return
+	}
+	p := d.ports.Load().(map[uint32]*Port)[gid]
+	if p == nil {
+		d.unknownGroup.Add(1)
+		return
+	}
+	if wire.IsGrouped(data) {
+		if err := wire.SplitGrouped(data, p.deliver); err != nil {
+			d.malformed.Add(1)
+		}
+		return
+	}
+	// Bare frame or legacy 0xC0 envelope (implicit group 0): delivered
+	// whole — the port's receiver understands both shapes already.
+	p.deliver(data)
+}
+
+// Port returns the virtual transport for group gid, creating it if
+// needed. A closed port is replaced by a fresh one, so a group moved
+// away and back re-registers under its old id.
+func (d *Demux) Port(gid uint32) *Port {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.ports.Load().(map[uint32]*Port)
+	if p, ok := old[gid]; ok && !p.closed.Load() {
+		return p
+	}
+	p := &Port{d: d, gid: gid}
+	p.deliver = func(frame []byte) {
+		if p.closed.Load() {
+			return
+		}
+		if r, ok := p.recv.Load().(Receiver); ok {
+			r(frame)
+		}
+	}
+	next := make(map[uint32]*Port, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[gid] = p
+	d.ports.Store(next)
+	return p
+}
+
+// drop removes a closed port from the table (copy-on-write).
+func (d *Demux) drop(p *Port) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.ports.Load().(map[uint32]*Port)
+	if old[p.gid] != p {
+		return // already replaced by a fresh port
+	}
+	next := make(map[uint32]*Port, len(old))
+	for k, v := range old {
+		if v != p {
+			next[k] = v
+		}
+	}
+	d.ports.Store(next)
+}
+
+// Stats snapshots the drop counters.
+func (d *Demux) Stats() DemuxStats {
+	return DemuxStats{
+		UnknownGroup: d.unknownGroup.Load(),
+		Malformed:    d.malformed.Load(),
+	}
+}
+
+// Trunk returns the underlying shared transport.
+func (d *Demux) Trunk() Transport { return d.trunk }
+
+// Close closes the trunk transport. Per-group ports become inert.
+func (d *Demux) Close() error { return d.trunk.Close() }
+
+// Port is one group's view of the shared trunk: a full Transport whose
+// sends go out on the trunk (already group-tagged by the group's
+// coalescer) and whose receives are the sub-frames the demux routed
+// here. Closing a port only deregisters it — the trunk is shared by
+// every other group and stays open.
+type Port struct {
+	d       *Demux
+	gid     uint32
+	recv    atomic.Value // Receiver
+	deliver Receiver     // stable closure: no per-datagram allocation
+	closed  atomic.Bool
+}
+
+// Group returns the group-id this port is registered under.
+func (p *Port) Group() uint32 { return p.gid }
+
+// Self implements Transport.
+func (p *Port) Self() model.ProcessID { return p.d.trunk.Self() }
+
+// Broadcast implements Transport.
+func (p *Port) Broadcast(data []byte) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.d.trunk.Broadcast(data)
+}
+
+// Unicast implements Transport.
+func (p *Port) Unicast(to model.ProcessID, data []byte) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.d.trunk.Unicast(to, data)
+}
+
+// SetReceiver implements Transport.
+func (p *Port) SetReceiver(r Receiver) {
+	if r == nil {
+		return
+	}
+	p.recv.Store(r)
+}
+
+// Close implements Transport: it deregisters the port from the demux
+// and drops future deliveries, but leaves the shared trunk open.
+func (p *Port) Close() error {
+	if p.closed.CompareAndSwap(false, true) {
+		p.d.drop(p)
+	}
+	return nil
+}
+
+var _ Transport = (*Port)(nil)

@@ -21,6 +21,15 @@ import (
 // start with their version byte (≤ Version), so the two never collide.
 const CoalesceMagic = 0xC0
 
+// GroupMagic is the first byte of a group-tagged coalesced datagram
+// (wire v6): magic, a u32 little-endian group-id, a sub-frame count,
+// then sub-frames exactly as in the 0xC0 envelope. It lets one socket
+// multiplex frames for many independent timewheel groups; receivers
+// demultiplex on the group-id before any frame decoding. Bare frames
+// and 0xC0 envelopes are implicitly group 0 (the single-group legacy
+// path), so v5 senders keep working unchanged.
+const GroupMagic = 0xC1
+
 // MaxCoalescedSize bounds a coalesced datagram so it stays under the
 // 64 KiB UDP datagram ceiling with headroom for the envelope.
 const MaxCoalescedSize = 60 * 1024
@@ -29,6 +38,7 @@ const MaxCoalescedSize = 60 * 1024
 const maxCoalescedFrames = 255
 
 const coalesceHeader = 2 // magic + count
+const groupHeader = 6    // magic + u32 group-id + count
 
 // ErrNotCoalesced reports data that does not start with CoalesceMagic.
 var ErrNotCoalesced = errors.New("wire: not a coalesced datagram")
@@ -41,6 +51,24 @@ func IsCoalesced(data []byte) bool {
 	return len(data) > 0 && data[0] == CoalesceMagic
 }
 
+// IsGrouped reports whether data is a group-tagged (0xC1) datagram.
+func IsGrouped(data []byte) bool {
+	return len(data) > 0 && data[0] == GroupMagic
+}
+
+// GroupOf returns the group-id a datagram is addressed to. Bare frames
+// and legacy 0xC0 envelopes report group 0. ok is false when data is a
+// grouped envelope too short to carry its header.
+func GroupOf(data []byte) (gid uint32, ok bool) {
+	if !IsGrouped(data) {
+		return 0, true
+	}
+	if len(data) < groupHeader {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(data[1:]), true
+}
+
 // SplitCoalesced iterates the sub-frames of a coalesced datagram,
 // calling fn with each (sub-frames alias data). It validates the
 // envelope; sub-frame content is validated by Decode's CRC as usual.
@@ -48,14 +76,30 @@ func SplitCoalesced(data []byte, fn func(frame []byte)) error {
 	if !IsCoalesced(data) {
 		return ErrNotCoalesced
 	}
-	if len(data) < coalesceHeader {
+	return splitEnvelope(data, coalesceHeader, fn)
+}
+
+// SplitGrouped iterates the sub-frames of a group-tagged datagram,
+// calling fn with each (sub-frames alias data). The caller is expected
+// to have routed on GroupOf first; SplitGrouped itself is group-blind.
+func SplitGrouped(data []byte, fn func(frame []byte)) error {
+	if !IsGrouped(data) {
+		return ErrNotCoalesced
+	}
+	return splitEnvelope(data, groupHeader, fn)
+}
+
+// splitEnvelope walks the length-prefixed sub-frames that follow an
+// envelope header of hdr bytes (whose final byte is the count).
+func splitEnvelope(data []byte, hdr int, fn func(frame []byte)) error {
+	if len(data) < hdr {
 		return ErrBadCoalesce
 	}
-	count := int(data[1])
+	count := int(data[hdr-1])
 	if count == 0 {
 		return ErrBadCoalesce
 	}
-	off := coalesceHeader
+	off := hdr
 	for i := 0; i < count; i++ {
 		if off+4 > len(data) {
 			return ErrBadCoalesce
@@ -79,9 +123,27 @@ func SplitCoalesced(data []byte, fn func(frame []byte)) error {
 // when it reports false, send Datagram(), Reset, and re-append. After
 // the final message, send Datagram() if non-nil and Reset. The returned
 // datagram aliases the coalescer's buffer and is valid until Reset.
+//
+// A coalescer tagged with a nonzero group (SetGroup) emits 0xC1
+// group-tagged envelopes instead, even for a single pending frame: a
+// fabric receiver needs the group-id on every datagram to route it.
 type Coalescer struct {
 	buf   []byte
 	count int
+	group uint32
+}
+
+// SetGroup tags every datagram this coalescer emits with gid. Group 0
+// restores the legacy untagged format. Must not be called while frames
+// are pending (the envelope header is laid down by the first append).
+func (c *Coalescer) SetGroup(gid uint32) { c.group = gid }
+
+// header returns the envelope header length for this coalescer's mode.
+func (c *Coalescer) header() int {
+	if c.group != 0 {
+		return groupHeader
+	}
+	return coalesceHeader
 }
 
 // TryAppend encodes m into the pending datagram. It returns false —
@@ -94,13 +156,18 @@ func (c *Coalescer) TryAppend(m Message) bool {
 		return false
 	}
 	if c.count == 0 {
-		c.buf = append(c.buf[:0], CoalesceMagic, 0)
+		if c.group != 0 {
+			c.buf = append(c.buf[:0], GroupMagic, 0, 0, 0, 0, 0)
+			binary.LittleEndian.PutUint32(c.buf[1:], c.group)
+		} else {
+			c.buf = append(c.buf[:0], CoalesceMagic, 0)
+		}
 	}
 	lenOff := len(c.buf)
 	c.buf = append(c.buf, 0, 0, 0, 0)
 	c.buf = AppendEncode(c.buf, m)
 	binary.LittleEndian.PutUint32(c.buf[lenOff:], uint32(len(c.buf)-lenOff-4))
-	if len(c.buf) > MaxCoalescedSize+coalesceHeader && c.count > 0 {
+	if len(c.buf) > MaxCoalescedSize+c.header() && c.count > 0 {
 		c.buf = c.buf[:lenOff]
 		return false
 	}
@@ -112,16 +179,17 @@ func (c *Coalescer) TryAppend(m Message) bool {
 func (c *Coalescer) Count() int { return c.count }
 
 // Datagram returns the pending datagram: nil when empty, the bare frame
-// when a single message is pending (no envelope overhead for the common
-// case), the enveloped multi-frame datagram otherwise.
+// when a single untagged message is pending (no envelope overhead for
+// the common case), the enveloped datagram otherwise. Group-tagged
+// coalescers always envelope — the routing tag must survive.
 func (c *Coalescer) Datagram() []byte {
-	switch c.count {
-	case 0:
+	switch {
+	case c.count == 0:
 		return nil
-	case 1:
+	case c.count == 1 && c.group == 0:
 		return c.buf[coalesceHeader+4:]
 	default:
-		c.buf[1] = byte(c.count)
+		c.buf[c.header()-1] = byte(c.count)
 		return c.buf
 	}
 }

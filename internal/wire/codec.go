@@ -23,8 +23,11 @@ import (
 // up in the receiver's drop counter. Version 5 added oal delta encoding
 // (Decision BaseTS/TruncBelow, NoDecision BaseTS) and the OALReq/OALFull
 // baseline-repair messages; v4 frames still decode (the delta fields
-// read as zero, i.e. "full oal").
-const Version = 5
+// read as zero, i.e. "full oal"). Version 6 added the group-tagged
+// coalesced envelope (GroupMagic, coalesce.go) so one socket can carry
+// frames for many timewheel groups; the frame format itself is
+// unchanged and v4/v5 frames still decode.
+const Version = 6
 
 // minVersion is the oldest wire format Decode still accepts.
 const minVersion = 4

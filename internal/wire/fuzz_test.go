@@ -122,6 +122,93 @@ func FuzzSplitCoalesced(f *testing.F) {
 	})
 }
 
+// FuzzSplitGrouped drives the v6 group-tagged splitter with arbitrary
+// bytes: it must never panic, GroupOf must agree with the raw header on
+// everything the splitter accepts, and whatever splits cleanly must
+// survive re-coalescing under the same group-id and re-splitting intact
+// — including unknown group-ids, which a demux skips but the splitter
+// itself handles group-blind (it must never mangle frames into some
+// other group's envelope).
+func FuzzSplitGrouped(f *testing.F) {
+	var c Coalescer
+	c.SetGroup(3)
+	for _, m := range sampleMessages() {
+		c.TryAppend(m)
+	}
+	f.Add(append([]byte(nil), c.Datagram()...))
+	c.Reset()
+	c.SetGroup(0xFFFFFFFF) // unknown-group shape: split must still be clean
+	c.TryAppend(&Nack{Header: Header{From: 1, SendTS: 2}})
+	f.Add(append([]byte(nil), c.Datagram()...))
+	f.Add([]byte{GroupMagic})
+	f.Add([]byte{GroupMagic, 3, 0, 0, 0})
+	f.Add([]byte{GroupMagic, 3, 0, 0, 0, 0})
+	f.Add([]byte{GroupMagic, 3, 0, 0, 0, 2, 1, 0, 0, 0, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var msgs []Message
+		clean := true
+		err := SplitGrouped(data, func(frame []byte) {
+			m, derr := Decode(frame)
+			if derr != nil {
+				clean = false
+				return
+			}
+			msgs = append(msgs, m)
+		})
+		gid, gok := GroupOf(data)
+		if err == nil && !gok {
+			t.Fatal("splitter accepted an envelope GroupOf rejects")
+		}
+		if err != nil || !clean || len(msgs) == 0 {
+			return
+		}
+		var rc Coalescer
+		rc.SetGroup(gid)
+		for _, m := range msgs {
+			if !rc.TryAppend(m) {
+				return // legitimately over the size budget
+			}
+		}
+		re := rc.Datagram()
+		if gid != 0 {
+			if rg, ok := GroupOf(re); !ok || rg != gid {
+				t.Fatalf("re-coalesce changed group: %d → %d", gid, rg)
+			}
+		}
+		var back []Message
+		split := SplitGrouped
+		if gid == 0 {
+			// Group 0 re-coalesces onto the legacy path (bare or 0xC0).
+			if len(msgs) == 1 {
+				m, derr := Decode(re)
+				if derr != nil || !messagesEqual(msgs[0], m) {
+					t.Fatalf("bare re-coalesce mismatch: %v", derr)
+				}
+				return
+			}
+			split = SplitCoalesced
+		}
+		if err := split(re, func(frame []byte) {
+			m, derr := Decode(frame)
+			if derr != nil {
+				t.Fatalf("re-split decode: %v", derr)
+			}
+			back = append(back, m)
+		}); err != nil {
+			t.Fatalf("re-split: %v", err)
+		}
+		if len(back) != len(msgs) {
+			t.Fatalf("re-split %d frames, want %d", len(back), len(msgs))
+		}
+		for i := range msgs {
+			if !messagesEqual(msgs[i], back[i]) {
+				t.Fatalf("frame %d changed across re-coalesce", i)
+			}
+		}
+	})
+}
+
 // FuzzProposalRoundTrip fuzzes structured proposal fields through the
 // codec.
 func FuzzProposalRoundTrip(f *testing.F) {

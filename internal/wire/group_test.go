@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestGroupedRoundTrip(t *testing.T) {
+	msgs := sampleMessages()
+	var c Coalescer
+	c.SetGroup(7)
+	for _, m := range msgs {
+		if !c.TryAppend(m) {
+			t.Fatalf("TryAppend(%v) refused under size limit", m.Kind())
+		}
+	}
+	data := c.Datagram()
+	if !IsGrouped(data) {
+		t.Fatal("grouped datagram not marked grouped")
+	}
+	if IsCoalesced(data) {
+		t.Fatal("grouped datagram must not look like a legacy envelope")
+	}
+	gid, ok := GroupOf(data)
+	if !ok || gid != 7 {
+		t.Fatalf("GroupOf = %d, %v; want 7, true", gid, ok)
+	}
+	var got []Message
+	err := SplitGrouped(data, func(frame []byte) {
+		m, derr := Decode(frame)
+		if derr != nil {
+			t.Fatalf("sub-frame decode: %v", derr)
+		}
+		got = append(got, m)
+	})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("split %d frames, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !messagesEqual(msgs[i], got[i]) {
+			t.Errorf("frame %d (%v) mismatch", i, msgs[i].Kind())
+		}
+	}
+}
+
+func TestGroupedSingleFrameKeepsEnvelope(t *testing.T) {
+	m := bigDecision(4)
+	var c Coalescer
+	c.SetGroup(42)
+	if !c.TryAppend(m) {
+		t.Fatal("TryAppend refused single frame")
+	}
+	data := c.Datagram()
+	if !IsGrouped(data) {
+		t.Fatal("single grouped frame lost its envelope (routing tag)")
+	}
+	gid, ok := GroupOf(data)
+	if !ok || gid != 42 {
+		t.Fatalf("GroupOf = %d, %v; want 42, true", gid, ok)
+	}
+	n := 0
+	if err := SplitGrouped(data, func(frame []byte) {
+		n++
+		if !bytes.Equal(frame, Encode(m)) {
+			t.Fatal("grouped sub-frame differs from Encode")
+		}
+	}); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("split %d frames, want 1", n)
+	}
+}
+
+func TestGroupOfLegacyIsZero(t *testing.T) {
+	bare := Encode(bigDecision(2))
+	if gid, ok := GroupOf(bare); !ok || gid != 0 {
+		t.Fatalf("bare frame: GroupOf = %d, %v; want 0, true", gid, ok)
+	}
+	var c Coalescer
+	c.TryAppend(&Nack{Header: Header{From: 1, SendTS: 2}})
+	c.TryAppend(&Nack{Header: Header{From: 3, SendTS: 4}})
+	if gid, ok := GroupOf(c.Datagram()); !ok || gid != 0 {
+		t.Fatalf("0xC0 envelope: GroupOf = %d, %v; want 0, true", gid, ok)
+	}
+}
+
+func TestGroupOfTruncatedHeader(t *testing.T) {
+	for n := 1; n < groupHeader; n++ {
+		data := make([]byte, n)
+		data[0] = GroupMagic
+		if _, ok := GroupOf(data); ok {
+			t.Fatalf("GroupOf accepted a %d-byte grouped header", n)
+		}
+		if err := SplitGrouped(data, func([]byte) {}); err == nil {
+			t.Fatalf("SplitGrouped accepted a %d-byte grouped header", n)
+		}
+	}
+}
+
+func TestSplitGroupedRejectsCorruption(t *testing.T) {
+	var c Coalescer
+	c.SetGroup(9)
+	for _, m := range sampleMessages()[:3] {
+		c.TryAppend(m)
+	}
+	good := append([]byte(nil), c.Datagram()...)
+	// Envelope-structure corruption: count and length-prefix bytes.
+	for _, off := range []int{groupHeader - 1, groupHeader, groupHeader + 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xFF
+		clean := true
+		if err := SplitGrouped(bad, func(frame []byte) {
+			if _, derr := Decode(frame); derr != nil {
+				clean = false
+			}
+		}); err == nil && clean {
+			t.Fatalf("corruption at byte %d slipped through", off)
+		}
+	}
+	// Truncation anywhere must never split into a full clean set.
+	for n := 1; n < len(good); n++ {
+		frames := 0
+		clean := true
+		if err := SplitGrouped(good[:n], func(frame []byte) {
+			frames++
+			if _, derr := Decode(frame); derr != nil {
+				clean = false
+			}
+		}); err == nil && clean && frames == 3 {
+			t.Fatalf("truncation to %d bytes split cleanly", n)
+		}
+	}
+}
+
+func TestSplitGroupedRandomBytesNeverPanics(t *testing.T) {
+	rnd := uint64(0x9E3779B97F4A7C15)
+	next := func() byte {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return byte(rnd)
+	}
+	for i := 0; i < 5000; i++ {
+		n := int(next()) % 64
+		data := make([]byte, n+1)
+		data[0] = GroupMagic
+		for j := 1; j < len(data); j++ {
+			data[j] = next()
+		}
+		SplitGrouped(data, func([]byte) {}) //nolint:errcheck
+	}
+}
+
+// TestGroupedSteadyStateZeroAllocs pins the fabric send path's alloc
+// discipline: once the coalescer buffer is warm, tagging and packing
+// frames for a group allocates nothing.
+func TestGroupedSteadyStateZeroAllocs(t *testing.T) {
+	m := bigDecision(4)
+	var c Coalescer
+	c.SetGroup(3)
+	c.TryAppend(m) // warm the buffer
+	c.Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		c.TryAppend(m)
+		c.TryAppend(m)
+		if c.Datagram() == nil {
+			t.Fatal("no datagram")
+		}
+		c.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("grouped coalesce allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestGroupedOverflowRefusesAndRecovers(t *testing.T) {
+	big := &Proposal{Header: Header{From: 1, SendTS: 2}, Payload: make([]byte, 20*1024)}
+	var c Coalescer
+	c.SetGroup(5)
+	appended := 0
+	for c.TryAppend(big) {
+		appended++
+		if appended > 10 {
+			t.Fatal("size limit never triggered")
+		}
+	}
+	if appended == 0 {
+		t.Fatal("first append refused")
+	}
+	data := c.Datagram()
+	if !IsGrouped(data) {
+		t.Fatal("overflowed datagram lost its group tag")
+	}
+	if len(data) > MaxCoalescedSize+groupHeader {
+		t.Fatalf("datagram %d bytes exceeds budget", len(data))
+	}
+	n := 0
+	if err := SplitGrouped(data, func(frame []byte) {
+		if _, derr := Decode(frame); derr != nil {
+			t.Fatalf("sub-frame decode: %v", derr)
+		}
+		n++
+	}); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if n != appended {
+		t.Fatalf("split %d frames, want %d", n, appended)
+	}
+	// The refused frame must append cleanly after a flush.
+	c.Reset()
+	if !c.TryAppend(big) {
+		t.Fatal("append after flush refused")
+	}
+}
+
+func TestGroupHeaderLayout(t *testing.T) {
+	var c Coalescer
+	c.SetGroup(0x01020304)
+	c.TryAppend(&Nack{Header: Header{From: 1, SendTS: 2}})
+	data := c.Datagram()
+	if data[0] != GroupMagic {
+		t.Fatalf("magic = %#x", data[0])
+	}
+	if gid := binary.LittleEndian.Uint32(data[1:]); gid != 0x01020304 {
+		t.Fatalf("gid = %#x", gid)
+	}
+	if data[5] != 1 {
+		t.Fatalf("count = %d", data[5])
+	}
+}

@@ -162,6 +162,11 @@ var mirrorNames = []string{
 func newNodeObs(n *Node) *nodeObs {
 	o := &nodeObs{id: int32(n.cfg.ID), reg: obs.NewRegistry()}
 	r := o.reg
+	if n.cfg.Group != 0 {
+		// Fabric nodes host many groups, each with its own registry;
+		// the group label keeps their series apart when scraped merged.
+		r.SetBaseLabels(obs.L("group", "g"+itoa(int(n.cfg.Group))))
+	}
 
 	// Engine.
 	r.GaugeFunc("timewheel_engine_queue_depth", "events queued and not yet dispatched", nil,

@@ -8,6 +8,8 @@ package timewheel
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -53,7 +55,8 @@ func (n *Node) Health() Health {
 //
 //	/metrics        Prometheus text exposition (?format=json for JSON)
 //	/healthz        200 when healthy, 503 otherwise; JSON body either way
-//	/debug/events   protocol trace ring as JSON (?since=<cursor> to poll)
+//	/debug/events   protocol trace ring as JSON (?since=<cursor> to poll,
+//	                ?follow=1 for a server-sent-event stream)
 //	/debug/vars     expvar (includes the "timewheel" per-node snapshot)
 //	/debug/pprof/   runtime profiles
 //
@@ -91,6 +94,10 @@ func (n *Node) ObsHandler() http.Handler {
 			}
 			since = v
 		}
+		if r.URL.Query().Get("follow") != "" {
+			followEvents(w, r, since)
+			return
+		}
 		evs, next := tracer.Since(since)
 		out := struct {
 			Next   uint64       `json:"next"`
@@ -117,6 +124,79 @@ func (n *Node) ObsHandler() http.Handler {
 // defaultMirrorTimeout bounds how long a scrape waits for the event
 // loop to refresh the mirrored Stats counters.
 const defaultMirrorTimeout = 200 * time.Millisecond
+
+// followEvents streams the trace ring as server-sent events
+// (/debug/events?follow=1): each protocol event is one SSE message with
+// its ring sequence as the event id, so a dropped client reconnects
+// with Last-Event-ID (or ?since=) and misses nothing still in the ring.
+// The source is the same seqlock ring the one-shot endpoint reads —
+// polled, never subscribed, so a stuck client costs the node nothing on
+// the hot path. Comment-line keepalives hold idle connections open
+// through proxies.
+func followEvents(w http.ResponseWriter, r *http.Request, since uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		if v, err := strconv.ParseUint(id, 10, 64); err == nil {
+			since = v
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // nginx: do not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	const (
+		pollEvery = 25 * time.Millisecond
+		keepalive = 15 * time.Second
+	)
+	poll := time.NewTicker(pollEvery)
+	defer poll.Stop()
+	cursor := since
+	lastWrite := time.Now()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-poll.C:
+		}
+		evs, next := tracer.Since(cursor)
+		if next > cursor {
+			cursor = next
+		}
+		if len(evs) == 0 {
+			if time.Since(lastWrite) >= keepalive {
+				if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+					return
+				}
+				fl.Flush()
+				lastWrite = time.Now()
+			}
+			continue
+		}
+		for _, ev := range evs {
+			payload, err := json.Marshal(TraceEvent{
+				Seq: ev.Seq, At: ev.Time(), Node: int(ev.Node),
+				Type: ev.Type.String(), A: ev.A, B: ev.B,
+			})
+			if err != nil {
+				continue
+			}
+			// Cursor semantics match ?since=: the id is the *next* poll
+			// position, so Last-Event-ID resumes without re-delivery.
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: trace\ndata: %s\n\n", ev.Seq+1, payload); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+		lastWrite = time.Now()
+	}
+}
 
 // ObsServer is a running observability HTTP listener (see ServeObs).
 type ObsServer struct {

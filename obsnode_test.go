@@ -1,9 +1,11 @@
 package timewheel
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -263,5 +265,129 @@ func TestObservePublicHook(t *testing.T) {
 	mu.Unlock()
 	if after != before {
 		t.Errorf("cancelled sink still receiving (%d -> %d)", before, after)
+	}
+}
+
+// /debug/events?follow=1 streams the trace ring as server-sent events:
+// correct content type, monotone ids with next-cursor semantics, and
+// live events arriving after the stream opened.
+func TestObsEventsFollowSSE(t *testing.T) {
+	defer tracer.EnableRing()()
+
+	nodes, _, stop := startCluster(t, 3)
+	defer stop()
+
+	srv, err := nodes[0].ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req, err := http.NewRequest("GET", "http://"+srv.Addr()+"/debug/events?follow=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Generate fresh protocol events while the stream is open.
+	go func() {
+		for i := 0; i < 5; i++ {
+			nodes[0].Propose([]byte("sse"), TotalOrder, Strong) //nolint:errcheck
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	type sseEvent struct {
+		id   uint64
+		data TraceEvent
+	}
+	events := make(chan sseEvent, 64)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(events)
+		var cur sseEvent
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				v, err := strconv.ParseUint(line[4:], 10, 64)
+				if err != nil {
+					readErr <- err
+					return
+				}
+				cur.id = v
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(line[6:]), &cur.data); err != nil {
+					readErr <- err
+					return
+				}
+			case line == "": // dispatch boundary
+				if cur.id != 0 {
+					events <- cur
+					cur = sseEvent{}
+				}
+			}
+		}
+	}()
+
+	var got []sseEvent
+	deadline := time.After(10 * time.Second)
+	for len(got) < 5 {
+		select {
+		case err := <-readErr:
+			t.Fatalf("stream decode: %v", err)
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed after %d events", len(got))
+			}
+			got = append(got, ev)
+		case <-deadline:
+			t.Fatalf("timed out with %d events", len(got))
+		}
+	}
+	var lastID uint64
+	for _, ev := range got {
+		if ev.id <= lastID {
+			t.Fatalf("ids not monotone: %d after %d", ev.id, lastID)
+		}
+		// id is the next-poll cursor: one past the event's sequence.
+		if ev.id != ev.data.Seq+1 {
+			t.Fatalf("id %d does not follow seq %d", ev.id, ev.data.Seq)
+		}
+		lastID = ev.id
+		if ev.data.Type == "" {
+			t.Fatalf("event without a type: %+v", ev.data)
+		}
+	}
+
+	// Resume: a one-shot poll from the last cursor returns only newer
+	// events.
+	resp2, err := http.Get("http://" + srv.Addr() + "/debug/events?since=" + strconv.FormatUint(lastID, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out struct {
+		Next   uint64       `json:"next"`
+		Events []TraceEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range out.Events {
+		if ev.Seq < lastID {
+			t.Fatalf("resume re-delivered seq %d (cursor %d)", ev.Seq, lastID)
+		}
 	}
 }

@@ -172,6 +172,13 @@ type Config struct {
 	// "threaded" (the thread-per-event-type architecture they measured
 	// and rejected; kept runnable for comparison).
 	Engine string
+	// Group, when nonzero, tags every outgoing datagram with this
+	// group-id (the wire v6 grouped envelope) and accepts only incoming
+	// datagrams carrying it — the per-group half of the multi-group
+	// fabric (package fabric), which multiplexes many independent
+	// timewheel groups over one shared transport. Zero keeps the legacy
+	// single-group wire format. Metrics gain a {group="gN"} label.
+	Group uint32
 	// Guard configures the fail-aware timeliness guard (disabled when
 	// zero). See GuardConfig and docs/ROBUSTNESS.md.
 	Guard GuardConfig
@@ -226,6 +233,11 @@ type AdaptiveStats struct {
 	// ExpectOverwrites counts failure-detector expectations replaced
 	// while still armed (tracked even with adaptation off).
 	ExpectOverwrites uint64
+	// AppSamples counts application-broadcast (proposal) delay
+	// observations fed to the estimator; DeadlineTightenings counts
+	// armed surveillance deadlines pulled earlier by one of them.
+	AppSamples          uint64
+	DeadlineTightenings uint64
 	// HandlerBudget/TimerLateBudget are the guard budgets currently in
 	// force (adaptive when a source drives them); the Static* fields
 	// are what the static configuration would have used.
@@ -453,6 +465,7 @@ func NewNode(cfg Config) (*Node, error) {
 		timers: make(map[member.TimerID]*time.Timer),
 		coUni:  make(map[int]*wire.Coalescer),
 	}
+	n.coBcast.SetGroup(cfg.Group)
 	n.obs = newNodeObs(n)
 	var rec *durable.Recovery
 	if cfg.DataDir != "" {
@@ -661,6 +674,20 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	cfg.Transport.SetReceiver(func(data []byte) {
+		if wire.IsGrouped(data) {
+			// A group-tagged datagram (wire v6). A fabric demux
+			// normally routes these and delivers bare sub-frames, but a
+			// grouped node on a plain transport must still filter: only
+			// its own group's frames may enter the engine.
+			if gid, ok := wire.GroupOf(data); !ok || gid != cfg.Group {
+				n.obs.recvDrops.Inc()
+				return
+			}
+			if wire.SplitGrouped(data, recvFrame) != nil {
+				n.obs.recvDrops.Inc() // malformed envelope
+			}
+			return
+		}
 		if wire.IsCoalesced(data) {
 			// A coalesced datagram: each sub-frame decodes (and fails
 			// CRC) independently. Decode copies what it keeps, so the
@@ -757,6 +784,40 @@ func (n *Node) seedRecovery(rec *durable.Recovery) {
 // Recovery returns the startup recovery report; Durable is false when
 // the node has no data directory.
 func (n *Node) Recovery() RecoveryReport { return n.recovery }
+
+// ErrNotDurable is returned by Checkpoint on a node without a data
+// directory or without a Snapshot hook (nothing to checkpoint).
+var ErrNotDurable = errors.New("timewheel: node is not durable")
+
+// Checkpoint forces a durable snapshot of the application state right
+// now, independent of the SnapshotEvery cadence, and syncs the log. It
+// round-trips through the event loop so the image is consistent with
+// the delivery stream. The group-move rebalancer (fabric.MoveGroup)
+// uses it to fix a transfer base on the source replica; everything
+// delivered after the checkpoint reaches the destination as a replay
+// delta through the normal rejoin machinery.
+func (n *Node) Checkpoint() error {
+	if n.store == nil || n.cfg.Snapshot == nil {
+		return ErrNotDurable
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.mu.Unlock()
+	errc := make(chan error, 1)
+	n.post(engine.Event{Type: engine.EvCommand, Cmd: func() {
+		n.writeSnapshot()
+		errc <- n.store.Sync()
+	}})
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(5 * time.Second):
+		return ErrStopped
+	}
+}
 
 // handle runs inside the event loop; all protocol state is confined to
 // it. With a guard configured, every event is bracketed by the
@@ -1103,6 +1164,9 @@ func (n *Node) AdaptiveStats() AdaptiveStats {
 		Shrunk:           as.Shrunk,
 		FlapBoosts:       as.FlapBoosts,
 		ExpectOverwrites: as.ExpectOverwrites,
+
+		AppSamples:          as.AppSamples,
+		DeadlineTightenings: as.DeadlineTightenings,
 	}
 	if n.guard != nil {
 		s.HandlerBudget, s.TimerLateBudget = n.guard.EffectiveBudgets()
@@ -1173,6 +1237,7 @@ func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
 	c := n.coUni[dst]
 	if c == nil {
 		c = new(wire.Coalescer)
+		c.SetGroup(n.cfg.Group)
 		n.coUni[dst] = c
 	}
 	if c.Count() == 0 {
