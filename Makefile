@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race bench benchplot fuzz vet fmt experiments fsm examples clean
+.PHONY: all test race bench benchplot fuzz vet fmt experiments fsm examples dashboard-check clean
 
 all: vet test
 
@@ -34,6 +34,9 @@ experiments:
 
 fsm:
 	$(GO) run ./cmd/twfsm
+
+dashboard-check:
+	$(GO) run ./cmd/twdashcheck docs/grafana/timewheel.json
 
 examples:
 	$(GO) run ./examples/quickstart

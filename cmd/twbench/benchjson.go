@@ -97,6 +97,7 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 		{"HistogramObserve", benchHistogramObserve},
 		{"CounterInc", benchCounterInc},
 		{"WireEncodeDecision", benchWireEncodeDecision},
+		{"WireEncodeCausalTagged", benchWireEncodeCausalTagged},
 		{"WireDecodeDecision", benchWireDecodeDecision},
 		{"WireRoundTripDelta", benchWireRoundTripDelta},
 		{"FabricDemux", benchFabricDemux},
@@ -306,6 +307,22 @@ func benchDecision(delta bool) *wire.Decision {
 
 func benchWireEncodeDecision(b *testing.B) {
 	dec := benchDecision(false)
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.EncodeTo(buf, dec)
+	}
+}
+
+// The v7 tagged emit path: the same heavy decision with a causal trace
+// context stamped into its header. The context is 16 flat bytes copied
+// by value — the zero-alloc gate below makes any allocation the tagging
+// introduces over the plain v6 encode a CI failure.
+func benchWireEncodeCausalTagged(b *testing.B) {
+	dec := benchDecision(false)
+	dec.Ctx = wire.Causal{Origin: 2, Slot: 417, TS: 5_000_000}
 	buf := wire.GetBuffer()
 	defer wire.PutBuffer(buf)
 	b.ReportAllocs()

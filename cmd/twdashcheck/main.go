@@ -1,0 +1,176 @@
+// Command twdashcheck validates a Grafana dashboard against the node's
+// actual /metrics catalog. It boots a throwaway in-memory node with
+// every optional subsystem enabled (guard, adaptive timeouts, group
+// label), scrapes its metric families, and cross-checks the dashboard:
+//
+//   - every timewheel_* name the dashboard references must exist in the
+//     scraped catalog (a typo or a renamed metric fails the build);
+//   - every scraped family must be referenced somewhere in the
+//     dashboard (adding a metric forces a dashboard update).
+//
+// Usage:
+//
+//	twdashcheck docs/grafana/timewheel.json
+//	twdashcheck -list          # print the catalog and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"timewheel"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the scraped metric catalog and exit")
+	flag.Parse()
+
+	catalog, err := scrapeCatalog()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twdashcheck: building catalog: %v\n", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, name := range catalog {
+			fmt.Println(name)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: twdashcheck <dashboard.json>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twdashcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	known := make(map[string]bool, len(catalog))
+	for _, name := range catalog {
+		known[name] = true
+	}
+	// Histogram families expose _bucket/_sum/_count series; counters may
+	// be referenced without promQL suffix stripping. Accept a reference
+	// if the name or its de-suffixed base is a scraped family.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				return strings.TrimSuffix(name, suf)
+			}
+		}
+		return name
+	}
+
+	refs := regexp.MustCompile(`timewheel_[a-z0-9_]+`).FindAllString(string(raw), -1)
+	referenced := make(map[string]bool)
+	var unknown []string
+	for _, ref := range refs {
+		b := base(ref)
+		if !known[b] {
+			unknown = append(unknown, ref)
+			continue
+		}
+		referenced[b] = true
+	}
+	sort.Strings(unknown)
+	unknown = dedup(unknown)
+	var uncovered []string
+	for _, name := range catalog {
+		if !referenced[name] {
+			uncovered = append(uncovered, name)
+		}
+	}
+
+	for _, name := range unknown {
+		fmt.Fprintf(os.Stderr, "unknown metric referenced: %s\n", name)
+	}
+	for _, name := range uncovered {
+		fmt.Fprintf(os.Stderr, "catalog family not on the dashboard: %s\n", name)
+	}
+	if len(unknown) > 0 || len(uncovered) > 0 {
+		fmt.Fprintf(os.Stderr, "twdashcheck: FAIL (%d unknown, %d uncovered of %d families)\n",
+			len(unknown), len(uncovered), len(catalog))
+		os.Exit(1)
+	}
+	fmt.Printf("twdashcheck: OK — %d metric families, all referenced\n", len(catalog))
+}
+
+// scrapeCatalog boots a maximal throwaway cluster — every optional
+// subsystem on, and actually formed, so lazily-created families (FSM
+// transition counters materialize on the first transition) are present
+// — and extracts the metric family names from node 0's exposition.
+func scrapeCatalog() ([]string, error) {
+	hub := timewheel.NewMemoryHub(timewheel.HubConfig{})
+	defer hub.Close()
+	dir, err := os.MkdirTemp("", "twdashcheck")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	nodes := make([]*timewheel.Node, 3)
+	for i := range nodes {
+		cfg := timewheel.Config{
+			ID: i, ClusterSize: 3,
+			Transport: hub.Transport(i),
+			Adaptive:  timewheel.AdaptiveConfig{Enabled: true},
+			Guard: timewheel.GuardConfig{
+				Enabled:       true,
+				HandlerBudget: 50 * time.Millisecond,
+			},
+		}
+		if i == 0 {
+			cfg.DataDir = dir
+		}
+		nodes[i], err = timewheel.NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range nodes {
+		defer n.Stop()
+		n.Start()
+	}
+	n := nodes[0]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := n.CurrentView(); ok && len(v.Members) == 3 {
+			n.Propose([]byte("x"), timewheel.TotalOrder, timewheel.Strong) //nolint:errcheck
+			time.Sleep(100 * time.Millisecond)
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("throwaway cluster never formed a view")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := n.WriteMetrics(&sb); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, _, ok := strings.Cut(rest, " "); ok {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return dedup(names), nil
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -55,6 +55,10 @@ func main() {
 				"and this process hosts every group listing it (empty: single-group mode)")
 		ringVnodes = flag.Int("ring", 0,
 			"fabric mode: virtual points per group on the consistent-hash ring (0: default)")
+		blackboxDir = flag.String("blackbox-dir", "",
+			"arm the flight recorder: dump incident bundles (trace ring, metrics, "+
+				"profiles) here on guard trips, self-exclusions, invariant violations "+
+				"and SIGQUIT (empty with -data-dir: <data-dir>/node-<id>/blackbox)")
 	)
 	flag.Parse()
 
@@ -109,6 +113,7 @@ func main() {
 		Params:      timewheel.Params{Delta: *delta, D: *dd},
 		DataDir:     dir,
 		Fsync:       *fsync,
+		BlackboxDir: *blackboxDir,
 		Adaptive:    timewheel.AdaptiveConfig{Enabled: *adaptive},
 		Guard: timewheel.GuardConfig{
 			Enabled:         *guardBudget > 0,
@@ -157,6 +162,20 @@ func main() {
 		node.Stop()
 		os.Exit(0)
 	}()
+	// SIGQUIT is the operator's flight-recorder trigger: dump a black
+	// box bundle and keep running (Go's default SIGQUIT stack dump is
+	// replaced — use /debug/pprof or the bundle's goroutine.txt).
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if path, err := node.DumpBlackbox("signal"); err != nil {
+				fmt.Printf("[blackbox] %v\n", err)
+			} else {
+				fmt.Printf("[blackbox] dumped %s\n", path)
+			}
+		}
+	}()
 	defer node.Stop()
 	fmt.Printf("node p%d up at %s — type lines to broadcast, 'status' for state, ctrl-D to quit\n",
 		*id, addrs[*id])
@@ -169,6 +188,11 @@ func main() {
 		case "status":
 			v, ok := node.CurrentView()
 			fmt.Printf("[status]  state=%s view=g%d %v (member=%v)\n", node.StateName(), v.Seq, v.Members, ok)
+			if total, byInv := node.AuditStats(); total == 0 {
+				fmt.Printf("[audit]   invariants clean\n")
+			} else {
+				fmt.Printf("[audit]   VIOLATIONS total=%d %v\n", total, byInv)
+			}
 			if *guardBudget > 0 {
 				g := node.GuardStats()
 				fmt.Printf("[guard]   overruns=%d lateTimers=%d clockJumps=%d selfExclusions=%d suppressed=%d queueDrops=%d tripped=%v\n",

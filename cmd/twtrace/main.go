@@ -1,0 +1,146 @@
+// Command twtrace reconstructs one causally-ordered cluster timeline
+// from the trace rings of N timewheel nodes — pulled live from their
+// /debug/events endpoints, or read offline from flight-recorder
+// (blackbox) bundles — and flags causal anomalies: a receive whose
+// matching send appears nowhere, a cross-node edge that breaks the ε
+// clock bound, a node whose delivery stream skips an update another
+// node applied.
+//
+// Usage:
+//
+//	twtrace -nodes http://a:8080,http://b:8080,http://c:8080
+//	twtrace -bundles /data/blackbox/bb-...-guard-trip,/data2/blackbox/bb-...
+//	twtrace -nodes ... -epsilon 2ms -html timeline.html
+//
+// Exit status: 0 on a clean merge, 1 when the timeline contains
+// causal-ordering violations, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"timewheel/internal/trace"
+)
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated node base URLs (http://host:port) to pull /debug/events from")
+		bundles = flag.String("bundles", "", "comma-separated blackbox bundle directories to read offline")
+		epsilon = flag.Duration("epsilon", 2*time.Millisecond, "synchronized-clock deviation bound ε for cross-node edges")
+		htmlOut = flag.String("html", "", "write the timeline as an HTML page to this file (default: text to stdout)")
+		quiet   = flag.Bool("quiet", false, "suppress the per-hop timeline; print only the summary and findings")
+	)
+	flag.Parse()
+	if (*nodes == "") == (*bundles == "") {
+		fmt.Fprintln(os.Stderr, "twtrace: exactly one of -nodes or -bundles is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		perNode   [][]trace.Hop
+		truncated bool
+	)
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "twtrace: %v\n", err)
+		os.Exit(2)
+	}
+	if *nodes != "" {
+		for _, base := range strings.Split(*nodes, ",") {
+			hops, trunc, err := fetchNode(strings.TrimSpace(base))
+			if err != nil {
+				fail(err)
+			}
+			perNode = append(perNode, hops)
+			truncated = truncated || trunc
+		}
+	} else {
+		for _, dir := range strings.Split(*bundles, ",") {
+			hops, trunc, err := readBundle(strings.TrimSpace(dir))
+			if err != nil {
+				fail(err)
+			}
+			perNode = append(perNode, hops)
+			truncated = truncated || trunc
+		}
+	}
+
+	tl := trace.MergeCluster(perNode, int64(*epsilon), truncated)
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.RenderTimelineHTML(f, tl); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s: %d hops, %d edges, %d violations, %d anomalies\n",
+			*htmlOut, len(tl.Hops), len(tl.Edges), len(tl.Violations), len(tl.Anomalies))
+	} else if *quiet {
+		fmt.Printf("hops=%d edges=%d unmatched=%d violations=%d anomalies=%d truncated=%v\n",
+			len(tl.Hops), len(tl.Edges), tl.Unmatched, len(tl.Violations), len(tl.Anomalies), tl.Truncated)
+		for _, v := range tl.Violations {
+			fmt.Printf("VIOLATION: %s\n", v.Text)
+		}
+		for _, a := range tl.Anomalies {
+			fmt.Printf("anomaly: %s\n", a.Text)
+		}
+	} else {
+		if err := trace.RenderTimeline(os.Stdout, tl); err != nil {
+			fail(err)
+		}
+	}
+	if len(tl.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// eventsDoc is the shared JSON shape of /debug/events and a bundle's
+// events.json (the bundle adds fields the merge does not need).
+type eventsDoc struct {
+	Truncated bool              `json:"truncated"`
+	Dropped   uint64            `json:"dropped"`
+	Events    []trace.EventJSON `json:"events"`
+}
+
+func fetchNode(base string) ([]trace.Hop, bool, error) {
+	url := strings.TrimRight(base, "/") + "/debug/events"
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var doc eventsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, false, fmt.Errorf("%s: %v", url, err)
+	}
+	return trace.HopsFromJSON(doc.Events), doc.Truncated || doc.Dropped > 0, nil
+}
+
+func readBundle(dir string) ([]trace.Hop, bool, error) {
+	f, err := os.Open(filepath.Join(dir, "events.json"))
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	var doc eventsDoc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, false, fmt.Errorf("%s: %v", dir, err)
+	}
+	return trace.HopsFromJSON(doc.Events), doc.Truncated || doc.Dropped > 0, nil
+}

@@ -1,0 +1,206 @@
+package check
+
+// Auditor is the live counterpart of the sim validators: a streaming,
+// bounded-memory checker that a running node feeds from its delivery
+// and view-install paths. It verifies the node-local projections of the
+// §3 invariants — FIFO order per proposer, no duplicate deliveries,
+// total-order and time-order monotonicity, view-sequence monotonicity,
+// and majority-sized groups — and counts violations instead of
+// collecting them, so the node can export a counter and trip the flight
+// recorder without unbounded state.
+//
+// The monotone checks (order, FIFO, views) are a handful of compares
+// and run on every observation. Only the unordered-duplicate check
+// needs a lookback set; it is bounded to a recent window and can be
+// sampled down via Config.Sample on hot nodes.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// Invariant names reported by the Auditor. They double as the label
+// values of the timewheel_invariant_violations_total metric.
+const (
+	InvFIFOOrder     = "fifo_order"
+	InvDuplicate     = "duplicate_delivery"
+	InvTotalOrder    = "total_order"
+	InvTimeOrder     = "time_order"
+	InvViewMonotonic = "view_monotonic"
+	InvMajorityView  = "majority_view"
+)
+
+// AuditorConfig parameterizes a live Auditor.
+type AuditorConfig struct {
+	// N is the static team size, used for the majority-view check.
+	// Zero disables that check.
+	N int
+	// Sample runs the unordered-duplicate window check on one in Sample
+	// deliveries; values <= 1 check every delivery. The monotone checks
+	// are always on — they are cheaper than the sampling counter.
+	Sample int
+	// Window bounds the duplicate-detection lookback (delivered proposal
+	// IDs remembered). Zero means 4096.
+	Window int
+	// OnViolation, when set, fires synchronously on the observing
+	// goroutine for every violation. Keep it cheap; the node uses it to
+	// trip the flight recorder.
+	OnViolation func(invariant, detail string)
+}
+
+// Auditor is safe for concurrent use; all observation methods are
+// O(1) amortized and allocation-free outside the violation path.
+type Auditor struct {
+	cfg        AuditorConfig
+	violations atomic.Uint64
+
+	mu      sync.Mutex
+	byInv   map[string]uint64
+	lastSeq map[model.ProcessID]uint64 // ordered deliveries: strict FIFO floor
+	lastOrd oal.Ordinal                // total-order deliveries: last ordinal
+	lastTS  model.Time                 // time-order deliveries: last send TS
+	lastPr  model.ProcessID            // ... with proposer as the tiebreak
+	anyTime bool
+	window  []oal.ProposalID // ring of recent IDs for the unordered-dup check
+	seen    map[oal.ProposalID]struct{}
+	wpos    int
+	tick    int
+	viewSeq uint64
+	anyView bool
+}
+
+// NewAuditor builds a live invariant auditor.
+func NewAuditor(cfg AuditorConfig) *Auditor {
+	if cfg.Window <= 0 {
+		cfg.Window = 4096
+	}
+	return &Auditor{
+		cfg:     cfg,
+		byInv:   make(map[string]uint64),
+		lastSeq: make(map[model.ProcessID]uint64),
+		window:  make([]oal.ProposalID, 0, cfg.Window),
+		seen:    make(map[oal.ProposalID]struct{}, cfg.Window),
+	}
+}
+
+// Violations returns the total violation count. Safe without the lock;
+// exported as timewheel_invariant_violations_total.
+func (a *Auditor) Violations() uint64 { return a.violations.Load() }
+
+// ByInvariant returns a snapshot of per-invariant violation counts.
+func (a *Auditor) ByInvariant() map[string]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]uint64, len(a.byInv))
+	for k, v := range a.byInv {
+		out[k] = v
+	}
+	return out
+}
+
+func (a *Auditor) violate(inv, detail string) {
+	a.violations.Add(1)
+	a.byInv[inv]++
+	if a.cfg.OnViolation != nil {
+		a.cfg.OnViolation(inv, detail)
+	}
+}
+
+// ObserveDeliver checks one delivered update. Call it from the
+// OnDeliver path with the delivery's identity, ordinal, semantics and
+// send timestamp.
+func (a *Auditor) ObserveDeliver(id oal.ProposalID, ord oal.Ordinal, sem oal.Semantics, sendTS model.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if sem.Order != oal.Unordered {
+		// FIFO per proposer: ordered deliveries from one proposer must
+		// arrive in strictly increasing sequence. A repeat is a
+		// duplicate; a smaller sequence is a reordering.
+		if last, ok := a.lastSeq[id.Proposer]; ok && id.Seq <= last {
+			if id.Seq == last {
+				a.violate(InvDuplicate, fmt.Sprintf("update %v delivered twice", id))
+			} else {
+				a.violate(InvFIFOOrder, fmt.Sprintf("update %v delivered after seq %d", id, last))
+			}
+		} else {
+			a.lastSeq[id.Proposer] = id.Seq
+		}
+	} else if a.cfg.Sample <= 1 || a.tickSample() {
+		// Unordered deliveries have no sequence floor to lean on; catch
+		// duplicates against a bounded recent window.
+		if _, dup := a.seen[id]; dup {
+			a.violate(InvDuplicate, fmt.Sprintf("unordered update %v delivered twice", id))
+		} else {
+			a.remember(id)
+		}
+	}
+
+	if ord != oal.None && sem.Order == oal.TotalOrder {
+		if a.lastOrd != oal.None && ord <= a.lastOrd {
+			a.violate(InvTotalOrder, fmt.Sprintf("ordinal %d delivered after %d", ord, a.lastOrd))
+		}
+		if ord > a.lastOrd {
+			a.lastOrd = ord
+		}
+	}
+
+	if sem.Order == oal.TimeOrder {
+		// Time-order deliveries must be sorted by (send TS, proposer).
+		if a.anyTime && (sendTS < a.lastTS || (sendTS == a.lastTS && id.Proposer < a.lastPr)) {
+			a.violate(InvTimeOrder, fmt.Sprintf("update %v ts=%d delivered after ts=%d/p%v",
+				id, sendTS, a.lastTS, a.lastPr))
+		}
+		if !a.anyTime || sendTS > a.lastTS || (sendTS == a.lastTS && id.Proposer > a.lastPr) {
+			a.lastTS, a.lastPr = sendTS, id.Proposer
+		}
+		a.anyTime = true
+	}
+}
+
+// ObserveView checks one installed membership view: sequence numbers
+// must be strictly monotone and, when the team size is known, every
+// installed group must hold a majority (§3: at most one majority group
+// exists; a node in a minority group must not install it).
+func (a *Auditor) ObserveView(seq uint64, members int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.anyView && seq <= a.viewSeq {
+		a.violate(InvViewMonotonic, fmt.Sprintf("view g%d installed after g%d", seq, a.viewSeq))
+	}
+	if seq > a.viewSeq {
+		a.viewSeq = seq
+	}
+	a.anyView = true
+	if a.cfg.N > 0 && members <= a.cfg.N/2 {
+		a.violate(InvMajorityView, fmt.Sprintf("view g%d has %d members, majority of %d is %d",
+			seq, members, a.cfg.N, a.cfg.N/2+1))
+	}
+}
+
+// tickSample implements 1-in-Sample gating; callers hold the lock.
+func (a *Auditor) tickSample() bool {
+	a.tick++
+	if a.tick >= a.cfg.Sample {
+		a.tick = 0
+		return true
+	}
+	return false
+}
+
+// remember adds an ID to the bounded duplicate-detection window,
+// evicting the oldest once full; callers hold the lock.
+func (a *Auditor) remember(id oal.ProposalID) {
+	if len(a.window) < cap(a.window) {
+		a.window = append(a.window, id)
+	} else {
+		delete(a.seen, a.window[a.wpos])
+		a.window[a.wpos] = id
+		a.wpos = (a.wpos + 1) % len(a.window)
+	}
+	a.seen[id] = struct{}{}
+}

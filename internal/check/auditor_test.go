@@ -1,0 +1,119 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+func totalOrder() oal.Semantics {
+	return oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrictAtomicity}
+}
+
+func TestAuditorCleanStream(t *testing.T) {
+	a := NewAuditor(AuditorConfig{N: 4})
+	for seq := uint64(1); seq <= 10; seq++ {
+		a.ObserveDeliver(oal.ProposalID{Proposer: 1, Seq: seq}, oal.Ordinal(seq), totalOrder(), model.Time(seq*100))
+	}
+	a.ObserveView(1, 4)
+	a.ObserveView(2, 3)
+	if got := a.Violations(); got != 0 {
+		t.Fatalf("clean stream: %d violations (%v)", got, a.ByInvariant())
+	}
+}
+
+func TestAuditorFIFOAndDuplicate(t *testing.T) {
+	var fired []string
+	a := NewAuditor(AuditorConfig{OnViolation: func(inv, detail string) {
+		fired = append(fired, inv+": "+detail)
+	}})
+	id := func(seq uint64) oal.ProposalID { return oal.ProposalID{Proposer: 2, Seq: seq} }
+	a.ObserveDeliver(id(1), 1, totalOrder(), 100)
+	a.ObserveDeliver(id(3), 2, totalOrder(), 300)
+	a.ObserveDeliver(id(3), 3, totalOrder(), 300) // duplicate
+	a.ObserveDeliver(id(2), 4, totalOrder(), 200) // FIFO regression
+	if got := a.ByInvariant(); got[InvDuplicate] != 1 || got[InvFIFOOrder] != 1 {
+		t.Fatalf("byInvariant = %v, want one duplicate and one fifo violation", got)
+	}
+	if len(fired) != 2 || !strings.Contains(fired[0], "delivered twice") {
+		t.Fatalf("OnViolation callbacks = %v", fired)
+	}
+}
+
+func TestAuditorTotalAndTimeOrder(t *testing.T) {
+	a := NewAuditor(AuditorConfig{})
+	a.ObserveDeliver(oal.ProposalID{Proposer: 1, Seq: 1}, 5, totalOrder(), 500)
+	a.ObserveDeliver(oal.ProposalID{Proposer: 2, Seq: 1}, 4, totalOrder(), 400)
+	got := a.ByInvariant()
+	if got[InvTotalOrder] != 1 {
+		t.Fatalf("total-order regression not flagged: %v", got)
+	}
+	if got[InvTimeOrder] != 0 {
+		t.Fatalf("total-order stream should not hit the time-order check: %v", got)
+	}
+
+	to := oal.Semantics{Order: oal.TimeOrder}
+	a = NewAuditor(AuditorConfig{})
+	a.ObserveDeliver(oal.ProposalID{Proposer: 1, Seq: 1}, oal.None, to, 500)
+	a.ObserveDeliver(oal.ProposalID{Proposer: 2, Seq: 1}, oal.None, to, 500) // tie, higher proposer: fine
+	a.ObserveDeliver(oal.ProposalID{Proposer: 1, Seq: 2}, oal.None, to, 500) // tie, lower proposer: violation
+	a.ObserveDeliver(oal.ProposalID{Proposer: 3, Seq: 1}, oal.None, to, 400) // earlier TS: violation
+	if got := a.ByInvariant(); got[InvTimeOrder] != 2 {
+		t.Fatalf("time-order violations = %v, want 2", got)
+	}
+}
+
+func TestAuditorUnorderedDuplicateWindow(t *testing.T) {
+	un := oal.Semantics{Order: oal.Unordered}
+	a := NewAuditor(AuditorConfig{Window: 4})
+	id := func(seq uint64) oal.ProposalID { return oal.ProposalID{Proposer: 1, Seq: seq} }
+	a.ObserveDeliver(id(1), oal.None, un, 100)
+	a.ObserveDeliver(id(1), oal.None, un, 100)
+	if got := a.ByInvariant(); got[InvDuplicate] != 1 {
+		t.Fatalf("unordered duplicate not caught: %v", got)
+	}
+	// Push the first ID out of the 4-entry window: the repeat is no
+	// longer detectable (bounded memory), but must not false-positive.
+	for seq := uint64(2); seq <= 6; seq++ {
+		a.ObserveDeliver(id(seq), oal.None, un, model.Time(seq*100))
+	}
+	a.ObserveDeliver(id(1), oal.None, un, 100)
+	if got := a.ByInvariant(); got[InvDuplicate] != 1 {
+		t.Fatalf("evicted window entry changed the count: %v", got)
+	}
+}
+
+func TestAuditorSampling(t *testing.T) {
+	un := oal.Semantics{Order: oal.Unordered}
+	a := NewAuditor(AuditorConfig{Sample: 3, Window: 64})
+	// With 1-in-3 sampling only every third unordered delivery enters
+	// the window; a duplicate pair that both land on sampled ticks is
+	// still caught over a long stream.
+	var caught uint64
+	for i := 0; i < 300; i++ {
+		a.ObserveDeliver(oal.ProposalID{Proposer: 1, Seq: uint64(i % 30)}, oal.None, un, model.Time(i))
+		caught = a.ByInvariant()[InvDuplicate]
+	}
+	if caught == 0 {
+		t.Fatal("sampled duplicate check never fired over a repeating stream")
+	}
+}
+
+func TestAuditorViews(t *testing.T) {
+	a := NewAuditor(AuditorConfig{N: 5})
+	a.ObserveView(1, 5)
+	a.ObserveView(1, 5) // repeat sequence
+	a.ObserveView(3, 2) // minority group
+	got := a.ByInvariant()
+	if got[InvViewMonotonic] != 1 {
+		t.Fatalf("view monotonicity: %v", got)
+	}
+	if got[InvMajorityView] != 1 {
+		t.Fatalf("majority view: %v", got)
+	}
+	if a.Violations() != 2 {
+		t.Fatalf("total = %d, want 2", a.Violations())
+	}
+}

@@ -1,0 +1,107 @@
+package member
+
+// Causal trace stamping (wire v7): every message the machine sends
+// carries a Causal context naming the protocol round it belongs to, so
+// per-node trace rings can be merged into one cluster timeline. The
+// machine is the single stamping point — both the live node and the
+// simulator send through broadcast/unicast below, so the sim scenarios
+// exercise exactly the tagging the real wire ships.
+
+import (
+	"timewheel/internal/model"
+	"timewheel/internal/wire"
+)
+
+// WireDir distinguishes the two directions of the WireEvent hook.
+type WireDir uint8
+
+const (
+	// WireSend: the machine handed a message to the environment.
+	WireSend WireDir = iota
+	// WireRecv: the machine accepted a received message (duplicates and
+	// stale control messages rejected by the freshness gate never fire).
+	WireRecv
+)
+
+// slotOf maps a send timestamp to its timewheel slot index — the round
+// identity of the causal context.
+func (m *Machine) slotOf(ts model.Time) uint32 {
+	sl := int64(m.params.SlotLen())
+	if sl <= 0 || ts < 0 {
+		return 0
+	}
+	return uint32(int64(ts) / sl)
+}
+
+// ownCtx starts a fresh causal chain at this process.
+func (m *Machine) ownCtx(ts model.Time) wire.Causal {
+	return wire.Causal{Origin: uint32(m.self), Slot: m.slotOf(ts), TS: int64(ts)}
+}
+
+// causalOf returns the causal context of a received message,
+// synthesizing one from the header for pre-v7 frames so merged
+// timelines stay connected across mixed-version groups.
+func (m *Machine) causalOf(h wire.Header) wire.Causal {
+	if !h.Ctx.Zero() {
+		return h.Ctx
+	}
+	return wire.Causal{Origin: uint32(h.From), Slot: m.slotOf(h.SendTS), TS: int64(h.SendTS)}
+}
+
+// stamp assigns msg its causal context:
+//
+//   - a decision starts a new chain (the decider's round is the unit the
+//     timeline groups by) and becomes the machine's current context;
+//   - a proposal starts its own chain unless one is already set (a
+//     nack-triggered retransmission keeps the original's);
+//   - everything else continues the current chain — a pre-set context
+//     (a nack tied to the decision that exposed the loss) wins, then the
+//     last adopted decision's, then a fresh own chain (joins during
+//     formation, before any decision exists).
+//
+// Re-stamping is idempotent: a wrong-suspicion resend of the last
+// control message reproduces the context the original carried.
+func (m *Machine) stamp(msg wire.Message) {
+	h := msg.Hdr()
+	switch msg.(type) {
+	case *wire.Decision:
+		ctx := m.ownCtx(h.SendTS)
+		msg.SetCtx(ctx)
+		m.lastCausal = ctx
+	case *wire.Proposal:
+		if h.Ctx.Zero() {
+			msg.SetCtx(m.ownCtx(h.SendTS))
+		}
+	default:
+		switch {
+		case !h.Ctx.Zero():
+		case !m.lastCausal.Zero():
+			msg.SetCtx(m.lastCausal)
+		default:
+			msg.SetCtx(m.ownCtx(h.SendTS))
+		}
+	}
+}
+
+// broadcast stamps msg and sends it to all peers, firing the WireEvent
+// hook. All machine sends go through here or unicast — the env is never
+// called directly — so every frame leaves tagged.
+func (m *Machine) broadcast(msg wire.Message) {
+	m.stamp(msg)
+	m.env.Broadcast(msg)
+	m.fireWire(WireSend, msg, model.NoProcess)
+}
+
+// unicast stamps msg and sends it to one peer, firing the WireEvent
+// hook.
+func (m *Machine) unicast(to model.ProcessID, msg wire.Message) {
+	m.stamp(msg)
+	m.env.Unicast(to, msg)
+	m.fireWire(WireSend, msg, to)
+}
+
+func (m *Machine) fireWire(dir WireDir, msg wire.Message, peer model.ProcessID) {
+	if h := m.cfg.Hooks.WireEvent; h != nil {
+		h(dir, msg.Kind(), peer, msg.Hdr().Ctx, m.env.Now())
+	}
+}

@@ -26,7 +26,7 @@ func (m *Machine) onOwnSlot() {
 		// it joined, so a fresher live claim (e.g. the new lineage adopted
 		// from the admitting decision) would earn a delta on top of the
 		// wrong base. The stale claim degrades safely to a full transfer.
-		m.env.Broadcast(&wire.Join{
+		m.broadcast(&wire.Join{
 			Header:         wire.Header{From: m.self, SendTS: m.sendTS()},
 			JoinList:       []model.ProcessID{m.self},
 			CoveredOrdinal: m.advCovered,
@@ -110,7 +110,7 @@ func (m *Machine) sendJoin() {
 		Lineage:        m.advLineage,
 		Forming:        true,
 	}
-	m.env.Broadcast(j)
+	m.broadcast(j)
 	m.lastControlMsg = j
 	m.stats.JoinsSent++
 }
@@ -262,7 +262,7 @@ func (m *Machine) sendReconfig() {
 		DPD:            m.bc.DPD(),
 		Alive:          m.fd.AliveList(now),
 	}
-	m.env.Broadcast(r)
+	m.broadcast(r)
 	m.lastControlMsg = r
 	m.stats.ReconfigsSent++
 }

@@ -118,6 +118,13 @@ type Hooks struct {
 	// suspicion reaction lag (timer slip + queueing) that fail-aware
 	// timeliness claims are judged against.
 	Suspicion func(suspect model.ProcessID, deadline, now model.Time)
+	// WireEvent fires for every protocol message the machine sends
+	// (dir=WireSend; peer is the unicast destination, NoProcess for
+	// broadcasts) or accepts (dir=WireRecv; peer is the sender). ctx is
+	// the message's causal trace context. Called on the machine's
+	// goroutine from the send/receive hot path — keep it scalar-only and
+	// allocation-free.
+	WireEvent func(dir WireDir, kind wire.Kind, peer model.ProcessID, ctx wire.Causal, at model.Time)
 }
 
 // Config tunes the machine.
@@ -212,6 +219,11 @@ type Machine struct {
 	// lastSendTS makes this process's control timestamps strictly
 	// monotonic even if the synchronized clock is stepped backwards.
 	lastSendTS model.Time
+
+	// lastCausal is the causal context of the protocol round this
+	// process currently belongs to: the last decision sent or adopted.
+	// Non-decision control messages continue this chain (see stamp).
+	lastCausal wire.Causal
 
 	// lastStateSent rate-limits join-time state transfers per joiner.
 	lastStateSent map[model.ProcessID]model.Time
@@ -354,7 +366,7 @@ func (m *Machine) Propose(payload []byte, sem oal.Semantics) *wire.Proposal {
 		return nil
 	}
 	p := m.bc.Propose(m.sendTS(), payload, sem)
-	m.env.Broadcast(p)
+	m.broadcast(p)
 	return p
 }
 

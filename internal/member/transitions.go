@@ -24,6 +24,9 @@ func (m *Machine) OnMessage(msg wire.Message) {
 			return
 		}
 	}
+	// Accepted: record the receive hop for the cross-node timeline
+	// (rejected duplicates never fire — they are not protocol events).
+	m.fireWire(WireRecv, msg, h.From)
 	switch v := msg.(type) {
 	case *wire.Decision:
 		m.noteAlive(v.From, v.Alive)
@@ -52,7 +55,7 @@ func (m *Machine) OnMessage(msg wire.Message) {
 			// identity lives in its ID, not the header.
 			cp := *body
 			cp.From = m.self
-			m.env.Unicast(v.From, &cp)
+			m.unicast(v.From, &cp)
 		}
 	case *wire.State:
 		if m.needState || m.state == StateJoin || !m.haveGroup || m.bc.HighestOrdinal() == 0 {
@@ -68,7 +71,7 @@ func (m *Machine) OnMessage(msg wire.Message) {
 		// ship the next decision full in case others lost it too.
 		m.bc.ForceFullOAL()
 		if of := m.bc.ServeFullOAL(m.sendTS()); of != nil {
-			m.env.Unicast(v.From, of)
+			m.unicast(v.From, of)
 		}
 	case *wire.OALFull:
 		m.onOALFull(v)
@@ -82,12 +85,15 @@ func (m *Machine) OnMessage(msg wire.Message) {
 func (m *Machine) onOALFull(of *wire.OALFull) {
 	adopted, missing := m.bc.InstallFullOAL(m.env.Now(), of)
 	if len(missing) > 0 {
-		m.env.Broadcast(&wire.Nack{
-			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
+		// The nack continues the served baseline's causal chain: the
+		// losses it repairs belong to that decision's round.
+		m.broadcast(&wire.Nack{
+			Header:  wire.Header{From: m.self, SendTS: m.sendTS(), Ctx: m.causalOf(of.Header)},
 			Missing: missing,
 		})
 	}
 	if adopted {
+		m.lastCausal = m.causalOf(of.Header)
 		for _, nd := range m.pendingND {
 			m.bc.ResolveNoDecisionDelta(nd)
 		}
@@ -102,7 +108,7 @@ func (m *Machine) requestFullOAL(from model.ProcessID) {
 		return
 	}
 	m.lastOALReq[from] = now
-	m.env.Unicast(from, &wire.OALReq{Header: wire.Header{From: m.self, SendTS: m.sendTS()}})
+	m.unicast(from, &wire.OALReq{Header: wire.Header{From: m.self, SendTS: m.sendTS()}})
 	m.stats.OALReqsSent++
 }
 
@@ -147,8 +153,10 @@ func (m *Machine) onDecision(dec *wire.Decision) {
 	}
 	adopted, missing := m.bc.AdoptDecision(now, dec)
 	if len(missing) > 0 {
-		m.env.Broadcast(&wire.Nack{
-			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
+		// The nack continues the decision's causal chain: the losses it
+		// exposes belong to that round.
+		m.broadcast(&wire.Nack{
+			Header:  wire.Header{From: m.self, SendTS: m.sendTS(), Ctx: m.causalOf(dec.Header)},
 			Missing: missing,
 		})
 	}
@@ -157,6 +165,9 @@ func (m *Machine) onDecision(dec *wire.Decision) {
 		// wrong-suspicion retransmission we already have).
 		return
 	}
+	// Adopting a decision moves this process into its round: subsequent
+	// control messages continue its causal chain.
+	m.lastCausal = m.causalOf(dec.Header)
 
 	m.bc.CheckTermination(now)
 
@@ -406,7 +417,7 @@ func (m *Machine) onNoDecision(nd *wire.NoDecision) {
 	// Wrong-suspicion resend rule: if we are the suspect, somebody
 	// missed our last control message; resend it.
 	if nd.Suspect == m.self && m.lastControlMsg != nil {
-		m.env.Broadcast(m.lastControlMsg)
+		m.broadcast(m.lastControlMsg)
 	}
 
 	switch m.state {
@@ -618,7 +629,7 @@ func (m *Machine) sendNoDecision(q model.ProcessID) {
 		DPD:        m.bc.DPD(),
 		Alive:      m.fd.AliveList(m.env.Now()),
 	}
-	m.env.Broadcast(nd)
+	m.broadcast(nd)
 	m.lastControlMsg = nd
 	m.ndSent = true
 	m.stats.NDsSent++
@@ -705,20 +716,20 @@ func (m *Machine) sendDecision() {
 	admitted := m.admitJoiners(now)
 
 	dec, missing := m.bc.BuildDecision(m.sendTS(), m.group, m.fd.AliveList(now))
-	m.env.Broadcast(dec)
+	m.broadcast(dec)
 	m.lastControlMsg = dec
 	m.stats.DecisionsSent++
 	m.setDecider(false)
 
 	if len(missing) > 0 {
-		m.env.Broadcast(&wire.Nack{
+		m.broadcast(&wire.Nack{
 			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
 			Missing: missing,
 		})
 	}
 	for _, j := range admitted {
 		ji := m.lastJoin[j]
-		m.env.Unicast(j, m.bc.BuildState(dec.SendTS, ji.covered, ji.lineage))
+		m.unicast(j, m.bc.BuildState(dec.SendTS, ji.covered, ji.lineage))
 	}
 
 	if m.group.Size() <= 1 {
@@ -754,7 +765,7 @@ func (m *Machine) admitJoiners(now model.Time) []model.ProcessID {
 			// transfer; send again (rate-limited).
 			if now.Sub(m.lastStateSent[j]) >= m.params.CycleLen() {
 				m.lastStateSent[j] = now
-				m.env.Unicast(j, m.bc.BuildState(now, ji.covered, ji.lineage))
+				m.unicast(j, m.bc.BuildState(now, ji.covered, ji.lineage))
 			}
 			continue
 		}

@@ -66,6 +66,12 @@ type Options struct {
 	// (0 = the broadcast layer's default cadence, negative = disable
 	// delta encoding entirely, every decision full).
 	FullOALEvery int
+	// RecordWire appends every control send/receive (with its causal
+	// context) to Node.WireLog — the input of the cross-node timeline
+	// merge (internal/trace.MergeSim). Off by default: wire events are
+	// the protocol's highest-volume stream and long soak runs would
+	// accumulate them without bound.
+	RecordWire bool
 }
 
 // ViewRecord is one installed membership view.
@@ -96,6 +102,19 @@ type DeliveryRecord struct {
 	broadcast.Delivery
 	At          model.Time
 	Incarnation int
+}
+
+// WireRecord is one control-message send or receive with the causal
+// context the frame carries (recorded only with Options.RecordWire).
+// At is the node's synchronized clock reading, so cross-node edges in
+// the merged timeline are subject to the ε clock bound, exactly as on
+// real hosts.
+type WireRecord struct {
+	Dir  member.WireDir
+	Kind wire.Kind
+	Peer model.ProcessID // send: unicast destination (NoProcess = broadcast); recv: sender
+	Ctx  wire.Causal
+	At   model.Time
 }
 
 // Node is one simulated timewheel process.
@@ -134,6 +153,7 @@ type Node struct {
 	Views      []ViewRecord
 	StateLog   []StateRecord
 	DeciderLog []DeciderRecord
+	WireLog    []WireRecord // only with Options.RecordWire
 
 	// appState is the toy replicated state used when the application
 	// does not install its own snapshot hooks.
@@ -364,6 +384,11 @@ func (n *Node) buildStack() {
 				} else if k := len(n.DeciderLog) - 1; k >= 0 && n.DeciderLog[k].End == 0 {
 					n.DeciderLog[k].End = at
 					n.DeciderLog[k].Sent = n.machine.Stats().DecisionsSent > n.deciderSent
+				}
+			},
+			WireEvent: func(dir member.WireDir, kind wire.Kind, peer model.ProcessID, ctx wire.Causal, at model.Time) {
+				if n.cluster.Opts.RecordWire {
+					n.WireLog = append(n.WireLog, WireRecord{Dir: dir, Kind: kind, Peer: peer, Ctx: ctx, At: at})
 				}
 			},
 		},

@@ -150,9 +150,15 @@ func TestTracerRingOverwrite(t *testing.T) {
 	for i := 0; i < total; i++ {
 		tr.Emit(EvViewInstall, 1, int64(i), 0)
 	}
-	evs, next := tr.Since(0)
+	evs, next, truncated := tr.Since(0)
 	if next != uint64(total) {
 		t.Errorf("next cursor = %d, want %d", next, total)
+	}
+	if !truncated {
+		t.Error("overfilled ring read from 0 not reported truncated")
+	}
+	if want := uint64(total - tr.Cap()); tr.Dropped() != want {
+		t.Errorf("Dropped() = %d, want %d", tr.Dropped(), want)
 	}
 	if len(evs) != tr.Cap() {
 		t.Fatalf("got %d events, want ring cap %d", len(evs), tr.Cap())
@@ -166,9 +172,12 @@ func TestTracerRingOverwrite(t *testing.T) {
 
 	// Incremental poll from the cursor returns only new events.
 	tr.Emit(EvGuardTrip, 1, 0, 0)
-	evs, next2 := tr.Since(next)
+	evs, next2, truncated := tr.Since(next)
 	if len(evs) != 1 || evs[0].Type != EvGuardTrip || next2 != next+1 {
 		t.Fatalf("incremental poll: %d events, next %d", len(evs), next2)
+	}
+	if truncated {
+		t.Error("incremental poll from a live cursor reported truncated")
 	}
 }
 
@@ -203,7 +212,7 @@ func TestTracerConcurrentEmit(t *testing.T) {
 		defer rdWg.Done()
 		var cursor uint64
 		for {
-			evs, next := tr.Since(cursor)
+			evs, next, _ := tr.Since(cursor)
 			for _, ev := range evs {
 				if ev.Type != EvStateChange {
 					t.Errorf("torn event surfaced: type %v", ev.Type)

@@ -41,6 +41,23 @@ const (
 	// EvExpectOverwrite: the failure detector replaced a still-armed
 	// expectation; A=previous expected sender, B=new expected sender.
 	EvExpectOverwrite
+	// EvWireSend: a protocol message left this node. A=the causal
+	// context's originating send timestamp, B=PackWireMeta(kind, peer,
+	// origin, slot) where peer is the unicast destination (or
+	// WirePeerBroadcast).
+	EvWireSend
+	// EvWireRecv: a protocol message arrived. A and B as in EvWireSend,
+	// with peer = the sender.
+	EvWireRecv
+	// EvDeliver: the broadcast layer delivered an update to the
+	// application. A=ordinal, B=PackProposalID(proposer, seq).
+	EvDeliver
+	// EvInvariant: the live auditor observed an invariant violation;
+	// A=auditor-specific invariant code.
+	EvInvariant
+	// EvBlackbox: a flight-recorder bundle was written; A=trigger reason
+	// code.
+	EvBlackbox
 )
 
 func (t EventType) String() string {
@@ -73,9 +90,51 @@ func (t EventType) String() string {
 		return "queue-drop"
 	case EvExpectOverwrite:
 		return "expect-overwrite"
+	case EvWireSend:
+		return "wire-send"
+	case EvWireRecv:
+		return "wire-recv"
+	case EvDeliver:
+		return "deliver"
+	case EvInvariant:
+		return "invariant"
+	case EvBlackbox:
+		return "blackbox"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
+}
+
+// WirePeerBroadcast marks a wire-send event with no single destination.
+const WirePeerBroadcast = 0xffff
+
+// PackWireMeta packs the metadata of a wire send/recv event into the
+// event's B argument: message kind (8 bits), peer (16 bits — unicast
+// destination or sender, WirePeerBroadcast for broadcasts), causal
+// origin member (16 bits), and causal wheel slot (24 bits, truncated).
+// Scalar packing keeps the emit path allocation-free.
+func PackWireMeta(kind uint8, peer, origin uint16, slot uint32) int64 {
+	return int64(uint64(kind) |
+		uint64(peer)<<8 |
+		uint64(origin)<<24 |
+		uint64(slot&0xffffff)<<40)
+}
+
+// UnpackWireMeta is the inverse of PackWireMeta.
+func UnpackWireMeta(v int64) (kind uint8, peer, origin uint16, slot uint32) {
+	u := uint64(v)
+	return uint8(u), uint16(u >> 8), uint16(u >> 24), uint32(u>>40) & 0xffffff
+}
+
+// PackProposalID packs a proposal identity (proposer, low 32 bits of
+// the per-proposer sequence) into the B argument of a deliver event.
+func PackProposalID(proposer uint32, seq uint64) int64 {
+	return int64(uint64(proposer)<<32 | seq&0xffffffff)
+}
+
+// UnpackProposalID is the inverse of PackProposalID.
+func UnpackProposalID(v int64) (proposer uint32, seq uint32) {
+	return uint32(uint64(v) >> 32), uint32(uint64(v))
 }
 
 // Event is one protocol trace event. All fields are scalars so emitting
@@ -223,18 +282,33 @@ func (t *Tracer) Attach(sink func(Event)) (detach func()) {
 	}
 }
 
+// Dropped returns how many emitted events are no longer in the ring —
+// they were overwritten before any reader could have fetched them at
+// the current head. Monotone; the overflow accounting behind the
+// timewheel_trace_dropped_total counter.
+func (t *Tracer) Dropped() uint64 {
+	head := t.seq.Load()
+	if head <= uint64(len(t.ring)) {
+		return 0
+	}
+	return head - uint64(len(t.ring))
+}
+
 // Since returns the events with sequence >= from that are still in the
 // ring, in order, and the next cursor to poll with. Slots torn by a
 // racing writer are skipped. With from far behind the head, only the
-// newest Cap() events are returned (the rest were overwritten).
-func (t *Tracer) Since(from uint64) (events []Event, next uint64) {
+// newest Cap() events are returned; truncated reports that overwritten
+// events were skipped, so consumers (and merged cluster timelines) are
+// honest about the gap.
+func (t *Tracer) Since(from uint64) (events []Event, next uint64, truncated bool) {
 	head := t.seq.Load()
 	if head == 0 {
-		return nil, 0
+		return nil, 0, false
 	}
 	lo := from
 	if head > uint64(len(t.ring)) && lo < head-uint64(len(t.ring)) {
 		lo = head - uint64(len(t.ring))
+		truncated = true
 	}
 	for seq := lo; seq < head; seq++ {
 		s := &t.ring[seq&t.mask]
@@ -247,5 +321,5 @@ func (t *Tracer) Since(from uint64) (events []Event, next uint64) {
 		}
 		events = append(events, ev)
 	}
-	return events, head
+	return events, head, truncated
 }

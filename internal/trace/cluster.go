@@ -1,0 +1,59 @@
+package trace
+
+// Sim-side adapter for the cross-node merge: convert a simulated
+// cluster's recorded histories (WireLog, Deliveries, Views) into Hop
+// streams and merge them under the cluster's own ε bound. This is what
+// the netsim scenario tests and twsim assert against; the live path
+// feeds MergeCluster from /debug/events or blackbox bundles instead.
+
+import (
+	"timewheel/internal/member"
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+)
+
+// ClusterHops extracts each node's cross-node hop stream from its
+// recorded histories. Wire hops require Options.RecordWire; delivery
+// and view hops are always recorded.
+func ClusterHops(c *node.Cluster) [][]Hop {
+	out := make([][]Hop, len(c.Nodes))
+	for i, n := range c.Nodes {
+		var hops []Hop
+		for _, w := range n.WireLog {
+			dir := HopSend
+			if w.Dir == member.WireRecv {
+				dir = HopRecv
+			}
+			peer := HopBroadcast
+			if w.Peer != model.NoProcess {
+				peer = int32(w.Peer)
+			}
+			hops = append(hops, Hop{
+				Node: int32(n.ID), At: int64(w.At), Dir: dir, MsgKind: uint8(w.Kind),
+				Peer: peer, Origin: uint16(w.Ctx.Origin), Slot: w.Ctx.Slot, TS: w.Ctx.TS,
+			})
+		}
+		for _, d := range n.Deliveries {
+			hops = append(hops, Hop{
+				Node: int32(n.ID), At: int64(d.At), Dir: HopDeliver,
+				Ordinal: uint64(d.Ordinal), Proposer: uint32(d.ID.Proposer), Seq: uint32(d.ID.Seq),
+			})
+		}
+		for _, v := range n.Views {
+			hops = append(hops, Hop{
+				Node: int32(n.ID), At: int64(v.At), Dir: HopView,
+				Ordinal: uint64(v.Group.Seq), Seq: uint32(len(v.Group.Members)),
+			})
+		}
+		out[i] = hops
+	}
+	return out
+}
+
+// MergeSim merges a simulated cluster's recorded hop streams into one
+// timeline under the cluster's configured ε clock bound. The sim's
+// histories are complete (no ring overflow), so unmatched receives and
+// anomalies are hard findings, not artifacts.
+func MergeSim(c *node.Cluster) *Timeline {
+	return MergeCluster(ClusterHops(c), int64(c.Params.Epsilon), false)
+}

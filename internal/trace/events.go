@@ -1,0 +1,53 @@
+package trace
+
+// JSON-side adapter for the cross-node merge: both the /debug/events
+// endpoint and a blackbox bundle's events.json serialize trace events
+// with string type names and RFC3339 timestamps. This converter turns
+// them into Hops, so twtrace can merge live nodes and offline bundles
+// interchangeably.
+
+import (
+	"time"
+
+	"timewheel/internal/obs"
+)
+
+// EventJSON mirrors one serialized trace event (timewheel.TraceEvent's
+// wire shape).
+type EventJSON struct {
+	Seq  uint64    `json:"Seq"`
+	At   time.Time `json:"At"`
+	Node int       `json:"Node"`
+	Type string    `json:"Type"`
+	A    int64     `json:"A"`
+	B    int64     `json:"B"`
+}
+
+// eventTypeByName maps the serialized names of the cross-node hop
+// events back to their types; every other event name is skipped.
+var eventTypeByName = map[string]obs.EventType{
+	"wire-send":    obs.EvWireSend,
+	"wire-recv":    obs.EvWireRecv,
+	"deliver":      obs.EvDeliver,
+	"view-install": obs.EvViewInstall,
+}
+
+// HopsFromJSON converts serialized trace events into hops, trusting
+// each event's own node ID (one endpoint or bundle may carry events
+// from several in-process nodes).
+func HopsFromJSON(evs []EventJSON) []Hop {
+	var out []Hop
+	buf := make([]obs.Event, 1)
+	for _, ev := range evs {
+		typ, ok := eventTypeByName[ev.Type]
+		if !ok {
+			continue
+		}
+		buf[0] = obs.Event{
+			Seq: ev.Seq, TS: ev.At.UnixNano(), Node: int32(ev.Node),
+			Type: typ, A: ev.A, B: ev.B,
+		}
+		out = append(out, HopsFromEvents(int32(ev.Node), buf)...)
+	}
+	return out
+}

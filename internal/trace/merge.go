@@ -1,0 +1,426 @@
+package trace
+
+// Cross-node causal merge: the per-node trace rings record wire
+// send/recv/deliver hops tagged with the causal context the v7 frames
+// carry; this file stitches N such rings into one cluster timeline.
+// Cross-node edges (a send at A matched to its receive at B) are
+// resolved by the causal chain identity (origin, slot, TS) plus the
+// message kind, and judged against the ε clock-deviation bound of the
+// timed-asynchronous model: a receive timestamped more than ε before
+// its send is a causal-ordering violation — either a broken clock bound
+// or a mis-merged timeline, and in both cases worth flagging.
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"timewheel/internal/obs"
+	"timewheel/internal/wire"
+)
+
+// HopDir classifies a cross-node trace hop.
+type HopDir uint8
+
+const (
+	// HopSend: a protocol message left Node.
+	HopSend HopDir = iota
+	// HopRecv: a protocol message was accepted at Node.
+	HopRecv
+	// HopDeliver: the broadcast layer delivered an update at Node.
+	HopDeliver
+	// HopView: Node installed a membership view.
+	HopView
+)
+
+func (d HopDir) String() string {
+	switch d {
+	case HopSend:
+		return "send"
+	case HopRecv:
+		return "recv"
+	case HopDeliver:
+		return "deliver"
+	case HopView:
+		return "view"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// HopBroadcast marks a send hop with no single destination.
+const HopBroadcast int32 = -1
+
+// Hop is one entry of a node's cross-node trace: a wire send/recv, a
+// delivery, or a view install, with the causal context that links it to
+// hops on other nodes. Times are in whatever unit the producing side
+// uses (sim microseconds, live Unix nanoseconds) — the merge only needs
+// them mutually comparable and ε expressed in the same unit.
+type Hop struct {
+	Node    int32
+	At      int64
+	Dir     HopDir
+	MsgKind uint8 // wire.Kind for send/recv hops
+	Peer    int32 // send: unicast destination (HopBroadcast); recv: sender
+
+	// Causal chain identity (wire.Causal; truncated as the ring packs it).
+	Origin uint16
+	Slot   uint32
+	TS     int64
+
+	// Delivery identity (deliver hops) / view sequence (view hops).
+	Ordinal  uint64
+	Proposer uint32
+	Seq      uint32
+}
+
+// ChainKey identifies the causal chain a hop belongs to.
+type ChainKey struct {
+	Origin uint16
+	Slot   uint32
+	TS     int64
+}
+
+// Chain returns the hop's causal chain key.
+func (h Hop) Chain() ChainKey { return ChainKey{Origin: h.Origin, Slot: h.Slot, TS: h.TS} }
+
+// Edge is a resolved cross-node causal edge: Send and Recv index into
+// the merged timeline's Hops.
+type Edge struct {
+	Send, Recv int
+}
+
+// Violation is a causal-ordering violation in the merged timeline.
+type Violation struct {
+	// Send and Recv index into Hops for edge violations; Recv is -1 for
+	// delivery anomalies.
+	Send, Recv int
+	Text       string
+}
+
+// Anomaly flags a suspected cross-node inconsistency that is not a hard
+// ordering violation: an update delivered at one node that another node
+// skipped past, or a receive whose matching send is missing from every
+// ring (possibly overwritten).
+type Anomaly struct {
+	Node int32
+	Text string
+}
+
+// Timeline is the merged cluster trace.
+type Timeline struct {
+	Hops       []Hop
+	Edges      []Edge
+	Violations []Violation
+	Anomalies  []Anomaly
+	// Unmatched counts recv hops whose send was not found in any ring —
+	// nonzero with truncated rings, zero in a lossless merge.
+	Unmatched int
+	// Truncated records that at least one input ring reported overwritten
+	// events, so absence of a hop is not evidence it never happened.
+	Truncated bool
+}
+
+// MergeCluster merges per-node hop streams into one causally-ordered
+// timeline. epsilon is the synchronized-clock deviation bound in the
+// same time unit the hops use; truncated reports whether any input ring
+// lost events to overflow.
+func MergeCluster(perNode [][]Hop, epsilon int64, truncated bool) *Timeline {
+	tl := &Timeline{Truncated: truncated}
+	for _, hs := range perNode {
+		tl.Hops = append(tl.Hops, hs...)
+	}
+	// Time-sort with a deterministic tiebreak; a send sorts before its
+	// same-timestamp receive so rendered edges read forward.
+	sort.SliceStable(tl.Hops, func(i, j int) bool {
+		a, b := tl.Hops[i], tl.Hops[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Dir != b.Dir {
+			return a.Dir < b.Dir
+		}
+		return a.Node < b.Node
+	})
+
+	// Index sends by (chain, kind, sender): a receive matches the latest
+	// send of its chain+kind from its peer at or before... — protocol
+	// retransmissions reuse the chain, so match each recv to the nearest
+	// preceding send (by time) from the recorded sender.
+	type sendKey struct {
+		chain ChainKey
+		kind  uint8
+		from  int32
+	}
+	sends := make(map[sendKey][]int)
+	for i, h := range tl.Hops {
+		if h.Dir == HopSend {
+			k := sendKey{chain: h.Chain(), kind: h.MsgKind, from: h.Node}
+			sends[k] = append(sends[k], i)
+		}
+	}
+	for i, h := range tl.Hops {
+		if h.Dir != HopRecv {
+			continue
+		}
+		k := sendKey{chain: h.Chain(), kind: h.MsgKind, from: h.Peer}
+		cands := sends[k]
+		if len(cands) == 0 {
+			tl.Unmatched++
+			if !truncated {
+				tl.Anomalies = append(tl.Anomalies, Anomaly{Node: h.Node,
+					Text: fmt.Sprintf("%s from p%d received at p%d with no matching send in any ring",
+						wire.Kind(h.MsgKind), h.Peer, h.Node)})
+			}
+			continue
+		}
+		// Nearest preceding send; fall back to the earliest if every
+		// send sorts after the receive (that fallback is the violation).
+		best := cands[0]
+		for _, s := range cands {
+			if tl.Hops[s].At <= h.At && (tl.Hops[best].At > h.At || tl.Hops[s].At >= tl.Hops[best].At) {
+				best = s
+			}
+		}
+		tl.Edges = append(tl.Edges, Edge{Send: best, Recv: i})
+		if lag := tl.Hops[best].At - h.At; lag > epsilon {
+			tl.Violations = append(tl.Violations, Violation{Send: best, Recv: i,
+				Text: fmt.Sprintf("%s p%d->p%d received %d before it was sent (ε=%d)",
+					wire.Kind(h.MsgKind), tl.Hops[best].Node, h.Node, lag, epsilon)})
+		}
+	}
+
+	tl.deliveryAnomalies()
+	return tl
+}
+
+// deliveryAnomalies flags total-order gaps: a node whose ordinal-
+// numbered delivery stream jumps over an update some other node
+// delivered — the observable shape of "decision seen at A, never
+// applied at B". Two shapes are legitimate and not flagged: a node
+// that is merely lagging (it never passed the ordinal), and a gap that
+// spans a view install at that node — a rejoin's state transfer hands
+// the missed updates over as a snapshot, so they never appear as
+// individual deliveries there.
+func (tl *Timeline) deliveryAnomalies() {
+	type upd struct {
+		proposer uint32
+		seq      uint32
+	}
+	byOrdinal := make(map[uint64]upd)
+	delivers := make(map[int32][]Hop)
+	views := make(map[int32][]int64)
+	for _, h := range tl.Hops {
+		switch h.Dir {
+		case HopDeliver:
+			if h.Ordinal > 0 {
+				byOrdinal[h.Ordinal] = upd{proposer: h.Proposer, seq: h.Seq}
+				delivers[h.Node] = append(delivers[h.Node], h)
+			}
+		case HopView:
+			views[h.Node] = append(views[h.Node], h.At)
+		}
+	}
+	ids := make([]int32, 0, len(delivers))
+	for n := range delivers {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		ds := delivers[n]
+		// Hops are already time-sorted; per-node order is preserved.
+		for i := 1; i < len(ds); i++ {
+			prev, next := ds[i-1], ds[i]
+			if next.Ordinal <= prev.Ordinal+1 {
+				continue
+			}
+			if viewBetween(views[n], prev.At, next.At) {
+				continue // rejoin/state transfer covered the gap
+			}
+			for o := prev.Ordinal + 1; o < next.Ordinal; o++ {
+				if u, ok := byOrdinal[o]; ok {
+					tl.Violations = append(tl.Violations, Violation{Send: -1, Recv: -1,
+						Text: fmt.Sprintf("p%d delivered o%d then o%d, skipping update p%d/%d (o%d)",
+							n, prev.Ordinal, next.Ordinal, u.proposer, u.seq, o)})
+				}
+			}
+		}
+	}
+}
+
+// viewBetween reports whether any of the (ascending) view-install
+// times falls in (lo, hi].
+func viewBetween(at []int64, lo, hi int64) bool {
+	i := sort.Search(len(at), func(i int) bool { return at[i] > lo })
+	return i < len(at) && at[i] <= hi
+}
+
+// HopsFromEvents converts one node's trace-ring events into hops for
+// MergeCluster, keeping only the cross-node hop types. The event
+// timestamps (Unix nanoseconds on a live node, simulated microseconds
+// under netsim) carry through unchanged.
+func HopsFromEvents(node int32, evs []obs.Event) []Hop {
+	var out []Hop
+	for _, ev := range evs {
+		switch ev.Type {
+		case obs.EvWireSend, obs.EvWireRecv:
+			kind, peer, origin, slot := obs.UnpackWireMeta(ev.B)
+			dir := HopSend
+			if ev.Type == obs.EvWireRecv {
+				dir = HopRecv
+			}
+			p := int32(peer)
+			if peer == obs.WirePeerBroadcast {
+				p = HopBroadcast
+			}
+			out = append(out, Hop{Node: node, At: ev.TS, Dir: dir, MsgKind: kind,
+				Peer: p, Origin: origin, Slot: slot, TS: ev.A})
+		case obs.EvDeliver:
+			proposer, seq := obs.UnpackProposalID(ev.B)
+			out = append(out, Hop{Node: node, At: ev.TS, Dir: HopDeliver,
+				Ordinal: uint64(ev.A), Proposer: proposer, Seq: seq})
+		case obs.EvViewInstall:
+			out = append(out, Hop{Node: node, At: ev.TS, Dir: HopView,
+				Ordinal: uint64(ev.A), Seq: uint32(ev.B)})
+		}
+	}
+	return out
+}
+
+// RenderTimeline writes the merged timeline as aligned text: one hop
+// per line, edges annotated with their latency, then the violation and
+// anomaly summaries.
+func RenderTimeline(w io.Writer, tl *Timeline) error {
+	recvEdge := make(map[int]int, len(tl.Edges)) // recv hop index -> send hop index
+	for _, e := range tl.Edges {
+		recvEdge[e.Recv] = e.Send
+	}
+	for i, h := range tl.Hops {
+		var desc string
+		switch h.Dir {
+		case HopSend:
+			to := "all"
+			if h.Peer != HopBroadcast {
+				to = fmt.Sprintf("p%d", h.Peer)
+			}
+			desc = fmt.Sprintf("%s -> %s  [chain p%d/s%d@%d]", wire.Kind(h.MsgKind), to, h.Origin, h.Slot, h.TS)
+		case HopRecv:
+			desc = fmt.Sprintf("%s <- p%d  [chain p%d/s%d@%d]", wire.Kind(h.MsgKind), h.Peer, h.Origin, h.Slot, h.TS)
+			if s, ok := recvEdge[i]; ok {
+				desc += fmt.Sprintf("  (+%d from p%d)", h.At-tl.Hops[s].At, tl.Hops[s].Node)
+			}
+		case HopDeliver:
+			desc = fmt.Sprintf("delivered o%d p%d/%d", h.Ordinal, h.Proposer, h.Seq)
+		case HopView:
+			desc = fmt.Sprintf("installed view g%d (%d members)", h.Ordinal, h.Seq)
+		}
+		if _, err := fmt.Fprintf(w, "%12d p%-3d %-7s %s\n", h.At, h.Node, h.Dir, desc); err != nil {
+			return err
+		}
+	}
+	if tl.Truncated {
+		if _, err := fmt.Fprintf(w, "\n(truncated: at least one ring overwrote events; gaps are real)\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nedges=%d unmatched=%d violations=%d anomalies=%d\n",
+		len(tl.Edges), tl.Unmatched, len(tl.Violations), len(tl.Anomalies)); err != nil {
+		return err
+	}
+	for _, v := range tl.Violations {
+		if _, err := fmt.Fprintf(w, "VIOLATION: %s\n", v.Text); err != nil {
+			return err
+		}
+	}
+	for _, a := range tl.Anomalies {
+		if _, err := fmt.Fprintf(w, "anomaly: %s\n", a.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTimelineHTML writes the merged timeline as a standalone HTML
+// page: one swim-lane column per node, hops in time order, violations
+// highlighted.
+func RenderTimelineHTML(w io.Writer, tl *Timeline) error {
+	nodes := map[int32]bool{}
+	for _, h := range tl.Hops {
+		nodes[h.Node] = true
+	}
+	ids := make([]int32, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	col := make(map[int32]int, len(ids))
+	for i, n := range ids {
+		col[n] = i
+	}
+	var b strings.Builder
+	b.WriteString(`<!doctype html><meta charset="utf-8"><title>timewheel cluster timeline</title>
+<style>
+body{font:13px/1.5 monospace;background:#111;color:#ddd;margin:1em}
+table{border-collapse:collapse}
+td,th{padding:1px 10px;vertical-align:top;white-space:nowrap}
+th{color:#9cf;text-align:left;border-bottom:1px solid #444}
+.t{color:#777}
+.send{color:#8c8}.recv{color:#8cc}.deliver{color:#fc8}.view{color:#c8f}
+.bad{color:#f66;font-weight:bold}
+</style>
+`)
+	fmt.Fprintf(&b, "<h3>cluster timeline — %d hops, %d edges, %d violations</h3>\n",
+		len(tl.Hops), len(tl.Edges), len(tl.Violations))
+	if tl.Truncated {
+		b.WriteString("<p class=bad>truncated: at least one trace ring overwrote events</p>\n")
+	}
+	b.WriteString("<table><tr><th>time</th>")
+	for _, n := range ids {
+		fmt.Fprintf(&b, "<th>p%d</th>", n)
+	}
+	b.WriteString("</tr>\n")
+	recvEdge := make(map[int]int, len(tl.Edges))
+	for _, e := range tl.Edges {
+		recvEdge[e.Recv] = e.Send
+	}
+	for i, h := range tl.Hops {
+		fmt.Fprintf(&b, "<tr><td class=t>%d</td>", h.At)
+		for c := 0; c < len(ids); c++ {
+			if c != col[h.Node] {
+				b.WriteString("<td></td>")
+				continue
+			}
+			var txt string
+			switch h.Dir {
+			case HopSend:
+				to := "*"
+				if h.Peer != HopBroadcast {
+					to = fmt.Sprintf("p%d", h.Peer)
+				}
+				txt = fmt.Sprintf("%s→%s", wire.Kind(h.MsgKind), to)
+			case HopRecv:
+				txt = fmt.Sprintf("%s←p%d", wire.Kind(h.MsgKind), h.Peer)
+				if s, ok := recvEdge[i]; ok {
+					txt += fmt.Sprintf(" +%d", h.At-tl.Hops[s].At)
+				}
+			case HopDeliver:
+				txt = fmt.Sprintf("deliver o%d p%d/%d", h.Ordinal, h.Proposer, h.Seq)
+			case HopView:
+				txt = fmt.Sprintf("view g%d·%d", h.Ordinal, h.Seq)
+			}
+			fmt.Fprintf(&b, "<td class=%s>%s</td>", h.Dir, html.EscapeString(txt))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	for _, v := range tl.Violations {
+		fmt.Fprintf(&b, "<p class=bad>VIOLATION: %s</p>\n", html.EscapeString(v.Text))
+	}
+	for _, a := range tl.Anomalies {
+		fmt.Fprintf(&b, "<p>anomaly: %s</p>\n", html.EscapeString(a.Text))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"timewheel/internal/obs"
+	"timewheel/internal/wire"
+)
+
+func decisionSend(node int32, at int64, chain ChainKey) Hop {
+	return Hop{Node: node, At: at, Dir: HopSend, MsgKind: uint8(wire.KindDecision),
+		Peer: HopBroadcast, Origin: chain.Origin, Slot: chain.Slot, TS: chain.TS}
+}
+
+func decisionRecv(node, from int32, at int64, chain ChainKey) Hop {
+	return Hop{Node: node, At: at, Dir: HopRecv, MsgKind: uint8(wire.KindDecision),
+		Peer: from, Origin: chain.Origin, Slot: chain.Slot, TS: chain.TS}
+}
+
+func TestMergeResolvesEdges(t *testing.T) {
+	chain := ChainKey{Origin: 1, Slot: 7, TS: 7_000}
+	tl := MergeCluster([][]Hop{
+		{decisionSend(1, 7_000, chain)},
+		{decisionRecv(2, 1, 7_400, chain)},
+		{decisionRecv(3, 1, 7_600, chain)},
+	}, 500, false)
+	if len(tl.Edges) != 2 {
+		t.Fatalf("edges = %d, want 2", len(tl.Edges))
+	}
+	if len(tl.Violations) != 0 || len(tl.Anomalies) != 0 || tl.Unmatched != 0 {
+		t.Fatalf("clean merge flagged: %+v %+v unmatched=%d", tl.Violations, tl.Anomalies, tl.Unmatched)
+	}
+	for _, e := range tl.Edges {
+		if tl.Hops[e.Send].Node != 1 || tl.Hops[e.Send].Dir != HopSend {
+			t.Fatalf("edge send hop wrong: %+v", tl.Hops[e.Send])
+		}
+	}
+}
+
+func TestMergeFlagsRecvBeforeSend(t *testing.T) {
+	chain := ChainKey{Origin: 1, Slot: 3, TS: 3_000}
+	tl := MergeCluster([][]Hop{
+		{decisionSend(1, 3_000, chain)},
+		// Received 800 before the send with ε=500: clock bound broken.
+		{decisionRecv(2, 1, 2_200, chain)},
+	}, 500, false)
+	if len(tl.Violations) != 1 {
+		t.Fatalf("violations = %+v, want exactly one", tl.Violations)
+	}
+	// Within ε it is fine: clocks may disagree by up to ε.
+	tl = MergeCluster([][]Hop{
+		{decisionSend(1, 3_000, chain)},
+		{decisionRecv(2, 1, 2_600, chain)},
+	}, 500, false)
+	if len(tl.Violations) != 0 {
+		t.Fatalf("ε-tolerated skew flagged: %+v", tl.Violations)
+	}
+}
+
+func TestMergePicksNearestRetransmission(t *testing.T) {
+	chain := ChainKey{Origin: 1, Slot: 5, TS: 5_000}
+	tl := MergeCluster([][]Hop{
+		{decisionSend(1, 5_000, chain), decisionSend(1, 9_000, chain)},
+		{decisionRecv(2, 1, 9_300, chain)},
+	}, 500, false)
+	if len(tl.Edges) != 1 {
+		t.Fatalf("edges = %d, want 1", len(tl.Edges))
+	}
+	if got := tl.Hops[tl.Edges[0].Send].At; got != 9_000 {
+		t.Fatalf("matched send at %d, want the 9000 retransmission", got)
+	}
+	if len(tl.Violations) != 0 {
+		t.Fatalf("retransmission match flagged: %+v", tl.Violations)
+	}
+}
+
+func TestMergeUnmatchedRecv(t *testing.T) {
+	chain := ChainKey{Origin: 4, Slot: 2, TS: 2_000}
+	tl := MergeCluster([][]Hop{{decisionRecv(2, 4, 2_300, chain)}}, 500, false)
+	if tl.Unmatched != 1 || len(tl.Anomalies) != 1 {
+		t.Fatalf("unmatched=%d anomalies=%+v, want 1 and 1", tl.Unmatched, tl.Anomalies)
+	}
+	// With truncated rings the missing send is expected, not anomalous.
+	tl = MergeCluster([][]Hop{{decisionRecv(2, 4, 2_300, chain)}}, 500, true)
+	if tl.Unmatched != 1 || len(tl.Anomalies) != 0 {
+		t.Fatalf("truncated: unmatched=%d anomalies=%+v", tl.Unmatched, tl.Anomalies)
+	}
+}
+
+func TestMergeFlagsDeliveryGap(t *testing.T) {
+	del := func(node int32, at int64, ord uint64, proposer, seq uint32) Hop {
+		return Hop{Node: node, At: at, Dir: HopDeliver, Ordinal: ord, Proposer: proposer, Seq: seq}
+	}
+	// p2 delivered o1 then o3, skipping o2 (which p1 delivered): a
+	// total-order gap with no view install to explain it.
+	tl := MergeCluster([][]Hop{
+		{del(1, 100, 1, 1, 1), del(1, 200, 2, 2, 1), del(1, 300, 3, 3, 1)},
+		{del(2, 150, 1, 1, 1), del(2, 350, 3, 3, 1)},
+	}, 500, false)
+	if len(tl.Violations) != 1 || !strings.Contains(tl.Violations[0].Text, "skipping") {
+		t.Fatalf("violations = %+v, want one skipped-update violation", tl.Violations)
+	}
+	// A node that never reached ordinal 3 is lagging, not violating.
+	tl = MergeCluster([][]Hop{
+		{del(1, 100, 1, 1, 1), del(1, 200, 2, 2, 1), del(1, 300, 3, 3, 1)},
+		{del(2, 150, 1, 1, 1)},
+	}, 500, false)
+	if len(tl.Violations) != 0 {
+		t.Fatalf("lagging node flagged: %+v", tl.Violations)
+	}
+	// A view install inside the gap marks a rejoin/state transfer: the
+	// missed updates arrived as a snapshot, not deliveries.
+	tl = MergeCluster([][]Hop{
+		{del(1, 100, 1, 1, 1), del(1, 200, 2, 2, 1), del(1, 300, 3, 3, 1)},
+		{del(2, 150, 1, 1, 1),
+			{Node: 2, At: 320, Dir: HopView, Ordinal: 2, Seq: 2},
+			del(2, 350, 3, 3, 1)},
+	}, 500, false)
+	if len(tl.Violations) != 0 {
+		t.Fatalf("view-covered gap flagged: %+v", tl.Violations)
+	}
+}
+
+func TestHopsFromEvents(t *testing.T) {
+	evs := []obs.Event{
+		{TS: 10, Node: 1, Type: obs.EvWireSend, A: 9_999,
+			B: obs.PackWireMeta(uint8(wire.KindDecision), obs.WirePeerBroadcast, 1, 42)},
+		{TS: 12, Node: 2, Type: obs.EvWireRecv, A: 9_999,
+			B: obs.PackWireMeta(uint8(wire.KindDecision), 1, 1, 42)},
+		{TS: 15, Node: 2, Type: obs.EvDeliver, A: 3, B: obs.PackProposalID(7, 21)},
+		{TS: 20, Node: 2, Type: obs.EvViewInstall, A: 5, B: 4},
+		{TS: 21, Node: 2, Type: obs.EvGuardTrip}, // not a cross-node hop
+	}
+	hops := HopsFromEvents(2, evs)
+	if len(hops) != 4 {
+		t.Fatalf("hops = %d, want 4 (guard trip dropped)", len(hops))
+	}
+	if hops[0].Dir != HopSend || hops[0].Peer != HopBroadcast || hops[0].Slot != 42 || hops[0].TS != 9_999 {
+		t.Fatalf("send hop = %+v", hops[0])
+	}
+	if hops[1].Dir != HopRecv || hops[1].Peer != 1 || hops[1].Chain() != hops[0].Chain() {
+		t.Fatalf("recv hop = %+v (send chain %+v)", hops[1], hops[0].Chain())
+	}
+	if hops[2].Dir != HopDeliver || hops[2].Ordinal != 3 || hops[2].Proposer != 7 || hops[2].Seq != 21 {
+		t.Fatalf("deliver hop = %+v", hops[2])
+	}
+	if hops[3].Dir != HopView || hops[3].Ordinal != 5 || hops[3].Seq != 4 {
+		t.Fatalf("view hop = %+v", hops[3])
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	chain := ChainKey{Origin: 1, Slot: 7, TS: 7_000}
+	tl := MergeCluster([][]Hop{
+		{decisionSend(1, 7_000, chain)},
+		{decisionRecv(2, 1, 7_400, chain),
+			{Node: 2, At: 7_500, Dir: HopDeliver, Ordinal: 1, Proposer: 1, Seq: 1}},
+	}, 500, false)
+	var text strings.Builder
+	if err := RenderTimeline(&text, tl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"decision -> all", "decision <- p1", "(+400 from p1)", "delivered o1 p1/1", "edges=1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text render missing %q:\n%s", want, text.String())
+		}
+	}
+	var htm strings.Builder
+	if err := RenderTimelineHTML(&htm, tl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<th>p1</th>", "<th>p2</th>", "decision→*", "decision←p1 +400", "0 violations"} {
+		if !strings.Contains(htm.String(), want) {
+			t.Fatalf("html render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+// The acceptance scenario: a 4-node simulated cluster goes through
+// formation, traffic, a partition with a minority-exclusion election,
+// healing and a rejoin — and the per-node hop streams merge into one
+// causally-consistent cluster timeline: every receive matches a send,
+// every cross-node edge respects the ε clock bound, and no node skips
+// a delivered update.
+
+import (
+	"strings"
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+func runPartitionScenario(t *testing.T, opts node.Options) *node.Cluster {
+	t.Helper()
+	opts.RecordWire = true
+	c := node.NewCluster(opts)
+	c.Start()
+	cycle := c.Params.CycleLen()
+	c.Run(4 * cycle)
+
+	sem := oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}
+	for i := 0; i < 3; i++ {
+		if !c.Node(model.ProcessID(i)).Propose([]byte{byte('a' + i)}, sem) {
+			t.Fatalf("propose %d rejected", i)
+		}
+		c.Run(cycle)
+	}
+
+	// Partition p3 away: the majority elects {0,1,2}; p3 must not hold
+	// a group. Then heal and let p3 rejoin.
+	c.Net.Partition([]model.ProcessID{0, 1, 2}, []model.ProcessID{3})
+	c.Run(8 * cycle)
+	c.Node(0).Propose([]byte("during"), sem)
+	c.Run(2 * cycle)
+	c.Net.Heal()
+	c.Run(10 * cycle)
+	c.Node(1).Propose([]byte("after"), sem)
+	c.Run(4 * cycle)
+
+	g, ok := c.Node(3).CurrentGroup()
+	if !ok || len(g.Members) != 4 {
+		t.Fatalf("p3 did not rejoin the full group: %v (ok=%v)", g, ok)
+	}
+	return c
+}
+
+func assertCleanTimeline(t *testing.T, tl *Timeline) {
+	t.Helper()
+	if len(tl.Violations) != 0 {
+		for _, v := range tl.Violations {
+			t.Errorf("violation: %s", v.Text)
+		}
+		t.Fatalf("%d causal-ordering violations in the merged timeline", len(tl.Violations))
+	}
+	if tl.Unmatched != 0 || len(tl.Anomalies) != 0 {
+		t.Fatalf("unmatched=%d anomalies=%+v, want a fully-resolved merge", tl.Unmatched, tl.Anomalies)
+	}
+	if len(tl.Edges) == 0 {
+		t.Fatal("no cross-node edges resolved")
+	}
+	var decisionEdges, delivers int
+	for _, e := range tl.Edges {
+		if wire.Kind(tl.Hops[e.Send].MsgKind) == wire.KindDecision {
+			decisionEdges++
+		}
+	}
+	for _, h := range tl.Hops {
+		if h.Dir == HopDeliver {
+			delivers++
+		}
+	}
+	if decisionEdges == 0 || delivers == 0 {
+		t.Fatalf("decisionEdges=%d delivers=%d, want both > 0", decisionEdges, delivers)
+	}
+}
+
+func TestPartitionScenarioMergesCausallyClean(t *testing.T) {
+	c := runPartitionScenario(t, node.Options{
+		Seed:          11,
+		Params:        model.DefaultParams(4),
+		PerfectClocks: true,
+	})
+	tl := MergeSim(c)
+	assertCleanTimeline(t, tl)
+
+	// The timeline must show the story end to end: p3's excluded-era
+	// silence, then rejoin traffic. Smoke the renderers on real data.
+	var b strings.Builder
+	if err := RenderTimeline(&b, tl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "violations=0") {
+		t.Fatalf("render does not report a clean merge:\n%s", lastLines(b.String(), 5))
+	}
+	b.Reset()
+	if err := RenderTimelineHTML(&b, tl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<th>p3</th>") {
+		t.Fatal("html render missing p3's lane")
+	}
+}
+
+// With drifting clocks and round-trip synchronization, per-node
+// timestamps disagree — but only within the ε bound the merge
+// tolerates, so the timeline must still be violation-free.
+func TestPartitionScenarioDriftedClocks(t *testing.T) {
+	c := runPartitionScenario(t, node.Options{
+		Seed:           23,
+		Params:         model.DefaultParams(4),
+		MaxClockOffset: model.DefaultParams(4).Epsilon / 2,
+		RoundTripSync:  true,
+	})
+	tl := MergeSim(c)
+	if len(tl.Violations) != 0 {
+		for _, v := range tl.Violations {
+			t.Errorf("violation: %s", v.Text)
+		}
+		t.Fatalf("%d violations with ε-bounded clock drift", len(tl.Violations))
+	}
+	if len(tl.Edges) == 0 {
+		t.Fatal("no cross-node edges resolved")
+	}
+}
+
+func lastLines(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}

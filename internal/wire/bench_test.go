@@ -53,6 +53,23 @@ func BenchmarkDecodeDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeCausalTagged measures the v7 tagged emit path: the
+// same heavy decision with a causal context stamped into its header.
+// The context is 16 flat bytes copied by value — the acceptance
+// criterion is that tagging costs no allocation over the v6 path.
+func BenchmarkEncodeCausalTagged(b *testing.B) {
+	dec := bigDecision(32)
+	dec.Ctx = Causal{Origin: 2, Slot: 417, TS: 5_000_000}
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	assertZeroAllocs(b, func() { EncodeTo(buf, dec) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeTo(buf, dec)
+	}
+}
+
 // deltaDecision is what steady-state rotation ships under wire v5: a
 // decision carrying only the entries changed since the baseline, with
 // BaseTS pointing at it.

@@ -26,8 +26,11 @@ import (
 // read as zero, i.e. "full oal"). Version 6 added the group-tagged
 // coalesced envelope (GroupMagic, coalesce.go) so one socket can carry
 // frames for many timewheel groups; the frame format itself is
-// unchanged and v4/v5 frames still decode.
-const Version = 6
+// unchanged and v4/v5 frames still decode. Version 7 piggybacks the
+// causal trace context (Causal: origin member, wheel slot, originating
+// send-TS — 16 bytes) on every frame, encoded immediately after the
+// header's SendTS; v4–v6 frames still decode (Ctx reads as zero).
+const Version = 7
 
 // minVersion is the oldest wire format Decode still accepts.
 const minVersion = 4
@@ -102,6 +105,11 @@ func AppendEncode(dst []byte, m Message) []byte {
 	h := m.Hdr()
 	e.i64(int64(h.From))
 	e.i64(int64(h.SendTS))
+	// v7: the causal context rides right behind the header, before the
+	// kind-specific body, so decode fills it into Header in one place.
+	e.u32(h.Ctx.Origin)
+	e.u32(h.Ctx.Slot)
+	e.i64(h.Ctx.TS)
 	switch v := m.(type) {
 	case *Proposal:
 		e.proposalBody(v)
@@ -257,6 +265,21 @@ func decodeFrame(data []byte, sc *Decoder) (Message, error) {
 		return nil, err
 	} else {
 		h.SendTS = model.Time(ts)
+	}
+	// Pre-v7 frames carry no causal context; the explicit zero matters
+	// because scratch decoding reuses per-kind structs across frames.
+	h.Ctx = Causal{}
+	if d.ver >= 7 {
+		var err error
+		if h.Ctx.Origin, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if h.Ctx.Slot, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if h.Ctx.TS, err = d.i64(); err != nil {
+			return nil, err
+		}
 	}
 
 	switch Kind(kindB) {

@@ -348,5 +348,6 @@ func TestEncodeUnknownTypePanics(t *testing.T) {
 
 type badMessage struct{}
 
-func (badMessage) Kind() Kind  { return KindProposal }
-func (badMessage) Hdr() Header { return Header{} }
+func (badMessage) Kind() Kind    { return KindProposal }
+func (badMessage) Hdr() Header   { return Header{} }
+func (badMessage) SetCtx(Causal) {}

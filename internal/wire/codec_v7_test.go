@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+)
+
+// encodeV6 replicates the version-6 frame layout (no causal context) so
+// decode back-compat stays covered after the v7 bump.
+func encodeV6(t *testing.T, m Message) []byte {
+	t.Helper()
+	e := encoder{buf: make([]byte, 0, 128)}
+	e.u8(6)
+	e.u8(uint8(m.Kind()))
+	h := m.Hdr()
+	e.i64(int64(h.From))
+	e.i64(int64(h.SendTS))
+	switch v := m.(type) {
+	case *Proposal:
+		e.proposalBody(v)
+	case *Decision:
+		e.group(v.Group)
+		e.oal(&v.OAL)
+		e.processList(v.Alive)
+		e.u64(uint64(v.Lineage))
+		e.i64(int64(v.BaseTS))
+		e.u64(uint64(v.TruncBelow))
+	case *Join:
+		e.processList(v.JoinList)
+		e.u64(uint64(v.CoveredOrdinal))
+		e.u64(uint64(v.Lineage))
+		if v.Forming {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case *Nack:
+		e.proposalIDList(v.Missing)
+	case *OALReq:
+		// Header only.
+	default:
+		t.Fatalf("encodeV6: unsupported %T", m)
+	}
+	var crc [crcSize]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(e.buf, crcTable))
+	return append(e.buf, crc[:]...)
+}
+
+// TestDecodeV6Frames: a peer still speaking wire v6 must interoperate —
+// its frames decode, with the causal context reading as zero.
+func TestDecodeV6Frames(t *testing.T) {
+	h := Header{From: 3, SendTS: 1_000_000}
+	msgs := []Message{
+		&Proposal{Header: h, ID: oal.ProposalID{Proposer: 3, Seq: 42},
+			HDO: 17, Payload: []byte("deposit 100")},
+		&Decision{Header: h, Group: model.NewGroup(2, []model.ProcessID{0, 1, 3}),
+			OAL: sampleOAL(), Alive: []model.ProcessID{0, 1, 3}, Lineage: 2,
+			BaseTS: 900_000, TruncBelow: 2},
+		&Join{Header: h, JoinList: []model.ProcessID{0, 1}, CoveredOrdinal: 12, Lineage: 3, Forming: true},
+		&Nack{Header: h, Missing: []oal.ProposalID{{Proposer: 0, Seq: 3}}},
+		&OALReq{Header: h},
+	}
+	for _, m := range msgs {
+		data := encodeV6(t, m)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: v6 decode: %v", m.Kind(), err)
+		}
+		if !messagesEqual(m, got) {
+			t.Errorf("%v v6 decode mismatch:\n in: %#v\nout: %#v", m.Kind(), m, got)
+		}
+		if !got.Hdr().Ctx.Zero() {
+			t.Errorf("%v: v6 frame decoded with causal context %+v", m.Kind(), got.Hdr().Ctx)
+		}
+	}
+}
+
+// TestCausalRoundTrip: the causal context survives encode/decode on every
+// message kind, both through the fresh-allocation and scratch decoders.
+func TestCausalRoundTrip(t *testing.T) {
+	ctx := Causal{Origin: 2, Slot: 417, TS: 5_004_321}
+	var dc Decoder
+	for _, m := range sampleMessages() {
+		stamp(m, ctx)
+		data := Encode(m)
+		for name, dec := range map[string]func([]byte) (Message, error){
+			"fresh": Decode, "scratch": dc.Decode,
+		} {
+			got, err := dec(data)
+			if err != nil {
+				t.Fatalf("%v (%s): decode: %v", m.Kind(), name, err)
+			}
+			if got.Hdr().Ctx != ctx {
+				t.Errorf("%v (%s): ctx %+v, want %+v", m.Kind(), name, got.Hdr().Ctx, ctx)
+			}
+			if !messagesEqual(m, got) {
+				t.Errorf("%v (%s) round trip mismatch", m.Kind(), name)
+			}
+		}
+	}
+}
+
+// TestScratchDecoderClearsStaleCtx: a v6 frame decoded after a v7 frame
+// on the same scratch decoder must not inherit the v7 frame's context.
+func TestScratchDecoderClearsStaleCtx(t *testing.T) {
+	var dc Decoder
+	tagged := &Nack{Header: Header{From: 1, SendTS: 10,
+		Ctx: Causal{Origin: 1, Slot: 2, TS: 3}}}
+	if got, err := dc.Decode(Encode(tagged)); err != nil || got.Hdr().Ctx.Zero() {
+		t.Fatalf("tagged decode: %v, ctx=%+v", err, got.Hdr().Ctx)
+	}
+	plain := &Nack{Header: Header{From: 1, SendTS: 11}}
+	got, err := dc.Decode(encodeV6(t, plain))
+	if err != nil {
+		t.Fatalf("v6 decode after v7: %v", err)
+	}
+	if !got.Hdr().Ctx.Zero() {
+		t.Errorf("stale ctx leaked into v6 frame: %+v", got.Hdr().Ctx)
+	}
+}
+
+// stamp sets the causal context on a message's embedded header without
+// enumerating kinds: every concrete message embeds Header.
+func stamp(m Message, ctx Causal) {
+	switch v := m.(type) {
+	case *Proposal:
+		v.Ctx = ctx
+	case *Decision:
+		v.Ctx = ctx
+	case *NoDecision:
+		v.Ctx = ctx
+	case *Join:
+		v.Ctx = ctx
+	case *Reconfig:
+		v.Ctx = ctx
+	case *Nack:
+		v.Ctx = ctx
+	case *State:
+		v.Ctx = ctx
+	case *OALReq:
+		v.Ctx = ctx
+	case *OALFull:
+		v.Ctx = ctx
+	}
+}

@@ -81,6 +81,32 @@ func (k Kind) String() string {
 // message (everything except proposals).
 func (k Kind) Control() bool { return k != KindProposal && k >= KindDecision && k <= KindReconfig }
 
+// Causal is the compact causal trace context stamped on every frame
+// (wire v7): it names the protocol round a message belongs to so a
+// decision's lifecycle — proposal, broadcast, retransmit, decision,
+// delivery, view install — can be stitched back together across nodes
+// from the per-node trace rings. Sixteen bytes on the wire, copied by
+// value everywhere: the emit path stays allocation-free.
+//
+// A zero Causal means "no context" (pre-v7 frames decode to it).
+type Causal struct {
+	// Origin is the member whose protocol action started this causal
+	// chain — the decider for decisions and everything downstream of
+	// them, the proposer for a proposal's first hop.
+	Origin uint32
+	// Slot is the timewheel slot index (SendTS / slot length) of the
+	// originating action: the round identity that communication-closed-
+	// rounds reasoning groups a timeline by.
+	Slot uint32
+	// TS is the originating action's send timestamp. Together with
+	// Origin it uniquely identifies the chain; receivers use it to match
+	// a decision seen at A with its delivery (or absence) at B.
+	TS int64
+}
+
+// Zero reports whether c carries no context.
+func (c Causal) Zero() bool { return c == Causal{} }
+
 // Header carries the fields common to every message.
 type Header struct {
 	From model.ProcessID
@@ -88,12 +114,22 @@ type Header struct {
 	// Receivers use it to reject duplicates and old messages and to run
 	// the expected-sender deadline scheme.
 	SendTS model.Time
+	// Ctx is the causal trace context (wire v7). It rides every frame
+	// but is invisible to the protocol itself: only the observability
+	// layer reads it.
+	Ctx Causal
 }
+
+// SetCtx sets the causal trace context. Promoted to every concrete
+// message through the embedded Header, it lets senders stamp a frame
+// without enumerating kinds.
+func (h *Header) SetCtx(c Causal) { h.Ctx = c }
 
 // Message is any timewheel protocol message.
 type Message interface {
 	Kind() Kind
 	Hdr() Header
+	SetCtx(Causal)
 }
 
 // Proposal broadcasts an update on behalf of a client.

@@ -22,10 +22,12 @@ import (
 	"sync"
 	"time"
 
+	"timewheel/internal/check"
 	"timewheel/internal/engine"
 	"timewheel/internal/member"
 	"timewheel/internal/model"
 	"timewheel/internal/obs"
+	"timewheel/internal/wire"
 )
 
 // tracer is the process-wide protocol event ring shared by all Nodes.
@@ -224,6 +226,21 @@ func newNodeObs(n *Node) *nodeObs {
 	o.recvs = r.Counter("timewheel_transport_recvs_total", "frames decoded from the transport", nil)
 	o.recvDrops = r.Counter("timewheel_transport_recv_drops_total",
 		"received frames dropped (corrupt, or engine queue full)", nil)
+
+	// Trace-ring overflow accounting (process-wide ring, so multi-node
+	// processes report the same number per node) and the live invariant
+	// auditor's violation count.
+	r.CounterFunc("timewheel_trace_dropped_total",
+		"trace-ring events overwritten before any reader saw them", nil,
+		tracer.Dropped)
+	r.CounterFunc("timewheel_invariant_violations_total",
+		"live §3 invariant violations detected by the auditor (fifo/duplicate/order/view checks)", nil,
+		func() uint64 {
+			if n.auditor == nil {
+				return 0
+			}
+			return n.auditor.Violations()
+		})
 	o.peerDelay = make([]*obs.Histogram, n.cfg.ClusterSize)
 	for p := 0; p < n.cfg.ClusterSize; p++ {
 		if p == n.cfg.ID {
@@ -348,6 +365,44 @@ func itoa(v int) string {
 }
 
 func (o *nodeObs) emit(typ obs.EventType, a, b int64) { tracer.Emit(typ, o.id, a, b) }
+
+// onWireEvent taps the membership machine's send/receive hot path with
+// the causal context the v7 envelope carries. It packs everything into
+// the event's two scalar arguments (A = causal chain timestamp, B =
+// kind/peer/origin/slot via PackWireMeta), so the tap stays
+// allocation-free and costs one atomic load while tracing is off.
+func (o *nodeObs) onWireEvent(dir member.WireDir, kind wire.Kind, peer model.ProcessID, ctx wire.Causal) {
+	typ := obs.EvWireSend
+	if dir == member.WireRecv {
+		typ = obs.EvWireRecv
+	}
+	p := uint16(obs.WirePeerBroadcast)
+	if peer != model.NoProcess {
+		p = uint16(peer)
+	}
+	o.emit(typ, ctx.TS, obs.PackWireMeta(uint8(kind), p, uint16(ctx.Origin), ctx.Slot))
+}
+
+// invariantCode maps auditor invariant names to the stable small
+// integers the EvInvariant trace event carries in A.
+func invariantCode(inv string) int64 {
+	switch inv {
+	case check.InvFIFOOrder:
+		return 1
+	case check.InvDuplicate:
+		return 2
+	case check.InvTotalOrder:
+		return 3
+	case check.InvTimeOrder:
+		return 4
+	case check.InvViewMonotonic:
+		return 5
+	case check.InvMajorityView:
+		return 6
+	default:
+		return 0
+	}
+}
 
 // fsmCounter lazily creates the {from,to} transition series (36
 // possible; only the protocol's legal handful materialise).

@@ -36,6 +36,10 @@ type Health struct {
 	// GuardTripped reports a currently tripped timeliness guard (always
 	// false when the guard is disabled).
 	GuardTripped bool `json:"guard_tripped"`
+	// InvariantViolations is the live auditor's total §3 violation
+	// count. Nonzero marks the node unhealthy: a safety violation is a
+	// permanent fact about this run, not a transient condition.
+	InvariantViolations uint64 `json:"invariant_violations"`
 }
 
 // Health reports the node's health without touching the event loop.
@@ -43,12 +47,20 @@ func (n *Node) Health() Health {
 	st := member.State(n.obs.state.Value())
 	tripped := n.guard != nil && n.guard.Tripped()
 	inView := n.obs.inView.Value() == 1
+	viol := n.auditor.Violations()
 	return Health{
-		Healthy:      inView && healthyState(st) && !tripped,
-		State:        st.String(),
-		InView:       inView,
-		GuardTripped: tripped,
+		Healthy:             inView && healthyState(st) && !tripped && viol == 0,
+		State:               st.String(),
+		InView:              inView,
+		GuardTripped:        tripped,
+		InvariantViolations: viol,
 	}
+}
+
+// AuditStats snapshots the live invariant auditor: the total violation
+// count and the per-invariant breakdown (empty while everything holds).
+func (n *Node) AuditStats() (total uint64, byInvariant map[string]uint64) {
+	return n.auditor.Violations(), n.auditor.ByInvariant()
 }
 
 // ObsHandler returns the node's observability HTTP handler:
@@ -57,6 +69,8 @@ func (n *Node) Health() Health {
 //	/healthz        200 when healthy, 503 otherwise; JSON body either way
 //	/debug/events   protocol trace ring as JSON (?since=<cursor> to poll,
 //	                ?follow=1 for a server-sent-event stream)
+//	/debug/blackbox POST: dump a flight-recorder bundle now (requires a
+//	                configured blackbox directory); returns its path
 //	/debug/vars     expvar (includes the "timewheel" per-node snapshot)
 //	/debug/pprof/   runtime profiles
 //
@@ -98,11 +112,17 @@ func (n *Node) ObsHandler() http.Handler {
 			followEvents(w, r, since)
 			return
 		}
-		evs, next := tracer.Since(since)
+		evs, next, truncated := tracer.Since(since)
 		out := struct {
-			Next   uint64       `json:"next"`
-			Events []TraceEvent `json:"events"`
-		}{Next: next, Events: make([]TraceEvent, 0, len(evs))}
+			Next uint64 `json:"next"`
+			// Truncated reports that the ring overwrote events between
+			// the requested cursor and the oldest event returned — a
+			// merged cluster timeline must treat the gap as real.
+			Truncated bool         `json:"truncated"`
+			Dropped   uint64       `json:"dropped"`
+			Events    []TraceEvent `json:"events"`
+		}{Next: next, Truncated: truncated, Dropped: tracer.Dropped(),
+			Events: make([]TraceEvent, 0, len(evs))}
 		for _, ev := range evs {
 			out.Events = append(out.Events, TraceEvent{
 				Seq: ev.Seq, At: ev.Time(), Node: int(ev.Node),
@@ -111,6 +131,20 @@ func (n *Node) ObsHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/blackbox", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		path, err := n.DumpBlackbox("http")
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"bundle": path}) //nolint:errcheck
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -165,7 +199,7 @@ func followEvents(w http.ResponseWriter, r *http.Request, since uint64) {
 			return
 		case <-poll.C:
 		}
-		evs, next := tracer.Since(cursor)
+		evs, next, _ := tracer.Since(cursor)
 		if next > cursor {
 			cursor = next
 		}

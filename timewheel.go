@@ -30,11 +30,14 @@ package timewheel
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"timewheel/internal/adapt"
 	"timewheel/internal/broadcast"
+	"timewheel/internal/check"
 	"timewheel/internal/durable"
 	"timewheel/internal/engine"
 	"timewheel/internal/fdetect"
@@ -186,6 +189,21 @@ type Config struct {
 	// zero — wire behavior is then identical to a build without the
 	// feature). See AdaptiveConfig and docs/ROBUSTNESS.md.
 	Adaptive AdaptiveConfig
+	// BlackboxDir arms the cluster flight recorder: on a guard trip,
+	// self-exclusion, invariant violation, HTTP trigger or explicit
+	// DumpBlackbox call, the node writes a self-contained incident
+	// bundle (trace ring, metrics, estimator/guard state, profiles)
+	// into this directory. Empty with DataDir set defaults to
+	// DataDir/blackbox; empty without DataDir disables the recorder.
+	// See docs/OBSERVABILITY.md ("Flight recorder").
+	BlackboxDir string
+	// AuditSample tunes the live invariant auditor's sampled
+	// unordered-duplicate check to one in AuditSample deliveries
+	// (default 1: every delivery). The monotone §3 checks — FIFO per
+	// proposer, total/time-order, view monotonicity, majority views —
+	// always run; the auditor itself cannot be disabled and exports
+	// timewheel_invariant_violations_total.
+	AuditSample int
 }
 
 // AdaptiveConfig turns on per-peer timeliness estimation: the failure
@@ -324,6 +342,13 @@ type Node struct {
 	tr      Transport
 	guard   *guard.Guard // nil when Config.Guard.Enabled is false
 	obs     *nodeObs     // live metrics registry + trace taps (always set)
+
+	// auditor streams every delivery and view install through the live
+	// §3 invariant checks (always set); bboxDir/bboxLast drive the
+	// flight recorder (bboxDir empty: recorder disabled).
+	auditor  *check.Auditor
+	bboxDir  string
+	bboxLast atomic.Int64
 
 	// Adaptive-timeout estimators (nil when Config.Adaptive.Enabled is
 	// false). adaptDelay feeds the failure detector per-peer delay
@@ -467,6 +492,23 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.coBcast.SetGroup(cfg.Group)
 	n.obs = newNodeObs(n)
+	if n.bboxDir = cfg.BlackboxDir; n.bboxDir == "" && cfg.DataDir != "" {
+		n.bboxDir = filepath.Join(cfg.DataDir, "blackbox")
+	}
+	if n.bboxDir != "" {
+		// A flight recorder without a populated trace ring is useless:
+		// arming it turns ring recording on for the process lifetime
+		// (same one-ring-write cost as having /debug/events attached).
+		tracer.EnableRing()
+	}
+	n.auditor = check.NewAuditor(check.AuditorConfig{
+		N:      cfg.ClusterSize,
+		Sample: cfg.AuditSample,
+		OnViolation: func(inv, detail string) {
+			n.obs.emit(obs.EvInvariant, invariantCode(inv), 0)
+			n.triggerBlackbox("invariant-" + inv)
+		},
+	})
 	var rec *durable.Recovery
 	if cfg.DataDir != "" {
 		policy, err := durable.ParseFsyncPolicy(cfg.Fsync)
@@ -504,6 +546,9 @@ func NewNode(cfg Config) (*Node, error) {
 			if lag := time.Now().UnixMicro() - int64(d.SendTS); lag > 0 {
 				n.obs.deliveryLag.Observe(lag * int64(time.Microsecond))
 			}
+			n.auditor.ObserveDeliver(d.ID, d.Ordinal, d.Sem, d.SendTS)
+			n.obs.emit(obs.EvDeliver, int64(d.Ordinal),
+				obs.PackProposalID(uint32(d.ID.Proposer), d.ID.Seq))
 			if n.store != nil {
 				n.store.AppendUpdate(durable.UpdateRecord{ //nolint:errcheck
 					ID: d.ID, Ordinal: d.Ordinal, Sem: d.Sem, SendTS: d.SendTS, Payload: d.Payload,
@@ -569,6 +614,7 @@ func NewNode(cfg Config) (*Node, error) {
 			},
 			ViewChange: func(g model.Group, _ model.Time) {
 				n.obs.onViewChange(g)
+				n.auditor.ObserveView(uint64(g.Seq), len(g.Members))
 				if n.store != nil {
 					// Membership descriptors occupy ordinals; logging the
 					// view with its ordinal lets recovery count it toward
@@ -605,6 +651,9 @@ func NewNode(cfg Config) (*Node, error) {
 				}
 				n.histMu.Unlock()
 				n.obs.onDecider(isDecider, sent)
+			},
+			WireEvent: func(dir member.WireDir, kind wire.Kind, peer model.ProcessID, ctx wire.Causal, _ model.Time) {
+				n.obs.onWireEvent(dir, kind, peer, ctx)
 			},
 		},
 	}, (*nodeEnv)(n), n.bc)
@@ -645,7 +694,10 @@ func NewNode(cfg Config) (*Node, error) {
 			gcfg.Budgets = n.adaptNoise
 		}
 		n.guard = guard.New(gcfg)
-		n.guard.OnTrip(func() { n.obs.emit(obs.EvGuardTrip, 0, 0) })
+		n.guard.OnTrip(func() {
+			n.obs.emit(obs.EvGuardTrip, 0, 0)
+			n.triggerBlackbox("guard-trip")
+		})
 	}
 	n.obs.registerAdaptive(n)
 
@@ -907,6 +959,7 @@ func (n *Node) selfExclude() {
 		n.machine.SelfExclude()
 		n.guard.NoteSelfExclusion()
 		n.obs.emit(obs.EvSelfExclude, 0, 0)
+		n.triggerBlackbox("self-exclude")
 	}
 	n.guard.Rearm(time.Now())
 	n.obs.emit(obs.EvGuardRearm, 0, 0)
