@@ -19,6 +19,7 @@ benchplot:
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzSplitGrouped -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzGossipRoundTrip -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzRecord -fuzztime=30s ./internal/durable
 	$(GO) test -fuzz=FuzzSnapshotBody -fuzztime=30s ./internal/durable
 	$(GO) test -fuzz=FuzzRecoverScan -fuzztime=30s ./internal/durable

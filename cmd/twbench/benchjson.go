@@ -97,6 +97,7 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 		{"HistogramObserve", benchHistogramObserve},
 		{"CounterInc", benchCounterInc},
 		{"WireEncodeDecision", benchWireEncodeDecision},
+		{"WireEncodeSuspicion", benchWireEncodeSuspicion},
 		{"WireEncodeCausalTagged", benchWireEncodeCausalTagged},
 		{"WireDecodeDecision", benchWireDecodeDecision},
 		{"WireRoundTripDelta", benchWireRoundTripDelta},
@@ -313,6 +314,27 @@ func benchWireEncodeDecision(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wire.EncodeTo(buf, dec)
+	}
+}
+
+// The v8 surveillance gossip emit path: a Suspicion is the smallest
+// fixed-size control frame and rides the same pooled encoder. The
+// zero-alloc gate keeps the gossip fan-out (k unicasts per suspicion
+// event) off the allocator even at large N.
+func benchWireEncodeSuspicion(b *testing.B) {
+	sus := &wire.Suspicion{
+		Header:      wire.Header{From: 3, SendTS: 5_000_000},
+		Suspect:     7,
+		Origin:      3,
+		Incarnation: 42,
+		OriginTS:    5_000_000,
+	}
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.EncodeTo(buf, sus)
 	}
 }
 

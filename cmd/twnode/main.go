@@ -41,6 +41,8 @@ func main() {
 		guardBudget = flag.Duration("guard-budget", 0,
 			"enable the fail-aware timeliness guard with this handler/timer budget; "+
 				"a sustained violation makes the node self-exclude and rejoin warm (0: off)")
+		surveilK = flag.Int("surveil-k", 0,
+			"k-successor surveillance: watch k hashed-ring successors and gossip suspicions instead of all-to-all timing (0 disables)")
 		adaptive = flag.Bool("adaptive", false,
 			"estimate per-peer delay online and adapt the failure-detector deadlines "+
 				"and guard budgets to it (floor 2D, ceiling 4×2D)")
@@ -115,6 +117,10 @@ func main() {
 		Fsync:       *fsync,
 		BlackboxDir: *blackboxDir,
 		Adaptive:    timewheel.AdaptiveConfig{Enabled: *adaptive},
+		Surveillance: timewheel.SurveillanceConfig{
+			Enabled: *surveilK > 0,
+			K:       *surveilK,
+		},
 		Guard: timewheel.GuardConfig{
 			Enabled:         *guardBudget > 0,
 			HandlerBudget:   *guardBudget,

@@ -71,6 +71,14 @@ var scenarios = map[string]struct {
 		"randomized crashes, recoveries, partitions and proposals",
 		func(n int, seed int64) *scenario.Result { return scenario.Chaos(scenario.DefaultChaos(n, seed)) },
 	},
+	"surveil-soak": {
+		"large-N k-successor surveillance soak: drifting degraded link, forged suspicions, crashes, partition",
+		scenario.SurveilSoak,
+	},
+	"surveil-scaling": {
+		"suspicion gossip grows O(N*k) while the all-to-all channel grows O(N^2)",
+		func(_ int, seed int64) *scenario.Result { return scenario.SurveilScaling(seed) },
+	},
 }
 
 func main() {

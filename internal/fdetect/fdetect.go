@@ -72,6 +72,12 @@ type Detector struct {
 	onTighten    func(sender model.ProcessID, deadline model.Time)
 
 	expOverwrites atomic.Uint64
+
+	// Partial-view mode (see partial.go): gossipAlive holds second-hand
+	// liveness evidence — the freshest send timestamp each peer was
+	// vouched alive at by the surveillance gossip.
+	partial     bool
+	gossipAlive map[model.ProcessID]model.Time
 }
 
 // New creates a detector for process self.
@@ -129,6 +135,15 @@ func (d *Detector) AliveList(now model.Time) []model.ProcessID {
 			alive.Add(p)
 		}
 	}
+	if d.partial {
+		// Union in gossiped vouches under the same freshness window: a
+		// peer watched by someone else is alive to everyone.
+		for p, ts := range d.gossipAlive {
+			if now.Sub(ts) <= window {
+				alive.Add(p)
+			}
+		}
+	}
 	return alive.Sorted()
 }
 
@@ -143,6 +158,9 @@ func (d *Detector) Forget() {
 	d.lastTimely = make(map[model.ProcessID]model.Time)
 	if d.lastApp != nil {
 		d.lastApp = make(map[model.ProcessID]model.Time)
+	}
+	if d.gossipAlive != nil {
+		d.gossipAlive = make(map[model.ProcessID]model.Time)
 	}
 	d.ClearExpectation()
 }

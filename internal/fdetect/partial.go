@@ -1,0 +1,67 @@
+// Partial-view mode: the k-successor surveillance scheme (internal/
+// surveil) deliberately stops observing most peers directly — each
+// member watches only k ring successors. The §4.2 alive-list rule
+// ("heard from within the last N slots") would then eject every
+// unwatched peer, so in partial-view mode the alive-list is the union
+// of direct observation and gossip: a fresh alive vouch relayed through
+// the epidemic counts exactly like a timely control message, while the
+// adaptive per-peer bounds keep governing the direct edges we do watch.
+package fdetect
+
+import "timewheel/internal/model"
+
+// EnablePartialView switches the alive-list to the direct ∪ gossiped
+// union. Call once at setup, before the event loop starts.
+func (d *Detector) EnablePartialView() {
+	d.partial = true
+	if d.gossipAlive == nil {
+		d.gossipAlive = make(map[model.ProcessID]model.Time)
+	}
+}
+
+// PartialView reports whether partial-view mode is on.
+func (d *Detector) PartialView() bool { return d.partial }
+
+// RecordGossipAlive notes second-hand evidence that p was alive at send
+// timestamp ts: an alive-list entry or a refute relayed through the
+// gossip epidemic. Evidence only ever advances (ts below the watermark
+// is a stale relay and proves nothing new).
+func (d *Detector) RecordGossipAlive(p model.ProcessID, ts model.Time) {
+	if !d.partial || p == d.self {
+		return
+	}
+	if ts > d.gossipAlive[p] {
+		d.gossipAlive[p] = ts
+	}
+}
+
+// LastHeard returns the freshest liveness evidence for p from either
+// channel: the last timely direct control message or the last gossiped
+// vouch. This is what the k-successor watcher scan judges silence
+// against — a peer vouched for by its own watchers is not silent.
+func (d *Detector) LastHeard(p model.ProcessID) model.Time {
+	ts := d.lastTimely[p]
+	if d.partial {
+		if g := d.gossipAlive[p]; g > ts {
+			ts = g
+		}
+	}
+	return ts
+}
+
+// EdgeTimely reports whether the direct edge to p currently looks
+// timely: in adaptive mode, whether the estimator's per-link bound fits
+// inside the model's static Delta+Epsilon+Sigma; in static mode (or
+// before any estimate exists) every edge is presumed timely. The
+// surveillance ring uses this to prefer watch edges the timeliness
+// graph supports.
+func (d *Detector) EdgeTimely(p model.ProcessID) bool {
+	if d.est == nil {
+		return true
+	}
+	b, ok := d.est.Bound(p)
+	if !ok {
+		return true
+	}
+	return b <= d.params.Delta+d.params.Epsilon+d.params.Sigma
+}

@@ -1,0 +1,109 @@
+package fdetect
+
+import (
+	"testing"
+
+	"timewheel/internal/model"
+)
+
+// TestPartialViewUnion: in partial-view mode the alive-list is the union
+// of direct timely observation and gossiped vouches; off, gossip is
+// ignored entirely.
+func TestPartialViewUnion(t *testing.T) {
+	params := model.DefaultParams(4)
+	d := New(0, params)
+	now := model.Time(1_000_000)
+
+	d.RecordGossipAlive(2, now) // ignored: partial view off
+	if got := d.AliveList(now); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("gossip counted with partial view off: %v", got)
+	}
+
+	d.EnablePartialView()
+	d.RecordControl(1, now, now.Add(params.Delta)) // direct, timely
+	d.RecordGossipAlive(2, now)                    // second-hand
+	d.RecordGossipAlive(0, now)                    // self-vouch: ignored
+	got := d.AliveList(now.Add(params.SlotLen()))
+	want := []model.ProcessID{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("alive-list %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alive-list %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPartialViewWindow: gossiped vouches age out under the same N-slot
+// freshness window as direct observation.
+func TestPartialViewWindow(t *testing.T) {
+	params := model.DefaultParams(4)
+	d := New(0, params)
+	d.EnablePartialView()
+	base := model.Time(1_000_000)
+	d.RecordGossipAlive(2, base)
+	window := model.Duration(params.N) * params.SlotLen()
+	if got := d.AliveList(base.Add(window)); len(got) != 2 {
+		t.Errorf("vouch aged out inside the window: %v", got)
+	}
+	if got := d.AliveList(base.Add(window + 1)); len(got) != 1 {
+		t.Errorf("vouch survived past the window: %v", got)
+	}
+}
+
+// TestGossipAliveMonotone: stale relays cannot regress the vouch
+// watermark, and LastHeard reports the freshest of either channel.
+func TestGossipAliveMonotone(t *testing.T) {
+	d := New(0, model.DefaultParams(4))
+	d.EnablePartialView()
+	d.RecordGossipAlive(2, 2000)
+	d.RecordGossipAlive(2, 1000) // stale relay
+	if got := d.LastHeard(2); got != 2000 {
+		t.Errorf("LastHeard = %v, want 2000", got)
+	}
+	// A timely direct message that is fresher wins.
+	d.RecordControl(2, 5000, 5000)
+	if got := d.LastHeard(2); got != 5000 {
+		t.Errorf("LastHeard after direct = %v, want 5000", got)
+	}
+}
+
+// TestForgetClearsGossip: crash/recovery drops second-hand evidence too.
+func TestForgetClearsGossip(t *testing.T) {
+	d := New(0, model.DefaultParams(4))
+	d.EnablePartialView()
+	d.RecordGossipAlive(2, 2000)
+	d.Forget()
+	if got := d.AliveList(2000); len(got) != 1 {
+		t.Errorf("gossip evidence survived Forget: %v", got)
+	}
+	if !d.PartialView() {
+		t.Error("Forget disabled partial-view mode")
+	}
+}
+
+// TestEdgeTimely: static mode presumes every edge timely; adaptive mode
+// trusts the estimator — edges whose bound fits the static
+// Delta+Epsilon+Sigma are timely, measured-slow edges are not, and
+// unmeasured edges get the benefit of the doubt.
+func TestEdgeTimely(t *testing.T) {
+	params := model.DefaultParams(4)
+	d := New(0, params)
+	if !d.EdgeTimely(1) {
+		t.Error("static mode edge not timely")
+	}
+	est := newFakeEst()
+	est.bounds[1] = params.Delta      // fast link
+	est.bounds[2] = 10 * params.Delta // degraded link
+	d.EnableAdaptive(est, AdaptiveConfig{})
+	if !d.EdgeTimely(1) {
+		t.Error("fast measured edge not timely")
+	}
+	if d.EdgeTimely(2) {
+		t.Error("degraded edge reported timely")
+	}
+	if !d.EdgeTimely(3) {
+		t.Error("unmeasured edge not presumed timely")
+	}
+}

@@ -13,6 +13,7 @@ import (
 // reconfiguration messages and evaluate the election win condition.
 func (m *Machine) onOwnSlot() {
 	m.bc.CheckTermination(m.env.Now())
+	m.surveilScan()
 	if m.needState && m.haveGroup && m.state != StateJoin {
 		// The join-time state transfer is still outstanding (the State
 		// unicast was lost, or a newer admission superseded the one we

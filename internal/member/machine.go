@@ -25,6 +25,7 @@ import (
 	"timewheel/internal/fdetect"
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
+	"timewheel/internal/surveil"
 	"timewheel/internal/wire"
 )
 
@@ -142,7 +143,11 @@ type Config struct {
 	// without an election win before abandoning its group knowledge and
 	// rejoining from scratch (default 8 cycles; see Machine.nfSince).
 	NFFallbackCycles int
-	Hooks            Hooks
+	// Surveillance enables k-successor surveillance with gossiped
+	// suspicions (wire v8; see surveil.go). The zero value keeps the
+	// paper's all-to-all scheme.
+	Surveillance surveil.Config
+	Hooks        Hooks
 }
 
 type joinInfo struct {
@@ -172,6 +177,9 @@ type Machine struct {
 	env    Env
 	bc     *broadcast.Broadcast
 	fd     *fdetect.Detector
+	// sv is the k-successor surveillance state; nil when surveillance is
+	// off (all-to-all mode).
+	sv *surveil.Surveillor
 
 	state     State
 	group     model.Group
@@ -268,6 +276,13 @@ type Stats struct {
 	Admissions        uint64
 	SelfExclusions    uint64 // guard-triggered drops to the join state
 	OALReqsSent       uint64 // full-oal baseline requests sent
+
+	// k-successor surveillance gossip (zero when surveillance is off).
+	SuspicionsGossiped uint64 // suspicions originated here
+	RefutesSent        uint64 // refutes of our own suspicion sent
+	GossipRelays       uint64 // fresh gossip messages relayed onward
+	GossipDuplicates   uint64 // gossip dropped by the origin watermark
+	StaleSuspicions    uint64 // gossip dropped by incarnation staleness
 }
 
 // New creates a machine for process self on top of bc.
@@ -301,6 +316,7 @@ func New(self model.ProcessID, params model.Params, cfg Config, env Env, bc *bro
 	m.fd.OnDeadlineTighten(func(_ model.ProcessID, deadline model.Time) {
 		m.env.SetTimer(TimerExpect, deadline.Add(1))
 	})
+	m.initSurveil()
 	return m
 }
 
@@ -443,6 +459,7 @@ func (m *Machine) installGroup(g model.Group) {
 	m.haveGroup = true
 	m.bc.SetGroup(g)
 	m.stats.ViewChanges++
+	m.refreshSurveil()
 	if h := m.cfg.Hooks.ViewChange; h != nil {
 		h(m.group, m.env.Now())
 	}

@@ -102,8 +102,8 @@ func TestAdmissionHappyPath(t *testing.T) {
 	// Other members' alive-lists arrive via older decisions already
 	// recorded (From 0 covers p0); fake p2, p3 via noteAlive through
 	// fresh decisions is complex — drive directly:
-	m.noteAlive(2, aliveAll)
-	m.noteAlive(3, aliveAll)
+	m.noteAlive(2, env.now, aliveAll)
+	m.noteAlive(3, env.now, aliveAll)
 
 	env.now = env.timers[TimerDecide]
 	m.OnTimer(TimerDecide)
@@ -136,8 +136,8 @@ func TestAdmissionBlockedByMissingAliveList(t *testing.T) {
 		Group: g, OAL: *l, Alive: []model.ProcessID{0, 1, 2, 3}}) // p0 lacks p4
 	env.now = env.now.Add(10)
 	m.OnMessage(&wire.Join{Header: wire.Header{From: 4, SendTS: env.now}, JoinList: []model.ProcessID{4}})
-	m.noteAlive(2, []model.ProcessID{0, 1, 2, 3, 4})
-	m.noteAlive(3, []model.ProcessID{0, 1, 2, 3, 4})
+	m.noteAlive(2, env.now, []model.ProcessID{0, 1, 2, 3, 4})
+	m.noteAlive(3, env.now, []model.ProcessID{0, 1, 2, 3, 4})
 
 	env.now = env.timers[TimerDecide]
 	m.OnTimer(TimerDecide)

@@ -1,0 +1,224 @@
+package member
+
+// k-successor surveillance (wire v8): with Config.Surveillance.K > 0 the
+// machine stops relying on every member directly timing every peer and
+// instead watches k ring successors (internal/surveil), disseminating
+// failure evidence as incarnation-numbered Suspicion/Refute gossip.
+//
+// The §3 agreement and ordering invariants are untouched because gossip
+// is consumed on exactly the path local timeouts already take: a fresh
+// gossiped suspicion may call beginSingleFailure only under the same
+// guard the early-concur no-decision rule uses — it must name the
+// currently armed expected sender, carry evidence newer than the
+// expectation's base, and find the machine failure-free. Everything
+// else gossip does is side-channel: relaying, refuting, and feeding the
+// failure detector's partial-view alive union.
+
+import (
+	"timewheel/internal/model"
+	"timewheel/internal/surveil"
+	"timewheel/internal/wire"
+)
+
+// initSurveil sets up the surveillance subsystem at construction time
+// when Config.Surveillance.K > 0, deriving the undeclared durations
+// from the protocol params.
+func (m *Machine) initSurveil() {
+	cfg := m.cfg.Surveillance
+	if cfg.K <= 0 {
+		return
+	}
+	if cfg.SuspectAfter <= 0 {
+		// Two full cycles: the rotation makes every member broadcast a
+		// control message once per cycle, so two silent cycles mean two
+		// missed decider slots — well past any adaptive grant.
+		cfg.SuspectAfter = 2 * m.params.CycleLen()
+	}
+	if cfg.RefuteBackoff <= 0 {
+		cfg.RefuteBackoff = m.params.CycleLen()
+	}
+	if cfg.ResuspectAfter <= 0 {
+		cfg.ResuspectAfter = m.params.CycleLen()
+	}
+	m.cfg.Surveillance = cfg
+	m.sv = surveil.New(m.self, cfg)
+	m.fd.EnablePartialView()
+}
+
+// refreshSurveil recomputes the surveillance ring for the current group.
+// Called from installGroup — every view install re-knits the ring, which
+// is what re-adopts a member whose watchers all died.
+func (m *Machine) refreshSurveil() {
+	if m.sv == nil {
+		return
+	}
+	m.sv.SetView(m.group.Members, m.fd.EdgeTimely)
+}
+
+// surveilScan runs once per own slot: originate a suspicion for every
+// watch target that has been silent — no timely direct message and no
+// fresh gossiped vouch — for longer than SuspectAfter.
+func (m *Machine) surveilScan() {
+	if m.sv == nil || !m.haveGroup || m.state != StateFailureFree {
+		return
+	}
+	now := m.env.Now()
+	for _, w := range m.sv.Watch() {
+		last := m.fd.LastHeard(w)
+		if last == 0 {
+			// Never heard at all: a freshly admitted view; the admission
+			// path required liveness evidence moments ago.
+			continue
+		}
+		if now.Sub(last) <= m.cfg.Surveillance.SuspectAfter {
+			continue
+		}
+		if !m.sv.ShouldOriginate(w, now) {
+			continue
+		}
+		m.gossipSuspect(w)
+	}
+}
+
+// gossipSuspect originates a suspicion of `suspect` at its current
+// incarnation and fans it out to the k relay successors. The suspect
+// itself is deliberately among the candidates — reaching it directly is
+// the fastest route to a refutation of a false alarm.
+func (m *Machine) gossipSuspect(suspect model.ProcessID) {
+	if m.sv == nil || len(m.sv.Relays()) == 0 {
+		return
+	}
+	inc := m.sv.Incarnation(suspect)
+	ts := m.sendTS()
+	s := &wire.Suspicion{
+		Header:      wire.Header{From: m.self, SendTS: ts},
+		Suspect:     suspect,
+		Origin:      m.self,
+		Incarnation: inc,
+		OriginTS:    ts,
+	}
+	// Record the origination locally so relayed copies that loop back
+	// classify as duplicates, and mark (suspect, inc) relayed — our own
+	// fan-out is this node's contribution to the flood, so a concurrent
+	// origin's copy of the same suspicion must not make us flood again.
+	m.sv.ObserveSuspicion(suspect, m.self, inc, ts)
+	m.sv.NeedsRelaySuspicion(suspect, inc)
+	for _, to := range m.sv.Relays() {
+		m.unicast(to, s)
+	}
+	m.stats.SuspicionsGossiped++
+}
+
+// onSuspicion handles a received suspicion: dedup/staleness-classify,
+// refute if it names us, otherwise relay and — under the §3 guard —
+// consume it on the local-timeout path.
+func (m *Machine) onSuspicion(s *wire.Suspicion) {
+	if m.sv == nil || !m.haveGroup || m.state == StateJoin {
+		return
+	}
+	switch m.sv.ObserveSuspicion(s.Suspect, s.Origin, s.Incarnation, s.OriginTS) {
+	case surveil.Duplicate:
+		m.stats.GossipDuplicates++
+		return
+	case surveil.Stale:
+		m.stats.StaleSuspicions++
+		return
+	}
+	if s.Suspect == m.self {
+		m.refuteSelf(s.Incarnation)
+		return
+	}
+	if m.sv.NeedsRelaySuspicion(s.Suspect, s.Incarnation) {
+		m.relayGossip(s, s.From, s.Origin)
+	}
+	// Consume exactly like the early-concur no-decision rule: only a
+	// suspicion of the armed expected sender, with evidence newer than
+	// the control message that armed the expectation, in failure-free
+	// operation. Anything looser would let remote gossip start elections
+	// the §3 at-most-one-decider argument never accounted for.
+	if m.state == StateFailureFree {
+		if exp, _, active := m.fd.Expected(); active && s.Suspect == exp &&
+			s.OriginTS > m.fd.ExpectedAfter() {
+			m.beginSingleFailure(exp)
+		}
+	}
+}
+
+// onRefute handles a received refute: a fresh one is second-hand proof
+// of life — feed the partial-view alive union and relay.
+func (m *Machine) onRefute(r *wire.Refute) {
+	if m.sv == nil || !m.haveGroup || m.state == StateJoin {
+		return
+	}
+	switch m.sv.ObserveRefute(r.Refuter, r.Incarnation, r.OriginTS) {
+	case surveil.Duplicate:
+		m.stats.GossipDuplicates++
+		return
+	case surveil.Stale:
+		m.stats.StaleSuspicions++
+		return
+	}
+	m.fd.RecordGossipAlive(r.Refuter, r.OriginTS)
+	m.relayGossip(r, r.From, r.Refuter)
+}
+
+// refuteSelf answers a fresh suspicion naming this process: bump the
+// incarnation past the suspicion's and, backoff permitting, gossip a
+// refute and rebroadcast the last control message — the same
+// prove-liveness-with-substance move as the wrong-suspicion resend rule.
+func (m *Machine) refuteSelf(suspicionInc uint64) {
+	now := m.env.Now()
+	inc, ok := m.sv.RefuteSelf(suspicionInc, now)
+	if !ok {
+		return // backoff window open: the incarnation still advanced
+	}
+	ts := m.sendTS()
+	r := &wire.Refute{
+		Header:      wire.Header{From: m.self, SendTS: ts},
+		Refuter:     m.self,
+		Incarnation: inc,
+		OriginTS:    ts,
+	}
+	for _, to := range m.sv.Relays() {
+		m.unicast(to, r)
+	}
+	m.stats.RefutesSent++
+	if m.lastControlMsg != nil {
+		m.broadcast(m.lastControlMsg)
+	}
+}
+
+// relayGossip forwards a fresh gossip message to the k relay successors,
+// skipping the peer it came from and the peer it is about (both already
+// know). The copy gets a fresh header — relays are new datagrams from
+// us — but the Origin/Incarnation/OriginTS dedup identity rides along
+// unchanged.
+func (m *Machine) relayGossip(msg wire.Message, from, about model.ProcessID) {
+	if len(m.sv.Relays()) == 0 {
+		return
+	}
+	var cp wire.Message
+	switch v := msg.(type) {
+	case *wire.Suspicion:
+		c := *v
+		c.Header = wire.Header{From: m.self, SendTS: m.sendTS()}
+		cp = &c
+	case *wire.Refute:
+		c := *v
+		c.Header = wire.Header{From: m.self, SendTS: m.sendTS()}
+		cp = &c
+	default:
+		return
+	}
+	sent := false
+	for _, to := range m.sv.Relays() {
+		if to == from || to == about {
+			continue
+		}
+		m.unicast(to, cp)
+		sent = true
+	}
+	if sent {
+		m.stats.GossipRelays++
+	}
+}

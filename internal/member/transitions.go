@@ -29,16 +29,20 @@ func (m *Machine) OnMessage(msg wire.Message) {
 	m.fireWire(WireRecv, msg, h.From)
 	switch v := msg.(type) {
 	case *wire.Decision:
-		m.noteAlive(v.From, v.Alive)
+		m.noteAlive(v.From, v.SendTS, v.Alive)
 		m.onDecision(v)
 	case *wire.NoDecision:
-		m.noteAlive(v.From, v.Alive)
+		m.noteAlive(v.From, v.SendTS, v.Alive)
 		m.onNoDecision(v)
 	case *wire.Join:
 		m.onJoin(v)
 	case *wire.Reconfig:
-		m.noteAlive(v.From, v.Alive)
+		m.noteAlive(v.From, v.SendTS, v.Alive)
 		m.onReconfig(v)
+	case *wire.Suspicion:
+		m.onSuspicion(v)
+	case *wire.Refute:
+		m.onRefute(v)
 	case *wire.Proposal:
 		// Application traffic carries the same send timestamps as
 		// control messages — feed the adaptive delay estimator (no-op
@@ -112,9 +116,19 @@ func (m *Machine) requestFullOAL(from model.ProcessID) {
 	m.stats.OALReqsSent++
 }
 
-// noteAlive records the alive-list piggybacked on a control message.
-func (m *Machine) noteAlive(from model.ProcessID, alive []model.ProcessID) {
+// noteAlive records the alive-list piggybacked on a control message. In
+// partial-view mode each listed peer is also a gossiped vouch as of the
+// message's send timestamp: the sender heard it recently, so peers we
+// don't watch directly stay on our alive-list through the union.
+func (m *Machine) noteAlive(from model.ProcessID, sendTS model.Time, alive []model.ProcessID) {
 	m.lastAlive[from] = model.NewProcessSet(alive...)
+	if m.sv != nil {
+		for _, p := range alive {
+			if p != from {
+				m.fd.RecordGossipAlive(p, sendTS)
+			}
+		}
+	}
 }
 
 // OnTimer processes a timer expiry.
@@ -651,6 +665,15 @@ func (m *Machine) onExpectTimeout() {
 	}
 	if m.cfg.Hooks.Suspicion != nil {
 		m.cfg.Hooks.Suspicion(suspect, deadline, now)
+	}
+	if m.sv != nil && m.sv.Watches(suspect) && m.sv.ShouldOriginate(suspect, now) {
+		// Share the local timeout with the rest of the group: under
+		// partial view most members never watched this edge and would
+		// otherwise learn of the failure a full silence window later.
+		// Only the suspect's designated watchers speak — every member of
+		// the rotation observes this timeout at once, and N concurrent
+		// originations would defeat the O(N·k) traffic bound.
+		m.gossipSuspect(suspect)
 	}
 	m.fd.ClearExpectation()
 	switch m.state {

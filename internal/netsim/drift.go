@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"timewheel/internal/model"
+	"timewheel/internal/wire"
+)
+
+// DriftProfile shapes a slowly-drifting link degradation: the extra
+// one-way delay on the affected link ramps linearly from zero up to
+// Peak over half of Period, then back down — a triangle wave. Unlike a
+// step degradation, the drift sweeps the whole delay range in both
+// directions, which is exactly what exercises an adaptive estimator's
+// widen *and* shrink-with-hysteresis paths: the bound must follow the
+// delay up without ejecting the peer and come back down without
+// flapping.
+type DriftProfile struct {
+	// Peak is the maximum extra delay at the triangle's apex.
+	Peak model.Duration
+	// Period is the full ramp-up-and-back-down cycle length.
+	Period model.Duration
+	// Start anchors the wave: the ramp is at zero at Start and peaks
+	// half a Period later. Anchoring matters — a degradation that sets
+	// in mid-run must begin from a healthy baseline so an adaptive
+	// estimator has something to track; times before Start see no
+	// degradation at all.
+	Start model.Time
+}
+
+// DriftingSender returns a Filter that applies the drifting degradation
+// to all traffic sent by `slow`. now supplies the simulation clock (the
+// Filter signature carries no time parameter; capture the clock via
+// this closure). The drift is a pure function of the clock relative to
+// p.Start, so runs are deterministic and the profile survives
+// partitions and heals unchanged.
+func DriftingSender(slow model.ProcessID, p DriftProfile, now func() model.Time) Filter {
+	return func(from, _ model.ProcessID, _ wire.Message) (Verdict, model.Duration) {
+		if from != slow || p.Peak <= 0 || p.Period <= 0 {
+			return Pass, 0
+		}
+		since := now().Sub(p.Start)
+		if since < 0 {
+			return Pass, 0
+		}
+		phase := model.Duration(int64(since) % int64(p.Period))
+		half := p.Period / 2
+		frac := phase
+		if phase > half {
+			frac = p.Period - phase
+		}
+		// Extra delay = Peak · frac/half, computed in int64 without
+		// overflow for any realistic Peak (µs-scale values).
+		return Pass, model.Duration(int64(p.Peak) * int64(frac) / int64(half))
+	}
+}

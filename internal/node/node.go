@@ -13,15 +13,18 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"timewheel/internal/adapt"
 	"timewheel/internal/broadcast"
 	"timewheel/internal/clock"
 	"timewheel/internal/csync"
 	"timewheel/internal/durable"
+	"timewheel/internal/fdetect"
 	"timewheel/internal/member"
 	"timewheel/internal/model"
 	"timewheel/internal/netsim"
 	"timewheel/internal/oal"
 	"timewheel/internal/sim"
+	"timewheel/internal/surveil"
 	"timewheel/internal/wire"
 )
 
@@ -72,6 +75,16 @@ type Options struct {
 	// the protocol's highest-volume stream and long soak runs would
 	// accumulate them without bound.
 	RecordWire bool
+	// Adaptive enables per-peer adaptive timeliness estimation on every
+	// node's failure detector (the same estimator the live node wires
+	// with Config.Adaptive) — chaos scenarios with degraded links need
+	// it so slow-but-healthy peers widen their deadlines instead of
+	// being ejected.
+	Adaptive bool
+	// SurveillanceK, when positive, enables k-successor surveillance
+	// with gossiped suspicions (member.Config.Surveillance) on every
+	// node. Zero keeps the all-to-all scheme.
+	SurveillanceK int
 }
 
 // ViewRecord is one installed membership view.
@@ -352,6 +365,7 @@ func (n *Node) buildStack() {
 	n.machine = member.New(n.ID, n.cluster.Params, member.Config{
 		DeciderHold:     n.cluster.Opts.DeciderHold,
 		DisableFastPath: n.cluster.Opts.DisableFastPath,
+		Surveillance:    surveil.Config{K: n.cluster.Opts.SurveillanceK},
 		Hooks: member.Hooks{
 			StateChange: func(from, to member.State, _ model.Time) {
 				n.StateLog = append(n.StateLog, StateRecord{From: from, To: to, At: n.cluster.Sim.Now()})
@@ -393,6 +407,26 @@ func (n *Node) buildStack() {
 			},
 		},
 	}, (*nodeEnv)(n), n.bc)
+	if n.cluster.Opts.Adaptive {
+		n.machine.Detector().EnableAdaptive(
+			simDelayAdapter{adapt.NewDelayEstimator(adapt.Config{})},
+			fdetect.AdaptiveConfig{},
+		)
+	}
+}
+
+// simDelayAdapter lifts adapt.DelayEstimator (time.Duration, int peers)
+// to fdetect.DelayEstimator (model units, ProcessID peers) — the sim
+// twin of the live node's adapter in the root package.
+type simDelayAdapter struct{ est *adapt.DelayEstimator }
+
+func (a simDelayAdapter) Observe(peer model.ProcessID, d model.Duration) {
+	a.est.Observe(int(peer), d.Std())
+}
+
+func (a simDelayAdapter) Bound(peer model.ProcessID) (model.Duration, bool) {
+	b, ok := a.est.Bound(int(peer))
+	return model.FromStd(b), ok
 }
 
 // Start boots every node.

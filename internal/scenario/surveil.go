@@ -1,0 +1,326 @@
+package scenario
+
+import (
+	"fmt"
+
+	"timewheel/internal/model"
+	"timewheel/internal/netsim"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// surveilCluster builds a simulated cluster with k-successor
+// surveillance and adaptive timeouts on — the large-N configuration the
+// robustness soak exercises.
+func surveilCluster(n int, seed int64, k int) *node.Cluster {
+	return node.NewCluster(node.Options{
+		Seed:          seed,
+		Params:        model.DefaultParams(n),
+		PerfectClocks: true,
+		Adaptive:      true,
+		SurveillanceK: k,
+	})
+}
+
+// sumSurveilStats totals the surveillance gossip counters over all live
+// nodes.
+func sumSurveilStats(c *node.Cluster) (suspicions, refutes, relays, dups, stale uint64) {
+	for _, id := range allIDs(c.Params.N) {
+		if c.Crashed(id) {
+			continue
+		}
+		s := c.Node(id).Machine().Stats()
+		suspicions += s.SuspicionsGossiped
+		refutes += s.RefutesSent
+		relays += s.GossipRelays
+		dups += s.GossipDuplicates
+		stale += s.StaleSuspicions
+	}
+	return
+}
+
+// SurveilSoak is the large-N robustness soak: a 50-node group with
+// k-successor surveillance (k=3) and adaptive timeouts, run through a
+// scripted nemesis — a slowly-drifting degraded link active the whole
+// time, staggered crash/recover pairs, a forged suspicion storm against
+// the degraded node, and a majority/minority partition with heal. The
+// scenario asserts the §3-visible outcomes (the test harness runs
+// check.All on the returned cluster for the invariants proper): the
+// group always re-forms, crashes are detected within the adapted bound,
+// and the slow-but-healthy node is never ejected — zero steady-state
+// false ejections.
+func SurveilSoak(n int, seed int64) *Result {
+	const k = 3
+	c := surveilCluster(n, seed, k)
+	r := newResult(fmt.Sprintf("surveil-soak/N=%d/k=%d", n, k), c)
+	sem := oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}
+	ids := allIDs(n)
+	slow := model.ProcessID(n - 1)
+
+	c.Start()
+	at, ok := runUntil(c, 16, func() bool { return agreedOn(c, ids) })
+	if !ok {
+		r.fail("initial %d-node group never formed", n)
+		return r
+	}
+	r.metric("formation_us", float64(at))
+
+	// Warmup: ten quiet cycles with rotating proposals. The adaptive
+	// estimator needs MinSamples fresh delays per link before it grants
+	// a per-peer bound (one control sample per peer per cycle), so the
+	// degradation must not set in before every node has a healthy
+	// baseline for the soon-to-be-slow link.
+	for i := 0; i < 10*n; i++ {
+		if i%n == 0 {
+			c.Node(slow).Propose([]byte(fmt.Sprintf("warm-%d", i)), sem)
+		} else if i%7 == 0 {
+			c.Node(model.ProcessID(i%n)).Propose([]byte(fmt.Sprintf("warm-%d", i)), sem)
+		}
+		c.Run(c.Params.SlotLen())
+	}
+	if !agreedOn(c, ids) {
+		r.fail("membership moved during warmup")
+		return r
+	}
+
+	// Nemesis 1 (rest of the run): the slow node's outbound delay drifts
+	// 0 → 3Δ → 0 over twelve cycles — past the static timeliness bound
+	// (Δ+ε+σ) for most of each period, so only the adaptive per-peer
+	// widening (and its shrink hysteresis on the way down) keeps the
+	// node's control messages meaningful. The ramp (~Δ/2 per cycle) is
+	// within what the estimator can track from one sample per cycle.
+	driftStart := c.Sim.Now()
+	c.Net.AddFilter(netsim.DriftingSender(slow, netsim.DriftProfile{
+		Peak:   3 * c.Params.Delta,
+		Period: cyclesDur(c, 12),
+		Start:  driftStart,
+	}, c.Sim.Now))
+	viewsBefore := len(c.Node(0).Views)
+
+	// Steady state under drift: light rotating proposals for a full
+	// drift period. Transient wrong suspicions of the slow node are
+	// tolerated (the masking path exists for exactly that) but it must
+	// never be ejected: every view installed from here on contains it.
+	for i := 0; i < 14*n; i++ {
+		if i%7 == 0 {
+			c.Node(model.ProcessID(i%n)).Propose([]byte(fmt.Sprintf("drift-%d", i)), sem)
+		}
+		c.Run(c.Params.SlotLen())
+	}
+	if !agreedOn(c, ids) {
+		r.fail("membership lost during steady-state drift")
+		return r
+	}
+	r.metric("steady_view_changes", float64(len(c.Node(0).Views)-viewsBefore))
+	for _, v := range c.Node(0).Views[viewsBefore:] {
+		if !v.Group.Contains(slow) {
+			r.fail("slow-but-healthy %v ejected during steady-state drift (view %v)", slow, v.Group)
+			return r
+		}
+	}
+
+	// Nemesis 2: a forged suspicion storm names the degraded node while
+	// it is slow. A live suspect must refute — incarnation bump, gossip
+	// — and keep its membership; straggler copies of the refuted
+	// incarnation must classify stale.
+	// A high incarnation makes the forgery fresh regardless of how many
+	// refutation rounds the drift already provoked; the victim answers
+	// with incarnation+1 and the straggler copies below classify stale.
+	ts := c.Sim.Now()
+	forged := &wire.Suspicion{
+		Header:      wire.Header{From: 0, SendTS: ts},
+		Suspect:     slow,
+		Origin:      0,
+		Incarnation: 64,
+		OriginTS:    ts,
+	}
+	refutesBefore := c.Node(slow).Machine().Stats().RefutesSent
+	c.Net.Unicast(slow, forged)
+	for _, to := range []model.ProcessID{1, 2, 3, 4} {
+		c.Net.Unicast(to, forged)
+	}
+	c.Run(cyclesDur(c, 2))
+	if got := c.Node(slow).Machine().Stats().RefutesSent; got == refutesBefore {
+		r.fail("falsely suspected node sent no refute")
+		return r
+	}
+	// Straggler wave: the same refuted incarnation under a fresh origin
+	// timestamp, two cycles after the refute spread. Not a duplicate —
+	// the watermark is per (origin, timestamp) — so only the incarnation
+	// history can kill it: receivers must classify it stale.
+	straggler := *forged
+	straggler.Header.SendTS = c.Sim.Now()
+	straggler.OriginTS = c.Sim.Now()
+	for _, to := range []model.ProcessID{5, 6} {
+		c.Net.Unicast(to, &straggler)
+	}
+	c.Run(cyclesDur(c, 1))
+	if _, _, _, _, stale := sumSurveilStats(c); stale == 0 {
+		r.fail("straggler suspicion of a refuted incarnation not classified stale")
+		return r
+	}
+	if !agreedOn(c, ids) {
+		r.fail("forged suspicion ejected a live member")
+		return r
+	}
+
+	// Nemesis 3: staggered crashes. Each must be detected and removed
+	// within the adapted bound, then readmitted after recovery.
+	for i, victim := range []model.ProcessID{model.ProcessID(n / 3), model.ProcessID(n / 2)} {
+		crashAt := c.Sim.Now()
+		c.Crash(victim)
+		at, ok = runUntil(c, 8, func() bool { return agreedOn(c, remove(ids, victim)) })
+		if !ok {
+			r.fail("crash of %v never detected", victim)
+			return r
+		}
+		lag := at.Sub(crashAt)
+		r.metric(fmt.Sprintf("crash%d_detect_us", i), float64(lag))
+		if lag > cyclesDur(c, 4) {
+			r.fail("crash of %v took %v to remove, want within 4 cycles", victim, lag)
+			return r
+		}
+		c.Recover(victim)
+		if _, ok = runUntil(c, 24, func() bool { return agreedOn(c, ids) }); !ok {
+			r.fail("%v never readmitted after recovery", victim)
+			return r
+		}
+	}
+
+	// Nemesis 4: majority/minority partition. The majority side keeps
+	// both node 0 and the drifting node, so the degraded link and the
+	// re-knitted k-successor ring stay in play on the surviving side.
+	maj := append(append([]model.ProcessID{}, ids[:c.Params.Majority()-1]...), slow)
+	minSide := ids[c.Params.Majority()-1 : n-1]
+	c.Net.Partition(maj, minSide)
+	splitAt := c.Sim.Now()
+	at, ok = runUntil(c, 12, func() bool { return agreedOn(c, maj) })
+	if !ok {
+		r.fail("majority side never reconfigured after partition")
+		return r
+	}
+	r.metric("partition_reconfig_us", float64(at.Sub(splitAt)))
+	c.Net.Heal()
+	healAt := c.Sim.Now()
+	at, ok = runUntil(c, 40, func() bool { return agreedOn(c, ids) })
+	if !ok {
+		r.fail("healing never restored the full group")
+		return r
+	}
+	r.metric("heal_us", float64(at.Sub(healAt)))
+
+	// Epilogue: a few quiet cycles of proposals to prove the group is
+	// serviceable, then collect the gossip economics.
+	for i := 0; i < 2*n; i++ {
+		if i%11 == 0 {
+			c.Node(model.ProcessID(i%n)).Propose([]byte(fmt.Sprintf("post-%d", i)), sem)
+		}
+		c.Run(c.Params.SlotLen())
+	}
+	if !agreedOn(c, ids) {
+		r.fail("membership unstable after nemesis schedule")
+		return r
+	}
+	// Zero false ejections over the whole run: the drifting node sat on
+	// the majority side of every fault, so no view ever excludes it.
+	for _, v := range c.Node(0).Views[viewsBefore:] {
+		if !v.Group.Contains(slow) {
+			r.fail("slow-but-healthy %v ejected (view %v)", slow, v.Group)
+			return r
+		}
+	}
+
+	st := c.Net.Stats()
+	r.metric("suspicion_bytes", float64(st.Bytes[wire.KindSuspicion]))
+	r.metric("refute_bytes", float64(st.Bytes[wire.KindRefute]))
+	sus, ref, rel, dup, stale := sumSurveilStats(c)
+	r.metric("suspicions_originated", float64(sus))
+	r.metric("refutes_sent", float64(ref))
+	r.metric("gossip_relays", float64(rel))
+	r.metric("gossip_duplicates", float64(dup))
+	r.metric("stale_suspicions", float64(stale))
+	if st.Bytes[wire.KindSuspicion] == 0 {
+		r.fail("no suspicion gossip on the wire despite crashes")
+	}
+	return r
+}
+
+// SurveilScaling measures how surveillance traffic grows with group
+// size: for n in sizes, form a group with k=3, crash one member, and
+// run a fixed number of cycles. Gossip bytes (suspicions + refutes,
+// sender-side) must grow roughly linearly in N — each fresh sighting is
+// relayed to k successors once, O(N·k) frames per suspicion event —
+// while the all-to-all observation channel (every decision broadcast
+// delivered to every member, the traffic an all-to-all failure detector
+// rides on) grows quadratically.
+func SurveilScaling(seed int64) *Result {
+	sizes := []int{12, 24, 48}
+	r := &Result{Name: "surveil-scaling", Metrics: make(map[string]float64)}
+	gossip := make(map[int]float64)
+	allToAll := make(map[int]float64)
+	for _, n := range sizes {
+		g, a, c, err := surveilTraffic(n, seed+int64(n))
+		// Keep the largest sample's cluster on the result so external
+		// invariant checks (twsim, runChecked) have a history to audit.
+		r.Cluster = c
+		if err != "" {
+			r.fail("N=%d: %s", n, err)
+			return r
+		}
+		gossip[n] = g
+		allToAll[n] = a
+		r.metric(fmt.Sprintf("gossip_bytes_n%d", n), g)
+		r.metric(fmt.Sprintf("alltoall_bytes_n%d", n), a)
+	}
+	lo, hi := sizes[0], sizes[len(sizes)-1]
+	factor := float64(hi) / float64(lo) // 4× more nodes
+	gRatio := gossip[hi] / gossip[lo]
+	aRatio := allToAll[hi] / allToAll[lo]
+	r.metric("gossip_growth", gRatio)
+	r.metric("alltoall_growth", aRatio)
+	// Linear growth would be ≈4×, quadratic ≈16×. The thresholds leave
+	// room for constant factors while keeping the two regimes apart.
+	if gRatio > 2*factor {
+		r.fail("gossip bytes grew %.1f× over %.0f× nodes — super-linear", gRatio, factor)
+	}
+	if aRatio < 2.5*factor {
+		r.fail("all-to-all bytes grew only %.1f× over %.0f× nodes — expected ~quadratic", aRatio, factor)
+	}
+	return r
+}
+
+// surveilTraffic runs one scaling sample: form, crash one node, fixed
+// post-crash window; returns (gossip bytes, delivered all-to-all
+// decision bytes) accumulated after formation.
+func surveilTraffic(n int, seed int64) (gossip, allToAll float64, c *node.Cluster, errMsg string) {
+	c = surveilCluster(n, seed, 3)
+	c.Start()
+	ids := allIDs(n)
+	if _, ok := runUntil(c, 16, func() bool { return agreedOn(c, ids) }); !ok {
+		return 0, 0, c, "group never formed"
+	}
+	base := c.Net.Stats()
+	victim := model.ProcessID(1)
+	c.Crash(victim)
+	if _, ok := runUntil(c, 8, func() bool { return agreedOn(c, remove(ids, victim)) }); !ok {
+		return 0, 0, c, "crash never detected"
+	}
+	c.Run(cyclesDur(c, 2))
+	st := c.Net.Stats()
+
+	gossip = float64(st.Bytes[wire.KindSuspicion] - base.Bytes[wire.KindSuspicion] +
+		st.Bytes[wire.KindRefute] - base.Bytes[wire.KindRefute])
+
+	// All-to-all comparator: bytes actually delivered for decision
+	// broadcasts over the same window — sender-side frame bytes times
+	// the per-broadcast fan-out.
+	frames := st.Broadcasts[wire.KindDecision] - base.Broadcasts[wire.KindDecision]
+	bytes := st.Bytes[wire.KindDecision] - base.Bytes[wire.KindDecision]
+	delivered := st.Deliveries[wire.KindDecision] - base.Deliveries[wire.KindDecision]
+	if frames == 0 {
+		return 0, 0, c, "no decisions in measurement window"
+	}
+	allToAll = float64(delivered) * (float64(bytes) / float64(frames))
+	return gossip, allToAll, c, ""
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestSurveilSoak is the ISSUE-9 acceptance soak: 50 nodes with
+// k-successor surveillance and adaptive timeouts under a scripted
+// nemesis (drifting degraded link, forged suspicion storm, staggered
+// crash/recover, partition+heal). runChecked asserts the §3 agreement
+// and ordering invariants over the whole history on top of the
+// scenario's own zero-false-ejection and detection-latency asserts.
+func TestSurveilSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	r := runChecked(t, SurveilSoak(50, 9001))
+	if r.Metrics["refutes_sent"] == 0 {
+		t.Errorf("no refutes observed — false-suspicion path untested")
+	}
+	if r.Metrics["gossip_relays"] == 0 {
+		t.Errorf("no gossip relays — suspicion never propagated along the ring")
+	}
+	if r.Metrics["stale_suspicions"] == 0 {
+		t.Errorf("no stale suppressions — incarnation watermark never exercised")
+	}
+}
+
+// TestSurveilSoakSmall keeps a cheap always-on variant in the default
+// test run so regressions in the surveillance path surface without the
+// full 50-node soak.
+func TestSurveilSoakSmall(t *testing.T) {
+	runChecked(t, SurveilSoak(12, 77))
+}
+
+// TestSurveilScaling pins the traffic economics: suspicion/refute gossip
+// grows ~linearly with N (each sighting is relayed to k successors once)
+// while the all-to-all observation channel grows ~quadratically.
+func TestSurveilScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	r := runChecked(t, SurveilScaling(500))
+	if r.Failed != "" {
+		t.Fatalf("%s failed: %s", r.Name, r.Failed)
+	}
+	t.Logf("gossip growth %.1fx, all-to-all growth %.1fx over 4x nodes",
+		r.Metrics["gossip_growth"], r.Metrics["alltoall_growth"])
+}

@@ -1,0 +1,413 @@
+// Package surveil implements k-successor surveillance for large groups:
+// instead of every member watching every peer (the paper's implicit
+// all-to-all scheme, O(N²) surveillance edges), each member watches only
+// k successors on a hashed ring and failure information travels as
+// epidemic gossip — incarnation-numbered suspicions relayed to k ring
+// successors and stopped by duplicate suppression, O(N·k) traffic per
+// suspicion event.
+//
+// The ring orders members by FNV-1a64 of the process id finished with
+// the Murmur3 fmix64 avalanche, the same scheme fabric/ring.go settled
+// on: raw FNV over short low-entropy keys (small integer ids) clusters
+// badly, and a clustered ring concentrates watch edges on a few members.
+//
+// Edge choice follows the timeliness-graph insight (Delporte-Gallet et
+// al.; Granular Synchrony): correctness needs a timely subgraph, not a
+// timely clique. When the adaptive estimator reports some candidate
+// edges timely and others not, the watcher prefers timely edges — except
+// that the immediate ring successor is always watched, which keeps the
+// watch graph's coverage deterministic: every member is watched by at
+// least its ring predecessor, so a member whose other watchers all died
+// is re-adopted as soon as the next view install re-knits the ring.
+//
+// Suspicion/refute state is deliberately simple and bounded: one
+// watermark per origin (suspicions), one per refuter (refutes), one
+// incarnation number per peer. Origin timestamps are strictly monotone
+// per origin (they are send timestamps), so a copy at or below the
+// watermark is a duplicate and the epidemic terminates.
+package surveil
+
+import (
+	"sort"
+
+	"timewheel/internal/model"
+)
+
+// Config parameterises the surveillance subsystem. The zero value
+// disables it (K=0 keeps the seed's all-to-all behaviour).
+type Config struct {
+	// K is the number of ring successors each member watches and the
+	// fan-out of gossip relays. 0 disables surveillance.
+	K int
+	// SuspectAfter is how long a watched peer may stay silent (no timely
+	// control message, no fresh gossip vouch) before its watcher
+	// originates a suspicion. The member layer defaults it to two full
+	// cycles: the decider rotation makes every member speak once per
+	// cycle, so two silent cycles mean two missed decision slots.
+	SuspectAfter model.Duration
+	// RefuteBackoff is the minimum spacing between refutes of our own
+	// suspicion — the storm brake: a partition that floods a node with
+	// stale suspicions must not make it flood the group back.
+	RefuteBackoff model.Duration
+	// ResuspectAfter is the minimum spacing between re-originated
+	// suspicions of the same target by the same watcher.
+	ResuspectAfter model.Duration
+}
+
+// Disposition classifies an observed gossip message.
+type Disposition int
+
+const (
+	// Fresh: first sighting, actionable, relay it.
+	Fresh Disposition = iota
+	// Duplicate: already seen (at-or-below the origin watermark); drop.
+	Duplicate
+	// Stale: carries an incarnation the refutation history has already
+	// overtaken; drop without relaying.
+	Stale
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Fresh:
+		return "fresh"
+	case Duplicate:
+		return "duplicate"
+	case Stale:
+		return "stale"
+	default:
+		return "disposition(?)"
+	}
+}
+
+// Surveillor holds one member's surveillance state: its current watch
+// and relay sets (recomputed on every view install) and the gossip
+// dedup/incarnation bookkeeping. It is confined to the member machine's
+// event loop and needs no locking.
+type Surveillor struct {
+	self model.ProcessID
+	cfg  Config
+
+	ring   []ringEntry
+	watch  []model.ProcessID
+	relays []model.ProcessID
+
+	selfInc     uint64
+	incarnation map[model.ProcessID]uint64
+	susSeen     map[model.ProcessID]model.Time // per-origin suspicion watermark
+	refSeen     map[model.ProcessID]model.Time // per-refuter refute watermark
+	lastRefute  model.Time
+	originated  map[model.ProcessID]model.Time // per-target origination watermark
+	relayedSus  map[model.ProcessID]uint64     // per-suspect relayed incarnation + 1
+}
+
+type ringEntry struct {
+	id   model.ProcessID
+	hash uint64
+}
+
+// New creates a Surveillor for self. cfg.K must be positive; duration
+// fields left zero are filled by the caller (the member machine derives
+// them from the protocol params).
+func New(self model.ProcessID, cfg Config) *Surveillor {
+	return &Surveillor{
+		self:        self,
+		cfg:         cfg,
+		incarnation: make(map[model.ProcessID]uint64),
+		susSeen:     make(map[model.ProcessID]model.Time),
+		refSeen:     make(map[model.ProcessID]model.Time),
+		originated:  make(map[model.ProcessID]model.Time),
+		relayedSus:  make(map[model.ProcessID]uint64),
+	}
+}
+
+// Config returns the configuration the Surveillor runs with.
+func (s *Surveillor) Config() Config { return s.cfg }
+
+// SetView recomputes the ring and this member's watch/relay sets for a
+// new group view. timely, when non-nil, reports whether the adaptive
+// estimator currently considers the direct edge to a peer timely; nil
+// (static mode, or no estimate yet) falls back to pure ring order. The
+// recomputation is deterministic in (members, timely answers), so after
+// a partition or mass failure every survivor re-knits the same ring.
+func (s *Surveillor) SetView(members []model.ProcessID, timely func(model.ProcessID) bool) {
+	s.pruneDeparted(members)
+	s.ring = s.ring[:0]
+	for _, m := range members {
+		if m == s.self {
+			continue
+		}
+		s.ring = append(s.ring, ringEntry{id: m, hash: RingHash(m)})
+	}
+	sort.Slice(s.ring, func(i, j int) bool {
+		if s.ring[i].hash != s.ring[j].hash {
+			return s.ring[i].hash < s.ring[j].hash
+		}
+		return s.ring[i].id < s.ring[j].id
+	})
+	s.watch = s.watch[:0]
+	s.relays = s.relays[:0]
+	if len(s.ring) == 0 {
+		return
+	}
+
+	// Successors: ring entries from self's insertion point, wrapping.
+	selfHash := RingHash(s.self)
+	start := sort.Search(len(s.ring), func(i int) bool {
+		if s.ring[i].hash != selfHash {
+			return s.ring[i].hash > selfHash
+		}
+		return s.ring[i].id > s.self
+	})
+	k := s.cfg.K
+	if k > len(s.ring) {
+		k = len(s.ring)
+	}
+	for i := 0; i < k; i++ {
+		s.relays = append(s.relays, s.ring[(start+i)%len(s.ring)].id)
+	}
+
+	// Watch set: the immediate successor unconditionally (coverage),
+	// then timely-preferred picks from a 2k candidate window.
+	window := 2 * k
+	if window > len(s.ring) {
+		window = len(s.ring)
+	}
+	s.watch = append(s.watch, s.ring[start%len(s.ring)].id)
+	if timely != nil {
+		for i := 1; i < window && len(s.watch) < k; i++ {
+			id := s.ring[(start+i)%len(s.ring)].id
+			if timely(id) {
+				s.watch = append(s.watch, id)
+			}
+		}
+	}
+	for i := 1; i < window && len(s.watch) < k; i++ {
+		id := s.ring[(start+i)%len(s.ring)].id
+		if !contains(s.watch, id) {
+			s.watch = append(s.watch, id)
+		}
+	}
+}
+
+// pruneDeparted drops gossip state for processes outside the new view:
+// a member that left and rejoins starts a fresh incarnation history, and
+// its stale watermarks must not suppress the new one's gossip.
+func (s *Surveillor) pruneDeparted(members []model.ProcessID) {
+	keep := make(map[model.ProcessID]bool, len(members))
+	for _, m := range members {
+		keep[m] = true
+	}
+	for _, m := range []map[model.ProcessID]model.Time{s.susSeen, s.refSeen, s.originated} {
+		for p := range m {
+			if !keep[p] {
+				delete(m, p)
+			}
+		}
+	}
+	for p := range s.incarnation {
+		if !keep[p] {
+			delete(s.incarnation, p)
+		}
+	}
+	for p := range s.relayedSus {
+		if !keep[p] {
+			delete(s.relayedSus, p)
+		}
+	}
+}
+
+// Watch returns the peers this member currently watches. The slice is
+// owned by the Surveillor; callers must not mutate or retain it across
+// SetView calls.
+func (s *Surveillor) Watch() []model.ProcessID { return s.watch }
+
+// Watches reports whether p is one of this member's current watch
+// targets — the gate that keeps a protocol-level timeout (which every
+// member of the rotation observes at once) from turning into N parallel
+// gossip originations: only p's designated watchers speak for it.
+func (s *Surveillor) Watches(p model.ProcessID) bool { return contains(s.watch, p) }
+
+// Relays returns the k ring successors gossip is relayed to. Same
+// ownership rules as Watch.
+func (s *Surveillor) Relays() []model.ProcessID { return s.relays }
+
+// RingWatchersOf returns the members whose pure-ring watch window covers
+// p in the current view: p's up-to-k ring predecessors. (The timely
+// preference can widen a member's actual picks beyond ring order, but
+// the immediate predecessor is always among the watchers — the coverage
+// guarantee the re-adoption property rests on.)
+func (s *Surveillor) RingWatchersOf(p model.ProcessID) []model.ProcessID {
+	// Build the full ring including self for this query.
+	ring := make([]ringEntry, 0, len(s.ring)+1)
+	ring = append(ring, s.ring...)
+	ring = append(ring, ringEntry{id: s.self, hash: RingHash(s.self)})
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].id < ring[j].id
+	})
+	at := -1
+	for i, e := range ring {
+		if e.id == p {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return nil
+	}
+	k := s.cfg.K
+	if k > len(ring)-1 {
+		k = len(ring) - 1
+	}
+	out := make([]model.ProcessID, 0, k)
+	for i := 1; i <= k; i++ {
+		out = append(out, ring[(at-i+len(ring))%len(ring)].id)
+	}
+	return out
+}
+
+// ObserveSuspicion records a suspicion sighting and classifies it.
+// The origin watermark advances even for stale sightings, so a stale
+// suspicion is dropped everywhere without re-relaying.
+func (s *Surveillor) ObserveSuspicion(suspect, origin model.ProcessID, inc uint64, originTS model.Time) Disposition {
+	if ts, ok := s.susSeen[origin]; ok && originTS <= ts {
+		return Duplicate
+	}
+	s.susSeen[origin] = originTS
+	if suspect == s.self {
+		if inc < s.selfInc {
+			return Stale
+		}
+		return Fresh
+	}
+	known := s.incarnation[suspect]
+	if inc < known {
+		return Stale
+	}
+	if inc > known {
+		// The origin has seen a refutation cycle we missed; catch up.
+		s.incarnation[suspect] = inc
+	}
+	return Fresh
+}
+
+// ObserveRefute records a refute sighting and classifies it. A fresh
+// refute strictly advances the refuter's incarnation, invalidating every
+// in-flight suspicion that named the old one.
+func (s *Surveillor) ObserveRefute(refuter model.ProcessID, inc uint64, originTS model.Time) Disposition {
+	if ts, ok := s.refSeen[refuter]; ok && originTS <= ts {
+		return Duplicate
+	}
+	s.refSeen[refuter] = originTS
+	if inc <= s.incarnation[refuter] {
+		return Stale
+	}
+	s.incarnation[refuter] = inc
+	return Fresh
+}
+
+// NeedsRelaySuspicion reports whether a fresh suspicion of (suspect,
+// inc) still needs relaying from this node, and records the relay when
+// it does. Concurrent watchers each originate their own suspicion of a
+// dead peer (distinct origins, distinct timestamps — all Fresh), but one
+// relay flood per (suspect, incarnation) is enough to reach the whole
+// ring: without this cap the per-origin floods multiply into O(N²·k)
+// frames per failure.
+func (s *Surveillor) NeedsRelaySuspicion(suspect model.ProcessID, inc uint64) bool {
+	if s.relayedSus[suspect] >= inc+1 {
+		return false
+	}
+	s.relayedSus[suspect] = inc + 1
+	return true
+}
+
+// Incarnation returns the highest incarnation known for p (own
+// incarnation for self).
+func (s *Surveillor) Incarnation(p model.ProcessID) uint64 {
+	if p == s.self {
+		return s.selfInc
+	}
+	return s.incarnation[p]
+}
+
+// RefuteSelf answers a suspicion naming self that carried incarnation
+// inc: it bumps the own incarnation strictly above inc and reports
+// whether a refute may be sent now, or false while the backoff window
+// from the previous refute is still open (the anti-storm brake; the
+// incarnation still advances so a later refute wins retroactively).
+func (s *Surveillor) RefuteSelf(inc uint64, now model.Time) (uint64, bool) {
+	if inc >= s.selfInc {
+		s.selfInc = inc + 1
+	}
+	if s.lastRefute != 0 && now.Sub(s.lastRefute) < s.cfg.RefuteBackoff {
+		return s.selfInc, false
+	}
+	s.lastRefute = now
+	return s.selfInc, true
+}
+
+// ShouldOriginate reports whether a watcher that finds target silent may
+// originate a suspicion now, advancing the per-target origination
+// watermark when it does. Rate-limited by ResuspectAfter so a dead
+// target costs one gossip epidemic per window, not one per slot.
+func (s *Surveillor) ShouldOriginate(target model.ProcessID, now model.Time) bool {
+	if last, ok := s.originated[target]; ok && now.Sub(last) < s.cfg.ResuspectAfter {
+		return false
+	}
+	s.originated[target] = now
+	return true
+}
+
+// Forget drops all gossip state for p (it left the team or rejoined
+// under a fresh incarnation history).
+func (s *Surveillor) Forget(p model.ProcessID) {
+	delete(s.incarnation, p)
+	delete(s.susSeen, p)
+	delete(s.refSeen, p)
+	delete(s.originated, p)
+	delete(s.relayedSus, p)
+}
+
+func contains(ps []model.ProcessID, p model.ProcessID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// FNV-1a64 constants and the Murmur3 fmix64 finalizer, matching
+// fabric/ring.go. Keep these in sync: both rings must agree that short
+// low-entropy keys need the avalanche pass (PR 6's raw-FNV skew).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// RingHash positions a process id on the surveillance ring: FNV-1a64
+// over the id's little-endian bytes, finished with fmix64.
+func RingHash(p model.ProcessID) uint64 {
+	h := uint64(fnvOffset)
+	v := uint64(int64(p))
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		v >>= 8
+		h *= fnvPrime
+	}
+	return mix64(h)
+}
+
+// mix64 is the Murmur3 fmix64 finalizer: full avalanche, so consecutive
+// ids land uniformly on the ring.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

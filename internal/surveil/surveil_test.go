@@ -1,0 +1,342 @@
+package surveil
+
+import (
+	"sort"
+	"testing"
+
+	"timewheel/internal/model"
+)
+
+func ids(n int) []model.ProcessID {
+	out := make([]model.ProcessID, n)
+	for i := range out {
+		out[i] = model.ProcessID(i)
+	}
+	return out
+}
+
+// TestRingHashDistribution: process ids are small sequential integers —
+// exactly the low-entropy keys raw FNV clusters on (the PR 6 fabric
+// skew). With the fmix64 finalizer the ring positions must spread: over
+// 1000 sequential ids, the largest arc between adjacent ring positions
+// must stay within a small multiple of the ideal uniform gap.
+func TestRingHashDistribution(t *testing.T) {
+	const n = 1000
+	hashes := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for _, p := range ids(n) {
+		h := RingHash(p)
+		if seen[h] {
+			t.Fatalf("hash collision at id %d", p)
+		}
+		seen[h] = true
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	ideal := ^uint64(0) / n
+	var maxGap uint64
+	for i := 1; i < n; i++ {
+		if g := hashes[i] - hashes[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	if wrap := (^uint64(0) - hashes[n-1]) + hashes[0]; wrap > maxGap {
+		maxGap = wrap
+	}
+	// For n uniform points the expected max gap is ~ln(n)·ideal ≈ 7·ideal;
+	// 20× leaves slack while still catching FNV-style clustering, which
+	// produces arcs hundreds of times the ideal.
+	if maxGap > 20*ideal {
+		t.Errorf("max ring gap %d is %.1f× the uniform ideal; ring is clustered",
+			maxGap, float64(maxGap)/float64(ideal))
+	}
+}
+
+// TestWatchLoadBalance: with the whole view timely, watch edges are pure
+// ring successors, so in-degree is exactly K for every member — no
+// member carries a disproportionate surveillance load.
+func TestWatchLoadBalance(t *testing.T) {
+	const n, k = 50, 3
+	members := ids(n)
+	inDeg := make(map[model.ProcessID]int)
+	for _, self := range members {
+		s := New(self, Config{K: k})
+		s.SetView(members, nil)
+		if len(s.Watch()) != k {
+			t.Fatalf("node %d watches %d peers, want %d", self, len(s.Watch()), k)
+		}
+		for _, w := range s.Watch() {
+			if w == self {
+				t.Fatalf("node %d watches itself", self)
+			}
+			inDeg[w]++
+		}
+	}
+	for _, p := range members {
+		if inDeg[p] != k {
+			t.Errorf("node %d is watched by %d peers, want exactly %d", p, inDeg[p], k)
+		}
+	}
+}
+
+// TestSetViewDeterministic: two surveillors for the same self and view
+// compute identical watch/relay sets, and a shuffled member list changes
+// nothing — re-knitting after churn is deterministic across the group.
+func TestSetViewDeterministic(t *testing.T) {
+	members := ids(20)
+	shuffled := append([]model.ProcessID(nil), members...)
+	for i := range shuffled { // deterministic scramble
+		j := (i*7 + 3) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	a := New(5, Config{K: 3})
+	b := New(5, Config{K: 3})
+	a.SetView(members, nil)
+	b.SetView(shuffled, nil)
+	if !equalIDs(a.Watch(), b.Watch()) || !equalIDs(a.Relays(), b.Relays()) {
+		t.Errorf("member order changed the ring: %v/%v vs %v/%v",
+			a.Watch(), a.Relays(), b.Watch(), b.Relays())
+	}
+}
+
+// TestTimelyPreference: when the estimator marks some candidate edges
+// untimely, the watcher keeps the immediate successor (coverage) but
+// fills the remaining slots from timely candidates in the 2k window.
+func TestTimelyPreference(t *testing.T) {
+	members := ids(12)
+	s := New(0, Config{K: 3})
+	s.SetView(members, nil)
+	ringOrder := append([]model.ProcessID(nil), s.Watch()...)
+
+	// Mark everything untimely except the ring-order picks' alternates:
+	// the 2k window beyond the first successor.
+	bad := map[model.ProcessID]bool{ringOrder[1]: true, ringOrder[2]: true}
+	s.SetView(members, func(p model.ProcessID) bool { return !bad[p] })
+	got := s.Watch()
+	if got[0] != ringOrder[0] {
+		t.Errorf("immediate successor demoted: got %v, want first=%v", got, ringOrder[0])
+	}
+	for _, w := range got[1:] {
+		if bad[w] {
+			t.Errorf("untimely edge %v chosen over timely alternates: %v", w, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("watch set %v, want 3 members", got)
+	}
+
+	// Degenerate: everything untimely — fall back to pure ring order
+	// rather than watching no one.
+	s.SetView(members, func(model.ProcessID) bool { return false })
+	if !equalIDs(s.Watch(), ringOrder) {
+		t.Errorf("all-untimely fallback %v, want ring order %v", s.Watch(), ringOrder)
+	}
+}
+
+// TestReKnitReAdoption: kill every ring watcher of a victim and install
+// the shrunken view — the victim must again have K watchers among the
+// survivors. This is the one-view re-adoption guarantee the package doc
+// promises.
+func TestReKnitReAdoption(t *testing.T) {
+	members := ids(30)
+	probe := New(0, Config{K: 3})
+	probe.SetView(members, nil)
+	const victim = model.ProcessID(17)
+	watchers := probe.RingWatchersOf(victim)
+	if len(watchers) != 3 {
+		t.Fatalf("victim has %d ring watchers, want 3", len(watchers))
+	}
+	survivors := make([]model.ProcessID, 0, len(members))
+	dead := make(map[model.ProcessID]bool)
+	for _, w := range watchers {
+		dead[w] = true
+	}
+	for _, m := range members {
+		if !dead[m] {
+			survivors = append(survivors, m)
+		}
+	}
+	adopted := 0
+	for _, self := range survivors {
+		if self == victim {
+			continue
+		}
+		s := New(self, Config{K: 3})
+		s.SetView(survivors, nil)
+		if contains(s.Watch(), victim) {
+			adopted++
+		}
+	}
+	if adopted != 3 {
+		t.Errorf("victim re-adopted by %d survivors after watcher wipe-out, want 3", adopted)
+	}
+}
+
+// TestSmallGroups: K clamps to the available peers; a singleton view
+// watches nobody and a pair watches each other.
+func TestSmallGroups(t *testing.T) {
+	s := New(0, Config{K: 3})
+	s.SetView([]model.ProcessID{0}, nil)
+	if len(s.Watch()) != 0 || len(s.Relays()) != 0 {
+		t.Errorf("singleton view: watch=%v relays=%v, want empty", s.Watch(), s.Relays())
+	}
+	s.SetView([]model.ProcessID{0, 1}, nil)
+	if !equalIDs(s.Watch(), []model.ProcessID{1}) {
+		t.Errorf("pair view: watch=%v, want [1]", s.Watch())
+	}
+}
+
+// --- incarnation / dedup matrix -------------------------------------
+
+// TestSuspicionDedup: the same (origin, originTS) sighting is Fresh
+// exactly once; later copies are Duplicate; a newer origination from the
+// same origin is Fresh again.
+func TestSuspicionDedup(t *testing.T) {
+	s := New(0, Config{K: 3})
+	if d := s.ObserveSuspicion(7, 3, 0, 1000); d != Fresh {
+		t.Fatalf("first sighting: %v, want fresh", d)
+	}
+	if d := s.ObserveSuspicion(7, 3, 0, 1000); d != Duplicate {
+		t.Errorf("replay: %v, want duplicate", d)
+	}
+	if d := s.ObserveSuspicion(7, 3, 0, 900); d != Duplicate {
+		t.Errorf("older copy: %v, want duplicate", d)
+	}
+	if d := s.ObserveSuspicion(7, 3, 0, 2000); d != Fresh {
+		t.Errorf("re-origination: %v, want fresh", d)
+	}
+	// Distinct origins have independent watermarks.
+	if d := s.ObserveSuspicion(7, 4, 0, 1000); d != Fresh {
+		t.Errorf("different origin: %v, want fresh", d)
+	}
+}
+
+// TestStaleIncarnationSuppression is the false-suspicion lifecycle: a
+// suspicion at incarnation i, a refute bumping to i+1, then straggler
+// copies of the old suspicion — which must classify Stale everywhere so
+// they are dropped, not relayed, and never reach the ejection path.
+func TestStaleIncarnationSuppression(t *testing.T) {
+	s := New(0, Config{K: 3})
+	if d := s.ObserveSuspicion(7, 3, 0, 1000); d != Fresh {
+		t.Fatalf("initial suspicion: %v", d)
+	}
+	if d := s.ObserveRefute(7, 1, 1500); d != Fresh {
+		t.Fatalf("refute: %v, want fresh", d)
+	}
+	if got := s.Incarnation(7); got != 1 {
+		t.Fatalf("incarnation after refute: %d, want 1", got)
+	}
+	// Straggler copy of the refuted suspicion, relayed via another origin.
+	if d := s.ObserveSuspicion(7, 4, 0, 1200); d != Stale {
+		t.Errorf("refuted-incarnation suspicion: %v, want stale", d)
+	}
+	// A new suspicion at the bumped incarnation is actionable again.
+	if d := s.ObserveSuspicion(7, 4, 1, 1300); d != Fresh {
+		t.Errorf("current-incarnation suspicion: %v, want fresh", d)
+	}
+	// A suspicion carrying a higher incarnation than we know fast-forwards
+	// our view of the refutation history.
+	if d := s.ObserveSuspicion(7, 5, 4, 1400); d != Fresh {
+		t.Errorf("future-incarnation suspicion: %v, want fresh", d)
+	}
+	if got := s.Incarnation(7); got != 4 {
+		t.Errorf("incarnation fast-forward: %d, want 4", got)
+	}
+}
+
+// TestRefuteStaleAndDedup: refutes that do not advance the incarnation
+// are Stale; watermark replays are Duplicate before staleness is even
+// considered.
+func TestRefuteStaleAndDedup(t *testing.T) {
+	s := New(0, Config{K: 3})
+	if d := s.ObserveRefute(7, 2, 1000); d != Fresh {
+		t.Fatalf("first refute: %v", d)
+	}
+	if d := s.ObserveRefute(7, 2, 1000); d != Duplicate {
+		t.Errorf("replayed refute: %v, want duplicate", d)
+	}
+	if d := s.ObserveRefute(7, 1, 1100); d != Stale {
+		t.Errorf("regressing refute: %v, want stale", d)
+	}
+	if d := s.ObserveRefute(7, 3, 1200); d != Fresh {
+		t.Errorf("advancing refute: %v, want fresh", d)
+	}
+}
+
+// TestRefuteSelf: refuting a suspicion always bumps own incarnation
+// strictly above the suspicion's, but the send permission honours the
+// backoff window — the suspicion-storm brake.
+func TestRefuteSelf(t *testing.T) {
+	s := New(7, Config{K: 3, RefuteBackoff: 100})
+	inc, ok := s.RefuteSelf(0, 1000)
+	if !ok || inc != 1 {
+		t.Fatalf("first refute: inc=%d ok=%v, want 1,true", inc, ok)
+	}
+	// Storm: more suspicions inside the backoff window. Incarnation keeps
+	// climbing past each one, but no refute is sent.
+	inc, ok = s.RefuteSelf(1, 1050)
+	if ok {
+		t.Error("refute allowed inside backoff window")
+	}
+	if inc != 2 {
+		t.Errorf("incarnation after suppressed refute: %d, want 2", inc)
+	}
+	// Window elapsed: allowed again, and still strictly above the
+	// suspicion's incarnation.
+	inc, ok = s.RefuteSelf(5, 1200)
+	if !ok || inc != 6 {
+		t.Errorf("post-backoff refute: inc=%d ok=%v, want 6,true", inc, ok)
+	}
+	// Self-suspicions classify against own incarnation.
+	if d := s.ObserveSuspicion(7, 3, 2, 2000); d != Stale {
+		t.Errorf("old-incarnation self-suspicion: %v, want stale", d)
+	}
+	if d := s.ObserveSuspicion(7, 3, 6, 2100); d != Fresh {
+		t.Errorf("current-incarnation self-suspicion: %v, want fresh", d)
+	}
+}
+
+// TestShouldOriginate: per-target origination is rate-limited, and
+// targets are independent.
+func TestShouldOriginate(t *testing.T) {
+	s := New(0, Config{K: 3, ResuspectAfter: 100})
+	if !s.ShouldOriginate(7, 1000) {
+		t.Fatal("first origination blocked")
+	}
+	if s.ShouldOriginate(7, 1050) {
+		t.Error("re-origination allowed inside window")
+	}
+	if !s.ShouldOriginate(8, 1050) {
+		t.Error("independent target blocked")
+	}
+	if !s.ShouldOriginate(7, 1100) {
+		t.Error("origination blocked after window elapsed")
+	}
+}
+
+// TestForget: a forgotten peer's gossip state resets — its next
+// suspicion is fresh at incarnation 0 again (rejoin semantics).
+func TestForget(t *testing.T) {
+	s := New(0, Config{K: 3})
+	s.ObserveSuspicion(7, 3, 0, 1000)
+	s.ObserveRefute(7, 5, 1100)
+	s.Forget(7)
+	if got := s.Incarnation(7); got != 0 {
+		t.Errorf("incarnation after forget: %d, want 0", got)
+	}
+	if d := s.ObserveSuspicion(7, 7, 0, 500); d != Fresh {
+		t.Errorf("post-forget suspicion: %v, want fresh", d)
+	}
+}
+
+func equalIDs(a, b []model.ProcessID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,6 +70,29 @@ func BenchmarkEncodeCausalTagged(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeSuspicion measures the gossip emit path added in wire
+// v8: a suspicion frame encoded into a reused pooled buffer. Gossip
+// relays fan out k-fold on every suspicion event, so the surveillance
+// path inherits the same 0 allocs/op acceptance criterion as the
+// decision hot path.
+func BenchmarkEncodeSuspicion(b *testing.B) {
+	sus := &Suspicion{
+		Header:      Header{From: 4, SendTS: 7_000_000, Ctx: Causal{Origin: 4, Slot: 200, TS: 7_000_000}},
+		Suspect:     17,
+		Origin:      4,
+		Incarnation: 3,
+		OriginTS:    7_000_000,
+	}
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	assertZeroAllocs(b, func() { EncodeTo(buf, sus) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeTo(buf, sus)
+	}
+}
+
 // deltaDecision is what steady-state rotation ships under wire v5: a
 // decision carrying only the entries changed since the baseline, with
 // BaseTS pointing at it.

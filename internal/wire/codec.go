@@ -30,7 +30,10 @@ import (
 // causal trace context (Causal: origin member, wheel slot, originating
 // send-TS — 16 bytes) on every frame, encoded immediately after the
 // header's SendTS; v4–v6 frames still decode (Ctx reads as zero).
-const Version = 7
+// Version 8 added the Suspicion/Refute gossip kinds for k-successor
+// surveillance; the frame format of the existing kinds is unchanged and
+// v4–v7 frames still decode (pre-v8 peers reject the new kind bytes).
+const Version = 8
 
 // minVersion is the oldest wire format Decode still accepts.
 const minVersion = 4
@@ -188,6 +191,15 @@ func AppendEncode(dst []byte, m Message) []byte {
 		e.u64(uint64(v.Lineage))
 		e.i64(int64(v.DecTS))
 		e.oal(&v.OAL)
+	case *Suspicion:
+		e.i64(int64(v.Suspect))
+		e.i64(int64(v.Origin))
+		e.u64(v.Incarnation)
+		e.i64(int64(v.OriginTS))
+	case *Refute:
+		e.i64(int64(v.Refuter))
+		e.u64(v.Incarnation)
+		e.i64(int64(v.OriginTS))
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
@@ -220,6 +232,8 @@ type Decoder struct {
 	state      State
 	oalReq     OALReq
 	oalFull    OALFull
+	suspicion  Suspicion
+	refute     Refute
 }
 
 // Decode parses a frame, reusing dc's scratch. See the type comment for
@@ -577,6 +591,52 @@ func decodeFrame(data []byte, sc *Decoder) (Message, error) {
 		if err = d.oal(&m.OAL); err != nil {
 			return nil, err
 		}
+		return m, d.done()
+	case KindSuspicion:
+		var m *Suspicion
+		if sc != nil {
+			m = &sc.suspicion
+		} else {
+			m = &Suspicion{}
+		}
+		m.Header = h
+		var v int64
+		if v, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.Suspect = model.ProcessID(v)
+		if v, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.Origin = model.ProcessID(v)
+		if m.Incarnation, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if v, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.OriginTS = model.Time(v)
+		return m, d.done()
+	case KindRefute:
+		var m *Refute
+		if sc != nil {
+			m = &sc.refute
+		} else {
+			m = &Refute{}
+		}
+		m.Header = h
+		var v int64
+		if v, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.Refuter = model.ProcessID(v)
+		if m.Incarnation, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if v, err = d.i64(); err != nil {
+			return nil, err
+		}
+		m.OriginTS = model.Time(v)
 		return m, d.done()
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, kindB)

@@ -71,6 +71,10 @@ func sampleMessages() []Message {
 		&OALFull{Header: h, Group: model.NewGroup(4, []model.ProcessID{0, 1, 2}),
 			Lineage: 2, DecTS: 800_000, OAL: sampleOAL()},
 		&OALFull{Header: h},
+		&Suspicion{Header: h, Suspect: 7, Origin: 3, Incarnation: 12, OriginTS: 1_000_000},
+		&Suspicion{Header: h},
+		&Refute{Header: h, Refuter: 7, Incarnation: 13, OriginTS: 1_000_500},
+		&Refute{Header: h},
 	}
 }
 
@@ -320,6 +324,12 @@ func TestKindPredicates(t *testing.T) {
 	if KindOALReq.Control() || KindOALFull.Control() {
 		t.Error("oal repair messages must not be control messages")
 	}
+	// Gossip kinds carry their own (origin, origin-ts) dedup identity and
+	// arrive relayed, so they must bypass the per-sender control
+	// freshness gate.
+	if KindSuspicion.Control() || KindRefute.Control() {
+		t.Error("gossip messages must not be control messages")
+	}
 }
 
 func TestStringers(t *testing.T) {
@@ -329,7 +339,7 @@ func TestStringers(t *testing.T) {
 			t.Errorf("%T missing String", m)
 		}
 	}
-	kinds := []Kind{KindProposal, KindDecision, KindNoDecision, KindJoin, KindReconfig, KindNack, KindState, KindOALReq, KindOALFull, Kind(42)}
+	kinds := []Kind{KindProposal, KindDecision, KindNoDecision, KindJoin, KindReconfig, KindNack, KindState, KindOALReq, KindOALFull, KindSuspicion, KindRefute, Kind(42)}
 	for _, k := range kinds {
 		if k.String() == "" {
 			t.Errorf("Kind(%d).String empty", k)

@@ -145,5 +145,9 @@ func stamp(m Message, ctx Causal) {
 		v.Ctx = ctx
 	case *OALFull:
 		v.Ctx = ctx
+	case *Suspicion:
+		v.Ctx = ctx
+	case *Refute:
+		v.Ctx = ctx
 	}
 }

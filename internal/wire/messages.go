@@ -50,6 +50,18 @@ const (
 	// against. It repairs a peer that lost the baseline without waiting
 	// for the decider's next periodic full-oal decision.
 	KindOALFull
+	// KindSuspicion is the k-successor surveillance gossip (wire v8): a
+	// watcher that stopped hearing a watched peer spreads an
+	// incarnation-numbered suspicion to its ring successors, who relay
+	// it on until duplicate suppression stops the epidemic. It is not a
+	// control message: dedup is by (origin, origin timestamp), not the
+	// per-sender control freshness gate, because relayed copies arrive
+	// with From different from the origin.
+	KindSuspicion
+	// KindRefute is the liveness counter-gossip (wire v8): a
+	// falsely-suspected live process answers a suspicion naming it with
+	// a higher incarnation number, proving it outlived the suspicion.
+	KindRefute
 )
 
 func (k Kind) String() string {
@@ -72,6 +84,10 @@ func (k Kind) String() string {
 		return "oal-request"
 	case KindOALFull:
 		return "oal-full"
+	case KindSuspicion:
+		return "suspicion"
+	case KindRefute:
+		return "refute"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -366,6 +382,44 @@ func (m *OALFull) String() string {
 	return fmt.Sprintf("oal-full{from=%v ts=%v dec=%v hi=%d}", m.From, m.SendTS, m.DecTS, m.OAL.HighestOrdinal())
 }
 
+// Suspicion is the epidemic suspicion gossip of the k-successor
+// surveillance scheme (internal/surveil). Origin is the watcher whose
+// deadline on Suspect expired; OriginTS is the origin's send timestamp,
+// preserved across relays so every copy of one suspicion event shares a
+// dedup identity. Incarnation is the suspect's incarnation as the origin
+// knew it: the suspect refutes by gossiping a strictly higher one.
+type Suspicion struct {
+	Header
+	Suspect     model.ProcessID
+	Origin      model.ProcessID
+	Incarnation uint64
+	OriginTS    model.Time
+}
+
+func (*Suspicion) Kind() Kind    { return KindSuspicion }
+func (m *Suspicion) Hdr() Header { return m.Header }
+func (m *Suspicion) String() string {
+	return fmt.Sprintf("suspicion{from=%v ts=%v suspect=%v origin=%v inc=%d ots=%v}",
+		m.From, m.SendTS, m.Suspect, m.Origin, m.Incarnation, m.OriginTS)
+}
+
+// Refute is a falsely-suspected live process's answer to a Suspicion
+// naming it: Refuter re-announces itself under a bumped incarnation
+// number. Relayed like a suspicion, deduped by (Refuter, OriginTS).
+type Refute struct {
+	Header
+	Refuter     model.ProcessID
+	Incarnation uint64
+	OriginTS    model.Time
+}
+
+func (*Refute) Kind() Kind    { return KindRefute }
+func (m *Refute) Hdr() Header { return m.Header }
+func (m *Refute) String() string {
+	return fmt.Sprintf("refute{from=%v ts=%v refuter=%v inc=%d ots=%v}",
+		m.From, m.SendTS, m.Refuter, m.Incarnation, m.OriginTS)
+}
+
 var (
 	_ Message = (*Proposal)(nil)
 	_ Message = (*Decision)(nil)
@@ -376,4 +430,6 @@ var (
 	_ Message = (*State)(nil)
 	_ Message = (*OALReq)(nil)
 	_ Message = (*OALFull)(nil)
+	_ Message = (*Suspicion)(nil)
+	_ Message = (*Refute)(nil)
 )

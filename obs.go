@@ -151,6 +151,11 @@ var mirrorNames = []string{
 	"timewheel_member_decisions_sent_total",
 	"timewheel_member_admissions_total",
 	"timewheel_member_self_exclusions_total",
+	"timewheel_surveil_suspicions_total",
+	"timewheel_surveil_refutes_total",
+	"timewheel_surveil_relays_total",
+	"timewheel_surveil_duplicates_total",
+	"timewheel_surveil_stale_total",
 	"timewheel_broadcast_proposed_total",
 	"timewheel_broadcast_delivered_total",
 	"timewheel_broadcast_delivered_fast_total",
@@ -526,6 +531,8 @@ func (n *Node) refreshMirror(timeout time.Duration) {
 			m.ViewChanges, m.SingleElections, m.ReconfigElections, m.WrongSuspicions,
 			m.NDsSent, m.ReconfigsSent, m.JoinsSent, m.DecisionsSent,
 			m.Admissions, m.SelfExclusions,
+			m.SuspicionsGossiped, m.RefutesSent, m.GossipRelays,
+			m.GossipDuplicates, m.StaleSuspicions,
 			b.Proposed, b.Delivered, b.DeliveredFast, b.Purged, b.Retransmits,
 			b.StateFulls, b.StateDeltas, b.ReplayApplied,
 		}

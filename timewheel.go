@@ -46,6 +46,7 @@ import (
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
 	"timewheel/internal/obs"
+	"timewheel/internal/surveil"
 	"timewheel/internal/transport"
 	"timewheel/internal/wire"
 )
@@ -189,6 +190,13 @@ type Config struct {
 	// zero — wire behavior is then identical to a build without the
 	// feature). See AdaptiveConfig and docs/ROBUSTNESS.md.
 	Adaptive AdaptiveConfig
+	// Surveillance configures k-successor surveillance with gossiped
+	// suspicions (wire v8): each member watches only K ring successors
+	// and failure evidence travels as incarnation-numbered gossip,
+	// O(N·K) surveillance traffic instead of all-to-all's O(N²).
+	// Disabled when zero — behavior is then identical to the seed
+	// protocol. See docs/ROBUSTNESS.md ("Scalable surveillance").
+	Surveillance SurveillanceConfig
 	// BlackboxDir arms the cluster flight recorder: on a guard trip,
 	// self-exclusion, invariant violation, HTTP trigger or explicit
 	// DumpBlackbox call, the node writes a self-contained incident
@@ -235,6 +243,19 @@ type AdaptiveConfig struct {
 	// degradation is normal.
 	BudgetFloor time.Duration
 	BudgetCeil  time.Duration
+}
+
+// SurveillanceConfig turns on k-successor surveillance: the member ring
+// is hashed onto a ring, each member watches K successors (preferring
+// edges the adaptive estimator reports timely), and suspicions/refutes
+// travel as duplicate-suppressed gossip relayed to K successors. The
+// failure detector switches to partial-view mode: alive-lists are the
+// union of direct observation and fresh gossip.
+type SurveillanceConfig struct {
+	// Enabled turns the subsystem on.
+	Enabled bool
+	// K is the watch/relay fan-out (default 3).
+	K int
 }
 
 // AdaptiveStats snapshots the adaptive-timeout estimators. Collected
@@ -604,7 +625,15 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	n.bc = broadcast.New(model.ProcessID(cfg.ID), mp, bcfg)
+	var scfg surveil.Config
+	if cfg.Surveillance.Enabled {
+		scfg.K = cfg.Surveillance.K
+		if scfg.K <= 0 {
+			scfg.K = 3
+		}
+	}
 	n.machine = member.New(model.ProcessID(cfg.ID), mp, member.Config{
+		Surveillance: scfg,
 		Hooks: member.Hooks{
 			StateChange: func(from, to member.State, _ model.Time) {
 				n.obs.onStateChange(from, to)
