@@ -123,8 +123,28 @@ func (d *Detector) RecordControl(from model.ProcessID, sendTS, now model.Time) b
 func (d *Detector) LastTS(p model.ProcessID) model.Time { return d.lastControl[p] }
 
 // AliveList returns the alive-list at synchronized-clock time now: self
-// plus every process heard from within the last N slots.
+// plus every process heard from within the last N slots; in partial-view
+// mode, gossiped vouches within the same window are unioned in. This is
+// the LOCAL view — messages placed on the wire must carry
+// DirectAliveList instead (see partial.go for why).
 func (d *Detector) AliveList(now model.Time) []model.ProcessID {
+	alive := d.directAliveSet(now)
+	if d.partial {
+		// Union in gossiped vouches under the same freshness window: a
+		// peer watched by someone else is alive to everyone.
+		window := model.Duration(d.params.N) * d.params.SlotLen()
+		for p, ts := range d.gossipAlive {
+			if now.Sub(ts) <= window {
+				alive.Add(p)
+			}
+		}
+	}
+	return alive.Sorted()
+}
+
+// directAliveSet is the first-hand half of the alive-list: self plus
+// every process a timely control message arrived from within the window.
+func (d *Detector) directAliveSet(now model.Time) model.ProcessSet {
 	window := model.Duration(d.params.N) * d.params.SlotLen()
 	alive := model.NewProcessSet(d.self)
 	for p, ts := range d.lastTimely {
@@ -135,16 +155,7 @@ func (d *Detector) AliveList(now model.Time) []model.ProcessID {
 			alive.Add(p)
 		}
 	}
-	if d.partial {
-		// Union in gossiped vouches under the same freshness window: a
-		// peer watched by someone else is alive to everyone.
-		for p, ts := range d.gossipAlive {
-			if now.Sub(ts) <= window {
-				alive.Add(p)
-			}
-		}
-	}
-	return alive.Sorted()
+	return alive
 }
 
 // AliveSet is AliveList as a set.

@@ -6,6 +6,15 @@
 // of direct observation and gossip: a fresh alive vouch relayed through
 // the epidemic counts exactly like a timely control message, while the
 // adaptive per-peer bounds keep governing the direct edges we do watch.
+//
+// The union is strictly local. Alive-lists placed on outgoing messages
+// carry only the direct half (DirectAliveList): a vouch then always
+// means "the sender itself heard this peer timely within one window",
+// so it is at most one window stale. Re-exporting the union would let
+// second-hand vouches refresh each other — every member broadcasts once
+// per cycle, the freshness window is one cycle, so a dead or ejected
+// peer would ride the mutual echo forever, its LastHeard never aging
+// and the silence scan never firing.
 package fdetect
 
 import "timewheel/internal/model"
@@ -32,6 +41,32 @@ func (d *Detector) RecordGossipAlive(p model.ProcessID, ts model.Time) {
 	}
 	if ts > d.gossipAlive[p] {
 		d.gossipAlive[p] = ts
+	}
+}
+
+// DirectAliveList is the alive-list restricted to first-hand evidence:
+// self plus every process a timely control message arrived from within
+// the window, gossiped vouches excluded. This is what outgoing messages
+// must carry (see the package comment); with partial view off it is
+// identical to AliveList.
+func (d *Detector) DirectAliveList(now model.Time) []model.ProcessID {
+	return d.directAliveSet(now).Sorted()
+}
+
+// PruneGossipAlive drops gossiped vouches for processes outside the
+// current membership. Called on every view install: an ejected member
+// must not linger in the alive union — and thereby in readmission
+// checks — on the word of peers that vouched for it before the
+// ejection.
+func (d *Detector) PruneGossipAlive(members []model.ProcessID) {
+	if len(d.gossipAlive) == 0 {
+		return
+	}
+	keep := model.NewProcessSet(members...)
+	for p := range d.gossipAlive {
+		if !keep.Has(p) {
+			delete(d.gossipAlive, p)
+		}
 	}
 }
 

@@ -52,6 +52,55 @@ func TestPartialViewWindow(t *testing.T) {
 	}
 }
 
+// TestDirectAliveListExcludesGossip: the list placed on outgoing
+// messages carries first-hand evidence only. Re-exporting the gossip
+// union would launder the vouch timestamps — every hop re-stamps the
+// entry with its own SendTS, and since each member broadcasts once per
+// freshness window, mutually echoed vouches would keep a dead peer on
+// every alive-list forever.
+func TestDirectAliveListExcludesGossip(t *testing.T) {
+	params := model.DefaultParams(4)
+	d := New(0, params)
+	d.EnablePartialView()
+	now := model.Time(1_000_000)
+	d.RecordControl(1, now, now.Add(params.Delta)) // direct, timely
+	d.RecordGossipAlive(2, now)                    // second-hand
+	at := now.Add(params.SlotLen())
+	if got := d.AliveList(at); len(got) != 3 {
+		t.Fatalf("local union %v, want [0 1 2]", got)
+	}
+	got := d.DirectAliveList(at)
+	want := []model.ProcessID{0, 1}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("DirectAliveList %v, want %v — gossiped vouch re-exported", got, want)
+	}
+}
+
+// TestPruneGossipAlive: a view install drops vouches for processes
+// outside the new membership, so an ejected member cannot linger in the
+// alive union on pre-ejection vouches.
+func TestPruneGossipAlive(t *testing.T) {
+	params := model.DefaultParams(4)
+	d := New(0, params)
+	d.EnablePartialView()
+	now := model.Time(1_000_000)
+	d.RecordGossipAlive(2, now)
+	d.RecordGossipAlive(3, now)
+	d.PruneGossipAlive([]model.ProcessID{0, 1, 2}) // 3 was ejected
+	got := d.AliveList(now)
+	for _, p := range got {
+		if p == 3 {
+			t.Errorf("ejected member survived the prune: %v", got)
+		}
+	}
+	if len(got) != 2 { // self + the still-member vouch
+		t.Errorf("alive-list %v, want [0 2]", got)
+	}
+	if d.LastHeard(3) != 0 {
+		t.Errorf("LastHeard(3) = %v after prune, want 0", d.LastHeard(3))
+	}
+}
+
 // TestGossipAliveMonotone: stale relays cannot regress the vouch
 // watermark, and LastHeard reports the freshest of either channel.
 func TestGossipAliveMonotone(t *testing.T) {

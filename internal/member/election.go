@@ -261,7 +261,7 @@ func (m *Machine) sendReconfig() {
 		GroupSeq:       m.group.Seq,
 		View:           *m.bc.CurrentView(),
 		DPD:            m.bc.DPD(),
-		Alive:          m.fd.AliveList(now),
+		Alive:          m.fd.DirectAliveList(now),
 	}
 	m.broadcast(r)
 	m.lastControlMsg = r

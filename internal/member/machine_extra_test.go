@@ -7,6 +7,7 @@ import (
 	"timewheel/internal/broadcast"
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
+	"timewheel/internal/surveil"
 	"timewheel/internal/wire"
 )
 
@@ -120,6 +121,41 @@ func TestAdmissionHappyPath(t *testing.T) {
 	}
 	if m.Stats().Admissions != 1 {
 		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+// TestWireAliveListExcludesGossipVouches: under partial-view
+// surveillance the alive-lists placed on outgoing messages must carry
+// only peers this process heard DIRECTLY. Re-exporting gossiped vouches
+// would re-stamp them with our send timestamp: every member broadcasts
+// once per freshness window, so mutually echoed vouches would keep a
+// dead peer on every alive-list forever, neutralizing the silence scan
+// and the readmission guard.
+func TestWireAliveListExcludesGossipVouches(t *testing.T) {
+	p := model.DefaultParams(5)
+	env := newFakeEnv()
+	bc := broadcast.New(1, p, broadcast.Config{})
+	m := New(1, p, Config{Surveillance: surveil.Config{K: 2}}, env, bc)
+	g := model.NewGroup(1, []model.ProcessID{0, 1, 2, 3, 4})
+	l := oal.NewList()
+	l.AppendMembership(g)
+	m.Start()
+	m.OnMessage(&wire.Decision{Header: wire.Header{From: 0, SendTS: env.now},
+		Group: g, OAL: *l, Alive: []model.ProcessID{0}})
+	// p0 vouches p4 alive; p1 itself never heard p4 (or p2, p3).
+	env.now = env.now.Add(10)
+	m.noteAlive(0, env.now, []model.ProcessID{0, 2, 3, 4})
+	if m.Detector().LastHeard(4) == 0 {
+		t.Fatalf("setup: vouch for p4 not recorded in the local union")
+	}
+
+	env.now = env.timers[TimerDecide]
+	m.OnTimer(TimerDecide)
+	dec := r2LastDecision(t, env)
+	for _, q := range dec.Alive {
+		if q != 0 && q != 1 {
+			t.Errorf("outgoing alive-list re-exports gossiped vouch for p%v: %v", q, dec.Alive)
+		}
 	}
 }
 

@@ -47,12 +47,15 @@ func (m *Machine) initSurveil() {
 
 // refreshSurveil recomputes the surveillance ring for the current group.
 // Called from installGroup — every view install re-knits the ring, which
-// is what re-adopts a member whose watchers all died.
+// is what re-adopts a member whose watchers all died. The detector's
+// gossip-vouch store is pruned to the new membership at the same time:
+// an ejected member's vouches must not keep it on the alive union.
 func (m *Machine) refreshSurveil() {
 	if m.sv == nil {
 		return
 	}
 	m.sv.SetView(m.group.Members, m.fd.EdgeTimely)
+	m.fd.PruneGossipAlive(m.group.Members)
 }
 
 // surveilScan runs once per own slot: originate a suspicion for every
@@ -102,7 +105,7 @@ func (m *Machine) gossipSuspect(suspect model.ProcessID) {
 	// fan-out is this node's contribution to the flood, so a concurrent
 	// origin's copy of the same suspicion must not make us flood again.
 	m.sv.ObserveSuspicion(suspect, m.self, inc, ts)
-	m.sv.NeedsRelaySuspicion(suspect, inc)
+	m.sv.NeedsRelaySuspicion(suspect, inc, m.env.Now())
 	for _, to := range m.sv.Relays() {
 		m.unicast(to, s)
 	}
@@ -128,7 +131,7 @@ func (m *Machine) onSuspicion(s *wire.Suspicion) {
 		m.refuteSelf(s.Incarnation)
 		return
 	}
-	if m.sv.NeedsRelaySuspicion(s.Suspect, s.Incarnation) {
+	if m.sv.NeedsRelaySuspicion(s.Suspect, s.Incarnation, m.env.Now()) {
 		m.relayGossip(s, s.From, s.Origin)
 	}
 	// Consume exactly like the early-concur no-decision rule: only a

@@ -118,13 +118,19 @@ func (m *Machine) requestFullOAL(from model.ProcessID) {
 
 // noteAlive records the alive-list piggybacked on a control message. In
 // partial-view mode each listed peer is also a gossiped vouch as of the
-// message's send timestamp: the sender heard it recently, so peers we
-// don't watch directly stay on our alive-list through the union.
+// message's send timestamp: peers we don't watch directly stay on our
+// alive-list through the union. The vouch is trustworthy only because
+// outgoing alive-lists carry first-hand evidence alone (DirectAliveList)
+// — the sender itself heard p timely within one window of sendTS. Were
+// the unioned list re-exported, second-hand vouches would refresh each
+// other every cycle and pin a dead peer alive forever. Vouches are also
+// filtered to the current membership so an ejected process cannot ride
+// alive-lists sent by peers that have not yet ejected it.
 func (m *Machine) noteAlive(from model.ProcessID, sendTS model.Time, alive []model.ProcessID) {
 	m.lastAlive[from] = model.NewProcessSet(alive...)
-	if m.sv != nil {
+	if m.sv != nil && m.haveGroup {
 		for _, p := range alive {
-			if p != from {
+			if p != from && m.group.Contains(p) {
 				m.fd.RecordGossipAlive(p, sendTS)
 			}
 		}
@@ -641,7 +647,7 @@ func (m *Machine) sendNoDecision(q model.ProcessID) {
 		BaseTS:     baseTS,
 		TruncBelow: truncBelow,
 		DPD:        m.bc.DPD(),
-		Alive:      m.fd.AliveList(m.env.Now()),
+		Alive:      m.fd.DirectAliveList(m.env.Now()),
 	}
 	m.broadcast(nd)
 	m.lastControlMsg = nd
@@ -738,7 +744,10 @@ func (m *Machine) sendDecision() {
 	now := m.env.Now()
 	admitted := m.admitJoiners(now)
 
-	dec, missing := m.bc.BuildDecision(m.sendTS(), m.group, m.fd.AliveList(now))
+	// The wire alive-list is first-hand only: receivers treat each entry
+	// as a gossiped vouch, and re-exporting vouches would echo (see
+	// noteAlive).
+	dec, missing := m.bc.BuildDecision(m.sendTS(), m.group, m.fd.DirectAliveList(now))
 	m.broadcast(dec)
 	m.lastControlMsg = dec
 	m.stats.DecisionsSent++

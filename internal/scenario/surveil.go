@@ -152,7 +152,14 @@ func SurveilSoak(n int, seed int64) *Result {
 	straggler := *forged
 	straggler.Header.SendTS = c.Sim.Now()
 	straggler.OriginTS = c.Sim.Now()
-	for _, to := range []model.ProcessID{5, 6} {
+	// Prefer receivers outside the forged wave's fan-out so the stale
+	// classification provably comes from the gossiped refute, but stay
+	// within the group when n is too small to have any such node.
+	stragglerTo := []model.ProcessID{5, 6}
+	if int(stragglerTo[len(stragglerTo)-1]) >= n {
+		stragglerTo = []model.ProcessID{1, 2}
+	}
+	for _, to := range stragglerTo {
 		c.Net.Unicast(to, &straggler)
 	}
 	c.Run(cyclesDur(c, 1))

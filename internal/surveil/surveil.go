@@ -21,10 +21,13 @@
 // is re-adopted as soon as the next view install re-knits the ring.
 //
 // Suspicion/refute state is deliberately simple and bounded: one
-// watermark per origin (suspicions), one per refuter (refutes), one
-// incarnation number per peer. Origin timestamps are strictly monotone
-// per origin (they are send timestamps), so a copy at or below the
-// watermark is a duplicate and the epidemic terminates.
+// watermark per (origin, suspect) pair (suspicions — per-origin alone
+// would let reordered relays about one target swallow a distinct
+// suspicion of another), one per refuter (refutes), one incarnation
+// number per peer. Origin timestamps are strictly monotone per origin
+// (they are send timestamps), hence monotone per (origin, suspect)
+// subsequence too, so a copy at or below the watermark is a duplicate
+// and the epidemic terminates.
 package surveil
 
 import (
@@ -94,16 +97,34 @@ type Surveillor struct {
 
 	selfInc     uint64
 	incarnation map[model.ProcessID]uint64
-	susSeen     map[model.ProcessID]model.Time // per-origin suspicion watermark
+	susSeen     map[susKey]model.Time          // per-(origin,suspect) suspicion watermark
 	refSeen     map[model.ProcessID]model.Time // per-refuter refute watermark
 	lastRefute  model.Time
 	originated  map[model.ProcessID]model.Time // per-target origination watermark
-	relayedSus  map[model.ProcessID]uint64     // per-suspect relayed incarnation + 1
+	relayedSus  map[model.ProcessID]relayMark  // per-suspect relay bookkeeping
 }
 
 type ringEntry struct {
 	id   model.ProcessID
 	hash uint64
+}
+
+// susKey identifies one suspicion stream: who accuses whom. A watcher
+// that originates suspicions of two targets interleaves their timestamps
+// in one monotone sequence; keying the watermark by the pair keeps each
+// stream's dedup independent, so relays of the two reordered in flight
+// cannot suppress each other.
+type susKey struct {
+	origin  model.ProcessID
+	suspect model.ProcessID
+}
+
+// relayMark records this node's contribution to the epidemic for one
+// suspect: the highest incarnation it has relayed (stored +1 so the zero
+// value means "never") and when — the re-flood aging clock.
+type relayMark struct {
+	inc uint64
+	at  model.Time
 }
 
 // New creates a Surveillor for self. cfg.K must be positive; duration
@@ -114,10 +135,10 @@ func New(self model.ProcessID, cfg Config) *Surveillor {
 		self:        self,
 		cfg:         cfg,
 		incarnation: make(map[model.ProcessID]uint64),
-		susSeen:     make(map[model.ProcessID]model.Time),
+		susSeen:     make(map[susKey]model.Time),
 		refSeen:     make(map[model.ProcessID]model.Time),
 		originated:  make(map[model.ProcessID]model.Time),
-		relayedSus:  make(map[model.ProcessID]uint64),
+		relayedSus:  make(map[model.ProcessID]relayMark),
 	}
 }
 
@@ -198,11 +219,16 @@ func (s *Surveillor) pruneDeparted(members []model.ProcessID) {
 	for _, m := range members {
 		keep[m] = true
 	}
-	for _, m := range []map[model.ProcessID]model.Time{s.susSeen, s.refSeen, s.originated} {
+	for _, m := range []map[model.ProcessID]model.Time{s.refSeen, s.originated} {
 		for p := range m {
 			if !keep[p] {
 				delete(m, p)
 			}
+		}
+	}
+	for k := range s.susSeen {
+		if !keep[k.origin] || !keep[k.suspect] {
+			delete(s.susSeen, k)
 		}
 	}
 	for p := range s.incarnation {
@@ -270,13 +296,14 @@ func (s *Surveillor) RingWatchersOf(p model.ProcessID) []model.ProcessID {
 }
 
 // ObserveSuspicion records a suspicion sighting and classifies it.
-// The origin watermark advances even for stale sightings, so a stale
-// suspicion is dropped everywhere without re-relaying.
+// The (origin, suspect) watermark advances even for stale sightings, so
+// a stale suspicion is dropped everywhere without re-relaying.
 func (s *Surveillor) ObserveSuspicion(suspect, origin model.ProcessID, inc uint64, originTS model.Time) Disposition {
-	if ts, ok := s.susSeen[origin]; ok && originTS <= ts {
+	key := susKey{origin: origin, suspect: suspect}
+	if ts, ok := s.susSeen[key]; ok && originTS <= ts {
 		return Duplicate
 	}
-	s.susSeen[origin] = originTS
+	s.susSeen[key] = originTS
 	if suspect == s.self {
 		if inc < s.selfInc {
 			return Stale
@@ -313,14 +340,24 @@ func (s *Surveillor) ObserveRefute(refuter model.ProcessID, inc uint64, originTS
 // inc) still needs relaying from this node, and records the relay when
 // it does. Concurrent watchers each originate their own suspicion of a
 // dead peer (distinct origins, distinct timestamps — all Fresh), but one
-// relay flood per (suspect, incarnation) is enough to reach the whole
-// ring: without this cap the per-origin floods multiply into O(N²·k)
-// frames per failure.
-func (s *Surveillor) NeedsRelaySuspicion(suspect model.ProcessID, inc uint64) bool {
-	if s.relayedSus[suspect] >= inc+1 {
+// relay flood per (suspect, incarnation) per ResuspectAfter window is
+// enough to reach the whole ring: without the cap the per-origin floods
+// multiply into O(N²·k) frames per failure. The cap ages out on the
+// ResuspectAfter cadence rather than holding for the node's lifetime —
+// watchers re-originate a still-dead peer at the same incarnation once
+// per window, and nodes whose expectations weren't armed when the first
+// epidemic passed need those later rounds relayed to them.
+func (s *Surveillor) NeedsRelaySuspicion(suspect model.ProcessID, inc uint64, now model.Time) bool {
+	m, ok := s.relayedSus[suspect]
+	if ok && m.inc >= inc+1 &&
+		(s.cfg.ResuspectAfter <= 0 || now.Sub(m.at) < s.cfg.ResuspectAfter) {
 		return false
 	}
-	s.relayedSus[suspect] = inc + 1
+	if inc+1 > m.inc {
+		m.inc = inc + 1
+	}
+	m.at = now
+	s.relayedSus[suspect] = m
 	return true
 }
 
@@ -365,7 +402,11 @@ func (s *Surveillor) ShouldOriginate(target model.ProcessID, now model.Time) boo
 // under a fresh incarnation history).
 func (s *Surveillor) Forget(p model.ProcessID) {
 	delete(s.incarnation, p)
-	delete(s.susSeen, p)
+	for k := range s.susSeen {
+		if k.origin == p || k.suspect == p {
+			delete(s.susSeen, k)
+		}
+	}
 	delete(s.refSeen, p)
 	delete(s.originated, p)
 	delete(s.relayedSus, p)

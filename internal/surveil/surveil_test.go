@@ -211,6 +211,32 @@ func TestSuspicionDedup(t *testing.T) {
 	}
 }
 
+// TestSuspicionDedupPerTarget: the watermark is per (origin, suspect),
+// not per origin. One watcher originating suspicions of two ring
+// neighbours (a correlated failure) stamps them in one monotone
+// timestamp sequence; when relays deliver them out of order, the
+// earlier-stamped suspicion of the OTHER target must still be Fresh —
+// a per-origin watermark would swallow it as a duplicate and suppress a
+// legitimate distinct suspicion.
+func TestSuspicionDedupPerTarget(t *testing.T) {
+	s := New(0, Config{K: 3})
+	if d := s.ObserveSuspicion(7, 3, 0, 1000); d != Fresh {
+		t.Fatalf("first target: %v, want fresh", d)
+	}
+	// Same origin, second target, earlier origin timestamp (reordered in
+	// flight): a distinct suspicion stream.
+	if d := s.ObserveSuspicion(8, 3, 0, 900); d != Fresh {
+		t.Errorf("second target, out-of-order arrival: %v, want fresh", d)
+	}
+	// Each stream's replays still dedup independently.
+	if d := s.ObserveSuspicion(7, 3, 0, 1000); d != Duplicate {
+		t.Errorf("first-target replay: %v, want duplicate", d)
+	}
+	if d := s.ObserveSuspicion(8, 3, 0, 900); d != Duplicate {
+		t.Errorf("second-target replay: %v, want duplicate", d)
+	}
+}
+
 // TestStaleIncarnationSuppression is the false-suspicion lifecycle: a
 // suspicion at incarnation i, a refute bumping to i+1, then straggler
 // copies of the old suspicion — which must classify Stale everywhere so
@@ -311,6 +337,33 @@ func TestShouldOriginate(t *testing.T) {
 	}
 	if !s.ShouldOriginate(7, 1100) {
 		t.Error("origination blocked after window elapsed")
+	}
+}
+
+// TestRelayRefloodAfterWindow: one relay flood per (suspect,
+// incarnation) per ResuspectAfter window. Inside the window replays are
+// capped (the O(N·k) bound); once the window elapses, a re-originated
+// suspicion of the still-dead peer at the same incarnation floods again
+// so nodes the first epidemic missed still learn of the failure.
+func TestRelayRefloodAfterWindow(t *testing.T) {
+	s := New(0, Config{K: 3, ResuspectAfter: 100})
+	if !s.NeedsRelaySuspicion(7, 0, 1000) {
+		t.Fatal("first flood blocked")
+	}
+	if s.NeedsRelaySuspicion(7, 0, 1050) {
+		t.Error("re-flood allowed inside the window")
+	}
+	if !s.NeedsRelaySuspicion(7, 1, 1060) {
+		t.Error("fresh incarnation blocked by the window")
+	}
+	if s.NeedsRelaySuspicion(7, 1, 1100) {
+		t.Error("window did not restart at the incarnation-1 flood")
+	}
+	if !s.NeedsRelaySuspicion(7, 1, 1160) {
+		t.Error("re-origination flood blocked after the window elapsed")
+	}
+	if !s.NeedsRelaySuspicion(8, 0, 1161) {
+		t.Error("independent suspect blocked")
 	}
 }
 

@@ -78,6 +78,25 @@ func sampleMessages() []Message {
 	}
 }
 
+// TestFrameVersionCompat: the version byte is per-frame, not global — a
+// kind's version rises only when its own layout changes. Pre-v8 kinds
+// still encode as v7, so a v7 peer in a mixed-version rolling upgrade
+// decodes every frame an upgraded node sends except the v8 gossip kinds
+// (Suspicion/Refute), which are the only frames stamped v8.
+func TestFrameVersionCompat(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data := Encode(m)
+		want := uint8(compatVersion)
+		switch m.(type) {
+		case *Suspicion, *Refute:
+			want = Version
+		}
+		if data[0] != want {
+			t.Errorf("%v frame carries version %d, want %d", m.Kind(), data[0], want)
+		}
+	}
+}
+
 func TestRoundTripAllKinds(t *testing.T) {
 	for _, m := range sampleMessages() {
 		data := Encode(m)
