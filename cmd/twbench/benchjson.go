@@ -22,6 +22,7 @@ import (
 	"timewheel/internal/model"
 	"timewheel/internal/oal"
 	"timewheel/internal/obs"
+	"timewheel/internal/scenario"
 	"timewheel/internal/transport"
 	"timewheel/internal/wire"
 )
@@ -66,15 +67,30 @@ type adaptiveSummary struct {
 	MaxPeerDeadlineNs int64  `json:"max_peer_deadline_ns"`
 }
 
+// slotBatchSummary records the slot-boundary micro-batching headline
+// number: datagrams over an identical loaded netsim steady state with
+// the coalescer off vs on (scenario.SlotBatchLoad), plus the honesty
+// counters — LateFlushes must stay 0 and MaxHold within one slot.
+// Deterministic (simulated clock), but recorded alongside the
+// histograms for trend-watching rather than the regression gate.
+type slotBatchSummary struct {
+	PerEventDatagrams uint64  `json:"per_event_datagrams"`
+	BatchedDatagrams  uint64  `json:"batched_datagrams"`
+	Reduction         float64 `json:"reduction"`
+	MaxHoldNs         int64   `json:"max_hold_ns"`
+	LateFlushes       uint64  `json:"late_flushes"`
+}
+
 type benchReport struct {
-	Date       string           `json:"date"`
-	GoVersion  string           `json:"go_version"`
-	GOOS       string           `json:"goos"`
-	GOARCH     string           `json:"goarch"`
-	NumCPU     int              `json:"num_cpu"`
-	Benchmarks []benchResult    `json:"benchmarks"`
-	Histograms []histSummary    `json:"histograms"`
-	Adaptive   *adaptiveSummary `json:"adaptive,omitempty"`
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+	Histograms []histSummary     `json:"histograms"`
+	Adaptive   *adaptiveSummary  `json:"adaptive,omitempty"`
+	SlotBatch  *slotBatchSummary `json:"slot_batch,omitempty"`
 }
 
 func runBenchJSON(outDir, baseline string, threshold float64) int {
@@ -102,6 +118,8 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 		{"WireDecodeDecision", benchWireDecodeDecision},
 		{"WireRoundTripDelta", benchWireRoundTripDelta},
 		{"FabricDemux", benchFabricDemux},
+		{"ShardedFabricDispatch", benchShardedFabricDispatch},
+		{"MmsgSend", benchMmsgSend},
 	}
 	for _, m := range micro {
 		r := testing.Benchmark(m.fn)
@@ -135,6 +153,23 @@ func runBenchJSON(outDir, baseline string, threshold float64) int {
 			time.Duration(ad.NoiseHandlerNs), time.Duration(ad.NoiseLatenessNs),
 			ad.Widened, ad.Shrunk, time.Duration(ad.MaxPeerDeadlineNs))
 	}
+
+	perEvent, _, errOff := scenario.SlotBatchLoad(false)
+	batched, stats, errOn := scenario.SlotBatchLoad(true)
+	if errOff != nil || errOn != nil {
+		fmt.Fprintf(os.Stderr, "slot-batch run: %v %v\n", errOff, errOn)
+		return 1
+	}
+	report.SlotBatch = &slotBatchSummary{
+		PerEventDatagrams: perEvent,
+		BatchedDatagrams:  batched,
+		Reduction:         1 - float64(batched)/float64(perEvent),
+		MaxHoldNs:         int64(stats.MaxHold.Std()),
+		LateFlushes:       stats.LateFlushes,
+	}
+	fmt.Printf("  slot-batch: datagrams %d -> %d (-%.0f%%), max hold %s, late flushes %d\n",
+		perEvent, batched, 100*report.SlotBatch.Reduction,
+		stats.MaxHold.Std(), stats.LateFlushes)
 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "out dir: %v\n", err)
@@ -400,6 +435,76 @@ func benchFabricDemux(b *testing.B) {
 	}
 	_ = sink
 	_ = d
+}
+
+// benchShardedFabricDispatch measures the sharded fabric runtime's unit
+// of work: one event posted to one of eight group engines multiplexed
+// onto a four-shard pool and dispatched by the shard's goroutine.
+// Acceptance: 0 allocs/op — the shard queue item travels by value end
+// to end, so hosting many groups on few cores taxes only the channel.
+func benchShardedFabricDispatch(b *testing.B) {
+	pool := engine.NewPool(4, 4096)
+	defer pool.Close()
+	const groups = 8
+	engines := make([]*engine.Sharded, groups)
+	for i := range engines {
+		engines[i] = pool.Engine(i, func(engine.Event) {})
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Stop()
+		}
+	}()
+	posted := make([]uint64, groups)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := engines[i%groups]
+		for !e.Post(engine.Event{Type: engine.EventType(i % int(engine.NumEventTypes))}) {
+			runtime.Gosched()
+		}
+		posted[i%groups]++
+		for e.Handled() < posted[i%groups] {
+			runtime.Gosched()
+		}
+	}
+}
+
+// benchMmsgSend measures the batched UDP send path: a four-destination
+// flush through SendBatch — one sendmmsg kernel crossing on 64-bit
+// linux, the portable per-datagram loop elsewhere. Acceptance:
+// 0 allocs/op — peer sockaddrs are pre-resolved at transport creation
+// and the iovec/mmsghdr arrays are reused across flushes.
+func benchMmsgSend(b *testing.B) {
+	const peers = 4
+	addrs := map[model.ProcessID]string{0: "127.0.0.1:0"}
+	for i := 1; i <= peers; i++ {
+		rx, err := transport.NewUDP(model.ProcessID(i),
+			map[model.ProcessID]string{model.ProcessID(i): "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rx.Close()
+		rx.SetReceiver(func([]byte) {})
+		addrs[model.ProcessID(i)] = rx.LocalAddr()
+	}
+	tx, err := transport.NewUDP(0, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tx.Close()
+	payload := make([]byte, 256)
+	msgs := make([]transport.BatchMsg, peers)
+	for i := range msgs {
+		msgs[i] = transport.BatchMsg{To: model.ProcessID(i + 1), Data: payload}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.SendBatch(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchWireRoundTripDelta(b *testing.B) {

@@ -52,8 +52,8 @@ func parseGroups(s string) ([]fabric.GroupSpec, error) {
 }
 
 // runFabric is twnode's fabric mode main loop.
-func runFabric(host int, tr timewheel.Transport, specs []fabric.GroupSpec, vnodes int,
-	params timewheel.Params, dataDir, fsync string, adaptive bool, httpAddr string) {
+func runFabric(host int, tr timewheel.Transport, specs []fabric.GroupSpec, vnodes, shards int,
+	slotBatch bool, params timewheel.Params, dataDir, fsync string, adaptive bool, httpAddr string) {
 	ids := make([]uint32, len(specs))
 	for i, s := range specs {
 		ids[i] = s.ID
@@ -75,6 +75,8 @@ func runFabric(host int, tr timewheel.Transport, specs []fabric.GroupSpec, vnode
 		Params:    params,
 		DataDir:   dir,
 		Fsync:     fsync,
+		Shards:    shards,
+		SlotBatch: slotBatch,
 		Adaptive:  timewheel.AdaptiveConfig{Enabled: adaptive},
 		OnDeliver: func(gid uint32, d timewheel.Delivery) {
 			fmt.Printf("[deliver] g%d o%-4d from p%d: %s\n", gid, d.Ordinal, d.Proposer, d.Payload)

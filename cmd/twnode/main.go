@@ -57,6 +57,12 @@ func main() {
 				"and this process hosts every group listing it (empty: single-group mode)")
 		ringVnodes = flag.Int("ring", 0,
 			"fabric mode: virtual points per group on the consistent-hash ring (0: default)")
+		shards = flag.Int("shards", 0,
+			"fabric mode: engine worker-pool shards multiplexing every hosted "+
+				"group's event loop (0: GOMAXPROCS)")
+		slotBatch = flag.Bool("slot-batch", false,
+			"coalesce application broadcasts until the wheel-slot edge and send "+
+				"each flush as one batched syscall (control frames stay per-event)")
 		blackboxDir = flag.String("blackbox-dir", "",
 			"arm the flight recorder: dump incident bundles (trace ring, metrics, "+
 				"profiles) here on guard trips, self-exclusions, invariant violations "+
@@ -100,7 +106,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-groups: %v\n", err)
 			os.Exit(2)
 		}
-		runFabric(*id, tr, specs, *ringVnodes,
+		runFabric(*id, tr, specs, *ringVnodes, *shards, *slotBatch,
 			timewheel.Params{Delta: *delta, D: *dd}, *dataDir, *fsync, *adaptive, *httpAddr)
 		return
 	}
@@ -115,6 +121,7 @@ func main() {
 		Params:      timewheel.Params{Delta: *delta, D: *dd},
 		DataDir:     dir,
 		Fsync:       *fsync,
+		SlotBatch:   *slotBatch,
 		BlackboxDir: *blackboxDir,
 		Adaptive:    timewheel.AdaptiveConfig{Enabled: *adaptive},
 		Surveillance: timewheel.SurveillanceConfig{

@@ -101,6 +101,16 @@ type Config struct {
 	// Adaptive and Guard pass through to each hosted group.
 	Adaptive timewheel.AdaptiveConfig
 	Guard    timewheel.GuardConfig
+	// Shards sizes the node's engine worker pool (<= 0: GOMAXPROCS).
+	// Every hosted group's event dispatch is pinned round-robin to one
+	// pool shard: per-group dispatch stays strictly sequential, groups
+	// on different shards run on different cores. A 64-group host runs
+	// Shards dispatch goroutines instead of 64.
+	Shards int
+	// SlotBatch passes through to each hosted group: hold reactive
+	// control frames and ship them on the timer path, at the latest at
+	// the wheel-slot edge (see timewheel.Config.SlotBatch).
+	SlotBatch bool
 	// OnDeliver, OnViewChange, Snapshot and Install are the per-group
 	// application hooks, keyed by group id.
 	OnDeliver    func(gid uint32, d timewheel.Delivery)
@@ -115,11 +125,13 @@ type Node struct {
 	cfg   Config
 	demux *transport.Demux
 	ring  atomic.Pointer[Ring]
+	pool  *timewheel.EnginePool
 
-	mu      sync.Mutex
-	hosted  map[uint32]*hostedGroup
-	started bool
-	stopped bool
+	mu        sync.Mutex
+	hosted    map[uint32]*hostedGroup
+	nextShard int
+	started   bool
+	stopped   bool
 }
 
 type hostedGroup struct {
@@ -164,6 +176,7 @@ func New(cfg Config) (*Node, error) {
 		cfg:    cfg,
 		demux:  transport.NewDemux(trunkAdapter{t: cfg.Transport, id: model.ProcessID(cfg.Host)}),
 		hosted: make(map[uint32]*hostedGroup),
+		pool:   timewheel.NewEnginePool(cfg.Shards),
 	}
 	n.ring.Store(ring)
 	for _, s := range cfg.Groups {
@@ -205,7 +218,11 @@ func (n *Node) addGroupLocked(spec GroupSpec) error {
 		SnapshotEvery: n.cfg.SnapshotEvery,
 		Adaptive:      n.cfg.Adaptive,
 		Guard:         n.cfg.Guard,
+		Pool:          n.pool,
+		PoolShard:     n.nextShard,
+		SlotBatch:     n.cfg.SlotBatch,
 	}
+	n.nextShard++
 	if n.cfg.DataDir != "" {
 		twc.DataDir = n.groupDir(gid)
 	}
@@ -266,6 +283,7 @@ func (n *Node) Stop() {
 		h.node.Stop()
 	}
 	n.demux.Close() //nolint:errcheck // trunk close
+	n.pool.Close()  // after every engine has stopped
 }
 
 // Ring returns the node's current routing table.

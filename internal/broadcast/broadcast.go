@@ -138,6 +138,14 @@ type Broadcast struct {
 	// (see delta.go). Empty when no baseline is held (fresh start,
 	// lineage change).
 	baseRing []pristineView
+	// deltaWin is the current baseline-ring capacity: how far back a
+	// delta may reach. It adapts to the observed decision-loss rate in
+	// [minDeltaWindow, maxDeltaWindow] — every baseline repair (an
+	// OALReq from a peer, or a delta received here with no qualifying
+	// baseline) widens it, and a long clean streak shrinks it back
+	// (see delta.go).
+	deltaWin   int
+	deltaClean int // baselines retained since the last repair
 	// fullEvery caps consecutive delta decisions (negative: deltas off);
 	// sinceFull counts deltas since the last full decision; forceFull
 	// makes the next decision ship the full oal regardless.
@@ -237,6 +245,7 @@ func New(self model.ProcessID, params model.Params, cfg Config) *Broadcast {
 		params:        params,
 		cfg:           cfg,
 		fullEvery:     fullEvery,
+		deltaWin:      minDeltaWindow,
 		view:          oal.NewList(),
 		pb:            make(map[oal.ProposalID]*wire.Proposal),
 		delivered:     make(map[oal.ProposalID]bool),
@@ -613,6 +622,28 @@ func (b *Broadcast) syncSettledTimeTS() {
 			b.maxSettledTimeTS = d.SendTS
 		}
 	}
+}
+
+// StillMissing filters ids down to the update bodies this process still
+// lacks: not delivered, not buffered, and not marked undeliverable. The
+// member layer calls it when a deferred nack comes due — bodies that
+// were merely in flight when the decision exposed them have landed by
+// then and drop out of the nack.
+func (b *Broadcast) StillMissing(ids []oal.ProposalID) []oal.ProposalID {
+	var out []oal.ProposalID
+	for _, id := range ids {
+		if b.delivered[id] {
+			continue
+		}
+		if _, ok := b.pb[id]; ok {
+			continue
+		}
+		if d := b.view.Find(id); d == nil || d.Undeliverable {
+			continue // truncated away or purged: no longer wanted
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 // OnNack returns the proposal bodies this process holds among those

@@ -28,7 +28,7 @@ import (
 //     BaseTS" covers every change since *any* later decision too. A
 //     receiver therefore overlays the delta onto its own newest
 //     pristine baseline whenever that baseline is at least as new as
-//     BaseTS — it may have missed up to deltaWindow-1 consecutive
+//     BaseTS — it may have missed up to ring-size-1 consecutive
 //     decisions and still apply the next one.
 //   - a receiver that fell further behind requests a baseline with an
 //     OALReq; the server answers with its newest pristine oal in an
@@ -40,10 +40,21 @@ import (
 
 const defaultFullOALEvery = 8
 
-// deltaWindow is how many pristine decision oals each process retains,
-// and thus how far back a delta may reach: a receiver that missed up to
-// deltaWindow-1 consecutive decisions still applies the next delta.
-const deltaWindow = 3
+// The baseline ring holds the pristine oals of the freshest few
+// decisions, and its size bounds how far back a delta may reach: a
+// receiver that missed up to size-1 consecutive decisions still applies
+// the next delta. The size adapts to the observed decision-loss rate:
+// every baseline repair — an OALReq from a peer that lost its baseline,
+// or a delta received here with no qualifying baseline — widens the
+// ring by one, so a lossier link tolerates a longer gap before paying a
+// full-oal round trip; deltaShrinkAfter consecutive repairs-free
+// baselines shrink it back toward the minimum, keeping the steady-state
+// retention (and Diff work against the oldest entry) small.
+const (
+	minDeltaWindow   = 3
+	maxDeltaWindow   = 8
+	deltaShrinkAfter = 256
+)
 
 // pristineView is one retained decision oal, exactly as it went over
 // the wire.
@@ -60,16 +71,42 @@ func (b *Broadcast) deltaEligible() bool {
 
 // ForceFullOAL makes this process's next decision carry the full oal.
 // The member layer calls it when an OALReq arrives: some peer lost the
-// baseline, and one full decision re-seeds everyone at once.
-func (b *Broadcast) ForceFullOAL() { b.forceFull = true }
+// baseline, and one full decision re-seeds everyone at once. Each
+// request is also a loss-rate observation — a peer fell more than
+// ring-size decisions behind — so the ring widens.
+func (b *Broadcast) ForceFullOAL() {
+	b.forceFull = true
+	b.noteBaselineRepair()
+}
+
+// DeltaWindow returns the current adaptive baseline-ring capacity.
+func (b *Broadcast) DeltaWindow() int { return b.deltaWin }
+
+// noteBaselineRepair records one baseline miss (ours or a peer's) and
+// widens the ring, buying lossier links a deeper reach before the next
+// full-oal round trip.
+func (b *Broadcast) noteBaselineRepair() {
+	b.deltaClean = 0
+	if b.deltaWin < maxDeltaWindow {
+		b.deltaWin++
+	}
+}
 
 // pushBaseline retains full (a pristine clone the caller hands over —
 // it must not be mutated afterwards) as the newest baseline at ts.
+// Every retained baseline without an intervening repair counts toward
+// shrinking an over-widened ring back down.
 func (b *Broadcast) pushBaseline(ts model.Time, full *oal.List) {
+	if b.deltaClean++; b.deltaClean >= deltaShrinkAfter {
+		b.deltaClean = 0
+		if b.deltaWin > minDeltaWindow {
+			b.deltaWin--
+		}
+	}
 	b.baseRing = append(b.baseRing, pristineView{ts: ts, view: full})
-	if len(b.baseRing) > deltaWindow {
-		copy(b.baseRing, b.baseRing[1:])
-		b.baseRing = b.baseRing[:deltaWindow]
+	if len(b.baseRing) > b.deltaWin {
+		n := copy(b.baseRing, b.baseRing[len(b.baseRing)-b.deltaWin:])
+		b.baseRing = b.baseRing[:n]
 	}
 }
 
@@ -142,6 +179,7 @@ func (b *Broadcast) ResolveDecisionDelta(dec *wire.Decision) bool {
 	full, ok := b.resolveDelta(dec.BaseTS, dec.TruncBelow, &dec.OAL)
 	if !ok {
 		b.stats.DeltaMisses++
+		b.noteBaselineRepair()
 		return false
 	}
 	dec.OAL = *full
@@ -161,6 +199,7 @@ func (b *Broadcast) ResolveNoDecisionDelta(nd *wire.NoDecision) bool {
 	full, ok := b.resolveDelta(nd.BaseTS, nd.TruncBelow, &nd.View)
 	if !ok {
 		b.stats.DeltaMisses++
+		b.noteBaselineRepair()
 		return false
 	}
 	nd.View = *full

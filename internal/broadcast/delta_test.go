@@ -1,0 +1,85 @@
+package broadcast
+
+import (
+	"testing"
+
+	"timewheel/internal/model"
+	"timewheel/internal/oal"
+	"timewheel/internal/wire"
+)
+
+// newDeltaTestBroadcast builds a bare broadcast layer for exercising
+// the baseline ring directly.
+func newDeltaTestBroadcast() *Broadcast {
+	params := model.DefaultParams(3)
+	b := New(1, params, Config{})
+	b.SetGroup(model.NewGroup(1, []model.ProcessID{0, 1, 2}))
+	return b
+}
+
+func TestDeltaWindowWidensOnRepairs(t *testing.T) {
+	b := newDeltaTestBroadcast()
+	if got := b.DeltaWindow(); got != minDeltaWindow {
+		t.Fatalf("initial window = %d, want %d", got, minDeltaWindow)
+	}
+	// Every OALReq-driven repair widens the ring by one, up to the cap.
+	for i := 0; i < maxDeltaWindow+3; i++ {
+		b.ForceFullOAL()
+	}
+	if got := b.DeltaWindow(); got != maxDeltaWindow {
+		t.Fatalf("window after repairs = %d, want clamp at %d", got, maxDeltaWindow)
+	}
+}
+
+func TestDeltaWindowWidensOnLocalMiss(t *testing.T) {
+	b := newDeltaTestBroadcast()
+	// A delta keyed on a baseline we do not hold: the resolve fails,
+	// counts a miss, and widens the window.
+	nd := &wire.NoDecision{}
+	nd.BaseTS = 500
+	nd.View = oal.List{}
+	if b.ResolveNoDecisionDelta(nd) {
+		t.Fatal("resolve succeeded with no baseline held")
+	}
+	if got := b.DeltaWindow(); got != minDeltaWindow+1 {
+		t.Fatalf("window after local miss = %d, want %d", got, minDeltaWindow+1)
+	}
+	if b.Stats().DeltaMisses != 1 {
+		t.Fatalf("DeltaMisses = %d, want 1", b.Stats().DeltaMisses)
+	}
+}
+
+func TestDeltaWindowShrinksAfterCleanStreakAndTrimsRing(t *testing.T) {
+	b := newDeltaTestBroadcast()
+	b.ForceFullOAL()
+	b.ForceFullOAL()
+	widened := b.DeltaWindow()
+	if widened != minDeltaWindow+2 {
+		t.Fatalf("window after two repairs = %d, want %d", widened, minDeltaWindow+2)
+	}
+	// Retain baselines with no further repairs: the ring fills to the
+	// widened size, then one clean streak shrinks the window and the
+	// next push trims the retained ring to match.
+	ts := model.Time(1000)
+	for i := 0; i < deltaShrinkAfter-1; i++ {
+		b.pushBaseline(ts, oal.NewList())
+		ts += 10
+	}
+	if got := b.DeltaWindow(); got != widened {
+		t.Fatalf("window shrank early: %d, want %d", got, widened)
+	}
+	if len(b.baseRing) > widened {
+		t.Fatalf("ring grew past the window: %d > %d", len(b.baseRing), widened)
+	}
+	b.pushBaseline(ts, oal.NewList()) // the deltaShrinkAfter-th clean push
+	if got := b.DeltaWindow(); got != widened-1 {
+		t.Fatalf("window after clean streak = %d, want %d", got, widened-1)
+	}
+	if len(b.baseRing) != widened-1 {
+		t.Fatalf("ring length after shrink = %d, want %d", len(b.baseRing), widened-1)
+	}
+	// The trim keeps the newest baselines.
+	if got := b.newestBaseline().ts; got != ts {
+		t.Fatalf("newest baseline ts = %d, want %d", got, ts)
+	}
+}

@@ -87,6 +87,28 @@ func NewAuditor(cfg AuditorConfig) *Auditor {
 	}
 }
 
+// ResetIncarnation clears the delivery- and view-ordering floors while
+// keeping the cumulative violation counters. Call it when the process
+// drops back to the join state: an excluded (or self-excluded) member
+// restarts its delivery stream through the join-time state transfer,
+// legitimately re-observing history it already delivered — the §3
+// per-node ordering guarantees are per membership incarnation, and
+// holding the old floors across the reset would report that replay as
+// FIFO/total-order violations. Cross-incarnation delivery continuity
+// is the application's Snapshot/Install contract, checked end-to-end
+// by check.LiveAll over the full histories instead.
+func (a *Auditor) ResetIncarnation() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	clear(a.lastSeq)
+	a.lastOrd = oal.None
+	a.lastTS, a.lastPr, a.anyTime = 0, 0, false
+	a.window = a.window[:0]
+	clear(a.seen)
+	a.wpos, a.tick = 0, 0
+	a.viewSeq, a.anyView = 0, false
+}
+
 // Violations returns the total violation count. Safe without the lock;
 // exported as timewheel_invariant_violations_total.
 func (a *Auditor) Violations() uint64 { return a.violations.Load() }

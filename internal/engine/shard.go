@@ -1,0 +1,205 @@
+package engine
+
+// Sharded worker-pool engine: the fabric's answer to "N groups, N event
+// loops, one core". A Pool owns a fixed set of shard goroutines; each
+// Sharded engine is pinned to exactly one shard, so everything the §3
+// proofs need from the single-threaded event loop still holds per
+// engine — all of one group's events are dispatched by one goroutine,
+// strictly FIFO, never concurrently — while different groups' engines
+// pinned to different shards run in parallel on different cores.
+//
+// The pool replaces the per-group dedicated goroutine with a shared
+// one, so a 64-group host runs GOMAXPROCS dispatch goroutines instead
+// of 64 mostly-idle ones, and a busy group can no longer be descheduled
+// behind 63 runnable siblings on a loaded box. The cost is head-of-line
+// blocking between groups sharing a shard; the fabric spreads groups
+// round-robin so the blocking is 1/shards of the old single-demux
+// serialization, not a new bottleneck.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of shard dispatch goroutines shared by many
+// Sharded engines. Create one per fabric node (or process), hand each
+// engine a shard index, and Close it after every engine has stopped.
+type Pool struct {
+	shards  []*shard
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// shard is one dispatch goroutine and its queue. Every event posted to
+// any engine pinned here flows through this one channel, so per-engine
+// dispatch is sequential by construction.
+type shard struct {
+	ch   chan shardItem
+	done chan struct{}
+}
+
+// shardItem is one queued unit: an event for an engine, or a stop
+// barrier (drain non-nil). Passed by value — posting allocates nothing.
+type shardItem struct {
+	eng   *Sharded
+	ev    Event
+	drain chan struct{}
+}
+
+// NewPool starts a pool of n shard goroutines with per-shard queue
+// depth depth (n <= 0: GOMAXPROCS; depth <= 0: 4096).
+func NewPool(n, depth int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 4096
+	}
+	p := &Pool{shards: make([]*shard, n)}
+	for i := range p.shards {
+		s := &shard{
+			ch:   make(chan shardItem, depth),
+			done: make(chan struct{}),
+		}
+		p.shards[i] = s
+		p.wg.Add(1)
+		go p.run(s)
+	}
+	return p
+}
+
+// Shards returns the number of shard goroutines.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+func (p *Pool) run(s *shard) {
+	defer p.wg.Done()
+	for {
+		select {
+		case it := <-s.ch:
+			exec(it)
+		case <-s.done:
+			// Drain whatever is already queued, then exit — the same
+			// shutdown contract as EventLoop.
+			for {
+				select {
+				case it := <-s.ch:
+					exec(it)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func exec(it shardItem) {
+	if it.drain != nil {
+		close(it.drain)
+		return
+	}
+	it.eng.queued.Add(-1)
+	it.eng.handler(it.ev)
+	it.eng.handled.Add(1)
+}
+
+// Close stops every shard goroutine after draining the queues. Call it
+// only after every engine created from the pool has been Stop'd;
+// posting to an engine of a closed pool returns false.
+func (p *Pool) Close() {
+	if p.stopped.Swap(true) {
+		return
+	}
+	for _, s := range p.shards {
+		close(s.done)
+	}
+	p.wg.Wait()
+}
+
+// Engine creates an engine pinned to shard idx (mod Shards) dispatching
+// to h. Engines pinned to the same shard serialize against each other;
+// engines on different shards run concurrently.
+func (p *Pool) Engine(idx int, h Handler) *Sharded {
+	if idx < 0 {
+		idx = -idx
+	}
+	return &Sharded{
+		pool:    p,
+		shard:   p.shards[idx%len(p.shards)],
+		handler: h,
+	}
+}
+
+// Sharded is one engine multiplexed onto a Pool shard. It implements
+// Engine with the same semantics as EventLoop — sequential FIFO
+// dispatch, non-blocking Post with drop accounting, Stop that drains —
+// except that the dispatch goroutine is shared with the other engines
+// on its shard.
+type Sharded struct {
+	pool    *Pool
+	shard   *shard
+	handler Handler
+	stopped atomic.Bool
+	handled atomic.Uint64
+	dropped atomic.Uint64
+	queued  atomic.Int64
+}
+
+// Post implements Engine. The queue bound is the shard's, so a slow
+// co-sharded engine can overflow it for everyone on the shard — the
+// same omission-failure semantics as a full EventLoop queue, surfaced
+// per engine in Dropped.
+func (e *Sharded) Post(ev Event) bool {
+	if e.stopped.Load() || e.pool.stopped.Load() {
+		return false
+	}
+	e.queued.Add(1)
+	select {
+	case e.shard.ch <- shardItem{eng: e, ev: ev}:
+		return true
+	default:
+		e.queued.Add(-1)
+		e.dropped.Add(1)
+		return false
+	}
+}
+
+// Stop implements Engine: it stops intake, then waits for every event
+// of this engine already queued on the shard to be dispatched (a
+// barrier item follows them through the same FIFO channel). Other
+// engines on the shard keep running. Must not be called from the
+// shard's own dispatch goroutine.
+func (e *Sharded) Stop() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	drained := make(chan struct{})
+	select {
+	case e.shard.ch <- shardItem{drain: drained}:
+		select {
+		case <-drained:
+		case <-e.shard.done:
+			// Pool closing concurrently: its drain loop will process the
+			// barrier (or already has); either way the queue empties.
+			<-drained
+		}
+	case <-e.shard.done:
+		// Pool already closing; Close's drain handles the backlog.
+	}
+}
+
+// Handled implements Engine.
+func (e *Sharded) Handled() uint64 { return e.handled.Load() }
+
+// Dropped implements Engine.
+func (e *Sharded) Dropped() uint64 { return e.dropped.Load() }
+
+// QueueLen implements Engine: this engine's share of the shard queue.
+func (e *Sharded) QueueLen() int {
+	if n := e.queued.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+var _ Engine = (*Sharded)(nil)

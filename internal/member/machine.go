@@ -82,6 +82,12 @@ const (
 	// TimerSlot fires at the start of each of this process's own time
 	// slots (join and reconfiguration sends).
 	TimerSlot
+	// TimerNack fires when queued missing-body nacks come due: a nack
+	// is deferred one delay bound past the decision that exposed the
+	// loss, so a body still in flight (broadcast concurrently with the
+	// decision covering it) lands instead of triggering a spurious
+	// group-wide nack/retransmission round.
+	TimerNack
 )
 
 func (t TimerID) String() string {
@@ -92,6 +98,8 @@ func (t TimerID) String() string {
 		return "decide"
 	case TimerSlot:
 		return "slot"
+	case TimerNack:
+		return "nack"
 	default:
 		return fmt.Sprintf("timer(%d)", uint8(t))
 	}
@@ -239,6 +247,10 @@ type Machine struct {
 	// lastOALReq rate-limits full-oal baseline requests per target: one
 	// OALReq per sender per D, however many unresolvable deltas arrive.
 	lastOALReq map[model.ProcessID]model.Time
+
+	// nackQ holds missing-body nacks deferred by the Delta grace (see
+	// TimerNack), in due order; the armed TimerNack tracks the head.
+	nackQ []nackEntry
 
 	// needState records an outstanding join-time state transfer: the
 	// admitting decision (a broadcast) can overtake the decider's State

@@ -88,19 +88,61 @@ func (m *Machine) OnMessage(msg wire.Message) {
 // buffered delta no-decisions resolve.
 func (m *Machine) onOALFull(of *wire.OALFull) {
 	adopted, missing := m.bc.InstallFullOAL(m.env.Now(), of)
-	if len(missing) > 0 {
-		// The nack continues the served baseline's causal chain: the
-		// losses it repairs belong to that decision's round.
-		m.broadcast(&wire.Nack{
-			Header:  wire.Header{From: m.self, SendTS: m.sendTS(), Ctx: m.causalOf(of.Header)},
-			Missing: missing,
-		})
-	}
+	// The nack continues the served baseline's causal chain: the
+	// losses it repairs belong to that decision's round.
+	m.queueNack(missing, m.causalOf(of.Header))
 	if adopted {
 		m.lastCausal = m.causalOf(of.Header)
 		for _, nd := range m.pendingND {
 			m.bc.ResolveNoDecisionDelta(nd)
 		}
+	}
+}
+
+// nackEntry is one deferred missing-body nack: the IDs a decision (or
+// served baseline) exposed as missing, the causal context of that
+// round, and when the Delta grace runs out.
+type nackEntry struct {
+	due model.Time
+	ctx wire.Causal
+	ids []oal.ProposalID
+}
+
+// queueNack defers a missing-body nack by one delay bound. The body of
+// an update ordered by a just-received decision is usually not lost —
+// it is in flight, broadcast by its proposer concurrently with the
+// decision that covers it — so nacking immediately turns delivery
+// jitter into a group-wide nack/retransmission round for nothing. Any
+// timely body lands within Delta of the decision; what is still
+// missing when the grace expires is nacked then. The grace is well
+// inside the D-scale repair budget the rate limits assume.
+func (m *Machine) queueNack(missing []oal.ProposalID, ctx wire.Causal) {
+	if len(missing) == 0 {
+		return
+	}
+	due := m.env.Now().Add(m.params.Delta)
+	m.nackQ = append(m.nackQ, nackEntry{due: due, ctx: ctx, ids: missing})
+	if len(m.nackQ) == 1 {
+		m.env.SetTimer(TimerNack, due)
+	}
+}
+
+// onNackTimer sends the due deferred nacks for bodies still missing and
+// re-arms for the queue head.
+func (m *Machine) onNackTimer() {
+	now := m.env.Now()
+	for len(m.nackQ) > 0 && m.nackQ[0].due <= now {
+		e := m.nackQ[0]
+		m.nackQ = m.nackQ[1:]
+		if still := m.bc.StillMissing(e.ids); len(still) > 0 {
+			m.broadcast(&wire.Nack{
+				Header:  wire.Header{From: m.self, SendTS: m.sendTS(), Ctx: e.ctx},
+				Missing: still,
+			})
+		}
+	}
+	if len(m.nackQ) > 0 {
+		m.env.SetTimer(TimerNack, m.nackQ[0].due)
 	}
 }
 
@@ -149,6 +191,8 @@ func (m *Machine) OnTimer(id TimerID) {
 	case TimerSlot:
 		m.onOwnSlot()
 		m.scheduleSlotTimer()
+	case TimerNack:
+		m.onNackTimer()
 	}
 }
 
@@ -172,14 +216,9 @@ func (m *Machine) onDecision(dec *wire.Decision) {
 		return
 	}
 	adopted, missing := m.bc.AdoptDecision(now, dec)
-	if len(missing) > 0 {
-		// The nack continues the decision's causal chain: the losses it
-		// exposes belong to that round.
-		m.broadcast(&wire.Nack{
-			Header:  wire.Header{From: m.self, SendTS: m.sendTS(), Ctx: m.causalOf(dec.Header)},
-			Missing: missing,
-		})
-	}
+	// The nack continues the decision's causal chain: the losses it
+	// exposes belong to that round.
+	m.queueNack(missing, m.causalOf(dec.Header))
 	if !adopted {
 		// Older than our log: no state meaning (stale decider or a
 		// wrong-suspicion retransmission we already have).
@@ -392,10 +431,20 @@ func (m *Machine) resetForJoin() {
 	m.bc.Reset()
 	m.seedSeq()
 	m.freezeAdvertisement()
+	// The delivered-set was just wiped: if hand-off resumed now, every
+	// update the group's retained oal still holds would reach the
+	// application a second time once we are re-admitted and adopt a
+	// decision. Defer deliveries past what freezeAdvertisement decided
+	// (a volatile excluded process advertises zero coverage) until the
+	// join-time transfer re-bases the application — ApplyState clears
+	// the deferral, as does forming a fresh lineage with no transfer due.
+	m.bc.DeferDeliveries(true)
 	m.needState = false
 	m.appliedStateSeq = 0
+	m.nackQ = nil // the wiped log makes the queued IDs meaningless
 	m.env.CancelTimer(TimerExpect)
 	m.env.CancelTimer(TimerDecide)
+	m.env.CancelTimer(TimerNack)
 	m.setState(StateJoin)
 }
 
@@ -753,12 +802,7 @@ func (m *Machine) sendDecision() {
 	m.stats.DecisionsSent++
 	m.setDecider(false)
 
-	if len(missing) > 0 {
-		m.broadcast(&wire.Nack{
-			Header:  wire.Header{From: m.self, SendTS: m.sendTS()},
-			Missing: missing,
-		})
-	}
+	m.queueNack(missing, wire.Causal{})
 	for _, j := range admitted {
 		ji := m.lastJoin[j]
 		m.unicast(j, m.bc.BuildState(dec.SendTS, ji.covered, ji.lineage))

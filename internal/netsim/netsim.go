@@ -89,6 +89,20 @@ type Stats struct {
 	Dropped    uint64
 	Late       uint64 // deliveries that exceeded delta
 	Duplicated uint64
+
+	// Datagrams counts kernel-crossing-equivalent transmissions: in
+	// per-event mode every Broadcast/Unicast call is one datagram; in
+	// slot-batch mode every flushed per-destination buffer is one, no
+	// matter how many frames it coalesced — the quantity syscall
+	// batching reduces.
+	Datagrams uint64
+	// MaxHold is the longest any frame sat in a slot-batch buffer
+	// before its flush; bounded by the slot length by construction.
+	MaxHold model.Duration
+	// LateFlushes counts frames flushed after the slot edge of the slot
+	// they were sent in — the honesty condition slot-batching must
+	// keep, so it must stay zero.
+	LateFlushes uint64
 }
 
 func newStats() Stats {
@@ -125,7 +139,33 @@ type Network struct {
 	partition map[model.ProcessID]int // partition id per process; all 0 = connected
 	filters   []Filter
 
+	// Slot-boundary micro-batching (EnableSlotBatch): outgoing frames
+	// accumulate in per-(sender, destination) buffers and transmit as
+	// one datagram at the sender's slot edge — the sim twin of the live
+	// node's Config.SlotBatch coalescing. batchCap is the byte bound
+	// that forces an early overflow flush.
+	batch    bool
+	batchCap int
+	pending  map[model.ProcessID]*senderQueue
+
 	stats Stats
+}
+
+// pendingFrame is one encoded frame held in a slot-batch buffer.
+type pendingFrame struct {
+	data []byte
+	orig wire.Message
+	at   model.Time // buffering time: hold and slot-edge accounting
+}
+
+// senderQueue holds one sender's un-flushed frames: the broadcast
+// buffer (keyed by model.NoProcess) plus per-destination unicast
+// buffers, mirroring the live node's coalescer layout.
+type senderQueue struct {
+	frames map[model.ProcessID][]pendingFrame
+	bytes  map[model.ProcessID]int
+	armed  bool // a slot-edge auto-flush is scheduled
+	urgent bool // an end-of-cascade flush is scheduled
 }
 
 // New creates a network over s with delivery delays drawn from delay and
@@ -169,6 +209,9 @@ func (n *Network) Stats() Stats {
 	out.Dropped = n.stats.Dropped
 	out.Late = n.stats.Late
 	out.Duplicated = n.stats.Duplicated
+	out.Datagrams = n.stats.Datagrams
+	out.MaxHold = n.stats.MaxHold
+	out.LateFlushes = n.stats.LateFlushes
 	return out
 }
 
@@ -185,7 +228,11 @@ func (n *Network) AddFilter(f Filter) { n.filters = append(n.filters, f) }
 func (n *Network) ClearFilters() { n.filters = nil }
 
 // Crash marks p crashed: it stops sending and receiving immediately.
-func (n *Network) Crash(p model.ProcessID) { n.crashed[p] = true }
+// Frames it had buffered for a slot-batch flush die with it.
+func (n *Network) Crash(p model.ProcessID) {
+	n.crashed[p] = true
+	delete(n.pending, p)
+}
 
 // Recover clears p's crashed state.
 func (n *Network) Recover(p model.ProcessID) { delete(n.crashed, p) }
@@ -215,6 +262,22 @@ func (n *Network) connected(a, b model.ProcessID) bool {
 // side (both sides of a delivery re-check this).
 func (n *Network) Connected(a, b model.ProcessID) bool { return n.connected(a, b) }
 
+// EnableSlotBatch turns on sender-side slot-boundary micro-batching:
+// frames buffer per (sender, destination) and transmit together at the
+// sender's next slot edge, or earlier when the buffer reaches capBytes
+// (<= 0: 60 KiB, the live coalescer's bound) or when the sender's
+// timer path flushes explicitly (FlushSender). Fault semantics stay
+// per-frame — only transmission time and the datagram count change —
+// so batched and per-event runs are comparable apples-to-apples.
+func (n *Network) EnableSlotBatch(capBytes int) {
+	if capBytes <= 0 {
+		capBytes = 60 << 10
+	}
+	n.batch = true
+	n.batchCap = capBytes
+	n.pending = make(map[model.ProcessID]*senderQueue)
+}
+
 // Broadcast sends m from its sender to every registered process except
 // the sender itself, applying crash, partition, filter, omission and
 // delay semantics per receiver.
@@ -229,6 +292,11 @@ func (n *Network) Broadcast(m wire.Message) {
 	if len(data) > n.stats.MaxBytes[m.Kind()] {
 		n.stats.MaxBytes[m.Kind()] = len(data)
 	}
+	if n.batch {
+		n.enqueue(from, model.NoProcess, data, m)
+		return
+	}
+	n.stats.Datagrams++
 	for _, to := range n.sortedDests() {
 		if to == from {
 			continue
@@ -260,7 +328,116 @@ func (n *Network) Unicast(to model.ProcessID, m wire.Message) {
 	if len(data) > n.stats.MaxBytes[m.Kind()] {
 		n.stats.MaxBytes[m.Kind()] = len(data)
 	}
+	if n.batch {
+		n.enqueue(from, to, data, m)
+		return
+	}
+	n.stats.Datagrams++
 	n.deliver(data, from, to, m)
+}
+
+// enqueue buffers an encoded frame in from's slot-batch queue for dest
+// (model.NoProcess = the broadcast buffer), then applies the flush
+// policy: only application proposal broadcasts are ever held across
+// events — control and repair frames (and unicasts: retransmissions,
+// state, served baselines) flush the queue as soon as the current
+// event cascade finishes, with the held frames riding along, because
+// the protocol's D-scale repair rate limits assume per-event latency
+// on them (holding nacks and retransmissions a slot turns every lost
+// body into a storm of re-nacks). The zero-delay flush event is the
+// sim twin of the live node's handler-end urgent flush: frames emitted
+// by one handler — a nack answered with several bodies, say — still
+// coalesce per destination. A buffer reaching batchCap flushes the
+// same way; otherwise the first held frame arms the slot-edge
+// auto-flush.
+func (n *Network) enqueue(from, dest model.ProcessID, data []byte, orig wire.Message) {
+	q := n.pending[from]
+	if q == nil {
+		q = &senderQueue{
+			frames: make(map[model.ProcessID][]pendingFrame),
+			bytes:  make(map[model.ProcessID]int),
+		}
+		n.pending[from] = q
+	}
+	now := n.sim.Now()
+	q.frames[dest] = append(q.frames[dest], pendingFrame{data: data, orig: orig, at: now})
+	q.bytes[dest] += len(data)
+	if orig.Kind() != wire.KindProposal || dest != model.NoProcess || q.bytes[dest] >= n.batchCap {
+		if !q.urgent {
+			q.urgent = true
+			n.sim.After(0, func() { n.flushIfUrgent(from) })
+		}
+		return
+	}
+	if !q.armed {
+		q.armed = true
+		// Auto-flush at the sender's slot edge: frames never outlive the
+		// slot they were sent in, keeping fdetect deadlines honest even
+		// if the sender's own timer path never fires a FlushSender.
+		edge := n.params.SlotStart(now).Add(n.params.SlotLen())
+		n.sim.After(edge.Sub(now), func() { n.FlushSender(from) })
+	}
+}
+
+// flushIfUrgent runs the scheduled end-of-cascade flush; a timer-path
+// FlushSender may already have shipped the queue, making it a no-op.
+func (n *Network) flushIfUrgent(p model.ProcessID) {
+	if q := n.pending[p]; q != nil && q.urgent {
+		n.FlushSender(p)
+	}
+}
+
+// FlushSender transmits every buffered frame p holds: one datagram per
+// non-empty destination buffer, each frame then delivered through the
+// normal per-frame fault machinery. The engine's timer path calls this
+// right after OnTimer — the sim twin of the live coalescer's
+// slot-boundary flush hook — and the armed slot-edge event backstops it.
+func (n *Network) FlushSender(p model.ProcessID) {
+	q := n.pending[p]
+	if q == nil {
+		return
+	}
+	delete(n.pending, p)
+	if n.crashed[p] {
+		return // buffered frames die with the sender
+	}
+	now := n.sim.Now()
+	for _, dest := range sortedQueueDests(q) {
+		frames := q.frames[dest]
+		if len(frames) == 0 {
+			continue
+		}
+		n.stats.Datagrams++
+		for _, f := range frames {
+			if hold := now.Sub(f.at); hold > n.stats.MaxHold {
+				n.stats.MaxHold = hold
+			}
+			if now > n.params.SlotStart(f.at).Add(n.params.SlotLen()) {
+				n.stats.LateFlushes++
+			}
+			if dest == model.NoProcess {
+				for _, to := range n.sortedDests() {
+					if to == p {
+						continue
+					}
+					n.deliver(f.data, p, to, f.orig)
+				}
+			} else {
+				n.deliver(f.data, p, dest, f.orig)
+			}
+		}
+	}
+}
+
+// sortedQueueDests orders a queue's destination buffers (broadcast
+// first) so flush-time event scheduling is deterministic.
+func sortedQueueDests(q *senderQueue) []model.ProcessID {
+	out := make([]model.ProcessID, 0, len(q.frames))
+	for d := range q.frames {
+		out = append(out, d)
+	}
+	slices.Sort(out)
+	return out
 }
 
 func (n *Network) deliver(data []byte, from, to model.ProcessID, orig wire.Message) {

@@ -85,6 +85,12 @@ type Options struct {
 	// with gossiped suspicions (member.Config.Surveillance) on every
 	// node. Zero keeps the all-to-all scheme.
 	SurveillanceK int
+	// SlotBatch enables sender-side slot-boundary micro-batching on the
+	// simulated network (netsim.EnableSlotBatch) — the sim twin of the
+	// live node's Config.SlotBatch coalescer. Frames buffer per
+	// destination and go out as one datagram at the sender's slot edge
+	// or its own timer tick, whichever is first.
+	SlotBatch bool
 }
 
 // ViewRecord is one installed membership view.
@@ -197,6 +203,9 @@ func NewCluster(opts Options) *Cluster {
 		Net:    netsim.New(s, opts.Params, opts.Delay, opts.Drop),
 		Params: opts.Params,
 		Opts:   opts,
+	}
+	if opts.SlotBatch {
+		c.Net.EnableSlotBatch(0)
 	}
 	for i := 0; i < opts.Params.N; i++ {
 		c.Nodes = append(c.Nodes, c.newNode(model.ProcessID(i)))
@@ -557,6 +566,11 @@ func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
 	n.timers[id] = n.cluster.Sim.After(delay, func() {
 		if !n.crashed {
 			n.machine.OnTimer(id)
+			// Timer-path flush hook (the live coalescer's contract):
+			// whatever the tick produced — no-decision votes, decisions,
+			// fdetect probes — leaves before the handler returns, so
+			// deadline-bearing traffic is never held to the slot edge.
+			n.cluster.Net.FlushSender(n.ID)
 		}
 	})
 }

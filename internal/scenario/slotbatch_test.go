@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"timewheel/internal/check"
+	"timewheel/internal/model"
+	"timewheel/internal/netsim"
+	"timewheel/internal/node"
+	"timewheel/internal/oal"
+)
+
+// runSlotBatchLoad wraps SlotBatchLoad for the tests: any unusable run
+// (group never formed, invariants violated) is fatal.
+func runSlotBatchLoad(t *testing.T, batch bool) (datagrams uint64, final netsim.Stats) {
+	t.Helper()
+	datagrams, final, err := SlotBatchLoad(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return datagrams, final
+}
+
+// TestSlotBatchDatagramReduction asserts the slot-batch coalescer's core
+// claim: under the same loaded steady state, transmitting at slot
+// boundaries instead of per event collapses the datagram count — while
+// never holding a frame past the slot edge it was sent in (the honesty
+// condition the failure detector's expectation deadlines rely on).
+func TestSlotBatchDatagramReduction(t *testing.T) {
+	perEvent, _ := runSlotBatchLoad(t, false)
+	batched, stats := runSlotBatchLoad(t, true)
+	t.Logf("datagrams over measurement window: per-event=%d batched=%d (%.1f%%), max hold %v of slot %v",
+		perEvent, batched, 100*float64(batched)/float64(perEvent),
+		stats.MaxHold, model.DefaultParams(5).SlotLen())
+	if stats.LateFlushes != 0 {
+		t.Fatalf("%d frames flushed past their slot edge, want 0", stats.LateFlushes)
+	}
+	if slot := model.DefaultParams(5).SlotLen(); stats.MaxHold > slot {
+		t.Fatalf("max buffer hold %v exceeds the slot length %v", stats.MaxHold, slot)
+	}
+	if batched > perEvent/2 {
+		t.Fatalf("slot batching sent %d datagrams, want ≤50%% of per-event's %d", batched, perEvent)
+	}
+}
+
+// TestSlotBatchChaos runs the coalescer under an adverse network — drops,
+// duplicates, heavy-tailed delays, and a mid-run crash+recovery that
+// discards buffered frames with their sender — and requires that the
+// honesty condition and every protocol invariant still hold.
+func TestSlotBatchChaos(t *testing.T) {
+	const n = 5
+	sem := oal.Semantics{Order: oal.TotalOrder, Atomicity: oal.StrongAtomicity}
+	params := model.DefaultParams(n)
+	c := node.NewCluster(node.Options{
+		Seed:          7,
+		Params:        params,
+		PerfectClocks: true,
+		SlotBatch:     true,
+		Drop:          0.02,
+		Delay:         netsim.HeavyTailDelay(params.Delta/10, params.Delta/2, 0.02, 3),
+	})
+	c.Net.SetDuplicateProb(0.01)
+	c.Start()
+	if _, ok := runUntil(c, 10, func() bool { return agreedOn(c, allIDs(n)) }); !ok {
+		t.Fatal("initial group never formed")
+	}
+	seq := 0
+	victim := model.ProcessID(n - 1)
+	for phase := 0; phase < 3; phase++ {
+		for s := 0; s < 10*n; s++ {
+			for i := 0; i < 5; i++ {
+				who := model.ProcessID(seq % n)
+				if !c.Crashed(who) {
+					c.Node(who).Propose([]byte(fmt.Sprintf("chaos-%04d", seq)), sem)
+				}
+				seq++
+			}
+			c.Run(c.Params.SlotLen())
+		}
+		switch phase {
+		case 0:
+			// Crash with frames plausibly buffered: they die with the
+			// sender instead of leaking a posthumous flush.
+			c.Crash(victim)
+		case 1:
+			c.Recover(victim)
+		}
+	}
+	if _, ok := runUntil(c, 30, func() bool { return agreedOn(c, allIDs(n)) }); !ok {
+		t.Fatal("group never re-admitted the recovered member")
+	}
+	c.Run(cyclesDur(c, 6))
+	stats := c.Net.Stats()
+	if stats.LateFlushes != 0 {
+		t.Fatalf("%d frames flushed past their slot edge under chaos, want 0", stats.LateFlushes)
+	}
+	if stats.MaxHold > params.SlotLen() {
+		t.Fatalf("max buffer hold %v exceeds the slot length %v", stats.MaxHold, params.SlotLen())
+	}
+	if res := check.All(c); !res.OK() {
+		t.Fatalf("invariants violated under slot-batch chaos: %v", res)
+	}
+}

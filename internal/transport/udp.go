@@ -14,20 +14,32 @@ import (
 // keeps bounded.
 const maxDatagram = 64 * 1024
 
+// BatchMsg is one destination/datagram pair for SendBatch.
+type BatchMsg struct {
+	To   model.ProcessID
+	Data []byte
+}
+
 // UDP is a Transport over stdlib UDP sockets, one socket per process,
 // mirroring the paper's Unix UDP deployment. "Broadcast" is realised as
 // iterated unicast to the configured peer addresses, which behaves
 // identically at the protocol level (the paper's Ethernet broadcast is
 // an optimisation, not a semantic requirement).
+//
+// On linux/amd64 and linux/arm64 the send and receive paths use
+// sendmmsg/recvmmsg so a flush of K datagrams is one kernel crossing;
+// everywhere else the portable one-syscall-per-datagram path is used.
 type UDP struct {
 	self  model.ProcessID
 	conn  *net.UDPConn
 	peers map[model.ProcessID]*net.UDPAddr
 
-	mu     sync.Mutex
-	recv   Receiver
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	recv     Receiver
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	sendErrs atomic.Uint64
+	mm       mmsgState
 }
 
 // NewUDP binds the socket for process self at addrs[self] and remembers
@@ -61,6 +73,7 @@ func NewUDP(self model.ProcessID, addrs map[model.ProcessID]string) (*UDP, error
 		}
 		u.peers[id] = ua
 	}
+	u.initBatch() // platform hook: pre-resolves sockaddrs for the mmsg path
 	u.wg.Add(1)
 	go u.readLoop()
 	return u, nil
@@ -75,8 +88,10 @@ var recvBufs = sync.Pool{
 	},
 }
 
-func (u *UDP) readLoop() {
-	defer u.wg.Done()
+// readLoopGeneric is the portable receive path: one ReadFromUDP syscall
+// per datagram. The linux readLoop falls back to it when the raw
+// descriptor is unavailable.
+func (u *UDP) readLoopGeneric() {
 	for {
 		bp := recvBufs.Get().(*[]byte)
 		n, _, err := u.conn.ReadFromUDP(*bp)
@@ -110,18 +125,56 @@ func (u *UDP) SetReceiver(r Receiver) {
 	u.mu.Unlock()
 }
 
-// Broadcast implements Transport.
+// Broadcast implements Transport. Omission failures are part of the
+// model: per-peer send errors are counted in SendErrors, not fatal.
 func (u *UDP) Broadcast(data []byte) error {
 	if u.closed.Load() {
 		return ErrClosed
 	}
+	u.broadcastImpl(data)
+	return nil
+}
+
+func (u *UDP) broadcastGeneric(data []byte) {
 	for _, addr := range u.peers {
-		// Omission failures are part of the model: per-peer send errors
-		// are deliberately not fatal.
-		u.conn.WriteToUDP(data, addr) //nolint:errcheck
+		if _, err := u.conn.WriteToUDP(data, addr); err != nil {
+			u.sendErrs.Add(1)
+		}
+	}
+}
+
+// SendBatch sends each datagram to its destination, batching the whole
+// flush into as few syscalls as the platform allows (one sendmmsg on
+// linux). Per-destination failures are omissions: counted in
+// SendErrors, never fatal. The Data slices are only borrowed for the
+// duration of the call.
+func (u *UDP) SendBatch(msgs []BatchMsg) error {
+	if u.closed.Load() {
+		return ErrClosed
+	}
+	return u.sendBatchImpl(msgs)
+}
+
+func (u *UDP) sendBatchGeneric(msgs []BatchMsg) error {
+	for i := range msgs {
+		if len(msgs[i].Data) == 0 {
+			continue
+		}
+		addr, ok := u.peers[msgs[i].To]
+		if !ok {
+			u.sendErrs.Add(1)
+			continue
+		}
+		if _, err := u.conn.WriteToUDP(msgs[i].Data, addr); err != nil {
+			u.sendErrs.Add(1)
+		}
 	}
 	return nil
 }
+
+// SendErrors reports how many datagram sends have failed since the
+// transport was created (per-peer write errors and batch-send skips).
+func (u *UDP) SendErrors() uint64 { return u.sendErrs.Load() }
 
 // Unicast implements Transport.
 func (u *UDP) Unicast(to model.ProcessID, data []byte) error {
@@ -130,9 +183,13 @@ func (u *UDP) Unicast(to model.ProcessID, data []byte) error {
 	}
 	addr, ok := u.peers[to]
 	if !ok {
+		u.sendErrs.Add(1)
 		return fmt.Errorf("transport: unknown peer %v", to)
 	}
 	_, err := u.conn.WriteToUDP(data, addr)
+	if err != nil {
+		u.sendErrs.Add(1)
+	}
 	return err
 }
 

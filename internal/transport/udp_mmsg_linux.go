@@ -1,0 +1,269 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+// Batched UDP syscalls: sendmmsg/recvmmsg via raw Syscall6 against the
+// netpoller-managed descriptor. A flush of K destination datagrams is
+// one kernel crossing instead of K, and the receive loop drains up to
+// mmsgRecvBatch datagrams per wakeup into pooled buffers (preserving
+// the Receiver on-loan contract). Restricted to 64-bit linux because
+// struct mmsghdr's layout below hard-codes the 8-byte-aligned msghdr;
+// everywhere else udp_mmsg_other.go provides the portable fallback.
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"timewheel/internal/model"
+)
+
+// mmsgRecvBatch is how many datagrams one recvmmsg call may drain. The
+// buffers are pinned out of recvBufs for the life of the read loop, so
+// the batch is kept modest.
+const mmsgRecvBatch = 16
+
+// mmsgHdr mirrors linux struct mmsghdr on 64-bit targets: a msghdr
+// (56 bytes, 8-aligned) followed by the kernel-written msg_len and
+// tail padding to the 64-byte stride sendmmsg expects.
+type mmsgHdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// rawSockaddr is a pre-resolved peer address in kernel wire form, built
+// once at transport creation so the send path never converts (or
+// allocates) per datagram.
+type rawSockaddr struct {
+	buf  [syscall.SizeofSockaddrInet6]byte
+	size uint32
+}
+
+type mmsgState struct {
+	rc syscall.RawConn
+	sa map[model.ProcessID]*rawSockaddr
+
+	mu      sync.Mutex
+	hdrs    []mmsgHdr
+	iovs    []syscall.Iovec
+	bcast   []BatchMsg
+	off     int
+	cnt     int
+	writeFn func(fd uintptr) bool
+}
+
+func (u *UDP) initBatch() {
+	rc, err := u.conn.SyscallConn()
+	if err != nil {
+		return // mm.rc stays nil: generic paths take over
+	}
+	m := &u.mm
+	// A wildcard or v6 bind means an AF_INET6 socket: peers must be
+	// addressed with v4-mapped v6 sockaddrs or the kernel rejects them.
+	v6 := false
+	if la, ok := u.conn.LocalAddr().(*net.UDPAddr); ok {
+		v6 = la.IP.To4() == nil
+	}
+	m.sa = make(map[model.ProcessID]*rawSockaddr, len(u.peers))
+	for id, a := range u.peers {
+		if ra := rawAddrOf(a, v6); ra != nil {
+			m.sa[id] = ra
+		}
+	}
+	m.rc = rc
+	// The one closure the hot path needs, allocated once. It advances
+	// m.off across partial sends; returning false on EAGAIN parks the
+	// goroutine on the netpoller until the socket is writable again.
+	m.writeFn = func(fd uintptr) bool {
+		for m.off < m.cnt {
+			r, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&m.hdrs[m.off])), uintptr(m.cnt-m.off), 0, 0, 0)
+			switch errno {
+			case 0:
+				m.off += int(r)
+			case syscall.EINTR:
+				// retry
+			case syscall.EAGAIN:
+				return false
+			default:
+				// Per-datagram failure (e.g. unreachable): omission
+				// semantics — count, skip it, keep the rest moving.
+				u.sendErrs.Add(1)
+				m.off++
+			}
+		}
+		return true
+	}
+}
+
+func rawAddrOf(a *net.UDPAddr, v6 bool) *rawSockaddr {
+	r := &rawSockaddr{}
+	if ip4 := a.IP.To4(); ip4 != nil && !v6 {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&r.buf[0]))
+		sa.Family = syscall.AF_INET
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(a.Port>>8), byte(a.Port)
+		copy(sa.Addr[:], ip4)
+		r.size = syscall.SizeofSockaddrInet4
+		return r
+	}
+	if ip16 := a.IP.To16(); ip16 != nil {
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&r.buf[0]))
+		sa.Family = syscall.AF_INET6
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(a.Port>>8), byte(a.Port)
+		copy(sa.Addr[:], ip16)
+		// Zoned (link-local) addresses are not supported on the fast
+		// path; those peers fall back to WriteToUDP.
+		if a.Zone != "" {
+			return nil
+		}
+		r.size = syscall.SizeofSockaddrInet6
+		return r
+	}
+	return nil
+}
+
+func (u *UDP) sendBatchImpl(msgs []BatchMsg) error {
+	m := &u.mm
+	if m.rc == nil {
+		return u.sendBatchGeneric(msgs)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := u.sendBatchLocked(msgs)
+	runtime.KeepAlive(msgs)
+	return err
+}
+
+func (u *UDP) sendBatchLocked(msgs []BatchMsg) error {
+	m := &u.mm
+	if cap(m.hdrs) < len(msgs) {
+		m.hdrs = make([]mmsgHdr, len(msgs))
+		m.iovs = make([]syscall.Iovec, len(msgs))
+	}
+	k := 0
+	for i := range msgs {
+		if len(msgs[i].Data) == 0 {
+			continue
+		}
+		ra := m.sa[msgs[i].To]
+		if ra == nil {
+			// No pre-resolved kernel sockaddr (unknown peer or zoned
+			// address): portable per-datagram path, which also counts
+			// the error if it fails.
+			u.Unicast(msgs[i].To, msgs[i].Data) //nolint:errcheck
+			continue
+		}
+		iov := &m.iovs[k]
+		iov.Base = &msgs[i].Data[0]
+		iov.Len = uint64(len(msgs[i].Data))
+		h := &m.hdrs[k]
+		*h = mmsgHdr{}
+		h.hdr.Name = &ra.buf[0]
+		h.hdr.Namelen = ra.size
+		h.hdr.Iov = iov
+		h.hdr.Iovlen = 1
+		k++
+	}
+	if k == 0 {
+		return nil
+	}
+	m.off, m.cnt = 0, k
+	if err := m.rc.Write(m.writeFn); err != nil {
+		// Whole-call failure (socket closed): everything unsent is lost.
+		u.sendErrs.Add(uint64(m.cnt - m.off))
+		return err
+	}
+	return nil
+}
+
+func (u *UDP) broadcastImpl(data []byte) {
+	m := &u.mm
+	if m.rc == nil || len(u.peers) < 2 {
+		u.broadcastGeneric(data)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.bcast[:0]
+	for id := range u.peers {
+		b = append(b, BatchMsg{To: id, Data: data})
+	}
+	m.bcast = b
+	u.sendBatchLocked(b) //nolint:errcheck
+	runtime.KeepAlive(data)
+}
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	if u.mm.rc == nil {
+		u.readLoopGeneric()
+		return
+	}
+	var (
+		bufs  [mmsgRecvBatch]*[]byte
+		hdrs  [mmsgRecvBatch]mmsgHdr
+		iovs  [mmsgRecvBatch]syscall.Iovec
+		names [mmsgRecvBatch]rawSockaddr
+	)
+	for i := range bufs {
+		bufs[i] = recvBufs.Get().(*[]byte)
+		iovs[i].Base = &(*bufs[i])[0]
+		iovs[i].Len = maxDatagram
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+		hdrs[i].hdr.Name = &names[i].buf[0]
+		hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+	}
+	defer func() {
+		for i := range bufs {
+			recvBufs.Put(bufs[i])
+		}
+	}()
+	got := 0
+	readFn := func(fd uintptr) bool {
+		for {
+			r, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), mmsgRecvBatch,
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch errno {
+			case 0:
+				got = int(r)
+				return true
+			case syscall.EINTR:
+				// retry
+			case syscall.EAGAIN:
+				return false // park on the netpoller until readable
+			default:
+				got = -1
+				return true
+			}
+		}
+	}
+	for {
+		got = 0
+		err := u.mm.rc.Read(readFn)
+		if err != nil || got < 0 {
+			if u.closed.Load() {
+				return
+			}
+			continue // transient error: UDP is allowed to lose anyway
+		}
+		u.mu.Lock()
+		r := u.recv
+		u.mu.Unlock()
+		for i := 0; i < got; i++ {
+			n := int(hdrs[i].n)
+			hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6 // kernel shrank it
+			if r != nil && n > 0 {
+				// Same on-loan contract as the generic loop: the buffer
+				// is only borrowed for the duration of the call.
+				r((*bufs[i])[:n])
+			}
+		}
+	}
+}

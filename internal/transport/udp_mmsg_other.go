@@ -1,0 +1,19 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+// Portable fallback for platforms without the sendmmsg/recvmmsg fast
+// path: one syscall per datagram, identical semantics.
+
+type mmsgState struct{}
+
+func (u *UDP) initBatch() {}
+
+func (u *UDP) sendBatchImpl(msgs []BatchMsg) error { return u.sendBatchGeneric(msgs) }
+
+func (u *UDP) broadcastImpl(data []byte) { u.broadcastGeneric(data) }
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	u.readLoopGeneric()
+}

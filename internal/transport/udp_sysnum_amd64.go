@@ -1,0 +1,7 @@
+//go:build linux
+
+package transport
+
+// sendmmsg arrived after the stdlib syscall number table froze, so the
+// number is spelled out per arch (x86_64 table).
+const sysSENDMMSG = 307

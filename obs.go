@@ -111,6 +111,10 @@ type nodeObs struct {
 	recvDrops *obs.Counter
 	peerDelay []*obs.Histogram // indexed by peer ID
 
+	// Slot-boundary micro-batching (Config.SlotBatch; zero otherwise).
+	slotbatchHeld    *obs.Counter
+	slotbatchFlushes *obs.Counter
+
 	// Durable (live).
 	fsyncLat   *obs.Histogram
 	snapBytes  *obs.Histogram
@@ -231,6 +235,19 @@ func newNodeObs(n *Node) *nodeObs {
 	o.recvs = r.Counter("timewheel_transport_recvs_total", "frames decoded from the transport", nil)
 	o.recvDrops = r.Counter("timewheel_transport_recv_drops_total",
 		"received frames dropped (corrupt, or engine queue full)", nil)
+	r.CounterFunc("timewheel_transport_send_errors_total",
+		"datagram sends that failed (per-peer write errors; omissions are in-model but no longer invisible)", nil,
+		func() uint64 {
+			v := n.sendErrs.Load()
+			if n.trSendErrs != nil {
+				v += n.trSendErrs()
+			}
+			return v
+		})
+	o.slotbatchHeld = r.Counter("timewheel_slotbatch_held_events_total",
+		"reactive events whose coalesced frames were held for a timer-path flush (SlotBatch mode)", nil)
+	o.slotbatchFlushes = r.Counter("timewheel_slotbatch_flushes_total",
+		"slot-edge backstop flushes fired (SlotBatch mode)", nil)
 
 	// Trace-ring overflow accounting (process-wide ring, so multi-node
 	// processes report the same number per node) and the live invariant

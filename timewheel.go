@@ -122,6 +122,44 @@ type Transport interface {
 	Close() error
 }
 
+// BatchMessage is one destination/datagram pair for BatchSender.
+type BatchMessage struct {
+	To   int
+	Data []byte
+}
+
+// BatchSender is an optional Transport extension: ship a whole flush of
+// per-destination datagrams in as few syscalls as the platform allows
+// (one sendmmsg on linux). Data slices are only borrowed for the call.
+// Per-destination failures are omissions — counted by the transport,
+// never fatal. Nodes use it automatically when the transport provides
+// it; NewUDPTransport's transport does.
+type BatchSender interface {
+	SendBatch(msgs []BatchMessage) error
+}
+
+// EnginePool is a shared worker pool for event dispatch: a fixed set of
+// shard goroutines that many nodes' engines multiplex onto via
+// Config.Pool/PoolShard. One pool per process (or per fabric node)
+// replaces N mostly-idle per-group goroutines with GOMAXPROCS busy
+// ones; each node's dispatch remains strictly sequential on its shard.
+// Close only after every node using the pool has stopped.
+type EnginePool struct {
+	p *engine.Pool
+}
+
+// NewEnginePool starts a pool with the given shard count (<= 0:
+// GOMAXPROCS).
+func NewEnginePool(shards int) *EnginePool {
+	return &EnginePool{p: engine.NewPool(shards, 4096)}
+}
+
+// Shards returns the pool's shard count.
+func (ep *EnginePool) Shards() int { return ep.p.Shards() }
+
+// Close stops the shard goroutines after draining their queues.
+func (ep *EnginePool) Close() { ep.p.Close() }
+
 // Config configures a Node.
 type Config struct {
 	// ID is this node's team identifier, 0..ClusterSize-1.
@@ -176,6 +214,29 @@ type Config struct {
 	// "threaded" (the thread-per-event-type architecture they measured
 	// and rejected; kept runnable for comparison).
 	Engine string
+	// Pool, when set, runs this node's event dispatch on one shard of
+	// the shared worker pool instead of a dedicated goroutine — the
+	// multi-group fabric's scheduler. Dispatch stays strictly
+	// sequential per node (the §3 proofs depend on it); only nodes
+	// pinned to different shards run in parallel. Requires Engine ""
+	// or "loop". PoolShard selects the shard (taken mod Shards).
+	Pool      *EnginePool
+	PoolShard int
+	// SlotBatch turns on slot-boundary micro-batching: application
+	// proposal broadcasts coalesced while handling non-timer events are
+	// held and shipped when the next timer-path event or control frame
+	// flushes — at the latest at the wheel-slot edge, enforced by a
+	// dedicated flush timer. Timer-path events (decisions,
+	// no-decisions, expectation handling — all the deadline-bearing
+	// traffic fdetect times) flush immediately, so expectation
+	// deadlines stay honest; so do control and repair frames (nacks,
+	// retransmissions, state, gossip), whose latency the protocol's
+	// D-scale repair rate limits assume — held frames ride those
+	// flushes for free. Only application payload broadcasts, the
+	// highest-volume stream under load, ever wait, and at most one
+	// slot. Cuts steady-state datagrams per decision under saturating
+	// proposal loads.
+	SlotBatch bool
 	// Group, when nonzero, tags every outgoing datagram with this
 	// group-id (the wire v6 grouped envelope) and accepts only incoming
 	// datagrams carrying it — the per-group half of the multi-group
@@ -396,6 +457,26 @@ type Node struct {
 	coUni   map[int]*wire.Coalescer
 	coDests []int
 
+	// Batched syscall path (set when the transport is a BatchSender):
+	// flushSends ships all pending unicast datagrams through one
+	// SendBatch call into batchBuf's reused backing array.
+	batch    BatchSender
+	batchBuf []BatchMessage
+
+	// Slot-boundary micro-batching (Config.SlotBatch). flushArmed is
+	// event-loop confined; flushTimer is guarded by mu (armed from the
+	// loop, stopped from Stop). sendErrs counts whole-flush failures
+	// for transports that do not track their own send errors;
+	// trSendErrs reads the transport's counter when it does.
+	flushArmed bool
+	// flushUrgent marks that the event being handled emitted a control
+	// or repair frame: the handler-end flush runs even in SlotBatch
+	// mode (event-loop confined, cleared by flushSends).
+	flushUrgent bool
+	flushTimer  *time.Timer
+	sendErrs   atomic.Uint64
+	trSendErrs func() uint64
+
 	mu      sync.Mutex
 	timers  map[member.TimerID]*time.Timer
 	stopped bool
@@ -512,6 +593,10 @@ func NewNode(cfg Config) (*Node, error) {
 		coUni:  make(map[int]*wire.Coalescer),
 	}
 	n.coBcast.SetGroup(cfg.Group)
+	n.batch, _ = cfg.Transport.(BatchSender)
+	if se, ok := cfg.Transport.(interface{ SendErrors() uint64 }); ok {
+		n.trSendErrs = se.SendErrors
+	}
 	n.obs = newNodeObs(n)
 	if n.bboxDir = cfg.BlackboxDir; n.bboxDir == "" && cfg.DataDir != "" {
 		n.bboxDir = filepath.Join(cfg.DataDir, "blackbox")
@@ -637,6 +722,13 @@ func NewNode(cfg Config) (*Node, error) {
 		Hooks: member.Hooks{
 			StateChange: func(from, to member.State, _ model.Time) {
 				n.obs.onStateChange(from, to)
+				if to == member.StateJoin && from != member.StateJoin {
+					// Dropping back to join restarts the delivery stream
+					// (the broadcast layer resets; the join-time transfer
+					// re-establishes it): the auditor's ordering floors
+					// restart with it.
+					n.auditor.ResetIncarnation()
+				}
 			},
 			Suspicion: func(suspect model.ProcessID, deadline, now model.Time) {
 				n.obs.onSuspicion(suspect, deadline, now)
@@ -730,10 +822,15 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.obs.registerAdaptive(n)
 
-	switch cfg.Engine {
-	case "", "loop":
+	switch {
+	case cfg.Pool != nil:
+		if cfg.Engine != "" && cfg.Engine != "loop" {
+			return nil, fmt.Errorf("timewheel: Engine %q cannot combine with Pool (sharded dispatch is loop-semantics)", cfg.Engine)
+		}
+		n.loop = cfg.Pool.p.Engine(cfg.PoolShard, n.handle)
+	case cfg.Engine == "" || cfg.Engine == "loop":
 		n.loop = engine.NewEventLoop(n.handle, 4096)
-	case "threaded":
+	case cfg.Engine == "threaded":
 		n.loop = engine.NewThreaded(n.handle, 512)
 	default:
 		return nil, fmt.Errorf("timewheel: unknown engine %q (want \"loop\" or \"threaded\")", cfg.Engine)
@@ -918,7 +1015,18 @@ func (n *Node) handle(ev engine.Event) {
 		g.NoteTimerFired(start, ev.Due)
 	}
 	n.dispatch(ev)
-	n.flushSends()
+	// Slot-boundary micro-batching: timer-path events (Due set) carry
+	// the deadline-bearing traffic and always flush, as does any event
+	// that emitted a control or repair frame (flushUrgent); only
+	// application proposal broadcasts are held for the next flush —
+	// bounded by the slot-edge flush timer, so nothing crosses a slot
+	// boundary.
+	if !n.cfg.SlotBatch || !ev.Due.IsZero() || n.flushUrgent {
+		n.flushSends()
+	} else if n.coBcast.Count() > 0 || len(n.coDests) > 0 {
+		n.obs.slotbatchHeld.Inc()
+		n.armFlushTimer()
+	}
 	end := time.Now()
 	n.obs.handlerLatency.ObserveDuration(end.Sub(start))
 	if g != nil {
@@ -1025,6 +1133,9 @@ func (n *Node) Stop() {
 	n.stopped = true
 	for _, t := range n.timers {
 		t.Stop()
+	}
+	if n.flushTimer != nil {
+		n.flushTimer.Stop()
 	}
 	n.mu.Unlock()
 	n.loop.Stop()
@@ -1303,6 +1414,12 @@ func (e *nodeEnv) Broadcast(m wire.Message) {
 		return // tripped under Enforce: a fail-aware process goes silent
 	}
 	n.obs.sends.Inc()
+	if m.Kind() != wire.KindProposal {
+		// Control frames keep per-event latency (SlotBatch holds only
+		// application payload broadcasts): flush at handler end, with
+		// whatever was held riding along.
+		n.flushUrgent = true
+	}
 	if !n.coBcast.TryAppend(m) {
 		n.flushBroadcast()
 		n.coBcast.TryAppend(m)
@@ -1315,6 +1432,9 @@ func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
 		return
 	}
 	n.obs.sends.Inc()
+	// Unicasts are repair and transfer traffic (retransmissions, state,
+	// served baselines) — never held; see Broadcast.
+	n.flushUrgent = true
 	dst := int(to)
 	c := n.coUni[dst]
 	if c == nil {
@@ -1338,23 +1458,104 @@ func (e *nodeEnv) Unicast(to model.ProcessID, m wire.Message) {
 // fanned out by the transport with no per-peer copies.
 func (n *Node) flushBroadcast() {
 	if d := n.coBcast.Datagram(); d != nil {
-		n.tr.Broadcast(d) //nolint:errcheck // omission failures are in-model
+		// Omission failures are in-model; count them for /metrics when
+		// the transport does not track its own.
+		if err := n.tr.Broadcast(d); err != nil && n.trSendErrs == nil {
+			n.sendErrs.Add(1)
+		}
 	}
 	n.coBcast.Reset()
 }
 
-// flushSends ships every datagram coalesced during the event just
-// dispatched: one broadcast, then one datagram per unicast destination.
+// flushSends ships every datagram coalesced since the last flush: one
+// broadcast, then one datagram per unicast destination — through a
+// single SendBatch syscall when the transport can batch and more than
+// one destination is pending.
 func (n *Node) flushSends() {
+	n.flushUrgent = false
 	n.flushBroadcast()
+	if len(n.coDests) == 0 {
+		return
+	}
+	if n.batch != nil && len(n.coDests) > 1 {
+		msgs := n.batchBuf[:0]
+		for _, dst := range n.coDests {
+			c := n.coUni[dst]
+			if d := c.Datagram(); d != nil {
+				msgs = append(msgs, BatchMessage{To: dst, Data: d})
+			}
+		}
+		if len(msgs) > 0 {
+			if err := n.batch.SendBatch(msgs); err != nil && n.trSendErrs == nil {
+				n.sendErrs.Add(uint64(len(msgs)))
+			}
+		}
+		// The coalescers' buffers were only borrowed by SendBatch;
+		// reset them after the call returns.
+		for _, dst := range n.coDests {
+			n.coUni[dst].Reset()
+		}
+		n.batchBuf = msgs[:0]
+		n.coDests = n.coDests[:0]
+		return
+	}
 	for _, dst := range n.coDests {
 		c := n.coUni[dst]
 		if d := c.Datagram(); d != nil {
-			n.tr.Unicast(dst, d) //nolint:errcheck // omission failures are in-model
+			if err := n.tr.Unicast(dst, d); err != nil && n.trSendErrs == nil {
+				n.sendErrs.Add(1)
+			}
 		}
 		c.Reset()
 	}
 	n.coDests = n.coDests[:0]
+}
+
+// armFlushTimer schedules the slot-edge flush backstop (event-loop
+// context, SlotBatch mode): if no timer-path event flushes first, the
+// pending frames ship when the current wheel slot ends. One armed
+// timer at a time; a timer-path flush before the edge leaves it to
+// fire as a harmless empty flush.
+func (n *Node) armFlushTimer() {
+	if n.flushArmed {
+		return
+	}
+	n.flushArmed = true
+	now := model.Time(time.Now().UnixMicro())
+	edge := n.params.SlotStart(now).Add(n.params.SlotLen())
+	delay := time.Duration(edge-now) * time.Microsecond
+	if delay < 0 {
+		delay = 0
+	}
+	due := time.Now().Add(delay)
+	n.mu.Lock()
+	if !n.stopped {
+		n.flushTimer = time.AfterFunc(delay, func() { n.postFlush(due) })
+	}
+	n.mu.Unlock()
+}
+
+// postFlush posts the slot-edge flush event. Like postTimer it must not
+// be lost to a full queue — stranded frames would sit until the next
+// reactive event — so it retries on a short backoff, keeping the
+// original deadline.
+func (n *Node) postFlush(due time.Time) {
+	if n.post(engine.Event{Type: engine.EvCommand, Cmd: n.onFlushTimer, Due: due}) {
+		return
+	}
+	n.mu.Lock()
+	stopped := n.stopped
+	n.mu.Unlock()
+	if !stopped {
+		time.AfterFunc(time.Millisecond, func() { n.postFlush(due) })
+	}
+}
+
+// onFlushTimer runs in the event loop. The flush itself happens in
+// handle(): the event carries Due, so it takes the timer path.
+func (n *Node) onFlushTimer() {
+	n.flushArmed = false
+	n.obs.slotbatchFlushes.Inc()
 }
 
 func (e *nodeEnv) SetTimer(id member.TimerID, at model.Time) {
@@ -1462,17 +1663,36 @@ func NewUDPTransport(id int, addrs map[int]string) (Transport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return udpAdapter{u}, nil
+	return &udpAdapter{u: u}, nil
 }
 
-type udpAdapter struct{ u *transport.UDP }
+type udpAdapter struct {
+	u     *transport.UDP
+	batch []transport.BatchMsg // reused across SendBatch calls
+}
 
-func (a udpAdapter) Broadcast(data []byte) error { return a.u.Broadcast(data) }
-func (a udpAdapter) Unicast(to int, data []byte) error {
+func (a *udpAdapter) Broadcast(data []byte) error { return a.u.Broadcast(data) }
+func (a *udpAdapter) Unicast(to int, data []byte) error {
 	return a.u.Unicast(model.ProcessID(to), data)
 }
-func (a udpAdapter) SetReceiver(r func([]byte)) { a.u.SetReceiver(r) }
-func (a udpAdapter) Close() error               { return a.u.Close() }
+func (a *udpAdapter) SetReceiver(r func([]byte)) { a.u.SetReceiver(r) }
+func (a *udpAdapter) Close() error               { return a.u.Close() }
+
+// SendBatch implements BatchSender over the UDP transport's
+// sendmmsg-batched path. Safe for the single event-loop caller the
+// node contract gives it (the scratch slice is per-adapter).
+func (a *udpAdapter) SendBatch(msgs []BatchMessage) error {
+	b := a.batch[:0]
+	for i := range msgs {
+		b = append(b, transport.BatchMsg{To: model.ProcessID(msgs[i].To), Data: msgs[i].Data})
+	}
+	a.batch = b
+	return a.u.SendBatch(b)
+}
+
+// SendErrors exposes the transport's failed-send count for the
+// timewheel_transport_send_errors_total metric.
+func (a *udpAdapter) SendErrors() uint64 { return a.u.SendErrors() }
 
 // --- Chaos middleware ----------------------------------------------------------
 
